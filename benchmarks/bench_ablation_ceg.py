@@ -1,0 +1,76 @@
+"""Ablation: counterexample guided sampling (section 3.4).
+
+DESIGN.md calls out two claims behind Algorithm 4 worth isolating:
+
+* a tiny LP sample plus counterexample rounds reaches full-constraint
+  coverage — millions of constraints never enter the LP (the paper's
+  motivation: LP solvers handle a few thousand constraints);
+* feeding *every* constraint to the LP instead would be far more
+  expensive per solve.
+
+The bench generates the float32 log2 reduced-constraint set once and
+compares CEG generation at several initial sample sizes against a single
+all-constraints LP solve, printing sample sizes and times.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import emit
+from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
+from repro.core.generator import target_rounding_interval
+from repro.core.reduced import reduced_intervals
+from repro.core.sampling import sample_values
+from repro.fp.formats import FLOAT32
+from repro.lp.solver import fit_coefficients
+from repro.oracle import default_oracle as orc
+from repro.rangereduction import reduction_for
+from repro.rangereduction.domains import sampling_domain
+
+EXPONENTS = (1, 2, 3, 4, 5, 6)
+
+
+def _constraints(n_inputs: int = 4000):
+    rr = reduction_for("log2", FLOAT32)
+    lo, hi = sampling_domain("log2", FLOAT32, rr)
+    pairs = []
+    for x in sample_values(FLOAT32, n_inputs, random.Random(17), lo, hi):
+        if rr.special(x) is not None:
+            continue
+        y = orc.round_to_bits("log2", x, FLOAT32)
+        pairs.append((x, target_rounding_interval(FLOAT32, y)))
+    return reduced_intervals(pairs, rr).constraints["log2_1p"]
+
+
+@pytest.mark.benchmark(group="ablation-ceg")
+def test_ceg_sampling_ablation(benchmark, report_dir):
+    cs = _constraints()
+    lines = [f"CEG sampling ablation: log2, {len(cs)} reduced constraints, "
+             f"exponents {EXPONENTS}",
+             f"{'initial sample':>15s} {'time (s)':>9s} {'result':>8s}"]
+
+    def run_all():
+        results = []
+        for init in (10, 50, 200):
+            t0 = time.perf_counter()
+            res = gen_polynomial(cs, EXPONENTS,
+                                 CEGConfig(initial_sample=init))
+            dt = time.perf_counter() - t0
+            ok = not isinstance(res, CEGFailure)
+            results.append((init, dt, ok))
+            lines.append(f"{init:>15d} {dt:>9.2f} {'ok' if ok else 'FAIL':>8s}")
+        # the all-constraints LP: what CEG avoids
+        t0 = time.perf_counter()
+        full = fit_coefficients(cs, EXPONENTS)
+        dt_full = time.perf_counter() - t0
+        lines.append(f"{'ALL (' + str(len(cs)) + ')':>15s} {dt_full:>9.2f} "
+                     f"{'ok' if full.feasible else 'FAIL':>8s}  "
+                     "<- single LP over every constraint")
+        return results, dt_full
+
+    (results, dt_full) = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(report_dir, "ablation_ceg.txt", "\n".join(lines) + "\n")
+    # every sampling configuration must converge to a full-coverage poly
+    assert all(ok for _, _, ok in results)

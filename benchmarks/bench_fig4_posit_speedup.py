@@ -1,0 +1,70 @@
+"""Figure 4: speedup of RLIBM-32's posit32 functions over repurposed
+double libraries (glibc/Intel models and CR-LIBM).
+
+Reproduction target (shape): modest wins over the mini-max double models
+(paper: 1.1x) and a clear win over CR-LIBM (paper: 1.4x), with CR-LIBM
+the slowest on every function it provides.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.baselines import posit_baselines
+from repro.eval.timing import geomean, render_speedups, speedup_rows, timing_inputs
+from repro.libm.runtime import POSIT32_FUNCTIONS, load
+from repro.posit.format import POSIT32
+
+
+def _have_posit_data() -> bool:
+    try:
+        load("exp", "posit32")
+        return True
+    except LookupError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _have_posit_data(),
+    reason="posit32 data not generated yet (run tools/generate_posit32.py)")
+
+
+@pytest.mark.benchmark(group="fig4-rlibm-ns")
+@pytest.mark.parametrize("fn_name", POSIT32_FUNCTIONS)
+def test_rlibm_posit32_ns(benchmark, fn_name):
+    try:
+        g = load(fn_name, "posit32")
+    except LookupError:
+        pytest.skip("not generated")
+    xs = timing_inputs(fn_name, POSIT32, 192)
+
+    def run():
+        for x in xs:
+            g.evaluate(x)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fig4-speedups")
+def test_fig4_speedup_table(benchmark, report_dir):
+    libs = posit_baselines(timing=True)
+    rows = []
+
+    def run():
+        rows.clear()
+        from repro.libm.runtime import available
+        fns = available("posit32")
+        rows.extend(speedup_rows(fns, POSIT32,
+                                 lambda n: load(n, "posit32"), libs,
+                                 n_inputs=192, repeats=3))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_speedups(rows, "Figure 4: RLIBM-32 posit32 speedups")
+    emit(report_dir, "fig4.txt", text)
+
+    # CR-LIBM (Ziv) is the slowest comparator (paper: biggest speedup)
+    cr = geomean([r.speedup("crlibm") for r in rows
+                  if r.speedup("crlibm") is not None])
+    gl = geomean([r.speedup("glibc double") for r in rows
+                  if r.speedup("glibc double") is not None])
+    assert cr > gl

@@ -1,0 +1,54 @@
+"""Table 1: correctly rounded results for the ten float32 functions.
+
+Reproduction target (shape): the RLIBM-32 column is all-correct; the
+float baselines are wrong on a visible fraction of inputs; the double
+baselines are wrong only on (some of) the mined hard cases; CR-LIBM's
+double-rounding shows up on rare hard cases; the N/A pattern matches the
+paper.  Counts are per sampled pool, not per 2**32 inputs (DESIGN.md §3).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.baselines import correctness_baselines
+from repro.eval.correctness import audit_function, build_pool, render_rows
+from repro.fp.formats import FLOAT32
+from repro.libm.runtime import FLOAT32_FUNCTIONS, load
+
+#: Smaller pools keep the whole table under a few minutes; raise for a
+#: closer look.
+N_RANDOM = 1500
+N_HARD = 100
+HARD_CANDIDATES = 3000
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_float_correctness(benchmark, report_dir):
+    libs = correctness_baselines()
+    rows = []
+
+    def run():
+        rows.clear()
+        for fn_name in FLOAT32_FUNCTIONS:
+            pool = build_pool(fn_name, FLOAT32, N_RANDOM, N_HARD,
+                              HARD_CANDIDATES)
+            rows.append(audit_function(fn_name, FLOAT32,
+                                       load(fn_name, "float32"), libs, pool))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_rows(rows, "Table 1: float32 correctness "
+                             "(RLIBM-32 vs baseline stand-ins)")
+    emit(report_dir, "table1.txt", text)
+
+    # the headline claim: RLIBM-32 produces the correct result everywhere.
+    # The sampled 32-bit pipeline cannot prove it for all 2**32 inputs
+    # (DESIGN.md §3); we require a perfect score on the pool for nearly
+    # every function and tolerate at most one residual hard case overall.
+    total_wrong = sum(row.wrong["RLIBM-32"] for row in rows)
+    assert total_wrong <= 1, [r for r in rows if r.wrong["RLIBM-32"]]
+    assert sum(1 for r in rows if r.wrong["RLIBM-32"] == 0) >= 9
+    # and the float baselines do not (the paper's X columns)
+    float_wrong = sum(row.wrong["glibc float"] or 0 for row in rows
+                      if row.wrong["glibc float"] is not None)
+    assert float_wrong > 0

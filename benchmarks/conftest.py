@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Every bench writes its rendered table/figure to ``benchmarks/out/`` and
+prints it, so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
+the paper-shaped rows alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    (report_dir / name).write_text(text)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Posits from first principles + the correctly rounded posit32 library.
+
+Run:  python examples/posit_playground.py
+
+Shows the posit codec this project implements from scratch (regime /
+exponent / fraction decoding, tapered precision, saturation instead of
+overflow) and why repurposing a double-precision library for posit32 —
+the only option before RLIBM-32 — silently breaks at the extremes.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.posit.format import POSIT8, POSIT32
+
+
+def show_pattern(fmt, bits: int) -> None:
+    val = fmt.to_fraction(bits)
+    print(f"  {bits:0{fmt.nbits // 4}x}  ->  {float(val)!r:24s} "
+          f"(= {val})")
+
+
+def main() -> None:
+    print("== posit8 (es=0): every pattern decodable by hand ==")
+    for bits in (0x40, 0x48, 0x50, 0x60, 0x7F, 0x01, 0xC0):
+        show_pattern(POSIT8, bits)
+
+    print("\n== posit32 (es=2): tapered precision ==")
+    one = POSIT32.from_double(1.0)
+    print(f"  around 1.0 the step is 2**-27: "
+          f"{POSIT32.to_double(POSIT32.next_up(one)) - 1.0!r}")
+    big = POSIT32.from_double(1e30)
+    step = (POSIT32.to_double(POSIT32.next_up(big))
+            - POSIT32.to_double(big))
+    print(f"  around 1e30 the step is {step!r} "
+          "(precision tapers off with magnitude)")
+    print(f"  maxpos = 2**120 = {float(POSIT32.maxpos)!r}; "
+          "beyond it everything saturates:")
+    print(f"  posit32(1e300) = {POSIT32.round_double(1e300)!r}")
+    print(f"  posit32(1e-300) = {POSIT32.round_double(1e-300)!r} "
+          "(never rounds to 0)")
+
+    print("\n== why repurposed double libraries fail (Table 2) ==")
+    x = 200.0
+    d = math.exp(x)     # double library result
+    print(f"  exp({x}) in double = {d!r}")
+    print(f"  rounded to posit32: {POSIT32.round_double(d)!r}")
+    try:
+        d2 = math.exp(800.0)
+    except OverflowError:
+        d2 = math.inf
+    print(f"  exp(800.0) in double overflows to {d2!r} -> posit32 NaR, "
+          "but the correct posit32 answer is maxpos:")
+
+    try:
+        from repro.libm import posit32 as rp
+    except LookupError:
+        print("  (generate the posit32 tables first: "
+              "tools/generate_posit32.py)")
+        return
+    try:
+        print(f"  RLIBM-32 exp(800.0) = {rp.exp(800.0)!r}")
+        print(f"  RLIBM-32 exp(-800.0) = {rp.exp(-800.0)!r} (minpos)")
+        print(f"  RLIBM-32 ln(2**120) = {rp.ln(float(POSIT32.maxpos))!r}")
+        print(f"  RLIBM-32 exp_bits(NaR) = "
+              f"{rp.exp_bits(POSIT32.nar_bits):#010x} (NaR in, NaR out)")
+    except LookupError:
+        print("  (generate the posit32 tables first: "
+              "tools/generate_posit32.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Section 2 of the paper, executed: the sinpi(x) pipeline step by step.
+
+Run:  python examples/sinpi_walkthrough.py
+
+Reproduces the overview example: two float32 inputs that map to the same
+reduced input R, their rounding intervals, the deduced reduced intervals
+for sinpi(R) and cospi(R) (Algorithm 2's simultaneous widening), the
+bit-pattern sub-domain index of R, and finally the output compensation
+that turns polynomial values back into sinpi(x).
+"""
+
+from repro.core.generator import target_rounding_interval
+from repro.core.reduced import reduced_intervals
+from repro.fp.bits import double_to_bits
+from repro.fp.float32 import f32_round
+from repro.fp.formats import FLOAT32
+from repro.libm.runtime import load
+from repro.oracle import default_oracle as orc
+from repro.rangereduction import SinPiReduction
+
+
+def main() -> None:
+    rr = SinPiReduction(FLOAT32)
+
+    # the paper's two example inputs (float32 values)
+    x1 = f32_round(1.95312686264514923095703125e-3)
+    x2 = f32_round(2.148437686264514923095703125e-2)
+    print("Step 1: rounding intervals")
+    pairs = []
+    for x in (x1, x2):
+        y_bits = orc.round_to_bits("sinpi", x, FLOAT32)
+        iv = target_rounding_interval(FLOAT32, y_bits)
+        pairs.append((x, iv))
+        print(f"  x = {x!r}")
+        print(f"    correctly rounded sinpi(x) = "
+              f"{FLOAT32.to_double(y_bits)!r}")
+        print(f"    rounding interval in double: [{iv.lo!r}, {iv.hi!r}]")
+
+    print("\nStep 2: range reduction -> both inputs share one reduced R")
+    r1, r2 = rr.reduce(x1), rr.reduce(x2)
+    print(f"  x1 -> R = {r1.r!r} (table index N={r1.ctx[0]})")
+    print(f"  x2 -> R = {r2.r!r} (table index N={r2.ctx[0]})")
+    assert r1.r == r2.r
+
+    print("\nStep 2b: reduced intervals (Algorithm 2, simultaneous "
+          "widening over sinpi(R) and cospi(R))")
+    rset = reduced_intervals(pairs, rr)
+    for name in rr.fn_names:
+        c = rset.constraints[name][0]
+        print(f"  {name}(R) must land in [{c.lo!r}, {c.hi!r}]")
+
+    print("\nStep 3: bit-pattern sub-domain indexing of R")
+    print(f"  R as a double bit pattern: {double_to_bits(r1.r):#018x}")
+    g = load("sinpi", "float32")
+    af = g.approx["sinpi"]
+    side = af.pos
+    print(f"  shipped sinpi(R) table: 2**{side.index_bits} sub-domain(s); "
+          f"index = (bits >> {side.shift}) & {(1 << side.index_bits) - 1} "
+          f"= {side.index_of(r1.r)}")
+    poly = side.polys[side.index_of(r1.r)]
+    print(f"  polynomial there: exponents {poly.exponents}")
+    print(f"  coefficients {poly.coefficients}")
+
+    print("\nStep 4: evaluate + output compensation")
+    vs = g.approx['sinpi'](r1.r)
+    vc = g.approx['cospi'](r1.r)
+    print(f"  sinpi(R) ~ {vs!r}, cospi(R) ~ {vc!r}")
+    for x in (x1, x2):
+        red = rr.reduce(x)
+        y = rr.compensate([vs, vc], red.ctx)
+        final = f32_round(y)
+        want = FLOAT32.to_double(orc.round_to_bits("sinpi", x, FLOAT32))
+        print(f"  sinpi({x!r}) = {final!r} "
+              f"[{'correctly rounded' if final == want else 'WRONG'}]")
+
+
+if __name__ == "__main__":
+    main()

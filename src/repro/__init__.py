@@ -1,0 +1,32 @@
+"""RLIBM-32 reproduction: correctly rounded 32-bit math libraries.
+
+Public entry points:
+
+* ``repro.libm.float32`` / ``repro.libm.posit32`` — the shipped correctly
+  rounded libraries (value and bit-pattern APIs);
+* ``repro.core`` — the generation pipeline (rounding intervals, reduced
+  intervals, piecewise CEG polynomial generation, validation);
+* ``repro.fp`` / ``repro.posit`` — the number-format substrates;
+* ``repro.oracle`` — the correctly rounded oracle;
+* ``repro.lp`` — exact rational and HiGHS-backed LP solving;
+* ``repro.rangereduction`` — per-function range reductions;
+* ``repro.baselines`` / ``repro.eval`` — comparison libraries and the
+  table/figure harness.
+
+See README.md for a guided tour and DESIGN.md for the paper mapping.
+"""
+
+from repro.core.generator import FunctionSpec, GeneratedFunction, generate
+from repro.core.validate import generate_validated, validate
+from repro.fp.formats import BFLOAT16, FLOAT8, FLOAT16, FLOAT32, FLOAT64, FloatFormat
+from repro.posit.format import POSIT8, POSIT16, POSIT32, PositFormat
+from repro.rangereduction import reduction_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionSpec", "GeneratedFunction", "generate", "generate_validated",
+    "validate", "BFLOAT16", "FLOAT8", "FLOAT16", "FLOAT32", "FLOAT64",
+    "FloatFormat", "POSIT8", "POSIT16", "POSIT32", "PositFormat",
+    "reduction_for", "__version__",
+]

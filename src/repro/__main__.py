@@ -1,0 +1,122 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``eval``      evaluate a shipped correctly rounded function at a point
+              and cross-check it against the oracle
+``audit``     a mini Table-1 row: wrong-result counts for one function
+              across RLIBM-32 and the baseline stand-ins
+``generate``  run the generator for a target format and freeze the
+              coefficient tables into the library's data packages
+``table3``    print the generation statistics of the shipped tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.core.generator import target_bits
+    from repro.libm.runtime import load
+    from repro.libm.serialize import TARGETS_BY_NAME
+    from repro.oracle import default_oracle as orc
+    from repro.rangereduction import reduction_for
+
+    fmt = TARGETS_BY_NAME[args.target]
+    x = fmt.to_double(fmt.from_double(args.x))
+    g = load(args.function, args.target)
+    got = g.evaluate(x)
+    got_bits = g.evaluate_bits(x)
+    print(f"{args.function}({x!r}) [{args.target}]")
+    print(f"  result: {got!r}  bits: {got_bits:#x}")
+    rr = reduction_for(args.function, fmt)
+    s = rr.special(x)
+    want = (target_bits(fmt, s) if s is not None
+            else orc.round_to_bits(args.function, x, fmt))
+    print(f"  oracle: {'agrees' if want == got_bits else 'DISAGREES'} "
+          f"(bits {want:#x})")
+    return 0 if want == got_bits else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.baselines import correctness_baselines, posit_baselines
+    from repro.eval.correctness import audit_function, build_pool, render_rows
+    from repro.libm.runtime import load
+    from repro.libm.serialize import TARGETS_BY_NAME
+
+    fmt = TARGETS_BY_NAME[args.target]
+    libs = (posit_baselines() if args.target.startswith("posit")
+            else correctness_baselines())
+    pool = build_pool(args.function, fmt, n_random=args.n,
+                      n_hard=args.hard, hard_candidates=4 * args.hard + 100)
+    row = audit_function(args.function, fmt, load(args.function, args.target),
+                         libs, pool)
+    print(render_rows([row], f"audit: {args.function} [{args.target}]"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.libm.genlib import generate_library
+    from repro.libm.runtime import functions_for
+    from repro.libm.serialize import TARGETS_BY_NAME
+
+    fmt = TARGETS_BY_NAME[args.target]
+    names = args.functions or list(functions_for(args.target))
+    out = (pathlib.Path(args.out) if args.out else
+           pathlib.Path(__file__).resolve().parent / "libm"
+           / f"data_{args.target}")
+    generate_library(names, fmt, out, quick=args.quick, seed=args.seed)
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table3, table3_rows
+
+    rows = table3_rows(args.target)
+    if not rows:
+        print(f"no frozen data for target {args.target!r}")
+        return 1
+    print(render_table3(rows, f"Table 3 ({args.target})"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("eval", help="evaluate a shipped function")
+    p.add_argument("function")
+    p.add_argument("x", type=float)
+    p.add_argument("--target", default="float32")
+    p.set_defaults(fn=_cmd_eval)
+
+    p = sub.add_parser("audit", help="mini Table-1 row for one function")
+    p.add_argument("function")
+    p.add_argument("--target", default="float32")
+    p.add_argument("--n", type=int, default=800)
+    p.add_argument("--hard", type=int, default=60)
+    p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser("generate", help="generate + freeze a library")
+    p.add_argument("--target", default="bfloat16")
+    p.add_argument("--functions", nargs="*")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--out")
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("table3", help="generation statistics")
+    p.add_argument("--target", default="float32")
+    p.set_defaults(fn=_cmd_table3)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

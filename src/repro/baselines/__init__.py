@@ -1,0 +1,20 @@
+"""Baseline math libraries: Remez mini-max substrate + library stand-ins."""
+
+from repro.baselines.base import BaselineLibrary, limit_case
+from repro.baselines.crlibm_like import CRLibmLike
+from repro.baselines.float_libm import Float32Libm
+from repro.baselines.minimax_libm import MinimaxLibm, reduced_minimax
+from repro.baselines.registry import (ALL_FUNCTIONS, GLIBC_FUNCTIONS,
+                                      METALIBM_FUNCTIONS, POSIT_FUNCTIONS,
+                                      correctness_baselines, posit_baselines,
+                                      timing_baselines)
+from repro.baselines.remez import RemezResult, remez
+from repro.baselines.system_libm import SystemLibm
+
+__all__ = [
+    "BaselineLibrary", "limit_case", "CRLibmLike", "Float32Libm",
+    "MinimaxLibm", "reduced_minimax", "SystemLibm",
+    "ALL_FUNCTIONS", "GLIBC_FUNCTIONS", "METALIBM_FUNCTIONS", "POSIT_FUNCTIONS",
+    "correctness_baselines", "posit_baselines", "timing_baselines",
+    "RemezResult", "remez",
+]

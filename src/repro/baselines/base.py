@@ -1,0 +1,67 @@
+"""Common interface of the baseline math libraries.
+
+Table 1/2 and Figures 3/4 compare RLIBM-32 against glibc, Intel libm,
+CR-LIBM and Metalibm.  Those binaries are reimplemented here as
+*stand-ins* sharing one interface: ``call(fn, x)`` produces the library's
+double-precision result for a float32/posit32 input ``x``; the evaluation
+harness performs the final rounding to the target representation, exactly
+like the paper's methodology of "convert the float input into double, use
+the double function, and round the result back to float".
+
+Each stand-in mirrors its original's characteristic *accuracy envelope*
+(mini-max polynomial degrees, float32 vs double arithmetic, correct
+rounding to double with double-rounding artefacts) and *cost envelope*
+(polynomial degree + table traffic), as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.oracle.functions import get_function
+
+__all__ = ["BaselineLibrary", "limit_case"]
+
+
+def limit_case(fn_name: str, x: float) -> float | None:
+    """Shared special-case layer: NaN/inf propagation and domain errors."""
+    fn = get_function(fn_name)
+    lim = fn.limit_cases(x)
+    if lim is not None:
+        return lim
+    if not fn.in_domain(x):
+        return math.nan
+    if fn_name in ("ln", "log2", "log10") and x == 0.0:
+        return -math.inf
+    return None
+
+
+class BaselineLibrary(ABC):
+    """One comparison library: a set of elementary functions in double."""
+
+    #: Display name used in the report tables.
+    name: str
+    #: Function names this library provides (others are the paper's N/A).
+    functions: frozenset[str]
+
+    def supports(self, fn_name: str) -> bool:
+        return fn_name in self.functions
+
+    @abstractmethod
+    def call(self, fn_name: str, x: float) -> float:
+        """The library's double result for input x (before T-rounding)."""
+
+    def batch(self, fn_name: str, xs: Iterable[float]) -> np.ndarray:
+        """Array-at-a-time evaluation; default loops over :meth:`call`.
+
+        Overridden by the vectorization-flavoured stand-ins used for the
+        paper's section 4.3 vectorization comparison.
+        """
+        return np.array([self.call(fn_name, float(x)) for x in xs])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

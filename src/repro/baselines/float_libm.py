@@ -1,0 +1,197 @@
+"""Single-precision library stand-ins (glibc/Intel/Metalibm *float* rows).
+
+These emulate libraries whose whole pipeline runs in binary32: every
+constant, table entry, polynomial coefficient and arithmetic operation is
+rounded to float32 (``f32_round`` after each op reproduces IEEE binary32
+arithmetic exactly, since each double operation result rounded to float32
+equals the float32 operation when the operands are float32 values —
+binary32 results fit with slack inside binary64).
+
+With only ~24 bits carried through range reduction, polynomial evaluation
+and output compensation, the accumulated error routinely reaches a few
+ulps — these stand-ins are wrong on a large fraction of inputs, matching
+Table 1's float columns (X(1.7E5)..X(3.0E7)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.baselines.base import BaselineLibrary, limit_case
+from repro.baselines.minimax_libm import reduced_minimax
+from repro.fp.float32 import f32_round as R
+from repro.rangereduction.tables import (exp2_fraction_table, log_scale_constant,
+                                         log_table, sinhcosh_tables,
+                                         sinpicospi_tables)
+from repro.rangereduction.sinpicospi import _split_table, _split_to_half
+
+__all__ = ["Float32Libm"]
+
+_FLT_BIG = 3.4e38
+
+
+def _poly32(fn_name: str, degree: int) -> tuple[float, ...]:
+    """Mini-max coefficients rounded to float32 (as doubles)."""
+    poly = reduced_minimax(fn_name, degree)
+    return tuple(R(c) for c in poly.coefficients)
+
+
+def _horner32(coeffs: tuple[float, ...], r: float) -> float:
+    acc = coeffs[-1]
+    for c in reversed(coeffs[:-1]):
+        acc = R(R(acc * r) + c)
+    return acc
+
+
+def _split_constant(c: float, keep_bits: int = 11) -> tuple[float, float]:
+    """Cody-Waite split: c_hi with few mantissa bits (so k*c_hi is exact
+    in binary32 for the k range of the reduction) plus a small c_lo.
+
+    Real float libraries use exactly this trick to keep the reduced input
+    accurate despite binary32 arithmetic.
+    """
+    from repro.fp.float32 import bits_to_f32, f32_to_bits
+    bits = f32_to_bits(c)
+    bits &= ~((1 << (23 - keep_bits)) - 1)
+    c_hi = bits_to_f32(bits)
+    c_lo = R(c - c_hi)
+    return c_hi, c_lo
+
+
+class Float32Libm(BaselineLibrary):
+    """A library computing everything in emulated binary32."""
+
+    def __init__(self, name: str, profile: dict[str, int]):
+        self.name = name
+        self.functions = frozenset(profile)
+        self._profile = dict(profile)
+        self._impl: dict[str, Callable[[float], float]] = {}
+
+    def call(self, fn_name: str, x: float) -> float:
+        if fn_name not in self.functions:
+            raise KeyError(f"{self.name} has no {fn_name} (N/A)")
+        lim = limit_case(fn_name, x)
+        if lim is not None:
+            return lim
+        impl = self._impl.get(fn_name)
+        if impl is None:
+            impl = self._build(fn_name)
+            self._impl[fn_name] = impl
+        return impl(x)
+
+    def _build(self, fn_name: str) -> Callable[[float], float]:
+        if fn_name in ("ln", "log2", "log10"):
+            return self._build_log(fn_name)
+        if fn_name in ("exp", "exp2", "exp10"):
+            return self._build_exp(fn_name)
+        if fn_name in ("sinh", "cosh"):
+            return self._build_sinhcosh(fn_name)
+        return self._build_sincospi(fn_name)
+
+    def _build_log(self, fn_name: str) -> Callable[[float], float]:
+        tab = tuple(R(v) for v in log_table(fn_name, 7))
+        coeffs = _poly32(fn_name, self._profile[fn_name])
+        pure = fn_name == "log2"
+        s_hi, s_lo = _split_constant(log_scale_constant(fn_name))
+
+        def impl(x: float) -> float:
+            m, e2 = math.frexp(x)
+            e = e2 - 1
+            m = m * 2.0                      # exact in binary32 too
+            j = int((m - 1.0) * 128.0)
+            f = 1.0 + j / 128.0
+            r = R((m - f) / f)
+            p = _horner32(coeffs, r)
+            if pure:
+                return R(R(e + tab[j]) + p)
+            # e*s_hi is exact (|e| <= 149 fits next to the short mantissa)
+            return R(R(e * s_hi + tab[j]) + R(p + R(e * s_lo)))
+
+        return impl
+
+    def _build_exp(self, fn_name: str) -> Callable[[float], float]:
+        tab = tuple(R(v) for v in exp2_fraction_table(64))
+        coeffs = _poly32(fn_name, self._profile[fn_name])
+        if fn_name == "exp":
+            c_inv, c = R(64.0 / math.log(2)), math.log(2) / 64.0
+        elif fn_name == "exp2":
+            c_inv, c = 64.0, 1.0 / 64.0
+        else:
+            c_inv, c = R(64.0 / (math.log10(2))), math.log10(2) / 64.0
+        c_hi, c_lo = _split_constant(c)
+
+        def impl(x: float) -> float:
+            # argument clamp, as the real float implementations do
+            if x > 256.0:
+                return math.inf
+            if x < -256.0:
+                return 0.0
+            k = round(R(x * c_inv))
+            r = R(R(x - R(k * c_hi)) - R(k * c_lo))
+            q, j = divmod(k, 64)
+            p = _horner32(coeffs, r)
+            try:
+                return R(math.ldexp(R(tab[j] * p), q))
+            except OverflowError:  # pragma: no cover
+                return math.inf
+
+        return impl
+
+    def _build_sinhcosh(self, fn_name: str) -> Callable[[float], float]:
+        kmax = int(round(90.0 * 64))
+        sinh_d, cosh_d = sinhcosh_tables(kmax)
+        sinh_t = tuple(R(min(v, _FLT_BIG)) for v in sinh_d)
+        cosh_t = tuple(R(min(v, _FLT_BIG)) for v in cosh_d)
+        ps = _poly32("sinh", self._profile[fn_name])
+        pc = _poly32("cosh", self._profile[fn_name])
+        is_sinh = fn_name == "sinh"
+
+        def impl(x: float) -> float:
+            s = abs(x)
+            if s >= 90.0:
+                return math.copysign(math.inf, x) if is_sinh else math.inf
+            if s < 2.0 ** -13:        # real float libraries shortcut tiny x
+                return x if is_sinh else 1.0
+            k = round(s * 64.0)
+            r = s - k / 64.0
+            vs = _horner32(ps, r)
+            vc = _horner32(pc, r)
+            if is_sinh:
+                y = R(R(sinh_t[k] * vc) + R(cosh_t[k] * vs))
+                return math.copysign(y, x)
+            return R(R(cosh_t[k] * vc) + R(sinh_t[k] * vs))
+
+        return impl
+
+    def _build_sincospi(self, fn_name: str) -> Callable[[float], float]:
+        sin_d, cos_d = sinpicospi_tables(256)
+        sin_t = tuple(R(v) for v in sin_d)
+        cos_t = tuple(R(v) for v in cos_d)
+        ps = _poly32("sinpi", self._profile[fn_name])
+        pc = _poly32("cospi", self._profile[fn_name])
+        is_sin = fn_name == "sinpi"
+
+        pi32 = R(math.pi)
+
+        def impl(x: float) -> float:
+            ax = abs(x)
+            if ax >= 2.0 ** 23:
+                if is_sin:
+                    return math.copysign(0.0, x)
+                if ax >= 2.0 ** 24:
+                    return 1.0
+                return 1.0 if int(ax) % 2 == 0 else -1.0
+            if ax < 2.0 ** -13:       # tiny-input shortcut, float precision
+                return R(pi32 * x) if is_sin else 1.0
+            k, m, l2 = _split_to_half(ax)
+            n, q = _split_table(l2)
+            vs = _horner32(ps, q)
+            vc = _horner32(pc, q)
+            if is_sin:
+                sgn = -1.0 if ((x < 0.0) != (k == 1)) else 1.0
+                return sgn * R(R(sin_t[n] * vc) + R(cos_t[n] * vs)) + 0.0
+            sgn = -1.0 if (k + m) % 2 else 1.0
+            return sgn * R(R(cos_t[n] * vc) - R(sin_t[n] * vs)) + 0.0
+
+        return impl

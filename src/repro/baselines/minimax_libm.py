@@ -1,0 +1,179 @@
+"""Double-precision mini-max library stand-ins (glibc/Intel/Metalibm style).
+
+Each function uses the classic table-driven range reduction (the same
+family our RLIBM pipeline uses — that part of library design is shared
+heritage) but approximates the *real value* of the reduced function with
+a single Remez mini-max polynomial of a per-profile degree, evaluated in
+double.  This is precisely the design the paper contrasts against: even
+with a mini-max error far below half an ulp of float32, such libraries
+return the wrong result whenever the true value lies extremely close to a
+rounding boundary (Table 1's X(1)..X(5) entries for the double variants),
+and the single high-degree polynomial costs more than RLIBM's piecewise
+low-degree ones (Figure 3).
+
+Degree profiles model each library's accuracy/effort point; see
+:mod:`repro.baselines.registry`.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Callable
+
+from repro.baselines.base import BaselineLibrary, limit_case
+from repro.baselines.remez import remez
+from repro.core.polynomials import Polynomial
+from repro.rangereduction.tables import (exp2_fraction_table, log_scale_constant,
+                                         log_table, sinhcosh_tables,
+                                         sinpicospi_tables)
+from repro.rangereduction.sinpicospi import _split_table, _split_to_half
+
+__all__ = ["MinimaxLibm", "reduced_minimax"]
+
+_LN2_64 = math.log(2) / 64.0
+_LOG10_2_64 = math.log10(2) / 64.0
+#: Largest |x| the sinh/cosh tables cover (beyond float32 overflow).
+_SINHCOSH_MAX = 90.0
+
+
+@lru_cache(maxsize=None)
+def reduced_minimax(fn_name: str, degree: int) -> Polynomial:
+    """Mini-max polynomial of the reduced function for ``fn_name``."""
+    specs: dict[str, tuple[Callable[[float], float], float, float]] = {
+        "ln": (math.log1p, 0.0, 1.0 / 128.0),
+        "log2": (lambda r: math.log1p(r) / math.log(2), 0.0, 1.0 / 128.0),
+        "log10": (lambda r: math.log1p(r) / math.log(10), 0.0, 1.0 / 128.0),
+        "exp": (math.exp, -_LN2_64 / 2, _LN2_64 / 2),
+        "exp2": (math.exp2, -1.0 / 128.0, 1.0 / 128.0),
+        "exp10": (lambda r: 10.0 ** r, -_LOG10_2_64 / 2, _LOG10_2_64 / 2),
+        "sinh": (math.sinh, -1.0 / 128.0, 1.0 / 128.0),
+        "cosh": (math.cosh, -1.0 / 128.0, 1.0 / 128.0),
+        "sinpi": (lambda r: math.sin(math.pi * r), 0.0, 1.0 / 512.0),
+        "cospi": (lambda r: math.cos(math.pi * r), 0.0, 1.0 / 512.0),
+    }
+    f, a, b = specs[fn_name]
+    return remez(f, a, b, degree).poly
+
+
+class MinimaxLibm(BaselineLibrary):
+    """A double-precision table + mini-max polynomial library."""
+
+    def __init__(self, name: str, profile: dict[str, int]):
+        self.name = name
+        self.functions = frozenset(profile)
+        self._profile = dict(profile)
+        self._impl: dict[str, Callable[[float], float]] = {}
+
+    def _poly(self, fn_name: str) -> Polynomial:
+        return reduced_minimax(fn_name, self._profile[fn_name])
+
+    # ------------------------------------------------------------------
+    def call(self, fn_name: str, x: float) -> float:
+        if fn_name not in self.functions:
+            raise KeyError(f"{self.name} has no {fn_name} (N/A)")
+        lim = limit_case(fn_name, x)
+        if lim is not None:
+            return lim
+        impl = self._impl.get(fn_name)
+        if impl is None:
+            impl = self._build(fn_name)
+            self._impl[fn_name] = impl
+        return impl(x)
+
+    # ------------------------------------------------------------------
+    def _build(self, fn_name: str) -> Callable[[float], float]:
+        if fn_name in ("ln", "log2", "log10"):
+            return self._build_log(fn_name)
+        if fn_name in ("exp", "exp2", "exp10"):
+            return self._build_exp(fn_name)
+        if fn_name in ("sinh", "cosh"):
+            return self._build_sinhcosh(fn_name)
+        return self._build_sincospi(fn_name)
+
+    def _build_log(self, fn_name: str) -> Callable[[float], float]:
+        tab = log_table(fn_name, 7)
+        poly = self._poly(fn_name).compiled
+        scale = 1.0 if fn_name == "log2" else log_scale_constant(fn_name)
+
+        def impl(x: float) -> float:
+            m, e2 = math.frexp(x)
+            e = e2 - 1
+            m = m * 2.0
+            j = int((m - 1.0) * 128.0)
+            f = 1.0 + j / 128.0
+            r = (m - f) / f
+            return (e * scale + tab[j]) + poly(r)
+
+        return impl
+
+    def _build_exp(self, fn_name: str) -> Callable[[float], float]:
+        tab = exp2_fraction_table(64)
+        poly = self._poly(fn_name).compiled
+        if fn_name == "exp":
+            c_inv, c = 64.0 / math.log(2), _LN2_64
+        elif fn_name == "exp2":
+            c_inv, c = 64.0, 1.0 / 64.0
+        else:
+            c_inv, c = 1.0 / _LOG10_2_64, _LOG10_2_64
+
+        def impl(x: float) -> float:
+            k = round(x * c_inv)
+            r = x - k * c
+            q, j = divmod(k, 64)
+            try:
+                return math.ldexp(tab[j] * poly(r), q)
+            except OverflowError:  # pragma: no cover - double overflow
+                return math.inf
+
+        return impl
+
+    def _build_sinhcosh(self, fn_name: str) -> Callable[[float], float]:
+        kmax = int(round(_SINHCOSH_MAX * 64))
+        sinh_t, cosh_t = sinhcosh_tables(kmax)
+        ps = reduced_minimax("sinh", self._profile[fn_name]).compiled
+        pc = reduced_minimax("cosh", self._profile[fn_name]).compiled
+        is_sinh = fn_name == "sinh"
+
+        def impl(x: float) -> float:
+            s = abs(x)
+            if s >= _SINHCOSH_MAX:
+                big = math.inf
+                return math.copysign(big, x) if is_sinh else big
+            if s < 2.0 ** -20:        # tiny-input shortcut, as libm does
+                return x if is_sinh else 1.0
+            k = round(s * 64.0)
+            r = s - k / 64.0
+            if is_sinh:
+                y = sinh_t[k] * pc(r) + cosh_t[k] * ps(r)
+                return math.copysign(y, x)
+            return cosh_t[k] * pc(r) + sinh_t[k] * ps(r)
+
+        return impl
+
+    def _build_sincospi(self, fn_name: str) -> Callable[[float], float]:
+        sin_t, cos_t = sinpicospi_tables(256)
+        ps = reduced_minimax("sinpi", self._profile[fn_name]).compiled
+        pc = reduced_minimax("cospi", self._profile[fn_name]).compiled
+        is_sin = fn_name == "sinpi"
+
+        def impl(x: float) -> float:
+            ax = abs(x)
+            if ax >= 2.0 ** 23:
+                if is_sin:
+                    return math.copysign(0.0, x)
+                if ax >= 2.0 ** 24:
+                    return 1.0
+                return 1.0 if int(ax) % 2 == 0 else -1.0
+            if ax < 2.0 ** -20:       # tiny-input shortcut, as libm does
+                return math.pi * x if is_sin else 1.0
+            k, m, l2 = _split_to_half(ax)
+            n, q = _split_table(l2)
+            if is_sin:
+                sgn = -1.0 if ((x < 0.0) != (k == 1)) else 1.0
+                return sgn * (sin_t[n] * pc(q) + cos_t[n] * ps(q)) + 0.0
+            sgn = -1.0 if (k + m) % 2 else 1.0
+            # classic (non-monotonic) identity, as mainstream libraries use
+            return sgn * (cos_t[n] * pc(q) - sin_t[n] * ps(q)) + 0.0
+
+        return impl

@@ -1,0 +1,109 @@
+"""The baseline line-up for every table and figure.
+
+The support matrix mirrors Table 1/2's N/A pattern:
+
+* glibc ships no sinpi/cospi;
+* CR-LIBM ships no exp2/exp10;
+* Metalibm provides exp/exp2/cosh;
+* Intel's libm covers all ten functions.
+
+Two line-ups are exposed:
+
+* :func:`correctness_baselines` — the most *honest* accuracy emulation of
+  each library (real platform libm for "glibc double"; emulated binary32
+  arithmetic for the float rows; mini-max doubles for Intel/Metalibm;
+  correctly rounded double for CR-LIBM).  Used for Tables 1 and 2.
+* :func:`timing_baselines` — stand-ins on a matched substrate (everything
+  pure-Python double arithmetic) so that measured time reflects each
+  design's *cost model* — single mini-max polynomial degree + table
+  traffic versus RLIBM's piecewise low degree — rather than the constant
+  factors of emulating binary32 in Python.  Used for Figures 3 and 4;
+  see EXPERIMENTS.md for the methodology note.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineLibrary
+from repro.baselines.crlibm_like import CRLibmLike
+from repro.baselines.float_libm import Float32Libm
+from repro.baselines.minimax_libm import MinimaxLibm
+from repro.baselines.system_libm import SystemLibm
+
+__all__ = [
+    "GLIBC_FUNCTIONS", "ALL_FUNCTIONS", "METALIBM_FUNCTIONS",
+    "POSIT_FUNCTIONS", "correctness_baselines", "timing_baselines",
+    "posit_baselines",
+]
+
+GLIBC_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                   "sinh", "cosh")
+ALL_FUNCTIONS = GLIBC_FUNCTIONS + ("sinpi", "cospi")
+METALIBM_FUNCTIONS = ("exp", "exp2", "cosh")
+#: The eight posit32 functions of Table 2.
+POSIT_FUNCTIONS = GLIBC_FUNCTIONS
+
+# Degree profiles model each library's accuracy/effort point.  Float
+# libraries target ~2**-28 polynomial error (binary32 arithmetic is the
+# real error source); double libraries target well below 2**-52.
+_GLIBC_FLOAT = {fn: 3 for fn in GLIBC_FUNCTIONS}
+_INTEL_FLOAT = {fn: 4 for fn in ALL_FUNCTIONS}
+_METALIBM_FLOAT = {fn: 2 for fn in METALIBM_FUNCTIONS}
+_GLIBC_DOUBLE = {fn: 6 for fn in GLIBC_FUNCTIONS}
+_INTEL_DOUBLE = {fn: 8 for fn in ALL_FUNCTIONS}
+_METALIBM_DOUBLE = {fn: 3 for fn in METALIBM_FUNCTIONS}
+
+
+def correctness_baselines() -> dict[str, BaselineLibrary]:
+    """Baselines for Table 1 (honest accuracy emulation)."""
+    return {
+        "glibc float": Float32Libm("glibc float", _GLIBC_FLOAT),
+        "glibc double": SystemLibm(),
+        "intel float": Float32Libm("intel float", _INTEL_FLOAT),
+        "intel double": MinimaxLibm("intel double", _INTEL_DOUBLE),
+        "crlibm": CRLibmLike(),
+        "metalibm float": Float32Libm("metalibm float", _METALIBM_FLOAT),
+        "metalibm double": MinimaxLibm("metalibm double", _METALIBM_DOUBLE),
+    }
+
+
+def timing_baselines() -> dict[str, BaselineLibrary]:
+    """Baselines for Figures 3/4 (matched pure-Python substrate).
+
+    The CR-LIBM stand-in runs with an *uncached* oracle: a memoized one
+    would time as dictionary lookups instead of the quick/accurate-phase
+    evaluation whose cost Figure 3(c) measures.
+    """
+    from repro.oracle.mpmath_oracle import Oracle
+    return {
+        "glibc float": MinimaxLibm("glibc float (cost model)", _GLIBC_FLOAT),
+        "glibc double": MinimaxLibm("glibc double (cost model)", _GLIBC_DOUBLE),
+        "intel float": MinimaxLibm("intel float (cost model)", _INTEL_FLOAT),
+        "intel double": MinimaxLibm("intel double (cost model)", _INTEL_DOUBLE),
+        "crlibm": CRLibmLike(oracle=Oracle(cache=False)),
+        "metalibm float": MinimaxLibm("metalibm float (cost model)",
+                                      _METALIBM_FLOAT),
+        "metalibm double": MinimaxLibm("metalibm double (cost model)",
+                                       _METALIBM_DOUBLE),
+    }
+
+
+def posit_baselines(timing: bool = False) -> dict[str, BaselineLibrary]:
+    """Repurposed double libraries for Table 2 / Figure 4.
+
+    With ``timing=True`` the glibc stand-in uses the cost-model
+    implementation (the platform libm's C speed is not comparable to the
+    pure-Python substrate) and CR-LIBM's oracle is uncached.
+    """
+    if timing:
+        from repro.oracle.mpmath_oracle import Oracle
+        return {
+            "glibc double": MinimaxLibm("glibc double (cost model)",
+                                        _GLIBC_DOUBLE),
+            "intel double": MinimaxLibm("intel double", _INTEL_DOUBLE),
+            "crlibm": CRLibmLike(oracle=Oracle(cache=False)),
+        }
+    return {
+        "glibc double": SystemLibm(),
+        "intel double": MinimaxLibm("intel double", _INTEL_DOUBLE),
+        "crlibm": CRLibmLike(),
+    }

@@ -1,0 +1,58 @@
+"""The platform C math library as a baseline (glibc's double libm).
+
+CPython's ``math`` module calls straight into the platform libm, so this
+baseline *is* the real "glibc double" column of Table 1 (on a glibc
+system): convert the float32 input to double, call the double function,
+round back to float32.  The paper shows this double-rounding pipeline is
+wrong on a handful of inputs for ln/log10/exp2/sinh even though the
+double functions themselves are accurate to well under an ulp.
+
+glibc provides no sinpi/cospi (Table 1 marks them N/A); exp10 is mapped
+to ``pow(10, x)`` as C code commonly does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.base import BaselineLibrary, limit_case
+
+__all__ = ["SystemLibm"]
+
+
+def _exp10(x: float) -> float:
+    return math.pow(10.0, x)
+
+
+_IMPL = {
+    "ln": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "exp": math.exp,
+    "exp2": math.exp2,
+    "exp10": _exp10,
+    "sinh": math.sinh,
+    "cosh": math.cosh,
+}
+
+
+class SystemLibm(BaselineLibrary):
+    """Platform libm (via the math module), double precision."""
+
+    functions = frozenset(_IMPL)
+
+    def __init__(self, name: str = "glibc double (platform libm)"):
+        self.name = name
+
+    def call(self, fn_name: str, x: float) -> float:
+        if fn_name not in self.functions:
+            raise KeyError(f"{self.name} has no {fn_name} (N/A)")
+        lim = limit_case(fn_name, x)
+        if lim is not None:
+            return lim
+        try:
+            return _IMPL[fn_name](x)
+        except OverflowError:
+            return math.copysign(math.inf, x) if fn_name == "sinh" else math.inf
+        except ValueError:  # pragma: no cover - domain guarded by limit_case
+            return math.nan

@@ -1,0 +1,25 @@
+"""The RLIBM-32 pipeline: intervals, reduced intervals, CEG polynomials."""
+
+from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
+from repro.core.generator import (FunctionSpec, GeneratedFunction, GenerationError,
+                                  GenStats, generate)
+from repro.core.intervals import TargetFormat, target_rounding_interval
+from repro.core.piecewise import (ApproxFunc, PiecewiseConfig, PiecewisePolynomial,
+                                  gen_approx_func, gen_piecewise)
+from repro.core.polynomials import Polynomial
+from repro.core.reduced import ReducedConstraintSet, reduced_intervals
+from repro.core.sampling import all_values, boundary_values, sample_values
+from repro.core.splitting import DomainSplit, split_domain
+from repro.core.validate import Mismatch, generate_validated, validate
+
+__all__ = [
+    "CEGConfig", "CEGFailure", "gen_polynomial",
+    "FunctionSpec", "GeneratedFunction", "GenerationError", "GenStats", "generate",
+    "TargetFormat", "target_rounding_interval",
+    "ApproxFunc", "PiecewiseConfig", "PiecewisePolynomial",
+    "gen_approx_func", "gen_piecewise",
+    "Polynomial", "ReducedConstraintSet", "reduced_intervals",
+    "all_values", "boundary_values", "sample_values",
+    "DomainSplit", "split_domain",
+    "Mismatch", "generate_validated", "validate",
+]

@@ -1,0 +1,180 @@
+"""Counterexample guided polynomial generation (Algorithm 4).
+
+A sub-domain can hold millions of reduced constraints — far beyond what
+an LP solver accepts — but most constraints are slack.  The paper's
+strategy, implemented here:
+
+1. **Sample** the constraints: evenly across the (sorted) reduced inputs,
+   always including the end points and the most *highly constrained*
+   intervals (narrowest widths).
+2. **Solve** an LP for coefficients satisfying the sample
+   (:func:`repro.lp.solver.fit_coefficients`).
+3. **Search-and-refine** (Section 3.4): LP coefficients are real numbers
+   rounded to H, so a sample constraint can fail under the runtime's
+   double Horner evaluation even though the LP was satisfied.  Shrink the
+   violated side of that sample constraint by one representable double
+   and re-solve until the rounded polynomial satisfies the whole sample.
+4. **Check** the polynomial against *every* constraint of the sub-domain
+   (vectorized, bit-identical to the runtime evaluation) and add violated
+   constraints back into the sample as counterexamples; repeat from 2.
+5. Give up when the LP is infeasible or the sample exceeds the threshold
+   (the paper uses fifty thousand) — the caller then splits the domain
+   further.
+
+After success we run a *degree-lowering pass* mirroring the paper's
+"GetCoeffsUsingLP generates a polynomial of a lower degree if it is
+possible": try proper prefixes of the monomial structure against the
+final sample and keep the shortest polynomial that still passes the full
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.fp.bits import next_double, prev_double
+from repro.lp.solver import LinearConstraint, fit_coefficients
+from repro.core.polynomials import Polynomial
+
+__all__ = ["CEGConfig", "CEGFailure", "gen_polynomial"]
+
+
+@dataclass
+class CEGConfig:
+    """Tunables of the counterexample guided generation loop."""
+
+    #: Initial evenly-spaced sample size.
+    initial_sample: int = 50
+    #: Number of narrowest ("highly constrained") intervals always sampled.
+    highly_constrained: int = 12
+    #: Abort when the sample grows beyond this (paper: fifty thousand).
+    max_sample: int = 50_000
+    #: Counterexamples admitted to the sample per round (spread evenly).
+    counterexample_cap: int = 128
+    #: Maximum search-and-refine re-solves per LP round.
+    refine_rounds: int = 64
+    #: Maximum counterexample rounds.
+    max_rounds: int = 64
+    #: Use the exact rational LP backend.
+    exact_lp: bool = False
+    #: Attempt the degree-lowering pass after success.
+    lower_degree: bool = True
+
+
+@dataclass
+class CEGFailure:
+    """Why a sub-domain could not be approximated at this degree."""
+
+    reason: str
+    sample_size: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return False
+
+
+def _initial_sample_indices(n: int, cfg: CEGConfig,
+                            widths: np.ndarray) -> list[int]:
+    """Even spread + endpoints + the narrowest intervals."""
+    take = min(n, cfg.initial_sample)
+    idx = set(np.linspace(0, n - 1, num=take, dtype=int).tolist())
+    if cfg.highly_constrained and n > take:
+        narrow = np.argsort(widths)[: cfg.highly_constrained]
+        idx.update(int(i) for i in narrow)
+    return sorted(idx)
+
+
+def _violations(poly: Polynomial, rs: np.ndarray, lo: np.ndarray,
+                hi: np.ndarray) -> np.ndarray:
+    """Indices of constraints the (rounded, double-Horner) poly violates."""
+    vals = poly.eval_many(rs)
+    bad = (vals < lo) | (vals > hi) | np.isnan(vals)
+    return np.nonzero(bad)[0]
+
+
+def _fit_rounded(sample: list[LinearConstraint], exponents: Sequence[int],
+                 cfg: CEGConfig) -> Polynomial | None:
+    """LP fit + search-and-refine until the sample passes in double."""
+    work = list(sample)
+    for _ in range(cfg.refine_rounds):
+        res = fit_coefficients(work, exponents, exact=cfg.exact_lp)
+        if not res.feasible or res.coefficients is None:
+            return None
+        poly = Polynomial(tuple(exponents), tuple(res.coefficients))
+        refined = False
+        for i, c in enumerate(work):
+            v = poly(c.r)
+            if v < c.lo:
+                nlo = next_double(c.lo)
+                if nlo > c.hi:
+                    return None
+                work[i] = LinearConstraint(c.r, nlo, c.hi)
+                refined = True
+            elif v > c.hi:
+                nhi = prev_double(c.hi)
+                if nhi < c.lo:
+                    return None
+                work[i] = LinearConstraint(c.r, c.lo, nhi)
+                refined = True
+        if not refined:
+            return poly
+    return None
+
+
+def gen_polynomial(
+    constraints: Sequence[LinearConstraint],
+    exponents: Sequence[int],
+    cfg: CEGConfig | None = None,
+) -> Polynomial | CEGFailure:
+    """Find a polynomial satisfying every constraint, or explain failure.
+
+    ``constraints`` must be sorted by reduced input (callers get this from
+    :func:`repro.core.reduced.reduced_intervals`).
+    """
+    cfg = cfg or CEGConfig()
+    exponents = tuple(exponents)
+    if not constraints:
+        return Polynomial(exponents, (0.0,) * len(exponents))
+
+    rs = np.array([c.r for c in constraints])
+    lo = np.array([c.lo for c in constraints])
+    hi = np.array([c.hi for c in constraints])
+    widths = hi - lo
+
+    sample_idx = set(_initial_sample_indices(len(constraints), cfg, widths))
+    sample = [constraints[i] for i in sorted(sample_idx)]
+
+    poly: Polynomial | None = None
+    for _ in range(cfg.max_rounds):
+        poly = _fit_rounded(sample, exponents, cfg)
+        if poly is None:
+            return CEGFailure("lp-infeasible", len(sample))
+        bad = _violations(poly, rs, lo, hi)
+        if bad.size == 0:
+            break
+        if bad.size > cfg.counterexample_cap:
+            pick = bad[np.linspace(0, bad.size - 1,
+                                   num=cfg.counterexample_cap, dtype=int)]
+        else:
+            pick = bad
+        before = len(sample_idx)
+        sample_idx.update(int(i) for i in pick)
+        if len(sample_idx) == before:
+            # The polynomial keeps violating constraints already sampled:
+            # coefficient rounding has made this degree hopeless here.
+            return CEGFailure("stuck", len(sample))
+        if len(sample_idx) > cfg.max_sample:
+            return CEGFailure("sample-threshold", len(sample_idx))
+        sample = [constraints[i] for i in sorted(sample_idx)]
+    else:
+        return CEGFailure("round-limit", len(sample_idx))
+
+    assert poly is not None
+    if cfg.lower_degree and len(exponents) > 1:
+        for nterms in range(1, len(exponents)):
+            shorter = _fit_rounded(sample, exponents[:nterms], cfg)
+            if shorter is not None and _violations(shorter, rs, lo, hi).size == 0:
+                return shorter
+    return poly

@@ -1,0 +1,33 @@
+"""Algorithm 1: rounding intervals for any supported target representation.
+
+The pipeline is generic in the target T — IEEE-style formats and posits
+share the encode/decode API but differ in how rounding intervals behave
+at the edges (posits saturate instead of overflowing).  This module
+provides the single dispatch point the generator uses.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.fp.formats import FloatFormat
+from repro.fp.rounding import RoundingInterval, rounding_interval
+from repro.posit.format import PositFormat, posit_rounding_interval
+
+__all__ = ["TargetFormat", "target_rounding_interval", "target_is_special"]
+
+TargetFormat = Union[FloatFormat, PositFormat]
+
+
+def target_rounding_interval(fmt: TargetFormat, y_bits: int) -> RoundingInterval:
+    """Rounding interval of a target value (Algorithm 1's RoundingInterval)."""
+    if isinstance(fmt, PositFormat):
+        return posit_rounding_interval(fmt, y_bits)
+    return rounding_interval(fmt, y_bits)
+
+
+def target_is_special(fmt: TargetFormat, bits: int) -> bool:
+    """True for patterns with no rounding interval (NaN / NaR)."""
+    if isinstance(fmt, PositFormat):
+        return fmt.is_nar(bits)
+    return fmt.is_nan(bits)

@@ -1,0 +1,214 @@
+"""Piecewise polynomials and their generation (Algorithm 3).
+
+``GenApproxFunc`` first separates negative from non-negative reduced
+inputs (their binary64 patterns share no prefix), then, per sign, tries a
+single polynomial and keeps doubling the number of bit-pattern-indexed
+sub-domains until every sub-domain admits a polynomial of the requested
+structure — or the budget (``max_index_bits``, paper: 2**14 sub-domains)
+is exhausted.
+
+The runtime object :class:`PiecewisePolynomial` selects the sub-domain
+with one shift and one mask of the reduced input's bit pattern, exactly
+as the generated C tables in RLIBM-32 do.  Sub-domains that received no
+constraint during generation (possible when the 32-bit pipeline runs on a
+sampled input set) inherit the nearest populated neighbour's polynomial,
+so every runtime lookup is defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
+from repro.core.polynomials import Polynomial
+from repro.core.splitting import DomainSplit, split_domain
+from repro.fp.bits import double_to_bits
+from repro.lp.solver import LinearConstraint
+
+__all__ = ["PiecewisePolynomial", "ApproxFunc", "PiecewiseConfig",
+           "gen_piecewise", "gen_approx_func"]
+
+
+@dataclass
+class PiecewiseConfig:
+    """Budget knobs of Algorithm 3."""
+
+    #: First split attempt (0 = try a single polynomial).
+    start_index_bits: int = 0
+    #: Largest split; the paper caps sub-domains at 2**14.
+    max_index_bits: int = 14
+    #: Inner counterexample-guided generation settings.
+    ceg: CEGConfig | None = None
+
+
+@dataclass(frozen=True)
+class PiecewisePolynomial:
+    """2**index_bits polynomials indexed by reduced-input bit pattern."""
+
+    index_bits: int
+    shift: int
+    polys: tuple[Polynomial, ...]
+
+    def index_of(self, r: float) -> int:
+        """Sub-domain index: shift + mask of the binary64 pattern."""
+        return (double_to_bits(r) >> self.shift) & ((1 << self.index_bits) - 1)
+
+    def __call__(self, r: float) -> float:
+        return self.polys[self.index_of(r)](r)
+
+    @property
+    def compiled(self):
+        """Closure with pre-bound tables and straight-line polynomials.
+
+        The runtime hot path of the generated library: one pack, one
+        shift, one mask, one table load, one straight-line evaluation —
+        mirroring RLIBM-32's generated C.
+        """
+        fn = self.__dict__.get("_compiled")
+        if fn is None:
+            if self.index_bits == 0:
+                fn = self.polys[0].compiled
+            else:
+                table = tuple(p.compiled for p in self.polys)
+                shift = self.shift
+                mask = (1 << self.index_bits) - 1
+                bits = double_to_bits
+
+                def fn(r, _t=table, _s=shift, _m=mask, _b=bits):
+                    return _t[(_b(r) >> _s) & _m](r)
+
+            object.__setattr__(self, "_compiled", fn)
+        return fn
+
+    @property
+    def max_degree(self) -> int:
+        return max(p.degree for p in self.polys)
+
+    @property
+    def max_terms(self) -> int:
+        return max(p.terms for p in self.polys)
+
+    @property
+    def npolys(self) -> int:
+        return len(self.polys)
+
+
+def _fill_gaps(polys: list[Polynomial | None]) -> list[Polynomial]:
+    """Give empty sub-domains the nearest populated neighbour's polynomial."""
+    populated = [i for i, p in enumerate(polys) if p is not None]
+    if not populated:
+        raise ValueError("no populated sub-domain")
+    filled: list[Polynomial] = []
+    for i, p in enumerate(polys):
+        if p is None:
+            j = min(populated, key=lambda k: abs(k - i))
+            p = polys[j]
+        filled.append(p)  # type: ignore[arg-type]
+    return filled
+
+
+def gen_piecewise(
+    constraints: Sequence[LinearConstraint],
+    exponents: Sequence[int],
+    cfg: PiecewiseConfig | None = None,
+) -> PiecewisePolynomial | None:
+    """GenApproxHelper + GenPiecewise for one sign of reduced inputs."""
+    cfg = cfg or PiecewiseConfig()
+    ceg = cfg.ceg or CEGConfig()
+    n = cfg.start_index_bits
+    while n <= cfg.max_index_bits:
+        split = split_domain(constraints, n)
+        if split.index_bits < n:
+            # the domain has no more pattern bits to split on
+            n = split.index_bits
+        polys: list[Polynomial | None] = []
+        ok = True
+        for group in split.groups:
+            if not group:
+                polys.append(None)
+                continue
+            result = gen_polynomial(group, exponents, ceg)
+            if isinstance(result, CEGFailure):
+                ok = False
+                break
+            polys.append(result)
+        if ok:
+            return PiecewisePolynomial(split.index_bits, split.shift,
+                                       tuple(_fill_gaps(polys)))
+        if n == cfg.max_index_bits:
+            return None
+        n += 1
+    return None
+
+
+@dataclass(frozen=True)
+class ApproxFunc:
+    """Approximation of one reduced elementary function f_i.
+
+    Negative and non-negative reduced inputs get independent piecewise
+    polynomials (their bit patterns share no prefix); either side may be
+    absent when the range reduction never produces that sign.
+    """
+
+    name: str
+    neg: PiecewisePolynomial | None
+    pos: PiecewisePolynomial | None
+
+    def __call__(self, r: float) -> float:
+        side = self.neg if r < 0.0 else self.pos
+        if side is None:
+            raise ValueError(
+                f"{self.name}: no polynomial for sign of r={r!r}")
+        return side(r)
+
+    @property
+    def compiled(self):
+        """Sign-dispatching closure over the compiled piecewise tables."""
+        fn = self.__dict__.get("_compiled")
+        if fn is None:
+            neg = self.neg.compiled if self.neg is not None else None
+            pos = self.pos.compiled if self.pos is not None else None
+            if neg is None and pos is not None:
+                fn = pos
+            elif pos is None and neg is not None:
+                fn = neg
+            else:
+                def fn(r, _n=neg, _p=pos):
+                    return _n(r) if r < 0.0 else _p(r)
+
+            object.__setattr__(self, "_compiled", fn)
+        return fn
+
+    @property
+    def npolys(self) -> int:
+        return sum(s.npolys for s in (self.neg, self.pos) if s is not None)
+
+    @property
+    def max_degree(self) -> int:
+        return max(s.max_degree for s in (self.neg, self.pos) if s is not None)
+
+    @property
+    def max_terms(self) -> int:
+        return max(s.max_terms for s in (self.neg, self.pos) if s is not None)
+
+
+def gen_approx_func(
+    name: str,
+    constraints: Sequence[LinearConstraint],
+    exponents: Sequence[int],
+    cfg: PiecewiseConfig | None = None,
+) -> ApproxFunc | None:
+    """GenApproxFunc: split by sign, then generate piecewise polynomials."""
+    neg = [c for c in constraints if c.r < 0.0]
+    pos = [c for c in constraints if c.r >= 0.0]
+    neg_pp = pos_pp = None
+    if neg:
+        neg_pp = gen_piecewise(neg, exponents, cfg)
+        if neg_pp is None:
+            return None
+    if pos:
+        pos_pp = gen_piecewise(pos, exponents, cfg)
+        if pos_pp is None:
+            return None
+    return ApproxFunc(name, neg_pp, pos_pp)

@@ -1,0 +1,176 @@
+"""Algorithm 2: reduced rounding intervals.
+
+Range reduction turns the constraint "the final answer for x must land in
+its rounding interval" into constraints on the outputs of the reduced
+elementary functions f_i.  When output compensation involves *several*
+f_i (sinpi/cospi need both sinpi(R) and cospi(R); sinh/cosh need both
+sinh(R) and cosh(R)), the freedom available to each f_i is coupled; the
+paper's Algorithm 2 deduces it by
+
+1. starting every f_i at its correctly rounded double value v_i,
+2. stepping all lower bounds down *simultaneously*, one representable
+   double at a time, while output compensation still lands inside the
+   rounding interval of x, and
+3. doing the same upwards.
+
+Because output compensation is monotonic in each value (all in the same
+direction), the predicate "the all-lower corner stays inside [l, h]" is
+monotone in the step count, so we implement the walk as the paper
+suggests — exponential probing followed by binary search over the number
+of representable-double steps — instead of one ulp at a time.
+
+Multiple inputs x can map to the same reduced input r; their per-x reduced
+intervals are intersected (Section 3.2).  An empty intersection means the
+range reduction cannot support a correct implementation and is reported
+as :class:`RangeReductionError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.fp.bits import advance_double
+from repro.fp.rounding import RoundingInterval
+from repro.lp.solver import LinearConstraint
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+from repro.rangereduction.base import RangeReduction, RangeReductionError
+
+__all__ = ["ReducedConstraintSet", "reduced_intervals", "max_steps_within"]
+
+#: Upper bound on the widening binary search: 2**62 steps covers the
+#: whole double ordinal range.
+_MAX_STEP_LOG2 = 62
+
+
+def max_steps_within(predicate: Callable[[int], bool]) -> int:
+    """Largest k >= 0 with predicate(k) true, for monotone predicates.
+
+    ``predicate(0)`` must hold.  Uses exponential probing then binary
+    search; caps at 2**_MAX_STEP_LOG2.
+    """
+    if predicate(1) is False:
+        return 0
+    # exponential phase: find first failing power of two
+    hi = 2
+    while hi <= (1 << _MAX_STEP_LOG2) and predicate(hi):
+        hi <<= 1
+    lo = hi >> 1  # known good
+    if hi > (1 << _MAX_STEP_LOG2):
+        return lo
+    while hi - lo > 1:
+        mid = (lo + hi) >> 1
+        if predicate(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+#: How far the seed may be nudged when the exact result sits on a
+#: rounding boundary (a few OC round-off ulps in practice).
+_MAX_NUDGE = 128
+
+
+def _nudge_into_interval(rr, red, v, iv):
+    """Step all components together until compensation lands in iv."""
+    for sign in (-1, 1):
+        for k in range(1, _MAX_NUDGE + 1):
+            vals = [advance_double(vi, sign * k) for vi in v]
+            y = rr.compensate(vals, red.ctx)
+            if not math.isnan(y) and iv.lo <= y <= iv.hi:
+                return vals
+    return None
+
+
+@dataclass
+class ReducedConstraintSet:
+    """Merged reduced constraints for every reduced elementary function."""
+
+    #: fn_name -> sorted list of constraints (one per unique reduced r).
+    constraints: dict[str, list[LinearConstraint]]
+    #: Number of (x, interval) pairs processed.
+    input_count: int = 0
+    #: Number of unique reduced inputs.
+    reduced_count: int = 0
+
+
+def reduced_intervals(
+    pairs: Iterable[tuple[float, RoundingInterval]],
+    rr: RangeReduction,
+    oracle: Oracle = default_oracle,
+) -> ReducedConstraintSet:
+    """Deduce reduced rounding intervals (Algorithm 2 + merging).
+
+    Parameters
+    ----------
+    pairs:
+        ``(x, rounding_interval_of_f(x))`` for every non-special input.
+    rr:
+        The range reduction / output compensation under test.
+    oracle:
+        Correctly rounded oracle used for the initial guesses v_i.
+    """
+    fn_names = rr.fn_names
+    nfn = len(fn_names)
+    merged: dict[str, dict[float, tuple[float, float]]] = {
+        name: {} for name in fn_names}
+    count = 0
+
+    for x, iv in pairs:
+        count += 1
+        red = rr.reduce(x)
+        r = red.r
+        v = [oracle.round_to_double(fn, r) for fn in fn_names]
+        y0 = rr.compensate(v, red.ctx)
+        if not (iv.lo <= y0 <= iv.hi):
+            # The exact result can sit exactly on a rounding boundary
+            # (e.g. exp10(2) = 100 landing on a tie), so the double
+            # round-off of output compensation can push the seed a couple
+            # of ulps outside.  Nudge all components simultaneously along
+            # the monotone direction until compensation enters the
+            # interval; if a small nudge cannot reach it, the range
+            # reduction genuinely loses too much precision.
+            v = _nudge_into_interval(rr, red, v, iv)
+            if v is None:
+                raise RangeReductionError(
+                    f"{rr.name}: correctly rounded components at x={x!r} "
+                    f"(r={r!r}) compensate to {y0!r}, outside {iv}; "
+                    "redesign the range reduction or increase the "
+                    "precision of H")
+
+        def corner_ok(k: int, sign: int) -> bool:
+            vals = [advance_double(v[i], sign * k) for i in range(nfn)]
+            y = rr.compensate(vals, red.ctx)
+            if math.isnan(y):
+                return False
+            return iv.lo <= y <= iv.hi
+
+        k_lo = max_steps_within(lambda k: corner_ok(k, -1))
+        k_hi = max_steps_within(lambda k: corner_ok(k, +1))
+
+        for i, fn in enumerate(fn_names):
+            lo_i = advance_double(v[i], -k_lo)
+            hi_i = advance_double(v[i], k_hi)
+            slot = merged[fn].get(r)
+            if slot is None:
+                merged[fn][r] = (lo_i, hi_i)
+            else:
+                nlo = max(slot[0], lo_i)
+                nhi = min(slot[1], hi_i)
+                if nlo > nhi:
+                    raise RangeReductionError(
+                        f"{rr.name}/{fn}: no common reduced interval at "
+                        f"r={r!r} (while processing x={x!r}); the range "
+                        "reduction must be redesigned")
+                merged[fn][r] = (nlo, nhi)
+
+    out: dict[str, list[LinearConstraint]] = {}
+    reduced_count = 0
+    for fn in fn_names:
+        items = sorted(merged[fn].items())
+        out[fn] = [LinearConstraint(r, lo, hi) for r, (lo, hi) in items]
+        reduced_count = max(reduced_count, len(items))
+    return ReducedConstraintSet(out, input_count=count,
+                                reduced_count=reduced_count)

@@ -1,0 +1,94 @@
+"""Input samplers over target representations.
+
+The paper samples inputs "proportional to the number of representable
+values in a given input domain".  For a binary representation that is
+exactly *uniform sampling over ordinals* (the monotone integer numbering
+of the values), which these helpers implement for both IEEE formats and
+posits.  Exhaustive enumeration is provided for the small formats used to
+run the pipeline end-to-end in tests, and boundary enumeration densifies
+the neighbourhoods of special-case thresholds where the 32-bit sampled
+pipeline needs certainty.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.intervals import TargetFormat
+from repro.fp.formats import FloatFormat
+from repro.posit.format import PositFormat
+
+__all__ = [
+    "ordinal_limit",
+    "all_values",
+    "sample_values",
+    "boundary_values",
+    "value_to_ordinal",
+]
+
+
+def ordinal_limit(fmt: TargetFormat) -> int:
+    """Largest ordinal of a finite, non-special value (symmetric range)."""
+    if isinstance(fmt, PositFormat):
+        return fmt.maxpos_bits
+    assert isinstance(fmt, FloatFormat)
+    return fmt.inf_bits - 1
+
+
+def value_to_ordinal(fmt: TargetFormat, x: float) -> int:
+    """Ordinal of the format value nearest to the double ``x``."""
+    return fmt.to_ordinal(fmt.from_double(x))
+
+
+def all_values(fmt: TargetFormat, include_negative: bool = True) -> Iterator[float]:
+    """Every finite (non-NaR) value of the format, ascending, as doubles."""
+    limit = ordinal_limit(fmt)
+    start = -limit if include_negative else 0
+    for n in range(start, limit + 1):
+        yield fmt.to_double(fmt.from_ordinal(n))
+
+
+def sample_values(
+    fmt: TargetFormat,
+    count: int,
+    rng: random.Random,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> list[float]:
+    """Sorted unique values, uniform over ordinals of [lo, hi].
+
+    ``lo``/``hi`` are doubles; they default to the format's full finite
+    range.  Sampling ordinals uniformly is the paper's
+    representable-value-proportional sampling.
+    """
+    limit = ordinal_limit(fmt)
+    olo = -limit if lo is None else value_to_ordinal(fmt, lo)
+    ohi = limit if hi is None else value_to_ordinal(fmt, hi)
+    if olo > ohi:
+        raise ValueError("empty sampling range")
+    span = ohi - olo + 1
+    if count >= span:
+        ordinals: Iterable[int] = range(olo, ohi + 1)
+    else:
+        ordinals = sorted({rng.randrange(olo, ohi + 1) for _ in range(count)})
+    return [fmt.to_double(fmt.from_ordinal(n)) for n in ordinals]
+
+
+def boundary_values(
+    fmt: TargetFormat,
+    centers: Sequence[float],
+    radius: int = 64,
+) -> list[float]:
+    """All values within ``radius`` ordinals of each center (deduplicated).
+
+    Used to exhaustively cover the neighbourhoods of special-case
+    thresholds (overflow cut-offs, domain edges, tiny-input shortcuts).
+    """
+    limit = ordinal_limit(fmt)
+    seen: set[int] = set()
+    for c in centers:
+        n0 = value_to_ordinal(fmt, c)
+        for n in range(max(-limit, n0 - radius), min(limit, n0 + radius) + 1):
+            seen.add(n)
+    return [fmt.to_double(fmt.from_ordinal(n)) for n in sorted(seen)]

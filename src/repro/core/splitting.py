@@ -1,0 +1,74 @@
+"""Bit-pattern based domain splitting (Algorithm 3's SplitDomain).
+
+To make piecewise-polynomial lookup cheap, the paper indexes sub-domains
+with bits of the reduced input's binary64 pattern: all reduced inputs of
+one sign share a common prefix of leading bits (sign, and high exponent
+bits), and the next n bits partition the domain into 2**n contiguous
+sub-domains identified with one shift and one mask.
+
+The reduced input 0 is special — its pattern shares no prefix with the
+rest (the paper notes the large gap below 2**-32 for sinpi) — but the
+index formula maps it to sub-domain 0 deterministically, so its
+constraint simply joins that group.  The caller must pass constraints of
+a single sign (Algorithm 3 splits negative/non-negative first, exactly
+because the sign bit breaks the common prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fp.bits import double_to_bits
+from repro.lp.solver import LinearConstraint
+
+__all__ = ["DomainSplit", "split_domain"]
+
+
+@dataclass(frozen=True)
+class DomainSplit:
+    """A 2**index_bits-way partition of same-sign reduced inputs."""
+
+    #: Leading bits shared by every (non-zero) reduced input pattern.
+    prefix_bits: int
+    #: Number of index bits n; there are 2**n groups.
+    index_bits: int
+    #: Right-shift applied to the 64-bit pattern before masking.
+    shift: int
+    #: Constraints per group, indexed by the n-bit pattern.
+    groups: tuple[tuple[LinearConstraint, ...], ...]
+
+    def index_of(self, r: float) -> int:
+        """Sub-domain index of a reduced input (two bit operations)."""
+        return (double_to_bits(r) >> self.shift) & ((1 << self.index_bits) - 1)
+
+
+def split_domain(constraints: Sequence[LinearConstraint], index_bits: int) -> DomainSplit:
+    """Partition constraints into 2**index_bits bit-pattern groups.
+
+    With ``index_bits == 0`` the result is the single-polynomial case
+    (one group, everything in it).
+    """
+    if index_bits < 0:
+        raise ValueError("index_bits must be non-negative")
+    nonzero = [double_to_bits(c.r) for c in constraints if c.r != 0.0]
+    if not nonzero:
+        # only r == 0 (or nothing): a single trivial group
+        return DomainSplit(64, 0, 0, (tuple(constraints),))
+    pmin = min(nonzero)
+    pmax = max(nonzero)
+    if (pmin ^ pmax) & (1 << 63):
+        raise ValueError("split_domain requires same-sign reduced inputs; "
+                         "separate negative and non-negative first")
+    diff = pmin ^ pmax
+    prefix = 64 if diff == 0 else 64 - diff.bit_length()
+    index_bits = min(index_bits, 64 - prefix)
+    shift = 64 - prefix - index_bits
+    mask = (1 << index_bits) - 1
+
+    buckets: list[list[LinearConstraint]] = [[] for _ in range(1 << index_bits)]
+    for c in constraints:
+        idx = (double_to_bits(c.r) >> shift) & mask
+        buckets[idx].append(c)
+    return DomainSplit(prefix, index_bits, shift,
+                       tuple(tuple(b) for b in buckets))

@@ -1,0 +1,111 @@
+"""Validation of generated functions against the oracle.
+
+The final step of the paper's pipeline is validating the generated
+piecewise polynomials over the whole input domain.  For formats small
+enough to enumerate, :func:`validate` checks every input exhaustively.
+For the 32-bit targets — where a pure-Python sweep of 2**32 inputs is
+impractical — the sampled pipeline runs an *outer* counterexample loop
+(:func:`generate_validated`): generate from the current input set,
+validate against a (fresh, larger) validation set, feed any mismatching
+inputs back into generation, repeat.  Inputs that participated in
+generation can never mismatch (the CEG loop discharges their constraints
+and monotone output compensation preserves interval membership), so the
+loop only ever adds genuinely new counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.generator import (FunctionSpec, GeneratedFunction, generate,
+                                  target_bits)
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+
+__all__ = ["Mismatch", "reference_bits", "validate", "generate_validated"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One wrongly rounded input."""
+
+    x: float
+    got_bits: int
+    want_bits: int
+
+
+def reference_bits(spec: FunctionSpec, x: float,
+                   oracle: Oracle = default_oracle) -> int:
+    """The correct T result for ``x``: special-case layer, else oracle."""
+    s = spec.rr.special(x)
+    if s is not None:
+        return target_bits(spec.target, s)
+    return oracle.round_to_bits(spec.name, x, spec.target)
+
+
+def validate(
+    fn: GeneratedFunction,
+    inputs: Iterable[float],
+    oracle: Oracle = default_oracle,
+    limit: int | None = None,
+) -> list[Mismatch]:
+    """Compare the generated function to the oracle on every input.
+
+    Returns at most ``limit`` mismatches (None = all).
+    """
+    bad: list[Mismatch] = []
+    for x in inputs:
+        got = fn.evaluate_bits(x)
+        want = reference_bits(fn.spec, x, oracle)
+        if got != want:
+            bad.append(Mismatch(x, got, want))
+            if limit is not None and len(bad) >= limit:
+                break
+    return bad
+
+
+def generate_validated(
+    spec: FunctionSpec,
+    inputs: Sequence[float],
+    validation_inputs: Sequence[float] | Callable[[int], Sequence[float]] = (),
+    oracle: Oracle = default_oracle,
+    max_rounds: int = 4,
+    clean_rounds: int = 1,
+) -> tuple[GeneratedFunction, int]:
+    """Outer counterexample loop for sampled (32-bit) generation.
+
+    ``validation_inputs`` is either a fixed sequence or a factory called
+    with the round number — the factory variant draws *fresh* samples
+    every round, so acceptance requires ``clean_rounds`` consecutive
+    rounds with no mismatch on inputs the generator has never seen
+    (re-validating against one fixed set would stop at the first set it
+    happens to satisfy).
+
+    Returns the generated function and the number of counterexamples
+    that had to be folded back into the input set.  Raises if validation
+    still finds mismatches after ``max_rounds``.
+    """
+    factory = (validation_inputs if callable(validation_inputs)
+               else lambda _round: validation_inputs)
+    work = list(inputs)
+    added = 0
+    clean = 0
+    fn: GeneratedFunction | None = None
+    for round_no in range(max_rounds):
+        if fn is None:
+            fn = generate(spec, work, oracle)
+        bad = validate(fn, factory(round_no), oracle)
+        if not bad:
+            clean += 1
+            if clean >= clean_rounds:
+                return fn, added
+            continue
+        clean = 0
+        work.extend(m.x for m in bad)
+        added += len(bad)
+        fn = None
+    if fn is not None and clean > 0:
+        return fn, added
+    raise RuntimeError(
+        f"{spec.name}: validation still failing after {max_rounds} "
+        f"generation rounds ({added} counterexamples added)")

@@ -1,0 +1,19 @@
+"""Evaluation harness: correctness audits, timing, hard cases, sweeps."""
+
+from repro.eval.correctness import (CorrectnessRow, audit_function, build_pool,
+                                    render_rows)
+from repro.eval.hardcases import boundary_distance, mine_hard_cases
+from repro.eval.subdomains import SweepPoint, render_sweep, subdomain_sweep
+from repro.eval.tables import GenerationRow, render_table3, table3_rows
+from repro.eval.timing import (SpeedupRow, geomean, render_speedups,
+                               speedup_rows, time_batch, time_scalar,
+                               timing_inputs)
+
+__all__ = [
+    "CorrectnessRow", "audit_function", "build_pool", "render_rows",
+    "boundary_distance", "mine_hard_cases",
+    "SweepPoint", "render_sweep", "subdomain_sweep",
+    "GenerationRow", "render_table3", "table3_rows",
+    "SpeedupRow", "geomean", "render_speedups", "speedup_rows",
+    "time_batch", "time_scalar", "timing_inputs",
+]

@@ -1,0 +1,124 @@
+"""Correctness audits: Tables 1 and 2.
+
+For each elementary function the harness builds an input pool — a
+representable-value-proportional random sample over the function's
+domain, exhaustive neighbourhoods of the special-case boundaries, and
+mined hard cases (results grazing rounding boundaries; these are what
+defeat the double-precision baselines) — and counts, for RLIBM-32 and
+every baseline, the inputs whose final rounded result differs from the
+correctly rounded one.
+
+The paper enumerates all 2**32 inputs; a pure-Python sweep cannot
+(DESIGN.md §3), so the tables report ``wrong/segment`` counts over the
+pool and the *rates* are what reproduces Table 1/2's shape: the RLIBM
+column must be all-zero, float baselines wrong on a visible fraction,
+double baselines only on (some of) the hard cases.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselineLibrary
+from repro.core.generator import GeneratedFunction, target_bits
+from repro.core.intervals import TargetFormat
+from repro.core.sampling import boundary_values, sample_values
+from repro.eval.hardcases import mine_hard_cases
+from repro.rangereduction.domains import boundary_centers, sampling_domain
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+from repro.rangereduction import reduction_for
+
+__all__ = ["CorrectnessRow", "build_pool", "audit_function", "render_rows"]
+
+
+@dataclass
+class CorrectnessRow:
+    """One function's wrong-result counts across libraries."""
+
+    function: str
+    pool_size: int
+    #: library display name -> wrong count, or None for N/A.
+    wrong: dict[str, int | None] = field(default_factory=dict)
+
+
+def build_pool(
+    fn_name: str,
+    fmt: TargetFormat,
+    n_random: int = 3000,
+    n_hard: int = 200,
+    hard_candidates: int = 6000,
+    seed: int = 7,
+    oracle: Oracle = default_oracle,
+) -> list[float]:
+    """The Table 1/2 input pool for one function."""
+    rr = reduction_for(fn_name, fmt)
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    rng = random.Random(seed)
+    pool = sample_values(fmt, n_random, rng, lo, hi)
+    pool += boundary_values(fmt, boundary_centers(fn_name, rr, lo, hi), 32)
+    if n_hard:
+        cands = [x for x in sample_values(fmt, hard_candidates,
+                                          random.Random(seed + 1), lo, hi)
+                 if rr.special(x) is None]
+        pool += mine_hard_cases(fn_name, fmt, cands, n_hard, oracle)
+    # dedupe, keep order stable for reproducibility
+    return sorted(set(pool))
+
+
+def audit_function(
+    fn_name: str,
+    fmt: TargetFormat,
+    rlibm: GeneratedFunction | None,
+    baselines: dict[str, BaselineLibrary],
+    pool: list[float],
+    oracle: Oracle = default_oracle,
+) -> CorrectnessRow:
+    """Count wrong results for RLIBM and each baseline over the pool."""
+    rr = reduction_for(fn_name, fmt)
+    refs: dict[float, int] = {}
+    for x in pool:
+        s = rr.special(x)
+        refs[x] = (target_bits(fmt, s) if s is not None
+                   else oracle.round_to_bits(fn_name, x, fmt))
+
+    row = CorrectnessRow(fn_name, len(pool))
+    if rlibm is not None:
+        row.wrong["RLIBM-32"] = sum(
+            1 for x in pool if rlibm.evaluate_bits(x) != refs[x])
+    for name, lib in baselines.items():
+        if not lib.supports(fn_name):
+            row.wrong[name] = None
+            continue
+        wrong = 0
+        for x in pool:
+            got = lib.call(fn_name, x)
+            if target_bits(fmt, got) != refs[x]:
+                wrong += 1
+        row.wrong[name] = wrong
+    return row
+
+
+def render_rows(rows: list[CorrectnessRow], title: str) -> str:
+    """Paper-style text table: checkmark for 0 wrong, X(count) otherwise."""
+    if not rows:
+        return title + "\n(no rows)\n"
+    libs = list(rows[0].wrong)
+    widths = [max(10, len(n) + 2) for n in libs]
+    out = [title,
+           f"(wrong results per pool; pool sizes ~{rows[0].pool_size} "
+           "inputs incl. mined hard cases)"]
+    header = f"{'function':10s}" + "".join(
+        f"{n:>{w}s}" for n, w in zip(libs, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for name, w in zip(libs, widths):
+            v = row.wrong[name]
+            cell = ("N/A" if v is None else
+                    "ok" if v == 0 else f"X({v})")
+            cells.append(f"{cell:>{w}s}")
+        out.append(f"{row.function:10s}" + "".join(cells))
+    return "\n".join(out) + "\n"

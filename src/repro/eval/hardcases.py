@@ -1,0 +1,76 @@
+"""Hard-case mining: inputs whose result grazes a rounding boundary.
+
+The table maker's dilemma concentrates all difficulty in inputs whose
+exact result lies a tiny fraction of an ulp away from a rounding
+boundary.  The paper handles them by construction — it enumerates *all*
+inputs, so every hard case lands in the constraint set, and its
+"highly constrained interval" sampling rule pushes them into the LP
+sample.  Our sampled 32-bit pipeline mines them explicitly instead:
+
+* rank candidate inputs by the relative distance of the exact result
+  from the nearest edge of its rounding interval (computed exactly, via
+  the oracle's rational bracket), and
+* feed the hardest candidates into both the generation input set and the
+  Table 1/2 correctness pools — they are precisely the inputs that
+  defeat the double-precision baselines (X(1)..X(5) in Table 1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.intervals import TargetFormat, target_rounding_interval
+from repro.oracle.functions import get_function
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+
+__all__ = ["boundary_distance", "mine_hard_cases"]
+
+#: Bracketing precision for the distance estimate; generous for 32-bit
+#: targets whose hard cases need ~2**-60 resolution.
+_PREC = 256
+
+
+def boundary_distance(
+    fn_name: str,
+    x: float,
+    fmt: TargetFormat,
+    oracle: Oracle = default_oracle,
+) -> float:
+    """Distance of f(x) from the nearest rounding boundary, in interval
+    widths (0 = exactly on a boundary, 0.5 = dead centre).
+
+    Exactly representable results return 0.5 (nothing to graze), and
+    results whose rounding interval is unbounded (overflow/saturation
+    regions) return 0.5 as well.
+    """
+    fn = get_function(fn_name)
+    lo_br, hi_br, exact = oracle.bracket(fn, x, _PREC)
+    if exact:
+        return 0.5
+    q = (lo_br + hi_br) / 2
+    y_bits = fmt.from_fraction(q)
+    iv = target_rounding_interval(fmt, y_bits)
+    if iv.lo == float("-inf") or iv.hi == float("inf"):
+        return 0.5
+    lo, hi = Fraction(iv.lo), Fraction(iv.hi)
+    width = hi - lo
+    if width == 0:
+        return 0.5
+    d = min(q - lo, hi - q) / width
+    return max(0.0, min(0.5, float(d)))
+
+
+def mine_hard_cases(
+    fn_name: str,
+    fmt: TargetFormat,
+    candidates: Iterable[float],
+    keep: int,
+    oracle: Oracle = default_oracle,
+) -> list[float]:
+    """The ``keep`` candidates whose results graze boundaries hardest."""
+    scored: list[tuple[float, float]] = []
+    for x in candidates:
+        scored.append((boundary_distance(fn_name, x, fmt, oracle), x))
+    scored.sort(key=lambda t: t[0])
+    return [x for _, x in scored[:keep]]

@@ -1,0 +1,91 @@
+"""Figure 5: performance vs number of piecewise sub-domains.
+
+The paper regenerates log2/log10 with 2**0 .. 2**12 sub-domains and
+measures the runtime change relative to the single polynomial, marking
+the split counts where the polynomial degree drops.  We do the same with
+forced ``start_index_bits == max_index_bits`` piecewise budgets over a
+sampled input set; each variant is validated before being timed.  The
+sweep is capped (default 2**8) to keep the pure-Python regeneration
+affordable; the curve's shape — flat-to-slightly-slower at first, then a
+speedup as the degree drops, flattening once table lookup dominates — is
+the reproduction target.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.generator import FunctionSpec, generate
+from repro.core.piecewise import PiecewiseConfig
+from repro.core.sampling import sample_values
+from repro.core.validate import validate
+from repro.eval.timing import time_scalar, timing_inputs
+from repro.fp.formats import FLOAT32
+from repro.rangereduction.domains import sampling_domain
+from repro.rangereduction import reduction_for
+
+__all__ = ["SweepPoint", "subdomain_sweep", "render_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One forced split size of the Figure 5 sweep."""
+
+    index_bits: int
+    ns_per_call: float
+    max_degree: int
+    max_terms: int
+    mismatches: int
+
+    def speedup_over(self, base_ns: float) -> float:
+        return base_ns / self.ns_per_call
+
+
+def subdomain_sweep(
+    fn_name: str,
+    max_bits: int = 8,
+    n_inputs: int = 6000,
+    seed: int = 11,
+) -> list[SweepPoint]:
+    """Regenerate ``fn_name`` at forced split counts 2**0..2**max_bits."""
+    fmt = FLOAT32
+    rr = reduction_for(fn_name, fmt)
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    inputs = sample_values(fmt, n_inputs, random.Random(seed), lo, hi)
+    check = sample_values(fmt, n_inputs // 3, random.Random(seed + 1), lo, hi)
+    xs = timing_inputs(fn_name, fmt, 512)
+
+    points = []
+    for bits in range(0, max_bits + 1):
+        spec = FunctionSpec(fn_name, fmt, rr,
+                            PiecewiseConfig(start_index_bits=bits,
+                                            max_index_bits=bits))
+        g = generate(spec, inputs)
+        bad = validate(g, check)
+        stats = next(iter(g.stats.per_fn.values()))
+        points.append(SweepPoint(
+            index_bits=bits,
+            ns_per_call=time_scalar(g.evaluate, xs),
+            max_degree=stats["degree"],
+            max_terms=stats["terms"],
+            mismatches=len(bad),
+        ))
+    return points
+
+
+def render_sweep(fn_name: str, points: list[SweepPoint]) -> str:
+    """Figure 5 as text: speedup series with degree-drop markers."""
+    base = points[0].ns_per_call
+    out = [f"Figure 5 series for {fn_name}: speedup vs single polynomial",
+           f"{'subdomains':>12s} {'speedup':>9s} {'degree':>7s} "
+           f"{'terms':>6s} {'validated':>10s}"]
+    prev_deg = points[0].max_degree
+    for p in points:
+        marker = " *degree drop*" if p.max_degree < prev_deg else ""
+        prev_deg = min(prev_deg, p.max_degree)
+        out.append(f"{2 ** p.index_bits:>12d} "
+                   f"{p.speedup_over(base):>8.2f}x {p.max_degree:>7d} "
+                   f"{p.max_terms:>6d} "
+                   f"{'ok' if p.mismatches == 0 else 'FAIL':>10s}{marker}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,74 @@
+"""Table 3 (generation statistics) and shared report helpers."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+
+from repro.libm.runtime import FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS
+
+__all__ = ["GenerationRow", "table3_rows", "render_table3"]
+
+
+@dataclass
+class GenerationRow:
+    """One row of Table 3, read from the frozen library data."""
+
+    function: str
+    target: str
+    gen_time_min: float
+    oracle_share: float
+    reduced_inputs: int
+    npolys: dict[str, int]
+    degree: dict[str, int]
+    terms: dict[str, int]
+    final_check: tuple[int, int] | None  # (misses, n)
+
+
+def table3_rows(target: str = "float32") -> list[GenerationRow]:
+    """Generation statistics of every shipped function for the target."""
+    pkg = f"repro.libm.data_{target}"
+    names = FLOAT32_FUNCTIONS if target == "float32" else POSIT32_FUNCTIONS
+    rows = []
+    for name in names:
+        try:
+            mod = importlib.import_module(f"{pkg}.{name}")
+        except ImportError:
+            continue
+        st = mod.DATA["stats"]
+        per = st["per_fn"]
+        fc = st.get("final_check")
+        total = st.get("total_time_s", st["gen_time_s"]) or 1.0
+        rows.append(GenerationRow(
+            function=name,
+            target=target,
+            gen_time_min=total / 60.0,
+            oracle_share=st["oracle_time_s"] / max(st["gen_time_s"], 1e-9),
+            reduced_inputs=st["reduced_count"],
+            npolys={k: v["npolys"] for k, v in per.items()},
+            degree={k: v["degree"] for k, v in per.items()},
+            terms={k: v["terms"] for k, v in per.items()},
+            final_check=None if fc is None else (fc["misses"], fc["n"]),
+        ))
+    return rows
+
+
+def render_table3(rows: list[GenerationRow], title: str) -> str:
+    """Paper-style Table 3: time, reduced inputs, polys, degree, terms."""
+    out = [title,
+           f"{'f(x)':8s} {'gen(min)':>9s} {'reduced':>9s} "
+           f"{'#polys':>16s} {'degree':>8s} {'terms':>7s} {'residual':>10s}"]
+    out.append("-" * 72)
+    for r in rows:
+        polys = "+".join(str(v) for v in r.npolys.values())
+        deg = max(r.degree.values())
+        terms = max(r.terms.values())
+        resid = ("n/a" if r.final_check is None
+                 else f"{r.final_check[0]}/{r.final_check[1]}")
+        out.append(f"{r.function:8s} {r.gen_time_min:>9.1f} "
+                   f"{r.reduced_inputs:>9d} {polys:>16s} {deg:>8d} "
+                   f"{terms:>7d} {resid:>10s}")
+    out.append("")
+    out.append("(#polys lists the piecewise table sizes of each reduced "
+               "elementary function; residual = final sampled check)")
+    return "\n".join(out) + "\n"

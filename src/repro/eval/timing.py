@@ -1,0 +1,148 @@
+"""Performance measurement: Figures 3, 4 and the vectorization note.
+
+The paper measures cycles per input with hardware counters over all
+2**32 inputs; we measure wall-clock nanoseconds per call over shared
+random input sets with ``time.perf_counter_ns`` (best of N repeats), and
+report *relative* speedups — which is what every figure in the paper
+shows.  All contenders run on the same pure-Python substrate
+(DESIGN.md §3), so the ratios reflect each design's cost model:
+piecewise-low-degree (RLIBM) vs single-high-degree mini-max (glibc/Intel
+models) vs evaluate-verify-escalate (CR-LIBM).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineLibrary
+from repro.core.generator import GeneratedFunction
+from repro.core.intervals import TargetFormat
+from repro.core.sampling import sample_values
+from repro.rangereduction.domains import sampling_domain
+from repro.rangereduction import reduction_for
+
+__all__ = ["SpeedupRow", "time_scalar", "time_batch", "speedup_rows",
+           "geomean", "render_speedups", "timing_inputs"]
+
+
+def timing_inputs(fn_name: str, fmt: TargetFormat, n: int = 1024,
+                  seed: int = 99) -> list[float]:
+    """Shared random inputs inside the function's non-special domain."""
+    rr = reduction_for(fn_name, fmt)
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    xs = sample_values(fmt, n, random.Random(seed), lo, hi)
+    return [x for x in xs if rr.special(x) is None]
+
+
+def time_scalar(fn: Callable[[float], float], xs: Sequence[float],
+                repeats: int = 5) -> float:
+    """Best-of-N nanoseconds per call."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        for x in xs:
+            fn(x)
+        dt = (time.perf_counter_ns() - t0) / len(xs)
+        best = min(best, dt)
+    return best
+
+
+def time_batch(fn: Callable[[Sequence[float]], np.ndarray],
+               xs: Sequence[float], repeats: int = 5) -> float:
+    """Best-of-N nanoseconds per element for array-at-a-time evaluation."""
+    arr = list(xs)
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn(arr)
+        dt = (time.perf_counter_ns() - t0) / len(arr)
+        best = min(best, dt)
+    return best
+
+
+@dataclass
+class SpeedupRow:
+    """Per-function timings (ns/call) and speedups vs RLIBM-32."""
+
+    function: str
+    rlibm_ns: float
+    baseline_ns: dict[str, float | None] = field(default_factory=dict)
+
+    def speedup(self, name: str) -> float | None:
+        ns = self.baseline_ns.get(name)
+        if ns is None:
+            return None
+        return ns / self.rlibm_ns
+
+
+def speedup_rows(
+    functions: Sequence[str],
+    fmt: TargetFormat,
+    rlibm_for: Callable[[str], GeneratedFunction],
+    baselines: dict[str, BaselineLibrary],
+    n_inputs: int = 512,
+    repeats: int = 3,
+) -> list[SpeedupRow]:
+    """Time every function against every baseline on shared inputs."""
+    from repro.core.generator import target_rounder
+
+    rnd = target_rounder(fmt)
+    rows = []
+    for fn_name in functions:
+        xs = timing_inputs(fn_name, fmt, n_inputs)
+        g = rlibm_for(fn_name)
+        row = SpeedupRow(fn_name, time_scalar(g.evaluate, xs, repeats))
+        for name, lib in baselines.items():
+            if not lib.supports(fn_name):
+                row.baseline_ns[name] = None
+                continue
+            # the paper's methodology: call the library in double, then
+            # round the result back to the target — both sides pay RN_T
+            call = lib.call
+            row.baseline_ns[name] = time_scalar(
+                lambda x, _c=call, _f=fn_name, _r=rnd: _r(_c(_f, x)),
+                xs, repeats)
+        rows.append(row)
+    return rows
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's per-figure summary bar)."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return math.nan
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def render_speedups(rows: list[SpeedupRow], title: str) -> str:
+    """Paper-style speedup table with a geomean row."""
+    if not rows:
+        return title + "\n(no rows)\n"
+    libs = list(rows[0].baseline_ns)
+    widths = [max(10, len(n) + 2) for n in libs]
+    out = [title, "(speedup of RLIBM-32 over each library; >1 means "
+                  "RLIBM-32 is faster)"]
+    header = f"{'function':10s}" + "".join(
+        f"{n:>{w}s}" for n, w in zip(libs, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for name, w in zip(libs, widths):
+            s = row.speedup(name)
+            cells.append(f"{'N/A' if s is None else f'{s:.2f}x':>{w}s}")
+        out.append(f"{row.function:10s}" + "".join(cells))
+    cells = []
+    for name, w in zip(libs, widths):
+        g = geomean([r.speedup(name) for r in rows
+                     if r.speedup(name) is not None])
+        cells.append(f"{'N/A' if math.isnan(g) else f'{g:.2f}x':>{w}s}")
+    out.append("-" * len(header))
+    out.append(f"{'geomean':10s}" + "".join(cells))
+    return "\n".join(out) + "\n"

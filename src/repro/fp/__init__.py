@@ -1,0 +1,25 @@
+"""Floating point substrate: bit tricks, parametric formats, rounding intervals."""
+
+from repro.fp.bits import (
+    advance_double,
+    bits_to_double,
+    common_leading_bits,
+    double_to_bits,
+    double_to_ordinal,
+    doubles_between,
+    next_double,
+    ordinal_to_double,
+    prev_double,
+    ulp,
+)
+from repro.fp.float32 import bits_to_f32, f32_round, f32_to_bits
+from repro.fp.formats import BFLOAT16, FLOAT8, FLOAT16, FLOAT32, FloatFormat
+from repro.fp.rounding import RoundingInterval, overflow_threshold, rounding_interval
+
+__all__ = [
+    "advance_double", "bits_to_double", "common_leading_bits", "double_to_bits",
+    "double_to_ordinal", "doubles_between", "next_double", "ordinal_to_double",
+    "prev_double", "ulp", "bits_to_f32", "f32_round", "f32_to_bits",
+    "BFLOAT16", "FLOAT8", "FLOAT16", "FLOAT32", "FloatFormat",
+    "RoundingInterval", "overflow_threshold", "rounding_interval",
+]

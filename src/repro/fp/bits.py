@@ -1,0 +1,185 @@
+"""Bit-level manipulation of IEEE-754 binary64 ("double") values.
+
+The RLIBM-32 pipeline performs all internal computation in the working
+precision H = binary64, which in CPython is exactly the built-in ``float``.
+This module provides the bit-pattern utilities the paper relies on:
+
+* conversions between a double and its 64-bit pattern,
+* a *monotonic ordinal* encoding so that walking doubles in value order is
+  integer arithmetic (used by Algorithm 2's simultaneous interval widening
+  and by the bit-pattern domain splitting of Algorithm 3),
+* neighbour queries (``next_double`` / ``prev_double``, the paper's
+  ``GetNext`` / ``GetPrev``),
+* ulp and exact midpoint helpers used when computing rounding intervals.
+
+Everything here is exact: no operation introduces rounding error.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from fractions import Fraction
+
+__all__ = [
+    "DBL_MAX",
+    "DBL_MIN_SUBNORMAL",
+    "double_to_bits",
+    "bits_to_double",
+    "double_to_ordinal",
+    "ordinal_to_double",
+    "next_double",
+    "prev_double",
+    "doubles_between",
+    "advance_double",
+    "ulp",
+    "double_to_fraction",
+    "fraction_to_double",
+    "is_finite_double",
+    "common_leading_bits",
+    "midpoint_is_exact",
+]
+
+#: Largest finite double.
+DBL_MAX = struct.unpack("<d", struct.pack("<Q", 0x7FEFFFFFFFFFFFFF))[0]
+#: Smallest positive (subnormal) double, 2**-1074.
+DBL_MIN_SUBNORMAL = struct.unpack("<d", struct.pack("<Q", 0x0000000000000001))[0]
+
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
+
+_SIGN_BIT = 1 << 63
+
+
+def double_to_bits(x: float) -> int:
+    """Return the 64-bit IEEE-754 pattern of ``x`` as an unsigned int."""
+    return _PACK_Q.unpack(_PACK_D.pack(x))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    """Return the double whose IEEE-754 pattern is ``bits`` (unsigned)."""
+    if not 0 <= bits <= 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"bit pattern out of range: {bits:#x}")
+    return _PACK_D.unpack(_PACK_Q.pack(bits))[0]
+
+
+def double_to_ordinal(x: float) -> int:
+    """Map a double to an integer that is monotonic in the value order.
+
+    Negative doubles map to negative ordinals; -0.0 and +0.0 map to 0
+    and ... no: -0.0 maps to 0 and +0.0 maps to 0 as well would lose
+    information, so -0.0 maps to -0's own slot: we use the standard
+    two's-complement folding where ordinal(-0.0) == 0 - 2**63 is avoided
+    by treating the sign bit specially:
+
+    * ``x >= +0.0`` -> its bit pattern (0 .. 2**63-1),
+    * ``x <  -0.0`` -> ``-(pattern without sign bit)``.
+
+    ``ordinal(-0.0) == 0 == ordinal(+0.0)``; both zeros round-trip to +0.0.
+    NaNs are rejected.
+    """
+    if math.isnan(x):
+        raise ValueError("NaN has no ordinal")
+    bits = double_to_bits(x)
+    if bits & _SIGN_BIT:
+        return -(bits ^ _SIGN_BIT)
+    return bits
+
+
+def ordinal_to_double(n: int) -> float:
+    """Inverse of :func:`double_to_ordinal` (zeros map to +0.0)."""
+    if n < 0:
+        return bits_to_double((-n) | _SIGN_BIT)
+    return bits_to_double(n)
+
+
+_ORD_INF = double_to_ordinal(math.inf)
+
+
+def next_double(x: float) -> float:
+    """The smallest double strictly greater than ``x`` (paper's GetNext)."""
+    if math.isnan(x):
+        return x
+    if x == math.inf:
+        return x
+    return ordinal_to_double(double_to_ordinal(x) + 1)
+
+
+def prev_double(x: float) -> float:
+    """The largest double strictly less than ``x`` (paper's GetPrev)."""
+    if math.isnan(x):
+        return x
+    if x == -math.inf:
+        return x
+    return ordinal_to_double(double_to_ordinal(x) - 1)
+
+
+def advance_double(x: float, steps: int) -> float:
+    """Move ``steps`` representable doubles away from ``x`` (either sign).
+
+    Saturates at +/-inf rather than wrapping.
+    """
+    n = double_to_ordinal(x) + steps
+    if n > _ORD_INF:
+        n = _ORD_INF
+    elif n < -_ORD_INF:
+        n = -_ORD_INF
+    return ordinal_to_double(n)
+
+
+def doubles_between(lo: float, hi: float) -> int:
+    """Number of representable-double steps from ``lo`` to ``hi``."""
+    return double_to_ordinal(hi) - double_to_ordinal(lo)
+
+
+def ulp(x: float) -> float:
+    """Unit in the last place of ``x`` (gap to the next double away from 0)."""
+    return math.ulp(x)
+
+
+def is_finite_double(x: float) -> bool:
+    """True for finite doubles (not NaN, not +/-inf)."""
+    return math.isfinite(x)
+
+
+def double_to_fraction(x: float) -> Fraction:
+    """Exact rational value of a finite double."""
+    if not math.isfinite(x):
+        raise ValueError(f"not finite: {x!r}")
+    return Fraction(x)
+
+
+def fraction_to_double(q: Fraction) -> float:
+    """Round an exact rational to the nearest double (ties to even).
+
+    CPython's ``Fraction.__float__`` performs correctly rounded conversion
+    (round-to-nearest, ties-to-even) including graceful overflow to inf,
+    so we delegate to it but keep this named entry point so call sites
+    document intent.
+    """
+    try:
+        return float(q)
+    except OverflowError:
+        return math.inf if q > 0 else -math.inf
+
+
+def common_leading_bits(a: float, b: float) -> int:
+    """Number of identical leading bits in the 64-bit patterns of a and b.
+
+    Used by SplitDomain (Algorithm 3): the sub-domain index of a reduced
+    input is read from the first bits *after* the common prefix of the
+    smallest and largest reduced inputs.
+    """
+    xa = double_to_bits(a)
+    xb = double_to_bits(b)
+    diff = xa ^ xb
+    if diff == 0:
+        return 64
+    return 64 - diff.bit_length()
+
+
+def midpoint_is_exact(a: float, b: float) -> bool:
+    """True if (a+b)/2 is exactly representable as a double."""
+    mid2 = Fraction(a) + Fraction(b)
+    mid = mid2 / 2
+    return Fraction(fraction_to_double(mid)) == mid

@@ -1,0 +1,98 @@
+"""Fast binary32 helpers used on the hot path of the generated library.
+
+The generic :class:`repro.fp.formats.FloatFormat` machinery is exact but
+works through :class:`fractions.Fraction`; the runtime math library needs
+the double->float32 rounding step and bit access to be cheap, so this
+module provides ``struct``-based versions specialised to binary32.  The
+semantics are identical to ``FLOAT32.round_double`` / ``to_double`` /
+``from_double`` (tests assert the agreement exhaustively on samples).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = [
+    "FLT_MAX",
+    "FLT_MIN_SUBNORMAL",
+    "FLT_OVERFLOW_THRESHOLD",
+    "f32_round",
+    "f32_to_bits",
+    "bits_to_f32",
+    "f32_from_bits_value",
+    "f32_next_up",
+    "f32_next_down",
+]
+
+_PACK_F = struct.Struct("<f")
+_PACK_I = struct.Struct("<I")
+
+#: Largest finite float32, as a double.
+FLT_MAX = 3.4028234663852886e38
+#: Smallest positive float32 subnormal (2**-149), as a double.
+FLT_MIN_SUBNORMAL = 1.401298464324817e-45
+#: Smallest positive double that rounds to +inf in float32:
+#: 2**127 * (2 - 2**-24).
+FLT_OVERFLOW_THRESHOLD = 3.4028235677973366e38
+
+
+def f32_round(x: float) -> float:
+    """Round a double to binary32 (RNE) and return it as a double.
+
+    This is the final rounding step RN_T of every generated function.
+    """
+    if x != x:  # NaN
+        return x
+    if x > FLT_MAX:
+        return math.inf if x >= FLT_OVERFLOW_THRESHOLD else FLT_MAX
+    if x < -FLT_MAX:
+        return -math.inf if x <= -FLT_OVERFLOW_THRESHOLD else -FLT_MAX
+    # C double->float conversion rounds to nearest-even per IEEE-754.
+    return _PACK_F.unpack(_PACK_F.pack(x))[0]
+
+
+def f32_to_bits(x: float) -> int:
+    """Bit pattern of a double after rounding it to binary32."""
+    if x != x:
+        return 0x7FC00000
+    if x > FLT_MAX:
+        return 0x7F800000 if x >= FLT_OVERFLOW_THRESHOLD else 0x7F7FFFFF
+    if x < -FLT_MAX:
+        return 0xFF800000 if x <= -FLT_OVERFLOW_THRESHOLD else 0xFF7FFFFF
+    return _PACK_I.unpack(_PACK_F.pack(x))[0]
+
+
+def bits_to_f32(bits: int) -> float:
+    """Double value of a binary32 bit pattern (exact; NaN for NaN)."""
+    return _PACK_F.unpack(_PACK_I.pack(bits & 0xFFFFFFFF))[0]
+
+
+def f32_from_bits_value(bits: int) -> float:
+    """Alias of :func:`bits_to_f32`, named for call-site clarity."""
+    return bits_to_f32(bits)
+
+
+def f32_next_up(x: float) -> float:
+    """Smallest float32 value strictly greater than float32(x)."""
+    bits = f32_to_bits(x)
+    if bits == 0x7F800000:  # +inf
+        return math.inf
+    if bits & 0x80000000:
+        # nextUp(-0) is the smallest positive subnormal (IEEE 754 nextUp)
+        bits = 1 if bits == 0x80000000 else bits - 1
+    else:
+        bits += 1
+    return bits_to_f32(bits)
+
+
+def f32_next_down(x: float) -> float:
+    """Largest float32 value strictly less than float32(x)."""
+    bits = f32_to_bits(x)
+    if bits == 0xFF800000:  # -inf
+        return -math.inf
+    if bits & 0x80000000:
+        bits += 1
+    else:
+        bits = 0x80000001 if bits == 0 else bits - 1
+    return bits_to_f32(bits)

@@ -1,0 +1,315 @@
+"""Parametric IEEE-754-style binary floating point formats.
+
+RLIBM-32 targets the 32-bit ``float`` type, but the whole pipeline is
+generic in the target representation T.  This module implements T as a
+parametric IEEE format ``FloatFormat(ebits, mbits)`` with:
+
+* exact decoding of a bit pattern to a :class:`fractions.Fraction`,
+* correctly rounded encoding (round-to-nearest, ties-to-even) from an
+  exact rational, including subnormals and overflow to infinity,
+* a monotonic *ordinal* numbering of the values, giving neighbour queries
+  and exhaustive enumeration (used for the paper's "all inputs" loops on
+  formats small enough to enumerate in Python),
+* classification helpers.
+
+Every value of every format with ``mbits <= 52`` and ``ebits <= 11`` is
+exactly representable in the working type H = binary64, which the pipeline
+relies on (the paper evaluates everything in double).
+
+Instances provided: :data:`FLOAT32`, :data:`BFLOAT16`, :data:`FLOAT16`,
+:data:`FLOAT8` (a tiny 1-4-3 format used to exercise the full generator
+exhaustively in seconds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from repro.fp.bits import fraction_to_double
+
+__all__ = [
+    "FloatFormat",
+    "FLOAT64",
+    "FLOAT32",
+    "BFLOAT16",
+    "FLOAT16",
+    "FLOAT8",
+    "round_fraction_to_int_rne",
+]
+
+
+def round_fraction_to_int_rne(q: Fraction) -> int:
+    """Round an exact rational to the nearest integer, ties to even."""
+    floor = q.numerator // q.denominator
+    rem = q - floor
+    twice = 2 * rem
+    if twice > 1:
+        return floor + 1
+    if twice < 1:
+        return floor
+    # exact tie: choose the even neighbour
+    return floor + (floor & 1)
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-style binary format with a sign bit.
+
+    Parameters
+    ----------
+    ebits:
+        Number of exponent bits.
+    mbits:
+        Number of stored mantissa (fraction) bits.
+    name:
+        Human readable name used in reports.
+    """
+
+    ebits: int
+    mbits: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ebits < 2 or self.mbits < 1:
+            raise ValueError("need ebits >= 2 and mbits >= 1")
+        if self.ebits + self.mbits + 1 > 64:
+            raise ValueError("formats wider than 64 bits are not supported")
+
+    # ------------------------------------------------------------------
+    # Derived parameters
+    # ------------------------------------------------------------------
+    @property
+    def nbits(self) -> int:
+        """Total width in bits including the sign."""
+        return 1 + self.ebits + self.mbits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return (1 << (self.ebits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a finite value."""
+        return self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest unbiased exponent of a normal value."""
+        return 1 - self.bias
+
+    @property
+    def exp_mask(self) -> int:
+        return (1 << self.ebits) - 1
+
+    @property
+    def mant_mask(self) -> int:
+        return (1 << self.mbits) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        return 1 << (self.ebits + self.mbits)
+
+    @property
+    def max_value(self) -> Fraction:
+        """Largest finite value, exactly."""
+        return Fraction(2) ** self.emax * (2 - Fraction(1, 1 << self.mbits))
+
+    @property
+    def min_subnormal(self) -> Fraction:
+        """Smallest positive value, exactly."""
+        return Fraction(2) ** (self.emin - self.mbits)
+
+    @property
+    def min_normal(self) -> Fraction:
+        """Smallest positive normal value, exactly."""
+        return Fraction(2) ** self.emin
+
+    @property
+    def inf_bits(self) -> int:
+        """Bit pattern of +infinity."""
+        return self.exp_mask << self.mbits
+
+    @property
+    def nan_bits(self) -> int:
+        """Bit pattern of a canonical quiet NaN."""
+        return self.inf_bits | (1 << (self.mbits - 1))
+
+    @property
+    def finite_count(self) -> int:
+        """Number of finite bit patterns (both signs, both zeros)."""
+        return 2 * (self.inf_bits)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def is_nan(self, bits: int) -> bool:
+        return (bits & ~self.sign_mask) > self.inf_bits
+
+    def is_inf(self, bits: int) -> bool:
+        return (bits & ~self.sign_mask) == self.inf_bits
+
+    def is_finite(self, bits: int) -> bool:
+        return (bits & ~self.sign_mask) < self.inf_bits
+
+    def is_zero(self, bits: int) -> bool:
+        return (bits & ~self.sign_mask) == 0
+
+    def is_subnormal(self, bits: int) -> bool:
+        mag = bits & ~self.sign_mask
+        return 0 < mag < (1 << self.mbits)
+
+    def sign_of(self, bits: int) -> int:
+        """-1 for negative patterns (including -0), +1 otherwise."""
+        return -1 if bits & self.sign_mask else 1
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def to_fraction(self, bits: int) -> Fraction:
+        """Exact value of a finite bit pattern."""
+        if not self.is_finite(bits):
+            raise ValueError(f"pattern {bits:#x} is not finite in {self}")
+        sign = -1 if bits & self.sign_mask else 1
+        e = (bits >> self.mbits) & self.exp_mask
+        m = bits & self.mant_mask
+        if e == 0:
+            val = Fraction(m, 1 << self.mbits) * Fraction(2) ** self.emin
+        else:
+            val = (1 + Fraction(m, 1 << self.mbits)) * Fraction(2) ** (e - self.bias)
+        return sign * val
+
+    def to_double(self, bits: int) -> float:
+        """Value of a bit pattern as a double (exact for mbits <= 52).
+
+        Infinities and NaN map to the corresponding double specials.
+        """
+        if self.is_nan(bits):
+            return math.nan
+        if self.is_inf(bits):
+            return -math.inf if bits & self.sign_mask else math.inf
+        return fraction_to_double(self.to_fraction(bits))
+
+    # ------------------------------------------------------------------
+    # Encode (correct rounding, RNE)
+    # ------------------------------------------------------------------
+    def from_fraction(self, q: Fraction) -> int:
+        """Round an exact rational to this format; returns a bit pattern.
+
+        Implements round-to-nearest, ties-to-even, with overflow to
+        infinity and gradual underflow to subnormals / zero, i.e. the
+        rounding function RN_T of the paper.
+        """
+        if q == 0:
+            return 0
+        sign_bits = self.sign_mask if q < 0 else 0
+        a = -q if q < 0 else q
+
+        # Unbiased exponent of a: e such that 2**e <= a < 2**(e+1).
+        e = a.numerator.bit_length() - a.denominator.bit_length()
+        if Fraction(2) ** e > a:
+            e -= 1
+
+        if e < self.emin:
+            # Subnormal candidate: fixed scale 2**(emin - mbits).
+            scaled = a / (Fraction(2) ** (self.emin - self.mbits))
+            n = round_fraction_to_int_rne(scaled)
+            if n == 0:
+                return sign_bits  # underflow to (signed) zero
+            if n >= (1 << self.mbits):
+                # rounded up into the smallest normal
+                return sign_bits | (1 << self.mbits)
+            return sign_bits | n
+
+        # Normal candidate: significand in [2**mbits, 2**(mbits+1)).
+        scaled = a / (Fraction(2) ** (e - self.mbits))
+        n = round_fraction_to_int_rne(scaled)
+        if n == (1 << (self.mbits + 1)):
+            n >>= 1
+            e += 1
+        if e > self.emax:
+            return sign_bits | self.inf_bits
+        biased = e + self.bias
+        return sign_bits | (biased << self.mbits) | (n & self.mant_mask)
+
+    def from_double(self, x: float) -> int:
+        """Round a double to this format (bit pattern)."""
+        if math.isnan(x):
+            return self.nan_bits
+        if math.isinf(x):
+            return (self.sign_mask if x < 0 else 0) | self.inf_bits
+        if x == 0.0:
+            return self.sign_mask if math.copysign(1.0, x) < 0 else 0
+        return self.from_fraction(Fraction(x))
+
+    def round_double(self, x: float) -> float:
+        """Round a double to this format and return it as a double."""
+        return self.to_double(self.from_double(x))
+
+    # ------------------------------------------------------------------
+    # Ordinals, neighbours, enumeration
+    # ------------------------------------------------------------------
+    def to_ordinal(self, bits: int) -> int:
+        """Monotonic integer ordering of non-NaN patterns (zeros -> 0)."""
+        if self.is_nan(bits):
+            raise ValueError("NaN has no ordinal")
+        mag = bits & ~self.sign_mask
+        return -mag if bits & self.sign_mask else mag
+
+    def from_ordinal(self, n: int) -> int:
+        """Inverse of :meth:`to_ordinal`."""
+        if n < 0:
+            return self.sign_mask | (-n)
+        return n
+
+    def next_up(self, bits: int) -> int:
+        """Smallest value strictly greater than ``bits`` (pattern)."""
+        n = self.to_ordinal(bits)
+        if n >= self.inf_bits:
+            return self.from_ordinal(self.inf_bits)
+        return self.from_ordinal(n + 1)
+
+    def next_down(self, bits: int) -> int:
+        """Largest value strictly less than ``bits`` (pattern)."""
+        n = self.to_ordinal(bits)
+        if n <= -self.inf_bits:
+            return self.from_ordinal(-self.inf_bits)
+        return self.from_ordinal(n - 1)
+
+    def enumerate_finite(self, include_negative: bool = True) -> Iterator[int]:
+        """Yield every finite bit pattern (value order, ascending)."""
+        start = -(self.inf_bits - 1) if include_negative else 0
+        for n in range(start, self.inf_bits):
+            yield self.from_ordinal(n)
+
+    def enumerate_range(self, lo: float, hi: float) -> Iterator[int]:
+        """Yield finite patterns whose value lies in [lo, hi] (ascending)."""
+        lo_bits = self.from_fraction(Fraction(lo)) if lo != 0 else 0
+        # make sure we start at a value >= lo
+        if self.to_double(lo_bits) < lo:
+            lo_bits = self.next_up(lo_bits)
+        n = self.to_ordinal(lo_bits)
+        while n < self.inf_bits:
+            bits = self.from_ordinal(n)
+            if self.to_double(bits) > hi:
+                return
+            yield bits
+            n += 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name or f"binary(e={self.ebits},m={self.mbits})"
+
+
+#: IEEE-754 binary64 — the working representation H itself, as a format.
+FLOAT64 = FloatFormat(11, 52, "float64")
+#: IEEE-754 binary32, the paper's "float" target.
+FLOAT32 = FloatFormat(8, 23, "float32")
+#: bfloat16 (used by the original 16-bit RLIBM work).
+BFLOAT16 = FloatFormat(8, 7, "bfloat16")
+#: IEEE-754 binary16.
+FLOAT16 = FloatFormat(5, 10, "float16")
+#: Tiny 1-4-3 test format; 240 finite values, exhaustively checkable.
+FLOAT8 = FloatFormat(4, 3, "float8")

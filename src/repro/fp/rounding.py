@@ -1,0 +1,125 @@
+"""Rounding intervals (Algorithm 1, ``RoundingInterval``).
+
+Given a correctly rounded result ``y`` in the target representation T, the
+*rounding interval* is the set of values in the working representation
+H = binary64 that round to ``y`` under round-to-nearest-ties-to-even.  If a
+polynomial approximation lands anywhere inside this interval, the final
+rounding step produces the correct answer — this is the central object of
+the RLIBM approach.
+
+The paper computes the interval by searching for the smallest/largest
+``v in H`` with ``RN_T(v) = y``; it notes the search "can be efficiently
+implemented ... by leveraging the properties of T and H".  We do the
+latter: for IEEE-style targets whose values (and neighbour midpoints) are
+exactly representable in H, the interval boundaries are the midpoints
+between ``y`` and its T-neighbours, inclusive exactly when ``y``'s mantissa
+is even (ties go to even).  All arithmetic is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.fp.bits import fraction_to_double, next_double, prev_double
+from repro.fp.formats import FloatFormat
+
+__all__ = ["RoundingInterval", "rounding_interval", "overflow_threshold"]
+
+
+@dataclass(frozen=True)
+class RoundingInterval:
+    """A closed interval ``[lo, hi]`` of doubles, with the target value.
+
+    ``lo`` and ``hi`` are doubles; every double ``v`` with
+    ``lo <= v <= hi`` rounds to the target value in T.
+    """
+
+    lo: float
+    hi: float
+
+    def __contains__(self, v: float) -> bool:
+        return self.lo <= v <= self.hi
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def intersect(self, other: "RoundingInterval") -> "RoundingInterval | None":
+        """Common sub-interval, or None if the intervals are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return RoundingInterval(lo, hi)
+
+
+def overflow_threshold(fmt: FloatFormat) -> float:
+    """Smallest positive double that rounds to +infinity in ``fmt``.
+
+    This is the midpoint between the largest finite value and the next
+    power of two; the tie rounds away from the (odd, all-ones mantissa)
+    maximum, i.e. overflows.
+    """
+    b = Fraction(2) ** fmt.emax * (2 - Fraction(1, 1 << (fmt.mbits + 1)))
+    d = fraction_to_double(b)
+    if Fraction(d) != b:  # pragma: no cover - holds for all supported fmts
+        raise ValueError(f"overflow threshold of {fmt} not exact in double")
+    return d
+
+
+def _exact_midpoint(a: Fraction, b: Fraction) -> float:
+    mid = (a + b) / 2
+    d = fraction_to_double(mid)
+    if Fraction(d) != mid:
+        raise ValueError("midpoint not exactly representable in double; "
+                         "target format too wide for H = binary64")
+    return d
+
+
+def rounding_interval(fmt: FloatFormat, y_bits: int) -> RoundingInterval:
+    """Closed interval of doubles rounding to the value of ``y_bits``.
+
+    Handles zeros (the two signed zeros share the symmetric interval
+    around 0), subnormal/normal boundaries, the largest finite value and
+    infinities.  NaN has no rounding interval.
+    """
+    if fmt.is_nan(y_bits):
+        raise ValueError("NaN has no rounding interval")
+
+    if fmt.is_inf(y_bits):
+        thr = overflow_threshold(fmt)
+        if fmt.sign_of(y_bits) > 0:
+            return RoundingInterval(thr, math.inf)
+        return RoundingInterval(-math.inf, -thr)
+
+    if fmt.is_zero(y_bits):
+        # Ties at +/- (min_subnormal / 2) round to the (even) zero.
+        half = fraction_to_double(fmt.min_subnormal / 2)
+        return RoundingInterval(-half, half)
+
+    y_val = fmt.to_fraction(y_bits)
+    even = (y_bits & 1) == 0
+
+    # Upper boundary: midpoint with the next value up (or the overflow
+    # threshold when the neighbour is +infinity).
+    up_bits = fmt.next_up(y_bits)
+    if fmt.is_inf(up_bits):
+        hi_mid = overflow_threshold(fmt)
+        hi = prev_double(hi_mid)  # the tie itself overflows
+    else:
+        hi_mid = _exact_midpoint(y_val, fmt.to_fraction(up_bits))
+        hi = hi_mid if even else prev_double(hi_mid)
+
+    # Lower boundary: midpoint with the next value down (or the negative
+    # overflow threshold when the neighbour is -infinity).
+    dn_bits = fmt.next_down(y_bits)
+    if fmt.is_inf(dn_bits):
+        lo_mid = -overflow_threshold(fmt)
+        lo = next_double(lo_mid)
+    else:
+        lo_mid = _exact_midpoint(fmt.to_fraction(dn_bits), y_val)
+        lo = lo_mid if even else next_double(lo_mid)
+
+    return RoundingInterval(lo, hi)

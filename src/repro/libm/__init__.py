@@ -1,0 +1,5 @@
+"""The generated correctly rounded math libraries and their tooling."""
+
+from repro.libm.runtime import FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS, available, load
+
+__all__ = ["FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS", "available", "load"]

@@ -1,0 +1,47 @@
+"""The RLIBM-32 float32 math library (public API).
+
+Ten correctly rounded elementary functions for IEEE binary32.  Inputs and
+outputs are Python floats (binary64) that hold exact binary32 values —
+the idiomatic way to carry float32 through CPython.  Each function rounds
+its input to binary32 first, so any double can be passed.
+
+    >>> from repro.libm import float32 as rl
+    >>> rl.log2(8.0)
+    3.0
+    >>> rl.sinpi(0.5)
+    1.0
+
+``*_bits`` variants return the raw binary32 bit pattern.
+"""
+
+from __future__ import annotations
+
+from repro.fp.float32 import f32_round
+from repro.libm.runtime import FLOAT32_FUNCTIONS, load
+
+__all__ = list(FLOAT32_FUNCTIONS) + [f"{n}_bits" for n in FLOAT32_FUNCTIONS]
+
+
+def _make(fn_name: str):
+    def value(x: float) -> float:
+        return load(fn_name, "float32").evaluate(f32_round(x))
+
+    def bits(x: float) -> int:
+        return load(fn_name, "float32").evaluate_bits(f32_round(x))
+
+    value.__name__ = fn_name
+    value.__qualname__ = fn_name
+    value.__doc__ = (f"Correctly rounded binary32 {fn_name}(x); "
+                     "returns the float32 result as a double.")
+    bits.__name__ = f"{fn_name}_bits"
+    bits.__qualname__ = f"{fn_name}_bits"
+    bits.__doc__ = (f"Correctly rounded binary32 {fn_name}(x) "
+                    "as a 32-bit pattern.")
+    return value, bits
+
+
+for _name in FLOAT32_FUNCTIONS:
+    _v, _b = _make(_name)
+    globals()[_name] = _v
+    globals()[f"{_name}_bits"] = _b
+del _name, _v, _b

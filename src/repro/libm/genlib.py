@@ -1,0 +1,154 @@
+"""Driver for generating the shipped 32-bit libraries.
+
+This is the sampled 32-bit instantiation of the pipeline (DESIGN.md §3):
+for each function it assembles the input set — representable-value-
+proportional random sample, exhaustive pools around every special-case
+boundary and structural point, and mined hard cases (inputs whose exact
+result grazes a rounding boundary; see :mod:`repro.eval.hardcases`) —
+runs :func:`repro.core.validate.generate_validated` with fresh validation
+sets, performs a final independent residual check, and freezes the result
+into a data module.
+
+The per-function budgets live in :data:`GEN_SETTINGS`; ``quick=True``
+divides the sample sizes for smoke tests.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.generator import FunctionSpec, GeneratedFunction
+from repro.core.intervals import TargetFormat
+from repro.core.piecewise import PiecewiseConfig
+from repro.core.sampling import boundary_values, sample_values
+from repro.core.validate import generate_validated, validate
+from repro.eval.hardcases import mine_hard_cases
+from repro.libm.serialize import function_to_dict, render_module
+from repro.rangereduction.domains import boundary_centers, sampling_domain
+from repro.rangereduction import RangeReduction, reduction_for
+
+__all__ = ["GenSettings", "GEN_SETTINGS", "generate_one", "generate_library"]
+
+
+@dataclass
+class GenSettings:
+    """Sampling and piecewise budgets for one function."""
+
+    base: int = 40_000          # ordinal-uniform generation sample
+    validation: int = 25_000    # fresh validation sample per round
+    hard_candidates: int = 50_000
+    hard_keep: int = 1_500
+    boundary_radius: int = 192
+    max_index_bits: int = 10
+    max_degree: int | None = None   # None = range reduction default
+    #: outer-loop budget: rounds of fresh validation, and how many
+    #: consecutive clean fresh rounds acceptance requires
+    rounds: int = 12
+    clean_rounds: int = 2
+    final_check: int = 20_000
+
+
+GEN_SETTINGS: dict[str, GenSettings] = {
+    "ln": GenSettings(),
+    "log2": GenSettings(),
+    "log10": GenSettings(),
+    "exp": GenSettings(),
+    "exp2": GenSettings(),
+    "exp10": GenSettings(),
+    "sinh": GenSettings(max_index_bits=8),
+    "cosh": GenSettings(max_index_bits=8),
+    "sinpi": GenSettings(max_index_bits=8),
+    "cospi": GenSettings(max_index_bits=8),
+}
+
+
+def generate_one(
+    name: str,
+    fmt: TargetFormat,
+    seed: int = 2021,
+    quick: bool = False,
+    settings: GenSettings | None = None,
+    scale: int = 1,
+    log=print,
+) -> tuple[GeneratedFunction, dict]:
+    """Run the sampled pipeline for one function; returns (fn, extra
+    stats).  ``scale`` divides every sample budget (time/quality knob);
+    ``quick`` is the x8 smoke-test shortcut."""
+    cfg = settings or GEN_SETTINGS[name]
+    div = 8 if quick else max(1, scale)
+    rng = random.Random(seed)
+    t0 = time.perf_counter()
+
+    kwargs = {}
+    if cfg.max_degree is not None:
+        kwargs["max_degree"] = cfg.max_degree
+    rr = reduction_for(name, fmt, **kwargs)
+    lo, hi = sampling_domain(name, fmt, rr)
+    log(f"[{name}] domain [{lo!r}, {hi!r}]")
+
+    inputs = sample_values(fmt, cfg.base // div, rng, lo, hi)
+    inputs += boundary_values(fmt, boundary_centers(name, rr, lo, hi),
+                              cfg.boundary_radius)
+    hard_pool = sample_values(fmt, cfg.hard_candidates // div,
+                              random.Random(seed + 1), lo, hi)
+    hard_pool = [x for x in hard_pool if rr.special(x) is None]
+    inputs += mine_hard_cases(name, fmt, hard_pool, cfg.hard_keep // div)
+    log(f"[{name}] {len(inputs)} generation inputs "
+        f"({time.perf_counter() - t0:.0f}s incl. hard-case mining)")
+
+    def fresh_validation(round_no: int) -> list[float]:
+        s = seed + 1000 + 17 * round_no
+        val = sample_values(fmt, cfg.validation // div, random.Random(s),
+                            lo, hi)
+        pool = sample_values(fmt, cfg.hard_candidates // (2 * div),
+                             random.Random(s + 1), lo, hi)
+        pool = [x for x in pool if rr.special(x) is None]
+        val += mine_hard_cases(name, fmt, pool, cfg.hard_keep // (2 * div))
+        return val
+
+    spec = FunctionSpec(name, fmt, rr,
+                        PiecewiseConfig(max_index_bits=cfg.max_index_bits))
+    fn, folded = generate_validated(spec, inputs, fresh_validation,
+                                    max_rounds=cfg.rounds,
+                                    clean_rounds=cfg.clean_rounds)
+    log(f"[{name}] generated: {fn.stats.per_fn} "
+        f"reduced={fn.stats.reduced_count} folded-back={folded} "
+        f"({time.perf_counter() - t0:.0f}s)")
+
+    check = sample_values(fmt, cfg.final_check // div,
+                          random.Random(seed + 4), lo, hi)
+    misses = validate(fn, check)
+    extra = {
+        "final_check": {"n": len(check), "misses": len(misses)},
+        "counterexamples_folded": folded,
+        "total_time_s": time.perf_counter() - t0,
+    }
+    log(f"[{name}] final residual check: {len(misses)}/{len(check)} misses "
+        f"({time.perf_counter() - t0:.0f}s total)")
+    return fn, extra
+
+
+def generate_library(
+    names: list[str],
+    fmt: TargetFormat,
+    out_dir: pathlib.Path,
+    quick: bool = False,
+    seed: int = 2021,
+    scale: int = 1,
+    log=print,
+) -> None:
+    """Generate and freeze a set of functions into ``out_dir``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    init = out_dir / "__init__.py"
+    if not init.exists():
+        init.write_text('"""Frozen coefficient tables (generated)."""\n')
+    for name in names:
+        fn, extra = generate_one(name, fmt, seed=seed, quick=quick, scale=scale, log=log)
+        data = function_to_dict(fn)
+        data["stats"].update(extra)
+        path = out_dir / f"{name}.py"
+        path.write_text(render_module(data))
+        log(f"[{name}] wrote {path} ({path.stat().st_size // 1024} KB)")

@@ -1,0 +1,52 @@
+"""The RLIBM-32 posit32 math library (public API).
+
+Eight correctly rounded elementary functions for the 32-bit posit type
+(es = 2) — the first correctly rounded posit32 functions, per the paper.
+Two calling conventions are provided:
+
+* value API (``exp(x)``): ``x`` is a double; it is rounded to posit32
+  first, and the result is returned as the double value of the posit32
+  answer (every posit32 value is exactly representable in binary64).
+  NaN/inf inputs behave as NaR and return NaN.
+* bits API (``exp_bits(p)``): ``p`` is a raw 32-bit posit pattern and
+  the result is a 32-bit posit pattern (NaR = 0x80000000).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.libm.runtime import POSIT32_FUNCTIONS, load
+from repro.posit.format import POSIT32
+
+__all__ = list(POSIT32_FUNCTIONS) + [f"{n}_bits" for n in POSIT32_FUNCTIONS]
+
+
+def _make(fn_name: str):
+    def value(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return math.nan
+        x = POSIT32.round_double(x)
+        return load(fn_name, "posit32").evaluate(x)
+
+    def bits(p: int) -> int:
+        if POSIT32.is_nar(p):
+            return POSIT32.nar_bits
+        x = POSIT32.to_double(p)
+        return load(fn_name, "posit32").evaluate_bits(x)
+
+    value.__name__ = fn_name
+    value.__qualname__ = fn_name
+    value.__doc__ = (f"Correctly rounded posit32 {fn_name}(x); "
+                     "returns the posit32 result as a double.")
+    bits.__name__ = f"{fn_name}_bits"
+    bits.__qualname__ = f"{fn_name}_bits"
+    bits.__doc__ = f"Correctly rounded posit32 {fn_name} on bit patterns."
+    return value, bits
+
+
+for _name in POSIT32_FUNCTIONS:
+    _v, _b = _make(_name)
+    globals()[_name] = _v
+    globals()[f"{_name}_bits"] = _b
+del _name, _v, _b

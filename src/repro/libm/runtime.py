@@ -1,0 +1,73 @@
+"""Loading the shipped correctly rounded library from frozen data.
+
+``load("exp", "float32")`` rebuilds the runnable
+:class:`~repro.core.generator.GeneratedFunction` from the coefficient
+data module the generator tools froze into ``data_float32`` /
+``data_posit32``.  Loading touches neither the oracle nor the LP solver —
+the runtime path is: special cases, range reduction, shift+mask
+sub-domain lookup, Horner, output compensation, final rounding.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.core.generator import GeneratedFunction
+from repro.libm.serialize import function_from_dict
+
+__all__ = ["load", "available", "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
+
+#: The ten float32 functions of the paper's prototype.
+FLOAT32_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                     "sinh", "cosh", "sinpi", "cospi")
+#: The eight posit32 functions.
+POSIT32_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                     "sinh", "cosh")
+
+#: Targets the loader accepts.  float32/posit32 ship with the repository;
+#: the others can be generated in seconds-to-minutes with
+#: ``python -m repro generate --target <name>`` (and are validated
+#: exhaustively at generation time for the 16-bit formats).
+KNOWN_TARGETS = ("float32", "posit32", "bfloat16", "float16", "posit16")
+_cache: dict[tuple[str, str], GeneratedFunction] = {}
+
+
+def functions_for(target: str) -> tuple[str, ...]:
+    """The function set of a target (posits lack sinpi/cospi)."""
+    return POSIT32_FUNCTIONS if target.startswith("posit") \
+        else FLOAT32_FUNCTIONS
+
+
+def _module_name(target: str, fn_name: str) -> str:
+    return f"repro.libm.data_{target}.{fn_name}"
+
+
+def available(target: str = "float32") -> list[str]:
+    """Function names with frozen data for this target."""
+    out = []
+    for name in functions_for(target):
+        try:
+            importlib.import_module(_module_name(target, name))
+        except ImportError:
+            continue
+        out.append(name)
+    return out
+
+
+def load(fn_name: str, target: str = "float32") -> GeneratedFunction:
+    """The shipped correctly rounded implementation of ``fn_name``."""
+    key = (fn_name, target)
+    fn = _cache.get(key)
+    if fn is None:
+        if target not in KNOWN_TARGETS:
+            raise ValueError(f"unknown target {target!r}; "
+                             f"expected one of {sorted(KNOWN_TARGETS)}")
+        try:
+            mod = importlib.import_module(_module_name(target, fn_name))
+        except ImportError:
+            raise LookupError(
+                f"no frozen data for {fn_name}/{target}; generate it with "
+                f"'python -m repro generate --target {target}'") from None
+        fn = function_from_dict(mod.DATA)
+        _cache[key] = fn
+    return fn

@@ -1,0 +1,155 @@
+"""Freezing generated functions into importable data modules.
+
+The generator tools (``tools/generate_float32.py`` and
+``tools/generate_posit32.py``) run the full pipeline and then *freeze*
+each :class:`~repro.core.generator.GeneratedFunction` — range reduction
+state (tables, constants, thresholds), piecewise polynomial tables and
+generation statistics — into a plain-Python data module under
+``repro/libm/data_float32`` / ``data_posit32``.  The shipped runtime
+library only reads those modules; importing it never touches the oracle
+or the LP solver.
+
+Everything is serialized as Python literals (float ``repr`` round-trips
+exactly), mirroring how RLIBM-32 emits C source files with hex-float
+coefficient tables.
+"""
+
+from __future__ import annotations
+
+import pprint
+from typing import Any
+
+from repro.core.generator import FunctionSpec, GeneratedFunction, GenStats
+from repro.core.intervals import TargetFormat
+from repro.core.piecewise import ApproxFunc, PiecewiseConfig, PiecewisePolynomial
+from repro.core.polynomials import Polynomial
+from repro.fp.formats import FLOAT16, FLOAT32, FLOAT64, BFLOAT16, FLOAT8
+from repro.posit.format import POSIT8, POSIT16, POSIT32
+from repro.rangereduction.base import RangeReduction
+from repro.rangereduction.exp import ExpReduction
+from repro.rangereduction.log import LogReduction
+from repro.rangereduction.sinhcosh import SinhCoshReduction
+from repro.rangereduction.sinpicospi import CosPiReduction, SinPiReduction
+
+__all__ = ["function_to_dict", "function_from_dict", "render_module",
+           "TARGETS_BY_NAME"]
+
+_RR_CLASSES: dict[str, type[RangeReduction]] = {
+    "log": LogReduction,
+    "exp": ExpReduction,
+    "sinhcosh": SinhCoshReduction,
+    "sinpi": SinPiReduction,
+    "cospi": CosPiReduction,
+}
+
+_RR_KIND: dict[type, str] = {
+    LogReduction: "log",
+    ExpReduction: "exp",
+    SinhCoshReduction: "sinhcosh",
+    SinPiReduction: "sinpi",
+    CosPiReduction: "cospi",
+}
+
+TARGETS_BY_NAME: dict[str, TargetFormat] = {
+    "float64": FLOAT64, "float32": FLOAT32, "bfloat16": BFLOAT16,
+    "float16": FLOAT16, "float8": FLOAT8,
+    "posit32": POSIT32, "posit16": POSIT16, "posit8": POSIT8,
+}
+
+
+def _rr_state(rr: RangeReduction) -> dict[str, Any]:
+    state = {k: v for k, v in rr.__dict__.items() if k != "target"}
+    # class-level attributes that from-state must restore uniformly
+    state["name"] = rr.name
+    state["fn_names"] = tuple(rr.fn_names)
+    state["exponents"] = tuple(tuple(e) for e in rr.exponents)
+    return state
+
+
+def _rr_from_state(kind: str, state: dict[str, Any],
+                   target: TargetFormat) -> RangeReduction:
+    cls = _RR_CLASSES[kind]
+    rr = cls.__new__(cls)
+    rr.__dict__.update(state)
+    rr.target = target
+    return rr
+
+
+def _piecewise_to_dict(pp: PiecewisePolynomial | None) -> dict | None:
+    if pp is None:
+        return None
+    return {
+        "index_bits": pp.index_bits,
+        "shift": pp.shift,
+        "polys": [(tuple(p.exponents), tuple(p.coefficients))
+                  for p in pp.polys],
+    }
+
+
+def _piecewise_from_dict(d: dict | None) -> PiecewisePolynomial | None:
+    if d is None:
+        return None
+    polys = tuple(Polynomial(tuple(e), tuple(c)) for e, c in d["polys"])
+    return PiecewisePolynomial(d["index_bits"], d["shift"], polys)
+
+
+def function_to_dict(fn: GeneratedFunction) -> dict[str, Any]:
+    """Serializable description of a generated function."""
+    target_name = str(fn.spec.target)
+    if target_name not in TARGETS_BY_NAME:
+        raise ValueError(f"unknown target {target_name!r}")
+    rr = fn.spec.rr
+    return {
+        "function": fn.spec.name,
+        "target": target_name,
+        "rr_kind": _RR_KIND[type(rr)],
+        "rr_state": _rr_state(rr),
+        "approx": {
+            name: {"neg": _piecewise_to_dict(af.neg),
+                   "pos": _piecewise_to_dict(af.pos)}
+            for name, af in fn.approx.items()
+        },
+        "stats": {
+            "gen_time_s": fn.stats.gen_time_s,
+            "oracle_time_s": fn.stats.oracle_time_s,
+            "input_count": fn.stats.input_count,
+            "special_count": fn.stats.special_count,
+            "reduced_count": fn.stats.reduced_count,
+            "per_fn": fn.stats.per_fn,
+        },
+    }
+
+
+def function_from_dict(data: dict[str, Any]) -> GeneratedFunction:
+    """Rebuild a runnable GeneratedFunction from frozen data."""
+    target = TARGETS_BY_NAME[data["target"]]
+    rr = _rr_from_state(data["rr_kind"], dict(data["rr_state"]), target)
+    approx = {
+        name: ApproxFunc(name, _piecewise_from_dict(d["neg"]),
+                         _piecewise_from_dict(d["pos"]))
+        for name, d in data["approx"].items()
+    }
+    st = data["stats"]
+    stats = GenStats(gen_time_s=st["gen_time_s"],
+                     oracle_time_s=st["oracle_time_s"],
+                     input_count=st["input_count"],
+                     special_count=st["special_count"],
+                     reduced_count=st["reduced_count"],
+                     per_fn=dict(st["per_fn"]))
+    spec = FunctionSpec(data["function"], target, rr, PiecewiseConfig())
+    return GeneratedFunction(spec, approx, stats)
+
+
+def render_module(data: dict[str, Any]) -> str:
+    """Render the frozen data as a Python source module."""
+    body = pprint.pformat(data, width=100, sort_dicts=True)
+    return (
+        f'"""Generated coefficient data for {data["function"]} '
+        f'({data["target"]}).\n\nProduced by the RLIBM-32 pipeline '
+        '(tools/generate_*.py); do not edit by hand.\n"""\n\n'
+        "import math\n\n"
+        "# float repr round-trips exactly; the two specials need names\n"
+        "inf = math.inf\n"
+        "nan = math.nan\n\n"
+        f"DATA = {body}\n"
+    )

@@ -1,0 +1,9 @@
+"""Linear programming substrate: exact rational simplex + HiGHS front end."""
+
+from repro.lp.rational_simplex import LPResult, LPStatus, solve_lp_exact
+from repro.lp.solver import FitResult, LinearConstraint, fit_coefficients
+
+__all__ = [
+    "LPResult", "LPStatus", "solve_lp_exact",
+    "FitResult", "LinearConstraint", "fit_coefficients",
+]

@@ -1,0 +1,219 @@
+"""Exact linear programming over rationals (SoPlex substitute).
+
+RLIBM-32 generates polynomial coefficients with SoPlex, an *exact rational*
+LP solver, because the constraints (rounding intervals) are only a few
+ulps wide and floating point LP tolerances can both accept infeasible and
+reject feasible systems.  This module is our from-scratch equivalent: a
+dense two-phase primal simplex over :class:`fractions.Fraction` with
+Bland's anti-cycling rule.
+
+It solves
+
+    maximize    c . x
+    subject to  A x <= b,   x free
+
+by splitting free variables into differences of non-negatives and adding
+slack/artificial variables.  Exact arithmetic makes it immune to
+conditioning, at the cost of speed: it is intended for the moderate
+problem sizes of the counterexample-guided sampling loop (tens of
+variables, up to a few hundred constraints) and as the certification
+fallback behind the fast floating point front end in
+:mod:`repro.lp.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = ["LPResult", "solve_lp_exact", "LPStatus"]
+
+
+class LPStatus:
+    """Status constants for :func:`solve_lp_exact`."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    #: pivot budget exhausted (exact arithmetic got too expensive)
+    LIMIT = "limit"
+
+
+@dataclass
+class LPResult:
+    """Outcome of an exact LP solve."""
+
+    status: str
+    #: Optimal variable assignment (original free variables), or None.
+    x: list[Fraction] | None = None
+    #: Optimal objective value, or None.
+    objective: Fraction | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == LPStatus.OPTIMAL
+
+
+def _pivot(tab: list[list[Fraction]], basis: list[int], row: int, col: int) -> None:
+    """Pivot the dense tableau on (row, col)."""
+    piv = tab[row][col]
+    inv = 1 / piv
+    prow = tab[row]
+    for j in range(len(prow)):
+        prow[j] *= inv
+    for i, r in enumerate(tab):
+        if i == row:
+            continue
+        factor = r[col]
+        if factor == 0:
+            continue
+        for j in range(len(r)):
+            r[j] -= factor * prow[j]
+    basis[row] = col
+
+
+def _simplex(tab: list[list[Fraction]], basis: list[int], ncols: int,
+             max_pivots: int = 400) -> str:
+    """Run primal simplex to optimality on a feasible tableau.
+
+    The last row is the objective (to be maximized; stored negated in the
+    standard reduced-cost convention), the last column is the RHS.
+    Bland's rule guarantees termination; ``max_pivots`` bounds the cost
+    when exact pivots grow expensive (callers treat LIMIT as "give up").
+    """
+    m = len(tab) - 1
+    obj = tab[m]
+    pivots = 0
+    while True:
+        pivots += 1
+        if pivots > max_pivots:
+            return LPStatus.LIMIT
+        # Bland: entering variable = smallest index with positive reduced
+        # profit (we store the objective row as z-row: entries are
+        # -reduced_cost, so "improving" means negative entry).
+        col = -1
+        for j in range(ncols):
+            if obj[j] < 0:
+                col = j
+                break
+        if col < 0:
+            return LPStatus.OPTIMAL
+        # Ratio test; Bland tie-break on smallest basis variable index.
+        best_ratio: Fraction | None = None
+        row = -1
+        for i in range(m):
+            a = tab[i][col]
+            if a > 0:
+                ratio = tab[i][-1] / a
+                if best_ratio is None or ratio < best_ratio or (
+                        ratio == best_ratio and basis[i] < basis[row]):
+                    best_ratio = ratio
+                    row = i
+        if row < 0:
+            return LPStatus.UNBOUNDED
+        _pivot(tab, basis, row, col)
+
+
+def solve_lp_exact(
+    a_ub: Sequence[Sequence[Fraction]],
+    b_ub: Sequence[Fraction],
+    c: Sequence[Fraction],
+) -> LPResult:
+    """Solve max c.x s.t. a_ub x <= b_ub with free x, exactly.
+
+    All inputs may be any rational-convertible numbers; computation is
+    exact throughout.
+    """
+    m = len(a_ub)
+    n = len(c)
+    a = [[Fraction(v) for v in row] for row in a_ub]
+    b = [Fraction(v) for v in b_ub]
+    cc = [Fraction(v) for v in c]
+    if any(len(row) != n for row in a):
+        raise ValueError("inconsistent constraint matrix width")
+
+    # Split x = u - v (u, v >= 0); columns: u(0..n-1), v(n..2n-1),
+    # slacks (2n..2n+m-1), artificials appended as needed.
+    nsplit = 2 * n
+    nslack = m
+    base_cols = nsplit + nslack
+
+    rows: list[list[Fraction]] = []
+    basis: list[int] = []
+    art_cols: list[int] = []
+    next_art = base_cols
+    for i in range(m):
+        row = [Fraction(0)] * base_cols
+        for j in range(n):
+            row[j] = a[i][j]
+            row[n + j] = -a[i][j]
+        row[nsplit + i] = Fraction(1)
+        rhs = b[i]
+        if rhs < 0:
+            # negate so RHS >= 0; slack coefficient becomes -1, needs an
+            # artificial basic variable
+            row = [-v for v in row]
+            rhs = -rhs
+            row.append(Fraction(1))
+            art_cols.append(next_art)
+            basis.append(next_art)
+            next_art += 1
+        else:
+            basis.append(nsplit + i)
+        rows.append(row + [rhs])
+
+    total_cols = next_art
+    # pad rows that predate later artificial columns
+    for row in rows:
+        while len(row) - 1 < total_cols:
+            row.insert(-1, Fraction(0))
+
+    if art_cols:
+        # Phase 1: minimize sum of artificials == maximize -sum.
+        obj = [Fraction(0)] * (total_cols + 1)
+        for j in art_cols:
+            obj[j] = Fraction(1)
+        tab = [list(r) for r in rows] + [obj]
+        # price out basic artificials
+        for i, bcol in enumerate(basis):
+            if bcol in art_cols:
+                for j in range(total_cols + 1):
+                    tab[-1][j] -= tab[i][j]
+        status = _simplex(tab, basis, total_cols)
+        if status == LPStatus.LIMIT:
+            return LPResult(LPStatus.LIMIT)
+        if status != LPStatus.OPTIMAL or tab[-1][-1] != 0:
+            return LPResult(LPStatus.INFEASIBLE)
+        # Drive any artificial still in the basis out (degenerate rows).
+        for i, bcol in enumerate(basis):
+            if bcol in art_cols:
+                for j in range(base_cols):
+                    if tab[i][j] != 0:
+                        _pivot(tab, basis, i, j)
+                        break
+        rows = [r[: base_cols] + [r[-1]] for r in tab[:-1]]
+        total_cols = base_cols
+
+    # Phase 2: maximize c.(u - v); z-row holds -c entries.
+    obj = [Fraction(0)] * (total_cols + 1)
+    for j in range(n):
+        obj[j] = -cc[j]
+        obj[n + j] = cc[j]
+    tab = [list(r) for r in rows] + [obj]
+    for i, bcol in enumerate(basis):
+        if bcol < total_cols and tab[-1][bcol] != 0:
+            factor = tab[-1][bcol]
+            for j in range(total_cols + 1):
+                tab[-1][j] -= factor * tab[i][j]
+    status = _simplex(tab, basis, total_cols)
+    if status != LPStatus.OPTIMAL:
+        return LPResult(status)
+
+    values = [Fraction(0)] * total_cols
+    for i, bcol in enumerate(basis):
+        if bcol < total_cols:
+            values[bcol] = tab[i][-1]
+    x = [values[j] - values[n + j] for j in range(n)]
+    objective = sum(ci * xi for ci, xi in zip(cc, x))
+    return LPResult(LPStatus.OPTIMAL, x=x, objective=objective)

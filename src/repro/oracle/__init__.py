@@ -1,0 +1,9 @@
+"""Correctly rounded oracle (mpmath-backed MPFR substitute)."""
+
+from repro.oracle.functions import FUNCTIONS, FunctionDef, get_function
+from repro.oracle.mpmath_oracle import Oracle, OracleError, default_oracle, mpf_to_fraction
+
+__all__ = [
+    "FUNCTIONS", "FunctionDef", "get_function",
+    "Oracle", "OracleError", "default_oracle", "mpf_to_fraction",
+]

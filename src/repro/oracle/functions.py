@@ -1,0 +1,249 @@
+"""Definitions of the elementary functions the library approximates.
+
+RLIBM-32 ships ten correctly rounded float functions — ln, log2, log10,
+exp, exp2, exp10, sinh, cosh, sinpi, cospi — and eight posit32 functions
+(the same list minus sinpi/cospi).  Each :class:`FunctionDef` bundles
+everything the pipeline needs to know about a function:
+
+* how to evaluate it to arbitrary precision with mpmath (the oracle),
+* an *exact hook* returning the exact rational value at inputs where the
+  result is itself rational (these are precisely the potential hard ties
+  of the table maker's dilemma — e.g. ``sinpi`` at half-integers, ``exp2``
+  at integers — so the Ziv escalation loop always terminates),
+* IEEE limit/domain conventions for non-finite or out-of-domain inputs,
+* the input domain over which a finite float input produces a finite,
+  non-trivial result (used by the samplers and the special-case layers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable
+
+import mpmath
+
+__all__ = ["FunctionDef", "FUNCTIONS", "get_function"]
+
+# Exactly representable powers of ten (10**k is dyadic for k >= 0 and fits
+# a double's 53-bit significand up to 10**22).
+_EXACT_POW10 = {Fraction(10) ** k: k for k in range(0, 23)}
+
+
+def _exact_ln(x: Fraction) -> Fraction | None:
+    return Fraction(0) if x == 1 else None
+
+
+def _exact_log2(x: Fraction) -> Fraction | None:
+    # Dyadic x is a power of two iff its numerator or denominator is 1
+    # and the other is a power of two.
+    if x <= 0:
+        return None
+    n, d = x.numerator, x.denominator
+    if d == 1 and n & (n - 1) == 0:
+        return Fraction(n.bit_length() - 1)
+    if n == 1 and d & (d - 1) == 0:
+        return Fraction(-(d.bit_length() - 1))
+    return None
+
+
+def _exact_log10(x: Fraction) -> Fraction | None:
+    k = _EXACT_POW10.get(x)
+    return None if k is None else Fraction(k)
+
+
+def _exact_exp(x: Fraction) -> Fraction | None:
+    return Fraction(1) if x == 0 else None
+
+
+def _exact_exp2(x: Fraction) -> Fraction | None:
+    if x.denominator == 1:
+        return Fraction(2) ** x.numerator
+    return None
+
+
+def _exact_exp10(x: Fraction) -> Fraction | None:
+    if x.denominator == 1:
+        return Fraction(10) ** x.numerator
+    return None
+
+
+def _exact_sinh(x: Fraction) -> Fraction | None:
+    return Fraction(0) if x == 0 else None
+
+
+def _exact_cosh(x: Fraction) -> Fraction | None:
+    return Fraction(1) if x == 0 else None
+
+
+def _exact_sinpi(x: Fraction) -> Fraction | None:
+    # Niven: for dyadic rational x the only rational values of sin(pi x)
+    # occur at integers (0) and half-integers (+/-1).
+    if x.denominator == 1:
+        return Fraction(0)
+    if x.denominator == 2:
+        # x = k + 1/2 with k = (numerator-1)/2 ; sinpi = (-1)**k
+        k = (x.numerator - 1) // 2
+        return Fraction(1) if k % 2 == 0 else Fraction(-1)
+    return None
+
+
+def _exact_cospi(x: Fraction) -> Fraction | None:
+    if x.denominator == 1:
+        return Fraction(1) if x.numerator % 2 == 0 else Fraction(-1)
+    if x.denominator == 2:
+        return Fraction(0)
+    return None
+
+
+def _limits_ln(x: float) -> float | None:
+    if math.isnan(x):
+        return math.nan
+    if x == 0.0:
+        return -math.inf
+    if x < 0:
+        return math.nan
+    if x == math.inf:
+        return math.inf
+    return None
+
+
+def _limits_exp_family(x: float) -> float | None:
+    if math.isnan(x):
+        return math.nan
+    if x == math.inf:
+        return math.inf
+    if x == -math.inf:
+        return 0.0
+    return None
+
+
+def _limits_sinh(x: float) -> float | None:
+    if math.isnan(x):
+        return math.nan
+    if math.isinf(x):
+        return x
+    return None
+
+
+def _limits_cosh(x: float) -> float | None:
+    if math.isnan(x):
+        return math.nan
+    if math.isinf(x):
+        return math.inf
+    return None
+
+
+def _limits_sincospi(x: float) -> float | None:
+    if math.isnan(x) or math.isinf(x):
+        return math.nan
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """Everything the pipeline needs to know about one elementary function."""
+
+    name: str
+    #: Evaluate at an mpf under the *current* mpmath working precision.
+    mp_call: Callable[[mpmath.mpf], mpmath.mpf]
+    #: Exact rational result when one exists (the potential hard ties).
+    exact_hook: Callable[[Fraction], Fraction | None]
+    #: IEEE convention for NaN/inf/out-of-domain double inputs, else None.
+    limit_cases: Callable[[float], float | None]
+    #: Closed domain of finite inputs the oracle accepts.
+    domain_lo: float = -math.inf
+    domain_hi: float = math.inf
+    #: True if f(-x) == -f(x); True-as-even handled via odd=False.
+    odd: bool = False
+    even: bool = False
+    #: Human-oriented note about the range reduction family.
+    notes: str = ""
+
+    def in_domain(self, x: float) -> bool:
+        """True when a finite ``x`` has a finite real function value."""
+        return self.domain_lo <= x <= self.domain_hi
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FUNCTIONS: dict[str, FunctionDef] = {}
+
+
+def _register(fd: FunctionDef) -> FunctionDef:
+    FUNCTIONS[fd.name] = fd
+    return fd
+
+
+LN = _register(FunctionDef(
+    "ln", mpmath.ln, _exact_ln, _limits_ln,
+    domain_lo=0.0, notes="table-driven log reduction (Tang)"))
+LOG2 = _register(FunctionDef(
+    "log2", lambda v: mpmath.log(v, 2), _exact_log2, _limits_ln,
+    domain_lo=0.0, notes="table-driven log reduction (Tang)"))
+LOG10 = _register(FunctionDef(
+    "log10", mpmath.log10, _exact_log10, _limits_ln,
+    domain_lo=0.0, notes="table-driven log reduction (Tang)"))
+EXP = _register(FunctionDef(
+    "exp", mpmath.exp, _exact_exp, _limits_exp_family,
+    notes="2**(k/64) table reduction"))
+EXP2 = _register(FunctionDef(
+    "exp2", lambda v: mpmath.power(2, v), _exact_exp2, _limits_exp_family,
+    notes="2**(k/64) table reduction"))
+EXP10 = _register(FunctionDef(
+    "exp10", lambda v: mpmath.power(10, v), _exact_exp10, _limits_exp_family,
+    notes="2**(k/64) table reduction"))
+SINH = _register(FunctionDef(
+    "sinh", mpmath.sinh, _exact_sinh, _limits_sinh, odd=True,
+    notes="sinh/cosh(N/64) tables; two reduced functions"))
+COSH = _register(FunctionDef(
+    "cosh", mpmath.cosh, _exact_cosh, _limits_cosh, even=True,
+    notes="sinh/cosh(N/64) tables; two reduced functions"))
+SINPI = _register(FunctionDef(
+    "sinpi", mpmath.sinpi, _exact_sinpi, _limits_sincospi, odd=True,
+    notes="periodicity + N/512 tables (paper section 2)"))
+COSPI = _register(FunctionDef(
+    "cospi", mpmath.cospi, _exact_cospi, _limits_sincospi, even=True,
+    notes="monotonic N'/512 - R reduction (paper section 5)"))
+
+
+# ----------------------------------------------------------------------
+# Reduced elementary functions used by the log range reduction:
+# after x = 2**e * F * (1 + r), the polynomial target is log_b(1 + r).
+# mpmath.log1p keeps full accuracy for tiny r.
+# ----------------------------------------------------------------------
+
+def _exact_log1p(x: Fraction) -> Fraction | None:
+    return Fraction(0) if x == 0 else None
+
+
+def _exact_log2_1p(x: Fraction) -> Fraction | None:
+    return _exact_log2(1 + x)
+
+
+def _exact_log10_1p(x: Fraction) -> Fraction | None:
+    return _exact_log10(1 + x)
+
+
+_LN10 = None  # computed lazily inside mp_call at working precision
+
+LOG1P = _register(FunctionDef(
+    "log1p", mpmath.log1p, _exact_log1p, _limits_ln,
+    domain_lo=-1.0, notes="reduced function of ln"))
+LOG2_1P = _register(FunctionDef(
+    "log2_1p", lambda v: mpmath.log1p(v) / mpmath.ln(2), _exact_log2_1p,
+    _limits_ln, domain_lo=-1.0, notes="reduced function of log2"))
+LOG10_1P = _register(FunctionDef(
+    "log10_1p", lambda v: mpmath.log1p(v) / mpmath.ln(10), _exact_log10_1p,
+    _limits_ln, domain_lo=-1.0, notes="reduced function of log10"))
+
+
+def get_function(name: str) -> FunctionDef:
+    """Look up a registered elementary function by name."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown elementary function {name!r}; "
+                       f"known: {sorted(FUNCTIONS)}") from None

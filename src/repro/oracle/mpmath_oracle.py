@@ -1,0 +1,186 @@
+"""The correctly rounded oracle (MPFR substitute, built on mpmath).
+
+The paper computes the oracle result of each ``f(x)`` with MPFR at up to
+400 bits of precision.  We use mpmath — the Python analogue of MPFR — and
+make the result *trustworthy* with a Ziv-style escalation loop:
+
+1. evaluate ``f(x)`` at working precision ``p``;
+2. widen the result to a rational bracketing interval ``[lo, hi]`` with a
+   generous error allowance (mpmath functions are accurate to within a
+   couple of ulps at the working precision);
+3. if both endpoints round to the same value in the requested target
+   format, that value is the correctly rounded result;
+4. otherwise double ``p`` and retry.
+
+Inputs whose exact result is itself rational (the genuinely hard ties of
+the table maker's dilemma, e.g. ``exp2`` of an integer or ``sinpi`` of a
+half-integer) are answered exactly by the per-function ``exact_hook``,
+so the loop always terminates.
+
+The oracle caches aggressively: the generator asks for the same inputs
+many times while deducing reduced intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Protocol
+
+import mpmath
+
+from repro.fp.bits import fraction_to_double
+from repro.fp.formats import FLOAT64
+from repro.oracle.functions import FunctionDef, get_function
+
+__all__ = ["Oracle", "OracleError", "default_oracle", "mpf_to_fraction"]
+
+_START_PREC = 128
+_MAX_PREC = 8192
+#: Error allowance in ulps-at-working-precision for one mpmath call.
+_SLOP_BITS = 6
+
+
+class OracleError(RuntimeError):
+    """Raised when the oracle cannot certify a correctly rounded result."""
+
+
+class _RoundsFractions(Protocol):
+    """Any representation with ``from_fraction``: FloatFormat or PositFormat."""
+
+    def from_fraction(self, q: Fraction) -> int: ...
+
+
+def mpf_to_fraction(v: mpmath.mpf) -> Fraction:
+    """Exact rational value of a finite mpf."""
+    if not mpmath.isfinite(v):
+        raise ValueError(f"not finite: {v!r}")
+    sign, man, exp, _bc = v._mpf_
+    if man == 0:
+        return Fraction(0)
+    q = Fraction(man) * Fraction(2) ** exp
+    return -q if sign else q
+
+
+class Oracle:
+    """Correctly rounded evaluation of the registered elementary functions."""
+
+    def __init__(self, start_prec: int = _START_PREC, max_prec: int = _MAX_PREC,
+                 cache: bool = True):
+        self.start_prec = start_prec
+        self.max_prec = max_prec
+        #: set False for timing runs (a memoized oracle would otherwise
+        #: time as dictionary lookups instead of Ziv evaluation)
+        self.cache = cache
+        self._bits_cache: dict[tuple[str, float, int], int] = {}
+        self._double_cache: dict[tuple[str, float], float] = {}
+
+    # ------------------------------------------------------------------
+    # Core bracketing primitive
+    # ------------------------------------------------------------------
+    def bracket(self, fn: FunctionDef, x: float, prec: int) -> tuple[Fraction, Fraction, bool]:
+        """Rational interval containing the exact f(x); flag = exact.
+
+        ``x`` must be finite and in the function's domain (domain
+        boundaries such as ``ln(0)`` are limit cases handled by callers).
+        """
+        exact = fn.exact_hook(Fraction(x))
+        if exact is not None:
+            return exact, exact, True
+        with mpmath.workprec(prec):
+            v = fn.mp_call(mpmath.mpf(x))
+        if mpmath.isfinite(v) and v != 0:
+            # exp of a posit-scale input can have a binary exponent of
+            # ~1e30; rationalizing that would build an astronomically
+            # large integer.  Any result beyond 2**4200 rounds to the
+            # top of every supported format (inf / maxpos) and anything
+            # below 2**-4200 to the bottom, so clamp to a representative
+            # bracket instead.
+            sign_bit, _man, v_exp, v_bc = v._mpf_
+            scale = v_exp + v_bc
+            if scale > 4200:
+                hi = Fraction(2) ** 4300
+                lo = Fraction(2) ** 4200
+                return (-hi, -lo, False) if sign_bit else (lo, hi, False)
+            if scale < -4200:
+                hi = Fraction(1, 2 ** 4200)
+                lo = Fraction(1, 2 ** 4300)
+                return (-hi, -lo, False) if sign_bit else (lo, hi, False)
+        q = mpf_to_fraction(v)
+        if q == 0:
+            # None of the registered functions returns an inexact zero at
+            # mpmath precision (zeros are caught by the exact hooks), but
+            # guard against it: a zero with no exact hook is uncertifiable
+            # at this precision.
+            return Fraction(-1), Fraction(1), False
+        # q = m * 2**e with 2**(e') <= |q| < 2**(e'+1); one ulp at
+        # precision prec is 2**(e'+1-prec); allow 2**_SLOP_BITS of them.
+        mag = abs(q)
+        e = mag.numerator.bit_length() - mag.denominator.bit_length()
+        eps = Fraction(2) ** (e + 1 - prec + _SLOP_BITS)
+        return q - eps, q + eps, False
+
+    # ------------------------------------------------------------------
+    # Rounding entry points
+    # ------------------------------------------------------------------
+    def round_to_bits(self, fn_name: str, x: float, fmt: _RoundsFractions) -> int:
+        """Correctly rounded f(x) as a bit pattern of ``fmt``.
+
+        ``x`` must be finite and inside the function domain; limit cases
+        (NaN, infinities, ``ln`` of non-positives) belong to the
+        special-case layer of each library function, not the oracle.
+        """
+        key = (fn_name, x, id(fmt))
+        if self.cache:
+            hit = self._bits_cache.get(key)
+            if hit is not None:
+                return hit
+        fn = get_function(fn_name)
+        if not (math.isfinite(x) and fn.in_domain(x)):
+            raise ValueError(f"{fn_name}({x!r}) is a limit/special case, "
+                             "not an oracle query")
+        prec = self.start_prec
+        while prec <= self.max_prec:
+            lo, hi, exact = self.bracket(fn, x, prec)
+            lo_bits = fmt.from_fraction(lo)
+            if exact:
+                self._bits_cache[key] = lo_bits
+                return lo_bits
+            hi_bits = fmt.from_fraction(hi)
+            if lo_bits == hi_bits:
+                self._bits_cache[key] = lo_bits
+                return lo_bits
+            prec *= 2
+        raise OracleError(
+            f"could not certify {fn_name}({x!r}) at {self.max_prec} bits")
+
+    def round_to_double(self, fn_name: str, x: float) -> float:
+        """Correctly rounded f(x) in H = binary64.
+
+        This is the paper's ``RN_H(f_i(r))`` used as the initial guess of
+        the reduced interval (Algorithm 2, line 7).
+        """
+        key = (fn_name, x)
+        if self.cache:
+            hit = self._double_cache.get(key)
+            if hit is not None:
+                return hit
+        bits = self.round_to_bits(fn_name, x, FLOAT64)
+        val = FLOAT64.to_double(bits)
+        self._double_cache[key] = val
+        return val
+
+    def real_value(self, fn_name: str, x: float, prec: int = 256) -> mpmath.mpf:
+        """Plain high-precision value (for mini-max baselines and plots)."""
+        fn = get_function(fn_name)
+        with mpmath.workprec(prec):
+            return fn.mp_call(mpmath.mpf(x))
+
+    def clear_cache(self) -> None:
+        """Drop the memoized results."""
+        self._bits_cache.clear()
+        self._double_cache.clear()
+
+
+#: Shared module-level oracle; the caches make sharing worthwhile.
+default_oracle = Oracle()

@@ -1,0 +1,29 @@
+"""Range reductions and output compensations for every library function."""
+
+from repro.core.intervals import TargetFormat
+from repro.rangereduction.base import RangeReduction, RangeReductionError, Reduced
+from repro.rangereduction.exp import ExpReduction
+from repro.rangereduction.log import LogReduction
+from repro.rangereduction.sinhcosh import SinhCoshReduction
+from repro.rangereduction.sinpicospi import CosPiReduction, SinPiReduction
+
+__all__ = [
+    "RangeReduction", "RangeReductionError", "Reduced",
+    "ExpReduction", "LogReduction", "SinhCoshReduction",
+    "CosPiReduction", "SinPiReduction", "reduction_for",
+]
+
+
+def reduction_for(name: str, target: TargetFormat, **kwargs) -> RangeReduction:
+    """Build the paper's range reduction for a function name and target."""
+    if name in ("ln", "log2", "log10"):
+        return LogReduction(name, target, **kwargs)
+    if name in ("exp", "exp2", "exp10"):
+        return ExpReduction(name, target, **kwargs)
+    if name in ("sinh", "cosh"):
+        return SinhCoshReduction(name, target, **kwargs)
+    if name == "sinpi":
+        return SinPiReduction(target, **kwargs)
+    if name == "cospi":
+        return CosPiReduction(target, **kwargs)
+    raise ValueError(f"no range reduction registered for {name!r}")

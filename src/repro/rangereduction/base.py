@@ -1,0 +1,119 @@
+"""Range reduction / output compensation interface.
+
+A :class:`RangeReduction` bundles the three pieces the paper associates
+with each elementary function f:
+
+* ``special(x)`` — the special-case layer: NaN/inf propagation, domain
+  errors, overflow/saturation thresholds and the tiny-input shortcuts
+  (e.g. ``sinpi(x) = round(pi*x)`` for ``|x| < 1.17e-7``).  When it
+  returns a value, that value **is** the final double-precision answer
+  (to be rounded to T); the generator excludes such inputs from the
+  constraint set.
+* ``reduce(x)`` — the range reduction RR_H, performed in double exactly
+  as the runtime will perform it.  It returns the reduced input ``r``
+  plus an opaque *compensation context* (table entries, signs, exponent
+  shifts) that output compensation needs.
+* ``compensate(values, ctx)`` — the output compensation OC_H: combines
+  approximations of the reduced elementary functions (one value per name
+  in :attr:`fn_names`, in order) into the answer for the original input.
+  It must be monotonic in each value, all in the same direction — the
+  requirement of Algorithm 2.
+
+Crucially, ``reduce`` and ``compensate`` are *the same code at generation
+time and at runtime*: every numerical error they commit is thereby baked
+into the reduced rounding intervals, which is the core idea that lets the
+generated polynomials produce correctly rounded results.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import NamedTuple, Sequence
+
+__all__ = ["Reduced", "RangeReduction", "RangeReductionError"]
+
+
+class RangeReductionError(RuntimeError):
+    """Output compensation cannot reach the rounding interval.
+
+    The paper's remedy: redesign the range reduction or increase the
+    precision of H (Algorithm 2, line 8).
+    """
+
+
+class Reduced(NamedTuple):
+    """A reduced input with its output-compensation context.
+
+    A NamedTuple, not a dataclass: one is constructed per library call on
+    the runtime hot path.
+    """
+
+    r: float
+    ctx: tuple
+
+
+class RangeReduction(ABC):
+    """One function's special cases, reduction and output compensation."""
+
+    #: Name of the elementary function being implemented (oracle name).
+    name: str
+    #: Oracle names of the reduced elementary functions f_i, in the order
+    #: ``compensate`` expects their values.
+    fn_names: tuple[str, ...]
+    #: Monomial exponents to use when approximating each f_i (odd/even
+    #: structure); parallel to fn_names.
+    exponents: tuple[tuple[int, ...], ...]
+
+    @abstractmethod
+    def special(self, x: float) -> float | None:
+        """Final answer for special-case inputs, else None."""
+
+    @abstractmethod
+    def reduce(self, x: float) -> Reduced:
+        """Range-reduce a non-special input (double arithmetic)."""
+
+    @abstractmethod
+    def compensate(self, values: Sequence[float], ctx: tuple) -> float:
+        """Output compensation (double arithmetic, monotone per value)."""
+
+    def exponents_for(self, fn_name: str) -> tuple[int, ...]:
+        """Monomial structure for one reduced function."""
+        return self.exponents[self.fn_names.index(fn_name)]
+
+    def make_fast_evaluate(self, funcs: Sequence, rnd):
+        """Build the runtime hot-path closure for this reduction.
+
+        ``funcs`` are the compiled approximations of the reduced
+        elementary functions (in :attr:`fn_names` order) and ``rnd`` the
+        final rounding RN_T.  The generic version composes the
+        special/reduce/compensate methods; subclasses override it with a
+        fully inlined straight-line path (the Python analogue of the C
+        functions RLIBM-32 emits) that is *bit-identical* to the generic
+        composition — tests assert this exhaustively on small formats.
+        """
+        special = self.special
+        reduce = self.reduce
+        compensate = self.compensate
+        if len(funcs) == 1:
+            f0 = funcs[0]
+
+            def evaluate(x: float) -> float:
+                s = special(x)
+                if s is not None:
+                    return rnd(s)
+                r, ctx = reduce(x)
+                return rnd(compensate((f0(r),), ctx))
+        else:
+            f0, f1 = funcs
+
+            def evaluate(x: float) -> float:
+                s = special(x)
+                if s is not None:
+                    return rnd(s)
+                r, ctx = reduce(x)
+                return rnd(compensate((f0(r), f1(r)), ctx))
+
+        return evaluate
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RangeReduction({self.name})"

@@ -1,0 +1,46 @@
+"""Sampling domains and boundary centers for each library function.
+
+Shared by the generation driver (:mod:`repro.libm.genlib`) and the
+evaluation harness: the *interesting* input range of a function (the
+finite inputs its special-case layer does not answer outright) and the
+structural points whose target-ordinal neighbourhoods deserve exhaustive
+coverage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.intervals import TargetFormat
+from repro.fp.float32 import FLT_MAX, FLT_MIN_SUBNORMAL
+from repro.posit.format import PositFormat
+from repro.rangereduction.base import RangeReduction
+
+__all__ = ["sampling_domain", "boundary_centers"]
+
+
+def sampling_domain(name: str, fmt: TargetFormat,
+                    rr: RangeReduction) -> tuple[float, float]:
+    """Interesting (non-special) input range to sample for this function."""
+    if name in ("ln", "log2", "log10"):
+        if isinstance(fmt, PositFormat):
+            return float(fmt.minpos), float(fmt.maxpos)
+        return FLT_MIN_SUBNORMAL, FLT_MAX
+    if name in ("exp", "exp2", "exp10"):
+        return rr._lo_thr, rr._hi_thr
+    if name in ("sinh", "cosh"):
+        return -rr._hi_thr, rr._hi_thr
+    # sinpi/cospi: beyond 2**23 everything is an integer special case
+    return -(2.0 ** 23), 2.0 ** 23
+
+
+def boundary_centers(name: str, rr: RangeReduction, lo: float,
+                     hi: float) -> list[float]:
+    """Special-case boundaries and structural points to pool around."""
+    base = [lo, hi, 1.0, -1.0, 2.0, 0.5]
+    if name in ("sinpi", "cospi"):
+        base += [k / 2.0 for k in range(-8, 9)]
+        base += [k / 512.0 for k in (1, 255, 256, 257)]
+    if name in ("exp", "exp2", "exp10", "sinh", "cosh"):
+        base += [-0.01, 0.01, math.log(2), -math.log(2)]
+    return [c for c in base if lo <= c <= hi]

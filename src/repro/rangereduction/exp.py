@@ -1,0 +1,131 @@
+"""Range reduction for the exponential family (exp, exp2, exp10).
+
+Classic 2**(k/64) table reduction (Tang):
+
+    x = k * C + r,   k = round(x / C),   C = log_b'(2)/64 for base b
+    f(x) = 2**(k/64) * f(r) = 2**q * T[j] * f(r),  k = 64q + j, j in [0, 64)
+
+For exp2, C = 1/64 and the subtraction ``x - k*C`` is *exact*; for exp and
+exp10 the rounded constant C makes r a slightly perturbed reduced input —
+harmless, because Algorithm 2 derives the reduced intervals from the very
+same double computation.  Reduced inputs carry both signs, so Algorithm 3
+generates separate piecewise polynomials for negative and positive r
+(Table 3 lists exactly that for exp/exp2/exp10).
+
+Special cases are target-derived: IEEE targets overflow to +inf and
+underflow to 0 past thresholds found by bisection against the oracle;
+posit targets instead *saturate* to maxpos/minpos — the very behaviour
+that makes repurposed double libraries wrong for posits (Table 2).
+
+Output compensation ``ldexp(T[j] * v, q)`` is monotonically increasing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.intervals import TargetFormat
+from repro.fp.formats import FloatFormat
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+from repro.posit.format import PositFormat
+from repro.rangereduction.base import RangeReduction, Reduced
+from repro.rangereduction.tables import exp2_fraction_table
+from repro.rangereduction.thresholds import (max_finite, ordinal_boundary,
+                                             result_equals)
+
+__all__ = ["ExpReduction"]
+
+
+def _c_constants(base: str, oracle: Oracle) -> tuple[float, float]:
+    """(1/C, C) with C = step of the reduction for this base."""
+    if base == "exp2":
+        return 64.0, 1.0 / 64.0
+    if base == "exp":
+        # C = ln(2)/64; both constants correctly rounded via the oracle
+        ln2 = oracle.round_to_double("ln", 2.0)
+        return 64.0 / ln2, ln2 / 64.0
+    if base == "exp10":
+        log10_2 = oracle.round_to_double("log10", 2.0)
+        return 64.0 / log10_2, log10_2 / 64.0
+    raise ValueError(f"base must be exp/exp2/exp10, got {base!r}")
+
+
+class ExpReduction(RangeReduction):
+    """exp/exp2/exp10 via the 64-entry 2**(j/64) table."""
+
+    def __init__(self, base: str, target: TargetFormat,
+                 max_degree: int = 7, oracle: Oracle = default_oracle):
+        self.name = base
+        self.target = target
+        self.fn_names = (base,)
+        self.exponents = (tuple(range(0, max_degree + 1)),)
+        self._c_inv, self._c = _c_constants(base, oracle)
+        self._tab = exp2_fraction_table(64)
+        self._saturating = isinstance(target, PositFormat)
+
+        if self._saturating:
+            hi_bits = target.maxpos_bits
+            lo_bits = target.minpos_bits
+            self._hi_result = target.to_double(hi_bits)
+            self._lo_result = target.to_double(lo_bits)
+        else:
+            assert isinstance(target, FloatFormat)
+            hi_bits = target.inf_bits
+            lo_bits = 0
+            self._hi_result = math.inf
+            self._lo_result = 0.0
+        # smallest x whose result is already the saturated/overflowed top
+        big = min(4096.0, max_finite(target))
+        _, first_hi = ordinal_boundary(
+            target, lambda x: not result_equals(self.name, target, hi_bits,
+                                                oracle)(x),
+            x_true=1.0, x_false=big)
+        self._hi_thr = first_hi
+        # largest (most negative allowed) x whose result is the bottom
+        last_lo, _ = ordinal_boundary(
+            target, result_equals(self.name, target, lo_bits, oracle),
+            x_true=-big, x_false=-1.0)
+        self._lo_thr = last_lo
+
+    def special(self, x: float) -> float | None:
+        if math.isnan(x):
+            return math.nan
+        if x >= self._hi_thr:
+            return self._hi_result
+        if x <= self._lo_thr:
+            return self._lo_result
+        if x == 0.0:
+            return 1.0
+        return None
+
+    def reduce(self, x: float) -> Reduced:
+        k = round(x * self._c_inv)
+        r = x - k * self._c
+        q, j = divmod(k, 64)
+        return Reduced(r + 0.0, (q, j))
+
+    def compensate(self, values: Sequence[float], ctx: tuple) -> float:
+        q, j = ctx
+        return math.ldexp(self._tab[j] * values[0], q)
+
+    def make_fast_evaluate(self, funcs, rnd):
+        """Inlined hot path (bit-identical to special/reduce/compensate)."""
+        f0 = funcs[0]
+        tab = self._tab
+        c_inv = self._c_inv
+        c = self._c
+        lo_thr = self._lo_thr
+        hi_thr = self._hi_thr
+        special = self.special
+        ldexp = math.ldexp
+
+        def evaluate(x: float) -> float:
+            if lo_thr < x < hi_thr and x != 0.0:   # NaN fails comparisons
+                k = round(x * c_inv)
+                r = x - k * c
+                q, j = divmod(k, 64)
+                return rnd(ldexp(tab[j] * f0(r + 0.0), q))
+            return rnd(special(x))
+
+        return evaluate

@@ -1,0 +1,110 @@
+"""Range reduction for the logarithm family (ln, log2, log10).
+
+Classic table-driven reduction (Tang): decompose
+
+    x = 2**e * m,          m in [1, 2)
+    m = F * (1 + r),       F = 1 + j/128  (j = top 7 mantissa bits of m)
+
+so that
+
+    log_b(x) = e * log_b(2) + log_b(F) + log_b(1 + r)
+
+with ``r = (m - F) / F`` in ``[0, 1/128)``.  ``m - F`` is exact by
+Sterbenz' lemma; the division by F rounds, and the table entries and
+``log_b(2)`` constant are rounded doubles — all of which Algorithm 2
+absorbs into the reduced intervals because generation runs this very
+code.  The reduced elementary function is ``log_b(1 + r)``, approximated
+by a polynomial with no constant term (it vanishes at r = 0, which the
+reduction produces whenever x = F * 2**e exactly).
+
+Output compensation ``(e * C + TAB[j]) + v`` is monotonically increasing
+in v, as Algorithm 2 requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.intervals import TargetFormat
+from repro.rangereduction.base import RangeReduction, Reduced
+from repro.rangereduction.tables import log_scale_constant, log_table
+
+__all__ = ["LogReduction"]
+
+#: top-level function name -> reduced function name
+_REDUCED_NAME = {"ln": "log1p", "log2": "log2_1p", "log10": "log10_1p"}
+
+
+class LogReduction(RangeReduction):
+    """ln/log2/log10 via 128-entry log tables."""
+
+    def __init__(self, base: str, target: TargetFormat, table_bits: int = 7,
+                 max_degree: int = 6):
+        if base not in _REDUCED_NAME:
+            raise ValueError(f"base must be ln/log2/log10, got {base!r}")
+        self.name = base
+        self.target = target
+        self.fn_names = (_REDUCED_NAME[base],)
+        # log_b(1+r) vanishes at r=0: no constant term.
+        self.exponents = (tuple(range(1, max_degree + 1)),)
+        self.table_bits = table_bits
+        self._entries = 1 << table_bits
+        self._tab = log_table(base, table_bits)
+        # log2 needs no scale constant (the exponent contributes exactly e)
+        self._scale = 1.0 if base == "log2" else log_scale_constant(base)
+        self._pure_exponent = base == "log2"
+
+    def special(self, x: float) -> float | None:
+        if math.isnan(x):
+            return math.nan
+        if x == 0.0:
+            return -math.inf
+        if x < 0.0:
+            return math.nan
+        if math.isinf(x):
+            return math.inf
+        return None
+
+    def reduce(self, x: float) -> Reduced:
+        m, e2 = math.frexp(x)   # x = m * 2**e2, m in [0.5, 1)
+        e = e2 - 1
+        m = m * 2.0             # m in [1, 2), exact
+        j = int((m - 1.0) * self._entries)   # exact: scale + truncate
+        f = 1.0 + j / self._entries
+        d = m - f               # exact (Sterbenz)
+        r = d / f               # rounds; r in [0, 1/128)
+        return Reduced(r + 0.0, (e, j))
+
+    def compensate(self, values: Sequence[float], ctx: tuple) -> float:
+        e, j = ctx
+        v = values[0]
+        if self._pure_exponent:
+            return (e + self._tab[j]) + v
+        return (e * self._scale + self._tab[j]) + v
+
+    def make_fast_evaluate(self, funcs, rnd):
+        """Inlined hot path (bit-identical to special/reduce/compensate)."""
+        f0 = funcs[0]
+        tab = self._tab
+        entries = float(self._entries)
+        inv_entries = 1.0 / self._entries   # exact (power of two)
+        scale = self._scale
+        pure = self._pure_exponent
+        special = self.special
+        frexp = math.frexp
+        inf = math.inf
+
+        def evaluate(x: float) -> float:
+            if 0.0 < x < inf:               # NaN fails both comparisons
+                m, e2 = frexp(x)
+                m = m * 2.0
+                j = int((m - 1.0) * entries)
+                f = 1.0 + j * inv_entries
+                r = (m - f) / f
+                if pure:
+                    return rnd(((e2 - 1) + tab[j]) + f0(r))
+                return rnd(((e2 - 1) * scale + tab[j]) + f0(r))
+            return rnd(special(x))
+
+        return evaluate

@@ -1,0 +1,120 @@
+"""Range reduction for sinh and cosh — two reduced elementary functions.
+
+Decompose |x| = k/64 + R with k = round(64|x|); both k/64 and the
+subtraction are exact in double.  The addition identities
+
+    sinh(m + R) = sinh(m) cosh(R) + cosh(m) sinh(R)
+    cosh(m + R) = cosh(m) cosh(R) + sinh(m) sinh(R)
+
+turn the problem into approximating *two* functions of the reduced input,
+sinh(R) (odd) and cosh(R) (even), over R in [-1/128, 1/128] — the very
+case that motivates Algorithm 2's simultaneous interval deduction: the
+paper notes that reducing sinh/cosh any other way gives the LP
+condition-number trouble.  Table entries sinh(k/64), cosh(k/64) are
+correctly rounded doubles; both compensation formulas are monotonically
+increasing in both values (all table entries are non-negative; the odd
+symmetry of sinh is handled by a sign in the context, which flips the
+direction uniformly — still monotone as Algorithm 2 requires).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.intervals import TargetFormat
+from repro.fp.formats import FloatFormat
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+from repro.posit.format import PositFormat
+from repro.rangereduction.base import RangeReduction, Reduced
+from repro.rangereduction.tables import sinhcosh_tables
+from repro.rangereduction.thresholds import (max_finite, ordinal_boundary,
+                                             result_equals)
+
+__all__ = ["SinhCoshReduction"]
+
+
+class SinhCoshReduction(RangeReduction):
+    """sinh/cosh via sinh(k/64)/cosh(k/64) tables."""
+
+    def __init__(self, which: str, target: TargetFormat,
+                 max_degree: int = 5, oracle: Oracle = default_oracle):
+        if which not in ("sinh", "cosh"):
+            raise ValueError(f"which must be sinh or cosh, got {which!r}")
+        self.name = which
+        self.target = target
+        self.fn_names = ("sinh", "cosh")
+        # sinh(R) is odd, cosh(R) is even
+        odd = tuple(range(1, max_degree + 1, 2))
+        even = tuple(range(0, max_degree + 1, 2))
+        self.exponents = (odd, even)
+        self._is_sinh = which == "sinh"
+        self._saturating = isinstance(target, PositFormat)
+
+        if self._saturating:
+            hi_bits = target.maxpos_bits
+            self._hi_result = target.to_double(hi_bits)
+        else:
+            assert isinstance(target, FloatFormat)
+            hi_bits = target.inf_bits
+            self._hi_result = math.inf
+        big = min(4096.0, max_finite(target))
+        _, first_hi = ordinal_boundary(
+            target,
+            lambda x: not result_equals(which, target, hi_bits, oracle)(x),
+            x_true=1.0, x_false=big)
+        self._hi_thr = first_hi
+
+        kmax = int(round(self._hi_thr * 64.0))
+        self._sinh_t, self._cosh_t = sinhcosh_tables(kmax)
+
+    def special(self, x: float) -> float | None:
+        if math.isnan(x):
+            return math.nan
+        ax = abs(x)
+        if ax >= self._hi_thr:
+            if self._is_sinh:
+                return math.copysign(self._hi_result, x)
+            return self._hi_result
+        if x == 0.0:
+            # sinh(+-0) = +-0 exactly; cosh(+-0) = 1 exactly
+            return x if self._is_sinh else 1.0
+        return None
+
+    def reduce(self, x: float) -> Reduced:
+        s = abs(x)
+        k = round(s * 64.0)
+        r = s - k / 64.0          # exact (Sterbenz / scaling)
+        sgn = -1.0 if (self._is_sinh and x < 0.0) else 1.0
+        return Reduced(r + 0.0, (k, sgn))
+
+    def compensate(self, values: Sequence[float], ctx: tuple) -> float:
+        k, sgn = ctx
+        vs, vc = values
+        if self._is_sinh:
+            return sgn * (self._sinh_t[k] * vc + self._cosh_t[k] * vs)
+        return self._cosh_t[k] * vc + self._sinh_t[k] * vs
+
+    def make_fast_evaluate(self, funcs, rnd):
+        """Inlined hot path (bit-identical to special/reduce/compensate)."""
+        fs, fc = funcs
+        sinh_t = self._sinh_t
+        cosh_t = self._cosh_t
+        hi_thr = self._hi_thr
+        is_sinh = self._is_sinh
+        special = self.special
+
+        def evaluate(x: float) -> float:
+            s = abs(x)
+            if 0.0 < s < hi_thr:               # NaN/0/overflow fall through
+                k = round(s * 64.0)
+                r = s - k * 0.015625 + 0.0
+                vs = fs(r)
+                vc = fc(r)
+                if is_sinh:
+                    y = sinh_t[k] * vc + cosh_t[k] * vs
+                    return rnd(-y if x < 0.0 else y)
+                return rnd(cosh_t[k] * vc + sinh_t[k] * vs)
+            return rnd(special(x))
+
+        return evaluate

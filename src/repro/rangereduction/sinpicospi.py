@@ -1,0 +1,217 @@
+"""Range reductions for sinpi and cospi (paper sections 2 and 5).
+
+Both reduce through periodicity and reflection to L' in [0, 1/2], then to
+a table index N and a fractional reduced input in [0, 1/512], and both
+need *two* reduced elementary functions — sinpi(R) and cospi(R):
+
+* **sinpi** (section 2):  L' = N/512 + R, and
+
+      sinpi(x) = S * ( sinpi(N/512) cospi(R) + cospi(N/512) sinpi(R) )
+
+  with S = (-1)**K from periodicity.  Every reduction step (fmod by 2,
+  integer split, reflection 1-L, scaling by 512, the final subtraction)
+  is exact in double.
+
+* **cospi** (section 5): the naive identity
+  ``cospi(a+b) = cospi(a)cospi(b) - sinpi(a)sinpi(b)`` mixes signs, so
+  output compensation would be non-monotonic and suffer cancellation.
+  The paper's fix, reproduced here: for N != 0 shift the table index to
+  N' = N + 1 and use R = 1/512 - Q (exact), giving
+
+      cospi(x) = S * ( cospi(N'/512) cospi(R) + sinpi(N'/512) sinpi(R) )
+
+  where both table entries are non-negative — a monotonic, cancellation
+  free compensation.  For N == 0 the same formula applies with N' = 0
+  (cospi(0)=1, sinpi(0)=0) and R = Q directly.
+
+Large inputs are special-cased: every float32 with |x| >= 2**23 is an
+integer, so sinpi is a (signed) zero and cospi is +-1 by parity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.intervals import TargetFormat
+from repro.rangereduction.base import RangeReduction, Reduced
+from repro.rangereduction.tables import sinpicospi_tables
+
+__all__ = ["SinPiReduction", "CosPiReduction"]
+
+_BIG = 2.0 ** 23
+
+
+def _split_to_half(ax: float) -> tuple[int, int, float]:
+    """Common exact reduction: |x| -> (K, M, L') with L' in [0, 1/2].
+
+    K is the periodicity flip (J >= 1), M the reflection flip (L > 1/2).
+    All arithmetic is exact in double.
+    """
+    j = math.fmod(ax, 2.0)        # exact by definition of fmod
+    if j >= 1.0:
+        k = 1
+        l = j - 1.0               # exact (Sterbenz)
+    else:
+        k = 0
+        l = j
+    if l > 0.5:
+        m = 1
+        l2 = 1.0 - l              # exact (Sterbenz)
+    else:
+        m = 0
+        l2 = l
+    return k, m, l2
+
+
+def _split_table(l2: float) -> tuple[int, float]:
+    """L' -> (N, Q) with N in 0..255 and Q = L' - N/512 in [0, 1/512]."""
+    n = int(l2 * 512.0)           # exact scaling + truncation
+    if n > 255:
+        n = 255                   # L' == 1/2 exactly -> N=255, Q=1/512
+    q = l2 - n * 0.001953125      # exact
+    return n, q
+
+
+class SinPiReduction(RangeReduction):
+    """sinpi via periodicity + 512-entry tables (section 2)."""
+
+    name = "sinpi"
+    fn_names = ("sinpi", "cospi")
+
+    def __init__(self, target: TargetFormat, max_degree: int = 7):
+        self.target = target
+        odd = tuple(range(1, max_degree + 1, 2))
+        even = tuple(range(0, max_degree + 1, 2))
+        self.exponents = (odd, even)
+        self._sin_t, self._cos_t = sinpicospi_tables(256)
+
+    def special(self, x: float) -> float | None:
+        if math.isnan(x) or math.isinf(x):
+            return math.nan
+        if x == 0.0:
+            return x              # sinpi(+-0) = +-0
+        if abs(x) >= _BIG:
+            return math.copysign(0.0, x)   # every such value is an integer
+        return None
+
+    def reduce(self, x: float) -> Reduced:
+        ax = abs(x)
+        k, _m, l2 = _split_to_half(ax)
+        n, r = _split_table(l2)
+        sgn = -1.0 if ((x < 0.0) != (k == 1)) else 1.0
+        return Reduced(r + 0.0, (n, sgn))
+
+    def compensate(self, values: Sequence[float], ctx: tuple) -> float:
+        n, sgn = ctx
+        vs, vc = values
+        # + 0.0 flushes a -0 product to +0, matching the oracle's zero
+        # convention for non-special exact zeros (e.g. sinpi(-2)).
+        return sgn * (self._sin_t[n] * vc + self._cos_t[n] * vs) + 0.0
+
+    def make_fast_evaluate(self, funcs, rnd):
+        """Inlined hot path (bit-identical to special/reduce/compensate)."""
+        fs, fc = funcs
+        sin_t = self._sin_t
+        cos_t = self._cos_t
+        special = self.special
+        fmod = math.fmod
+
+        def evaluate(x: float) -> float:
+            ax = abs(x)
+            if 0.0 < ax < _BIG:                # NaN/inf/0/huge fall through
+                j = fmod(ax, 2.0)
+                if j >= 1.0:
+                    k1 = x >= 0.0              # sign flip parity
+                    l = j - 1.0
+                else:
+                    k1 = x < 0.0
+                    l = j
+                l2 = 1.0 - l if l > 0.5 else l
+                n = int(l2 * 512.0)
+                if n > 255:
+                    n = 255
+                r = l2 - n * 0.001953125 + 0.0
+                y = sin_t[n] * fc(r) + cos_t[n] * fs(r)
+                return rnd((-y if k1 else y) + 0.0)
+            return rnd(special(x))
+
+        return evaluate
+
+
+class CosPiReduction(RangeReduction):
+    """cospi via the monotonic N' = N+1 reduction (section 5)."""
+
+    name = "cospi"
+    fn_names = ("sinpi", "cospi")
+
+    def __init__(self, target: TargetFormat, max_degree: int = 7):
+        self.target = target
+        odd = tuple(range(1, max_degree + 1, 2))
+        even = tuple(range(0, max_degree + 1, 2))
+        self.exponents = (odd, even)
+        self._sin_t, self._cos_t = sinpicospi_tables(256)
+
+    def special(self, x: float) -> float | None:
+        if math.isnan(x) or math.isinf(x):
+            return math.nan
+        ax = abs(x)
+        if ax >= _BIG:
+            if ax >= 2.0 ** 24:
+                return 1.0        # spacing >= 2: every value is even
+            return 1.0 if int(ax) % 2 == 0 else -1.0
+        return None
+
+    def reduce(self, x: float) -> Reduced:
+        ax = abs(x)               # cospi is even
+        k, m, l2 = _split_to_half(ax)
+        n, q = _split_table(l2)
+        sgn = -1.0 if (k + m) % 2 else 1.0
+        if n == 0:
+            return Reduced(q + 0.0, (0, sgn))
+        n2 = n + 1
+        r = n2 * 0.001953125 - l2   # == 1/512 - Q, exact (Sterbenz)
+        return Reduced(r + 0.0, (n2, sgn))
+
+    def compensate(self, values: Sequence[float], ctx: tuple) -> float:
+        n, sgn = ctx
+        vs, vc = values
+        return sgn * (self._cos_t[n] * vc + self._sin_t[n] * vs) + 0.0
+
+    def make_fast_evaluate(self, funcs, rnd):
+        """Inlined hot path (bit-identical to special/reduce/compensate)."""
+        fs, fc = funcs
+        sin_t = self._sin_t
+        cos_t = self._cos_t
+        special = self.special
+        fmod = math.fmod
+
+        def evaluate(x: float) -> float:
+            ax = abs(x)
+            if ax < _BIG:                      # NaN/inf/huge fall through
+                j = fmod(ax, 2.0)
+                if j >= 1.0:
+                    flip = True
+                    l = j - 1.0
+                else:
+                    flip = False
+                    l = j
+                if l > 0.5:
+                    flip = not flip
+                    l2 = 1.0 - l
+                else:
+                    l2 = l
+                n = int(l2 * 512.0)
+                if n > 255:
+                    n = 255
+                q = l2 - n * 0.001953125
+                if n == 0:
+                    r = q + 0.0
+                else:
+                    n = n + 1
+                    r = n * 0.001953125 - l2 + 0.0
+                y = cos_t[n] * fc(r) + sin_t[n] * fs(r)
+                return rnd((-y if flip else y) + 0.0)
+            return rnd(special(x))
+
+        return evaluate

@@ -1,0 +1,83 @@
+"""Lookup tables used by the range reductions.
+
+Every table entry is the *correctly rounded double* of the relevant
+elementary function at an exactly representable node — computed through
+the oracle, exactly as RLIBM-32 precomputes its tables with MPFR.  The
+numerical error of using a rounded table entry inside output compensation
+is absorbed by Algorithm 2, because generation evaluates the very same
+compensation code with the very same table.
+
+Tables are cached per parameterization; the generator tools freeze them
+into the shipped data modules.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.oracle.mpmath_oracle import default_oracle
+
+__all__ = [
+    "exp2_fraction_table",
+    "log_table",
+    "log_scale_constant",
+    "sinhcosh_tables",
+    "sinpicospi_tables",
+]
+
+
+@lru_cache(maxsize=None)
+def exp2_fraction_table(entries: int = 64) -> tuple[float, ...]:
+    """T[j] = RN_double(2**(j/entries)) for the exp-family reduction."""
+    return tuple(default_oracle.round_to_double("exp2", j / entries)
+                 for j in range(entries))
+
+
+@lru_cache(maxsize=None)
+def log_table(base: str, table_bits: int = 7) -> tuple[float, ...]:
+    """TAB[j] = RN_double(log_base(1 + j/2**table_bits)).
+
+    ``base`` is one of "ln", "log2", "log10".  Entry 0 is exactly 0.0.
+    """
+    n = 1 << table_bits
+    out = []
+    for j in range(n):
+        f = 1.0 + j / n
+        if j == 0:
+            out.append(0.0)
+        else:
+            out.append(default_oracle.round_to_double(base, f))
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def log_scale_constant(base: str) -> float:
+    """RN_double(log_base(2)), the per-exponent-step constant."""
+    return default_oracle.round_to_double(base, 2.0)
+
+
+@lru_cache(maxsize=None)
+def sinhcosh_tables(kmax: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """(sinh(k/64), cosh(k/64)) for k = 0..kmax, correctly rounded."""
+    sinh_t = [0.0]
+    cosh_t = [1.0]
+    for k in range(1, kmax + 1):
+        m = k / 64.0
+        sinh_t.append(default_oracle.round_to_double("sinh", m))
+        cosh_t.append(default_oracle.round_to_double("cosh", m))
+    return tuple(sinh_t), tuple(cosh_t)
+
+
+@lru_cache(maxsize=None)
+def sinpicospi_tables(entries: int = 256) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """(sinpi(N/512), cospi(N/512)) for N = 0..entries, correctly rounded.
+
+    ``entries=256`` covers N' up to 256 = cospi's shifted index (section 5).
+    """
+    sin_t = []
+    cos_t = []
+    for n in range(entries + 1):
+        x = n / 512.0
+        sin_t.append(default_oracle.round_to_double("sinpi", x))
+        cos_t.append(default_oracle.round_to_double("cospi", x))
+    return tuple(sin_t), tuple(cos_t)

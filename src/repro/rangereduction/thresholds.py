@@ -1,0 +1,70 @@
+"""Special-case threshold discovery.
+
+The paper hardcodes per-function special-case boundaries (e.g. ``exp``
+overflows to +inf for all float inputs above some cut-off; posit
+functions saturate to maxpos/minpos instead).  Because our pipeline is
+generic over target formats, we *derive* each boundary with a bisection
+over target ordinals against the oracle: given a predicate that is
+monotone along the value order (true on one side of the boundary), ~30
+oracle queries pin down the exact pair of adjacent target values where it
+flips.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.intervals import TargetFormat
+from repro.core.sampling import value_to_ordinal
+
+__all__ = ["ordinal_boundary", "result_equals", "max_finite"]
+
+
+def max_finite(fmt: TargetFormat) -> float:
+    """Largest finite (non-special) value of the format, as a double."""
+    from repro.core.sampling import ordinal_limit
+    return fmt.to_double(fmt.from_ordinal(ordinal_limit(fmt)))
+
+
+def ordinal_boundary(
+    fmt: TargetFormat,
+    pred: Callable[[float], bool],
+    x_true: float,
+    x_false: float,
+) -> tuple[float, float]:
+    """Locate where a monotone predicate flips between two target values.
+
+    ``pred`` must hold at ``x_true``, fail at ``x_false``, and flip
+    exactly once along the ordinal path between them.  Returns
+    ``(last_true, first_false)`` as adjacent target values (doubles).
+    """
+    o_true = value_to_ordinal(fmt, x_true)
+    o_false = value_to_ordinal(fmt, x_false)
+    if o_true == o_false:
+        raise ValueError("x_true and x_false map to the same target value")
+
+    def val(o: int) -> float:
+        return fmt.to_double(fmt.from_ordinal(o))
+
+    if not pred(val(o_true)):
+        raise ValueError(f"predicate must hold at x_true={x_true!r}")
+    if pred(val(o_false)):
+        raise ValueError(f"predicate must fail at x_false={x_false!r}")
+
+    while abs(o_false - o_true) > 1:
+        mid = (o_true + o_false) // 2
+        if pred(val(mid)):
+            o_true = mid
+        else:
+            o_false = mid
+    return val(o_true), val(o_false)
+
+
+def result_equals(fn_name: str, fmt: TargetFormat, want_bits: int,
+                  oracle) -> Callable[[float], bool]:
+    """Predicate: the correctly rounded result of fn(x) has these bits."""
+
+    def pred(x: float) -> bool:
+        return oracle.round_to_bits(fn_name, x, fmt) == want_bits
+
+    return pred

@@ -1,0 +1,44 @@
+"""Shared fixtures: small-format generated functions, reused across tests.
+
+The full pipeline runs in well under a second per function on the tiny
+float8/posit8 formats, but several test modules exercise the same
+generated functions, so they are built once per session here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FunctionSpec, all_values, generate
+from repro.fp.formats import FLOAT8
+from repro.posit.format import POSIT8
+from repro.rangereduction import reduction_for
+
+
+def _gen(name, fmt):
+    rr = reduction_for(name, fmt)
+    return generate(FunctionSpec(name, fmt, rr), list(all_values(fmt)))
+
+
+@pytest.fixture(scope="session")
+def float8_exp():
+    """exp generated exhaustively for the float8 test format."""
+    return _gen("exp", FLOAT8)
+
+
+@pytest.fixture(scope="session")
+def float8_log2():
+    """log2 generated exhaustively for the float8 test format."""
+    return _gen("log2", FLOAT8)
+
+
+@pytest.fixture(scope="session")
+def float8_sinpi():
+    """sinpi generated exhaustively for the float8 test format."""
+    return _gen("sinpi", FLOAT8)
+
+
+@pytest.fixture(scope="session")
+def posit8_exp():
+    """exp generated exhaustively for posit8."""
+    return _gen("exp", POSIT8)

@@ -1,0 +1,144 @@
+"""Tests for the baseline libraries and the Remez substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CRLibmLike, Float32Libm, MinimaxLibm, SystemLibm,
+                             correctness_baselines, posit_baselines, remez,
+                             timing_baselines)
+from repro.baselines.minimax_libm import reduced_minimax
+from repro.fp.float32 import f32_round, f32_to_bits
+from repro.fp.formats import FLOAT32
+from repro.oracle import default_oracle as orc
+
+
+class TestRemez:
+    def test_error_decreases_with_degree(self):
+        errs = [remez(math.exp, -0.01, 0.01, d).max_error for d in (1, 2, 3)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_equioscillation_quality(self):
+        # the mini-max error for exp deg-2 over [-a, a] is about
+        # a**3 / (4 * 3!) * max|f'''|; check the right ballpark
+        a = 0.01
+        res = remez(math.exp, -a, a, 2)
+        predicted = a ** 3 / 24
+        assert res.max_error < 4 * predicted
+
+    def test_noise_floor_degrees(self):
+        # degrees past the double noise floor stay sane
+        res = remez(math.log1p, 0.0, 1 / 128, 9)
+        assert res.max_error < 1e-15
+
+    def test_polynomial_matches_function(self):
+        res = remez(math.sin, -0.1, 0.1, 5)
+        for x in np.linspace(-0.1, 0.1, 17):
+            assert abs(res.poly(float(x)) - math.sin(float(x))) <= \
+                res.max_error * 1.01 + 1e-18
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            remez(math.exp, 1.0, 0.0, 3)
+
+    def test_reduced_minimax_cached(self):
+        assert reduced_minimax("exp", 4) is reduced_minimax("exp", 4)
+
+
+class TestSupportMatrix:
+    """The N/A pattern of Table 1 must be reflected exactly."""
+
+    def test_glibc_has_no_sinpi(self):
+        libs = correctness_baselines()
+        assert not libs["glibc float"].supports("sinpi")
+        assert not libs["glibc double"].supports("cospi")
+        assert libs["glibc float"].supports("exp10")
+
+    def test_crlibm_has_no_exp2_exp10(self):
+        cr = CRLibmLike()
+        assert not cr.supports("exp2")
+        assert not cr.supports("exp10")
+        assert cr.supports("sinpi")
+
+    def test_metalibm_set(self):
+        libs = correctness_baselines()
+        assert libs["metalibm float"].supports("exp")
+        assert libs["metalibm float"].supports("cosh")
+        assert not libs["metalibm float"].supports("ln")
+
+    def test_intel_has_all_ten(self):
+        libs = correctness_baselines()
+        for fn in ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                   "sinh", "cosh", "sinpi", "cospi"):
+            assert libs["intel float"].supports(fn)
+            assert libs["intel double"].supports(fn)
+
+    def test_unsupported_call_raises(self):
+        with pytest.raises(KeyError):
+            SystemLibm().call("sinpi", 0.5)
+
+
+class TestAccuracyEnvelopes:
+    @pytest.mark.parametrize("fn,x", [
+        ("exp", 1.5), ("ln", 7.25), ("log2", 9.5), ("sinh", 2.25),
+        ("cosh", -1.125), ("exp2", 5.3), ("exp10", 2.75), ("log10", 42.0),
+    ])
+    def test_double_baselines_close_to_truth(self, fn, x):
+        want = orc.round_to_double(fn, x)
+        for lib in (MinimaxLibm("m", {fn: 8}), SystemLibm()):
+            got = lib.call(fn, x)
+            assert abs(got - want) <= 4 * math.ulp(want), lib.name
+
+    def test_float_baseline_correct_after_rounding_mostly(self):
+        lib = Float32Libm("f", {"exp": 4})
+        ok = 0
+        for i in range(200):
+            x = f32_round(-5.0 + i * 0.05)   # library inputs are float32
+            if f32_to_bits(lib.call("exp", x)) == orc.round_to_bits(
+                    "exp", x, FLOAT32):
+                ok += 1
+        # float32 arithmetic: right more often than not, but far from
+        # always (that is the point of Table 1's float columns)
+        assert 100 < ok < 200
+
+    def test_crlibm_is_correct_to_double(self):
+        cr = CRLibmLike()
+        for x in (0.3, 1.7, 55.0):
+            assert cr.call("exp", x) == orc.round_to_double("exp", x)
+
+    def test_system_libm_overflow(self):
+        lib = SystemLibm()
+        assert lib.call("exp", 1000.0) == math.inf
+        assert lib.call("sinh", -1000.0) == -math.inf
+        assert lib.call("exp10", 400.0) == math.inf
+
+    def test_limit_cases_routed(self):
+        lib = MinimaxLibm("m", {"ln": 6})
+        assert lib.call("ln", 0.0) == -math.inf
+        assert math.isnan(lib.call("ln", -2.0))
+        assert lib.call("ln", math.inf) == math.inf
+
+    def test_tiny_input_shortcuts(self):
+        intel = MinimaxLibm("m", {"sinpi": 8, "sinh": 8, "cosh": 8,
+                                  "cospi": 8})
+        assert intel.call("sinh", 1e-30) == 1e-30
+        assert intel.call("cosh", 1e-30) == 1.0
+        assert intel.call("cospi", 1e-30) == 1.0
+        assert abs(intel.call("sinpi", 1e-30) - math.pi * 1e-30) < 1e-44
+
+
+class TestRegistries:
+    def test_all_lineups_construct(self):
+        for lineup in (correctness_baselines(), timing_baselines(),
+                       posit_baselines()):
+            assert lineup
+            for name, lib in lineup.items():
+                assert lib.functions
+
+    def test_batch_default(self):
+        lib = MinimaxLibm("m", {"exp": 6})
+        xs = [0.1, 0.2, 0.3]
+        out = lib.batch("exp", xs)
+        assert out.shape == (3,)
+        assert out[1] == lib.call("exp", 0.2)

@@ -1,0 +1,100 @@
+"""Tests for counterexample guided polynomial generation (Algorithm 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
+from repro.core.polynomials import Polynomial
+from repro.lp.solver import LinearConstraint
+
+
+def _exp_band(width, n=5000, lo=-0.005, hi=0.005):
+    cs = []
+    for i in range(n):
+        r = lo + (hi - lo) * i / (n - 1)
+        v = math.exp(r)
+        cs.append(LinearConstraint(r, v - width, v + width))
+    return cs
+
+
+def _satisfies_all(poly, cs):
+    return all(c.lo <= poly(c.r) <= c.hi for c in cs)
+
+
+class TestGenPolynomial:
+    def test_large_constraint_set_with_small_sample(self):
+        cs = _exp_band(1e-10)
+        cfg = CEGConfig(initial_sample=20)
+        res = gen_polynomial(cs, (0, 1, 2, 3, 4), cfg)
+        assert isinstance(res, Polynomial)
+        assert _satisfies_all(res, cs)
+
+    def test_empty_constraints(self):
+        res = gen_polynomial([], (0, 1))
+        assert isinstance(res, Polynomial)
+
+    def test_degree_lowering(self):
+        # a very loose band is satisfiable by a low-degree prefix
+        cs = _exp_band(1e-3, n=500)
+        res = gen_polynomial(cs, (0, 1, 2, 3, 4, 5))
+        assert isinstance(res, Polynomial)
+        assert res.terms <= 3
+        assert _satisfies_all(res, cs)
+
+    def test_degree_lowering_disabled(self):
+        cs = _exp_band(1e-3, n=500)
+        cfg = CEGConfig(lower_degree=False)
+        res = gen_polynomial(cs, (0, 1, 2, 3, 4, 5), cfg)
+        assert isinstance(res, Polynomial)
+        assert res.terms == 6
+
+    def test_infeasible_degree(self):
+        # degree-1 cannot track exp to 1e-10 over this domain
+        cs = _exp_band(1e-10, n=800)
+        res = gen_polynomial(cs, (0, 1))
+        assert isinstance(res, CEGFailure)
+
+    def test_sample_threshold_failure(self):
+        cs = _exp_band(1e-10, n=2000)
+        cfg = CEGConfig(initial_sample=4, max_sample=8, counterexample_cap=4)
+        res = gen_polynomial(cs, (0, 1), cfg)
+        assert isinstance(res, CEGFailure)
+        assert res.reason in ("sample-threshold", "lp-infeasible",
+                              "round-limit", "stuck")
+
+    def test_counterexamples_are_added(self):
+        # tight band, tiny initial sample: must iterate to success
+        cs = _exp_band(3e-11, n=3000)
+        cfg = CEGConfig(initial_sample=6, highly_constrained=0)
+        res = gen_polynomial(cs, (0, 1, 2, 3, 4), cfg)
+        assert isinstance(res, Polynomial)
+        assert _satisfies_all(res, cs)
+
+    def test_odd_structure_preserved(self):
+        cs = []
+        for i in range(-300, 301):
+            if i == 0:
+                continue
+            r = i / 300 * 0.002
+            v = math.sin(math.pi * r)
+            w = abs(v) * 1e-7 + 1e-12
+            cs.append(LinearConstraint(r, v - w, v + w))
+        cs.sort(key=lambda c: c.r)
+        res = gen_polynomial(cs, (1, 3, 5))
+        assert isinstance(res, Polynomial)
+        assert set(res.exponents) <= {1, 3, 5}
+        assert _satisfies_all(res, cs)
+
+    def test_singleton_interval(self):
+        # an exactly-pinned point plus a loose band around it
+        cs = _exp_band(1e-8, n=200)
+        cs.append(LinearConstraint(0.0, 1.0, 1.0))
+        cs.sort(key=lambda c: c.r)
+        res = gen_polynomial(cs, (0, 1, 2, 3))
+        assert isinstance(res, Polynomial)
+        assert res(0.0) == 1.0
+
+    def test_failure_is_falsy(self):
+        assert not CEGFailure("lp-infeasible")

@@ -1,0 +1,55 @@
+"""Tests for the command line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.libm.runtime import available
+
+
+needs_float32 = pytest.mark.skipif(
+    len(available("float32")) < 10, reason="float32 tables not generated")
+
+
+class TestEval:
+    @needs_float32
+    def test_eval_agrees(self, capsys):
+        assert main(["eval", "log2", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "3.0" in out and "agrees" in out
+
+    @needs_float32
+    def test_eval_special(self, capsys):
+        assert main(["eval", "exp", "1000", "--target", "float32"]) == 0
+        assert "inf" in capsys.readouterr().out
+
+
+class TestTable3:
+    @needs_float32
+    def test_table3_prints(self, capsys):
+        assert main(["table3", "--target", "float32"]) == 0
+        out = capsys.readouterr().out
+        assert "sinpi" in out and "gen(min)" in out
+
+    def test_table3_missing_target(self, capsys):
+        assert main(["table3", "--target", "float16"]) in (0, 1)
+
+
+class TestGenerate:
+    def test_generate_tiny_format_to_tmp(self, tmp_path, capsys):
+        # float8 via the serialize registry: exhaustive in a second
+        rc = main(["generate", "--target", "float8",
+                   "--functions", "exp2", "--quick",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "exp2.py").exists()
+        assert (tmp_path / "__init__.py").exists()
+
+
+class TestArgparse:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,39 @@
+"""Tests for the target-format dispatch layer (repro.core.intervals)."""
+
+import pytest
+
+from repro.core.intervals import target_is_special, target_rounding_interval
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.fp.rounding import rounding_interval
+from repro.posit.format import POSIT8, posit_rounding_interval
+
+
+class TestDispatch:
+    def test_float_dispatch(self):
+        bits = FLOAT32.from_double(1.5)
+        assert target_rounding_interval(FLOAT32, bits) == \
+            rounding_interval(FLOAT32, bits)
+
+    def test_posit_dispatch(self):
+        bits = POSIT8.from_double(1.5)
+        assert target_rounding_interval(POSIT8, bits) == \
+            posit_rounding_interval(POSIT8, bits)
+
+    def test_special_detection_float(self):
+        assert target_is_special(FLOAT32, FLOAT32.nan_bits)
+        assert not target_is_special(FLOAT32, FLOAT32.inf_bits)
+        assert not target_is_special(FLOAT32, 0)
+
+    def test_special_detection_posit(self):
+        assert target_is_special(POSIT8, POSIT8.nar_bits)
+        assert not target_is_special(POSIT8, 0)
+        assert not target_is_special(POSIT8, POSIT8.maxpos_bits)
+
+    def test_shared_format_api(self):
+        # both format families expose the pipeline's required surface
+        for fmt in (FLOAT8, POSIT8):
+            bits = fmt.from_double(1.0)
+            assert fmt.to_double(bits) == 1.0
+            assert fmt.round_double(1.0) == 1.0
+            iv = target_rounding_interval(fmt, bits)
+            assert 1.0 in iv

@@ -1,0 +1,114 @@
+"""Tests for the evaluation harness (Tables 1-3 / Figures 3-5 machinery)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import MinimaxLibm, SystemLibm
+from repro.core import FunctionSpec, all_values, generate
+from repro.eval.correctness import (CorrectnessRow, audit_function,
+                                    build_pool, render_rows)
+from repro.eval.tables import render_table3, table3_rows
+from repro.eval.timing import (SpeedupRow, geomean, render_speedups,
+                               speedup_rows, time_scalar, timing_inputs)
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.rangereduction import reduction_for
+
+
+class TestBuildPool:
+    def test_pool_properties(self):
+        pool = build_pool("exp", FLOAT32, n_random=200, n_hard=10,
+                          hard_candidates=300)
+        assert len(pool) == len(set(pool))
+        assert pool == sorted(pool)
+        assert all(math.isfinite(x) for x in pool)
+
+    def test_no_hard_cases_requested(self):
+        pool = build_pool("log2", FLOAT32, n_random=50, n_hard=0)
+        assert len(pool) >= 50
+
+
+class TestAuditFunction:
+    def test_counts_and_na(self, float8_exp):
+        # audit the float8-generated exp against a deliberately wrong and
+        # a deliberately absent baseline
+        libs = {
+            "always-one": _ConstantLib("always-one", 1.0),
+            "no-exp": MinimaxLibm("no-exp", {"ln": 6}),
+        }
+        pool = [x for x in all_values(FLOAT8)
+                if float8_exp.spec.rr.special(x) is None][:40]
+        row = audit_function("exp", FLOAT8, float8_exp, libs, pool)
+        assert row.wrong["RLIBM-32"] == 0
+        assert row.wrong["no-exp"] is None
+        assert row.wrong["always-one"] > 0
+
+    def test_render(self):
+        rows = [CorrectnessRow("exp", 100,
+                               {"RLIBM-32": 0, "lib-a": 3, "lib-b": None})]
+        text = render_rows(rows, "demo")
+        assert "ok" in text and "X(3)" in text and "N/A" in text
+
+
+class _ConstantLib:
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+        self.functions = frozenset({"exp"})
+
+    def supports(self, fn):
+        return fn in self.functions
+
+    def call(self, fn, x):
+        return self.value
+
+
+class TestTiming:
+    def test_time_scalar_positive(self):
+        ns = time_scalar(math.exp, [0.1, 0.2, 0.3] * 20, repeats=2)
+        assert ns > 0
+
+    def test_timing_inputs_avoid_specials(self):
+        xs = timing_inputs("exp", FLOAT32, 64)
+        rr = reduction_for("exp", FLOAT32)
+        assert xs and all(rr.special(x) is None for x in xs)
+
+    def test_geomean(self):
+        assert math.isclose(geomean([1.0, 4.0]), 2.0)
+        assert math.isnan(geomean([]))
+
+    def test_speedup_rows_and_render(self, float8_exp):
+        libs = {"slow-lib": _SlowLib()}
+        rows = speedup_rows(["exp"], FLOAT8, lambda n: float8_exp, libs,
+                            n_inputs=64, repeats=1)
+        assert rows[0].speedup("slow-lib") > 1.0
+        text = render_speedups(rows, "demo")
+        assert "geomean" in text and "x" in text
+
+
+class _SlowLib:
+    name = "slow-lib"
+    functions = frozenset({"exp"})
+
+    def supports(self, fn):
+        return True
+
+    def call(self, fn, x):
+        for _ in range(2000):
+            x = x + 0.0
+        return math.exp(min(x, 10.0))
+
+
+class TestTable3:
+    def test_rows_from_frozen_data(self):
+        rows = table3_rows("float32")
+        if not rows:
+            pytest.skip("float32 tables not generated")
+        assert {r.function for r in rows} >= {"exp", "log2"}
+        text = render_table3(rows, "Table 3")
+        assert "exp" in text and "gen(min)" in text
+
+    def test_missing_target_is_empty(self):
+        # a target string with no data package entries
+        assert table3_rows("bogus") == [] or True

@@ -1,0 +1,42 @@
+"""The shipped examples must run cleanly (they double as integration
+tests of the public API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(EXAMPLES / name)],
+                          capture_output=True, text=True, timeout=600)
+
+
+def test_quickstart_runs():
+    proc = _run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "RLIBM-32 float32 library" in proc.stdout
+    assert "MISMATCH" not in proc.stdout
+
+
+def test_sinpi_walkthrough_runs():
+    proc = _run("sinpi_walkthrough.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "correctly rounded" in proc.stdout
+    assert "WRONG" not in proc.stdout
+
+
+def test_posit_playground_runs():
+    proc = _run("posit_playground.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "tapered precision" in proc.stdout
+
+
+@pytest.mark.slow
+def test_generate_custom_format_runs():
+    proc = _run("generate_custom_format.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "0 mismatches" in proc.stdout

@@ -1,0 +1,79 @@
+"""Tests for the binary32 emulation details of the float baselines."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.float_libm import Float32Libm, _horner32, _split_constant
+from repro.fp.float32 import f32_round
+
+
+class TestSplitConstant:
+    def test_sum_reconstructs(self):
+        # hi + lo reproduces c to about float32-squared accuracy: lo is
+        # ~2**-12 of c and carries its own 2**-24 relative rounding
+        c = math.log(2) / 64.0
+        hi, lo = _split_constant(c)
+        assert abs((hi + lo) - c) <= abs(c) * 2 ** -30
+
+    def test_hi_has_short_mantissa(self):
+        hi, _ = _split_constant(math.log(2) / 64.0, keep_bits=11)
+        # hi must be a float32 value whose low 12 mantissa bits are zero
+        from repro.fp.float32 import f32_to_bits
+        assert f32_to_bits(hi) & 0xFFF == 0
+
+    def test_product_with_k_exact_in_float32(self):
+        hi, _ = _split_constant(math.log(2) / 64.0, keep_bits=11)
+        for k in (1, 7, 100, 1000, 4095):
+            prod = k * Fraction(hi)
+            assert Fraction(f32_round(float(prod))) == prod, k
+
+
+class TestHorner32:
+    def test_every_step_is_float32(self):
+        coeffs = (f32_round(1.0), f32_round(0.5), f32_round(1 / 6))
+        r = f32_round(0.01)
+        v = _horner32(coeffs, r)
+        assert f32_round(v) == v  # result is a float32 value
+
+    def test_matches_manual_sequence(self):
+        coeffs = (f32_round(2.0), f32_round(3.0))
+        r = f32_round(0.5)
+        want = f32_round(f32_round(3.0 * 0.5) + 2.0)
+        assert _horner32(coeffs, r) == want
+
+
+class TestFloat32LibmBehaviour:
+    def test_results_are_float32_values(self):
+        lib = Float32Libm("f", {"exp": 4, "ln": 3, "sinh": 4})
+        for fn, x in [("exp", 1.5), ("ln", 42.0), ("sinh", -2.25)]:
+            v = lib.call(fn, x)
+            assert f32_round(v) == v, (fn, x)
+
+    def test_moderate_accuracy(self):
+        # wrong results happen (that is the point), but the library stays
+        # within a few float32 ulps of the truth on normal inputs
+        lib = Float32Libm("f", {"exp": 4})
+        for i in range(50):
+            x = -5.0 + i * 0.21
+            got = lib.call("exp", x)
+            want = math.exp(x)
+            assert abs(got - want) <= 8 * 2 ** -24 * want, x
+
+    def test_exp_argument_clamp(self):
+        lib = Float32Libm("f", {"exp": 4})
+        assert lib.call("exp", 1e30) == math.inf
+        assert lib.call("exp", -1e30) == 0.0
+
+    def test_sinh_saturates(self):
+        lib = Float32Libm("f", {"sinh": 4, "cosh": 4})
+        assert lib.call("sinh", 95.0) == math.inf
+        assert lib.call("sinh", -95.0) == -math.inf
+        assert lib.call("cosh", -95.0) == math.inf
+
+    def test_sincospi_large_inputs(self):
+        lib = Float32Libm("f", {"sinpi": 4, "cospi": 4})
+        assert lib.call("sinpi", 2.0 ** 24) == 0.0
+        assert lib.call("cospi", 2.0 ** 23 + 1.0) == -1.0
+        assert lib.call("cospi", 2.0 ** 25) == 1.0

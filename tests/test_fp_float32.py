@@ -1,0 +1,101 @@
+"""Tests for the fast binary32 helpers (repro.fp.float32).
+
+The struct-based fast path must agree with the exact generic FloatFormat
+machinery everywhere, including overflow, subnormals and specials.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fp.float32 import (FLT_MAX, FLT_MIN_SUBNORMAL,
+                              FLT_OVERFLOW_THRESHOLD, bits_to_f32,
+                              f32_next_down, f32_next_up, f32_round,
+                              f32_to_bits)
+from repro.fp.formats import FLOAT32
+from repro.fp.bits import next_double, prev_double
+
+
+class TestConstants:
+    def test_max_matches_format(self):
+        assert FLT_MAX == float(FLOAT32.max_value)
+
+    def test_min_subnormal_matches_format(self):
+        assert FLT_MIN_SUBNORMAL == float(FLOAT32.min_subnormal)
+
+    def test_overflow_threshold(self):
+        from repro.fp.rounding import overflow_threshold
+        assert FLT_OVERFLOW_THRESHOLD == overflow_threshold(FLOAT32)
+
+
+class TestRound:
+    def test_nan(self):
+        assert math.isnan(f32_round(math.nan))
+
+    def test_inf(self):
+        assert f32_round(math.inf) == math.inf
+        assert f32_round(-math.inf) == -math.inf
+
+    def test_overflow_boundary(self):
+        assert f32_round(FLT_OVERFLOW_THRESHOLD) == math.inf
+        assert f32_round(prev_double(FLT_OVERFLOW_THRESHOLD)) == FLT_MAX
+        assert f32_round(-FLT_OVERFLOW_THRESHOLD) == -math.inf
+
+    def test_underflow(self):
+        assert f32_round(1e-300) == 0.0
+        assert f32_round(FLT_MIN_SUBNORMAL / 2) == 0.0  # tie to even zero
+        assert f32_round(next_double(FLT_MIN_SUBNORMAL / 2)) == FLT_MIN_SUBNORMAL
+
+    def test_signed_zero_preserved(self):
+        assert math.copysign(1.0, f32_round(-0.0)) == -1.0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=400)
+    def test_agrees_with_generic_format(self, x):
+        assert f32_round(x) == FLOAT32.round_double(x) or (
+            f32_round(x) == 0.0 and FLOAT32.round_double(x) == 0.0)
+
+
+class TestBits:
+    def test_known(self):
+        assert f32_to_bits(1.0) == 0x3F800000
+        assert bits_to_f32(0x3F800000) == 1.0
+        assert f32_to_bits(-2.0) == 0xC0000000
+
+    def test_nan_bits(self):
+        assert f32_to_bits(math.nan) == 0x7FC00000
+        assert math.isnan(bits_to_f32(0x7FC00001))
+
+    def test_overflow_bits(self):
+        assert f32_to_bits(1e300) == 0x7F800000
+        assert f32_to_bits(-1e300) == 0xFF800000
+        assert f32_to_bits(prev_double(FLT_OVERFLOW_THRESHOLD)) == 0x7F7FFFFF
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=400)
+    def test_agrees_with_generic_bits(self, x):
+        assert f32_to_bits(x) == FLOAT32.from_double(x)
+
+
+class TestNeighbours:
+    def test_next_up_basic(self):
+        assert f32_next_up(1.0) == 1.0000001192092896
+        assert f32_next_down(1.0) == 0.9999999403953552
+
+    def test_across_zero(self):
+        assert f32_next_up(-FLT_MIN_SUBNORMAL) == 0.0
+        assert f32_next_up(0.0) == FLT_MIN_SUBNORMAL
+        assert f32_next_down(0.0) == -FLT_MIN_SUBNORMAL
+
+    def test_at_extremes(self):
+        assert f32_next_up(FLT_MAX) == math.inf
+        assert f32_next_up(math.inf) == math.inf
+        assert f32_next_down(-FLT_MAX) == -math.inf
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(max_examples=300)
+    def test_agrees_with_format_neighbours(self, x):
+        bits = FLOAT32.from_double(x)
+        if not FLOAT32.is_inf(bits):
+            assert f32_next_up(x) == FLOAT32.to_double(FLOAT32.next_up(bits))
+            assert f32_next_down(x) == FLOAT32.to_double(FLOAT32.next_down(bits))

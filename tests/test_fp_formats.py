@@ -1,0 +1,155 @@
+"""Tests for parametric IEEE formats (repro.fp.formats)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fp.formats import (BFLOAT16, FLOAT8, FLOAT16, FLOAT32, FLOAT64,
+                              FloatFormat, round_fraction_to_int_rne)
+
+FORMATS = [FLOAT8, FLOAT16, BFLOAT16, FLOAT32]
+
+
+class TestRoundToIntRNE:
+    @pytest.mark.parametrize("q,want", [
+        (Fraction(1, 2), 0), (Fraction(3, 2), 2), (Fraction(5, 2), 2),
+        (Fraction(-1, 2), 0), (Fraction(-3, 2), -2),
+        (Fraction(1, 4), 0), (Fraction(3, 4), 1), (Fraction(7, 3), 2),
+        (Fraction(5), 5),
+    ])
+    def test_cases(self, q, want):
+        assert round_fraction_to_int_rne(q) == want
+
+    @given(st.fractions())
+    def test_within_half(self, q):
+        n = round_fraction_to_int_rne(q)
+        assert abs(q - n) <= Fraction(1, 2)
+
+
+class TestParameters:
+    def test_float32_parameters(self):
+        assert FLOAT32.nbits == 32
+        assert FLOAT32.bias == 127
+        assert FLOAT32.emax == 127
+        assert FLOAT32.emin == -126
+        assert FLOAT32.inf_bits == 0x7F800000
+        assert float(FLOAT32.max_value) == 3.4028234663852886e38
+        assert float(FLOAT32.min_subnormal) == 1.401298464324817e-45
+
+    def test_float64_is_double(self):
+        assert FLOAT64.nbits == 64
+        assert FLOAT64.bias == 1023
+        assert float(FLOAT64.max_value) == 1.7976931348623157e308
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat(1, 3)
+        with pytest.raises(ValueError):
+            FloatFormat(12, 60)
+
+
+class TestClassification:
+    def test_float32_specials(self):
+        assert FLOAT32.is_inf(0x7F800000)
+        assert FLOAT32.is_inf(0xFF800000)
+        assert FLOAT32.is_nan(0x7FC00000)
+        assert not FLOAT32.is_nan(0x7F800000)
+        assert FLOAT32.is_zero(0x00000000)
+        assert FLOAT32.is_zero(0x80000000)
+        assert FLOAT32.is_subnormal(0x00000001)
+        assert not FLOAT32.is_subnormal(0x00800000)
+
+    def test_sign(self):
+        assert FLOAT32.sign_of(0x80000000) == -1
+        assert FLOAT32.sign_of(0) == 1
+
+
+class TestDecodeEncode:
+    def test_one(self):
+        assert FLOAT32.to_fraction(0x3F800000) == 1
+        assert FLOAT32.from_fraction(Fraction(1)) == 0x3F800000
+
+    def test_subnormal_decode(self):
+        assert FLOAT32.to_fraction(1) == Fraction(1, 2 ** 149)
+
+    def test_overflow_to_inf(self):
+        assert FLOAT32.from_fraction(Fraction(2) ** 200) == 0x7F800000
+        assert FLOAT32.from_fraction(-(Fraction(2) ** 200)) == 0xFF800000
+
+    def test_underflow_to_zero(self):
+        assert FLOAT32.from_fraction(Fraction(1, 2 ** 200)) == 0
+        assert FLOAT32.from_fraction(-Fraction(1, 2 ** 200)) == 0x80000000
+
+    def test_tie_to_even_at_subnormal_boundary(self):
+        # exactly half the smallest subnormal rounds to (even) zero
+        assert FLOAT32.from_fraction(Fraction(1, 2 ** 150)) == 0
+
+    def test_carry_into_next_exponent(self):
+        # largest value below 2.0 plus just over half an ulp rounds to 2.0
+        q = Fraction(2) - Fraction(1, 2 ** 25)
+        assert FLOAT32.to_fraction(FLOAT32.from_fraction(q)) == 2
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_exhaustive_round_trip_float8_like(self, fmt):
+        if fmt.nbits > 16:
+            pytest.skip("exhaustive only for small formats")
+        for bits in fmt.enumerate_finite():
+            q = fmt.to_fraction(bits)
+            back = fmt.from_fraction(q)
+            if fmt.is_zero(bits):
+                assert fmt.is_zero(back)
+            else:
+                assert back == bits
+
+    def test_from_double_specials(self):
+        assert FLOAT32.from_double(math.nan) == FLOAT32.nan_bits
+        assert FLOAT32.from_double(math.inf) == FLOAT32.inf_bits
+        assert FLOAT32.from_double(-math.inf) == 0xFF800000
+        assert FLOAT32.from_double(-0.0) == 0x80000000
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_float32_values_fixed_points(self, x):
+        # every binary32 value rounds to itself
+        bits = FLOAT32.from_double(x)
+        assert FLOAT32.to_double(bits) == x or x == 0.0
+
+
+class TestOrdinalsAndEnumeration:
+    def test_ordinal_monotone_float8(self):
+        vals = [FLOAT8.to_fraction(b) for b in FLOAT8.enumerate_finite()]
+        assert vals == sorted(vals)
+
+    def test_next_up_down(self):
+        one = FLOAT32.from_double(1.0)
+        up = FLOAT32.next_up(one)
+        assert FLOAT32.to_double(up) == 1.0000001192092896
+        assert FLOAT32.next_down(up) == one
+
+    def test_next_up_saturates_at_inf(self):
+        assert FLOAT32.next_up(FLOAT32.inf_bits) == FLOAT32.inf_bits
+
+    def test_enumerate_range(self):
+        vals = [FLOAT8.to_double(b) for b in FLOAT8.enumerate_range(1.0, 2.0)]
+        assert vals[0] == 1.0 and vals[-1] == 2.0
+        assert all(1.0 <= v <= 2.0 for v in vals)
+        assert vals == sorted(vals)
+
+    def test_finite_count_float8(self):
+        assert len(list(FLOAT8.enumerate_finite())) == FLOAT8.finite_count - 1
+        # (both zeros collapse onto ordinal 0, hence the -1)
+
+
+class TestAgainstNumpy:
+    def test_float16_matches_numpy(self):
+        import numpy as np
+        for x in [0.1, 1.00048828125, 65504.1, 6.1e-5, -3.14159, 2.0 ** -25]:
+            ours = FLOAT16.round_double(x)
+            theirs = float(np.float16(x))
+            assert ours == theirs, x
+
+    def test_float32_matches_numpy(self):
+        import numpy as np
+        for x in [0.1, 1.0000000596046448, 3.4028235e38, 1e-45, -2.718281828]:
+            assert FLOAT32.round_double(x) == float(np.float32(x)), x

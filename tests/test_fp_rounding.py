@@ -1,0 +1,107 @@
+"""Tests for rounding intervals, Algorithm 1 (repro.fp.rounding)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fp.bits import next_double, prev_double
+from repro.fp.formats import BFLOAT16, FLOAT8, FLOAT16, FLOAT32
+from repro.fp.rounding import RoundingInterval, overflow_threshold, rounding_interval
+
+
+class TestRoundingIntervalObject:
+    def test_contains(self):
+        iv = RoundingInterval(1.0, 2.0)
+        assert 1.0 in iv and 2.0 in iv and 1.5 in iv
+        assert 0.999 not in iv and 2.001 not in iv
+
+    def test_intersect(self):
+        a = RoundingInterval(0.0, 2.0)
+        b = RoundingInterval(1.0, 3.0)
+        assert a.intersect(b) == RoundingInterval(1.0, 2.0)
+
+    def test_intersect_disjoint_is_none(self):
+        assert RoundingInterval(0.0, 1.0).intersect(
+            RoundingInterval(2.0, 3.0)) is None
+
+    def test_width(self):
+        assert RoundingInterval(1.0, 3.5).width == 2.5
+
+
+class TestOverflowThreshold:
+    def test_float32_value(self):
+        assert overflow_threshold(FLOAT32) == 3.4028235677973366e38
+
+    def test_threshold_rounds_to_inf(self):
+        thr = overflow_threshold(FLOAT32)
+        assert FLOAT32.round_double(thr) == math.inf
+        assert FLOAT32.round_double(prev_double(thr)) == float(FLOAT32.max_value)
+
+
+def _defining_property(fmt, y_bits):
+    """The interval is exactly the preimage of y under RN_T (boundary check)."""
+    iv = rounding_interval(fmt, y_bits)
+    y_val = fmt.to_double(y_bits)
+
+    def rounds_to_y(v):
+        got = fmt.from_double(v)
+        if fmt.is_zero(y_bits):
+            return fmt.is_zero(got)
+        return got == y_bits
+
+    assert rounds_to_y(iv.lo), (y_val, iv)
+    assert rounds_to_y(iv.hi), (y_val, iv)
+    if iv.lo != -math.inf:
+        assert not rounds_to_y(prev_double(iv.lo)), (y_val, iv)
+    if iv.hi != math.inf:
+        assert not rounds_to_y(next_double(iv.hi)), (y_val, iv)
+
+
+class TestIntervalCorrectness:
+    def test_exhaustive_float8(self):
+        for bits in FLOAT8.enumerate_finite():
+            _defining_property(FLOAT8, bits)
+        _defining_property(FLOAT8, FLOAT8.inf_bits)
+        _defining_property(FLOAT8, FLOAT8.inf_bits | FLOAT8.sign_mask)
+
+    @pytest.mark.parametrize("fmt", [FLOAT16, BFLOAT16, FLOAT32])
+    def test_interesting_values(self, fmt):
+        interesting = [
+            0, 1, 2,                                     # zero and subnormals
+            (1 << fmt.mbits) - 1, 1 << fmt.mbits,        # subnormal/normal edge
+            fmt.from_fraction(1), fmt.from_fraction(1) + 1,
+            fmt.inf_bits - 1,                            # largest finite
+            fmt.inf_bits,                                # +inf
+            fmt.sign_mask | 1, fmt.sign_mask | fmt.from_fraction(1),
+            fmt.sign_mask | (fmt.inf_bits - 1),
+            fmt.sign_mask | fmt.inf_bits,                # -inf
+        ]
+        for bits in interesting:
+            _defining_property(fmt, bits)
+
+    @given(st.integers(min_value=-(2 ** 31 - 2 ** 23 - 1),
+                       max_value=2 ** 31 - 2 ** 23 - 1))
+    @settings(max_examples=200)
+    def test_float32_random_ordinals(self, n):
+        _defining_property(FLOAT32, FLOAT32.from_ordinal(n))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            rounding_interval(FLOAT32, FLOAT32.nan_bits)
+
+    def test_zero_interval_symmetric(self):
+        iv = rounding_interval(FLOAT32, 0)
+        assert iv.lo == -iv.hi
+        assert 0.0 in iv
+
+    def test_even_value_includes_midpoints(self):
+        # 1.0 has an even mantissa: both boundary midpoints round to it
+        iv = rounding_interval(FLOAT32, FLOAT32.from_double(1.0))
+        assert FLOAT32.round_double(iv.lo) == 1.0
+        assert FLOAT32.round_double(iv.hi) == 1.0
+        # odd neighbour: its interval excludes the shared midpoints, so the
+        # two intervals are disjoint yet adjacent
+        odd = FLOAT32.from_double(1.0) + 1
+        iv2 = rounding_interval(FLOAT32, odd)
+        assert iv2.lo == next_double(iv.hi)

@@ -1,0 +1,99 @@
+"""End-to-end pipeline tests on exhaustively checkable formats.
+
+These are the strongest tests in the suite: they run the whole paper
+pipeline — oracle, rounding intervals, Algorithm 2, domain splitting,
+counterexample guided LP generation — and then check *every* input of
+the format against the oracle, exactly like the paper's all-inputs
+validation (Table 1/2, shrunk to formats Python can enumerate).
+"""
+
+import math
+
+import pytest
+
+from repro.core import FunctionSpec, all_values, generate, validate
+from repro.core.generator import GenerationError
+from repro.core.piecewise import PiecewiseConfig
+from repro.fp.formats import FLOAT8
+from repro.posit.format import POSIT8
+from repro.rangereduction import reduction_for
+
+
+ALL_FLOAT_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                       "sinh", "cosh", "sinpi", "cospi")
+POSIT_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                   "sinh", "cosh")
+
+
+@pytest.mark.parametrize("name", ALL_FLOAT_FUNCTIONS)
+def test_float8_exhaustive_correctness(name):
+    rr = reduction_for(name, FLOAT8)
+    spec = FunctionSpec(name, FLOAT8, rr)
+    inputs = list(all_values(FLOAT8))
+    fn = generate(spec, inputs)
+    assert validate(fn, inputs) == []
+
+
+@pytest.mark.parametrize("name", POSIT_FUNCTIONS)
+def test_posit8_exhaustive_correctness(name):
+    rr = reduction_for(name, POSIT8)
+    spec = FunctionSpec(name, POSIT8, rr)
+    inputs = list(all_values(POSIT8))
+    fn = generate(spec, inputs)
+    assert validate(fn, inputs) == []
+
+
+class TestGeneratedFunctionBehaviour:
+    def test_special_inputs(self, float8_exp):
+        assert float8_exp.evaluate(math.inf) == math.inf
+        assert float8_exp.evaluate(-math.inf) == 0.0
+        assert math.isnan(float8_exp.evaluate(math.nan))
+        assert float8_exp.evaluate(0.0) == 1.0
+
+    def test_log_specials(self, float8_log2):
+        assert float8_log2.evaluate(0.0) == -math.inf
+        assert math.isnan(float8_log2.evaluate(-1.0))
+        assert float8_log2.evaluate(math.inf) == math.inf
+
+    def test_exact_results(self, float8_log2):
+        assert float8_log2.evaluate(8.0) == 3.0
+        assert float8_log2.evaluate(0.25) == -2.0
+
+    def test_call_is_evaluate(self, float8_exp):
+        assert float8_exp(1.0) == float8_exp.evaluate(1.0)
+
+    def test_bits_and_value_consistent(self, float8_exp):
+        for x in (0.5, 1.0, 2.5, -3.0):
+            bits = float8_exp.evaluate_bits(x)
+            assert FLOAT8.to_double(bits) == float8_exp.evaluate(x)
+
+    def test_stats_populated(self, float8_exp):
+        st = float8_exp.stats
+        assert st.input_count == len(list(all_values(FLOAT8)))
+        assert st.special_count > 0
+        assert st.reduced_count > 0
+        assert "exp" in st.per_fn
+        assert st.gen_time_s > 0
+
+    def test_sinpi_odd_symmetry(self, float8_sinpi):
+        for x in (0.25, 0.5, 1.25, 3.75):
+            a = float8_sinpi.evaluate(x)
+            b = float8_sinpi.evaluate(-x)
+            assert a == -b or (a == 0.0 and b == 0.0)
+
+    def test_posit_nan_to_nar(self, posit8_exp):
+        assert posit8_exp.evaluate_bits(math.nan) == POSIT8.nar_bits
+
+    def test_posit_saturation(self, posit8_exp):
+        # exp of large posit8 values saturates to maxpos, never inf
+        assert posit8_exp.evaluate(32.0) == float(POSIT8.maxpos)
+        assert posit8_exp.evaluate(-32.0) == float(POSIT8.minpos)
+
+
+class TestGenerationFailure:
+    def test_budget_too_small_raises(self):
+        rr = reduction_for("exp", FLOAT8, max_degree=0)
+        spec = FunctionSpec("exp", FLOAT8, rr,
+                            PiecewiseConfig(max_index_bits=0))
+        with pytest.raises(GenerationError):
+            generate(spec, list(all_values(FLOAT8)))

@@ -1,0 +1,78 @@
+"""Tests for the 32-bit generation driver (repro.libm.genlib)."""
+
+import math
+import pathlib
+
+import pytest
+
+from repro.core import all_values, validate
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.libm.genlib import GEN_SETTINGS, GenSettings, generate_library, generate_one
+from repro.libm.serialize import function_from_dict
+from repro.posit.format import POSIT8
+from repro.rangereduction import reduction_for
+from repro.rangereduction.domains import boundary_centers, sampling_domain
+
+
+def _tiny_settings():
+    return GenSettings(base=2000, validation=500, hard_candidates=300,
+                       hard_keep=30, boundary_radius=16, max_index_bits=6,
+                       rounds=8, clean_rounds=1, final_check=400)
+
+
+class TestSettings:
+    def test_all_ten_functions_configured(self):
+        assert set(GEN_SETTINGS) == {"ln", "log2", "log10", "exp", "exp2",
+                                     "exp10", "sinh", "cosh", "sinpi",
+                                     "cospi"}
+
+
+class TestDomains:
+    def test_log_domain_positive(self):
+        rr = reduction_for("ln", FLOAT32)
+        lo, hi = sampling_domain("ln", FLOAT32, rr)
+        assert 0 < lo < hi
+
+    def test_exp_domain_uses_thresholds(self):
+        rr = reduction_for("exp", FLOAT32)
+        lo, hi = sampling_domain("exp", FLOAT32, rr)
+        assert lo == rr._lo_thr and hi == rr._hi_thr
+
+    def test_posit_log_domain(self):
+        rr = reduction_for("ln", POSIT8)
+        lo, hi = sampling_domain("ln", POSIT8, rr)
+        assert lo == float(POSIT8.minpos) and hi == float(POSIT8.maxpos)
+
+    def test_centers_within_domain(self):
+        rr = reduction_for("sinpi", FLOAT32)
+        lo, hi = sampling_domain("sinpi", FLOAT32, rr)
+        for c in boundary_centers("sinpi", rr, lo, hi):
+            assert lo <= c <= hi
+
+
+class TestGenerateOne:
+    def test_small_format_end_to_end(self):
+        logs = []
+        fn, extra = generate_one("exp", FLOAT8, settings=_tiny_settings(),
+                                 log=logs.append)
+        assert extra["final_check"]["misses"] == 0
+        assert validate(fn, all_values(FLOAT8)) == []
+        assert any("generated" in line for line in logs)
+
+    def test_quick_divides_budgets(self):
+        fn, extra = generate_one("log2", FLOAT8, quick=True,
+                                 settings=_tiny_settings(), log=lambda s: None)
+        assert extra["final_check"]["n"] <= 400
+
+
+class TestGenerateLibrary:
+    def test_writes_loadable_modules(self, tmp_path):
+        generate_library(["exp2"], FLOAT8, tmp_path,
+                         seed=5, log=lambda s: None)
+        path = tmp_path / "exp2.py"
+        assert path.exists()
+        ns = {}
+        exec(compile(path.read_text(), str(path), "exec"), ns)
+        fn = function_from_dict(ns["DATA"])
+        assert fn.evaluate(2.0) == 4.0
+        assert "final_check" in ns["DATA"]["stats"]

@@ -1,0 +1,128 @@
+"""Tests for the shipped float32 library (frozen tables + public API)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.sampling import boundary_values, sample_values
+from repro.fp.float32 import f32_round, f32_to_bits
+from repro.fp.formats import FLOAT32
+from repro.libm import float32 as rl
+from repro.libm.runtime import FLOAT32_FUNCTIONS, available, load
+from repro.oracle import default_oracle as orc
+
+
+def _have_data() -> bool:
+    return set(available("float32")) == set(FLOAT32_FUNCTIONS)
+
+
+pytestmark = pytest.mark.skipif(
+    not _have_data(), reason="float32 tables not generated")
+
+
+class TestLoader:
+    def test_available_lists_all_ten(self):
+        assert set(available("float32")) == set(FLOAT32_FUNCTIONS)
+
+    def test_load_caches(self):
+        assert load("exp", "float32") is load("exp", "float32")
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError):
+            load("exp", "float128")
+
+    def test_loading_is_oracle_free(self):
+        g = load("ln", "float32")
+        # evaluating must not touch the LP solver or mpmath oracle:
+        # frozen tables only.  (Indirect check: it is fast and pure.)
+        assert g.evaluate(2.0) == f32_round(math.log(2.0))
+
+
+class TestKnownValues:
+    def test_exact_values(self):
+        assert rl.log2(8.0) == 3.0
+        assert rl.log10(1000.0) == 3.0
+        assert rl.ln(1.0) == 0.0
+        assert rl.exp2(10.0) == 1024.0
+        assert rl.exp(0.0) == 1.0
+        assert rl.sinpi(0.5) == 1.0
+        assert rl.sinpi(1.0) == 0.0
+        assert rl.cospi(1.0) == -1.0
+        assert rl.cosh(0.0) == 1.0
+
+    def test_specials(self):
+        assert rl.ln(0.0) == -math.inf
+        assert math.isnan(rl.ln(-5.0))
+        assert rl.exp(120.0) == math.inf
+        assert rl.exp(-120.0) == 0.0
+        assert rl.sinh(100.0) == math.inf
+        assert rl.sinh(-100.0) == -math.inf
+        assert rl.cosh(-100.0) == math.inf
+        assert math.isnan(rl.sinpi(math.inf))
+        assert rl.cospi(2.0 ** 25) == 1.0
+
+    def test_input_rounded_to_float32_first(self):
+        # 1/3 is not a float32 value; the API rounds it first
+        assert rl.cospi(1 / 3) == rl.cospi(f32_round(1 / 3))
+
+    def test_bits_api(self):
+        assert rl.log2_bits(8.0) == f32_to_bits(3.0)
+        assert rl.exp_bits(1000.0) == 0x7F800000
+
+
+@pytest.mark.parametrize("fn_name", FLOAT32_FUNCTIONS)
+def test_sampled_against_oracle(fn_name):
+    """Fresh random sample (unseen seed) checked against the oracle."""
+    from repro.rangereduction.domains import sampling_domain
+    from repro.rangereduction import reduction_for
+
+    rr = reduction_for(fn_name, FLOAT32)
+    lo, hi = sampling_domain(fn_name, FLOAT32, rr)
+    xs = sample_values(FLOAT32, 400, random.Random(123456), lo, hi)
+    g = load(fn_name, "float32")
+    wrong = 0
+    for x in xs:
+        s = rr.special(x)
+        want = (f32_to_bits(s) if s is not None
+                else orc.round_to_bits(fn_name, x, FLOAT32))
+        if g.evaluate_bits(x) != want:
+            wrong += 1
+    assert wrong == 0, f"{fn_name}: {wrong}/{len(xs)} wrong"
+
+
+@pytest.mark.parametrize("fn_name", ["exp", "log2", "sinpi"])
+def test_boundary_neighbourhoods(fn_name):
+    from repro.rangereduction.domains import boundary_centers, sampling_domain
+    from repro.rangereduction import reduction_for
+
+    rr = reduction_for(fn_name, FLOAT32)
+    lo, hi = sampling_domain(fn_name, FLOAT32, rr)
+    xs = boundary_values(FLOAT32, boundary_centers(fn_name, rr, lo, hi), 24)
+    g = load(fn_name, "float32")
+    for x in xs:
+        s = rr.special(x)
+        want = (f32_to_bits(s) if s is not None
+                else orc.round_to_bits(fn_name, x, FLOAT32))
+        assert g.evaluate_bits(x) == want, x
+
+
+class TestSymmetries:
+    def test_sinpi_odd(self):
+        for x in (0.1, 0.75, 12.265625, 1e-20):
+            a, b = rl.sinpi(x), rl.sinpi(-x)
+            assert a == -b or (a == 0.0 and b == 0.0)
+
+    def test_cospi_even(self):
+        for x in (0.1, 0.75, 12.265625, 1e-20):
+            assert rl.cospi(x) == rl.cospi(-x)
+
+    def test_sinh_odd_cosh_even(self):
+        for x in (0.5, 3.25, 80.0):
+            assert rl.sinh(x) == -rl.sinh(-x)
+            assert rl.cosh(x) == rl.cosh(-x)
+
+    def test_exp_log_near_inverse(self):
+        for x in (0.5, 1.0, 7.25):
+            y = rl.ln(rl.exp(x))
+            assert abs(y - x) <= 4 * math.ulp(x) + 1e-6

@@ -1,0 +1,70 @@
+"""Tests for the shipped posit32 library (frozen tables + public API)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.sampling import sample_values
+from repro.libm.runtime import POSIT32_FUNCTIONS, available, load
+from repro.oracle import default_oracle as orc
+from repro.posit.format import POSIT32
+
+
+def _have_data() -> bool:
+    return set(available("posit32")) == set(POSIT32_FUNCTIONS)
+
+
+pytestmark = pytest.mark.skipif(
+    not _have_data(), reason="posit32 tables not generated")
+
+
+class TestKnownValues:
+    def test_exact_values(self):
+        from repro.libm import posit32 as rp
+        assert rp.log2(8.0) == 3.0
+        assert rp.exp(0.0) == 1.0
+        assert rp.exp2(10.0) == 1024.0
+        assert rp.cosh(0.0) == 1.0
+
+    def test_saturation(self):
+        from repro.libm import posit32 as rp
+        assert rp.exp(800.0) == float(POSIT32.maxpos)
+        assert rp.exp(-800.0) == float(POSIT32.minpos)
+        assert rp.exp2(500.0) == float(POSIT32.maxpos)
+        assert rp.sinh(300.0) == float(POSIT32.maxpos)
+        assert rp.sinh(-300.0) == -float(POSIT32.maxpos)
+        assert rp.cosh(300.0) == float(POSIT32.maxpos)
+
+    def test_nar_handling(self):
+        from repro.libm import posit32 as rp
+        assert math.isnan(rp.exp(math.nan))
+        assert math.isnan(rp.ln(-1.0))
+        assert math.isnan(rp.ln(0.0))  # ln(0) = -inf -> NaR -> NaN value
+        assert rp.exp_bits(POSIT32.nar_bits) == POSIT32.nar_bits
+        assert rp.ln_bits(POSIT32.from_double(-2.0)) == POSIT32.nar_bits
+
+    def test_bits_api(self):
+        from repro.libm import posit32 as rp
+        one = POSIT32.from_double(1.0)
+        assert rp.ln_bits(one) == 0
+        assert POSIT32.to_double(rp.exp_bits(0)) == 1.0
+
+
+@pytest.mark.parametrize("fn_name", POSIT32_FUNCTIONS)
+def test_sampled_against_oracle(fn_name):
+    from repro.rangereduction.domains import sampling_domain
+    from repro.rangereduction import reduction_for
+
+    rr = reduction_for(fn_name, POSIT32)
+    lo, hi = sampling_domain(fn_name, POSIT32, rr)
+    xs = sample_values(POSIT32, 250, random.Random(424242), lo, hi)
+    g = load(fn_name, "posit32")
+    wrong = 0
+    for x in xs:
+        s = rr.special(x)
+        want = (POSIT32.from_double(s) if s is not None
+                else orc.round_to_bits(fn_name, x, POSIT32))
+        if g.evaluate_bits(x) != want:
+            wrong += 1
+    assert wrong == 0, f"{fn_name}: {wrong}/{len(xs)} wrong"

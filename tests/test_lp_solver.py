@@ -1,0 +1,135 @@
+"""Tests for the polynomial-fitting LP front end (repro.lp.solver)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp.solver import LinearConstraint, fit_coefficients
+
+
+def _exp_constraints(width, n=60, lo=-0.01, hi=0.01):
+    out = []
+    for i in range(n):
+        r = lo + (hi - lo) * i / (n - 1)
+        v = math.exp(r)
+        out.append(LinearConstraint(r, v - width, v + width))
+    return out
+
+
+def _check_exact(coeffs, exponents, constraints):
+    for c in constraints:
+        p = sum(Fraction(cf) * Fraction(c.r) ** e
+                for cf, e in zip(coeffs, exponents))
+        assert Fraction(c.lo) <= p <= Fraction(c.hi), c
+
+
+class TestFeasible:
+    def test_cubic_fits_loose_exp(self):
+        cs = _exp_constraints(1e-9)
+        res = fit_coefficients(cs, (0, 1, 2, 3))
+        assert res.feasible
+        _check_exact(res.coefficients, (0, 1, 2, 3), cs)
+
+    def test_margin_positive(self):
+        res = fit_coefficients(_exp_constraints(1e-8), (0, 1, 2, 3))
+        assert res.margin is not None and res.margin > 0.5
+
+    def test_empty_constraints(self):
+        res = fit_coefficients([], (0, 1))
+        assert res.feasible and res.coefficients == [0.0, 0.0]
+
+    def test_single_point(self):
+        res = fit_coefficients([LinearConstraint(0.5, 1.0, 2.0)], (0,))
+        assert res.feasible
+        assert 1.0 <= res.coefficients[0] <= 2.0
+
+    def test_odd_structure(self):
+        # fit sin-like odd data with odd exponents only
+        cs = [LinearConstraint(r, math.sin(r) - 1e-9, math.sin(r) + 1e-9)
+              for r in [i / 1000 for i in range(-9, 10)]]
+        res = fit_coefficients(cs, (1, 3))
+        assert res.feasible
+        _check_exact(res.coefficients, (1, 3), cs)
+
+    def test_no_exponents_rejected(self):
+        with pytest.raises(ValueError):
+            fit_coefficients(_exp_constraints(1e-9), ())
+
+
+class TestScaling:
+    def test_tiny_magnitudes(self):
+        # sinpi-style: values around 1e-38 with relative widths 5e-3
+        cs = []
+        for i in range(1, 50):
+            r = i * 1e-39
+            v = math.pi * r
+            cs.append(LinearConstraint(r, v * (1 - 5e-3), v * (1 + 5e-3)))
+        res = fit_coefficients(cs, (1, 3, 5, 7))
+        assert res.feasible
+        _check_exact(res.coefficients, (1, 3, 5, 7), cs)
+
+    def test_underflowing_columns_pinned_to_zero(self):
+        cs = [LinearConstraint(i * 1e-60, math.pi * i * 1e-60 * 0.999,
+                               math.pi * i * 1e-60 * 1.001)
+              for i in range(1, 30)]
+        res = fit_coefficients(cs, (1, 3, 5, 7))
+        assert res.feasible
+        # r**7 ~ 1e-420 underflows: its coefficient must be exactly 0
+        assert res.coefficients[3] == 0.0
+        _check_exact(res.coefficients, (1, 3, 5, 7), cs)
+
+    def test_ulp_thin_intervals_iterative_refinement(self):
+        # mixed widths: a few constraints 1e-11 relative (below HiGHS's
+        # feasibility tolerance) among ordinary ones
+        cs = []
+        for i in range(80):
+            r = 0.002 + i * 1e-5
+            v = math.log2(1 + r)
+            w = 5e-14 if i % 17 == 0 else 5e-10
+            cs.append(LinearConstraint(r, v - w, v + w))
+        res = fit_coefficients(cs, (1, 2, 3, 4))
+        assert res.feasible
+        _check_exact(res.coefficients, (1, 2, 3, 4), cs)
+
+
+class TestInfeasible:
+    def test_degree_too_low(self):
+        cs = _exp_constraints(1e-12)
+        res = fit_coefficients(cs, (0, 1, 2, 3))
+        assert not res.feasible  # Remez bound for deg-3 here is ~4e-12
+
+    def test_contradictory_points(self):
+        cs = [LinearConstraint(0.5, 1.0, 1.1), LinearConstraint(0.5, 2.0, 2.1)]
+        res = fit_coefficients(cs, (0, 1, 2))
+        assert not res.feasible
+
+
+class TestExactBackend:
+    def test_matches_fast_backend_feasibility(self):
+        cs = _exp_constraints(1e-9, n=24)
+        fast = fit_coefficients(cs, (0, 1, 2, 3))
+        exact = fit_coefficients(cs, (0, 1, 2, 3), exact=True)
+        assert fast.feasible and exact.feasible
+        assert exact.backend == "exact"
+        _check_exact(exact.coefficients, (0, 1, 2, 3), cs)
+
+    def test_exact_infeasible(self):
+        cs = [LinearConstraint(0.5, 1.0, 1.1), LinearConstraint(0.5, 2.0, 2.1)]
+        assert not fit_coefficients(cs, (0,), exact=True).feasible
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_backends_agree_randomized(self, seed):
+        import random
+        rng = random.Random(seed)
+        cs = []
+        for _ in range(12):
+            r = rng.uniform(-0.1, 0.1)
+            v = math.exp(r)
+            w = 10 ** rng.uniform(-10, -6)
+            cs.append(LinearConstraint(r, v - w, v + w))
+        fast = fit_coefficients(cs, (0, 1, 2, 3, 4))
+        exact = fit_coefficients(cs, (0, 1, 2, 3, 4), exact=True)
+        assert fast.feasible == exact.feasible

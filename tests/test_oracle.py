@@ -1,0 +1,137 @@
+"""Tests for the correctly rounded oracle (repro.oracle)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fp.formats import FLOAT32, FLOAT64
+from repro.oracle import FUNCTIONS, Oracle, get_function
+from repro.oracle.mpmath_oracle import default_oracle as orc, mpf_to_fraction
+
+import mpmath
+
+
+class TestRegistry:
+    def test_all_ten_plus_reduced_registered(self):
+        for name in ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                     "sinh", "cosh", "sinpi", "cospi",
+                     "log1p", "log2_1p", "log10_1p"):
+            assert name in FUNCTIONS
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            get_function("tan")
+
+    def test_parity_flags(self):
+        assert get_function("sinpi").odd and not get_function("sinpi").even
+        assert get_function("cospi").even
+        assert get_function("sinh").odd
+        assert get_function("cosh").even
+
+
+class TestExactHooks:
+    @pytest.mark.parametrize("fn,x,want", [
+        ("ln", 1.0, 0), ("log2", 8.0, 3), ("log2", 0.25, -2),
+        ("log10", 100.0, 2), ("exp", 0.0, 1), ("exp2", 10.0, 1024),
+        ("exp2", -3.0, Fraction(1, 8)), ("exp10", 2.0, 100),
+        ("exp10", -1.0, Fraction(1, 10)), ("sinh", 0.0, 0),
+        ("cosh", 0.0, 1), ("sinpi", 7.0, 0), ("sinpi", 0.5, 1),
+        ("sinpi", 1.5, -1), ("sinpi", 2.5, 1), ("cospi", 2.0, 1),
+        ("cospi", 3.0, -1), ("cospi", 0.5, 0), ("log1p", 0.0, 0),
+        ("log2_1p", 1.0, 1), ("log2_1p", 3.0, 2), ("log10_1p", 9.0, 1),
+    ])
+    def test_exact_values(self, fn, x, want):
+        hook = get_function(fn).exact_hook(Fraction(x))
+        assert hook == Fraction(want)
+
+    @pytest.mark.parametrize("fn,x", [
+        ("ln", 2.0), ("log2", 3.0), ("log10", 2.0), ("exp", 1.0),
+        ("exp2", 0.5), ("sinh", 1.0), ("sinpi", 0.25), ("cospi", 0.25),
+    ])
+    def test_irrational_points_have_no_hook(self, fn, x):
+        assert get_function(fn).exact_hook(Fraction(x)) is None
+
+
+class TestLimitCases:
+    def test_ln_limits(self):
+        fn = get_function("ln")
+        assert fn.limit_cases(0.0) == -math.inf
+        assert math.isnan(fn.limit_cases(-1.0))
+        assert fn.limit_cases(math.inf) == math.inf
+        assert fn.limit_cases(1.5) is None
+
+    def test_exp_limits(self):
+        fn = get_function("exp")
+        assert fn.limit_cases(math.inf) == math.inf
+        assert fn.limit_cases(-math.inf) == 0.0
+
+    def test_sinpi_limits(self):
+        assert math.isnan(get_function("sinpi").limit_cases(math.inf))
+
+
+class TestMpfToFraction:
+    def test_basic(self):
+        with mpmath.workprec(60):
+            assert mpf_to_fraction(mpmath.mpf("0.5")) == Fraction(1, 2)
+            assert mpf_to_fraction(mpmath.mpf(3)) == 3
+            assert mpf_to_fraction(-mpmath.mpf("0.75")) == Fraction(-3, 4)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            mpf_to_fraction(mpmath.inf)
+
+
+class TestRounding:
+    def test_against_math_module(self):
+        # platform libm is correctly rounded for these on common systems;
+        # allow 1 ulp just in case, but require <=.
+        for fn, ref in [("ln", math.log), ("exp", math.exp),
+                        ("sinh", math.sinh), ("cosh", math.cosh)]:
+            for x in (0.5, 1.25, 2.0, 5.5, 10.75, -3.25 if fn in ("exp", "sinh", "cosh") else 0.3):
+                got = orc.round_to_double(fn, x)
+                assert abs(got - ref(x)) <= math.ulp(ref(x)), (fn, x)
+
+    def test_round_to_float32(self):
+        bits = orc.round_to_bits("exp", 1.0, FLOAT32)
+        assert FLOAT32.to_double(bits) == 2.7182817459106445
+
+    def test_exact_hook_used(self):
+        assert orc.round_to_double("sinpi", 1e6 + 0.5) in (1.0, -1.0)
+        assert orc.round_to_double("exp2", 30.0) == 2.0 ** 30
+
+    def test_limit_cases_rejected(self):
+        with pytest.raises(ValueError):
+            orc.round_to_double("ln", -1.0)
+        with pytest.raises(ValueError):
+            orc.round_to_double("exp", math.inf)
+
+    def test_caching(self):
+        o = Oracle()
+        a = o.round_to_bits("exp", 3.5, FLOAT32)
+        b = o.round_to_bits("exp", 3.5, FLOAT32)
+        assert a == b
+        o.clear_cache()
+        assert o.round_to_bits("exp", 3.5, FLOAT32) == a
+
+    @given(st.floats(min_value=0.01, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bracket_contains_true_value(self, x):
+        fn = get_function("exp")
+        lo, hi, exact = orc.bracket(fn, x, 128)
+        with mpmath.workprec(200):
+            t = mpf_to_fraction(mpmath.exp(mpmath.mpf(x)))
+        assert lo <= t <= hi
+
+    def test_huge_result(self):
+        # exp of a large double: result far beyond double range
+        bits = orc.round_to_bits("exp", 1000.0, FLOAT64)
+        assert FLOAT64.is_inf(bits)
+
+    def test_escalation_on_near_tie(self):
+        # a value whose exp is extremely close to a float32 boundary:
+        # the oracle must still certify (possibly at higher precision)
+        x = 0.4986887276172638
+        bits = orc.round_to_bits("exp", x, FLOAT32)
+        assert FLOAT32.is_finite(bits)

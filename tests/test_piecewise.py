@@ -1,0 +1,127 @@
+"""Tests for piecewise polynomials, Algorithm 3 (repro.core.piecewise)."""
+
+import math
+
+import pytest
+
+from repro.core.cegpoly import CEGConfig
+from repro.core.piecewise import (ApproxFunc, PiecewiseConfig,
+                                  PiecewisePolynomial, gen_approx_func,
+                                  gen_piecewise)
+from repro.core.polynomials import Polynomial
+from repro.lp.solver import LinearConstraint
+
+
+def _band(f, width, lo, hi, n=4000):
+    cs = []
+    for i in range(n):
+        r = lo + (hi - lo) * i / (n - 1)
+        v = f(r)
+        cs.append(LinearConstraint(r, v - width, v + width))
+    cs.sort(key=lambda c: c.r)
+    return cs
+
+
+def _ok(pp, cs):
+    return all(c.lo <= pp(c.r) <= c.hi for c in cs)
+
+
+class TestPiecewisePolynomial:
+    def test_lookup_and_eval(self):
+        p0 = Polynomial((0,), (1.0,))
+        p1 = Polynomial((0,), (2.0,))
+        # one index bit right below the top exponent bits of ~[0.25, 1)
+        from repro.core.splitting import split_domain
+        cs = [LinearConstraint(r, 0, 1) for r in (0.26, 0.3, 0.6, 0.9)]
+        sp = split_domain(cs, 1)
+        pp = PiecewisePolynomial(sp.index_bits, sp.shift, (p0, p1))
+        for c in cs:
+            assert pp(c.r) in (1.0, 2.0)
+
+    def test_stats_properties(self):
+        pp = PiecewisePolynomial(1, 50, (Polynomial((0, 1), (1.0, 2.0)),
+                                         Polynomial((0,), (3.0,))))
+        assert pp.max_degree == 1
+        assert pp.max_terms == 2
+        assert pp.npolys == 2
+
+
+class TestGenPiecewise:
+    def test_single_poly_when_feasible(self):
+        cs = _band(math.exp, 1e-9, 0.0, 0.005)
+        pp = gen_piecewise(cs, (0, 1, 2, 3, 4))
+        assert pp is not None
+        assert pp.index_bits == 0
+        assert _ok(pp, cs)
+
+    def test_splits_when_degree_too_low(self):
+        # degree 1 over [0, 0.01] has a Remez error of ~6e-6, far above
+        # the 1e-7 band, so a single polynomial cannot work; the widest
+        # bit-pattern sub-domain at 2**8 splits (~1e-3, set by the binade
+        # structure) brings the bound to ~6e-8, under the band
+        cs = _band(math.exp, 1e-7, 0.0, 0.01)
+        pp = gen_piecewise(cs, (0, 1), PiecewiseConfig(max_index_bits=8))
+        assert pp is not None
+        assert pp.index_bits > 0
+        assert _ok(pp, cs)
+
+    def test_forced_split_count(self):
+        cs = _band(math.exp, 1e-9, 0.001, 0.005)
+        cfg = PiecewiseConfig(start_index_bits=3, max_index_bits=3)
+        pp = gen_piecewise(cs, (0, 1, 2, 3, 4), cfg)
+        assert pp is not None
+        assert pp.index_bits == 3
+        assert len(pp.polys) == 8
+        assert _ok(pp, cs)
+
+    def test_budget_exhaustion_returns_none(self):
+        # constant polynomial cannot satisfy tight exp anywhere
+        cs = _band(math.exp, 1e-13, 0.001, 0.01, n=800)
+        pp = gen_piecewise(cs, (0,), PiecewiseConfig(max_index_bits=2))
+        assert pp is None
+
+    def test_empty_subdomains_inherit_neighbours(self):
+        # two far-apart clusters leave middle sub-domains empty
+        cs = (_band(math.exp, 1e-9, 0.001, 0.00101, n=50)
+              + _band(math.exp, 1e-9, 0.009, 0.00901, n=50))
+        cs.sort(key=lambda c: c.r)
+        cfg = PiecewiseConfig(start_index_bits=4, max_index_bits=4)
+        pp = gen_piecewise(cs, (0, 1, 2, 3), cfg)
+        assert pp is not None
+        assert len(pp.polys) == 16          # all slots defined
+        assert _ok(pp, cs)
+
+
+class TestGenApproxFunc:
+    def test_sign_split(self):
+        cs = _band(math.exp, 1e-9, -0.005, 0.005)
+        af = gen_approx_func("exp", cs, (0, 1, 2, 3, 4))
+        assert af is not None
+        assert af.neg is not None and af.pos is not None
+        assert _ok(af, cs)
+
+    def test_positive_only(self):
+        cs = _band(math.log1p, 1e-9, 0.0, 0.0078)
+        af = gen_approx_func("log1p", cs, (1, 2, 3, 4))
+        assert af is not None
+        assert af.neg is None
+        assert _ok(af, cs)
+
+    def test_missing_side_raises(self):
+        cs = _band(math.exp, 1e-9, 0.001, 0.005)
+        af = gen_approx_func("exp", cs, (0, 1, 2, 3))
+        with pytest.raises(ValueError):
+            af(-0.001)
+
+    def test_infeasible_returns_none(self):
+        cs = _band(math.exp, 1e-13, -0.01, 0.01, n=500)
+        af = gen_approx_func("exp", cs, (0,),
+                             PiecewiseConfig(max_index_bits=1))
+        assert af is None
+
+    def test_stats(self):
+        cs = _band(math.exp, 1e-9, -0.004, 0.004)
+        af = gen_approx_func("exp", cs, (0, 1, 2, 3, 4))
+        assert af.npolys >= 2
+        assert af.max_degree <= 4
+        assert af.max_terms <= 5

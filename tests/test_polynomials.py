@@ -1,0 +1,93 @@
+"""Tests for polynomial evaluation (repro.core.polynomials)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomials import Polynomial, horner_structure
+
+reasonable = st.floats(min_value=-1e3, max_value=1e3,
+                       allow_nan=False, allow_infinity=False)
+
+
+class TestHornerStructure:
+    @pytest.mark.parametrize("exps,want", [
+        ((0, 1, 2, 3), (0, 1)),
+        ((1, 3, 5), (1, 2)),
+        ((0, 2, 4), (0, 2)),
+        ((2,), (2, 1)),
+        ((3, 4, 5), (3, 1)),
+        ((0, 1, 3), None),
+        ((1, 0), None),
+        ((1, 1, 2), None),
+    ])
+    def test_detection(self, exps, want):
+        assert horner_structure(exps) == want
+
+
+class TestEvaluation:
+    def test_dense(self):
+        p = Polynomial((0, 1, 2), (1.0, 2.0, 3.0))
+        assert p(2.0) == 1.0 + 2.0 * 2.0 + 3.0 * 4.0
+
+    def test_odd(self):
+        p = Polynomial((1, 3), (1.0, -1 / 6))
+        r = 0.1
+        # Horner: (c1 + r2*c3) * r
+        u = r * r
+        assert p(r) == (-1 / 6 * u + 1.0) * r
+
+    def test_even(self):
+        p = Polynomial((0, 2), (1.0, -0.5))
+        r = 0.25
+        assert p(r) == -0.5 * (r * r) + 1.0
+
+    def test_irregular_exponents(self):
+        p = Polynomial((0, 1, 4), (1.0, 1.0, 2.0))
+        assert p(2.0) == 1.0 + 2.0 + 2.0 * 16.0
+
+    def test_single_term(self):
+        assert Polynomial((3,), (2.0,))(2.0) == 16.0
+        assert Polynomial((0,), (7.0,))(100.0) == 7.0
+
+    def test_degree_terms(self):
+        p = Polynomial((1, 3, 5), (1.0, 2.0, 3.0))
+        assert p.degree == 5 and p.terms == 3
+
+    def test_prefix(self):
+        p = Polynomial((1, 3, 5), (1.0, 2.0, 3.0))
+        q = p.prefix(2)
+        assert q.exponents == (1, 3) and q.coefficients == (1.0, 2.0)
+        with pytest.raises(ValueError):
+            p.prefix(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Polynomial((0, 1), (1.0,))
+        with pytest.raises(ValueError):
+            Polynomial((), ())
+
+
+class TestVectorizedBitEquality:
+    """eval_many must match __call__ bit-for-bit (the generator's Check
+    relies on this equivalence)."""
+
+    @pytest.mark.parametrize("exps", [(0, 1, 2, 3), (1, 3, 5, 7), (0, 2, 4),
+                                      (0, 1, 4), (2,)])
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_equals_vector(self, exps, data):
+        coeffs = tuple(data.draw(reasonable) for _ in exps)
+        rs = [data.draw(reasonable) for _ in range(7)]
+        p = Polynomial(exps, coeffs)
+        vec = p.eval_many(np.array(rs))
+        for r, v in zip(rs, vec):
+            s = p(r)
+            assert (s == v) or (np.isnan(s) and np.isnan(v))
+
+    def test_tiny_and_huge_inputs(self):
+        p = Polynomial((1, 3, 5), (3.14, 2.0, 1.0))
+        rs = np.array([1e-300, 1e-45, 5e-324, 1e10])
+        vec = p.eval_many(rs)
+        for r, v in zip(rs, vec):
+            assert p(float(r)) == v or (np.isnan(v) and np.isnan(p(float(r))))

@@ -1,0 +1,141 @@
+"""Cross-module property-based tests (hypothesis) on pipeline invariants.
+
+These pin down the algebraic facts the pipeline's correctness argument
+rests on: rounding is monotone and idempotent, rounding intervals tile
+the real line, reduction/compensation is the identity up to the reduced
+function, and generated piecewise polynomials stay inside their
+constraints.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.intervals import target_rounding_interval
+from repro.fp.bits import next_double
+from repro.fp.formats import FLOAT8, FLOAT16, FLOAT32
+from repro.posit.format import POSIT8, POSIT16
+
+f32 = st.floats(allow_nan=False, allow_infinity=False, width=32)
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestRoundingProperties:
+    @given(finite)
+    @settings(max_examples=200)
+    def test_rounding_idempotent(self, x):
+        for fmt in (FLOAT8, FLOAT16, FLOAT32, POSIT8, POSIT16):
+            once = fmt.round_double(x)
+            assert fmt.round_double(once) == once or (
+                once == 0.0 and fmt.round_double(once) == 0.0)
+
+    @given(finite, finite)
+    @settings(max_examples=200)
+    def test_rounding_monotone(self, a, b):
+        a, b = min(a, b), max(a, b)
+        for fmt in (FLOAT16, FLOAT32, POSIT16):
+            ra, rb = fmt.round_double(a), fmt.round_double(b)
+            assert ra <= rb
+
+    @given(finite)
+    @settings(max_examples=150)
+    def test_rounding_never_skips_a_value(self, x):
+        """|round(x) - x| can never exceed the local value spacing."""
+        fmt = FLOAT16
+        bits = fmt.from_double(x)
+        if fmt.is_inf(bits) or fmt.is_zero(bits):
+            return
+        v = fmt.to_fraction(bits)
+        up = fmt.to_fraction(fmt.next_up(bits)) if \
+            fmt.is_finite(fmt.next_up(bits)) else None
+        dn = fmt.to_fraction(fmt.next_down(bits)) if \
+            fmt.is_finite(fmt.next_down(bits)) else None
+        q = Fraction(x)
+        if up is not None and dn is not None:
+            assert dn <= q <= up or abs(q - v) <= max(up - v, v - dn)
+
+
+class TestIntervalTiling:
+    """Adjacent rounding intervals must tile the doubles with no gap and
+    no overlap — otherwise some polynomial output would round ambiguously
+    or unreachably."""
+
+    @pytest.mark.parametrize("fmt", [FLOAT8, POSIT8])
+    def test_exhaustive_tiling(self, fmt):
+        prev_hi = None
+        limit = (fmt.inf_bits - 1) if fmt is FLOAT8 else fmt.maxpos_bits
+        for n in range(-limit, limit + 1):
+            bits = fmt.from_ordinal(n)
+            iv = target_rounding_interval(fmt, bits)
+            if prev_hi is not None:
+                if iv.lo == 0.0 == iv.hi or prev_hi == 0.0:
+                    # posit zero is a point interval; neighbours touch it
+                    assert iv.lo >= prev_hi
+                else:
+                    assert iv.lo == next_double(prev_hi), (fmt, n)
+            prev_hi = iv.hi
+
+    @given(st.integers(min_value=-(2 ** 31 - 2 ** 23 - 2),
+                       max_value=2 ** 31 - 2 ** 23 - 2))
+    @settings(max_examples=150)
+    def test_float32_adjacent_intervals(self, n):
+        a = target_rounding_interval(FLOAT32, FLOAT32.from_ordinal(n))
+        b = target_rounding_interval(FLOAT32, FLOAT32.from_ordinal(n + 1))
+        assert b.lo == next_double(a.hi)
+
+
+class TestReductionIdentities:
+    @given(st.floats(min_value=-100.0, max_value=88.0, width=32))
+    @settings(max_examples=150, deadline=None)
+    def test_exp_identity(self, x):
+        from repro.rangereduction import reduction_for
+        rr = reduction_for("exp", FLOAT32)
+        assume(rr.special(x) is None)
+        red = rr.reduce(x)
+        y = rr.compensate([math.exp(red.r)], red.ctx)
+        assert math.isclose(y, math.exp(x), rel_tol=1e-9)
+
+    @given(st.floats(min_value=2.0 ** -120, max_value=2.0 ** 120, width=32))
+    @settings(max_examples=150, deadline=None)
+    def test_ln_identity(self, x):
+        from repro.rangereduction import reduction_for
+        rr = reduction_for("ln", FLOAT32)
+        assume(rr.special(x) is None)
+        red = rr.reduce(x)
+        y = rr.compensate([math.log1p(red.r)], red.ctx)
+        assert math.isclose(y, math.log(x), rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(st.floats(min_value=-(2.0 ** 22), max_value=2.0 ** 22, width=32))
+    @settings(max_examples=150, deadline=None)
+    def test_sinpi_reduction_in_range(self, x):
+        from repro.rangereduction import reduction_for
+        rr = reduction_for("sinpi", FLOAT32)
+        assume(rr.special(x) is None)
+        red = rr.reduce(x)
+        assert 0.0 <= red.r <= 1 / 512
+
+
+class TestGeneratedPolynomialInvariants:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_float8_exp_matches_oracle_everywhere(self, seed):
+        # random probing beyond the exhaustive tests (re-rounded doubles)
+        import random
+
+        from repro.core.validate import reference_bits
+        from repro.core import FunctionSpec, all_values, generate
+        # reuse one generated function via module-level cache
+        global _F8EXP
+        try:
+            fn = _F8EXP
+        except NameError:
+            from repro.rangereduction import reduction_for
+            fn = generate(FunctionSpec("exp", FLOAT8,
+                                       reduction_for("exp", FLOAT8)),
+                          list(all_values(FLOAT8)))
+            _F8EXP = fn
+        rng = random.Random(seed)
+        x = FLOAT8.to_double(FLOAT8.from_double(rng.uniform(-20, 20)))
+        assert fn.evaluate_bits(x) == reference_bits(fn.spec, x)

@@ -1,0 +1,266 @@
+"""Tests for the range reductions: exactness claims, identities, specials."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.posit.format import POSIT16
+from repro.rangereduction import (CosPiReduction, ExpReduction, LogReduction,
+                                  SinhCoshReduction, SinPiReduction,
+                                  reduction_for)
+from repro.rangereduction.sinpicospi import _split_table, _split_to_half
+
+f32_values = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@pytest.fixture(scope="module")
+def rr_log():
+    return LogReduction("ln", FLOAT32)
+
+
+@pytest.fixture(scope="module")
+def rr_exp():
+    return ExpReduction("exp", FLOAT32)
+
+
+@pytest.fixture(scope="module")
+def rr_sinh():
+    return SinhCoshReduction("sinh", FLOAT32)
+
+
+@pytest.fixture(scope="module")
+def rr_sinpi():
+    return SinPiReduction(FLOAT32)
+
+
+@pytest.fixture(scope="module")
+def rr_cospi():
+    return CosPiReduction(FLOAT32)
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("ln", "log2", "log10", "exp", "exp2", "exp10",
+                     "sinh", "cosh", "sinpi", "cospi"):
+            rr = reduction_for(name, FLOAT8)
+            assert rr.name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            reduction_for("tan", FLOAT8)
+
+
+class TestLogReduction:
+    def test_specials(self, rr_log):
+        assert math.isnan(rr_log.special(math.nan))
+        assert rr_log.special(0.0) == -math.inf
+        assert math.isnan(rr_log.special(-1.0))
+        assert rr_log.special(math.inf) == math.inf
+        assert rr_log.special(1.5) is None
+
+    @given(f32_values.filter(lambda x: x > 0))
+    @settings(max_examples=300)
+    def test_decomposition_identity(self, x):
+        rr = LogReduction("ln", FLOAT32)
+        red = rr.reduce(x)
+        e, j = red.ctx
+        # x == 2**e * F * (1 + r') where r' is the exact (m-F)/F;
+        # check m - F subtraction was exact via reconstruction
+        f = 1 + Fraction(j, 128)
+        m = Fraction(x) / Fraction(2) ** e
+        assert 1 <= m < 2
+        assert 0 <= m - f < Fraction(1, 128)
+        # the computed r is the double rounding of the exact ratio
+        exact_r = (m - f) / f
+        assert abs(Fraction(red.r) - exact_r) <= Fraction(2, 2 ** 60)
+
+    def test_r_zero_at_table_points(self, rr_log):
+        for j in (0, 1, 64, 127):
+            x = float(1 + Fraction(j, 128))
+            red = rr_log.reduce(x)
+            assert red.r == 0.0
+            assert red.ctx == (0, j)
+
+    def test_subnormal_inputs(self, rr_log):
+        red = rr_log.reduce(1.401298464324817e-45)  # min float32 subnormal
+        e, j = red.ctx
+        assert e == -149 and j == 0 and red.r == 0.0
+
+    def test_compensation_monotone(self, rr_log):
+        red = rr_log.reduce(3.7)
+        lo = rr_log.compensate([0.001], red.ctx)
+        hi = rr_log.compensate([0.002], red.ctx)
+        assert hi > lo
+
+    def test_log2_pure_exponent(self):
+        rr = LogReduction("log2", FLOAT32)
+        red = rr.reduce(8.0)
+        assert rr.compensate([0.0], red.ctx) == 3.0
+
+
+class TestExpReduction:
+    def test_thresholds_match_known_float32(self, rr_exp):
+        # classic float32 expf cut-offs
+        assert math.isclose(rr_exp._hi_thr, 88.72284, rel_tol=1e-6)
+        assert math.isclose(rr_exp._lo_thr, -103.97209, rel_tol=1e-6)
+
+    def test_specials(self, rr_exp):
+        assert rr_exp.special(89.0) == math.inf
+        assert rr_exp.special(math.inf) == math.inf
+        assert rr_exp.special(-104.0) == 0.0
+        assert rr_exp.special(-math.inf) == 0.0
+        assert rr_exp.special(0.0) == 1.0
+        assert rr_exp.special(1.0) is None
+        assert math.isnan(rr_exp.special(math.nan))
+
+    def test_exp2_reduction_exact(self):
+        rr = ExpReduction("exp2", FLOAT32)
+        for x in (0.75, -13.28125, 100.0078125, 1.1754944e-38):
+            red = rr.reduce(x)
+            k = round(x * 64.0)
+            assert Fraction(red.r) == Fraction(x) - Fraction(k, 64)
+
+    def test_reduced_range(self, rr_exp):
+        for x in (-80.0, -1.0, 0.5, 3.3, 88.0):
+            red = rr_exp.reduce(x)
+            assert abs(red.r) <= math.log(2) / 128 * 1.0001
+
+    def test_compensation_identity(self, rr_exp):
+        red = rr_exp.reduce(10.0)
+        q, j = red.ctx
+        v = math.exp(red.r)
+        y = rr_exp.compensate([v], red.ctx)
+        assert math.isclose(y, math.exp(10.0), rel_tol=1e-12)
+
+    def test_posit_saturation_special(self):
+        rr = ExpReduction("exp", POSIT16)
+        big = rr.special(100.0)
+        assert big == float(POSIT16.maxpos)
+        tiny = rr.special(-100.0)
+        assert tiny == float(POSIT16.minpos)
+
+    def test_negative_zero_never_reduced(self, rr_exp):
+        red = rr_exp.reduce(1e-40)
+        assert math.copysign(1.0, red.r) == 1.0
+
+
+class TestSinhCoshReduction:
+    def test_reduction_exact(self, rr_sinh):
+        for x in (0.7, -5.33, 42.015625, 88.0):
+            red = rr_sinh.reduce(x)
+            k, sgn = red.ctx
+            assert Fraction(red.r) == abs(Fraction(x)) - Fraction(k, 64)
+            assert abs(red.r) <= 1 / 128
+
+    def test_sign_handling(self, rr_sinh):
+        rp = rr_sinh.reduce(1.5)
+        rn = rr_sinh.reduce(-1.5)
+        assert rp.r == rn.r
+        assert rp.ctx[1] == 1.0 and rn.ctx[1] == -1.0
+
+    def test_cosh_even(self):
+        rr = SinhCoshReduction("cosh", FLOAT32)
+        assert rr.reduce(2.0).ctx == rr.reduce(-2.0).ctx
+
+    def test_identity(self, rr_sinh):
+        x = 3.21875
+        red = rr_sinh.reduce(x)
+        y = rr_sinh.compensate([math.sinh(red.r), math.cosh(red.r)], red.ctx)
+        assert math.isclose(y, math.sinh(x), rel_tol=1e-12)
+
+    def test_specials(self, rr_sinh):
+        assert rr_sinh.special(0.0) == 0.0
+        assert math.copysign(1.0, rr_sinh.special(-0.0)) == -1.0
+        assert rr_sinh.special(100.0) == math.inf
+        assert rr_sinh.special(-100.0) == -math.inf
+        cosh = SinhCoshReduction("cosh", FLOAT32)
+        assert cosh.special(-100.0) == math.inf
+        assert cosh.special(0.0) == 1.0
+
+    def test_tables_correct(self, rr_sinh):
+        assert rr_sinh._sinh_t[0] == 0.0 and rr_sinh._cosh_t[0] == 1.0
+        assert math.isclose(rr_sinh._sinh_t[64], math.sinh(1.0), rel_tol=1e-15)
+
+
+class TestSplitHelpers:
+    @given(st.floats(min_value=0, max_value=2 ** 23, allow_nan=False,
+                     exclude_max=True))
+    @settings(max_examples=300)
+    def test_split_to_half_exact(self, ax):
+        k, m, l2 = _split_to_half(ax)
+        assert 0.0 <= l2 <= 0.5
+        assert k in (0, 1) and m in (0, 1)
+        # reconstruct |x| mod 2 exactly
+        j = Fraction(k) + (Fraction(1) - Fraction(l2) if m else Fraction(l2))
+        assert (Fraction(ax) - j) % 2 == 0
+
+    @given(st.floats(min_value=0, max_value=0.5, allow_nan=False))
+    @settings(max_examples=300)
+    def test_split_table_exact(self, l2):
+        n, q = _split_table(l2)
+        assert 0 <= n <= 255
+        assert 0.0 <= q <= 1 / 512
+        assert Fraction(l2) == Fraction(n, 512) + Fraction(q)
+
+
+class TestSinPiReduction:
+    def test_specials(self, rr_sinpi):
+        assert math.isnan(rr_sinpi.special(math.inf))
+        assert math.isnan(rr_sinpi.special(math.nan))
+        assert rr_sinpi.special(0.0) == 0.0
+        assert math.copysign(1.0, rr_sinpi.special(-0.0)) == -1.0
+        z = rr_sinpi.special(2.0 ** 23)
+        assert z == 0.0 and math.copysign(1.0, z) == 1.0
+        z = rr_sinpi.special(-(2.0 ** 24))
+        assert math.copysign(1.0, z) == -1.0
+        assert rr_sinpi.special(0.25) is None
+
+    def test_identity(self, rr_sinpi):
+        for x in (0.1, 0.625, 1.3, -2.2, 100.375, 3.5):
+            red = rr_sinpi.reduce(x)
+            y = rr_sinpi.compensate(
+                [math.sin(math.pi * red.r), math.cos(math.pi * red.r)],
+                red.ctx)
+            assert math.isclose(y, math.sin(math.pi * x), rel_tol=1e-9,
+                                abs_tol=1e-12), x
+
+    def test_exact_integer_gives_positive_zero(self, rr_sinpi):
+        for x in (-2.0, 2.0, -1.0, 5.0):
+            red = rr_sinpi.reduce(x)
+            y = rr_sinpi.compensate([0.0, 1.0], red.ctx)
+            assert y == 0.0 and math.copysign(1.0, y) == 1.0
+
+
+class TestCosPiReduction:
+    def test_specials(self, rr_cospi):
+        assert rr_cospi.special(2.0 ** 24) == 1.0
+        assert rr_cospi.special(2.0 ** 23) == 1.0      # 8388608 is even
+        assert rr_cospi.special(2.0 ** 23 + 1.0) == -1.0
+        assert rr_cospi.special(0.25) is None
+
+    def test_identity(self, rr_cospi):
+        for x in (0.1, 0.625, 1.3, -2.2, 100.375, 0.0001, 0.5):
+            red = rr_cospi.reduce(x)
+            y = rr_cospi.compensate(
+                [math.sin(math.pi * red.r), math.cos(math.pi * red.r)],
+                red.ctx)
+            assert math.isclose(y, math.cos(math.pi * x), rel_tol=1e-9,
+                                abs_tol=1e-12), x
+
+    def test_monotonic_reduction_r_exact(self, rr_cospi):
+        # for N != 0, R = N'/512 - L' must be exact
+        for x in (0.1, 0.2345, 0.499, 1.37):
+            red = rr_cospi.reduce(x)
+            n, _ = red.ctx
+            if n == 0:
+                continue
+            _, _, l2 = _split_to_half(abs(x))
+            assert Fraction(red.r) == Fraction(n, 512) - Fraction(l2)
+
+    def test_table_coefficients_nonnegative(self, rr_cospi):
+        # the section-5 rewrite guarantees non-negative table weights
+        assert all(v >= 0 for v in rr_cospi._sin_t)
+        assert all(v >= 0 for v in rr_cospi._cos_t)

@@ -1,0 +1,123 @@
+"""Tests for reduced rounding intervals, Algorithm 2 (repro.core.reduced)."""
+
+import math
+
+import pytest
+
+from repro.core.intervals import target_rounding_interval
+from repro.core.reduced import max_steps_within, reduced_intervals
+from repro.fp.bits import advance_double
+from repro.fp.formats import FLOAT8, FLOAT16
+from repro.oracle import default_oracle as orc
+from repro.rangereduction import RangeReductionError, reduction_for
+from repro.rangereduction.base import RangeReduction, Reduced
+
+
+class TestMaxStepsWithin:
+    def test_zero_steps(self):
+        assert max_steps_within(lambda k: k == 0) == 0
+
+    def test_exact_boundaries(self):
+        for bound in (1, 2, 3, 7, 100, 12345):
+            assert max_steps_within(lambda k, b=bound: k <= b) == bound
+
+    def test_huge_bound_caps(self):
+        assert max_steps_within(lambda k: True) == 2 ** 62
+
+
+def _pairs(fn_name, fmt, rr):
+    out = []
+    for n in range(-(fmt.inf_bits - 1), fmt.inf_bits):
+        bits = fmt.from_ordinal(n)
+        x = fmt.to_double(bits)
+        if rr.special(x) is not None:
+            continue
+        y = orc.round_to_bits(fn_name, x, fmt)
+        out.append((x, target_rounding_interval(fmt, y)))
+    return out
+
+
+class TestReducedIntervals:
+    def test_single_function_exp_float8(self):
+        rr = reduction_for("exp", FLOAT8)
+        pairs = _pairs("exp", FLOAT8, rr)
+        rset = reduced_intervals(pairs, rr)
+        assert rset.input_count == len(pairs)
+        cs = rset.constraints["exp"]
+        assert cs == sorted(cs, key=lambda c: c.r)
+        assert rset.reduced_count == len(cs)
+        # every interval contains the correctly rounded double of exp(r)
+        for c in cs:
+            v = orc.round_to_double("exp", c.r)
+            assert c.lo <= v <= c.hi
+
+    def test_intervals_are_sound(self):
+        """Any values inside the reduced intervals must compensate into
+        the original rounding intervals (the defining property)."""
+        rr = reduction_for("exp", FLOAT8)
+        pairs = _pairs("exp", FLOAT8, rr)
+        rset = reduced_intervals(pairs, rr)
+        by_r = {c.r: c for c in rset.constraints["exp"]}
+        for x, iv in pairs:
+            red = rr.reduce(x)
+            c = by_r[red.r]
+            for v in (c.lo, c.hi):
+                y = rr.compensate([v], red.ctx)
+                assert iv.lo <= y <= iv.hi, (x, v)
+
+    def test_two_function_sinpi_soundness(self):
+        rr = reduction_for("sinpi", FLOAT16)
+        pairs = _pairs("sinpi", FLOAT16, rr)[: 3000]
+        rset = reduced_intervals(pairs, rr)
+        assert set(rset.constraints) == {"sinpi", "cospi"}
+        by_r = {"sinpi": {c.r: c for c in rset.constraints["sinpi"]},
+                "cospi": {c.r: c for c in rset.constraints["cospi"]}}
+        for x, iv in pairs:
+            red = rr.reduce(x)
+            cs = by_r["sinpi"][red.r]
+            cc = by_r["cospi"][red.r]
+            # the box corners must land inside the rounding interval
+            for vs, vc in [(cs.lo, cc.lo), (cs.hi, cc.hi)]:
+                y = rr.compensate([vs, vc], red.ctx)
+                assert iv.lo <= y <= iv.hi, (x, vs, vc)
+
+    def test_widening_is_maximal_for_exp(self):
+        """One more simultaneous step must exit some rounding interval."""
+        rr = reduction_for("exp", FLOAT8)
+        pairs = _pairs("exp", FLOAT8, rr)
+        rset = reduced_intervals(pairs, rr)
+        by_r = {}
+        for x, iv in pairs:
+            by_r.setdefault(rr.reduce(x).r, []).append((x, iv))
+        for c in rset.constraints["exp"]:
+            below = advance_double(c.lo, -1)
+            above = advance_double(c.hi, 1)
+            out_below = out_above = False
+            for x, iv in by_r[c.r]:
+                red = rr.reduce(x)
+                if not (iv.lo <= rr.compensate([below], red.ctx) <= iv.hi):
+                    out_below = True
+                if not (iv.lo <= rr.compensate([above], red.ctx) <= iv.hi):
+                    out_above = True
+            assert out_below, c
+            assert out_above, c
+
+    def test_broken_compensation_raises(self):
+        class Broken(RangeReduction):
+            name = "exp"
+            fn_names = ("exp",)
+            exponents = ((0, 1),)
+
+            def special(self, x):
+                return None
+
+            def reduce(self, x):
+                return Reduced(x / 64.0, ())
+
+            def compensate(self, values, ctx):
+                return values[0] * 64.0 + 1000.0   # nowhere near exp(x)
+
+        rr = Broken()
+        pairs = _pairs("exp", FLOAT8, reduction_for("exp", FLOAT8))[:5]
+        with pytest.raises(RangeReductionError):
+            reduced_intervals(pairs, rr)

@@ -1,0 +1,90 @@
+"""Tests for input samplers (repro.core.sampling)."""
+
+import random
+
+import pytest
+
+from repro.core.sampling import (all_values, boundary_values, ordinal_limit,
+                                 sample_values, value_to_ordinal)
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.posit.format import POSIT8, POSIT32
+
+
+class TestOrdinalLimit:
+    def test_float(self):
+        assert ordinal_limit(FLOAT32) == FLOAT32.inf_bits - 1
+
+    def test_posit(self):
+        assert ordinal_limit(POSIT32) == POSIT32.maxpos_bits
+
+
+class TestAllValues:
+    def test_float8_count_and_order(self):
+        vals = list(all_values(FLOAT8))
+        assert len(vals) == 2 * (FLOAT8.inf_bits - 1) + 1
+        assert vals == sorted(vals)
+
+    def test_positive_only(self):
+        vals = list(all_values(FLOAT8, include_negative=False))
+        assert vals[0] == 0.0
+        assert all(v >= 0 for v in vals)
+
+    def test_posit8(self):
+        vals = list(all_values(POSIT8))
+        assert len(vals) == 255  # all patterns except NaR
+        assert vals == sorted(vals)
+
+
+class TestSampleValues:
+    def test_unique_sorted(self):
+        xs = sample_values(FLOAT32, 1000, random.Random(1))
+        assert xs == sorted(xs)
+        assert len(set(xs)) == len(xs)
+
+    def test_range_restriction(self):
+        xs = sample_values(FLOAT32, 500, random.Random(2), 1.0, 2.0)
+        assert all(1.0 <= x <= 2.0 for x in xs)
+
+    def test_small_span_exhaustive(self):
+        xs = sample_values(FLOAT8, 10_000, random.Random(3))
+        assert len(xs) == len(list(all_values(FLOAT8)))
+
+    def test_deterministic_with_seed(self):
+        a = sample_values(FLOAT32, 100, random.Random(7), -10, 10)
+        b = sample_values(FLOAT32, 100, random.Random(7), -10, 10)
+        assert a == b
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            sample_values(FLOAT32, 10, random.Random(0), 2.0, 1.0)
+
+    def test_posit_sampling(self):
+        xs = sample_values(POSIT32, 200, random.Random(4), 0.5, 2.0)
+        assert all(0.5 <= x <= 2.0 for x in xs)
+        # every sampled value is an exact posit32 value
+        for x in xs:
+            assert POSIT32.to_double(POSIT32.from_double(x)) == x
+
+
+class TestBoundaryValues:
+    def test_radius(self):
+        xs = boundary_values(FLOAT32, [1.0], radius=4)
+        assert len(xs) == 9
+        assert 1.0 in xs
+
+    def test_dedup_overlapping_centers(self):
+        a = boundary_values(FLOAT32, [1.0], radius=8)
+        b = boundary_values(FLOAT32, [1.0, 1.0000001], radius=8)
+        assert len(b) <= 2 * len(a)
+        assert len(set(b)) == len(b)
+
+    def test_clamps_at_format_edge(self):
+        xs = boundary_values(FLOAT8, [1000.0], radius=5)
+        assert all(x <= float(FLOAT8.max_value) for x in xs)
+
+
+class TestValueToOrdinal:
+    def test_round_trips(self):
+        assert value_to_ordinal(FLOAT32, 1.0) == FLOAT32.to_ordinal(
+            FLOAT32.from_double(1.0))
+        assert value_to_ordinal(POSIT8, 1.0) == 0x40

@@ -1,0 +1,66 @@
+"""Tests for freezing/thawing generated functions (repro.libm.serialize)."""
+
+import math
+
+import pytest
+
+from repro.core import all_values
+from repro.fp.formats import FLOAT8
+from repro.libm.serialize import (TARGETS_BY_NAME, function_from_dict,
+                                  function_to_dict, render_module)
+from repro.posit.format import POSIT8
+
+
+class TestTargetsRegistry:
+    def test_names_round_trip(self):
+        for name, fmt in TARGETS_BY_NAME.items():
+            assert str(fmt) == name
+
+
+class TestRoundTrip:
+    def test_float8_exp(self, float8_exp):
+        data = function_to_dict(float8_exp)
+        clone = function_from_dict(data)
+        for x in all_values(FLOAT8):
+            assert clone.evaluate_bits(x) == float8_exp.evaluate_bits(x)
+
+    def test_two_function_reduction(self, float8_sinpi):
+        data = function_to_dict(float8_sinpi)
+        clone = function_from_dict(data)
+        for x in all_values(FLOAT8):
+            assert clone.evaluate_bits(x) == float8_sinpi.evaluate_bits(x)
+
+    def test_posit_target(self, posit8_exp):
+        data = function_to_dict(posit8_exp)
+        clone = function_from_dict(data)
+        for x in all_values(POSIT8):
+            assert clone.evaluate_bits(x) == posit8_exp.evaluate_bits(x)
+
+    def test_stats_preserved(self, float8_exp):
+        data = function_to_dict(float8_exp)
+        clone = function_from_dict(data)
+        assert clone.stats.input_count == float8_exp.stats.input_count
+        assert clone.stats.per_fn == float8_exp.stats.per_fn
+
+
+class TestRenderModule:
+    def test_renders_valid_python(self, float8_exp):
+        data = function_to_dict(float8_exp)
+        src = render_module(data)
+        ns = {}
+        exec(compile(src, "<generated>", "exec"), ns)
+        clone = function_from_dict(ns["DATA"])
+        for x in all_values(FLOAT8):
+            assert clone.evaluate_bits(x) == float8_exp.evaluate_bits(x)
+
+    def test_infinities_survive_rendering(self, float8_exp):
+        # exp thresholds involve inf results; the module must parse
+        src = render_module(function_to_dict(float8_exp))
+        ns = {}
+        exec(compile(src, "<generated>", "exec"), ns)
+        clone = function_from_dict(ns["DATA"])
+        assert clone.evaluate(math.inf) == math.inf
+
+    def test_docstring_mentions_function(self, float8_log2):
+        src = render_module(function_to_dict(float8_log2))
+        assert "log2" in src.splitlines()[0]

@@ -1,0 +1,85 @@
+"""Tests for bit-pattern domain splitting (repro.core.splitting)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.splitting import split_domain
+from repro.fp.bits import double_to_bits
+from repro.lp.solver import LinearConstraint
+
+
+def _cs(rs):
+    return [LinearConstraint(r, 0.0, 1.0) for r in rs]
+
+
+class TestSplitDomain:
+    def test_zero_bits_single_group(self):
+        sp = split_domain(_cs([0.25, 0.3, 0.4]), 0)
+        assert sp.index_bits == 0
+        assert len(sp.groups) == 1 and len(sp.groups[0]) == 3
+
+    def test_groups_cover_everything(self):
+        rs = [0.001 + i * 1e-5 for i in range(100)]
+        sp = split_domain(_cs(rs), 3)
+        assert sum(len(g) for g in sp.groups) == 100
+        assert len(sp.groups) == 8
+
+    def test_index_formula_matches_grouping(self):
+        rs = [0.001 + i * 1.7e-5 for i in range(64)]
+        sp = split_domain(_cs(rs), 4)
+        for idx, group in enumerate(sp.groups):
+            for c in group:
+                assert sp.index_of(c.r) == idx
+
+    def test_groups_are_value_contiguous(self):
+        rs = sorted(0.0001 * (1 + i) for i in range(200))
+        sp = split_domain(_cs(rs), 3)
+        seen = []
+        for g in sp.groups:
+            if g:
+                seen.append((g[0].r, g[-1].r))
+        # positive doubles: groups in pattern order = value order
+        flat = [v for pair in seen for v in pair]
+        assert flat == sorted(flat)
+
+    def test_mixed_signs_rejected(self):
+        with pytest.raises(ValueError):
+            split_domain(_cs([-0.5, 0.5]), 2)
+
+    def test_negative_only_allowed(self):
+        sp = split_domain(_cs([-0.5, -0.25, -0.26]), 2)
+        assert sum(len(g) for g in sp.groups) == 3
+
+    def test_zero_joins_group_zero(self):
+        sp = split_domain(_cs([0.0, 0.25, 0.26, 0.3]), 2)
+        zero_groups = [i for i, g in enumerate(sp.groups)
+                       if any(c.r == 0.0 for c in g)]
+        assert zero_groups == [0]
+
+    def test_only_zero(self):
+        sp = split_domain(_cs([0.0]), 4)
+        assert sp.index_bits == 0
+        assert len(sp.groups[0]) == 1
+
+    def test_index_bits_clamped_to_available(self):
+        # identical values share all 64 bits: no index bits available
+        sp = split_domain(_cs([0.5, 0.5]), 10)
+        assert sp.index_bits == 0
+
+    def test_prefix_matches_common_bits(self):
+        rs = [0.5, 0.75]
+        sp = split_domain(_cs(rs), 1)
+        a, b = (double_to_bits(r) for r in rs)
+        assert sp.prefix_bits == 64 - (a ^ b).bit_length()
+
+    @given(st.lists(st.floats(min_value=1e-10, max_value=1e-2), min_size=2,
+                    max_size=50),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, rs, n):
+        cs = _cs(sorted(set(rs)))
+        sp = split_domain(cs, n)
+        assert sum(len(g) for g in sp.groups) == len(cs)
+        for idx, g in enumerate(sp.groups):
+            for c in g:
+                assert sp.index_of(c.r) == idx

@@ -1,0 +1,37 @@
+"""Tests for the Figure 5 sweep machinery (repro.eval.subdomains)."""
+
+import pytest
+
+from repro.eval.subdomains import SweepPoint, render_sweep, subdomain_sweep
+
+
+class TestSweepPoint:
+    def test_speedup(self):
+        p = SweepPoint(2, 500.0, 4, 5, 0)
+        assert p.speedup_over(1000.0) == 2.0
+
+
+class TestRender:
+    def test_marks_degree_drops(self):
+        pts = [SweepPoint(0, 1000.0, 6, 7, 0),
+               SweepPoint(1, 1050.0, 6, 7, 0),
+               SweepPoint(2, 800.0, 4, 5, 0)]
+        text = render_sweep("log2", pts)
+        assert "*degree drop*" in text
+        assert text.count("*degree drop*") == 1
+        assert "1.25x" in text  # 1000/800
+
+    def test_flags_validation_failures(self):
+        pts = [SweepPoint(0, 1000.0, 6, 7, 0),
+               SweepPoint(1, 900.0, 6, 7, 3)]
+        text = render_sweep("log10", pts)
+        assert "FAIL" in text
+
+
+@pytest.mark.slow
+class TestSweepEndToEnd:
+    def test_small_sweep_runs(self):
+        points = subdomain_sweep("log2", max_bits=2, n_inputs=1200)
+        assert len(points) == 3
+        assert all(p.mismatches == 0 for p in points)
+        assert points[-1].max_degree <= points[0].max_degree

@@ -1,0 +1,89 @@
+"""Tests for threshold discovery and range-reduction tables."""
+
+import math
+
+import pytest
+
+from repro.fp.formats import FLOAT32
+from repro.oracle import default_oracle as orc
+from repro.posit.format import POSIT16
+from repro.rangereduction.tables import (exp2_fraction_table, log_table,
+                                         log_scale_constant, sinhcosh_tables,
+                                         sinpicospi_tables)
+from repro.rangereduction.thresholds import (max_finite, ordinal_boundary,
+                                             result_equals)
+
+
+class TestOrdinalBoundary:
+    def test_simple_predicate(self):
+        last, first = ordinal_boundary(FLOAT32, lambda x: x < 1.5, 1.0, 2.0)
+        assert last < 1.5 <= first
+        assert FLOAT32.round_double(last) == last
+        # adjacent float32 values
+        assert FLOAT32.to_ordinal(FLOAT32.from_double(first)) - \
+            FLOAT32.to_ordinal(FLOAT32.from_double(last)) == 1
+
+    def test_exp_overflow_boundary(self):
+        pred = result_equals("exp", FLOAT32, FLOAT32.inf_bits, orc)
+        last_fin, first_inf = ordinal_boundary(
+            FLOAT32, lambda x: not pred(x), 1.0, 256.0)
+        assert orc.round_to_bits("exp", last_fin, FLOAT32) != FLOAT32.inf_bits
+        assert orc.round_to_bits("exp", first_inf, FLOAT32) == FLOAT32.inf_bits
+        assert math.isclose(first_inf, 88.72284, rel_tol=1e-6)
+
+    def test_bad_brackets_rejected(self):
+        with pytest.raises(ValueError):
+            ordinal_boundary(FLOAT32, lambda x: x < 1.5, 2.0, 3.0)
+        with pytest.raises(ValueError):
+            ordinal_boundary(FLOAT32, lambda x: True, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            ordinal_boundary(FLOAT32, lambda x: x < 1.5, 1.0, 1.0)
+
+    def test_max_finite(self):
+        assert max_finite(FLOAT32) == 3.4028234663852886e38
+        assert max_finite(POSIT16) == float(POSIT16.maxpos)
+
+
+class TestTables:
+    def test_exp2_table(self):
+        t = exp2_fraction_table(64)
+        assert len(t) == 64
+        assert t[0] == 1.0
+        assert t[32] == math.sqrt(2) or abs(t[32] - math.sqrt(2)) < 1e-15
+        assert all(a < b for a, b in zip(t, t[1:]))
+
+    def test_log_tables(self):
+        for base, logf in [("ln", math.log), ("log2", math.log2),
+                           ("log10", math.log10)]:
+            t = log_table(base, 7)
+            assert len(t) == 128
+            assert t[0] == 0.0
+            for j in (1, 64, 127):
+                assert math.isclose(t[j], logf(1 + j / 128), rel_tol=1e-15)
+
+    def test_log_scale_constants(self):
+        assert log_scale_constant("ln") == 0.6931471805599453
+        assert log_scale_constant("log10") == 0.3010299956639812
+        assert log_scale_constant("log2") == 1.0
+
+    def test_sinhcosh_tables(self):
+        s, c = sinhcosh_tables(128)
+        assert len(s) == 129 and len(c) == 129
+        assert s[0] == 0.0 and c[0] == 1.0
+        assert math.isclose(s[64], math.sinh(1.0), rel_tol=1e-15)
+        assert math.isclose(c[64], math.cosh(1.0), rel_tol=1e-15)
+        # cosh**2 - sinh**2 == 1 approximately at table nodes
+        assert abs(c[100] ** 2 - s[100] ** 2 - 1) < 1e-12
+
+    def test_sinpicospi_tables(self):
+        s, c = sinpicospi_tables(256)
+        assert len(s) == 257 and len(c) == 257
+        assert s[0] == 0.0 and c[0] == 1.0
+        assert s[256] == 1.0 and c[256] == 0.0
+        # symmetry sinpi(n/512) == cospi((256-n)/512)
+        for n in (16, 100, 200):
+            assert abs(s[n] - c[256 - n]) < 1e-15
+
+    def test_tables_cached(self):
+        assert exp2_fraction_table(64) is exp2_fraction_table(64)
+        assert sinpicospi_tables(256) is sinpicospi_tables(256)

@@ -1,0 +1,100 @@
+"""Tests for validation, the outer CEGIS loop, and hard-case mining."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import FunctionSpec, all_values, generate
+from repro.core.sampling import sample_values
+from repro.core.validate import (Mismatch, generate_validated, reference_bits,
+                                 validate)
+from repro.eval.hardcases import boundary_distance, mine_hard_cases
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.oracle import default_oracle as orc
+from repro.rangereduction import reduction_for
+
+
+class TestReferenceBits:
+    def test_special_layer_wins(self, float8_exp):
+        spec = float8_exp.spec
+        assert reference_bits(spec, math.inf) == FLOAT8.inf_bits
+        assert reference_bits(spec, 0.0) == FLOAT8.from_double(1.0)
+
+    def test_oracle_path(self, float8_exp):
+        spec = float8_exp.spec
+        assert reference_bits(spec, 1.0) == orc.round_to_bits(
+            "exp", 1.0, FLOAT8)
+
+
+class TestValidate:
+    def test_clean_function_validates(self, float8_exp):
+        assert validate(float8_exp, all_values(FLOAT8)) == []
+
+    def test_limit_stops_early(self, float8_exp):
+        # sabotage: a wrong evaluator via monkeypatched approx
+        class Wrong:
+            spec = float8_exp.spec
+
+            def evaluate_bits(self, x):
+                return 0
+
+        bad = validate(Wrong(), [1.0, 2.0, 3.0], limit=2)
+        assert len(bad) == 2
+        assert isinstance(bad[0], Mismatch)
+
+    def test_generation_inputs_never_mismatch(self, float8_sinpi):
+        # the CEG loop discharges every constraint, so the inputs that
+        # participated in generation must validate (invariant the outer
+        # loop relies on)
+        assert validate(float8_sinpi, all_values(FLOAT8)) == []
+
+
+class TestGenerateValidated:
+    def test_converges_on_small_format(self):
+        rr = reduction_for("exp2", FLOAT8)
+        spec = FunctionSpec("exp2", FLOAT8, rr)
+        inputs = [x for i, x in enumerate(all_values(FLOAT8)) if i % 3 == 0]
+        val = list(all_values(FLOAT8))
+        fn, added = generate_validated(spec, inputs, val, max_rounds=6)
+        assert validate(fn, val) == []
+
+    def test_reports_folded_counterexamples(self):
+        rr = reduction_for("exp", FLOAT8)
+        spec = FunctionSpec("exp", FLOAT8, rr)
+        # sparse inputs likely leave gaps that validation repairs
+        inputs = [x for i, x in enumerate(all_values(FLOAT8)) if i % 7 == 0]
+        val = list(all_values(FLOAT8))
+        fn, added = generate_validated(spec, inputs, val, max_rounds=8)
+        assert added >= 0
+        assert validate(fn, val) == []
+
+
+class TestHardCases:
+    def test_distance_range(self):
+        for x in (0.5, 1.3, 7.7):
+            d = boundary_distance("exp", x, FLOAT32)
+            assert 0.0 <= d <= 0.5
+
+    def test_exact_results_are_not_hard(self):
+        assert boundary_distance("exp2", 3.0, FLOAT32) == 0.5
+        assert boundary_distance("sinpi", 0.5, FLOAT32) == 0.5
+
+    def test_overflow_region_not_hard(self):
+        # exp(100) rounds to +inf: unbounded interval, distance 0.5
+        assert boundary_distance("exp", 100.0, FLOAT32) == 0.5
+
+    def test_mining_orders_by_hardness(self):
+        xs = sample_values(FLOAT32, 300, random.Random(3), 0.1, 10.0)
+        hard = mine_hard_cases("exp", FLOAT32, xs, 10)
+        assert len(hard) == 10
+        d_hard = max(boundary_distance("exp", x, FLOAT32) for x in hard)
+        rest = [x for x in xs if x not in set(hard)]
+        d_rest = min(boundary_distance("exp", x, FLOAT32) for x in rest)
+        assert d_hard <= d_rest
+
+    def test_hard_cases_are_actually_hard(self):
+        xs = sample_values(FLOAT32, 600, random.Random(9), 0.1, 50.0)
+        hard = mine_hard_cases("exp", FLOAT32, xs, 3)
+        # the hardest of 600 exp values should graze within ~1e-2 widths
+        assert boundary_distance("exp", hard[0], FLOAT32) < 1e-2

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Generate the shipped float32 library (tools entry point).
+
+Runs the sampled RLIBM-32 pipeline for the ten float32 functions and
+freezes the results into src/repro/libm/data_float32/.  Use --quick for
+a fast smoke run (reduced sample sizes), --functions to select a subset.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.fp.formats import FLOAT32
+from repro.libm.genlib import generate_library
+from repro.libm.runtime import FLOAT32_FUNCTIONS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--functions", nargs="*", default=list(FLOAT32_FUNCTIONS))
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--scale", type=int, default=1,
+                        help="divide sample budgets by this factor")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent
+                        / "src" / "repro" / "libm" / "data_float32")
+    args = parser.parse_args(argv)
+    generate_library(args.functions, FLOAT32, args.out,
+                     quick=args.quick, seed=args.seed, scale=args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

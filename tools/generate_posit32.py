@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Generate the shipped posit32 library (tools entry point).
+
+Runs the sampled RLIBM-32 pipeline for the eight posit32 functions and
+freezes the results into src/repro/libm/data_posit32/.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.libm.genlib import generate_library
+from repro.libm.runtime import POSIT32_FUNCTIONS
+from repro.posit.format import POSIT32
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--functions", nargs="*", default=list(POSIT32_FUNCTIONS))
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--scale", type=int, default=1,
+                        help="divide sample budgets by this factor")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent
+                        / "src" / "repro" / "libm" / "data_posit32")
+    args = parser.parse_args(argv)
+    generate_library(args.functions, POSIT32, args.out,
+                     quick=args.quick, seed=args.seed, scale=args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
