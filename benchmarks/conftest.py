@@ -3,13 +3,22 @@
 Every bench writes its rendered table/figure to ``benchmarks/out/`` and
 prints it, so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
 the paper-shaped rows alongside pytest-benchmark's timing table.
+
+Each :func:`emit` call also attaches the current
+:func:`repro.obs.metrics.snapshot` as a ``<name>.metrics.json`` sidecar
+— structured, diffable counters (LP solves/rows, CEG rounds, exact
+fallbacks, ...) accumulated while the benchmark ran, so regressions in
+generation *effort* are visible across PRs even when wall time is noisy.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
+
+from repro.obs import metrics
 
 OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
 
@@ -21,7 +30,12 @@ def report_dir() -> pathlib.Path:
 
 
 def emit(report_dir: pathlib.Path, name: str, text: str) -> None:
-    """Print a report block and persist it under benchmarks/out/."""
+    """Print a report block, persist it, and attach a metrics sidecar."""
     print()
     print(text)
     (report_dir / name).write_text(text)
+    snap = metrics.snapshot()
+    if any(snap.values()):
+        stem = name.rsplit(".", 1)[0]
+        (report_dir / f"{stem}.metrics.json").write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n")

@@ -10,6 +10,10 @@ Commands
 ``generate``  run the generator for a target format and freeze the
               coefficient tables into the library's data packages
 ``table3``    print the generation statistics of the shipped tables
+``trace``     run another repro command with structured tracing enabled
+              and write the JSONL trace (``trace -- generate ...``)
+``stats``     render a JSONL trace into a Table-3-style summary and a
+              flame-style phase breakdown
 """
 
 from __future__ import annotations
@@ -84,6 +88,46 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        print("trace: missing command (usage: trace [--out t.jsonl] "
+              "-- <repro command...>)", file=sys.stderr)
+        return 2
+    if cmd[0] in ("trace", "stats"):
+        print(f"trace: refusing to trace {cmd[0]!r}", file=sys.stderr)
+        return 2
+    obs.enable(args.out)
+    try:
+        rc = main(cmd)
+    finally:
+        obs.disable()
+    print(f"trace written to {args.out}", file=sys.stderr)
+    return rc
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.report import (load_trace, render_metrics, render_summary,
+                                  render_tree, summarize)
+
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as e:
+        print(f"stats: {e}", file=sys.stderr)
+        return 1
+    summary = summarize(events)
+    print(render_summary(summary, f"trace summary ({args.trace})"))
+    if not args.no_tree:
+        print(render_tree(events))
+    if not args.no_metrics:
+        print(render_metrics(summary["metrics"]))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -113,6 +157,22 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("table3", help="generation statistics")
     p.add_argument("--target", default="float32")
     p.set_defaults(fn=_cmd_table3)
+
+    p = sub.add_parser("trace",
+                       help="run a repro command with tracing enabled")
+    p.add_argument("--out", default="trace.jsonl",
+                   help="JSONL trace path (default: trace.jsonl)")
+    p.add_argument("cmd", nargs=argparse.REMAINDER,
+                   help="the repro command to run, after '--'")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("stats", help="render a JSONL trace report")
+    p.add_argument("trace", help="path to a trace written by 'trace'")
+    p.add_argument("--no-tree", action="store_true",
+                   help="skip the flame-style phase breakdown")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="skip the metrics snapshot section")
+    p.set_defaults(fn=_cmd_stats)
 
     args = parser.parse_args(argv)
     return args.fn(args)

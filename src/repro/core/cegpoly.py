@@ -38,8 +38,16 @@ import numpy as np
 from repro.fp.bits import next_double, prev_double
 from repro.lp.solver import LinearConstraint, fit_coefficients
 from repro.core.polynomials import Polynomial
+from repro.obs import enabled, event, metrics
 
 __all__ = ["CEGConfig", "CEGFailure", "gen_polynomial"]
+
+_C_CALLS = metrics.counter("ceg.calls")
+_C_ROUNDS = metrics.counter("ceg.rounds")
+_C_VIOLATIONS = metrics.counter("ceg.violations")
+_C_FAILURES = metrics.counter("ceg.failures")
+_H_SAMPLE = metrics.histogram("ceg.sample_size")
+_H_ROUNDS = metrics.histogram("ceg.rounds_per_call", kind="exact")
 
 
 @dataclass
@@ -138,6 +146,29 @@ def gen_polynomial(
     if not constraints:
         return Polynomial(exponents, (0.0,) * len(exponents))
 
+    result = _gen_polynomial(constraints, exponents, cfg)
+    if isinstance(result, CEGFailure):
+        _C_FAILURES.inc()
+        _H_SAMPLE.observe(result.sample_size)
+        event("ceg.done", ok=False, reason=result.reason,
+              sample=result.sample_size, constraints=len(constraints))
+    else:
+        _H_SAMPLE.observe(result[1])
+        event("ceg.done", ok=True, sample=result[1],
+              constraints=len(constraints))
+        result = result[0]
+    return result
+
+
+def _gen_polynomial(
+    constraints: Sequence[LinearConstraint],
+    exponents: tuple[int, ...],
+    cfg: CEGConfig,
+) -> tuple[Polynomial, int] | CEGFailure:
+    """The CEG loop proper; returns (poly, final sample size) or failure."""
+    _C_CALLS.inc()
+    trace = enabled()
+
     rs = np.array([c.r for c in constraints])
     lo = np.array([c.lo for c in constraints])
     hi = np.array([c.hi for c in constraints])
@@ -147,11 +178,19 @@ def gen_polynomial(
     sample = [constraints[i] for i in sorted(sample_idx)]
 
     poly: Polynomial | None = None
-    for _ in range(cfg.max_rounds):
+    rounds = 0
+    for round_no in range(cfg.max_rounds):
+        rounds = round_no + 1
+        _C_ROUNDS.inc()
         poly = _fit_rounded(sample, exponents, cfg)
         if poly is None:
+            _H_ROUNDS.observe(rounds)
             return CEGFailure("lp-infeasible", len(sample))
         bad = _violations(poly, rs, lo, hi)
+        _C_VIOLATIONS.inc(int(bad.size))
+        if trace:
+            event("ceg.round", round=round_no, sample=len(sample),
+                  violations=int(bad.size))
         if bad.size == 0:
             break
         if bad.size > cfg.counterexample_cap:
@@ -164,17 +203,21 @@ def gen_polynomial(
         if len(sample_idx) == before:
             # The polynomial keeps violating constraints already sampled:
             # coefficient rounding has made this degree hopeless here.
+            _H_ROUNDS.observe(rounds)
             return CEGFailure("stuck", len(sample))
         if len(sample_idx) > cfg.max_sample:
+            _H_ROUNDS.observe(rounds)
             return CEGFailure("sample-threshold", len(sample_idx))
         sample = [constraints[i] for i in sorted(sample_idx)]
     else:
+        _H_ROUNDS.observe(rounds)
         return CEGFailure("round-limit", len(sample_idx))
 
+    _H_ROUNDS.observe(rounds)
     assert poly is not None
     if cfg.lower_degree and len(exponents) > 1:
         for nterms in range(1, len(exponents)):
             shorter = _fit_rounded(sample, exponents[:nterms], cfg)
             if shorter is not None and _violations(shorter, rs, lo, hi).size == 0:
-                return shorter
-    return poly
+                return shorter, len(sample)
+    return poly, len(sample)

@@ -19,8 +19,6 @@ the final rounding to T — the same sequence the shipped
 
 from __future__ import annotations
 
-import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -29,6 +27,7 @@ from repro.core.piecewise import ApproxFunc, PiecewiseConfig, gen_approx_func
 from repro.core.reduced import ReducedConstraintSet, reduced_intervals
 from repro.fp.float32 import f32_round, f32_to_bits
 from repro.fp.formats import FLOAT32, FloatFormat
+from repro.obs import event, timed_span
 from repro.oracle.mpmath_oracle import Oracle, default_oracle
 from repro.rangereduction.base import RangeReduction
 
@@ -52,7 +51,14 @@ class FunctionSpec:
 
 @dataclass
 class GenStats:
-    """Table-3-style generation statistics."""
+    """Table-3-style generation statistics.
+
+    All wall times are measured with ``time.perf_counter`` through the
+    :func:`repro.obs.timed_span` API, so the same numbers feed this
+    struct (→ ``python -m repro table3`` and the frozen data modules)
+    and — when ``REPRO_TRACE`` is set — the JSONL trace that
+    ``python -m repro stats`` renders.
+    """
 
     gen_time_s: float = 0.0
     oracle_time_s: float = 0.0
@@ -61,6 +67,8 @@ class GenStats:
     reduced_count: int = 0
     #: per reduced function: {"npolys", "index_bits", "degree", "terms"}
     per_fn: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: wall time per pipeline phase: "oracle", "reduced", "piecewise"
+    phase_s: dict[str, float] = field(default_factory=dict)
 
 
 def target_rounder(fmt: TargetFormat) -> Callable[[float], float]:
@@ -132,38 +140,49 @@ def generate(
     :class:`GenerationError` when polynomial generation fails within the
     sub-domain budget.
     """
-    t_start = time.perf_counter()
     rr = spec.rr
     stats = GenStats()
 
-    t_oracle = time.perf_counter()
-    pairs: list[tuple[float, object]] = []
-    for x in inputs:
-        stats.input_count += 1
-        if rr.special(x) is not None:
-            stats.special_count += 1
-            continue
-        y_bits = oracle.round_to_bits(spec.name, x, spec.target)
-        pairs.append((x, target_rounding_interval(spec.target, y_bits)))
-    stats.oracle_time_s = time.perf_counter() - t_oracle
+    with timed_span("generate", fn=spec.name,
+                    target=str(spec.target)) as sp_gen:
+        with timed_span("oracle", fn=spec.name) as sp:
+            pairs: list[tuple[float, object]] = []
+            for x in inputs:
+                stats.input_count += 1
+                if rr.special(x) is not None:
+                    stats.special_count += 1
+                    continue
+                y_bits = oracle.round_to_bits(spec.name, x, spec.target)
+                pairs.append(
+                    (x, target_rounding_interval(spec.target, y_bits)))
+        stats.oracle_time_s = sp.elapsed
+        stats.phase_s["oracle"] = sp.elapsed
 
-    rset: ReducedConstraintSet = reduced_intervals(pairs, rr, oracle)
-    stats.reduced_count = rset.reduced_count
+        with timed_span("reduced", fn=spec.name) as sp:
+            rset: ReducedConstraintSet = reduced_intervals(pairs, rr, oracle)
+        stats.reduced_count = rset.reduced_count
+        stats.phase_s["reduced"] = sp.elapsed
+        event("generate.inputs", fn=spec.name, inputs=stats.input_count,
+              special=stats.special_count, reduced=stats.reduced_count)
 
-    approx: dict[str, ApproxFunc] = {}
-    for fn_name in rr.fn_names:
-        af = gen_approx_func(fn_name, rset.constraints[fn_name],
-                             rr.exponents_for(fn_name), spec.piecewise)
-        if af is None:
-            raise GenerationError(
-                f"{spec.name}/{fn_name}: no piecewise polynomial within "
-                f"2**{spec.piecewise.max_index_bits} sub-domains")
-        approx[fn_name] = af
-        stats.per_fn[fn_name] = {
-            "npolys": af.npolys,
-            "degree": af.max_degree,
-            "terms": af.max_terms,
-        }
+        with timed_span("piecewise", fn=spec.name) as sp:
+            approx: dict[str, ApproxFunc] = {}
+            for fn_name in rr.fn_names:
+                af = gen_approx_func(fn_name, rset.constraints[fn_name],
+                                     rr.exponents_for(fn_name),
+                                     spec.piecewise, label=fn_name)
+                if af is None:
+                    raise GenerationError(
+                        f"{spec.name}/{fn_name}: no piecewise polynomial "
+                        f"within 2**{spec.piecewise.max_index_bits} "
+                        "sub-domains")
+                approx[fn_name] = af
+                stats.per_fn[fn_name] = {
+                    "npolys": af.npolys,
+                    "degree": af.max_degree,
+                    "terms": af.max_terms,
+                }
+        stats.phase_s["piecewise"] = sp.elapsed
 
-    stats.gen_time_s = time.perf_counter() - t_start
+    stats.gen_time_s = sp_gen.elapsed
     return GeneratedFunction(spec, approx, stats)

@@ -25,6 +25,10 @@ from repro.core.polynomials import Polynomial
 from repro.core.splitting import DomainSplit, split_domain
 from repro.fp.bits import double_to_bits
 from repro.lp.solver import LinearConstraint
+from repro.obs import event, metrics, span
+
+_C_SPLIT_ATTEMPTS = metrics.counter("split.attempts")
+_H_INDEX_BITS = metrics.histogram("split.index_bits", kind="exact")
 
 __all__ = ["PiecewisePolynomial", "ApproxFunc", "PiecewiseConfig",
            "gen_piecewise", "gen_approx_func"]
@@ -112,8 +116,13 @@ def gen_piecewise(
     constraints: Sequence[LinearConstraint],
     exponents: Sequence[int],
     cfg: PiecewiseConfig | None = None,
+    label: str = "",
 ) -> PiecewisePolynomial | None:
-    """GenApproxHelper + GenPiecewise for one sign of reduced inputs."""
+    """GenApproxHelper + GenPiecewise for one sign of reduced inputs.
+
+    ``label`` tags trace events with the reduced function being
+    approximated; it does not affect generation.
+    """
     cfg = cfg or PiecewiseConfig()
     ceg = cfg.ceg or CEGConfig()
     n = cfg.start_index_bits
@@ -122,6 +131,7 @@ def gen_piecewise(
         if split.index_bits < n:
             # the domain has no more pattern bits to split on
             n = split.index_bits
+        _C_SPLIT_ATTEMPTS.inc()
         polys: list[Polynomial | None] = []
         ok = True
         for group in split.groups:
@@ -133,7 +143,11 @@ def gen_piecewise(
                 ok = False
                 break
             polys.append(result)
+        event("split.attempt", reduced_fn=label, index_bits=split.index_bits,
+              groups=len(split.groups),
+              populated=sum(1 for g in split.groups if g), ok=ok)
         if ok:
+            _H_INDEX_BITS.observe(split.index_bits)
             return PiecewisePolynomial(split.index_bits, split.shift,
                                        tuple(_fill_gaps(polys)))
         if n == cfg.max_index_bits:
@@ -198,17 +212,23 @@ def gen_approx_func(
     constraints: Sequence[LinearConstraint],
     exponents: Sequence[int],
     cfg: PiecewiseConfig | None = None,
+    label: str = "",
 ) -> ApproxFunc | None:
     """GenApproxFunc: split by sign, then generate piecewise polynomials."""
+    label = label or name
     neg = [c for c in constraints if c.r < 0.0]
     pos = [c for c in constraints if c.r >= 0.0]
     neg_pp = pos_pp = None
     if neg:
-        neg_pp = gen_piecewise(neg, exponents, cfg)
+        with span("approxfunc", reduced_fn=label, sign="neg",
+                  constraints=len(neg)):
+            neg_pp = gen_piecewise(neg, exponents, cfg, label=label)
         if neg_pp is None:
             return None
     if pos:
-        pos_pp = gen_piecewise(pos, exponents, cfg)
+        with span("approxfunc", reduced_fn=label, sign="pos",
+                  constraints=len(pos)):
+            pos_pp = gen_piecewise(pos, exponents, cfg, label=label)
         if pos_pp is None:
             return None
     return ApproxFunc(name, neg_pp, pos_pp)

@@ -21,8 +21,11 @@ from typing import Sequence
 
 from repro.fp.bits import double_to_bits
 from repro.lp.solver import LinearConstraint
+from repro.obs import enabled, event, metrics
 
 __all__ = ["DomainSplit", "split_domain"]
+
+_C_CALLS = metrics.counter("split.domain_calls")
 
 
 @dataclass(frozen=True)
@@ -70,5 +73,11 @@ def split_domain(constraints: Sequence[LinearConstraint], index_bits: int) -> Do
     for c in constraints:
         idx = (double_to_bits(c.r) >> shift) & mask
         buckets[idx].append(c)
+    _C_CALLS.inc()
+    if enabled():
+        sizes = [len(b) for b in buckets if b]
+        event("split.domain", index_bits=index_bits, prefix_bits=prefix,
+              shift=shift, populated=len(sizes),
+              largest=max(sizes, default=0))
     return DomainSplit(prefix, index_bits, shift,
                        tuple(tuple(b) for b in buckets))

@@ -23,6 +23,9 @@ class GenerationRow:
     degree: dict[str, int]
     terms: dict[str, int]
     final_check: tuple[int, int] | None  # (misses, n)
+    #: wall time per pipeline phase (GenStats.phase_s); empty for tables
+    #: frozen before the observability layer existed
+    phase_s: dict[str, float] = None  # type: ignore[assignment]
 
 
 def table3_rows(target: str = "float32") -> list[GenerationRow]:
@@ -49,6 +52,7 @@ def table3_rows(target: str = "float32") -> list[GenerationRow]:
             degree={k: v["degree"] for k, v in per.items()},
             terms={k: v["terms"] for k, v in per.items()},
             final_check=None if fc is None else (fc["misses"], fc["n"]),
+            phase_s=dict(st.get("phase_s", {})),
         ))
     return rows
 
@@ -71,4 +75,14 @@ def render_table3(rows: list[GenerationRow], title: str) -> str:
     out.append("")
     out.append("(#polys lists the piecewise table sizes of each reduced "
                "elementary function; residual = final sampled check)")
+    timed = [r for r in rows if r.phase_s]
+    if timed:
+        out.append("")
+        out.append("per-phase wall time (s): "
+                   "oracle / reduced intervals / piecewise synthesis")
+        for r in timed:
+            out.append(f"  {r.function:8s} "
+                       f"{r.phase_s.get('oracle', 0.0):>8.1f} / "
+                       f"{r.phase_s.get('reduced', 0.0):>8.1f} / "
+                       f"{r.phase_s.get('piecewise', 0.0):>8.1f}")
     return "\n".join(out) + "\n"

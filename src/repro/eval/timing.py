@@ -2,18 +2,25 @@
 
 The paper measures cycles per input with hardware counters over all
 2**32 inputs; we measure wall-clock nanoseconds per call over shared
-random input sets with ``time.perf_counter_ns`` (best of N repeats), and
-report *relative* speedups — which is what every figure in the paper
-shows.  All contenders run on the same pure-Python substrate
-(DESIGN.md §3), so the ratios reflect each design's cost model:
-piecewise-low-degree (RLIBM) vs single-high-degree mini-max (glibc/Intel
-models) vs evaluate-verify-escalate (CR-LIBM).
+random input sets with ``time.perf_counter_ns`` (median of N repeats —
+robust against scheduler noise in both directions, so speedup rows are
+stable enough to diff across PRs), and report *relative* speedups —
+which is what every figure in the paper shows.  All contenders run on
+the same pure-Python substrate (DESIGN.md §3), so the ratios reflect
+each design's cost model: piecewise-low-degree (RLIBM) vs
+single-high-degree mini-max (glibc/Intel models) vs
+evaluate-verify-escalate (CR-LIBM).
+
+When tracing is enabled (``REPRO_TRACE``), every measured row is also
+emitted as a ``bench.row`` event so benchmark numbers land in the same
+JSONL stream as the generation statistics.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import statistics
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -24,6 +31,7 @@ from repro.baselines.base import BaselineLibrary
 from repro.core.generator import GeneratedFunction
 from repro.core.intervals import TargetFormat
 from repro.core.sampling import sample_values
+from repro.obs import enabled, event
 from repro.rangereduction.domains import sampling_domain
 from repro.rangereduction import reduction_for
 
@@ -42,28 +50,26 @@ def timing_inputs(fn_name: str, fmt: TargetFormat, n: int = 1024,
 
 def time_scalar(fn: Callable[[float], float], xs: Sequence[float],
                 repeats: int = 5) -> float:
-    """Best-of-N nanoseconds per call."""
-    best = math.inf
+    """Median-of-N nanoseconds per call."""
+    runs = []
     for _ in range(repeats):
         t0 = time.perf_counter_ns()
         for x in xs:
             fn(x)
-        dt = (time.perf_counter_ns() - t0) / len(xs)
-        best = min(best, dt)
-    return best
+        runs.append((time.perf_counter_ns() - t0) / len(xs))
+    return statistics.median(runs)
 
 
 def time_batch(fn: Callable[[Sequence[float]], np.ndarray],
                xs: Sequence[float], repeats: int = 5) -> float:
-    """Best-of-N nanoseconds per element for array-at-a-time evaluation."""
+    """Median-of-N nanoseconds per element for array-at-a-time evaluation."""
     arr = list(xs)
-    best = math.inf
+    runs = []
     for _ in range(repeats):
         t0 = time.perf_counter_ns()
         fn(arr)
-        dt = (time.perf_counter_ns() - t0) / len(arr)
-        best = min(best, dt)
-    return best
+        runs.append((time.perf_counter_ns() - t0) / len(arr))
+    return statistics.median(runs)
 
 
 @dataclass
@@ -108,6 +114,10 @@ def speedup_rows(
             row.baseline_ns[name] = time_scalar(
                 lambda x, _c=call, _f=fn_name, _r=rnd: _r(_c(_f, x)),
                 xs, repeats)
+        if enabled():
+            event("bench.row", fn=fn_name, target=str(fmt),
+                  rlibm_ns=row.rlibm_ns, n=len(xs), repeats=repeats,
+                  **{f"ns_{k}": v for k, v in row.baseline_ns.items()})
         rows.append(row)
     return rows
 

@@ -27,6 +27,7 @@ from repro.core.sampling import boundary_values, sample_values
 from repro.core.validate import generate_validated, validate
 from repro.eval.hardcases import mine_hard_cases
 from repro.libm.serialize import function_to_dict, render_module
+from repro.obs import span
 from repro.rangereduction.domains import boundary_centers, sampling_domain
 from repro.rangereduction import RangeReduction, reduction_for
 
@@ -89,13 +90,14 @@ def generate_one(
     lo, hi = sampling_domain(name, fmt, rr)
     log(f"[{name}] domain [{lo!r}, {hi!r}]")
 
-    inputs = sample_values(fmt, cfg.base // div, rng, lo, hi)
-    inputs += boundary_values(fmt, boundary_centers(name, rr, lo, hi),
-                              cfg.boundary_radius)
-    hard_pool = sample_values(fmt, cfg.hard_candidates // div,
-                              random.Random(seed + 1), lo, hi)
-    hard_pool = [x for x in hard_pool if rr.special(x) is None]
-    inputs += mine_hard_cases(name, fmt, hard_pool, cfg.hard_keep // div)
+    with span("genlib.inputs", fn=name):
+        inputs = sample_values(fmt, cfg.base // div, rng, lo, hi)
+        inputs += boundary_values(fmt, boundary_centers(name, rr, lo, hi),
+                                  cfg.boundary_radius)
+        hard_pool = sample_values(fmt, cfg.hard_candidates // div,
+                                  random.Random(seed + 1), lo, hi)
+        hard_pool = [x for x in hard_pool if rr.special(x) is None]
+        inputs += mine_hard_cases(name, fmt, hard_pool, cfg.hard_keep // div)
     log(f"[{name}] {len(inputs)} generation inputs "
         f"({time.perf_counter() - t0:.0f}s incl. hard-case mining)")
 
@@ -111,16 +113,18 @@ def generate_one(
 
     spec = FunctionSpec(name, fmt, rr,
                         PiecewiseConfig(max_index_bits=cfg.max_index_bits))
-    fn, folded = generate_validated(spec, inputs, fresh_validation,
-                                    max_rounds=cfg.rounds,
-                                    clean_rounds=cfg.clean_rounds)
+    with span("genlib.validated", fn=name):
+        fn, folded = generate_validated(spec, inputs, fresh_validation,
+                                        max_rounds=cfg.rounds,
+                                        clean_rounds=cfg.clean_rounds)
     log(f"[{name}] generated: {fn.stats.per_fn} "
         f"reduced={fn.stats.reduced_count} folded-back={folded} "
         f"({time.perf_counter() - t0:.0f}s)")
 
     check = sample_values(fmt, cfg.final_check // div,
                           random.Random(seed + 4), lo, hi)
-    misses = validate(fn, check)
+    with span("genlib.final_check", fn=name, n=len(check)):
+        misses = validate(fn, check)
     extra = {
         "final_check": {"n": len(check), "misses": len(misses)},
         "counterexamples_folded": folded,

@@ -14,8 +14,10 @@ import importlib
 
 from repro.core.generator import GeneratedFunction
 from repro.libm.serialize import function_from_dict
+from repro.obs import metrics
 
-__all__ = ["load", "available", "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
+__all__ = ["load", "available", "instrument",
+           "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
 
 #: The ten float32 functions of the paper's prototype.
 FLOAT32_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
@@ -54,8 +56,15 @@ def available(target: str = "float32") -> list[str]:
     return out
 
 
-def load(fn_name: str, target: str = "float32") -> GeneratedFunction:
-    """The shipped correctly rounded implementation of ``fn_name``."""
+def load(fn_name: str, target: str = "float32",
+         instrumented: bool = False) -> GeneratedFunction:
+    """The shipped correctly rounded implementation of ``fn_name``.
+
+    With ``instrumented=True`` the returned (uncached, fresh) object's
+    ``evaluate`` is wrapped by :func:`instrument`; the default path
+    stays completely untouched — the hot loop pays zero observability
+    cost unless a caller opts in.
+    """
     key = (fn_name, target)
     fn = _cache.get(key)
     if fn is None:
@@ -70,4 +79,49 @@ def load(fn_name: str, target: str = "float32") -> GeneratedFunction:
                 f"'python -m repro generate --target {target}'") from None
         fn = function_from_dict(mod.DATA)
         _cache[key] = fn
+    if instrumented:
+        return instrument(fn)
     return fn
+
+
+def instrument(fn: GeneratedFunction,
+               prefix: str | None = None) -> GeneratedFunction:
+    """A fresh copy of ``fn`` whose ``evaluate`` records runtime metrics.
+
+    Opt-in profiling for the libm hot path: counts calls and
+    special-case-layer hits, and histograms the sub-domain index each
+    polynomial-path call lands in (``kind="exact"`` — one bucket per
+    sub-domain, the per-sub-domain evaluation counts RLIBM-PROG tracks).
+    The wrapper re-runs range reduction to learn the sub-domain, so an
+    instrumented function is roughly 2x slower — never use it on the
+    default path; the shared/cached object is left untouched.
+    """
+    g = GeneratedFunction(fn.spec, fn.approx, fn.stats)
+    name = prefix or f"libm.{g.name}"
+    c_calls = metrics.counter(f"{name}.calls")
+    c_special = metrics.counter(f"{name}.special")
+    hists = {
+        fn_name: metrics.histogram(f"{name}.{fn_name}.subdomain",
+                                   kind="exact")
+        for fn_name in g.spec.rr.fn_names
+    }
+    inner = g.evaluate
+    rr = g.spec.rr
+    approx = g.approx
+
+    def evaluate(x: float) -> float:
+        c_calls.inc()
+        if rr.special(x) is not None:
+            c_special.inc()
+        else:
+            r = rr.reduce(x).r
+            for fn_name, h in hists.items():
+                af = approx[fn_name]
+                side = af.neg if r < 0.0 else af.pos
+                if side is not None:
+                    h.observe(side.index_of(r))
+        return inner(x)
+
+    evaluate.__doc__ = inner.__doc__
+    g.evaluate = evaluate
+    return g

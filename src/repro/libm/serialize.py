@@ -116,6 +116,7 @@ def function_to_dict(fn: GeneratedFunction) -> dict[str, Any]:
             "special_count": fn.stats.special_count,
             "reduced_count": fn.stats.reduced_count,
             "per_fn": fn.stats.per_fn,
+            "phase_s": fn.stats.phase_s,
         },
     }
 
@@ -135,7 +136,9 @@ def function_from_dict(data: dict[str, Any]) -> GeneratedFunction:
                      input_count=st["input_count"],
                      special_count=st["special_count"],
                      reduced_count=st["reduced_count"],
-                     per_fn=dict(st["per_fn"]))
+                     per_fn=dict(st["per_fn"]),
+                     # absent in tables frozen before the obs layer
+                     phase_s=dict(st.get("phase_s", {})))
     spec = FunctionSpec(data["function"], target, rr, PiecewiseConfig())
     return GeneratedFunction(spec, approx, stats)
 

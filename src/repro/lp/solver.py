@@ -29,8 +29,16 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.lp.rational_simplex import LPStatus, solve_lp_exact
+from repro.obs import enabled, event, metrics
 
 __all__ = ["LinearConstraint", "FitResult", "fit_coefficients"]
+
+_C_SOLVES = metrics.counter("lp.solves")
+_C_INFEASIBLE = metrics.counter("lp.infeasible")
+_C_EXACT_FALLBACKS = metrics.counter("lp.exact_fallbacks")
+_C_EXACT_SOLVES = metrics.counter("lp.exact_solves")
+_C_REFINE_ROUNDS = metrics.counter("lp.refine_rounds")
+_H_ROWS = metrics.histogram("lp.rows")
 
 #: HiGHS tolerances; the default 1e-7 would drown ulp-wide intervals
 #: (1e-10 is the tightest value HiGHS accepts).
@@ -81,6 +89,23 @@ def fit_coefficients(
         Solve with the exact rational simplex instead of HiGHS.  Slower;
         used for certification and for small/ill-conditioned systems.
     """
+    res = _fit(constraints, exponents, exact)
+    m = len(constraints)
+    _C_SOLVES.inc()
+    _H_ROWS.observe(2 * m)
+    if not res.feasible:
+        _C_INFEASIBLE.inc()
+    if enabled():
+        event("lp.solve", rows=2 * m, cols=len(exponents) + 1,
+              feasible=res.feasible, backend=res.backend, margin=res.margin)
+    return res
+
+
+def _fit(
+    constraints: Sequence[LinearConstraint],
+    exponents: Sequence[int],
+    exact: bool = False,
+) -> FitResult:
     if not constraints:
         return FitResult(True, [0.0] * len(exponents), margin=1.0)
     if not exponents:
@@ -152,6 +177,7 @@ def fit_coefficients(
         # any other failure (numerical trouble) always gets certified.
         limit = 24 if res.status == 2 else 64
         if m <= limit:
+            _C_EXACT_FALLBACKS.inc()
             return _fit_exact(constraints, exponents)
         return FitResult(False)
 
@@ -163,6 +189,7 @@ def fit_coefficients(
         coeffs, constraints, exponents, keep, s, float(res.x[n]))
     if coeffs is None:
         if m <= 64:
+            _C_EXACT_FALLBACKS.inc()
             return _fit_exact(constraints, exponents)
         return FitResult(False)
     return FitResult(True, coeffs, margin=margin, backend="highs")
@@ -218,6 +245,7 @@ def _iterative_refinement(
     t = rs / s
 
     for _ in range(rounds):
+        _C_REFINE_ROUNDS.inc()
         lo_res, hi_res = _exact_residuals(coeffs, constraints, exponents)
         # exactly (weakly) feasible: done — refinement only repairs
         # genuine violations, it must not reject tight-margin optima
@@ -255,6 +283,7 @@ def _fit_exact(
 ) -> FitResult:
     """Exact-rational version of :func:`fit_coefficients` (feasibility +
     margin maximization with exact arithmetic)."""
+    _C_EXACT_SOLVES.inc()
     sf = max((abs(float(c.r)) for c in constraints), default=1.0) or 1.0
     # Same underflow rule as the fast path: a monomial whose unscaled
     # coefficient would exceed the double range cannot be evaluated in H.

@@ -1,0 +1,25 @@
+"""Observability for the RLIBM-32 pipeline: tracing, metrics, reports.
+
+Three small modules, one contract:
+
+* :mod:`repro.obs.events` — structured JSONL phase spans and point
+  events; a process-global sink enabled via ``REPRO_TRACE=path.jsonl``
+  or :func:`enable`, and a *shared no-op* fast path when disabled.
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  ``snapshot()``/``merge()`` for diffable benchmark sidecars.
+* :mod:`repro.obs.report` — render a trace into a Table-3-style summary
+  and a flame-style phase breakdown (``python -m repro stats``).
+
+The full vertical slice is instrumented: the generator's phases
+(Algorithm 1), reduced-interval deduction (Algorithm 2), domain
+splitting (Algorithm 3), the CEG/LP loop (Algorithm 4), and — strictly
+opt-in, to keep the shipped hot path untouched — the libm runtime via
+:func:`repro.libm.runtime.instrument`.
+"""
+
+from repro.obs.events import (NOOP_SPAN, configure_from_env, disable, enable,
+                              enabled, event, span, timed_span)
+from repro.obs import metrics
+
+__all__ = ["span", "timed_span", "event", "enable", "disable", "enabled",
+           "configure_from_env", "NOOP_SPAN", "metrics"]

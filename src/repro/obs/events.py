@@ -1,0 +1,283 @@
+"""Structured JSONL trace emitter with nested phase spans.
+
+The generation pipeline and the libm runtime emit *events* — nested
+phase spans (``with span("cegpoly", fn="log2"):``) and point events
+(``event("ceg.round", violations=17)``) — into a process-global sink.
+The sink writes one JSON object per line (JSONL), which
+:mod:`repro.obs.report` renders into Table-3-style summaries and a
+flame-style phase breakdown.
+
+Cost model
+----------
+
+Tracing is **disabled by default** and the disabled path is engineered
+to be (almost) free: :func:`span` performs one module-global load and an
+``is None`` test, then returns the process-wide shared no-op span
+object; :func:`event` is the same test and a return.  No allocation, no
+attribute formatting, no clock read happens on the disabled path, so
+per-call and per-iteration hot paths (``evaluate()``, the CEG inner
+loop) can be instrumented unconditionally.
+
+Phase-level timing that must be measured even when tracing is off (the
+:class:`~repro.core.generator.GenStats` wall times) uses
+:func:`timed_span`, which always reads ``time.perf_counter()`` but only
+*emits* when a sink is installed.
+
+Enabling
+--------
+
+* environment: ``REPRO_TRACE=/path/to/trace.jsonl`` (read at import),
+* API: :func:`enable` / :func:`disable`,
+* CLI: ``python -m repro trace --out t.jsonl -- <command...>``.
+
+Event schema (one JSON object per line)
+---------------------------------------
+
+* ``{"ev": "meta", "schema": 1, "clock": "perf_counter"}`` — first line.
+* ``{"ev": "span", "name": ..., "sid": ..., "pid": ..., "depth": ...,
+  "t": <start offset s>, "dur": <seconds>, **attrs}`` — written when the
+  span *exits*, so children precede parents in the file; consumers
+  rebuild the tree from ``sid``/``pid``.
+* ``{"ev": "point", "name": ..., "pid": <enclosing span>, "t": ...,
+  **attrs}`` — instantaneous events (CEG rounds, LP solves, bench rows).
+* ``{"ev": "metrics", ...snapshot}`` — the
+  :func:`repro.obs.metrics.snapshot` appended by :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from typing import Any, IO
+
+__all__ = ["span", "timed_span", "event", "enable", "disable", "enabled",
+           "configure_from_env", "NOOP_SPAN", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled.
+
+    There is exactly one instance per process (:data:`NOOP_SPAN`); tests
+    assert identity on it to guarantee the disabled path allocates
+    nothing and records no attributes.
+    """
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Timer:
+    """Always-on wall timer with the span interface but no emission."""
+
+    __slots__ = ("_t0", "elapsed")
+
+    def __enter__(self) -> "_Timer":
+        self.elapsed = 0.0
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.elapsed = time.perf_counter() - self._t0
+        return False
+
+    def set(self, **attrs: Any) -> "_Timer":
+        return self
+
+
+class _Sink:
+    """An open trace file plus the span stack and id allocator."""
+
+    __slots__ = ("fh", "path", "t0", "stack", "ids", "_owns")
+
+    def __init__(self, fh: IO[str], path: str | None, owns: bool):
+        self.fh = fh
+        self.path = path
+        self._owns = owns
+        self.t0 = time.perf_counter()
+        self.stack: list[int] = []
+        self.ids = itertools.count(1)
+
+    def now(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def write(self, obj: dict[str, Any]) -> None:
+        self.fh.write(json.dumps(obj, separators=(",", ":"),
+                                 default=str) + "\n")
+
+    def close(self) -> None:
+        try:
+            self.fh.flush()
+        except ValueError:  # already closed
+            pass
+        if self._owns:
+            self.fh.close()
+
+
+_sink: _Sink | None = None
+
+
+class Span:
+    """A live traced span; records begin/end with monotonic timing."""
+
+    __slots__ = ("_sink", "name", "attrs", "sid", "pid", "depth", "_t0",
+                 "elapsed")
+
+    def __init__(self, sink: _Sink, name: str, attrs: dict[str, Any]):
+        self._sink = sink
+        self.name = name
+        self.attrs = attrs
+        self.elapsed = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span before it closes."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        s = self._sink
+        self.sid = next(s.ids)
+        self.pid = s.stack[-1] if s.stack else 0
+        self.depth = len(s.stack)
+        s.stack.append(self.sid)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> bool:
+        t1 = time.perf_counter()
+        self.elapsed = t1 - self._t0
+        s = self._sink
+        if s.stack and s.stack[-1] == self.sid:
+            s.stack.pop()
+        if _sink is s:  # sink may have been swapped mid-span
+            rec: dict[str, Any] = {
+                "ev": "span", "name": self.name, "sid": self.sid,
+                "pid": self.pid, "depth": self.depth,
+                "t": round(self._t0 - s.t0, 9),
+                "dur": round(self.elapsed, 9),
+            }
+            if exc_type is not None:
+                rec["error"] = getattr(exc_type, "__name__", str(exc_type))
+            if self.attrs:
+                rec.update(self.attrs)
+            s.write(rec)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """A traced phase span — the process-shared no-op when disabled.
+
+    Use for hot/per-iteration paths: the disabled cost is one global
+    load and an identity return.  ``.elapsed`` is only meaningful on the
+    enabled path; use :func:`timed_span` when the caller needs the wall
+    time regardless of tracing.
+    """
+    s = _sink
+    if s is None:
+        return NOOP_SPAN
+    return Span(s, name, attrs)
+
+
+def timed_span(name: str, **attrs: Any):
+    """A span that *always* measures wall time (``time.perf_counter``).
+
+    Emits a trace event only when tracing is enabled, but ``.elapsed``
+    is valid either way — this is what :mod:`repro.core.generator` uses
+    to fill :class:`~repro.core.generator.GenStats` phase times.
+    """
+    s = _sink
+    if s is None:
+        return _Timer()
+    return Span(s, name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit an instantaneous point event (no-op when disabled)."""
+    s = _sink
+    if s is None:
+        return
+    rec: dict[str, Any] = {
+        "ev": "point", "name": name,
+        "pid": s.stack[-1] if s.stack else 0,
+        "t": round(s.now(), 9),
+    }
+    if attrs:
+        rec.update(attrs)
+    s.write(rec)
+
+
+def enabled() -> bool:
+    """True when a trace sink is installed."""
+    return _sink is not None
+
+
+def enable(target: str | os.PathLike | IO[str],
+           reset_metrics: bool = True) -> None:
+    """Install the process-global trace sink.
+
+    ``target`` is a path (opened line-buffered for writing) or an open
+    text file object.  Metrics are reset by default so a trace carries
+    only its own run's counters.
+    """
+    global _sink
+    if _sink is not None:
+        disable()
+    if hasattr(target, "write"):
+        sink = _Sink(target, getattr(target, "name", None), owns=False)
+    else:
+        path = os.fspath(target)
+        sink = _Sink(open(path, "w", buffering=1), path, owns=True)
+    sink.write({"ev": "meta", "schema": SCHEMA_VERSION,
+                "clock": "perf_counter", "pid": os.getpid()})
+    if reset_metrics:
+        from repro.obs import metrics
+        metrics.reset()
+    _sink = sink
+
+
+def disable(write_metrics: bool = True) -> None:
+    """Remove the sink; optionally append the final metrics snapshot."""
+    global _sink
+    s = _sink
+    if s is None:
+        return
+    if write_metrics:
+        from repro.obs import metrics
+        snap = metrics.snapshot()
+        if any(snap.values()):
+            s.write({"ev": "metrics", **snap})
+    _sink = None
+    s.close()
+
+
+def configure_from_env() -> bool:
+    """Honor ``REPRO_TRACE=path.jsonl``; returns True when enabled.
+
+    Registers an atexit hook so env-configured runs that never call
+    :func:`disable` still append the final metrics snapshot.
+    """
+    path = os.environ.get("REPRO_TRACE")
+    if path:
+        import atexit
+        enable(path)
+        atexit.register(disable)
+        return True
+    return False
+
+
+configure_from_env()

@@ -1,0 +1,175 @@
+"""Named counters, gauges, and histograms with snapshot/merge.
+
+The pipeline keeps *aggregate* statistics out-of-band of the JSONL
+trace: LP rows sampled, constraint violations per CEG round, refinement
+iterations, special-case vs. polynomial-path hits, per-sub-domain
+evaluation counts.  Unlike spans, metrics are always live — a bare
+``Counter.inc`` is one attribute add — so instrumented code does not
+need to guard them; the truly per-call runtime paths (``evaluate()``)
+stay uninstrumented unless explicitly wrapped
+(:func:`repro.libm.runtime.instrument`).
+
+Instruments
+-----------
+
+* :class:`Counter` — monotonically increasing int (``inc``).
+* :class:`Gauge` — last-write-wins value (``set``).
+* :class:`Histogram` — ``kind="log2"`` buckets observations by power of
+  two (right for sample sizes and LP row counts spanning decades);
+  ``kind="exact"`` buckets by exact value (right for small discrete
+  domains like sub-domain indices).
+
+``snapshot()`` returns a plain JSON-able dict; ``merge(a, b)`` combines
+two snapshots (counters and histogram buckets add, gauges last-write
+wins) so per-shard or per-process snapshots can be reduced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "counter", "gauge", "histogram",
+           "snapshot", "merge", "reset"]
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+def _log2_bucket(v: float) -> str:
+    """Power-of-two bucket label: '' holds v <= 0, 'k' holds [2**k, 2**(k+1))."""
+    if v <= 0:
+        return "neg" if v < 0 else "0"
+    return str(math.frexp(v)[1] - 1)
+
+
+class Histogram:
+    """Log-scale (or exact-value) bucketed distribution."""
+
+    __slots__ = ("name", "kind", "count", "total", "buckets")
+
+    def __init__(self, name: str, kind: str = "log2"):
+        if kind not in ("log2", "exact"):
+            raise ValueError(f"unknown histogram kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.count = 0
+        self.total = 0.0
+        self.buckets: dict[str, int] = {}
+
+    def observe(self, v: float, n: int = 1) -> None:
+        self.count += n
+        self.total += v * n
+        key = str(v) if self.kind == "exact" else _log2_bucket(v)
+        self.buckets[key] = self.buckets.get(key, 0) + n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+_counters: dict[str, Counter] = {}
+_gauges: dict[str, Gauge] = {}
+_histograms: dict[str, Histogram] = {}
+
+
+def counter(name: str) -> Counter:
+    """Get or create the named counter."""
+    c = _counters.get(name)
+    if c is None:
+        c = _counters[name] = Counter(name)
+    return c
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create the named gauge."""
+    g = _gauges.get(name)
+    if g is None:
+        g = _gauges[name] = Gauge(name)
+    return g
+
+
+def histogram(name: str, kind: str = "log2") -> Histogram:
+    """Get or create the named histogram (kind fixed at first creation)."""
+    h = _histograms.get(name)
+    if h is None:
+        h = _histograms[name] = Histogram(name, kind)
+    return h
+
+
+def snapshot() -> dict[str, Any]:
+    """JSON-able view of every registered instrument with activity."""
+    return {
+        "counters": {n: c.value for n, c in sorted(_counters.items())
+                     if c.value},
+        "gauges": {n: g.value for n, g in sorted(_gauges.items())},
+        "histograms": {
+            n: {"kind": h.kind, "count": h.count, "sum": h.total,
+                "buckets": dict(sorted(h.buckets.items()))}
+            for n, h in sorted(_histograms.items()) if h.count
+        },
+    }
+
+
+def merge(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
+    """Combine two snapshots: counters/histograms add, gauges b-wins."""
+    out: dict[str, Any] = {
+        "counters": dict(a.get("counters", {})),
+        "gauges": dict(a.get("gauges", {})),
+        "histograms": {n: {"kind": h["kind"], "count": h["count"],
+                           "sum": h["sum"], "buckets": dict(h["buckets"])}
+                       for n, h in a.get("histograms", {}).items()},
+    }
+    for n, v in b.get("counters", {}).items():
+        out["counters"][n] = out["counters"].get(n, 0) + v
+    out["gauges"].update(b.get("gauges", {}))
+    for n, h in b.get("histograms", {}).items():
+        slot = out["histograms"].get(n)
+        if slot is None:
+            out["histograms"][n] = {"kind": h["kind"], "count": h["count"],
+                                    "sum": h["sum"],
+                                    "buckets": dict(h["buckets"])}
+            continue
+        if slot["kind"] != h["kind"]:
+            raise ValueError(f"histogram {n!r}: kind mismatch "
+                             f"({slot['kind']} vs {h['kind']})")
+        slot["count"] += h["count"]
+        slot["sum"] += h["sum"]
+        for k, c in h["buckets"].items():
+            slot["buckets"][k] = slot["buckets"].get(k, 0) + c
+    return out
+
+
+def reset() -> None:
+    """Zero every instrument (handles are kept valid)."""
+    for c in _counters.values():
+        c.value = 0
+    for g in _gauges.values():
+        g.value = 0.0
+    for h in _histograms.values():
+        h.count = 0
+        h.total = 0.0
+        h.buckets.clear()

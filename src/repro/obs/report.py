@@ -1,0 +1,229 @@
+"""Render a JSONL trace into Table-3-style and flame-style reports.
+
+Consumes the event stream written by :mod:`repro.obs.events`:
+
+* :func:`summarize` — per-function generation statistics in the shape of
+  the paper's Table 3, extended with the counters the extended tech
+  report (DCS-TR-754) tracks: per-phase wall time, CEG iteration counts
+  and final sample sizes, LP solve counts/sizes and exact-simplex
+  fallbacks, split decisions.
+* :func:`render_tree` — an aggregated flame-style phase breakdown
+  (spans grouped by call path, with total/self time and call counts).
+
+Span records are written at span *exit*, so children precede parents in
+the file; everything here therefore indexes the full stream before
+resolving parent chains.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+__all__ = ["load_trace", "summarize", "render_summary", "render_tree",
+           "render_metrics"]
+
+#: Span names that constitute the generator's phase accounting.
+PHASES = ("oracle", "reduced", "piecewise")
+
+
+def load_trace(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Parse a JSONL trace; raises ValueError on a malformed line."""
+    events = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: bad trace line: {e}") from e
+    return events
+
+
+def _span_index(events: Iterable[dict]) -> dict[int, dict]:
+    return {e["sid"]: e for e in events if e.get("ev") == "span"}
+
+
+def _owner_fn(rec: dict, spans: dict[int, dict]) -> str | None:
+    """The ``fn`` attribute of the nearest enclosing span, if any."""
+    seen = set()
+    cur: dict | None = rec
+    while cur is not None:
+        fn = cur.get("fn")
+        if fn is not None:
+            return fn
+        pid = cur.get("pid", 0)
+        if pid in seen:  # defensive: malformed trace
+            return None
+        seen.add(pid)
+        cur = spans.get(pid)
+    return None
+
+
+def _fn_slot(per_fn: dict[str, dict], fn: str) -> dict:
+    slot = per_fn.get(fn)
+    if slot is None:
+        slot = per_fn[fn] = {
+            "gen_s": 0.0, "gen_calls": 0,
+            "phase_s": {},
+            "ceg_rounds": 0, "ceg_violations": 0, "ceg_max_sample": 0,
+            "ceg_calls": 0, "ceg_failures": 0,
+            "lp_solves": 0, "lp_max_rows": 0, "lp_max_cols": 0,
+            "lp_exact": 0, "lp_infeasible": 0,
+            "splits": 0, "split_max_bits": 0,
+        }
+    return slot
+
+
+def summarize(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate a trace into per-function pipeline statistics."""
+    spans = _span_index(events)
+    per_fn: dict[str, dict] = {}
+    metrics_snap: dict | None = None
+    total_s = 0.0
+
+    for e in events:
+        ev = e.get("ev")
+        if ev == "metrics":
+            metrics_snap = {k: v for k, v in e.items() if k != "ev"}
+            continue
+        if ev not in ("span", "point"):
+            continue
+        name = e.get("name", "")
+        fn = _owner_fn(e, spans)
+        if ev == "span":
+            if name == "generate":
+                slot = _fn_slot(per_fn, fn or "?")
+                slot["gen_s"] += e.get("dur", 0.0)
+                slot["gen_calls"] += 1
+                total_s = max(total_s, e.get("t", 0.0) + e.get("dur", 0.0))
+            elif name in PHASES and fn is not None:
+                ph = _fn_slot(per_fn, fn)["phase_s"]
+                ph[name] = ph.get(name, 0.0) + e.get("dur", 0.0)
+            continue
+        # point events
+        if fn is None:
+            continue
+        slot = _fn_slot(per_fn, fn)
+        if name == "ceg.round":
+            slot["ceg_rounds"] += 1
+            slot["ceg_violations"] += int(e.get("violations", 0))
+            slot["ceg_max_sample"] = max(slot["ceg_max_sample"],
+                                         int(e.get("sample", 0)))
+        elif name == "ceg.done":
+            slot["ceg_calls"] += 1
+            if not e.get("ok", True):
+                slot["ceg_failures"] += 1
+            slot["ceg_max_sample"] = max(slot["ceg_max_sample"],
+                                         int(e.get("sample", 0)))
+        elif name == "lp.solve":
+            slot["lp_solves"] += 1
+            slot["lp_max_rows"] = max(slot["lp_max_rows"],
+                                      int(e.get("rows", 0)))
+            slot["lp_max_cols"] = max(slot["lp_max_cols"],
+                                      int(e.get("cols", 0)))
+            if e.get("backend") == "exact":
+                slot["lp_exact"] += 1
+            if not e.get("feasible", True):
+                slot["lp_infeasible"] += 1
+        elif name == "split.attempt":
+            slot["splits"] += 1
+            slot["split_max_bits"] = max(slot["split_max_bits"],
+                                         int(e.get("index_bits", 0)))
+
+    return {"functions": per_fn, "metrics": metrics_snap,
+            "total_s": total_s}
+
+
+def render_summary(summary: dict[str, Any],
+                   title: str = "trace summary") -> str:
+    """Table-3-style per-function report from a trace summary."""
+    per_fn = summary["functions"]
+    out = [title]
+    if not per_fn:
+        out.append("(no generation spans in trace)")
+        return "\n".join(out) + "\n"
+    hdr = (f"{'f(x)':10s} {'gen(s)':>8s} {'oracle(s)':>10s} "
+           f"{'reduce(s)':>10s} {'piece(s)':>9s} {'ceg-it':>7s} "
+           f"{'sample':>7s} {'lp-calls':>9s} {'lp-rows':>8s} {'exact':>6s}")
+    out.append(hdr)
+    out.append("-" * len(hdr))
+    for fn in sorted(per_fn):
+        s = per_fn[fn]
+        ph = s["phase_s"]
+        out.append(
+            f"{fn:10s} {s['gen_s']:>8.2f} {ph.get('oracle', 0.0):>10.2f} "
+            f"{ph.get('reduced', 0.0):>10.2f} "
+            f"{ph.get('piecewise', 0.0):>9.2f} {s['ceg_rounds']:>7d} "
+            f"{s['ceg_max_sample']:>7d} {s['lp_solves']:>9d} "
+            f"{s['lp_max_rows']:>8d} {s['lp_exact']:>6d}")
+    out.append("")
+    out.append("(gen = wall time of the generate() span; ceg-it = counter-"
+               "example rounds; sample = largest CEG sample; lp-rows = "
+               "largest LP constraint matrix; exact = rational-simplex "
+               "fallbacks)")
+    return "\n".join(out) + "\n"
+
+
+def render_tree(events: list[dict[str, Any]],
+                title: str = "phase breakdown") -> str:
+    """Aggregated flame-style view: spans grouped by call path."""
+    spans = [e for e in events if e.get("ev") == "span"]
+    if not spans:
+        return f"{title}\n(no spans)\n"
+    by_sid = {e["sid"]: e for e in spans}
+
+    def path_of(e: dict) -> tuple[str, ...]:
+        names: list[str] = []
+        cur: dict | None = e
+        guard = 0
+        while cur is not None and guard < 128:
+            names.append(cur["name"])
+            cur = by_sid.get(cur.get("pid", 0))
+            guard += 1
+        return tuple(reversed(names))
+
+    agg: dict[tuple[str, ...], dict[str, float]] = {}
+    child_time: dict[tuple[str, ...], float] = {}
+    for e in spans:
+        p = path_of(e)
+        slot = agg.setdefault(p, {"dur": 0.0, "count": 0})
+        slot["dur"] += e.get("dur", 0.0)
+        slot["count"] += 1
+        if len(p) > 1:
+            child_time[p[:-1]] = child_time.get(p[:-1], 0.0) + e.get("dur", 0.0)
+
+    total = sum(v["dur"] for p, v in agg.items() if len(p) == 1) or 1.0
+    out = [title, f"{'span':44s} {'calls':>7s} {'total(s)':>9s} "
+                  f"{'self(s)':>9s} {'%':>6s}"]
+    for p in sorted(agg, key=lambda p: (p[:1], -agg[p]["dur"] if len(p) == 1
+                                        else 0, p)):
+        v = agg[p]
+        self_s = v["dur"] - child_time.get(p, 0.0)
+        label = "  " * (len(p) - 1) + p[-1]
+        out.append(f"{label:44s} {int(v['count']):>7d} {v['dur']:>9.3f} "
+                   f"{max(self_s, 0.0):>9.3f} {100 * v['dur'] / total:>5.1f}%")
+    return "\n".join(out) + "\n"
+
+
+def render_metrics(snap: dict[str, Any] | None,
+                   title: str = "metrics") -> str:
+    """Flat rendering of a metrics snapshot (counters + histograms)."""
+    if not snap or not any(snap.get(k) for k in
+                           ("counters", "gauges", "histograms")):
+        return f"{title}\n(no metrics recorded)\n"
+    out = [title]
+    for name, v in snap.get("counters", {}).items():
+        out.append(f"  {name:40s} {v:>12d}")
+    for name, v in snap.get("gauges", {}).items():
+        out.append(f"  {name:40s} {v:>12g}")
+    for name, h in snap.get("histograms", {}).items():
+        mean = h["sum"] / h["count"] if h["count"] else 0.0
+        out.append(f"  {name:40s} n={h['count']} mean={mean:.1f} "
+                   f"({h['kind']} buckets: "
+                   + ", ".join(f"{k}:{c}" for k, c in h["buckets"].items())
+                   + ")")
+    return "\n".join(out) + "\n"

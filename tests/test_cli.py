@@ -53,3 +53,45 @@ class TestArgparse:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+@pytest.mark.obs
+class TestTraceStats:
+    def test_trace_stats_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "gen.jsonl"
+        rc = main(["trace", "--out", str(trace), "--",
+                   "generate", "--target", "float8",
+                   "--functions", "exp2", "--quick",
+                   "--out", str(tmp_path / "data")])
+        assert rc == 0
+        assert trace.exists()
+        capsys.readouterr()
+
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        # Table-3-style summary: per-phase wall time, CEG iterations,
+        # LP sizes — plus the flame tree and the metrics snapshot
+        assert "exp2" in out
+        assert "oracle(s)" in out and "piece(s)" in out
+        assert "ceg-it" in out and "lp-rows" in out
+        assert "phase breakdown" in out and "generate" in out
+        assert "lp.solves" in out
+
+    def test_trace_without_command_errors(self, tmp_path, capsys):
+        assert main(["trace", "--out", str(tmp_path / "t.jsonl")]) == 2
+        assert "missing command" in capsys.readouterr().err
+
+    def test_trace_refuses_recursion(self, tmp_path, capsys):
+        assert main(["trace", "--out", str(tmp_path / "t.jsonl"),
+                     "--", "trace", "--", "table3"]) == 2
+        assert "refusing" in capsys.readouterr().err
+
+    def test_stats_on_traced_eval(self, tmp_path, capsys):
+        # tracing a command with no generation spans still renders
+        trace = tmp_path / "t.jsonl"
+        rc = main(["trace", "--out", str(trace), "--",
+                   "table3", "--target", "float16"])
+        assert rc in (0, 1)
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--no-tree"]) == 0
+        assert "no generation spans" in capsys.readouterr().out

@@ -1,0 +1,314 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the contract the rest of the repo relies on:
+
+* nested spans produce well-formed JSONL with consistent sid/pid/depth,
+* counters/gauges/histograms snapshot and merge correctly,
+* the disabled path emits nothing, allocates nothing (shared no-op
+  object) and records no attributes — the hot-path guarantee,
+* the pipeline produces *identical* results with tracing off and on
+  (the env-matrix check standing in for a separate CI job),
+* the opt-in runtime instrumentation counts calls without perturbing
+  the shared cached function.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.events import NOOP_SPAN, Span, _Timer
+from repro.obs.report import (load_trace, render_metrics, render_summary,
+                              render_tree, summarize)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with tracing disabled and metrics zeroed."""
+    obs.disable()
+    metrics.reset()
+    yield
+    obs.disable()
+    metrics.reset()
+
+
+def _read(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestSpans:
+    def test_nested_spans_well_formed(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        obs.enable(p)
+        with obs.span("outer", fn="exp"):
+            with obs.span("inner", step=1):
+                obs.event("tick", n=7)
+            with obs.span("inner", step=2) as sp:
+                sp.set(extra="late")
+        obs.disable()
+
+        events = _read(p)
+        assert events[0]["ev"] == "meta" and events[0]["schema"] == 1
+        spans = [e for e in events if e["ev"] == "span"]
+        points = [e for e in events if e["ev"] == "point"]
+        outer = next(s for s in spans if s["name"] == "outer")
+        inners = [s for s in spans if s["name"] == "inner"]
+        assert len(inners) == 2
+        # children written before the parent, linked by pid, deeper by one
+        assert all(s["pid"] == outer["sid"] for s in inners)
+        assert all(s["depth"] == outer["depth"] + 1 for s in inners)
+        assert outer["dur"] >= max(s["dur"] for s in inners)
+        # the point event is parented to the span active at emit time
+        assert points[0]["pid"] == inners[0]["sid"]
+        assert points[0]["n"] == 7
+        # late-set attributes land on the span record
+        assert inners[1]["extra"] == "late"
+        assert outer["fn"] == "exp"
+
+    def test_every_line_is_json(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        obs.enable(p)
+        with obs.span("a"):
+            obs.event("b", value=float("inf"))  # non-finite must not break
+        obs.disable()
+        for line in p.read_text().splitlines():
+            json.loads(line)  # raises on malformed output
+
+    def test_timed_span_measures_when_disabled(self):
+        assert not obs.enabled()
+        with obs.timed_span("phase") as sp:
+            sum(range(1000))
+        assert isinstance(sp, _Timer)
+        assert sp.elapsed > 0.0
+
+    def test_timed_span_emits_when_enabled(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        obs.enable(p)
+        with obs.timed_span("phase", fn="x") as sp:
+            pass
+        assert isinstance(sp, Span)
+        assert sp.elapsed > 0.0
+        obs.disable()
+        assert any(e.get("name") == "phase" for e in _read(p))
+
+    def test_env_variable_enables(self, tmp_path, monkeypatch):
+        p = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(p))
+        assert obs.configure_from_env()
+        obs.event("hello")
+        obs.disable()
+        assert any(e.get("name") == "hello" for e in _read(p))
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_object(self):
+        # THE zero-cost guarantee: one process-wide no-op, no allocation
+        assert obs.span("a") is NOOP_SPAN
+        assert obs.span("b", fn="log2", huge=list(range(100))) is NOOP_SPAN
+
+    def test_noop_span_records_nothing(self):
+        with obs.span("a", key="v") as sp:
+            assert sp is NOOP_SPAN
+            assert sp.set(more="attrs") is NOOP_SPAN
+        assert not hasattr(sp, "attrs")
+        assert sp.elapsed == 0.0
+
+    def test_event_is_noop(self):
+        assert obs.event("anything", n=1) is None
+
+    def test_disabled_emits_no_file(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        with obs.span("a"):
+            obs.event("b")
+        assert not p.exists()
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        c = metrics.counter("t.c")
+        c.inc()
+        c.inc(4)
+        metrics.gauge("t.g").set(2.5)
+        snap = metrics.snapshot()
+        assert snap["counters"]["t.c"] == 5
+        assert snap["gauges"]["t.g"] == 2.5
+        assert metrics.counter("t.c") is c  # registry returns the handle
+
+    def test_log2_histogram(self):
+        h = metrics.histogram("t.h")
+        for v in (1, 2, 3, 1000, 0):
+            h.observe(v)
+        snap = metrics.snapshot()["histograms"]["t.h"]
+        assert snap["count"] == 5
+        assert snap["buckets"] == {"0": 2, "1": 2, "9": 1}
+        assert h.mean == pytest.approx(1006 / 5)
+
+    def test_exact_histogram(self):
+        h = metrics.histogram("t.e", kind="exact")
+        h.observe(3)
+        h.observe(3)
+        h.observe(7)
+        assert metrics.snapshot()["histograms"]["t.e"]["buckets"] == \
+            {"3": 2, "7": 1}
+
+    def test_merge(self):
+        metrics.counter("m.c").inc(2)
+        metrics.histogram("m.h").observe(4)
+        a = metrics.snapshot()
+        metrics.reset()
+        metrics.counter("m.c").inc(3)
+        metrics.counter("m.other").inc(1)
+        metrics.histogram("m.h").observe(4)
+        metrics.histogram("m.h").observe(100)
+        b = metrics.snapshot()
+        m = metrics.merge(a, b)
+        assert m["counters"]["m.c"] == 5
+        assert m["counters"]["m.other"] == 1
+        h = m["histograms"]["m.h"]
+        assert h["count"] == 3
+        assert h["sum"] == 108
+        assert h["buckets"]["2"] == 2 and h["buckets"]["6"] == 1
+        # merge must not alias its inputs
+        assert a["counters"]["m.c"] == 2
+        assert a["histograms"]["m.h"]["count"] == 1
+
+    def test_merge_kind_mismatch_raises(self):
+        a = {"histograms": {"x": {"kind": "log2", "count": 1, "sum": 1,
+                                  "buckets": {"0": 1}}}}
+        b = {"histograms": {"x": {"kind": "exact", "count": 1, "sum": 1,
+                                  "buckets": {"1": 1}}}}
+        with pytest.raises(ValueError):
+            metrics.merge(a, b)
+
+    def test_reset_keeps_handles_valid(self):
+        c = metrics.counter("r.c")
+        c.inc(9)
+        metrics.reset()
+        assert c.value == 0
+        c.inc()
+        assert metrics.snapshot()["counters"]["r.c"] == 1
+
+
+def _generate_exp2():
+    from repro.core import FunctionSpec, all_values, generate
+    from repro.fp.formats import FLOAT8
+    from repro.rangereduction import reduction_for
+
+    rr = reduction_for("exp2", FLOAT8)
+    return generate(FunctionSpec("exp2", FLOAT8, rr),
+                    list(all_values(FLOAT8)))
+
+
+class TestPipelineEnvMatrix:
+    """The tier-1 pipeline must behave identically traced and untraced."""
+
+    @pytest.mark.parametrize("tracing", [False, True],
+                             ids=["REPRO_TRACE-off", "REPRO_TRACE-on"])
+    def test_generation_same_result(self, tracing, tmp_path, monkeypatch):
+        from repro.libm.serialize import function_to_dict
+
+        if tracing:
+            monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.jsonl"))
+            assert obs.configure_from_env()
+        else:
+            monkeypatch.delenv("REPRO_TRACE", raising=False)
+            assert not obs.enabled()
+
+        fn = _generate_exp2()
+        # the no-op path must not leak into results: identical tables
+        want = function_to_dict(fn)["approx"]
+        obs.disable()
+        assert not obs.enabled()
+        again = function_to_dict(_generate_exp2())["approx"]
+        assert want == again
+        # GenStats phase accounting is live in BOTH modes (timed_span)
+        assert set(fn.stats.phase_s) == {"oracle", "reduced", "piecewise"}
+        assert fn.stats.gen_time_s > 0
+        assert fn.stats.oracle_time_s == fn.stats.phase_s["oracle"]
+
+    def test_trace_carries_pipeline_events(self, tmp_path):
+        p = tmp_path / "gen.jsonl"
+        obs.enable(p)
+        _generate_exp2()
+        obs.disable()
+        names = {e.get("name") for e in _read(p)}
+        assert {"generate", "oracle", "reduced", "piecewise", "approxfunc",
+                "ceg.round", "ceg.done", "lp.solve",
+                "split.attempt"} <= names
+
+    def test_disabled_run_emits_nothing_anywhere(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)  # catch stray default-path writes
+        _generate_exp2()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestReport:
+    @pytest.fixture()
+    def trace(self, tmp_path):
+        p = tmp_path / "gen.jsonl"
+        obs.enable(p)
+        _generate_exp2()
+        obs.disable()
+        return p
+
+    def test_summarize(self, trace):
+        s = summarize(load_trace(trace))
+        exp2 = s["functions"]["exp2"]
+        assert exp2["gen_calls"] == 1
+        assert exp2["ceg_rounds"] >= 1
+        assert exp2["lp_solves"] >= 1
+        assert exp2["lp_max_rows"] > 0
+        assert set(exp2["phase_s"]) == {"oracle", "reduced", "piecewise"}
+        assert s["metrics"]["counters"]["lp.solves"] == exp2["lp_solves"]
+
+    def test_render_summary_and_tree(self, trace):
+        events = load_trace(trace)
+        text = render_summary(summarize(events))
+        assert "exp2" in text and "oracle(s)" in text and "ceg-it" in text
+        tree = render_tree(events)
+        assert "generate" in tree and "piecewise" in tree
+        mtext = render_metrics(summarize(events)["metrics"])
+        assert "lp.solves" in mtext
+
+    def test_malformed_trace_raises(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"ev": "span"\nnot json\n')
+        with pytest.raises(ValueError, match="bad trace line"):
+            load_trace(p)
+
+
+class TestRuntimeInstrument:
+    def test_instrument_counts(self, float8_exp):
+        from repro.libm.runtime import instrument
+
+        g = instrument(float8_exp, prefix="t.exp")
+        g.evaluate(1.0)
+        g.evaluate(0.5)
+        import math
+        g.evaluate(math.inf)  # special-case layer
+        snap = metrics.snapshot()
+        assert snap["counters"]["t.exp.calls"] == 3
+        assert snap["counters"]["t.exp.special"] == 1
+        hist = snap["histograms"]["t.exp.exp.subdomain"]
+        assert hist["kind"] == "exact"
+        assert hist["count"] == 2
+
+    def test_instrument_matches_plain(self, float8_exp):
+        from repro.libm.runtime import instrument
+
+        g = instrument(float8_exp, prefix="t.same")
+        for x in (0.25, 1.0, 2.0, -3.5):
+            assert g.evaluate(x) == float8_exp.evaluate(x)
+
+    def test_shared_object_untouched(self, float8_exp):
+        from repro.libm.runtime import instrument
+
+        before = float8_exp.evaluate
+        instrument(float8_exp, prefix="t.untouched")
+        assert float8_exp.evaluate is before

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Generation-effort regression check against a frozen baseline trace.
+
+Replays the smallest deterministic slice of the pipeline — exhaustive
+float8 ``exp2`` generation (no sampling, no RNG) — with tracing enabled,
+then compares the pipeline-effort statistics (CEG iteration counts,
+largest CEG sample, LP solve counts and sizes, exact-simplex fallbacks,
+split attempts) against the committed baseline
+``genlogs/trace_float8_exp2.jsonl``.  A drift beyond the tolerance means
+a change to Algorithms 2–4 or the LP front end altered how hard the
+generator works — which is exactly the kind of silent regression the
+observability layer exists to catch.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_genstats.py            # check
+    PYTHONPATH=src python tools/check_genstats.py --rebase   # refreeze
+
+Exit status 0 when every metric is within tolerance, 1 on drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+BASELINE = REPO / "genlogs" / "trace_float8_exp2.jsonl"
+
+#: (metric key, relative tolerance, absolute slack).  CEG/LP effort on
+#: an exhaustive tiny format is deterministic modulo scipy/HiGHS version
+#: drift, so the tolerances are loose enough to survive a solver bump
+#: but tight enough to flag an algorithmic change.
+CHECKS = (
+    ("ceg_rounds", 0.5, 2),
+    ("ceg_max_sample", 0.5, 4),
+    ("ceg_calls", 0.5, 1),
+    ("lp_solves", 0.5, 3),
+    ("lp_max_rows", 0.5, 4),
+    ("lp_exact", 1.0, 2),
+    ("splits", 0.5, 2),
+    ("split_max_bits", 0.0, 1),
+)
+
+FN = "exp2"
+
+
+def _run_traced(path: pathlib.Path) -> None:
+    from repro import obs
+    from repro.core import FunctionSpec, all_values, generate
+    from repro.fp.formats import FLOAT8
+    from repro.rangereduction import reduction_for
+
+    obs.enable(path)
+    try:
+        rr = reduction_for(FN, FLOAT8)
+        generate(FunctionSpec(FN, FLOAT8, rr), list(all_values(FLOAT8)))
+    finally:
+        obs.disable()
+
+
+def _stats(path: pathlib.Path) -> dict:
+    from repro.obs.report import load_trace, summarize
+
+    per_fn = summarize(load_trace(path))["functions"]
+    if FN not in per_fn:
+        raise SystemExit(f"{path}: no 'generate' span for {FN!r} in trace")
+    return per_fn[FN]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    ap.add_argument("--rebase", action="store_true",
+                    help="regenerate the committed baseline trace")
+    args = ap.parse_args(argv)
+
+    if args.rebase:
+        _run_traced(args.baseline)
+        print(f"baseline rewritten: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"missing baseline {args.baseline}; run with --rebase first",
+              file=sys.stderr)
+        return 1
+
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as tf:
+        fresh_path = pathlib.Path(tf.name)
+    try:
+        _run_traced(fresh_path)
+        want = _stats(args.baseline)
+        got = _stats(fresh_path)
+    finally:
+        fresh_path.unlink(missing_ok=True)
+
+    drifted = []
+    print(f"{'metric':18s} {'baseline':>9s} {'current':>9s} {'allowed':>16s}")
+    for key, rel, slack in CHECKS:
+        w, g = int(want.get(key, 0)), int(got.get(key, 0))
+        allowed = max(rel * w, slack)
+        ok = abs(g - w) <= allowed
+        print(f"{key:18s} {w:>9d} {g:>9d} {f'±{allowed:.0f}':>16s}"
+              + ("" if ok else "  DRIFT"))
+        if not ok:
+            drifted.append(key)
+    if drifted:
+        print(f"\ngeneration-effort drift in: {', '.join(drifted)}\n"
+              "If intentional (algorithm change), refreeze with --rebase.",
+              file=sys.stderr)
+        return 1
+    print("\nok: generation effort within tolerance of the frozen baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
