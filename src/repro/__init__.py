@@ -16,6 +16,8 @@ Public entry points:
 See README.md for a guided tour and DESIGN.md for the paper mapping.
 """
 
+from __future__ import annotations
+
 from repro.core.generator import FunctionSpec, GeneratedFunction, generate
 from repro.core.validate import generate_validated, validate
 from repro.fp.formats import BFLOAT16, FLOAT8, FLOAT16, FLOAT32, FLOAT64, FloatFormat

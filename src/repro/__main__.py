@@ -14,6 +14,8 @@ Commands
               and write the JSONL trace (``trace -- generate ...``)
 ``stats``     render a JSONL trace into a Table-3-style summary and a
               flame-style phase breakdown
+``lint``      run the floating-point-safety linter (fplint) and the
+              frozen-table static verifier (tablecheck)
 """
 
 from __future__ import annotations
@@ -128,6 +130,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import cli as analysis_cli
+
+    return analysis_cli.run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -173,6 +181,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--no-metrics", action="store_true",
                    help="skip the metrics snapshot section")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("lint",
+                       help="floating-point-safety linter + table verifier")
+    from repro.analysis.cli import add_arguments as _lint_args
+    _lint_args(p)
+    p.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

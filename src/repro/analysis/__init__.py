@@ -1,0 +1,30 @@
+"""Static analysis for the RLIBM-32 reproduction.
+
+Two engines guard the invariants the generated library's correctness
+rests on:
+
+* :mod:`repro.analysis.fplint` — an AST linter with codebase-specific
+  floating-point-safety rules (FP101–FP108).
+* :mod:`repro.analysis.tablecheck` — a static verifier for the frozen
+  coefficient data modules (TC201–TC208).
+
+Run both with ``python -m repro lint`` (or the ``repro-lint`` script);
+:mod:`repro.analysis.baseline` grandfathers historical findings.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.fplint import (DEFAULT_ROOTS, RULES, Rule, lint_file,
+                                   lint_paths, lint_source)
+from repro.analysis.tablecheck import (DATA_PACKAGES, check_data,
+                                       check_module, check_package,
+                                       run_tablecheck)
+
+__all__ = [
+    "Finding", "Severity", "sort_findings",
+    "DEFAULT_ROOTS", "RULES", "Rule", "lint_file", "lint_paths",
+    "lint_source",
+    "DATA_PACKAGES", "check_data", "check_module", "check_package",
+    "run_tablecheck",
+]

@@ -1,0 +1,60 @@
+"""Baseline files: grandfathering pre-existing lint findings.
+
+A baseline is a JSON file mapping finding keys (``path:rule:line``) to
+their messages.  ``python -m repro lint`` subtracts baselined findings
+from its report, so a rule can be introduced (or tightened) without
+first fixing every historical violation — new violations still fail.
+``--write-baseline`` regenerates the file from the current findings;
+an entry that no longer matches anything is reported as stale so the
+baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline",
+           "apply_baseline"]
+
+#: Repo-relative location of the committed baseline.
+DEFAULT_BASELINE = "tools/fplint_baseline.json"
+
+
+def load_baseline(path: str | Path) -> dict[str, str]:
+    """Key → message mapping; empty when the file does not exist."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{p}: baseline must be a JSON object")
+    return {str(k): str(v) for k, v in data.items()}
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write the findings as the new baseline; returns the entry count."""
+    entries = {f.key: f.message for f in findings}
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   baseline: dict[str, str]) -> \
+        tuple[list[Finding], list[str]]:
+    """(new findings, stale baseline keys no finding matched)."""
+    matched: set[str] = set()
+    fresh: list[Finding] = []
+    for f in findings:
+        if f.key in baseline:
+            matched.add(f.key)
+        else:
+            fresh.append(f)
+    stale = sorted(set(baseline) - matched)
+    return fresh, stale

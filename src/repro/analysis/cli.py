@@ -1,0 +1,164 @@
+"""``python -m repro lint`` / ``repro-lint`` — run both analysis engines.
+
+Runs :mod:`repro.analysis.fplint` over the source tree and
+:mod:`repro.analysis.tablecheck` over the shipped frozen-data packages,
+subtracts the committed baseline, and reports in text or JSON.  Exit
+status: 0 clean, 1 findings, 2 on internal/usage errors — the same
+contract as the ``tools/run_lint.py`` CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import fplint, tablecheck
+from repro.analysis.findings import Finding, sort_findings
+
+__all__ = ["add_arguments", "run", "main"]
+
+
+def find_root(start: Path | None = None) -> Path:
+    """The repo root: the nearest ancestor holding ``src/repro``.
+
+    Falls back to the installed package's grandparent so ``repro-lint``
+    works from any working directory of a source checkout.
+    """
+    cur = (start or Path.cwd()).resolve()
+    for p in (cur, *cur.parents):
+        if (p / "src" / "repro").is_dir():
+            return p
+    import repro
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: "
+                             f"{', '.join(fplint.DEFAULT_ROOTS)})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=baseline_mod.DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {baseline_mod.DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather the current findings and exit")
+    parser.add_argument("--no-tablecheck", action="store_true",
+                        help="skip the frozen-table verifier")
+    parser.add_argument("--no-fplint", action="store_true",
+                        help="skip the source linter")
+    parser.add_argument("--table", action="append", default=[],
+                        metavar="FILE",
+                        help="extra data-module file for tablecheck "
+                             "(repeatable)")
+    parser.add_argument("--root", help="repo root (default: auto-detected)")
+
+
+def _render_text(findings: list[Finding], stale: list[str],
+                 n_modules: int, elapsed: float, baselined: int) -> str:
+    from repro.obs.report import format_table
+
+    out = []
+    for f in findings:
+        out.append(f.render())
+    if findings:
+        out.append("")
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        rows = []
+        for rule in sorted(by_rule):
+            meta = fplint.RULES.get(rule)
+            rows.append([rule, by_rule[rule],
+                         meta.severity if meta else "error",
+                         meta.summary if meta else "tablecheck invariant"])
+        out.append(format_table(["rule", "count", "severity", "summary"],
+                                rows, aligns="lrll"))
+    for key in stale:
+        out.append(f"stale baseline entry (already fixed): {key}")
+    verdict = "clean" if not findings else \
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    extra = f", {baselined} baselined" if baselined else ""
+    out.append(f"fplint+tablecheck: {verdict} "
+               f"({n_modules} data modules checked{extra}, "
+               f"{elapsed:.2f}s)")
+    return "\n".join(out)
+
+
+def run(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    try:
+        root = Path(args.root).resolve() if args.root else find_root()
+    except Exception as e:
+        print(f"lint: cannot locate repo root: {e}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    if not args.no_fplint:
+        paths = [Path(p) for p in args.paths] or None
+        try:
+            findings.extend(fplint.lint_paths(paths, root))
+        except (OSError, ValueError) as e:
+            print(f"lint: {e}", file=sys.stderr)
+            return 2
+    n_modules = 0
+    if not args.no_tablecheck:
+        n_modules, table_findings = tablecheck.run_tablecheck(
+            extra_paths=tuple(args.table))
+        # report data-module paths relative to the repo root
+        for f in table_findings:
+            try:
+                rel = Path(f.path).resolve().relative_to(root).as_posix()
+                f = Finding(rel, f.line, f.col, f.rule, f.severity,
+                            f.message, f.hint)
+            except ValueError:
+                pass
+            findings.append(f)
+    findings = sort_findings(findings)
+
+    baseline_path = root / args.baseline
+    if args.write_baseline:
+        n = baseline_mod.write_baseline(baseline_path, findings)
+        print(f"baseline written: {baseline_path} ({n} entries)")
+        return 0
+
+    stale: list[str] = []
+    baselined = 0
+    if not args.no_baseline:
+        known = baseline_mod.load_baseline(baseline_path)
+        total = len(findings)
+        findings, stale = baseline_mod.apply_baseline(findings, known)
+        baselined = total - len(findings)
+
+    elapsed = time.perf_counter() - t0
+    if args.fmt == "json":
+        print(json.dumps({
+            "ok": not findings,
+            "findings": [f.to_dict() for f in findings],
+            "stale_baseline": stale,
+            "baselined": baselined,
+            "data_modules_checked": n_modules,
+            "elapsed_s": round(elapsed, 3),
+        }, indent=2))
+    else:
+        print(_render_text(findings, stale, n_modules, elapsed, baselined))
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__)
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

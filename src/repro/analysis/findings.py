@@ -1,0 +1,67 @@
+"""The common finding model shared by fplint and tablecheck.
+
+Both engines report :class:`Finding` records: a rule code, a severity,
+a location and a human message plus a fix-it hint.  Findings order by
+location so reports are stable, and serialize to plain dicts for the
+``--format json`` CLI path and the baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Finding", "Severity", "sort_findings"]
+
+
+class Severity:
+    """Finding severities, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    #: Rank used for sorting (errors first).
+    ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from a static-analysis engine."""
+
+    #: Repo-relative posix path of the offending file.
+    path: str
+    #: 1-based line (0 for whole-module findings located nowhere).
+    line: int
+    #: 0-based column.
+    col: int
+    #: Rule code: ``FP1xx`` (fplint) or ``TC2xx`` (tablecheck).
+    rule: str
+    #: ``error`` or ``warning``.
+    severity: str
+    #: What is wrong, concretely.
+    message: str
+    #: How to fix it (or how to suppress it when intentional).
+    hint: str = field(default="", compare=False)
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: path, rule and line (columns drift freely)."""
+        return f"{self.path}:{self.rule}:{self.line}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "severity": self.severity,
+                "message": self.message, "hint": self.hint}
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col + 1}"
+        out = f"{loc}: {self.rule} [{self.severity}] {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Stable report order: by file, line, column, then rule code."""
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,528 @@
+"""fplint — AST-based floating-point-safety linter for this codebase.
+
+The generated library is only correct while a set of invariants holds in
+the *source*: range reduction and output compensation stay in exact
+double arithmetic, coefficient literals round-trip through ``repr``,
+frozen ``DATA`` tables are never mutated, the generation pipeline is
+deterministic.  Nothing enforces those invariants at runtime — they fail
+silently, and only exhaustive validation (hours for float32) would
+notice.  This module checks them at commit time with stdlib ``ast``
+only.
+
+Rules
+-----
+
+========  ========  ==========================================================
+code      severity  checks
+========  ========  ==========================================================
+FP100     error     file does not parse (reported, never crashes the run)
+FP101     error     ``==``/``!=`` on float-valued expressions outside the
+                    modules whose contract *is* exact comparison
+FP102     error     ``math.*`` transcendental calls in runtime /
+                    range-reduction paths (must use the oracle or tables)
+FP103     error     float literals that are not exactly the shortest
+                    ``repr`` of the double they produce (silent rounding)
+FP104     warning   int literals mixed into float arithmetic in Horner /
+                    output-compensation hot paths (implicit promotion)
+FP105     error     mutation of a frozen ``DATA`` table
+FP106     error     bare ``except:`` or swallowed exceptions in core/
+FP107     error     nondeterminism in the generation pipeline (global RNG,
+                    wall clock, hash-ordered set iteration)
+FP108     warning   module in src/ missing ``from __future__ import
+                    annotations``
+========  ========  ==========================================================
+
+Any finding can be suppressed for one line with a trailing
+``# fplint: disable=FP101`` (comma-separate several codes); grandfathered
+findings live in the committed baseline (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import os
+import re
+from dataclasses import dataclass
+from decimal import Decimal, InvalidOperation
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+
+__all__ = ["Rule", "RULES", "DEFAULT_ROOTS", "lint_source", "lint_file",
+           "lint_paths"]
+
+#: Roots (repo-relative) that ``lint_paths`` walks by default.
+DEFAULT_ROOTS = ("src/repro", "tools")
+
+_DISABLE_RE = re.compile(r"#\s*fplint:\s*disable=([A-Z0-9,\s]+)")
+
+#: ``math`` functions whose results are approximations of transcendental
+#: functions — the exact values the library exists to *replace*.
+_TRANSCENDENTAL = frozenset({
+    "exp", "expm1", "exp2", "log", "log1p", "log2", "log10", "pow",
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "sinh", "cosh", "tanh", "asinh", "acosh", "atanh",
+    "erf", "erfc", "gamma", "lgamma", "cbrt",
+})
+
+#: ``math`` members usable in float-typed expressions (heuristic input).
+_MATH_FLOAT_NAMES = _TRANSCENDENTAL | frozenset({
+    "sqrt", "hypot", "fabs", "copysign", "fmod", "remainder", "ldexp",
+    "fsum", "dist", "nextafter", "ulp", "floor", "ceil",
+    "inf", "nan", "pi", "e", "tau",
+})
+
+#: ``random`` module-level functions that use the hidden global RNG.
+_GLOBAL_RNG = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "gauss", "normalvariate",
+    "betavariate", "expovariate", "seed", "getrandbits", "randbytes",
+})
+
+#: list/dict methods that mutate in place (FP105 on DATA chains).
+_MUTATORS = frozenset({
+    "update", "pop", "popitem", "clear", "setdefault", "__setitem__",
+    "append", "extend", "insert", "remove", "sort", "reverse",
+})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one fplint rule (used for docs and scoping)."""
+
+    code: str
+    summary: str
+    severity: str
+    hint: str
+    #: Repo-relative posix path prefixes the rule applies to.
+    applies: tuple[str, ...]
+    #: Prefixes exempt even when inside ``applies`` (domain contracts).
+    excludes: tuple[str, ...] = ()
+
+    def in_scope(self, path: str) -> bool:
+        if not any(path == p or path.startswith(p + "/")
+                   for p in self.applies):
+            return False
+        return not any(path.startswith(e) for e in self.excludes)
+
+
+_DATA_PKGS = ("src/repro/libm/data_float32/", "src/repro/libm/data_posit32/")
+
+RULES: dict[str, Rule] = {r.code: r for r in (
+    Rule("FP100", "file must parse", Severity.ERROR,
+         "fix the syntax error", ("src/repro", "tools")),
+    Rule("FP101", "float equality comparison", Severity.ERROR,
+         "compare bit patterns, use an explicit tolerance, or suppress "
+         "where exact-value comparison is the contract",
+         ("src/repro",),
+         # formats, posits, oracles, range reduction and baselines compare
+         # exact special-case values by design
+         ("src/repro/fp/", "src/repro/posit/", "src/repro/oracle/",
+          "src/repro/rangereduction/", "src/repro/baselines/")),
+    Rule("FP102", "math.* transcendental in runtime/range-reduction path",
+         Severity.ERROR,
+         "route through repro.oracle (generation time) or the frozen "
+         "tables (runtime); math.* is not correctly rounded",
+         ("src/repro/libm", "src/repro/rangereduction"),
+         _DATA_PKGS),
+    Rule("FP103", "float literal does not repr-round-trip", Severity.ERROR,
+         "rewrite the literal as repr(value) so the written decimal is "
+         "exactly the double the program uses",
+         ("src/repro", "tools")),
+    Rule("FP104", "int/float mixing in hot-path arithmetic", Severity.WARNING,
+         "write the float form (e.g. 0.0 instead of 0) so the promotion "
+         "is visible and the emitted straight-line code stays uniform",
+         ("src/repro/core/polynomials.py", "src/repro/rangereduction",
+          "src/repro/libm/float32.py", "src/repro/libm/posit32.py",
+          "src/repro/libm/runtime.py")),
+    Rule("FP105", "mutation of a frozen DATA table", Severity.ERROR,
+         "frozen data modules are immutable by contract; deep-copy before "
+         "editing, or regenerate with tools/generate_*.py",
+         ("src/repro", "tools")),
+    Rule("FP106", "bare or swallowed exception in core/", Severity.ERROR,
+         "catch the narrowest exception and handle or re-raise it; the "
+         "pipeline must fail loudly",
+         ("src/repro/core",)),
+    Rule("FP107", "nondeterminism in the generation pipeline", Severity.ERROR,
+         "use a seeded random.Random instance, perf_counter for durations "
+         "only, and sorted() before iterating sets",
+         ("src/repro/core", "src/repro/libm/genlib.py", "src/repro/lp",
+          "tools")),
+    Rule("FP108", "missing 'from __future__ import annotations'",
+         Severity.WARNING,
+         "add the import as the first statement after the docstring",
+         ("src/repro",),
+         _DATA_PKGS),
+)}
+
+
+# --------------------------------------------------------------------------
+# expression heuristics
+
+
+_NO_NAMES: frozenset[str] = frozenset()
+
+
+def _is_float_expr(node: ast.expr,
+                   float_names: frozenset[str] | set[str] = _NO_NAMES) \
+        -> bool:
+    """Conservatively: is this expression definitely float-valued?
+
+    ``float_names`` are local names known to hold doubles (``x: float``
+    parameters and names assigned from float expressions).
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand, float_names)
+    if isinstance(node, ast.BinOp):
+        return (_is_float_expr(node.left, float_names)
+                or _is_float_expr(node.right, float_names))
+    if isinstance(node, ast.IfExp):
+        return (_is_float_expr(node.body, float_names)
+                or _is_float_expr(node.orelse, float_names))
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name) and f.id == "float":
+            return True
+        if (isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name)
+                and f.value.id == "math" and f.attr in _MATH_FLOAT_NAMES):
+            return True
+        return False
+    if isinstance(node, ast.Attribute):
+        return (isinstance(node.value, ast.Name) and node.value.id == "math"
+                and node.attr in _MATH_FLOAT_NAMES)
+    return False
+
+
+def _is_int_literal(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Constant)
+            and type(node.value) is int)
+
+
+def _chain_hits_data(node: ast.expr) -> bool:
+    """Does this value chain (a.b["c"].d ...) pass through a DATA name?"""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id == "DATA"
+        if isinstance(node, ast.Attribute):
+            if node.attr == "DATA":
+                return True
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return False
+
+
+def _sig_text(lines: Sequence[str], node: ast.Constant) -> str | None:
+    """Source text of a (single-line) numeric literal token."""
+    if node.lineno != getattr(node, "end_lineno", node.lineno):
+        return None
+    try:
+        line = lines[node.lineno - 1]
+    except IndexError:
+        return None
+    return line[node.col_offset:node.end_col_offset]
+
+
+# --------------------------------------------------------------------------
+# the per-file linter
+
+
+class _FileLinter:
+    def __init__(self, src: str, path: str, rules: Iterable[Rule]):
+        self.src = src
+        self.path = path
+        self.lines = src.splitlines()
+        self.rules = {r.code for r in rules if r.in_scope(path)}
+        self.findings: list[Finding] = []
+        #: node ids inside integer contexts (indices, range(), bit ops) —
+        #: int literals there are *supposed* to be ints (FP104).
+        self._int_ctx: set[int] = set()
+
+    def add(self, code: str, node: ast.AST | None, message: str) -> None:
+        if code not in self.rules:
+            return
+        rule = RULES[code]
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        self.findings.append(Finding(self.path, line, col, code,
+                                     rule.severity, message, rule.hint))
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        if not self.rules:
+            return []
+        try:
+            tree = ast.parse(self.src, filename=self.path)
+        except SyntaxError as e:
+            line = e.lineno or 1
+            self.findings.append(Finding(
+                self.path, line, (e.offset or 1) - 1, "FP100",
+                Severity.ERROR, f"syntax error: {e.msg}",
+                RULES["FP100"].hint))
+            return self.findings
+        self._mark_int_contexts(tree)
+        self._check_fp108(tree)
+        self._check_fp104_pass(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare):
+                self._check_fp101(node)
+            elif isinstance(node, ast.Call):
+                self._check_fp102(node)
+                self._check_fp105_call(node)
+                self._check_fp107_call(node)
+            elif isinstance(node, ast.Constant):
+                self._check_fp103(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                                   ast.Delete)):
+                self._check_fp105_stmt(node)
+            elif isinstance(node, ast.ExceptHandler):
+                self._check_fp106(node)
+            elif isinstance(node, (ast.For, ast.ImportFrom)):
+                self._check_fp107_stmt(node)
+        return self._suppress(self.findings)
+
+    def _suppress(self, findings: list[Finding]) -> list[Finding]:
+        kept = []
+        for f in findings:
+            line = self.lines[f.line - 1] if 0 < f.line <= len(self.lines) \
+                else ""
+            m = _DISABLE_RE.search(line)
+            if m and f.rule in {c.strip() for c in m.group(1).split(",")}:
+                continue
+            kept.append(f)
+        return kept
+
+    # -- rules -------------------------------------------------------------
+
+    def _check_fp101(self, node: ast.Compare) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        if any(_is_float_expr(e) for e in [node.left, *node.comparators]):
+            self.add("FP101", node,
+                     "equality comparison on a float-valued expression")
+
+    def _check_fp102(self, node: ast.Call) -> None:
+        f = node.func
+        if (isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name)
+                and f.value.id == "math" and f.attr in _TRANSCENDENTAL):
+            self.add("FP102", node,
+                     f"math.{f.attr}() in a runtime/range-reduction path "
+                     "is not correctly rounded")
+
+    def _check_fp103(self, node: ast.Constant) -> None:
+        if not isinstance(node.value, float):
+            return
+        text = _sig_text(self.lines, node)
+        if text is None:
+            return
+        text = text.strip().lower().replace("_", "")
+        if not text or text[0] not in "0123456789.":
+            return  # not a literal token (e.g. folded docstring constant)
+        v = node.value
+        if not math.isfinite(v):
+            self.add("FP103", node,
+                     f"literal {text!r} overflows to {v!r}; it cannot "
+                     "round-trip through repr")
+            return
+        try:
+            written = Decimal(text)
+        except InvalidOperation:
+            return
+        if written != Decimal(repr(v)):
+            self.add("FP103", node,
+                     f"literal {text!r} is not the double it denotes; "
+                     f"the value actually used is {v!r}")
+
+    def _check_fp104_pass(self, tree: ast.Module) -> None:
+        """Int literals mixed with known-float operands, per function.
+
+        Known-float names: parameters annotated ``float`` plus names
+        assigned from definitely-float expressions.  Pure int arithmetic
+        (loop counters, exponent math) therefore never fires.
+        """
+        if "FP104" not in self.rules:
+            return
+        seen: set[int] = set()
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            a = fn.args
+            floats = {arg.arg for arg in
+                      (*a.posonlyargs, *a.args, *a.kwonlyargs)
+                      if isinstance(arg.annotation, ast.Name)
+                      and arg.annotation.id == "float"}
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name) \
+                        and _is_float_expr(node.value, floats):
+                    floats.add(node.targets[0].id)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.BinOp) or id(node) in seen \
+                        or id(node) in self._int_ctx:
+                    continue
+                if not isinstance(node.op,
+                                  (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+                    continue
+                seen.add(id(node))
+                for lit, other in ((node.left, node.right),
+                                   (node.right, node.left)):
+                    if _is_int_literal(lit) \
+                            and _is_float_expr(other, floats):
+                        self.add("FP104", node,
+                                 f"int literal {lit.value!r} promoted "
+                                 "implicitly in hot-path float arithmetic")
+                        break
+
+    def _check_fp105_stmt(self, node: ast.stmt) -> None:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for t in targets:
+            if isinstance(t, (ast.Subscript, ast.Attribute)) \
+                    and _chain_hits_data(t.value):
+                self.add("FP105", node,
+                         "assignment into a frozen DATA table")
+
+    def _check_fp105_call(self, node: ast.Call) -> None:
+        f = node.func
+        if (isinstance(f, ast.Attribute) and f.attr in _MUTATORS
+                and _chain_hits_data(f.value)):
+            self.add("FP105", node,
+                     f".{f.attr}() mutates a frozen DATA table")
+
+    def _check_fp106(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.add("FP106", node, "bare 'except:' hides real failures")
+            return
+        body = node.body
+        swallowed = all(
+            isinstance(s, ast.Pass)
+            or (isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant)
+                and s.value.value is Ellipsis)
+            for s in body)
+        if swallowed:
+            self.add("FP106", node, "exception swallowed without handling")
+
+    def _check_fp107_call(self, node: ast.Call) -> None:
+        f = node.func
+        if not isinstance(f, ast.Attribute) or not isinstance(f.value,
+                                                              ast.Name):
+            return
+        mod, attr = f.value.id, f.attr
+        if mod == "random" and attr in _GLOBAL_RNG:
+            self.add("FP107", node,
+                     f"random.{attr}() uses the hidden global RNG; "
+                     "results depend on interpreter-wide state")
+        elif mod == "time" and attr in ("time", "time_ns"):
+            self.add("FP107", node,
+                     f"time.{attr}() is wall clock; generation decisions "
+                     "must not depend on it")
+        elif mod == "os" and attr == "urandom":
+            self.add("FP107", node, "os.urandom() is nondeterministic")
+        elif mod == "uuid" and attr.startswith("uuid"):
+            self.add("FP107", node, f"uuid.{attr}() is nondeterministic")
+
+    def _check_fp107_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                bad = sorted(a.name for a in node.names
+                             if a.name in _GLOBAL_RNG)
+                if bad:
+                    self.add("FP107", node,
+                             f"importing global-RNG functions {bad} from "
+                             "random")
+            return
+        # for-loop over a set expression: hash-order (PYTHONHASHSEED)
+        it = node.iter
+        is_set = (isinstance(it, (ast.Set, ast.SetComp))
+                  or (isinstance(it, ast.Call)
+                      and isinstance(it.func, ast.Name)
+                      and it.func.id in ("set", "frozenset")))
+        if is_set:
+            self.add("FP107", node.iter,
+                     "iterating a set is hash-order dependent")
+
+    def _check_fp108(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ImportFrom) \
+                    and stmt.module == "__future__" \
+                    and any(a.name == "annotations" for a in stmt.names):
+                return
+        self.add("FP108", None,
+                 "module lacks 'from __future__ import annotations'")
+
+    # -- int-context marking (FP104) ---------------------------------------
+
+    def _mark_int_contexts(self, tree: ast.Module) -> None:
+        if "FP104" not in self.rules:
+            return
+        int_roots: list[ast.AST] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Subscript):
+                int_roots.append(node.slice)
+            elif isinstance(node, ast.Call) and isinstance(node.func,
+                                                           ast.Name) \
+                    and node.func.id in ("range", "len", "divmod", "int",
+                                         "round", "min", "max", "enumerate"):
+                int_roots.extend(node.args)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr,
+                              ast.BitXor, ast.FloorDiv, ast.Mod)):
+                int_roots.extend((node.left, node.right))
+        for root in int_roots:
+            for sub in ast.walk(root):
+                self._int_ctx.add(id(sub))
+
+
+# --------------------------------------------------------------------------
+# public entry points
+
+
+def lint_source(src: str, path: str,
+                rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one in-memory module; ``path`` decides which rules apply."""
+    return sort_findings(
+        _FileLinter(src, path, rules or RULES.values()).run())
+
+
+def lint_file(filename: str | os.PathLike, root: str | os.PathLike) -> \
+        list[Finding]:
+    """Lint one file, reporting paths relative to the repo ``root``."""
+    p = Path(filename)
+    rel = p.resolve().relative_to(Path(root).resolve()).as_posix()
+    return lint_source(p.read_text(encoding="utf-8"), rel)
+
+
+def _iter_py(paths: Iterable[Path]) -> Iterable[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py")
+                              if "__pycache__" not in q.parts)
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str | os.PathLike] | None = None,
+               root: str | os.PathLike = ".") -> list[Finding]:
+    """Lint files/directories (default: :data:`DEFAULT_ROOTS`)."""
+    rootp = Path(root).resolve()
+    if paths is None:
+        paths = [rootp / r for r in DEFAULT_ROOTS]
+    out: list[Finding] = []
+    for f in _iter_py([Path(p) for p in paths]):
+        out.extend(lint_file(f, rootp))
+    return sort_findings(out)

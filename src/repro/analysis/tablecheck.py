@@ -1,0 +1,321 @@
+"""tablecheck — static verifier for the frozen coefficient data modules.
+
+Imports every ``repro.libm.data_float32/*`` and ``data_posit32/*``
+module and checks the structural invariants the runtime silently relies
+on — *without* running the generation pipeline, the oracle or the LP
+solver.  A table that passes tablecheck may still be numerically wrong
+(that is what exhaustive validation is for); a table that fails it will
+definitely misbehave at runtime: an unaddressable sub-domain slot, a
+NaN coefficient, a range-reduction class that no longer exists.
+
+Invariants checked (rule codes TC2xx)
+-------------------------------------
+
+* TC201 — module/DATA shape: ``DATA`` dict present with the exact keys
+  ``function, target, rr_kind, rr_state, approx, stats``; the module
+  name matches ``DATA['function']`` and the package matches the target.
+* TC202 — resolvability: ``target`` in ``serialize.TARGETS_BY_NAME``,
+  ``rr_kind`` in ``serialize._RR_CLASSES``.
+* TC203 — sub-domain addressability: each piecewise table has exactly
+  ``2**index_bits`` polynomial slots, and ``(shift, index_bits)`` select
+  bits that exist in the binary64 pattern (``0 <= shift``,
+  ``shift + index_bits <= 64``) so every shift+mask lookup is defined.
+* TC204 — polynomial structure: non-empty strictly increasing
+  non-negative integer exponents, term count equal to coefficient count.
+* TC205 — coefficients: every one a finite ``float`` that round-trips
+  exactly through ``repr`` (the freezing format's contract).
+* TC206 — rr_state: literal-only value types, required keys present,
+  ``fn_names`` agreeing with the ``approx`` table, every float constant
+  an exactly representable double (finite or ``inf``; NaN never valid —
+  it would poison range reduction through every comparison).
+* TC207 — stats: the GenStats counters present, numeric, non-negative.
+* TC208 — reconstruction: ``serialize.function_from_dict`` rebuilds a
+  runnable object from the frozen dict.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import math
+import pkgutil
+from pathlib import Path
+from types import ModuleType
+from typing import Any
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+
+__all__ = ["DATA_PACKAGES", "check_data", "check_module", "check_package",
+           "run_tablecheck", "load_module_from_path"]
+
+#: The shipped frozen-data packages, in check order.
+DATA_PACKAGES = ("repro.libm.data_float32", "repro.libm.data_posit32")
+
+_DATA_KEYS = frozenset(
+    {"function", "target", "rr_kind", "rr_state", "approx", "stats"})
+_STATS_KEYS = ("gen_time_s", "oracle_time_s", "input_count",
+               "special_count", "reduced_count", "per_fn")
+_RR_STATE_KEYS = ("name", "fn_names", "exponents")
+_LITERAL_TYPES = (float, int, str, bool, tuple, list, dict, type(None))
+
+
+class _Checker:
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def err(self, rule: str, message: str, hint: str = "") -> None:
+        self.findings.append(
+            Finding(self.path, 1, 0, rule, Severity.ERROR, message, hint))
+
+
+def _check_float(c: _Checker, rule: str, where: str, v: Any,
+                 allow_inf: bool = False) -> None:
+    if type(v) is not float:
+        c.err(rule, f"{where}: expected float, got {type(v).__name__} "
+                    f"({v!r})")
+        return
+    if math.isnan(v):
+        c.err(rule, f"{where}: NaN is never a valid frozen constant")
+        return
+    if math.isinf(v):
+        if not allow_inf:
+            c.err(rule, f"{where}: non-finite coefficient {v!r}")
+        return
+    # the exact comparison IS the invariant being verified here
+    if float(repr(v)) != v:  # fplint: disable=FP101
+        c.err(rule, f"{where}: {v!r} does not repr-round-trip")
+
+
+def _check_piecewise(c: _Checker, where: str, pp: Any) -> None:
+    if pp is None:
+        return
+    if not isinstance(pp, dict) or not {"index_bits", "shift",
+                                        "polys"} <= set(pp):
+        c.err("TC203", f"{where}: malformed piecewise dict")
+        return
+    bits, shift, polys = pp["index_bits"], pp["shift"], pp["polys"]
+    if type(bits) is not int or type(shift) is not int:
+        c.err("TC203", f"{where}: index_bits/shift must be ints")
+        return
+    if bits < 0 or shift < 0 or shift + bits > 64:
+        c.err("TC203",
+              f"{where}: (shift={shift}, index_bits={bits}) selects bits "
+              "outside the 64-bit double pattern")
+    if not isinstance(polys, (list, tuple)):
+        c.err("TC203", f"{where}: polys must be a sequence")
+        return
+    if len(polys) != 1 << max(bits, 0):
+        c.err("TC203",
+              f"{where}: {len(polys)} polynomial slots for "
+              f"2**{bits} = {1 << max(bits, 0)} sub-domains — some "
+              "shift+mask lookups would be unaddressable",
+              hint="regenerate the table; every index must resolve")
+    for i, poly in enumerate(polys):
+        pw = f"{where}.polys[{i}]"
+        if not (isinstance(poly, (list, tuple)) and len(poly) == 2):
+            c.err("TC204", f"{pw}: expected (exponents, coefficients) pair")
+            continue
+        exps, coeffs = poly
+        if not isinstance(exps, (list, tuple)) \
+                or not isinstance(coeffs, (list, tuple)):
+            c.err("TC204", f"{pw}: exponents/coefficients must be tuples")
+            continue
+        if not exps:
+            c.err("TC204", f"{pw}: empty polynomial")
+        if len(exps) != len(coeffs):
+            c.err("TC204",
+                  f"{pw}: {len(exps)} exponents vs {len(coeffs)} "
+                  "coefficients")
+        if any(type(e) is not int or e < 0 for e in exps):
+            c.err("TC204", f"{pw}: exponents must be non-negative ints")
+        elif list(exps) != sorted(set(exps)):
+            c.err("TC204",
+                  f"{pw}: exponents {tuple(exps)} not strictly increasing")
+        for j, coeff in enumerate(coeffs):
+            _check_float(c, "TC205", f"{pw}.c[{j}]", coeff)
+
+
+def _check_rr_state_value(c: _Checker, where: str, v: Any) -> None:
+    if isinstance(v, (tuple, list)):
+        for i, item in enumerate(v):
+            _check_rr_state_value(c, f"{where}[{i}]", item)
+    elif isinstance(v, dict):
+        for k, item in v.items():
+            _check_rr_state_value(c, f"{where}[{k!r}]", item)
+    elif isinstance(v, float):
+        # thresholds/results may legitimately be +-inf (overflow results)
+        _check_float(c, "TC206", where, v, allow_inf=True)
+    elif not isinstance(v, _LITERAL_TYPES):
+        c.err("TC206",
+              f"{where}: non-literal type {type(v).__name__} cannot have "
+              "been frozen faithfully")
+
+
+def check_data(data: Any, path: str,
+               expect_function: str | None = None,
+               expect_target: str | None = None) -> list[Finding]:
+    """All structural findings for one frozen DATA dict."""
+    from repro.libm.serialize import _RR_CLASSES, TARGETS_BY_NAME
+
+    c = _Checker(path)
+    if not isinstance(data, dict):
+        c.err("TC201", f"DATA is {type(data).__name__}, not dict")
+        return c.findings
+    missing = _DATA_KEYS - set(data)
+    extra = set(data) - _DATA_KEYS
+    if missing:
+        c.err("TC201", f"DATA missing keys {sorted(missing)}")
+    if extra:
+        c.err("TC201", f"DATA has unknown keys {sorted(extra)}")
+    if missing:
+        return c.findings
+
+    fn, target = data["function"], data["target"]
+    if expect_function is not None and fn != expect_function:
+        c.err("TC201",
+              f"DATA['function'] is {fn!r} but the module is named "
+              f"{expect_function!r}")
+    if expect_target is not None and target != expect_target:
+        c.err("TC201",
+              f"DATA['target'] is {target!r} but the module lives in the "
+              f"{expect_target!r} package")
+    if target not in TARGETS_BY_NAME:
+        c.err("TC202", f"unknown target {target!r}",
+              hint=f"known: {sorted(TARGETS_BY_NAME)}")
+    if data["rr_kind"] not in _RR_CLASSES:
+        c.err("TC202", f"rr_kind {data['rr_kind']!r} not resolvable",
+              hint=f"known: {sorted(_RR_CLASSES)}")
+
+    approx = data["approx"]
+    if not isinstance(approx, dict) or not approx:
+        c.err("TC201", "DATA['approx'] must be a non-empty dict")
+        approx = {}
+    for name, sides in approx.items():
+        if not isinstance(sides, dict) or set(sides) != {"neg", "pos"}:
+            c.err("TC203", f"approx[{name!r}]: expected neg/pos dict")
+            continue
+        if sides["neg"] is None and sides["pos"] is None:
+            c.err("TC203", f"approx[{name!r}]: both sides absent")
+        for side in ("neg", "pos"):
+            _check_piecewise(c, f"approx[{name!r}].{side}", sides[side])
+
+    st = data["rr_state"]
+    if not isinstance(st, dict):
+        c.err("TC206", "DATA['rr_state'] must be a dict")
+    else:
+        for key in _RR_STATE_KEYS:
+            if key not in st:
+                c.err("TC206", f"rr_state missing {key!r}")
+        fn_names = st.get("fn_names")
+        if isinstance(fn_names, (tuple, list)) and approx \
+                and set(fn_names) != set(approx):
+            c.err("TC206",
+                  f"rr_state fn_names {tuple(fn_names)} disagree with "
+                  f"approx table {tuple(sorted(approx))}")
+        for k, v in st.items():
+            _check_rr_state_value(c, f"rr_state[{k!r}]", v)
+
+    stats = data["stats"]
+    if not isinstance(stats, dict):
+        c.err("TC207", "DATA['stats'] must be a dict")
+    else:
+        for key in _STATS_KEYS:
+            if key not in stats:
+                c.err("TC207", f"stats missing {key!r}")
+            elif key != "per_fn":
+                v = stats[key]
+                if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                        or v < 0:
+                    c.err("TC207", f"stats[{key!r}] = {v!r} must be a "
+                                   "non-negative number")
+
+    if not c.findings:
+        from repro.libm.serialize import function_from_dict
+        try:
+            function_from_dict(data)
+        except Exception as e:
+            c.err("TC208",
+                  f"function_from_dict failed to rebuild the function: "
+                  f"{type(e).__name__}: {e}")
+    return c.findings
+
+
+def check_module(mod: ModuleType) -> list[Finding]:
+    """Check one imported data module (expects a module-level ``DATA``)."""
+    path = getattr(mod, "__file__", None) or mod.__name__
+    short = mod.__name__.rsplit(".", 1)[-1]
+    pkg = mod.__name__.rsplit(".", 2)[-2] if "." in mod.__name__ else ""
+    target = pkg.removeprefix("data_") if pkg.startswith("data_") else None
+    if not hasattr(mod, "DATA"):
+        return [Finding(path, 1, 0, "TC201", Severity.ERROR,
+                        "module has no DATA constant", "")]
+    return check_data(mod.DATA, path, expect_function=short,
+                      expect_target=target)
+
+
+def load_module_from_path(path: str | Path) -> ModuleType:
+    """Import a data module straight from a file (for fixtures/CLI args)."""
+    p = Path(path)
+    spec = importlib.util.spec_from_file_location(p.stem, p)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {p}")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def check_package(pkg_name: str) -> tuple[int, list[Finding]]:
+    """Check every data module of one package; (module count, findings)."""
+    findings: list[Finding] = []
+    try:
+        pkg = importlib.import_module(pkg_name)
+    except Exception as e:
+        return 0, [Finding(pkg_name, 1, 0, "TC201", Severity.ERROR,
+                           f"cannot import package: {e}", "")]
+    n = 0
+    for info in sorted(pkgutil.iter_modules(pkg.__path__),
+                       key=lambda i: i.name):
+        if info.ispkg:
+            continue
+        n += 1
+        full = f"{pkg_name}.{info.name}"
+        try:
+            mod = importlib.import_module(full)
+        except Exception as e:
+            findings.append(Finding(full, 1, 0, "TC201", Severity.ERROR,
+                                    f"cannot import module: "
+                                    f"{type(e).__name__}: {e}", ""))
+            continue
+        findings.extend(check_module(mod))
+    return n, findings
+
+
+def run_tablecheck(packages: tuple[str, ...] = DATA_PACKAGES,
+                   extra_paths: tuple[str, ...] = ()) -> \
+        tuple[int, list[Finding]]:
+    """Check all shipped data packages (+ any extra module files)."""
+    total = 0
+    findings: list[Finding] = []
+    for pkg in packages:
+        n, fs = check_package(pkg)
+        total += n
+        findings.extend(fs)
+    for path in extra_paths:
+        total += 1
+        try:
+            mod = load_module_from_path(path)
+        except Exception as e:
+            findings.append(Finding(str(path), 1, 0, "TC201",
+                                    Severity.ERROR,
+                                    f"cannot import module: "
+                                    f"{type(e).__name__}: {e}", ""))
+            continue
+        if not hasattr(mod, "DATA"):
+            findings.append(Finding(str(path), 1, 0, "TC201",
+                                    Severity.ERROR,
+                                    "module has no DATA constant", ""))
+        else:
+            # standalone files carry no package context; skip name checks
+            findings.extend(check_data(mod.DATA, str(path)))
+    return total, sort_findings(findings)

@@ -1,5 +1,7 @@
 """Baseline math libraries: Remez mini-max substrate + library stand-ins."""
 
+from __future__ import annotations
+
 from repro.baselines.base import BaselineLibrary, limit_case
 from repro.baselines.crlibm_like import CRLibmLike
 from repro.baselines.float_libm import Float32Libm

@@ -1,5 +1,7 @@
 """The RLIBM-32 pipeline: intervals, reduced intervals, CEG polynomials."""
 
+from __future__ import annotations
+
 from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
 from repro.core.generator import (FunctionSpec, GeneratedFunction, GenerationError,
                                   GenStats, generate)

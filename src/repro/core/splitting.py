@@ -54,7 +54,8 @@ def split_domain(constraints: Sequence[LinearConstraint], index_bits: int) -> Do
     """
     if index_bits < 0:
         raise ValueError("index_bits must be non-negative")
-    nonzero = [double_to_bits(c.r) for c in constraints if c.r != 0.0]
+    nonzero = [double_to_bits(c.r) for c in constraints
+               if c.r != 0.0]  # fplint: disable=FP101 (exact zero test)
     if not nonzero:
         # only r == 0 (or nothing): a single trivial group
         return DomainSplit(64, 0, 0, (tuple(constraints),))

@@ -1,5 +1,7 @@
 """Evaluation harness: correctness audits, timing, hard cases, sweeps."""
 
+from __future__ import annotations
+
 from repro.eval.correctness import (CorrectnessRow, audit_function, build_pool,
                                     render_rows)
 from repro.eval.hardcases import boundary_distance, mine_hard_cases

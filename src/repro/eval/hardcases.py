@@ -17,6 +17,7 @@ sample.  Our sampled 32-bit pipeline mines them explicitly instead:
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -51,7 +52,7 @@ def boundary_distance(
     q = (lo_br + hi_br) / 2
     y_bits = fmt.from_fraction(q)
     iv = target_rounding_interval(fmt, y_bits)
-    if iv.lo == float("-inf") or iv.hi == float("inf"):
+    if math.isinf(iv.lo) or math.isinf(iv.hi):
         return 0.5
     lo, hi = Fraction(iv.lo), Fraction(iv.hi)
     width = hi - lo

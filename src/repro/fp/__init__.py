@@ -1,5 +1,7 @@
 """Floating point substrate: bit tricks, parametric formats, rounding intervals."""
 
+from __future__ import annotations
+
 from repro.fp.bits import (
     advance_double,
     bits_to_double,

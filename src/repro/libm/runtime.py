@@ -16,7 +16,7 @@ from repro.core.generator import GeneratedFunction
 from repro.libm.serialize import function_from_dict
 from repro.obs import metrics
 
-__all__ = ["load", "available", "instrument",
+__all__ = ["load", "available", "clear_cache", "instrument",
            "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
 
 #: The ten float32 functions of the paper's prototype.
@@ -44,16 +44,46 @@ def _module_name(target: str, fn_name: str) -> str:
     return f"repro.libm.data_{target}.{fn_name}"
 
 
+def clear_cache() -> None:
+    """Drop every cached GeneratedFunction.
+
+    The next :func:`load` re-reads the frozen data modules — needed
+    after regenerating tables in-place (``python -m repro generate``)
+    or when tests monkeypatch a data module.  Note that re-reading also
+    requires the *module* to be fresh (``importlib.reload`` or a
+    ``sys.modules`` purge); this only clears the layer above.
+    """
+    _cache.clear()
+
+
+def _import_data(target: str, fn_name: str):
+    """The frozen data module, None when it is genuinely not shipped.
+
+    Distinguishes "module missing" (→ None: the table was simply never
+    generated) from "module broken" (an ImportError raised *inside* an
+    existing data module — corrupt freeze, renamed dependency), which
+    propagates: treating a broken table as not-shipped would silently
+    shrink the library.
+    """
+    name = _module_name(target, fn_name)
+    try:
+        return importlib.import_module(name)
+    except ModuleNotFoundError as e:
+        # e.name is the *innermost* missing module: the data module
+        # itself, or — for a never-generated target — its package.
+        if e.name and (e.name == name or name.startswith(e.name + ".")):
+            return None
+        raise
+
+
 def available(target: str = "float32") -> list[str]:
-    """Function names with frozen data for this target."""
-    out = []
-    for name in functions_for(target):
-        try:
-            importlib.import_module(_module_name(target, name))
-        except ImportError:
-            continue
-        out.append(name)
-    return out
+    """Function names with frozen data for this target.
+
+    A data module that exists but fails to import raises (see
+    :func:`_import_data`) rather than being reported as unavailable.
+    """
+    return [name for name in functions_for(target)
+            if _import_data(target, name) is not None]
 
 
 def load(fn_name: str, target: str = "float32",
@@ -71,12 +101,11 @@ def load(fn_name: str, target: str = "float32",
         if target not in KNOWN_TARGETS:
             raise ValueError(f"unknown target {target!r}; "
                              f"expected one of {sorted(KNOWN_TARGETS)}")
-        try:
-            mod = importlib.import_module(_module_name(target, fn_name))
-        except ImportError:
+        mod = _import_data(target, fn_name)
+        if mod is None:
             raise LookupError(
                 f"no frozen data for {fn_name}/{target}; generate it with "
-                f"'python -m repro generate --target {target}'") from None
+                f"'python -m repro generate --target {target}'")
         fn = function_from_dict(mod.DATA)
         _cache[key] = fn
     if instrumented:

@@ -16,6 +16,8 @@ coefficient tables.
 
 from __future__ import annotations
 
+import ast
+import math
 import pprint
 from typing import Any
 
@@ -143,10 +145,59 @@ def function_from_dict(data: dict[str, Any]) -> GeneratedFunction:
     return GeneratedFunction(spec, approx, stats)
 
 
+def _deep_equal(a: Any, b: Any) -> bool:
+    """Structural equality where NaN equals NaN (frozen-data fidelity)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return (a.keys() == b.keys()
+                and all(_deep_equal(v, b[k]) for k, v in a.items()))
+    if isinstance(a, (list, tuple)):
+        return (len(a) == len(b)
+                and all(_deep_equal(x, y) for x, y in zip(a, b)))
+    return a == b
+
+
+def _verify_rendered(source: str, data: dict[str, Any]) -> None:
+    """Freeze-time guard: the rendered module must re-read losslessly.
+
+    Two checks, so :mod:`repro.analysis.tablecheck` can never fail on
+    freshly generated data:
+
+    * every non-finite double appears only through the named ``inf`` /
+      ``nan`` module constants — no float *literal* in the rendered
+      source may be non-finite (a ``1e999``-style overflow would parse
+      equal to ``inf`` and hide a formatting bug);
+    * executing the rendered source reproduces ``data`` exactly —
+      i.e. every emitted float literal round-trips through ``repr`` to
+      the identical double, and no structure is lost.
+    """
+    for node in ast.walk(ast.parse(source)):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float) \
+                and not math.isfinite(node.value):
+            raise ValueError(
+                f"render_module: non-finite float literal at line "
+                f"{node.lineno}; inf/nan must use the named constants")
+    ns: dict[str, Any] = {}
+    exec(compile(source, "<render_module>", "exec"), ns)
+    if not _deep_equal(ns["DATA"], data):
+        raise ValueError(
+            "render_module: rendered source does not round-trip the "
+            "frozen data (a literal failed repr round-trip or structure "
+            "was lost)")
+
+
 def render_module(data: dict[str, Any]) -> str:
-    """Render the frozen data as a Python source module."""
+    """Render the frozen data as a Python source module.
+
+    The result is verified before it is returned (see
+    :func:`_verify_rendered`): rendering that would freeze a table the
+    static verifier rejects raises instead of writing bad data.
+    """
     body = pprint.pformat(data, width=100, sort_dicts=True)
-    return (
+    source = (
         f'"""Generated coefficient data for {data["function"]} '
         f'({data["target"]}).\n\nProduced by the RLIBM-32 pipeline '
         '(tools/generate_*.py); do not edit by hand.\n"""\n\n'
@@ -156,3 +207,5 @@ def render_module(data: dict[str, Any]) -> str:
         "nan = math.nan\n\n"
         f"DATA = {body}\n"
     )
+    _verify_rendered(source, data)
+    return source

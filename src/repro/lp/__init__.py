@@ -1,5 +1,7 @@
 """Linear programming substrate: exact rational simplex + HiGHS front end."""
 
+from __future__ import annotations
+
 from repro.lp.rational_simplex import LPResult, LPStatus, solve_lp_exact
 from repro.lp.solver import FitResult, LinearConstraint, fit_coefficients
 

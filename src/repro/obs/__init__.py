@@ -17,6 +17,8 @@ opt-in, to keep the shipped hot path untouched — the libm runtime via
 :func:`repro.libm.runtime.instrument`.
 """
 
+from __future__ import annotations
+
 from repro.obs.events import (NOOP_SPAN, configure_from_env, disable, enable,
                               enabled, event, span, timed_span)
 from repro.obs import metrics

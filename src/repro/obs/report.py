@@ -19,10 +19,37 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 __all__ = ["load_trace", "summarize", "render_summary", "render_tree",
-           "render_metrics"]
+           "render_metrics", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str | None = None, footer: str | None = None,
+                 aligns: str | None = None) -> str:
+    """Monospace table with auto-sized columns.
+
+    ``aligns`` is one ``l``/``r`` per column (default: first column left,
+    the rest right — the shape of every report in this package).  Shared
+    by the trace reports here and the ``repro lint`` summaries.
+    """
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(str(h)), *(len(r[i]) for r in srows))
+              if srows else len(str(h)) for i, h in enumerate(headers)]
+    aligns = aligns or "l" + "r" * (len(widths) - 1)
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " ".join(
+            c.ljust(w) if a == "l" else c.rjust(w)
+            for c, w, a in zip(cells, widths, aligns)).rstrip()
+
+    header = fmt([str(h) for h in headers])
+    lines = ([title] if title else []) + [header, "-" * len(header)]
+    lines.extend(fmt(r) for r in srows)
+    if footer:
+        lines += ["", footer]
+    return "\n".join(lines) + "\n"
 
 #: Span names that constitute the generator's phase accounting.
 PHASES = ("oracle", "reduced", "piecewise")
@@ -142,30 +169,25 @@ def render_summary(summary: dict[str, Any],
                    title: str = "trace summary") -> str:
     """Table-3-style per-function report from a trace summary."""
     per_fn = summary["functions"]
-    out = [title]
     if not per_fn:
-        out.append("(no generation spans in trace)")
-        return "\n".join(out) + "\n"
-    hdr = (f"{'f(x)':10s} {'gen(s)':>8s} {'oracle(s)':>10s} "
-           f"{'reduce(s)':>10s} {'piece(s)':>9s} {'ceg-it':>7s} "
-           f"{'sample':>7s} {'lp-calls':>9s} {'lp-rows':>8s} {'exact':>6s}")
-    out.append(hdr)
-    out.append("-" * len(hdr))
+        return f"{title}\n(no generation spans in trace)\n"
+    rows = []
     for fn in sorted(per_fn):
         s = per_fn[fn]
         ph = s["phase_s"]
-        out.append(
-            f"{fn:10s} {s['gen_s']:>8.2f} {ph.get('oracle', 0.0):>10.2f} "
-            f"{ph.get('reduced', 0.0):>10.2f} "
-            f"{ph.get('piecewise', 0.0):>9.2f} {s['ceg_rounds']:>7d} "
-            f"{s['ceg_max_sample']:>7d} {s['lp_solves']:>9d} "
-            f"{s['lp_max_rows']:>8d} {s['lp_exact']:>6d}")
-    out.append("")
-    out.append("(gen = wall time of the generate() span; ceg-it = counter-"
+        rows.append([fn, f"{s['gen_s']:.2f}",
+                     f"{ph.get('oracle', 0.0):.2f}",
+                     f"{ph.get('reduced', 0.0):.2f}",
+                     f"{ph.get('piecewise', 0.0):.2f}",
+                     s["ceg_rounds"], s["ceg_max_sample"], s["lp_solves"],
+                     s["lp_max_rows"], s["lp_exact"]])
+    return format_table(
+        ["f(x)", "gen(s)", "oracle(s)", "reduce(s)", "piece(s)", "ceg-it",
+         "sample", "lp-calls", "lp-rows", "exact"], rows, title=title,
+        footer="(gen = wall time of the generate() span; ceg-it = counter-"
                "example rounds; sample = largest CEG sample; lp-rows = "
                "largest LP constraint matrix; exact = rational-simplex "
                "fallbacks)")
-    return "\n".join(out) + "\n"
 
 
 def render_tree(events: list[dict[str, Any]],

@@ -1,5 +1,7 @@
 """Correctly rounded oracle (mpmath-backed MPFR substitute)."""
 
+from __future__ import annotations
+
 from repro.oracle.functions import FUNCTIONS, FunctionDef, get_function
 from repro.oracle.mpmath_oracle import Oracle, OracleError, default_oracle, mpf_to_fraction
 

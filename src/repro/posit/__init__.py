@@ -1,5 +1,7 @@
 """Posit arithmetic substrate (posit8/16/32 codecs and rounding intervals)."""
 
+from __future__ import annotations
+
 from repro.posit.format import POSIT8, POSIT16, POSIT32, PositFormat, posit_rounding_interval
 
 __all__ = ["POSIT8", "POSIT16", "POSIT32", "PositFormat", "posit_rounding_interval"]

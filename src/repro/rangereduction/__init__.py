@@ -1,5 +1,7 @@
 """Range reductions and output compensations for every library function."""
 
+from __future__ import annotations
+
 from repro.core.intervals import TargetFormat
 from repro.rangereduction.base import RangeReduction, RangeReductionError, Reduced
 from repro.rangereduction.exp import ExpReduction

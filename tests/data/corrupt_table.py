@@ -1,0 +1,51 @@
+"""A deliberately corrupted frozen-data module (tablecheck fixture).
+
+Every block below violates one invariant the static verifier encodes;
+``tests/test_analysis_tablecheck.py`` asserts each corresponding rule
+fires.  Never import this from library code.
+"""
+
+import math
+
+inf = math.inf
+nan = math.nan
+
+DATA = {
+    'approx': {
+        # wrong reduced-function name (rr_state says fn_names=('exp',))
+        'expp': {
+            'neg': {
+                'index_bits': 2,
+                'shift': 60,
+                # TC203: 3 slots for 2**2 = 4 sub-domains
+                'polys': [((0, 1), (1.0, 0.5)),
+                          ((0, 1), (1.0, 0.25)),
+                          # TC204: 2 exponents vs 1 coefficient
+                          ((0, 1), (1.0,))],
+            },
+            'pos': {
+                # TC203: shift + index_bits = 70 > 64
+                'index_bits': 10,
+                'shift': 60,
+                'polys': [((0,), (float('nan'),))] * 1024,  # TC205: NaN
+            },
+        },
+    },
+    'function': 'exp',
+    'rr_kind': 'fourier',  # TC202: not a known range reduction
+    'rr_state': {
+        '_c': nan,  # TC206: NaN rr constant
+        'exponents': ((0, 1),),
+        'fn_names': ('exp',),
+        'name': 'exp',
+    },
+    'stats': {
+        'gen_time_s': -1.0,  # TC207: negative counter
+        'oracle_time_s': 0.0,
+        'input_count': 10,
+        'special_count': 2,
+        'reduced_count': 8,
+        'per_fn': {},
+    },
+    'target': 'float32',
+}

@@ -1,0 +1,105 @@
+"""The ``python -m repro lint`` / ``repro-lint`` CLI and baseline flow."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.analysis.cli import main as lint_main
+
+pytestmark = pytest.mark.lint
+
+REPO = Path(__file__).resolve().parent.parent
+CORRUPT = REPO / "tests" / "data" / "corrupt_table.py"
+
+
+def test_repo_is_clean_via_module_cli(capsys):
+    """The acceptance criterion: repo at HEAD lints clean, exit 0."""
+    assert repro_main(["lint", "--root", str(REPO)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_format(capsys):
+    rc = lint_main(["--root", str(REPO), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["data_modules_checked"] == 18
+
+
+def test_corrupt_table_fails(capsys):
+    rc = lint_main(["--root", str(REPO), "--no-fplint",
+                    "--table", str(CORRUPT), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["ok"] is False
+    assert any(f["rule"].startswith("TC") for f in payload["findings"])
+
+
+def _write_bad_module(root: Path) -> Path:
+    pkg = root / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    bad = pkg / "bad.py"
+    bad.write_text("from __future__ import annotations\n"
+                   "import random\nrandom.shuffle([1])\n")
+    return bad
+
+
+class TestBaselineFlow:
+    def test_grandfather_then_regress(self, tmp_path, capsys):
+        bad = _write_bad_module(tmp_path)
+        args = ["--root", str(tmp_path), "--no-tablecheck", str(bad)]
+        assert lint_main(args) == 1  # fresh violation fails
+
+        assert lint_main([*args, "--write-baseline"]) == 0
+        baseline = tmp_path / "tools" / "fplint_baseline.json"
+        assert baseline.exists()
+        capsys.readouterr()
+
+        assert lint_main(args) == 0  # grandfathered
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+        # a *new* violation on another line still fails
+        bad.write_text(bad.read_text() + "random.choice([1])\n")
+        assert lint_main(args) == 1
+
+    def test_stale_entries_reported(self, tmp_path, capsys):
+        bad = _write_bad_module(tmp_path)
+        args = ["--root", str(tmp_path), "--no-tablecheck", str(bad)]
+        lint_main([*args, "--write-baseline"])
+        bad.write_text("from __future__ import annotations\n")  # fixed
+        capsys.readouterr()
+        assert lint_main(args) == 0
+        assert "stale baseline" in capsys.readouterr().out
+
+    def test_no_baseline_flag(self, tmp_path, capsys):
+        bad = _write_bad_module(tmp_path)
+        args = ["--root", str(tmp_path), "--no-tablecheck", str(bad)]
+        lint_main([*args, "--write-baseline"])
+        capsys.readouterr()
+        assert lint_main([*args, "--no-baseline"]) == 1
+
+
+def test_text_report_shape(tmp_path, capsys):
+    bad = _write_bad_module(tmp_path)
+    rc = lint_main(["--root", str(tmp_path), "--no-tablecheck", str(bad)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FP107" in out and "hint:" in out
+    # the per-rule summary table comes from obs.report.format_table
+    assert "rule" in out and "count" in out
+
+
+def test_tools_run_lint_gate():
+    """The CI gate mirrors the CLI: import it and run its main()."""
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "run_lint", REPO / "tools" / "run_lint.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert mod.main([]) == 0

@@ -1,0 +1,282 @@
+"""Rule-by-rule fixtures for the fplint engine.
+
+Every rule gets (at least) a positive snippet that must fire and the
+same snippet with a ``# fplint: disable=FPxxx`` suppression that must
+not; scoping tests pin down where each rule does *not* apply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import RULES, lint_source
+
+pytestmark = pytest.mark.lint
+
+#: Paths that put a snippet inside each rule's scope.
+CORE = "src/repro/core/fake.py"
+LIBM = "src/repro/libm/fake.py"
+RR = "src/repro/rangereduction/fake.py"
+
+
+def codes(src: str, path: str) -> list[str]:
+    return [f.rule for f in lint_source(src, path)]
+
+
+def only(src: str, path: str, rule: str) -> list[str]:
+    """Findings for one rule (FP108 fires on every header-less snippet)."""
+    return [c for c in codes(src, path) if c == rule]
+
+
+HEADER = "from __future__ import annotations\n"
+
+
+class TestFP100:
+    def test_syntax_error_is_a_finding(self):
+        assert codes("def f(:\n", CORE) == ["FP100"]
+
+
+class TestFP101:
+    def test_float_equality_fires(self):
+        src = HEADER + "def f(x: float):\n    return x == 1.5\n"
+        assert only(src, LIBM, "FP101")
+
+    def test_not_equal_fires(self):
+        src = HEADER + "def f(x: float):\n    return 0.0 != x\n"
+        assert only(src, LIBM, "FP101")
+
+    def test_math_call_comparand_fires(self):
+        src = HEADER + "import math\nok = math.sqrt(2.0) == y\n"
+        assert only(src, LIBM, "FP101")
+
+    def test_int_comparison_clean(self):
+        src = HEADER + "def f(n):\n    return n == 1\n"
+        assert not only(src, LIBM, "FP101")
+
+    def test_ordering_comparison_clean(self):
+        src = HEADER + "def f(x: float):\n    return x < 1.5\n"
+        assert not only(src, LIBM, "FP101")
+
+    def test_suppressed(self):
+        src = HEADER + ("def f(x: float):\n"
+                        "    return x == 1.5  # fplint: disable=FP101\n")
+        assert not only(src, LIBM, "FP101")
+
+    def test_exact_comparison_modules_exempt(self):
+        src = HEADER + "def f(x: float):\n    return x == 1.5\n"
+        for path in ("src/repro/fp/bits.py", "src/repro/oracle/fns.py",
+                     "src/repro/rangereduction/exp.py"):
+            assert not only(src, path, "FP101")
+
+
+class TestFP102:
+    def test_transcendental_fires(self):
+        src = HEADER + "import math\ny = math.exp(1.0)\n"
+        assert only(src, RR, "FP102")
+
+    def test_structural_math_clean(self):
+        src = HEADER + ("import math\n"
+                        "a = math.ldexp(1.0, 3)\n"
+                        "b = math.isnan(0.0)\n"
+                        "c = math.frexp(1.5)\n")
+        assert not only(src, RR, "FP102")
+
+    def test_out_of_scope_clean(self):
+        src = HEADER + "import math\ny = math.exp(1.0)\n"
+        assert not only(src, "src/repro/oracle/fns.py", "FP102")
+
+    def test_suppressed(self):
+        src = HEADER + ("import math\n"
+                        "y = math.exp(1.0)  # fplint: disable=FP102\n")
+        assert not only(src, RR, "FP102")
+
+
+class TestFP103:
+    def test_overprecise_literal_fires(self):
+        # written decimal is not the double the program gets
+        src = HEADER + "c = 0.16553125613051173123456789\n"
+        assert only(src, CORE, "FP103")
+
+    def test_truncating_literal_fires(self):
+        src = HEADER + "c = 88.722839355468751\n"  # parses to ...75
+        assert only(src, CORE, "FP103")
+
+    def test_overflowing_literal_fires(self):
+        src = HEADER + "c = 1e999\n"
+        assert only(src, CORE, "FP103")
+
+    def test_shortest_repr_clean(self):
+        src = HEADER + ("a = 0.1\nb = 1.5e-7\nc = 0.16553125613051173\n"
+                        "d = 2.0\ne = 1e10\n")
+        assert not only(src, CORE, "FP103")
+
+    def test_trailing_zeros_clean(self):
+        # same decimal value, just written longer — round-trips exactly
+        src = HEADER + "a = 0.5000\n"
+        assert not only(src, CORE, "FP103")
+
+    def test_suppressed(self):
+        src = HEADER + "c = 88.722839355468751  # fplint: disable=FP103\n"
+        assert not only(src, CORE, "FP103")
+
+
+class TestFP104:
+    def test_int_literal_with_float_param_fires(self):
+        src = HEADER + "def f(x: float):\n    return x * 2 + 1.0\n"
+        assert only(src, RR, "FP104")
+
+    def test_int_literal_with_tracked_float_fires(self):
+        src = HEADER + ("def f(x: float):\n"
+                        "    y = x * 0.5\n"
+                        "    return y + 1\n")
+        assert only(src, RR, "FP104")
+
+    def test_pure_int_arithmetic_clean(self):
+        src = HEADER + ("import math\n"
+                        "def f(x: float):\n"
+                        "    m, e2 = math.frexp(x)\n"
+                        "    e = e2 - 1\n"
+                        "    return e\n")
+        assert not only(src, RR, "FP104")
+
+    def test_index_context_clean(self):
+        src = HEADER + ("def f(x: float, tab):\n"
+                        "    j = int(x * 64.0)\n"
+                        "    return tab[j + 1]\n")
+        assert not only(src, RR, "FP104")
+
+    def test_out_of_scope_clean(self):
+        src = HEADER + "def f(x: float):\n    return x * 2\n"
+        assert not only(src, "src/repro/eval/fake.py", "FP104")
+
+    def test_suppressed(self):
+        src = HEADER + ("def f(x: float):\n"
+                        "    return x * 2  # fplint: disable=FP104\n")
+        assert not only(src, RR, "FP104")
+
+
+class TestFP105:
+    def test_subscript_assignment_fires(self):
+        src = HEADER + "DATA['approx'] = {}\n"
+        assert only(src, LIBM, "FP105")
+
+    def test_attribute_chain_fires(self):
+        src = HEADER + "mod.DATA['rr_state']['_c'] = 0.5\n"
+        assert only(src, LIBM, "FP105")
+
+    def test_mutating_method_fires(self):
+        src = HEADER + "mod.DATA.update({})\n"
+        assert only(src, LIBM, "FP105")
+
+    def test_nested_list_mutation_fires(self):
+        src = HEADER + "DATA['approx']['exp']['polys'].append(p)\n"
+        assert only(src, LIBM, "FP105")
+
+    def test_del_fires(self):
+        src = HEADER + "del DATA['stats']\n"
+        assert only(src, LIBM, "FP105")
+
+    def test_reading_clean(self):
+        src = HEADER + "st = mod.DATA['stats']\nx = DATA.get('approx')\n"
+        assert not only(src, LIBM, "FP105")
+
+    def test_other_names_clean(self):
+        src = HEADER + "cfg['a'] = 1\ncfg.update({})\n"
+        assert not only(src, LIBM, "FP105")
+
+    def test_suppressed(self):
+        src = HEADER + "DATA['x'] = 1  # fplint: disable=FP105\n"
+        assert not only(src, LIBM, "FP105")
+
+
+class TestFP106:
+    def test_bare_except_fires(self):
+        src = HEADER + ("try:\n    f()\nexcept:\n    raise\n")
+        assert only(src, CORE, "FP106")
+
+    def test_swallowed_fires(self):
+        src = HEADER + ("try:\n    f()\nexcept ValueError:\n    pass\n")
+        assert only(src, CORE, "FP106")
+
+    def test_handled_clean(self):
+        src = HEADER + ("try:\n    f()\nexcept ValueError as e:\n"
+                        "    log(e)\n")
+        assert not only(src, CORE, "FP106")
+
+    def test_out_of_scope_clean(self):
+        src = HEADER + ("try:\n    f()\nexcept ValueError:\n    pass\n")
+        assert not only(src, LIBM, "FP106")
+
+    def test_suppressed(self):
+        src = HEADER + ("try:\n    f()\n"
+                        "except ValueError:  # fplint: disable=FP106\n"
+                        "    pass\n")
+        assert not only(src, CORE, "FP106")
+
+
+class TestFP107:
+    def test_global_rng_fires(self):
+        src = HEADER + "import random\nrandom.shuffle(xs)\n"
+        assert only(src, CORE, "FP107")
+
+    def test_global_rng_import_fires(self):
+        src = HEADER + "from random import shuffle\n"
+        assert only(src, CORE, "FP107")
+
+    def test_wall_clock_fires(self):
+        src = HEADER + "import time\nseed = time.time()\n"
+        assert only(src, CORE, "FP107")
+
+    def test_set_iteration_fires(self):
+        src = HEADER + "for x in set(names):\n    use(x)\n"
+        assert only(src, CORE, "FP107")
+
+    def test_seeded_rng_clean(self):
+        src = HEADER + ("import random\nimport time\n"
+                        "rng = random.Random(2021)\n"
+                        "v = rng.random()\n"
+                        "t0 = time.perf_counter()\n"
+                        "for x in sorted(set(names)):\n    use(x)\n")
+        assert not only(src, CORE, "FP107")
+
+    def test_suppressed(self):
+        src = HEADER + ("import random\n"
+                        "random.shuffle(xs)  # fplint: disable=FP107\n")
+        assert not only(src, CORE, "FP107")
+
+
+class TestFP108:
+    def test_missing_future_import_fires(self):
+        assert only("x = 1\n", CORE, "FP108")
+
+    def test_present_clean(self):
+        assert not only(HEADER + "x = 1\n", CORE, "FP108")
+
+    def test_generated_data_modules_exempt(self):
+        path = "src/repro/libm/data_float32/exp.py"
+        assert not only("DATA = {}\n", path, "FP108")
+
+    def test_suppressed(self):
+        src = "x = 1  # fplint: disable=FP108\n"
+        # the module-level finding lands on line 1
+        assert not only(src, CORE, "FP108")
+
+
+class TestInfrastructure:
+    def test_every_rule_has_fixit_hint(self):
+        for rule in RULES.values():
+            assert rule.hint, rule.code
+            assert rule.severity in ("error", "warning")
+
+    def test_multi_code_suppression(self):
+        src = HEADER + ("import math\n"
+                        "y = math.exp(2.0) == x"
+                        "  # fplint: disable=FP101, FP102\n")
+        assert codes(src, LIBM) == []
+
+    def test_findings_carry_location_and_hint(self):
+        src = HEADER + "DATA['x'] = 1\n"
+        (f,) = lint_source(src, LIBM)
+        assert (f.rule, f.line) == ("FP105", 2)
+        assert f.hint and f.path == LIBM
+        assert "path" in f.to_dict() and f.key.count(":") == 2

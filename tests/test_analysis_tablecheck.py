@@ -1,0 +1,135 @@
+"""tablecheck: the shipped tables pass, corrupted tables fail."""
+
+from __future__ import annotations
+
+import copy
+import importlib
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_data, run_tablecheck
+from repro.analysis.tablecheck import DATA_PACKAGES, check_package
+from repro.libm.runtime import FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS
+
+pytestmark = pytest.mark.lint
+
+CORRUPT = Path(__file__).parent / "data" / "corrupt_table.py"
+
+
+@pytest.fixture()
+def exp_data():
+    """A mutable deep copy of the shipped float32 exp table."""
+    mod = importlib.import_module("repro.libm.data_float32.exp")
+    return copy.deepcopy(mod.DATA)
+
+
+class TestShippedTables:
+    def test_all_shipped_modules_pass(self):
+        t0 = time.perf_counter()
+        n, findings = run_tablecheck()
+        elapsed = time.perf_counter() - t0
+        assert findings == []
+        assert n == len(FLOAT32_FUNCTIONS) + len(POSIT32_FUNCTIONS) == 18
+        # acceptance bound from ISSUE 2; typically well under a second
+        assert elapsed < 5.0
+
+    def test_per_package_counts(self):
+        n32, f32 = check_package(DATA_PACKAGES[0])
+        np32, fp32 = check_package(DATA_PACKAGES[1])
+        assert (n32, np32) == (10, 8)
+        assert f32 == [] and fp32 == []
+
+
+class TestCorruptedFixture:
+    def test_fixture_fails_with_expected_rules(self):
+        n, findings = run_tablecheck(packages=(),
+                                     extra_paths=(str(CORRUPT),))
+        assert n == 1 and findings
+        rules = {f.rule for f in findings}
+        assert {"TC202", "TC203", "TC204", "TC205",
+                "TC206", "TC207"} <= rules
+
+    def test_missing_file_reported(self):
+        _, findings = run_tablecheck(packages=(),
+                                     extra_paths=("nope/missing.py",))
+        assert [f.rule for f in findings] == ["TC201"]
+
+
+class TestCheckData:
+    """Single-invariant corruptions of a real shipped table."""
+
+    def test_clean_copy_passes(self, exp_data):
+        assert check_data(exp_data, "exp.py") == []
+
+    def test_unaddressable_slot(self, exp_data):
+        exp_data["approx"]["exp"]["pos"]["polys"].append(
+            exp_data["approx"]["exp"]["pos"]["polys"][0])
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC203" in rules
+
+    def test_shift_outside_double_layout(self, exp_data):
+        exp_data["approx"]["exp"]["neg"]["shift"] = 65
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC203" in rules
+
+    def test_length_mismatch(self, exp_data):
+        e, c = exp_data["approx"]["exp"]["neg"]["polys"][0]
+        exp_data["approx"]["exp"]["neg"]["polys"][0] = (e, c[:-1])
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC204" in rules
+
+    def test_nonfinite_coefficient(self, exp_data):
+        e, c = exp_data["approx"]["exp"]["neg"]["polys"][0]
+        exp_data["approx"]["exp"]["neg"]["polys"][0] = \
+            (e, (float("inf"),) + c[1:])
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC205" in rules
+
+    def test_non_float_coefficient(self, exp_data):
+        e, c = exp_data["approx"]["exp"]["neg"]["polys"][0]
+        exp_data["approx"]["exp"]["neg"]["polys"][0] = (e, (1,) + c[1:])
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC205" in rules
+
+    def test_unknown_rr_kind(self, exp_data):
+        exp_data["rr_kind"] = "chebyshev"
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC202" in rules
+
+    def test_unknown_target(self, exp_data):
+        exp_data["target"] = "float128"
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC202" in rules
+
+    def test_nan_rr_constant(self, exp_data):
+        exp_data["rr_state"]["_c"] = float("nan")
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC206" in rules
+
+    def test_inf_threshold_is_legitimate(self, exp_data):
+        # _hi_result of float32 exp IS +inf in the shipped table
+        assert exp_data["rr_state"]["_hi_result"] == float("inf")
+        assert check_data(exp_data, "exp.py") == []
+
+    def test_fn_names_approx_mismatch(self, exp_data):
+        exp_data["approx"]["expp"] = exp_data["approx"].pop("exp")
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC206" in rules
+
+    def test_missing_key(self, exp_data):
+        del exp_data["rr_state"]
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert rules == {"TC201"}
+
+    def test_stats_negative(self, exp_data):
+        exp_data["stats"]["input_count"] = -5
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC207" in rules
+
+    def test_name_expectations(self, exp_data):
+        rules = {f.rule for f in check_data(exp_data, "exp.py",
+                                            expect_function="ln",
+                                            expect_target="posit32")}
+        assert "TC201" in rules

@@ -1,0 +1,96 @@
+"""The frozen-data loader: cache API and missing-vs-broken modules."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.libm import runtime
+
+
+@pytest.fixture()
+def fresh_cache():
+    runtime.clear_cache()
+    yield
+    runtime.clear_cache()
+
+
+class TestClearCache:
+    def test_cache_reuse_and_clear(self, fresh_cache):
+        a = runtime.load("exp", "float32")
+        assert runtime.load("exp", "float32") is a
+        runtime.clear_cache()
+        b = runtime.load("exp", "float32")
+        assert b is not a
+        # both rebuilt from the same frozen data
+        assert b.evaluate(1.0) == a.evaluate(1.0)
+
+
+class TestAvailable:
+    def test_shipped_sets(self):
+        assert runtime.available("float32") == \
+            list(runtime.FLOAT32_FUNCTIONS)
+        assert runtime.available("posit32") == \
+            list(runtime.POSIT32_FUNCTIONS)
+
+    def test_never_generated_target_is_empty(self):
+        # data_float16 does not ship; the whole package is missing, and
+        # that must read as "not generated", not as an import error
+        assert runtime.available("float16") == []
+
+    def test_missing_load_raises_lookup(self):
+        with pytest.raises(LookupError, match="no frozen data"):
+            runtime.load("sinpi", "float16")
+
+    def test_unknown_target_raises_value(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            runtime.load("exp", "float99")
+
+
+MOD = "repro.libm.data_float32.exp"
+
+
+@pytest.fixture()
+def break_exp_module(monkeypatch):
+    """Make the exp data module raise ``exc`` on import."""
+
+    real = importlib.import_module
+
+    def install(exc):
+        def fake(name, *args, **kwargs):
+            if name == MOD:
+                raise exc
+            return real(name, *args, **kwargs)
+
+        monkeypatch.setattr(importlib, "import_module", fake)
+
+    return install
+
+
+class TestBrokenModules:
+    def test_broken_module_propagates_from_available(
+            self, break_exp_module):
+        break_exp_module(ImportError("corrupt freeze: no scipy"))
+        with pytest.raises(ImportError, match="corrupt freeze"):
+            runtime.available("float32")
+
+    def test_missing_dependency_propagates(self, break_exp_module):
+        # ModuleNotFoundError for a *different* module means the data
+        # module exists but is broken — it must not look "not shipped"
+        err = ModuleNotFoundError("No module named 'nump'", name="nump")
+        break_exp_module(err)
+        with pytest.raises(ModuleNotFoundError, match="nump"):
+            runtime.available("float32")
+
+    def test_genuinely_missing_module_is_not_shipped(
+            self, break_exp_module, fresh_cache):
+        err = ModuleNotFoundError(f"No module named '{MOD}'", name=MOD)
+        break_exp_module(err)
+        assert "exp" not in runtime.available("float32")
+        with pytest.raises(LookupError, match="no frozen data"):
+            runtime.load("exp", "float32")
+
+    def test_recovers_once_import_works_again(self, fresh_cache):
+        assert "exp" in runtime.available("float32")
+        assert runtime.load("exp", "float32").evaluate(0.0) == 1.0

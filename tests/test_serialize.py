@@ -64,3 +64,43 @@ class TestRenderModule:
     def test_docstring_mentions_function(self, float8_log2):
         src = render_module(function_to_dict(float8_log2))
         assert "log2" in src.splitlines()[0]
+
+
+class TestFreezeGuard:
+    """render_module verifies its own output before returning it."""
+
+    def test_good_data_passes_the_guard(self, float8_exp):
+        # the guard runs inside render_module; no exception == verified
+        assert render_module(function_to_dict(float8_exp))
+
+    def test_lossy_repr_rejected(self, float8_exp):
+        class LossyFloat(float):
+            """A float whose repr silently drops precision."""
+
+            def __repr__(self):
+                return "0.1"
+
+        data = function_to_dict(float8_exp)
+        data["rr_state"]["_c"] = LossyFloat(0.25)
+        with pytest.raises(ValueError, match="round-trip"):
+            render_module(data)
+
+    def test_structure_loss_rejected(self, float8_exp):
+        class Shapeshifter(dict):
+            """pprint renders the repr, which lies about the content."""
+
+            def __repr__(self):
+                return "{}"
+
+        data = function_to_dict(float8_exp)
+        data["stats"] = Shapeshifter(data["stats"])
+        with pytest.raises(ValueError, match="round-trip"):
+            render_module(data)
+
+    def test_shipped_tables_satisfy_the_guard(self):
+        # the guard must never fire on data the pipeline actually froze
+        import importlib
+
+        for name in ("exp", "sinpi"):
+            mod = importlib.import_module(f"repro.libm.data_float32.{name}")
+            assert render_module(mod.DATA)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""CI gate: run fplint + tablecheck, fail the build on any finding.
+
+The static-analysis twin of ``tools/check_genstats.py``: where that
+script catches *generation-effort* drift, this one catches source-level
+invariant breakage (float-safety lint rules FP101–FP108) and structural
+corruption of the frozen coefficient tables (TC201–TC208) before it can
+reach exhaustive validation.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_lint.py              # gate (exit 1)
+    PYTHONPATH=src python tools/run_lint.py --format json
+    PYTHONPATH=src python tools/run_lint.py --write-baseline  # refreeze
+
+All arguments are forwarded to ``python -m repro lint``; the repo root
+is pinned to this checkout so the gate works from any cwd.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--root" not in args:
+        args += ["--root", str(REPO)]
+    return lint_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
