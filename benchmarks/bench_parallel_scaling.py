@@ -1,0 +1,91 @@
+"""Parallel scaling: serial vs N-worker oracle validation.
+
+Times :func:`repro.core.validate.validate` over a large float32 input
+pool (default 100k inputs, ``REPRO_BENCH_POOL`` overrides) for the
+shipped ``exp`` at 1, 2, and 4 workers, asserts the parallel mismatch
+lists are bit-identical to serial, and records the speedups both in the
+text report and as gauges in the metrics sidecar
+(``parallel_scaling.metrics.json``), so scaling regressions diff like
+any other benchmark.
+
+The ≥1.5x-at-4-workers expectation only holds where 4 CPUs exist;
+on smaller machines the numbers are still recorded (process-pool
+overhead included) but not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from conftest import emit
+from repro.core.sampling import sample_values
+from repro.core.validate import validate
+from repro.fp.formats import FLOAT32
+from repro.libm.runtime import load
+from repro.obs import metrics
+from repro.oracle import default_oracle
+
+POOL_SIZE = int(os.environ.get("REPRO_BENCH_POOL", "100000"))
+WORKER_COUNTS = (2, 4)
+SEED = 2021
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+@pytest.mark.parallel
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_validate_scaling(benchmark, report_dir):
+    fn = load("exp", "float32")
+    # representable-value-proportional pool over the non-special domain
+    pool = sample_values(FLOAT32, POOL_SIZE, random.Random(SEED),
+                         -80.0, 80.0)
+    assert len(pool) >= 0.9 * POOL_SIZE
+
+    times: dict[int, float] = {}
+    results: dict[int, list] = {}
+
+    def run():
+        for workers in (1,) + WORKER_COUNTS:
+            # every configuration pays the full Ziv-loop oracle cost;
+            # otherwise the first pass warms the memo and later passes
+            # (and forked workers, which inherit it) time as dict lookups
+            default_oracle.clear_cache()
+            t0 = time.perf_counter()
+            results[workers] = validate(fn, pool, workers=workers)
+            times[workers] = time.perf_counter() - t0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    serial_s = times[1]
+    lines = [
+        "Parallel validate scaling (float32 exp, "
+        f"{len(pool)} inputs, {_cpus()} CPUs available)",
+        f"{'workers':>8s} {'time_s':>9s} {'speedup':>8s}",
+        "-" * 28,
+    ]
+    metrics.gauge("parallel.bench.pool_size").set(float(len(pool)))
+    speedups = {}
+    for workers, t in sorted(times.items()):
+        assert results[workers] == results[1], (
+            f"workers={workers} diverged from serial")
+        speedups[workers] = serial_s / t if t else float("inf")
+        lines.append(f"{workers:8d} {t:9.2f} {speedups[workers]:8.2f}")
+        metrics.gauge(f"parallel.bench.workers_{workers}_s").set(t)
+        metrics.gauge(f"parallel.bench.speedup_{workers}").set(
+            speedups[workers])
+
+    emit(report_dir, "parallel_scaling.txt", "\n".join(lines) + "\n")
+
+    if _cpus() >= 4:
+        assert speedups[4] >= 1.5, (
+            f"4-worker speedup {speedups[4]:.2f}x below the 1.5x floor "
+            f"on a {_cpus()}-CPU machine")

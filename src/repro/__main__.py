@@ -54,13 +54,15 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.libm.runtime import load
     from repro.libm.serialize import TARGETS_BY_NAME
 
+    from repro.parallel import parse_workers
+
     fmt = TARGETS_BY_NAME[args.target]
     libs = (posit_baselines() if args.target.startswith("posit")
             else correctness_baselines())
     pool = build_pool(args.function, fmt, n_random=args.n,
                       n_hard=args.hard, hard_candidates=4 * args.hard + 100)
     row = audit_function(args.function, fmt, load(args.function, args.target),
-                         libs, pool)
+                         libs, pool, workers=parse_workers(args.workers))
     print(render_rows([row], f"audit: {args.function} [{args.target}]"))
     return 0
 
@@ -69,13 +71,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.libm.genlib import generate_library
     from repro.libm.runtime import functions_for
     from repro.libm.serialize import TARGETS_BY_NAME
+    from repro.parallel import parse_workers
 
     fmt = TARGETS_BY_NAME[args.target]
     names = args.functions or list(functions_for(args.target))
     out = (pathlib.Path(args.out) if args.out else
            pathlib.Path(__file__).resolve().parent / "libm"
            / f"data_{args.target}")
-    generate_library(names, fmt, out, quick=args.quick, seed=args.seed)
+    generate_library(names, fmt, out, quick=args.quick, seed=args.seed,
+                     workers=parse_workers(args.workers),
+                     checkpoint_dir=args.checkpoint)
     return 0
 
 
@@ -152,6 +157,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--target", default="float32")
     p.add_argument("--n", type=int, default=800)
     p.add_argument("--hard", type=int, default=60)
+    p.add_argument("--workers", default=None, metavar="N|auto",
+                   help="parallelize the audit over a process pool "
+                        "(default: serial; results are identical)")
     p.set_defaults(fn=_cmd_audit)
 
     p = sub.add_parser("generate", help="generate + freeze a library")
@@ -160,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--quick", action="store_true")
     p.add_argument("--seed", type=int, default=2021)
     p.add_argument("--out")
+    p.add_argument("--workers", default=None, metavar="N|auto",
+                   help="generate functions in parallel worker processes "
+                        "(default: serial; results are identical)")
+    p.add_argument("--checkpoint", metavar="DIR",
+                   help="checkpoint directory: finished functions are "
+                        "saved and a restarted run resumes from them")
     p.set_defaults(fn=_cmd_generate)
 
     p = sub.add_parser("table3", help="generation statistics")

@@ -51,6 +51,22 @@ class BaselineLibrary(ABC):
     def supports(self, fn_name: str) -> bool:
         return fn_name in self.functions
 
+    def __getstate__(self) -> dict:
+        """Pickle support for the parallel audit workers.
+
+        ``_impl`` is a lazily built cache of local closures (table +
+        polynomial evaluators) that cannot pickle; it is dropped here
+        and rebuilt on first ``call`` in the worker, deterministically,
+        from the pickled profile/tables.
+        """
+        state = dict(self.__dict__)
+        state.pop("_impl", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_impl", {})
+
     @abstractmethod
     def call(self, fn_name: str, x: float) -> float:
         """The library's double result for input x (before T-rounding)."""

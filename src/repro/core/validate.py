@@ -48,11 +48,24 @@ def validate(
     inputs: Iterable[float],
     oracle: Oracle = default_oracle,
     limit: int | None = None,
+    workers: int | str | None = None,
+    chunk_size: int | None = None,
 ) -> list[Mismatch]:
     """Compare the generated function to the oracle on every input.
 
-    Returns at most ``limit`` mismatches (None = all).
+    Returns at most ``limit`` mismatches (None = all).  With
+    ``workers`` > 1 the input pool is chunked across a process pool
+    (:mod:`repro.parallel`); chunks preserve input order and merge at
+    the barrier, so the mismatch list is bit-identical to the serial
+    one — ``limit`` then truncates the merged list, which is the same
+    prefix the serial early-exit produces.
     """
+    from repro.parallel.shards import resolve_workers
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        return _validate_parallel(fn, list(inputs), oracle, limit,
+                                  n_workers, chunk_size)
     bad: list[Mismatch] = []
     for x in inputs:
         got = fn.evaluate_bits(x)
@@ -64,6 +77,42 @@ def validate(
     return bad
 
 
+def _validate_chunk(payload: tuple) -> list[Mismatch]:
+    """Worker task: rebuild the function from frozen data, validate a
+    chunk serially."""
+    data, xs, oracle = payload
+    from repro.libm.serialize import function_from_dict
+
+    return validate(function_from_dict(data), xs, oracle)
+
+
+def _validate_parallel(
+    fn: GeneratedFunction,
+    xs: list[float],
+    oracle: Oracle,
+    limit: int | None,
+    n_workers: int,
+    chunk_size: int | None,
+) -> list[Mismatch]:
+    """Chunked oracle comparison with ordered counterexample merge.
+
+    The function crosses the process boundary as its frozen-table dict
+    (:func:`repro.libm.serialize.function_to_dict`) — the same
+    serialization the shipped libraries load from, so the worker-side
+    rebuild evaluates bit-identically to ``fn``.
+    """
+    from repro.libm.serialize import function_to_dict
+    from repro.parallel import plan_chunks, run_tasks
+
+    data = function_to_dict(fn)
+    payloads = [(data, xs[a:b], oracle)
+                for a, b in plan_chunks(len(xs), n_workers, chunk_size)]
+    parts = run_tasks(_validate_chunk, payloads, workers=n_workers,
+                      label=f"validate:{fn.name}")
+    bad = [m for part in parts for m in part]
+    return bad if limit is None else bad[:limit]
+
+
 def generate_validated(
     spec: FunctionSpec,
     inputs: Sequence[float],
@@ -71,6 +120,7 @@ def generate_validated(
     oracle: Oracle = default_oracle,
     max_rounds: int = 4,
     clean_rounds: int = 1,
+    workers: int | str | None = None,
 ) -> tuple[GeneratedFunction, int]:
     """Outer counterexample loop for sampled (32-bit) generation.
 
@@ -80,6 +130,11 @@ def generate_validated(
     rounds with no mismatch on inputs the generator has never seen
     (re-validating against one fixed set would stop at the first set it
     happens to satisfy).
+
+    ``workers`` parallelizes each round's oracle comparison
+    (:func:`validate`); the counterexamples fold back into ``work`` in
+    serial order, so the loop's trajectory — and the final function —
+    is identical for any worker count (DESIGN.md, shard-merge note).
 
     Returns the generated function and the number of counterexamples
     that had to be folded back into the input set.  Raises if validation
@@ -94,7 +149,7 @@ def generate_validated(
     for round_no in range(max_rounds):
         if fn is None:
             fn = generate(spec, work, oracle)
-        bad = validate(fn, factory(round_no), oracle)
+        bad = validate(fn, factory(round_no), oracle, workers=workers)
         if not bad:
             clean += 1
             if clean >= clean_rounds:

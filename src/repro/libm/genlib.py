@@ -28,6 +28,7 @@ from repro.core.validate import generate_validated, validate
 from repro.eval.hardcases import mine_hard_cases
 from repro.libm.serialize import function_to_dict, render_module
 from repro.obs import span
+from repro.parallel import Checkpoint, resolve_workers, run_tasks
 from repro.rangereduction.domains import boundary_centers, sampling_domain
 from repro.rangereduction import RangeReduction, reduction_for
 
@@ -74,10 +75,13 @@ def generate_one(
     settings: GenSettings | None = None,
     scale: int = 1,
     log=print,
+    workers: int | str | None = None,
 ) -> tuple[GeneratedFunction, dict]:
     """Run the sampled pipeline for one function; returns (fn, extra
     stats).  ``scale`` divides every sample budget (time/quality knob);
-    ``quick`` is the x8 smoke-test shortcut."""
+    ``quick`` is the x8 smoke-test shortcut; ``workers`` parallelizes
+    the oracle-comparison phases (validation rounds and the final
+    residual check) without changing any result."""
     cfg = settings or GEN_SETTINGS[name]
     div = 8 if quick else max(1, scale)
     rng = random.Random(seed)
@@ -116,7 +120,8 @@ def generate_one(
     with span("genlib.validated", fn=name):
         fn, folded = generate_validated(spec, inputs, fresh_validation,
                                         max_rounds=cfg.rounds,
-                                        clean_rounds=cfg.clean_rounds)
+                                        clean_rounds=cfg.clean_rounds,
+                                        workers=workers)
     log(f"[{name}] generated: {fn.stats.per_fn} "
         f"reduced={fn.stats.reduced_count} folded-back={folded} "
         f"({time.perf_counter() - t0:.0f}s)")
@@ -124,7 +129,7 @@ def generate_one(
     check = sample_values(fmt, cfg.final_check // div,
                           random.Random(seed + 4), lo, hi)
     with span("genlib.final_check", fn=name, n=len(check)):
-        misses = validate(fn, check)
+        misses = validate(fn, check, workers=workers)
     extra = {
         "final_check": {"n": len(check), "misses": len(misses)},
         "counterexamples_folded": folded,
@@ -135,6 +140,31 @@ def generate_one(
     return fn, extra
 
 
+def _render_one(name: str, fmt: TargetFormat, seed: int, quick: bool,
+                scale: int, settings: GenSettings | None,
+                workers: int | str | None, log) -> str:
+    """Generate one function and render its frozen data module source."""
+    fn, extra = generate_one(name, fmt, seed=seed, quick=quick,
+                             settings=settings, scale=scale, log=log,
+                             workers=workers)
+    data = function_to_dict(fn)
+    data["stats"].update(extra)
+    return render_module(data)
+
+
+def _generate_one_task(payload: tuple) -> tuple[str, str]:
+    """Worker task for the per-function fan-out: (name, module source).
+
+    Runs in its own process; the inner validation stays serial (the
+    pool is already one process per function) and logging goes to the
+    worker's stdout with a function prefix.
+    """
+    name, fmt, seed, quick, scale, settings = payload
+    source = _render_one(name, fmt, seed, quick, scale, settings,
+                         workers=None, log=print)
+    return name, source
+
+
 def generate_library(
     names: list[str],
     fmt: TargetFormat,
@@ -143,16 +173,67 @@ def generate_library(
     seed: int = 2021,
     scale: int = 1,
     log=print,
+    workers: int | str | None = None,
+    checkpoint_dir: pathlib.Path | str | None = None,
+    settings: GenSettings | None = None,
 ) -> None:
-    """Generate and freeze a set of functions into ``out_dir``."""
+    """Generate and freeze a set of functions into ``out_dir``.
+
+    ``workers`` fans the functions out across a process pool (each
+    function's pipeline is seeded independently, so any schedule
+    produces byte-identical modules; with a single pending function the
+    parallelism moves inside it, onto the validation chunks instead).
+    ``checkpoint_dir`` makes the run resumable: every finished function
+    is saved as an atomic JSON shard, a restarted run regenerates only
+    the missing ones, and a manifest pins target/seed/budgets so stale
+    checkpoints cannot leak into a differently configured run.
+    ``settings`` overrides :data:`GEN_SETTINGS` for every function
+    (small budgets for tests and sweeps).
+    """
     out_dir.mkdir(parents=True, exist_ok=True)
     init = out_dir / "__init__.py"
     if not init.exists():
         init.write_text('"""Frozen coefficient tables (generated)."""\n')
+
+    ckpt = None
+    if checkpoint_dir is not None:
+        ckpt = Checkpoint(checkpoint_dir, manifest={
+            "target": str(fmt), "seed": seed, "quick": bool(quick),
+            "scale": scale,
+        })
+
+    sources: dict[str, str] = {}
+    pending: list[str] = []
     for name in names:
-        fn, extra = generate_one(name, fmt, seed=seed, quick=quick, scale=scale, log=log)
-        data = function_to_dict(fn)
-        data["stats"].update(extra)
+        saved = ckpt.load(name) if ckpt is not None else None
+        if saved is not None:
+            sources[name] = saved["source"]
+            log(f"[{name}] resumed from checkpoint")
+        else:
+            pending.append(name)
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(pending) > 1:
+        payloads = [(name, fmt, seed, quick, scale, settings)
+                    for name in pending]
+
+        def _save(index: int, result: tuple[str, str]) -> None:
+            name, source = result
+            sources[name] = source
+            if ckpt is not None:
+                ckpt.save(name, {"source": source})
+
+        run_tasks(_generate_one_task, payloads, workers=n_workers,
+                  label="genlib", on_result=_save)
+    else:
+        for name in pending:
+            source = _render_one(name, fmt, seed, quick, scale, settings,
+                                 workers=workers, log=log)
+            sources[name] = source
+            if ckpt is not None:
+                ckpt.save(name, {"source": source})
+
+    for name in names:
         path = out_dir / f"{name}.py"
-        path.write_text(render_module(data))
+        path.write_text(sources[name])
         log(f"[{name}] wrote {path} ({path.stat().st_size // 1024} KB)")

@@ -19,9 +19,9 @@ opt-in, to keep the shipped hot path untouched — the libm runtime via
 
 from __future__ import annotations
 
-from repro.obs.events import (NOOP_SPAN, configure_from_env, disable, enable,
-                              enabled, event, span, timed_span)
+from repro.obs.events import (NOOP_SPAN, configure_from_env, detach, disable,
+                              enable, enabled, event, span, timed_span)
 from repro.obs import metrics
 
-__all__ = ["span", "timed_span", "event", "enable", "disable", "enabled",
-           "configure_from_env", "NOOP_SPAN", "metrics"]
+__all__ = ["span", "timed_span", "event", "enable", "disable", "detach",
+           "enabled", "configure_from_env", "NOOP_SPAN", "metrics"]

@@ -52,8 +52,8 @@ import os
 import time
 from typing import Any, IO
 
-__all__ = ["span", "timed_span", "event", "enable", "disable", "enabled",
-           "configure_from_env", "NOOP_SPAN", "SCHEMA_VERSION"]
+__all__ = ["span", "timed_span", "event", "enable", "disable", "detach",
+           "enabled", "configure_from_env", "NOOP_SPAN", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -263,6 +263,19 @@ def disable(write_metrics: bool = True) -> None:
             s.write({"ev": "metrics", **snap})
     _sink = None
     s.close()
+
+
+def detach() -> None:
+    """Drop the sink without flushing or closing its file.
+
+    For forked worker processes: they inherit the parent's ``_sink``
+    (and its file descriptor), and both closing it and writing spans to
+    it would corrupt the parent's trace.  Detaching makes the child's
+    tracing a no-op while the parent keeps the file; the executor
+    returns per-shard metrics snapshots instead.
+    """
+    global _sink
+    _sink = None
 
 
 def configure_from_env() -> bool:

@@ -30,7 +30,7 @@ import math
 from typing import Any
 
 __all__ = ["Counter", "Gauge", "Histogram", "counter", "gauge", "histogram",
-           "snapshot", "merge", "reset"]
+           "snapshot", "merge", "absorb", "reset"]
 
 
 class Counter:
@@ -161,6 +161,29 @@ def merge(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
         for k, c in h["buckets"].items():
             slot["buckets"][k] = slot["buckets"].get(k, 0) + c
     return out
+
+
+def absorb(snap: dict[str, Any]) -> None:
+    """Fold a snapshot into the *live* registry (same laws as merge).
+
+    The parallel executor collects one snapshot per worker shard and
+    absorbs each into the parent process, so a parallel run's final
+    ``snapshot()`` equals the serial run's: counters and histogram
+    buckets add, gauges last-write-win.
+    """
+    for n, v in snap.get("counters", {}).items():
+        counter(n).inc(v)
+    for n, v in snap.get("gauges", {}).items():
+        gauge(n).set(v)
+    for n, h in snap.get("histograms", {}).items():
+        slot = histogram(n, h["kind"])
+        if slot.kind != h["kind"]:
+            raise ValueError(f"histogram {n!r}: kind mismatch "
+                             f"({slot.kind} vs {h['kind']})")
+        slot.count += h["count"]
+        slot.total += h["sum"]
+        for k, c in h["buckets"].items():
+            slot.buckets[k] = slot.buckets.get(k, 0) + c
 
 
 def reset() -> None:

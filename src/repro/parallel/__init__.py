@@ -1,0 +1,33 @@
+"""Parallel sharded execution for generation, validation, and audits.
+
+The paper validates against the full 2**32 input space; our sampled
+pure-Python pipeline is bounded by how many oracle comparisons one core
+can afford.  This package scales the three hot paths — library
+generation (:func:`repro.libm.genlib.generate_library`, one shard per
+function), oracle validation (:func:`repro.core.validate.validate`,
+chunked input pools), and the Table 1/2 audits
+(:func:`repro.eval.correctness.audit_function`) — across a process pool
+behind a ``workers=N | "auto"`` knob that defaults to serial.
+
+The non-negotiable contract is *bit-identical results*: sharding is a
+deterministic exact-cover partition with per-shard seeds
+(:mod:`repro.parallel.shards`), merges preserve serial order, worker
+failures re-raise with the original traceback
+(:mod:`repro.parallel.executor`), and killed runs resume from atomic
+JSON checkpoints (:mod:`repro.parallel.checkpoint`).  The differential
+suite in ``tests/test_parallel_equivalence.py`` holds the parallel
+paths byte-for-byte equal to serial.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.checkpoint import Checkpoint, CheckpointMismatch
+from repro.parallel.executor import ShardError, run_tasks
+from repro.parallel.shards import (Shard, parse_workers, plan_chunks,
+                                   plan_shards, resolve_workers, shard_seed)
+
+__all__ = [
+    "Checkpoint", "CheckpointMismatch", "ShardError", "run_tasks",
+    "Shard", "parse_workers", "plan_chunks", "plan_shards",
+    "resolve_workers", "shard_seed",
+]

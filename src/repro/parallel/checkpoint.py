@@ -1,0 +1,108 @@
+"""Resumable JSON checkpoints for long generation runs.
+
+A full 32-bit library generation is minutes-to-hours of oracle and LP
+work; a killed run should not forfeit the functions that already
+finished.  A :class:`Checkpoint` is a directory of one JSON file per
+completed shard key (for :func:`repro.libm.genlib.generate_library`,
+per function name) plus a ``manifest.json`` that pins the run
+configuration.
+
+Safety properties:
+
+* **Atomic saves** — payloads are written to a temp file and
+  ``os.replace``-d into place, so a kill mid-write leaves either the
+  old state or the new, never a torn file; :meth:`load` additionally
+  treats unreadable/corrupt JSON as absent (the shard just re-runs).
+* **Configuration pinning** — resuming with a different target, seed,
+  or budget would silently mix incompatible shards into one library;
+  a manifest mismatch raises :class:`CheckpointMismatch` instead.
+
+Checkpoint payloads are JSON (not pickle) on purpose: they survive
+refactors of internal classes, and a shard result is inspectable with
+any text editor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Iterator
+
+__all__ = ["Checkpoint", "CheckpointMismatch"]
+
+SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+
+
+class CheckpointMismatch(RuntimeError):
+    """Checkpoint directory belongs to a run with different settings."""
+
+
+class Checkpoint:
+    """A directory of per-key JSON shard results, atomically written."""
+
+    def __init__(self, root: str | os.PathLike,
+                 manifest: dict[str, Any] | None = None):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if manifest is not None:
+            want = {"schema": SCHEMA_VERSION, **manifest}
+            have = self._read_json(self.root / _MANIFEST)
+            if have is None:
+                self._write_json(self.root / _MANIFEST, want)
+            elif have != want:
+                raise CheckpointMismatch(
+                    f"checkpoint {self.root} was written by a different "
+                    f"run configuration:\n  found:    {have}\n"
+                    f"  expected: {want}\n"
+                    "delete the directory (or point --checkpoint "
+                    "elsewhere) to start fresh")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_json(path: pathlib.Path) -> dict[str, Any] | None:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _write_json(self, path: pathlib.Path, payload: dict[str, Any]) -> None:
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def _path(self, key: str) -> pathlib.Path:
+        if not key or any(c in key for c in "/\\") or key.startswith("."):
+            raise ValueError(f"bad checkpoint key {key!r}")
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def save(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically record one completed shard."""
+        self._write_json(self._path(key), payload)
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The saved payload, or None if absent or torn."""
+        return self._read_json(self._path(key))
+
+    def done(self, key: str) -> bool:
+        return self.load(key) is not None
+
+    def keys(self) -> Iterator[str]:
+        """Keys with a (readable) saved payload, sorted."""
+        for path in sorted(self.root.glob("*.json")):
+            if path.name == _MANIFEST:
+                continue
+            if self._read_json(path) is not None:
+                yield path.stem
+
+    def clear(self) -> None:
+        """Drop every shard result and the manifest."""
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)

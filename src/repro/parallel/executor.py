@@ -1,0 +1,128 @@
+"""Process-pool task executor with faithful failures and merged metrics.
+
+:func:`run_tasks` maps a module-level task function over a list of
+picklable payloads.  Three properties distinguish it from a bare
+``ProcessPoolExecutor.map``:
+
+* **Serial is the identity.**  With one worker (the default everywhere)
+  the tasks run in-process in order — the exact code path a
+  ``workers=None`` caller always had, so enabling the knob can only
+  change wall-clock, never results.
+* **Failures carry the original traceback.**  A task that raises inside
+  a worker fails the whole run promptly with a :class:`ShardError`
+  whose message embeds the worker-side traceback text; pending shards
+  are cancelled, nothing hangs, and no shard is silently dropped.
+* **Observability survives the fork.**  Each worker detaches the
+  inherited trace sink (so it cannot interleave writes into the
+  parent's JSONL file), resets the metrics registry, and returns its
+  :func:`repro.obs.metrics.snapshot` with the result; the parent
+  absorbs every shard's snapshot back into the live registry, so
+  counters and histograms match the serial run's.  The parent wraps the
+  run in a ``parallel.run`` span and emits a ``parallel.shard`` point
+  event per completed shard.
+
+Workers are forked where the platform allows (cheap, inherits imports)
+and spawned otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+from repro.obs import event, metrics, span
+from repro.obs.events import detach as _detach_trace
+from repro.parallel.shards import resolve_workers
+
+__all__ = ["ShardError", "run_tasks"]
+
+
+class ShardError(RuntimeError):
+    """A worker task failed; the message embeds the original traceback."""
+
+    def __init__(self, label: str, index: int, tb_text: str):
+        self.label = label
+        self.index = index
+        self.tb_text = tb_text
+        super().__init__(
+            f"{label}: shard {index} failed in worker\n"
+            f"--- worker traceback ---\n{tb_text}")
+
+
+def _call_captured(task: Callable[[Any], Any], payload: Any) -> tuple:
+    """Worker-side trampoline: isolate obs state, capture any failure."""
+    _detach_trace()
+    metrics.reset()
+    try:
+        result = task(payload)
+    except Exception:
+        return ("err", traceback.format_exc())
+    return ("ok", result, metrics.snapshot())
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_tasks(
+    task: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int | str | None = None,
+    label: str = "parallel",
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Run ``task`` over every payload; results in payload order.
+
+    ``task`` must be a module-level function (workers import it by
+    qualified name) and payloads/results must pickle.  ``on_result`` is
+    invoked as ``(index, result)`` in *completion* order — the hook for
+    checkpointing finished shards while others still run — while the
+    returned list always follows payload order.
+    """
+    n = len(payloads)
+    n_workers = min(resolve_workers(workers), max(1, n))
+    results: list[Any] = [None] * n
+    with span("parallel.run", label=label, workers=n_workers, tasks=n):
+        if n_workers <= 1:
+            for i, payload in enumerate(payloads):
+                results[i] = task(payload)
+                if on_result is not None:
+                    on_result(i, results[i])
+            return results
+
+        ctx = _context()
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 mp_context=ctx) as pool:
+            futures = {pool.submit(_call_captured, task, p): i
+                       for i, p in enumerate(payloads)}
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = futures[fut]
+                        exc = fut.exception()
+                        if exc is not None:
+                            # pool-level failure (lost worker, unpicklable
+                            # result, ...) — no worker traceback exists
+                            raise ShardError(
+                                label, i, "".join(traceback.format_exception(
+                                    type(exc), exc, exc.__traceback__)))
+                        status = fut.result()
+                        if status[0] == "err":
+                            raise ShardError(label, i, status[1])
+                        _, result, snap = status
+                        metrics.absorb(snap)
+                        event("parallel.shard", label=label, index=i)
+                        results[i] = result
+                        if on_result is not None:
+                            on_result(i, result)
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+    return results

@@ -1,0 +1,126 @@
+"""Deterministic work sharding for the process-pool executor.
+
+Parallelism must never change results: the sampled pipeline's claim to
+reproduce the paper's tables rests on every run being bit-identical for
+a given seed (DESIGN.md).  Sharding therefore has one contract:
+
+* :func:`plan_chunks` partitions ``range(n)`` into contiguous,
+  *ordered*, non-empty ``[start, stop)`` chunks that cover every index
+  exactly once — so concatenating per-chunk results in chunk order
+  reproduces the serial iteration order exactly;
+* :func:`shard_seed` derives a pairwise-distinct, platform-independent
+  RNG seed per shard from the run's base seed (splitmix64-style
+  mixing), so a shard that needs its own ``random.Random`` never shares
+  a stream with a sibling and never consumes draws from the parent's
+  stream (which would make results depend on shard count).
+
+Both are pure functions of their arguments; the property tests in
+``tests/test_properties.py`` pin exact-cover and seed-distinctness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Shard", "resolve_workers", "parse_workers", "plan_chunks",
+           "plan_shards", "shard_seed"]
+
+#: Chunks per worker when no explicit chunk size is given: small enough
+#: to amortize per-task pickling, large enough to balance uneven shards.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize the ``workers`` knob to a concrete worker count.
+
+    ``None``/``0``/``1`` mean serial; ``"auto"`` means one worker per
+    available CPU; any other int is used as given.
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:
+            return max(1, os.cpu_count() or 1)
+    n = int(workers)
+    if n < 0:
+        raise ValueError(f"workers must be >= 0, got {n}")
+    return max(1, n)
+
+
+def parse_workers(text: str | None) -> int | str | None:
+    """Parse a ``--workers`` CLI value: ``'auto'`` or an integer."""
+    if text is None or text == "auto":
+        return text
+    return int(text)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of parallel work over ``items[start:stop]``."""
+
+    index: int
+    start: int
+    stop: int
+    #: Seed for any RNG the shard needs; pairwise distinct across a plan.
+    seed: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def plan_chunks(
+    n: int,
+    workers: int,
+    chunk_size: int | None = None,
+) -> list[tuple[int, int]]:
+    """Ordered ``[start, stop)`` chunks covering ``range(n)`` exactly once.
+
+    With no explicit ``chunk_size`` the plan aims for
+    ``workers * _CHUNKS_PER_WORKER`` balanced chunks (never more than
+    ``n``); every chunk is non-empty and sizes differ by at most one, so
+    the slowest shard bounds wall-clock tightly.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return []
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return [(a, min(a + chunk_size, n)) for a in range(0, n, chunk_size)]
+    n_chunks = min(n, max(1, workers) * _CHUNKS_PER_WORKER)
+    base, extra = divmod(n, n_chunks)
+    bounds = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def shard_seed(base_seed: int, index: int) -> int:
+    """Distinct 64-bit RNG seed for shard ``index`` of a ``base_seed`` run.
+
+    splitmix64's finalizer on ``base_seed * K + index`` — an invertible
+    mix, so two shards of one run (fixed base) can never collide, and
+    the value is identical on every platform and process.
+    """
+    z = (base_seed * 0x9E3779B97F4A7C15 + index + 1) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def plan_shards(
+    n: int,
+    workers: int,
+    base_seed: int = 0,
+    chunk_size: int | None = None,
+) -> list[Shard]:
+    """The chunk plan with a distinct per-shard RNG seed attached."""
+    return [Shard(i, a, b, shard_seed(base_seed, i))
+            for i, (a, b) in enumerate(plan_chunks(n, workers, chunk_size))]

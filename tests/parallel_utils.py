@@ -1,0 +1,40 @@
+"""Shared helpers for the parallel-execution test suites."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.libm.genlib import GenSettings
+
+__all__ = ["TINY", "QUIET", "data_modulo_timing", "TIMING_KEYS"]
+
+#: Tiny budgets: the full sampled pipeline per function in well under a
+#: second on the 8-bit formats.
+TINY = GenSettings(base=600, validation=300, hard_candidates=200,
+                   hard_keep=40, boundary_radius=8, max_index_bits=4,
+                   rounds=4, clean_rounds=1, final_check=100)
+
+
+def QUIET(*args) -> None:
+    """A log sink that drops everything."""
+
+
+#: Stats keys that carry wall times — the only fields allowed to differ
+#: between two runs of the same generation.
+TIMING_KEYS = ("gen_time_s", "oracle_time_s", "phase_s", "total_time_s")
+
+
+def data_modulo_timing(path: pathlib.Path) -> dict:
+    """A frozen module's DATA dict with wall-time stats removed.
+
+    Everything else — coefficients, range-reduction state, input/
+    special/reduced counts, per-fn table shapes, folded-counterexample
+    and final-check tallies — must be bit-identical across serial,
+    parallel, and resumed runs.
+    """
+    ns: dict = {}
+    exec(compile(path.read_text(), str(path), "exec"), ns)
+    data = ns["DATA"]
+    for key in TIMING_KEYS:
+        data["stats"].pop(key, None)
+    return data

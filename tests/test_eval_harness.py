@@ -28,6 +28,33 @@ class TestBuildPool:
         pool = build_pool("log2", FLOAT32, n_random=50, n_hard=0)
         assert len(pool) >= 50
 
+    def test_memoized_per_settings(self, monkeypatch):
+        """Identical settings must not redo the mpmath hard-case mining."""
+        import repro.eval.correctness as corr
+
+        corr.clear_pool_cache()
+        calls = []
+        real = corr.mine_hard_cases
+
+        def counting(*args, **kwargs):
+            calls.append(args[0])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(corr, "mine_hard_cases", counting)
+        kw = dict(n_random=40, n_hard=6, hard_candidates=60)
+        first = build_pool("exp", FLOAT8, **kw)
+        assert calls == ["exp"]
+        second = build_pool("exp", FLOAT8, **kw)
+        assert calls == ["exp"], "memo missed: mining re-ran"
+        assert second == first
+        assert second is not first  # callers own their copy
+        # any changed setting is a different key
+        build_pool("exp", FLOAT8, n_random=41, n_hard=6, hard_candidates=60)
+        assert calls == ["exp", "exp"]
+        corr.clear_pool_cache()
+        build_pool("exp", FLOAT8, **kw)
+        assert calls == ["exp", "exp", "exp"]
+
 
 class TestAuditFunction:
     def test_counts_and_na(self, float8_exp):

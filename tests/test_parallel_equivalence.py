@@ -1,0 +1,185 @@
+"""Differential suite: parallel execution is bit-identical to serial.
+
+The parallel executor's whole contract (DESIGN.md, "Parallel
+execution") is that ``workers=N`` is a pure wall-clock knob: mismatch
+lists, wrong-counts, frozen data modules, and merged metrics must equal
+the serial run's exactly.  These tests hold that equality over the
+small formats where the full pipeline runs in seconds, including the
+degenerate shapes (empty pool, single chunk, more workers than work).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from tests.parallel_utils import QUIET, TINY, data_modulo_timing
+
+from repro.baselines import correctness_baselines, posit_baselines
+from repro.core.sampling import all_values
+from repro.core.validate import validate
+from repro.eval.correctness import audit_function, build_pool
+from repro.fp.formats import FLOAT8
+from repro.libm.genlib import generate_library
+from repro.libm.serialize import function_from_dict, function_to_dict
+from repro.obs import metrics
+from repro.posit.format import POSIT8
+
+pytestmark = pytest.mark.parallel
+
+
+def _broken_copy(fn):
+    """A deterministically wrong variant of ``fn`` (one coefficient
+    perturbed), so mismatch-list equality is tested on non-empty lists."""
+    data = function_to_dict(fn)
+    name = next(iter(data["approx"]))
+    side = "pos" if data["approx"][name]["pos"] is not None else "neg"
+    exps, coeffs = data["approx"][name][side]["polys"][0]
+    coeffs = (coeffs[0] + 0.125,) + tuple(coeffs[1:])
+    data["approx"][name][side]["polys"][0] = (exps, coeffs)
+    return function_from_dict(data)
+
+
+class TestValidateEquivalence:
+    def test_clean_function_all_inputs(self, float8_exp):
+        xs = list(all_values(FLOAT8))
+        assert validate(float8_exp, xs, workers=2) == validate(float8_exp, xs)
+
+    def test_posit8(self, posit8_exp):
+        xs = list(all_values(POSIT8))
+        assert validate(posit8_exp, xs, workers=2) == validate(posit8_exp, xs)
+
+    def test_nonempty_mismatch_list_and_order(self, float8_exp):
+        bad_fn = _broken_copy(float8_exp)
+        xs = list(all_values(FLOAT8))
+        serial = validate(bad_fn, xs)
+        assert serial, "perturbed function must actually mismatch"
+        for workers in (2, 3):
+            assert validate(bad_fn, xs, workers=workers) == serial
+
+    def test_limit_truncates_to_serial_prefix(self, float8_exp):
+        bad_fn = _broken_copy(float8_exp)
+        xs = list(all_values(FLOAT8))
+        serial = validate(bad_fn, xs, limit=3)
+        assert len(serial) == 3
+        assert validate(bad_fn, xs, limit=3, workers=2) == serial
+
+    def test_empty_pool(self, float8_exp):
+        assert validate(float8_exp, [], workers=2) == []
+
+    def test_single_chunk(self, float8_exp):
+        xs = list(all_values(FLOAT8))[:40]
+        assert (validate(float8_exp, xs, workers=2, chunk_size=10_000)
+                == validate(float8_exp, xs))
+
+    def test_more_workers_than_inputs(self, float8_exp):
+        bad_fn = _broken_copy(float8_exp)
+        xs = list(all_values(FLOAT8))[60:75]
+        assert validate(bad_fn, xs, workers=8) == validate(bad_fn, xs)
+
+
+class TestAuditEquivalence:
+    def _pool(self, fmt):
+        return build_pool("exp", fmt, n_random=60, n_hard=8,
+                          hard_candidates=60)
+
+    def test_float8_row(self, float8_exp):
+        libs = correctness_baselines()
+        # warm the lazy closure caches first: pickling a *used* baseline
+        # is exactly what a real parallel audit does
+        for lib in libs.values():
+            if lib.supports("exp"):
+                lib.call("exp", 0.5)
+        pool = self._pool(FLOAT8)
+        serial = audit_function("exp", FLOAT8, float8_exp, libs, pool)
+        par = audit_function("exp", FLOAT8, float8_exp, libs, pool, workers=2)
+        assert par.wrong == serial.wrong
+        assert list(par.wrong) == list(serial.wrong)
+        assert par.pool_size == serial.pool_size
+
+    def test_posit8_row_keeps_na_pattern(self, posit8_exp):
+        libs = posit_baselines()
+        pool = build_pool("exp", POSIT8, n_random=40, n_hard=4,
+                          hard_candidates=40)
+        serial = audit_function("exp", POSIT8, posit8_exp, libs, pool)
+        par = audit_function("exp", POSIT8, posit8_exp, libs, pool, workers=2)
+        assert par.wrong == serial.wrong
+        assert list(par.wrong) == list(serial.wrong)
+
+    def test_wrong_counts_nonzero_somewhere(self, float8_exp):
+        # the broken function must be counted wrong identically
+        bad_fn = _broken_copy(float8_exp)
+        pool = self._pool(FLOAT8)
+        serial = audit_function("exp", FLOAT8, bad_fn, {}, pool)
+        assert serial.wrong["RLIBM-32"] > 0
+        par = audit_function("exp", FLOAT8, bad_fn, {}, pool, workers=2)
+        assert par.wrong == serial.wrong
+
+    def test_empty_pool(self, float8_exp):
+        serial = audit_function("exp", FLOAT8, float8_exp, {}, [])
+        par = audit_function("exp", FLOAT8, float8_exp, {}, [], workers=2)
+        assert par.wrong == serial.wrong
+        assert par.pool_size == 0
+
+
+class TestGenerateLibraryEquivalence:
+    NAMES = ["ln", "log2"]
+
+    def test_parallel_library_identical(self, tmp_path):
+        generate_library(self.NAMES, FLOAT8, tmp_path / "serial",
+                         settings=TINY, log=QUIET)
+        generate_library(self.NAMES, FLOAT8, tmp_path / "parallel",
+                         settings=TINY, log=QUIET, workers=2)
+        for name in self.NAMES:
+            serial = data_modulo_timing(tmp_path / "serial" / f"{name}.py")
+            par = data_modulo_timing(tmp_path / "parallel" / f"{name}.py")
+            assert par == serial, f"{name}: parallel generation diverged"
+            # the timing-free comparison must still cover real content
+            assert serial["approx"] and serial["rr_state"]
+
+
+class TestMetricsMergeLaws:
+    def test_absorb_matches_merge(self):
+        a = {"counters": {"x": 3}, "gauges": {"g": 1.5},
+             "histograms": {"h": {"kind": "log2", "count": 2, "sum": 6.0,
+                                  "buckets": {"1": 1, "2": 1}}}}
+        metrics.reset()
+        before = metrics.snapshot()
+        metrics.absorb(a)
+        metrics.absorb(a)
+        merged = metrics.merge(metrics.merge(before, a), a)
+        got = metrics.snapshot()
+        assert got["counters"]["x"] == merged["counters"]["x"] == 6
+        assert got["gauges"]["g"] == 1.5
+        assert (got["histograms"]["h"]["buckets"]
+                == merged["histograms"]["h"]["buckets"])
+        metrics.reset()
+
+    def test_absorb_rejects_kind_mismatch(self):
+        metrics.reset()
+        metrics.histogram("clash", "exact").observe(1)
+        with pytest.raises(ValueError):
+            metrics.absorb({"histograms": {"clash": {
+                "kind": "log2", "count": 1, "sum": 1.0, "buckets": {"0": 1}}}})
+        metrics.reset()
+
+    def test_parallel_validate_preserves_counters(self, float8_exp):
+        """Worker-side metric activity must land in the parent registry."""
+        xs = list(all_values(FLOAT8))
+        metrics.reset()
+        validate(float8_exp, xs)
+        serial_snap = metrics.snapshot()
+        metrics.reset()
+        validate(float8_exp, xs, workers=2)
+        par_snap = metrics.snapshot()
+        assert par_snap["counters"] == serial_snap["counters"]
+        metrics.reset()
+
+
+def test_build_pool_returns_copies():
+    """Mutating a pool must not poison the memoized copy."""
+    a = build_pool("exp", FLOAT8, n_random=30, n_hard=4, hard_candidates=30)
+    a.append(math.inf)
+    b = build_pool("exp", FLOAT8, n_random=30, n_hard=4, hard_candidates=30)
+    assert math.inf not in b

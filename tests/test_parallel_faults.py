@@ -1,0 +1,173 @@
+"""Fault injection: worker failures and killed-run resume.
+
+A parallel run may die half-way — a worker raising, the process killed
+between shards — and the executor/checkpoint layer must (a) surface
+worker exceptions promptly with the original traceback, never hanging
+or silently dropping a shard, and (b) resume a killed
+``generate_library`` run to the *identical* final library.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from tests.parallel_utils import QUIET, TINY, data_modulo_timing
+
+from repro.fp.formats import FLOAT8
+from repro.libm import genlib
+from repro.libm.genlib import generate_library
+from repro.parallel import Checkpoint, CheckpointMismatch, ShardError, run_tasks
+
+pytestmark = pytest.mark.parallel
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _boom(payload):
+    if payload == "bad":
+        raise ValueError("boom-marker-5309")
+    return payload
+
+
+class TestWorkerFailure:
+    def test_raises_shard_error_with_original_traceback(self):
+        with pytest.raises(ShardError) as exc_info:
+            run_tasks(_boom, ["ok", "bad", "ok"], workers=2, label="faulty")
+        msg = str(exc_info.value)
+        assert "ValueError: boom-marker-5309" in msg
+        assert "in _boom" in msg          # the worker-side frame survives
+        assert exc_info.value.index == 1  # the failing shard is named
+        assert "faulty" in msg
+
+    def test_serial_path_raises_natively(self):
+        # workers=1 runs in-process: the original exception, untranslated
+        with pytest.raises(ValueError, match="boom-marker-5309"):
+            run_tasks(_boom, ["bad"], workers=1)
+
+    def test_completed_results_reported_before_failure(self):
+        payloads = ["a", "b", "bad"]
+        seen = {}
+        with pytest.raises(ShardError):
+            run_tasks(_boom, payloads, workers=2,
+                      on_result=lambda i, r: seen.__setitem__(i, r))
+        for i, r in seen.items():
+            assert r == payloads[i]
+        assert 2 not in seen  # the failed shard never reports a result
+
+    def test_no_shard_dropped_on_success(self):
+        results = run_tasks(_square, list(range(23)), workers=3)
+        assert results == [i * i for i in range(23)]
+
+
+class TestCheckpoint:
+    def test_atomic_save_and_load(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "ck")
+        ckpt.save("exp", {"source": "DATA = 1\n"})
+        assert ckpt.load("exp") == {"source": "DATA = 1\n"}
+        assert ckpt.done("exp") and not ckpt.done("ln")
+        assert list(ckpt.keys()) == ["exp"]
+        assert not list((tmp_path / "ck").glob("*.tmp"))
+
+    def test_torn_file_reads_as_absent(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "ck")
+        ckpt.save("exp", {"source": "x"})
+        (tmp_path / "ck" / "exp.json").write_text('{"source": "x')  # torn
+        assert ckpt.load("exp") is None
+        assert list(ckpt.keys()) == []
+
+    def test_manifest_mismatch_refuses_resume(self, tmp_path):
+        Checkpoint(tmp_path / "ck", manifest={"target": "float8", "seed": 1})
+        Checkpoint(tmp_path / "ck", manifest={"target": "float8", "seed": 1})
+        with pytest.raises(CheckpointMismatch):
+            Checkpoint(tmp_path / "ck",
+                       manifest={"target": "float8", "seed": 2})
+
+    def test_rejects_pathy_keys(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "ck")
+        for bad in ("", "a/b", "..", ".hidden"):
+            with pytest.raises(ValueError):
+                ckpt.save(bad, {})
+
+
+class TestKilledRunResume:
+    NAMES = ["ln", "log2"]
+
+    def test_serial_resume_identical_library(self, tmp_path, monkeypatch):
+        ck = tmp_path / "ckpt"
+        real = genlib.generate_one
+
+        def flaky(name, *args, **kwargs):
+            if name == "log2":
+                raise ValueError("injected-kill-log2")
+            return real(name, *args, **kwargs)
+
+        monkeypatch.setattr(genlib, "generate_one", flaky)
+        with pytest.raises(ValueError, match="injected-kill-log2"):
+            generate_library(self.NAMES, FLOAT8, tmp_path / "dead",
+                             settings=TINY, log=QUIET, checkpoint_dir=ck)
+        ckpt = Checkpoint(ck)
+        assert ckpt.done("ln") and not ckpt.done("log2")
+
+        monkeypatch.undo()
+        generate_library(self.NAMES, FLOAT8, tmp_path / "resumed",
+                         settings=TINY, log=QUIET, checkpoint_dir=ck)
+        generate_library(self.NAMES, FLOAT8, tmp_path / "fresh",
+                         settings=TINY, log=QUIET)
+        for name in self.NAMES:
+            resumed = data_modulo_timing(tmp_path / "resumed" / f"{name}.py")
+            fresh = data_modulo_timing(tmp_path / "fresh" / f"{name}.py")
+            assert resumed == fresh, f"{name}: resume diverged from fresh run"
+
+    @pytest.mark.skipif(not _HAS_FORK,
+                        reason="monkeypatched fault needs fork inheritance")
+    def test_parallel_worker_failure_keeps_finished_checkpoints(
+            self, tmp_path, monkeypatch):
+        ck = tmp_path / "ckpt"
+        real = genlib.generate_one
+
+        def flaky(name, *args, **kwargs):
+            if name == "log2":
+                # fail only after the sibling's checkpoint lands, so the
+                # "finished shards survive a failed run" claim is
+                # deterministic rather than a completion-order race
+                deadline = time.monotonic() + 120.0
+                while time.monotonic() < deadline:
+                    if Checkpoint(ck).done("ln"):
+                        break
+                    time.sleep(0.02)
+                raise ValueError("injected-kill-log2")
+            return real(name, *args, **kwargs)
+
+        monkeypatch.setattr(genlib, "generate_one", flaky)
+        with pytest.raises(ShardError, match="injected-kill-log2"):
+            generate_library(self.NAMES, FLOAT8, tmp_path / "dead",
+                             settings=TINY, log=QUIET, workers=2,
+                             checkpoint_dir=ck)
+        # the sibling shard that finished was checkpointed, not dropped
+        assert Checkpoint(ck).done("ln")
+
+        monkeypatch.undo()
+        generate_library(self.NAMES, FLOAT8, tmp_path / "resumed",
+                         settings=TINY, log=QUIET, workers=2,
+                         checkpoint_dir=ck)
+        generate_library(self.NAMES, FLOAT8, tmp_path / "fresh",
+                         settings=TINY, log=QUIET)
+        for name in self.NAMES:
+            resumed = data_modulo_timing(tmp_path / "resumed" / f"{name}.py")
+            fresh = data_modulo_timing(tmp_path / "fresh" / f"{name}.py")
+            assert resumed == fresh
+
+    def test_mismatched_checkpoint_refused(self, tmp_path):
+        ck = tmp_path / "ckpt"
+        generate_library(["ln"], FLOAT8, tmp_path / "out", settings=TINY,
+                         log=QUIET, checkpoint_dir=ck, seed=2021)
+        with pytest.raises(CheckpointMismatch):
+            generate_library(["ln"], FLOAT8, tmp_path / "out2", settings=TINY,
+                             log=QUIET, checkpoint_dir=ck, seed=2022)

@@ -11,6 +11,7 @@ import sys
 
 from repro.libm.genlib import generate_library
 from repro.libm.runtime import POSIT32_FUNCTIONS
+from repro.parallel import parse_workers
 from repro.posit.format import POSIT32
 
 
@@ -21,12 +22,19 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--scale", type=int, default=1,
                         help="divide sample budgets by this factor")
+    parser.add_argument("--workers", default=None, metavar="N|auto",
+                        help="parallel worker processes (default: serial; "
+                             "results are identical)")
+    parser.add_argument("--checkpoint", type=pathlib.Path, metavar="DIR",
+                        help="resume a killed run from this directory")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path(__file__).resolve().parent.parent
                         / "src" / "repro" / "libm" / "data_posit32")
     args = parser.parse_args(argv)
     generate_library(args.functions, POSIT32, args.out,
-                     quick=args.quick, seed=args.seed, scale=args.scale)
+                     quick=args.quick, seed=args.seed, scale=args.scale,
+                     workers=parse_workers(args.workers),
+                     checkpoint_dir=args.checkpoint)
     return 0
 
 
