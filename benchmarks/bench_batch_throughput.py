@@ -1,0 +1,101 @@
+"""Batch-engine throughput: vectorized sweep vs the scalar loop.
+
+Runs the shipped float32 ``exp`` over a million exactly-representable
+float32 inputs three ways — the per-element ``evaluate`` loop, the
+vectorized ``evaluate_many``, and the bit-pattern ``evaluate_bits_many``
+— asserts the batch results are bit-identical to the scalar loop on a
+sampled slice, and records elements/second and the batch/scalar speedup
+as gauges in the ``batch_throughput.metrics.json`` sidecar.
+
+The issue's acceptance bar is a ≥10x speedup on this exact sweep; that
+floor is asserted here so a regression in the numpy pipeline (a stray
+copy, a lost fast path) fails the benchmark rather than just slowing it.
+The scalar loop is timed over a subsample and extrapolated — at ~1.4M
+elements/s it is pure overhead to run in full every benchmark session.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro import api
+from repro.obs import metrics
+
+N = int(os.environ.get("REPRO_BENCH_BATCH_N", "1000000"))
+SCALAR_SAMPLE = 40000
+SEED = 2021
+SPEEDUP_FLOOR = 10.0
+
+
+@pytest.mark.batch
+@pytest.mark.benchmark(group="batch")
+def test_batch_throughput(benchmark, report_dir):
+    lib = api.load("exp", target="float32")
+    rng = np.random.default_rng(SEED)
+    # exact float32 values across the full non-special exp domain
+    xs = rng.uniform(-80.0, 80.0, N).astype(np.float32).astype(np.float64)
+    # warm-up: the first batch call compiles the gathered-coefficient
+    # tables; that one-time cost is not part of steady-state throughput
+    lib.evaluate_batch(xs[:8])
+
+    times: dict[str, float] = {}
+
+    def run():
+        t0 = time.perf_counter()
+        run.vals = lib.evaluate_batch(xs)
+        times["batch"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        run.bits = lib.evaluate_bits_batch(xs)
+        times["batch_bits"] = time.perf_counter() - t0
+
+        sub = xs[:SCALAR_SAMPLE].tolist()
+        ev = lib.evaluate
+        t0 = time.perf_counter()
+        run.scalar = [ev(x) for x in sub]
+        times["scalar"] = (time.perf_counter() - t0) * (N / len(sub))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # bit-identity spot check on the scalar sample (the exhaustive
+    # differential suite lives in tests/test_batch_equivalence.py)
+    got = run.vals[:SCALAR_SAMPLE]
+    assert np.asarray(run.scalar).tobytes() == got.tobytes()
+    eb = lib.evaluate_bits
+    stride = max(1, N // 2000)
+    for i in range(0, N, stride):
+        assert run.bits[i] == eb(xs[i])
+
+    scalar_eps = N / times["scalar"]
+    batch_eps = N / times["batch"]
+    speedup = times["scalar"] / times["batch"]
+    metrics.gauge("batch.bench.n").set(float(N))
+    metrics.gauge("batch.bench.scalar_eps").set(scalar_eps)
+    metrics.gauge("batch.bench.batch_eps").set(batch_eps)
+    metrics.gauge("batch.bench.batch_bits_eps").set(N / times["batch_bits"])
+    metrics.gauge("batch.bench.speedup").set(speedup)
+
+    lines = [
+        f"Batch evaluation throughput (float32 exp, {N} inputs)",
+        f"{'path':>22s} {'time_s':>8s} {'Melem/s':>9s}",
+        "-" * 42,
+        f"{'scalar loop (extrap)':>22s} {times['scalar']:8.2f} "
+        f"{scalar_eps / 1e6:9.2f}",
+        f"{'evaluate_batch':>22s} {times['batch']:8.2f} "
+        f"{batch_eps / 1e6:9.2f}",
+        f"{'evaluate_bits_batch':>22s} {times['batch_bits']:8.2f} "
+        f"{N / times['batch_bits'] / 1e6:9.2f}",
+        "",
+        f"speedup (batch vs scalar): {speedup:.1f}x "
+        f"(floor: {SPEEDUP_FLOOR:.0f}x)",
+    ]
+    emit(report_dir, "batch_throughput.txt", "\n".join(lines) + "\n")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch speedup {speedup:.1f}x fell below the "
+        f"{SPEEDUP_FLOOR:.0f}x acceptance floor")

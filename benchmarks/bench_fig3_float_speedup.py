@@ -17,7 +17,7 @@ from conftest import emit
 from repro.baselines import timing_baselines
 from repro.eval.timing import render_speedups, speedup_rows, time_batch, timing_inputs
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import FLOAT32_FUNCTIONS, load
+from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function as load
 
 
 @pytest.mark.benchmark(group="fig3-rlibm-ns")

@@ -11,7 +11,7 @@ import pytest
 from conftest import emit
 from repro.baselines import posit_baselines
 from repro.eval.timing import geomean, render_speedups, speedup_rows, timing_inputs
-from repro.libm.runtime import POSIT32_FUNCTIONS, load
+from repro.libm.runtime import POSIT32_FUNCTIONS, load_function as load
 from repro.posit.format import POSIT32
 
 

@@ -25,7 +25,7 @@ from conftest import emit
 from repro.core.sampling import sample_values
 from repro.core.validate import validate
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import load
+from repro.libm.runtime import load_function as load
 from repro.obs import metrics
 from repro.oracle import default_oracle
 

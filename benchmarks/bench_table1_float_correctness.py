@@ -13,7 +13,7 @@ from conftest import emit
 from repro.baselines import correctness_baselines
 from repro.eval.correctness import audit_function, build_pool, render_rows
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import FLOAT32_FUNCTIONS, load
+from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function as load
 
 #: Smaller pools keep the whole table under a few minutes; raise for a
 #: closer look.

@@ -15,7 +15,7 @@ from conftest import emit
 from repro.baselines import posit_baselines
 from repro.core.sampling import sample_values
 from repro.eval.correctness import audit_function, build_pool, render_rows
-from repro.libm.runtime import POSIT32_FUNCTIONS, load
+from repro.libm.runtime import POSIT32_FUNCTIONS, load_function as load
 from repro.posit.format import POSIT32
 
 N_RANDOM = 1200

@@ -12,13 +12,13 @@ while RLIBM-32 stays correct, then prints a compact correctness table.
 
 import random
 
+from repro import api
 from repro.baselines import correctness_baselines
 from repro.core.generator import target_bits
 from repro.core.sampling import sample_values
 from repro.eval.correctness import audit_function, build_pool, render_rows
 from repro.eval.hardcases import boundary_distance, mine_hard_cases
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import load
 from repro.oracle import default_oracle as orc
 
 
@@ -33,7 +33,7 @@ def main() -> None:
               "from a rounding boundary")
 
     print("\nDo the libraries survive them?")
-    rl = load(fn_name, "float32")
+    rl = api.load(fn_name, target="float32").fn
     libs = correctness_baselines()
     for x in hard:
         want = orc.round_to_bits(fn_name, x, FLOAT32)

@@ -53,18 +53,17 @@ def main() -> None:
     print(f"  exp(800.0) in double overflows to {d2!r} -> posit32 NaR, "
           "but the correct posit32 answer is maxpos:")
 
+    from repro import api
+
     try:
-        from repro.libm import posit32 as rp
-    except LookupError:
-        print("  (generate the posit32 tables first: "
-              "tools/generate_posit32.py)")
-        return
-    try:
-        print(f"  RLIBM-32 exp(800.0) = {rp.exp(800.0)!r}")
-        print(f"  RLIBM-32 exp(-800.0) = {rp.exp(-800.0)!r} (minpos)")
-        print(f"  RLIBM-32 ln(2**120) = {rp.ln(float(POSIT32.maxpos))!r}")
+        pexp = api.load("exp", target="posit32")
+        pln = api.load("ln", target="posit32")
+        nar = POSIT32.to_double(POSIT32.nar_bits)   # NaR decodes to NaN
+        print(f"  RLIBM-32 exp(800.0) = {pexp(800.0)!r}")
+        print(f"  RLIBM-32 exp(-800.0) = {pexp(-800.0)!r} (minpos)")
+        print(f"  RLIBM-32 ln(2**120) = {pln(float(POSIT32.maxpos))!r}")
         print(f"  RLIBM-32 exp_bits(NaR) = "
-              f"{rp.exp_bits(POSIT32.nar_bits):#010x} (NaR in, NaR out)")
+              f"{pexp.evaluate_bits(nar):#010x} (NaR in, NaR out)")
     except LookupError:
         print("  (generate the posit32 tables first: "
               "tools/generate_posit32.py)")

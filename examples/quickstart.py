@@ -3,39 +3,45 @@
 
 Run:  python examples/quickstart.py
 
-The float32 API takes and returns Python floats holding exact binary32
-values; the posit32 API additionally offers a raw bit-pattern interface.
-Every result is correctly rounded: it equals the real-number result of
-the function rounded once to the 32-bit target.
+``repro.api`` is the public entry point: ``api.load(fn, target)``
+returns a Library handle whose scalar calls take and return Python
+floats holding exact binary32/posit32 values, with a raw bit-pattern
+interface and a numpy-vectorized batch path alongside.  Every result
+is correctly rounded: it equals the real-number result of the function
+rounded once to the 32-bit target.
 """
 
 import math
 
-from repro.libm import float32 as rl
+from repro import api
 from repro.fp.float32 import f32_round, f32_to_bits
 
 
 def main() -> None:
+    fl = {name: api.load(name, target="float32")
+          for name in api.functions("float32")}
+
     print("== RLIBM-32 float32 library ==")
     for expr, got, want in [
-        ("log2(8)", rl.log2(8.0), 3.0),
-        ("exp(1)", rl.exp(1.0), f32_round(math.e)),
-        ("sinpi(0.5)", rl.sinpi(0.5), 1.0),
-        ("cospi(1.5)", rl.cospi(1.5), 0.0),
-        ("exp10(-2)", rl.exp10(-2.0), f32_round(0.01)),
-        ("sinh(3)", rl.sinh(3.0), f32_round(math.sinh(3.0))),
+        ("log2(8)", fl["log2"](8.0), 3.0),
+        ("exp(1)", fl["exp"](1.0), f32_round(math.e)),
+        ("sinpi(0.5)", fl["sinpi"](0.5), 1.0),
+        ("cospi(1.5)", fl["cospi"](1.5), 0.0),
+        ("exp10(-2)", fl["exp10"](-2.0), f32_round(0.01)),
+        ("sinh(3)", fl["sinh"](3.0), f32_round(math.sinh(3.0))),
     ]:
         status = "ok" if got == want else "MISMATCH"
         print(f"  {expr:12s} = {got!r:25s} [{status}]")
 
     print("\nSpecial cases follow IEEE conventions:")
-    print(f"  ln(0)    = {rl.ln(0.0)!r}")
-    print(f"  ln(-1)   = {rl.ln(-1.0)!r}")
-    print(f"  exp(-inf)= {rl.exp(-math.inf)!r}")
-    print(f"  exp(89)  = {rl.exp(89.0)!r}  (float32 overflow)")
+    print(f"  ln(0)    = {fl['ln'](0.0)!r}")
+    print(f"  ln(-1)   = {fl['ln'](-1.0)!r}")
+    print(f"  exp(-inf)= {fl['exp'](-math.inf)!r}")
+    print(f"  exp(89)  = {fl['exp'](89.0)!r}  (float32 overflow)")
 
     print("\nBit-level access (binary32 patterns):")
-    print(f"  log10_bits(1000) = {rl.log10_bits(1000.0):#010x}"
+    print(f"  log10.evaluate_bits(1000) = "
+          f"{fl['log10'].evaluate_bits(1000.0):#010x}"
           f"  (== 3.0f: {f32_to_bits(3.0):#010x})")
 
     # Where correct rounding matters: a value whose exponential sits
@@ -43,19 +49,30 @@ def main() -> None:
     # conventional library flips the last bit.
     x = f32_round(0.49868873)
     print("\nA hard input: exp({!r})".format(x))
-    print(f"  correctly rounded: {rl.exp(x)!r}")
+    print(f"  correctly rounded: {fl['exp'](x)!r}")
     print(f"  naive float32 computation: {f32_round(math.exp(x))!r} "
           "(happens to agree here — but no library that rounds twice can "
           "promise it for every input; RLIBM-32 can)")
 
     try:
-        from repro.libm import posit32 as rp
+        import numpy as np
+
+        xs = np.linspace(-10.0, 10.0, 5)
+        print("\nVectorized batch evaluation (bit-identical to scalar):")
+        print(f"  exp.evaluate_batch({xs.tolist()})")
+        print(f"    = {fl['exp'].evaluate_batch(xs).tolist()}")
+    except ImportError:
+        pass
+
+    try:
+        pexp = api.load("exp", target="posit32")
+        pln = api.load("ln", target="posit32")
         print("\n== RLIBM-32 posit32 library ==")
-        print(f"  exp(1)    = {rp.exp(1.0)!r}")
-        print(f"  ln(2)     = {rp.ln(2.0)!r}")
-        print(f"  exp(200)  = {rp.exp(200.0)!r}  "
+        print(f"  exp(1)    = {pexp(1.0)!r}")
+        print(f"  ln(2)     = {pln(2.0)!r}")
+        print(f"  exp(200)  = {pexp(200.0)!r}  "
               "(saturates to maxpos = 2**120: posits never overflow)")
-        print(f"  exp(-200) = {rp.exp(-200.0)!r}  (minpos, never 0)")
+        print(f"  exp(-200) = {pexp(-200.0)!r}  (minpos, never 0)")
     except LookupError:
         print("\n(posit32 tables not generated yet; "
               "run tools/generate_posit32.py)")

@@ -10,12 +10,12 @@ bit-pattern sub-domain index of R, and finally the output compensation
 that turns polynomial values back into sinpi(x).
 """
 
+from repro import api
 from repro.core.generator import target_rounding_interval
 from repro.core.reduced import reduced_intervals
 from repro.fp.bits import double_to_bits
 from repro.fp.float32 import f32_round
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import load
 from repro.oracle import default_oracle as orc
 from repro.rangereduction import SinPiReduction
 
@@ -52,7 +52,7 @@ def main() -> None:
 
     print("\nStep 3: bit-pattern sub-domain indexing of R")
     print(f"  R as a double bit pattern: {double_to_bits(r1.r):#018x}")
-    g = load("sinpi", "float32")
+    g = api.load("sinpi", target="float32").fn
     af = g.approx["sinpi"]
     side = af.pos
     print(f"  shipped sinpi(R) table: 2**{side.index_bits} sub-domain(s); "

@@ -27,14 +27,14 @@ import sys
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     from repro.core.generator import target_bits
-    from repro.libm.runtime import load
+    from repro.libm.runtime import load_function
     from repro.libm.serialize import TARGETS_BY_NAME
     from repro.oracle import default_oracle as orc
     from repro.rangereduction import reduction_for
 
     fmt = TARGETS_BY_NAME[args.target]
     x = fmt.to_double(fmt.from_double(args.x))
-    g = load(args.function, args.target)
+    g = load_function(args.function, args.target)
     got = g.evaluate(x)
     got_bits = g.evaluate_bits(x)
     print(f"{args.function}({x!r}) [{args.target}]")
@@ -51,7 +51,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.baselines import correctness_baselines, posit_baselines
     from repro.eval.correctness import audit_function, build_pool, render_rows
-    from repro.libm.runtime import load
+    from repro.libm.runtime import load_function
     from repro.libm.serialize import TARGETS_BY_NAME
 
     from repro.parallel import parse_workers
@@ -61,8 +61,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             else correctness_baselines())
     pool = build_pool(args.function, fmt, n_random=args.n,
                       n_hard=args.hard, hard_candidates=4 * args.hard + 100)
-    row = audit_function(args.function, fmt, load(args.function, args.target),
-                         libs, pool, workers=parse_workers(args.workers))
+    rlibm = load_function(args.function, args.target)
+    row = audit_function(args.function, fmt, rlibm, libs, pool,
+                         workers=parse_workers(args.workers))
     print(render_rows([row], f"audit: {args.function} [{args.target}]"))
     return 0
 
@@ -80,7 +81,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
            / f"data_{args.target}")
     generate_library(names, fmt, out, quick=args.quick, seed=args.seed,
                      workers=parse_workers(args.workers),
-                     checkpoint_dir=args.checkpoint)
+                     checkpoint=args.checkpoint)
     return 0
 
 

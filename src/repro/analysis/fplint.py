@@ -117,15 +117,16 @@ RULES: dict[str, Rule] = {r.code: r for r in (
          "compare bit patterns, use an explicit tolerance, or suppress "
          "where exact-value comparison is the contract",
          ("src/repro",),
-         # formats, posits, oracles, range reduction and baselines compare
-         # exact special-case values by design
+         # formats, posits, oracles, range reduction, the batch engine
+         # and baselines compare exact special-case values by design
          ("src/repro/fp/", "src/repro/posit/", "src/repro/oracle/",
-          "src/repro/rangereduction/", "src/repro/baselines/")),
+          "src/repro/rangereduction/", "src/repro/baselines/",
+          "src/repro/batch/")),
     Rule("FP102", "math.* transcendental in runtime/range-reduction path",
          Severity.ERROR,
          "route through repro.oracle (generation time) or the frozen "
          "tables (runtime); math.* is not correctly rounded",
-         ("src/repro/libm", "src/repro/rangereduction"),
+         ("src/repro/libm", "src/repro/rangereduction", "src/repro/batch"),
          _DATA_PKGS),
     Rule("FP103", "float literal does not repr-round-trip", Severity.ERROR,
          "rewrite the literal as repr(value) so the written decimal is "

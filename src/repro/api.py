@@ -1,0 +1,116 @@
+"""The public entry point of the reproduction.
+
+Everything a user of the generated libraries needs is reachable from
+this one module::
+
+    from repro import api
+
+    exp = api.load("exp", target="float32")
+    exp.evaluate(1.5)                     # scalar, correctly rounded
+    exp.evaluate_batch(xs)                # numpy float64 array in/out
+    api.functions("posit32")              # what is available
+    api.targets()                         # known target formats
+
+:func:`load` returns a :class:`Library` handle wrapping the runnable
+:class:`~repro.core.generator.GeneratedFunction`.  The batch methods
+run the numpy-vectorized engine (:mod:`repro.batch`), which is
+bit-identical to the scalar path for every input — see DESIGN.md,
+"Scalar/batch bit-identity".
+
+The older entry points (``repro.libm.runtime.load``,
+``repro.libm.float32`` / ``posit32`` wrappers) keep working;
+``runtime.load`` emits a :class:`DeprecationWarning` pointing here.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import GeneratedFunction
+from repro.libm import runtime
+
+__all__ = ["Library", "load", "functions", "targets", "reload"]
+
+
+class Library:
+    """Handle for one correctly rounded function on one target format.
+
+    Thin wrapper over a :class:`~repro.core.generator.GeneratedFunction`
+    (exposed as :attr:`fn` for low-level access) presenting the scalar
+    and batch evaluators under one roof.
+    """
+
+    def __init__(self, fn: GeneratedFunction, target: str):
+        self.fn = fn
+        self.name = fn.name
+        self.target = target
+
+    # -- scalar ------------------------------------------------------------
+
+    def evaluate(self, x: float) -> float:
+        """f(x) correctly rounded to the target, as a double."""
+        return self.fn.evaluate(x)
+
+    def evaluate_bits(self, x: float) -> int:
+        """f(x) correctly rounded, as a target bit pattern."""
+        return self.fn.evaluate_bits(x)
+
+    __call__ = evaluate
+
+    # -- batch -------------------------------------------------------------
+
+    def evaluate_batch(self, xs):
+        """Vectorized :meth:`evaluate`: float64 array in, doubles out.
+
+        Accepts any-shape float64 arrays (or nested lists of floats);
+        the result has the same shape.  Bit-identical to calling
+        :meth:`evaluate` per element.
+        """
+        return self.fn.evaluate_many(xs)
+
+    def evaluate_bits_batch(self, xs):
+        """Vectorized :meth:`evaluate_bits`: uint64 patterns out."""
+        return self.fn.evaluate_bits_many(xs)
+
+    # -- introspection -----------------------------------------------------
+
+    def instrumented(self) -> "Library":
+        """A fresh handle whose *scalar* path records runtime metrics.
+
+        Wraps :func:`repro.libm.runtime.instrument`; the batch path is
+        not instrumented (it reports no per-call metrics) and the
+        shared cached function stays untouched.
+        """
+        return Library(runtime.instrument(self.fn), self.target)
+
+    @property
+    def stats(self):
+        """Generation-time statistics of the underlying function."""
+        return self.fn.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Library({self.name!r}, target={self.target!r})"
+
+
+def load(function: str, target: str = "float32") -> Library:
+    """Load one shipped (or generated) function as a :class:`Library`.
+
+    ``function`` is an elementary function name (see :func:`functions`);
+    ``target`` one of :func:`targets`.  Raises LookupError when no
+    frozen data exists for the pair — ``python -m repro generate
+    --target <name>`` creates it.
+    """
+    return Library(runtime.load_function(function, target), target)
+
+
+def reload(function: str, target: str = "float32") -> Library:
+    """Like :func:`load`, but bypassing caches (fresh frozen data)."""
+    return Library(runtime.reload(function, target), target)
+
+
+def functions(target: str = "float32") -> tuple[str, ...]:
+    """Function names this target supports (posits lack sinpi/cospi)."""
+    return runtime.functions_for(target)
+
+
+def targets() -> tuple[str, ...]:
+    """Target formats the loader accepts (shipped: float32, posit32)."""
+    return runtime.KNOWN_TARGETS

@@ -1,0 +1,88 @@
+"""The batch evaluation pipeline: arrays in, correctly rounded arrays out.
+
+:class:`BatchFunction` wraps a generated function and runs the full
+runtime pipeline on numpy float64 arrays — special-case masks,
+vectorized range reduction, shift+mask sub-domain lookup, gathered
+Horner, output compensation, final rounding — with every lane
+performing the exact IEEE double operation sequence of the scalar
+``evaluate`` / ``evaluate_bits`` path (see DESIGN.md, "Scalar/batch
+bit-identity").
+
+Special-case lanes are *compressed out* before range reduction: the
+arithmetic kernels only ever see the non-special lanes, so NaN/Inf and
+out-of-domain inputs neither poison adjacent lanes nor trip spurious
+floating-point warnings, exactly as the scalar path short-circuits
+before reducing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.batch.kernels import compile_approx
+from repro.batch.rounding import bits_kernel, round_kernel
+
+__all__ = ["BatchFunction"]
+
+
+def _as_input(xs) -> Tuple[np.ndarray, tuple]:
+    """Validate and flatten a batch input; returns (flat copy, shape)."""
+    arr = np.asarray(xs)
+    if arr.dtype != np.float64:
+        if arr.dtype.kind in "iuf":
+            raise TypeError(
+                f"batch inputs must be float64 (got {arr.dtype}); convert "
+                "explicitly with xs.astype(np.float64) — an implicit upcast "
+                "would silently evaluate different doubles than the caller "
+                "holds"
+            )
+        raise TypeError(f"batch inputs must be float64 (got {arr.dtype})")
+    # reshape(-1) yields a contiguous view when possible and a
+    # contiguous copy otherwise; the pipeline never writes into it
+    return arr.reshape(-1), arr.shape
+
+
+class BatchFunction:
+    """Vectorized twin of a :class:`~repro.core.generator.GeneratedFunction`.
+
+    Built lazily by the ``GeneratedFunction.batch`` property; users
+    reach it through ``evaluate_many`` / ``evaluate_bits_many`` or the
+    :mod:`repro.api` facade.
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.rr = fn.spec.rr
+        self._kernels = [compile_approx(af) for af in fn._funcs]
+        self._round = round_kernel(fn.spec.target)
+        self._bits = bits_kernel(fn.spec.target)
+
+    def _compensated(self, xs: np.ndarray) -> np.ndarray:
+        """Pipeline output *before* final rounding, per lane."""
+        rr = self.rr
+        mask, vals = rr.special_batch(xs)
+        if not mask.any():                      # common case: no specials
+            r, ctx = rr.reduce_batch(xs)
+            values = tuple(kernel(r) for kernel in self._kernels)
+            return rr.compensate_batch(values, ctx)
+        out = np.empty_like(xs)
+        out[mask] = vals
+        rest = ~mask
+        xr = xs[rest]
+        if xr.size:
+            r, ctx = rr.reduce_batch(xr)
+            values = tuple(kernel(r) for kernel in self._kernels)
+            out[rest] = rr.compensate_batch(values, ctx)
+        return out
+
+    def evaluate_many(self, xs) -> np.ndarray:
+        """Correctly rounded results (as doubles), same shape as ``xs``."""
+        flat, shape = _as_input(xs)
+        return self._round(self._compensated(flat)).reshape(shape)
+
+    def evaluate_bits_many(self, xs) -> np.ndarray:
+        """Target bit patterns (uint64), same shape as ``xs``."""
+        flat, shape = _as_input(xs)
+        return self._bits(self._compensated(flat)).reshape(shape)

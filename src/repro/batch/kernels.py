@@ -1,0 +1,144 @@
+"""Vectorized piecewise-polynomial evaluation kernels.
+
+:func:`compile_piecewise` turns a
+:class:`~repro.core.piecewise.PiecewisePolynomial` into an array kernel
+``r -> values`` that is bit-identical, lane for lane, to the compiled
+scalar closure:
+
+* the sub-domain index is extracted exactly as
+  :meth:`~repro.core.piecewise.PiecewisePolynomial.index_of` does —
+  one shift and one mask of the reduced input's binary64 bit pattern,
+  via a uint64 view of the float64 array;
+* the polynomials are evaluated with a *gathered-coefficient* Horner:
+  the per-sub-domain coefficients are stored as one column array per
+  Horner step and gathered by index, so every lane runs the shared
+  straight-line sequence ``acc = acc*u + c[idx]`` regardless of which
+  sub-domain it hit — the array analogue of RLIBM-32's generated C
+  table lookup.
+
+The gathered form requires every sub-domain polynomial to be a prefix
+of one shared monomial progression (which is what the generator
+produces: Algorithm 3 hands every sub-domain the same candidate
+exponent list and the CEG degree-lowering pass truncates it).  Shorter
+rows are padded with zero coefficients; the padding steps compute
+``0.0*u + c`` which reproduces ``c`` bit-exactly *except* when the
+row's own leading coefficient is a (signed) zero, where the sign of
+zero could flip.  :func:`compile_piecewise` checks both conditions at
+build time and otherwise falls back to grouping lanes by sub-domain and
+running :meth:`~repro.core.polynomials.Polynomial.eval_many` per group
+— slower, but equally bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.piecewise import ApproxFunc, PiecewisePolynomial
+from repro.core.polynomials import Polynomial, _pow_small, horner_structure
+
+__all__ = ["compile_approx", "compile_piecewise"]
+
+
+def _padded_tables(polys: Sequence[Polynomial]):
+    """Gathered-Horner tables ``(start, stride, cols)``, or None.
+
+    ``cols[t]`` holds coefficient ``t`` of every sub-domain (zero-padded
+    rows for lowered-degree polynomials).  Returns None when the padded
+    evaluation cannot be proven bit-identical to the scalar path.
+    """
+    ref = max(polys, key=lambda p: len(p.exponents))
+    exps = ref.exponents
+    struct = horner_structure(exps)
+    if struct is None:
+        return None
+    for p in polys:
+        if tuple(p.exponents) != exps[:len(p.exponents)]:
+            return None
+        # a padded step computes 0.0*u + c_top; that is bit-identical to
+        # starting from c_top unless c_top is a signed zero
+        if len(p.exponents) < len(exps) and p.coefficients[-1] == 0.0:
+            return None
+    start, stride = struct
+    nterms = len(exps)
+    grid = np.zeros((nterms, len(polys)), dtype=np.float64)
+    for i, p in enumerate(polys):
+        grid[:len(p.coefficients), i] = p.coefficients
+    cols = [np.ascontiguousarray(grid[t]) for t in range(nterms)]
+    return start, stride, cols
+
+
+def compile_piecewise(pp: PiecewisePolynomial) -> Callable:
+    """Array kernel for one piecewise polynomial (bit-exact per lane)."""
+    if pp.index_bits == 0:
+        p0 = pp.polys[0]
+        return p0.eval_many
+
+    shift = np.uint64(pp.shift)
+    mask = np.uint64((1 << pp.index_bits) - 1)
+
+    def indices(r: np.ndarray) -> np.ndarray:
+        return ((r.view(np.uint64) >> shift) & mask).astype(np.intp)
+
+    padded = _padded_tables(pp.polys)
+    if padded is not None:
+        start, stride, cols = padded
+        nterms = len(cols)
+
+        def kernel(r: np.ndarray) -> np.ndarray:
+            idx = indices(r)
+            if nterms > 1:
+                u = _pow_small(r, stride)
+                acc = cols[nterms - 1].take(idx)
+                buf = np.empty_like(acc)
+                # in-place steps: same multiply/add per lane, no temporaries
+                for t in range(nterms - 2, -1, -1):
+                    acc *= u
+                    acc += np.take(cols[t], idx, out=buf)
+            else:
+                acc = cols[0].take(idx)
+            if start:
+                acc *= _pow_small(r, start)
+            return acc
+
+        return kernel
+
+    polys = pp.polys
+
+    def kernel(r: np.ndarray) -> np.ndarray:
+        idx = indices(r)
+        out = np.empty_like(r)
+        for i in np.unique(idx):
+            sel = idx == i
+            out[sel] = polys[i].eval_many(r[sel])
+        return out
+
+    return kernel
+
+
+def compile_approx(af: ApproxFunc) -> Callable:
+    """Array kernel mirroring ``ApproxFunc.compiled`` sign dispatch.
+
+    When only one sign's piecewise polynomial exists the compiled scalar
+    closure uses it for *every* input with no sign check; the batch
+    kernel reproduces exactly that behaviour.
+    """
+    neg = compile_piecewise(af.neg) if af.neg is not None else None
+    pos = compile_piecewise(af.pos) if af.pos is not None else None
+    if neg is None:
+        return pos
+    if pos is None:
+        return neg
+
+    def kernel(r: np.ndarray) -> np.ndarray:
+        out = np.empty_like(r)
+        m = r < 0.0
+        if m.any():
+            out[m] = neg(r[m])
+        m = ~m
+        if m.any():
+            out[m] = pos(r[m])
+        return out
+
+    return kernel

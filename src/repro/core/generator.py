@@ -122,6 +122,28 @@ class GeneratedFunction:
         vals = tuple(af.compiled(r) for af in self._funcs)
         return target_bits(self.spec.target, rr.compensate(vals, ctx))
 
+    @property
+    def batch(self):
+        """The vectorized twin of this function (built lazily, cached).
+
+        A :class:`repro.batch.engine.BatchFunction` running the same
+        pipeline on float64 arrays, bit-identical per element.
+        """
+        bf = self.__dict__.get("_batch")
+        if bf is None:
+            from repro.batch.engine import BatchFunction
+
+            bf = self.__dict__["_batch"] = BatchFunction(self)
+        return bf
+
+    def evaluate_many(self, xs):
+        """Batch ``evaluate``: float64 array in, rounded doubles out."""
+        return self.batch.evaluate_many(xs)
+
+    def evaluate_bits_many(self, xs):
+        """Batch ``evaluate_bits``: float64 array in, uint64 patterns out."""
+        return self.batch.evaluate_bits_many(xs)
+
     def __call__(self, x: float) -> float:
         return self.evaluate(x)
 

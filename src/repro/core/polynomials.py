@@ -166,10 +166,13 @@ class Polynomial:
         start, stride = struct
         u = _pow_small(rs, stride) if len(cs) > 1 else np.zeros_like(rs)
         acc = np.full_like(rs, cs[-1])
+        # in-place Horner steps: the same multiply and add per lane as
+        # the scalar path, without a temporary per step
         for c in reversed(cs[:-1]):
-            acc = acc * u + c
+            acc *= u
+            acc += c
         if start:
-            acc = acc * _pow_small(rs, start)
+            acc *= _pow_small(rs, start)
         return acc
 
     def prefix(self, nterms: int) -> "Polynomial":

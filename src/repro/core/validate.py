@@ -43,9 +43,26 @@ def reference_bits(spec: FunctionSpec, x: float,
     return oracle.round_to_bits(spec.name, x, spec.target)
 
 
+def _evaluate_bits_all(fn, xs: list[float]) -> list[int]:
+    """Every input's generated-function bits, batched when possible.
+
+    The vectorized engine (:mod:`repro.batch`) is bit-identical to
+    ``evaluate_bits`` per element, so using it here changes nothing but
+    wall-clock; objects without a batch path (test doubles) fall back to
+    the scalar loop.
+    """
+    many = getattr(fn, "evaluate_bits_many", None)
+    if many is None or not xs:
+        return [fn.evaluate_bits(x) for x in xs]
+    import numpy as np
+
+    return many(np.array(xs, dtype=np.float64)).tolist()
+
+
 def validate(
     fn: GeneratedFunction,
     inputs: Iterable[float],
+    *,
     oracle: Oracle = default_oracle,
     limit: int | None = None,
     workers: int | str | None = None,
@@ -66,9 +83,9 @@ def validate(
     if n_workers > 1:
         return _validate_parallel(fn, list(inputs), oracle, limit,
                                   n_workers, chunk_size)
+    xs = list(inputs)
     bad: list[Mismatch] = []
-    for x in inputs:
-        got = fn.evaluate_bits(x)
+    for x, got in zip(xs, _evaluate_bits_all(fn, xs)):
         want = reference_bits(fn.spec, x, oracle)
         if got != want:
             bad.append(Mismatch(x, got, want))
@@ -83,7 +100,7 @@ def _validate_chunk(payload: tuple) -> list[Mismatch]:
     data, xs, oracle = payload
     from repro.libm.serialize import function_from_dict
 
-    return validate(function_from_dict(data), xs, oracle)
+    return validate(function_from_dict(data), xs, oracle=oracle)
 
 
 def _validate_parallel(
@@ -117,6 +134,7 @@ def generate_validated(
     spec: FunctionSpec,
     inputs: Sequence[float],
     validation_inputs: Sequence[float] | Callable[[int], Sequence[float]] = (),
+    *,
     oracle: Oracle = default_oracle,
     max_rounds: int = 4,
     clean_rounds: int = 1,
@@ -149,7 +167,7 @@ def generate_validated(
     for round_no in range(max_rounds):
         if fn is None:
             fn = generate(spec, work, oracle)
-        bad = validate(fn, factory(round_no), oracle, workers=workers)
+        bad = validate(fn, factory(round_no), oracle=oracle, workers=workers)
         if not bad:
             clean += 1
             if clean >= clean_rounds:

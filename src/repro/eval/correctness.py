@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.base import BaselineLibrary
 from repro.core.generator import GeneratedFunction, target_bits
+from repro.core.validate import _evaluate_bits_all
 from repro.core.intervals import TargetFormat
 from repro.core.sampling import boundary_values, sample_values
 from repro.eval.hardcases import mine_hard_cases
@@ -94,6 +95,7 @@ def audit_function(
     rlibm: GeneratedFunction | None,
     baselines: dict[str, BaselineLibrary],
     pool: list[float],
+    *,
     oracle: Oracle = default_oracle,
     workers: int | str | None = None,
     chunk_size: int | None = None,
@@ -120,8 +122,9 @@ def audit_function(
 
     row = CorrectnessRow(fn_name, len(pool))
     if rlibm is not None:
+        got = _evaluate_bits_all(rlibm, pool)   # batched, bit-identical
         row.wrong["RLIBM-32"] = sum(
-            1 for x in pool if rlibm.evaluate_bits(x) != refs[x])
+            1 for x, g in zip(pool, got) if g != refs[x])
     for name, lib in baselines.items():
         if not lib.supports(fn_name):
             row.wrong[name] = None
@@ -149,8 +152,9 @@ def _audit_chunk(payload: tuple) -> dict[str, int]:
     counts: dict[str, int] = {}
     if data is not None:
         fn = function_from_dict(data)
+        got = _evaluate_bits_all(fn, xs)
         counts["RLIBM-32"] = sum(
-            1 for x in xs if fn.evaluate_bits(x) != refs[x])
+            1 for x, g in zip(xs, got) if g != refs[x])
     for name, lib in libs.items():
         counts[name] = sum(
             1 for x in xs if target_bits(fmt, lib.call(fn_name, x)) != refs[x])

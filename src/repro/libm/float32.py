@@ -17,17 +17,17 @@ its input to binary32 first, so any double can be passed.
 from __future__ import annotations
 
 from repro.fp.float32 import f32_round
-from repro.libm.runtime import FLOAT32_FUNCTIONS, load
+from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function
 
 __all__ = list(FLOAT32_FUNCTIONS) + [f"{n}_bits" for n in FLOAT32_FUNCTIONS]
 
 
 def _make(fn_name: str):
     def value(x: float) -> float:
-        return load(fn_name, "float32").evaluate(f32_round(x))
+        return load_function(fn_name, "float32").evaluate(f32_round(x))
 
     def bits(x: float) -> int:
-        return load(fn_name, "float32").evaluate_bits(f32_round(x))
+        return load_function(fn_name, "float32").evaluate_bits(f32_round(x))
 
     value.__name__ = fn_name
     value.__qualname__ = fn_name

@@ -18,6 +18,7 @@ from __future__ import annotations
 import pathlib
 import random
 import time
+import warnings
 from dataclasses import dataclass
 
 from repro.core.generator import FunctionSpec, GeneratedFunction
@@ -70,6 +71,7 @@ GEN_SETTINGS: dict[str, GenSettings] = {
 def generate_one(
     name: str,
     fmt: TargetFormat,
+    *,
     seed: int = 2021,
     quick: bool = False,
     settings: GenSettings | None = None,
@@ -169,13 +171,15 @@ def generate_library(
     names: list[str],
     fmt: TargetFormat,
     out_dir: pathlib.Path,
+    *,
     quick: bool = False,
     seed: int = 2021,
     scale: int = 1,
     log=print,
     workers: int | str | None = None,
-    checkpoint_dir: pathlib.Path | str | None = None,
+    checkpoint: pathlib.Path | str | None = None,
     settings: GenSettings | None = None,
+    checkpoint_dir: pathlib.Path | str | None = None,
 ) -> None:
     """Generate and freeze a set of functions into ``out_dir``.
 
@@ -183,21 +187,27 @@ def generate_library(
     function's pipeline is seeded independently, so any schedule
     produces byte-identical modules; with a single pending function the
     parallelism moves inside it, onto the validation chunks instead).
-    ``checkpoint_dir`` makes the run resumable: every finished function
+    ``checkpoint`` makes the run resumable: every finished function
     is saved as an atomic JSON shard, a restarted run regenerates only
     the missing ones, and a manifest pins target/seed/budgets so stale
-    checkpoints cannot leak into a differently configured run.
-    ``settings`` overrides :data:`GEN_SETTINGS` for every function
-    (small budgets for tests and sweeps).
+    checkpoints cannot leak into a differently configured run
+    (``checkpoint_dir`` is the deprecated spelling of the same
+    parameter).  ``settings`` overrides :data:`GEN_SETTINGS` for every
+    function (small budgets for tests and sweeps).
     """
+    if checkpoint_dir is not None:
+        warnings.warn("checkpoint_dir= is deprecated; use checkpoint=",
+                      DeprecationWarning, stacklevel=2)
+        if checkpoint is None:
+            checkpoint = checkpoint_dir
     out_dir.mkdir(parents=True, exist_ok=True)
     init = out_dir / "__init__.py"
     if not init.exists():
         init.write_text('"""Frozen coefficient tables (generated)."""\n')
 
     ckpt = None
-    if checkpoint_dir is not None:
-        ckpt = Checkpoint(checkpoint_dir, manifest={
+    if checkpoint is not None:
+        ckpt = Checkpoint(checkpoint, manifest={
             "target": str(fmt), "seed": seed, "quick": bool(quick),
             "scale": scale,
         })

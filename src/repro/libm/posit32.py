@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 
-from repro.libm.runtime import POSIT32_FUNCTIONS, load
+from repro.libm.runtime import POSIT32_FUNCTIONS, load_function
 from repro.posit.format import POSIT32
 
 __all__ = list(POSIT32_FUNCTIONS) + [f"{n}_bits" for n in POSIT32_FUNCTIONS]
@@ -27,13 +27,13 @@ def _make(fn_name: str):
         if math.isnan(x) or math.isinf(x):
             return math.nan
         x = POSIT32.round_double(x)
-        return load(fn_name, "posit32").evaluate(x)
+        return load_function(fn_name, "posit32").evaluate(x)
 
     def bits(p: int) -> int:
         if POSIT32.is_nar(p):
             return POSIT32.nar_bits
         x = POSIT32.to_double(p)
-        return load(fn_name, "posit32").evaluate_bits(x)
+        return load_function(fn_name, "posit32").evaluate_bits(x)
 
     value.__name__ = fn_name
     value.__qualname__ = fn_name

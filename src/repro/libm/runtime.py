@@ -1,6 +1,6 @@
 """Loading the shipped correctly rounded library from frozen data.
 
-``load("exp", "float32")`` rebuilds the runnable
+``load_function("exp", "float32")`` rebuilds the runnable
 :class:`~repro.core.generator.GeneratedFunction` from the coefficient
 data module the generator tools froze into ``data_float32`` /
 ``data_posit32``.  Loading touches neither the oracle nor the LP solver —
@@ -11,13 +11,15 @@ sub-domain lookup, Horner, output compensation, final rounding.
 from __future__ import annotations
 
 import importlib
+import sys
+import warnings
 
 from repro.core.generator import GeneratedFunction
 from repro.libm.serialize import function_from_dict
 from repro.obs import metrics
 
-__all__ = ["load", "available", "clear_cache", "instrument",
-           "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
+__all__ = ["load", "load_function", "reload", "available", "clear_cache",
+           "instrument", "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
 
 #: The ten float32 functions of the paper's prototype.
 FLOAT32_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
@@ -47,13 +49,28 @@ def _module_name(target: str, fn_name: str) -> str:
 def clear_cache() -> None:
     """Drop every cached GeneratedFunction.
 
-    The next :func:`load` re-reads the frozen data modules — needed
-    after regenerating tables in-place (``python -m repro generate``)
-    or when tests monkeypatch a data module.  Note that re-reading also
-    requires the *module* to be fresh (``importlib.reload`` or a
-    ``sys.modules`` purge); this only clears the layer above.
+    The next :func:`load_function` re-reads the frozen data modules —
+    needed after regenerating tables in-place (``python -m repro
+    generate``) or when tests monkeypatch a data module.  Note that
+    re-reading also requires the *module* to be fresh; :func:`reload`
+    bundles the ``sys.modules`` purge with the cache drop for one
+    function.
     """
     _cache.clear()
+
+
+def reload(fn_name: str, target: str = "float32") -> GeneratedFunction:
+    """Reload one function from its frozen data module, bypassing caches.
+
+    Purges the data module from ``sys.modules`` and drops the cached
+    GeneratedFunction, then loads fresh — the dance the
+    :func:`clear_cache` docstring used to tell callers to do by hand.
+    Use after regenerating a single table in-place, or in tests that
+    monkeypatch a data module.
+    """
+    sys.modules.pop(_module_name(target, fn_name), None)
+    _cache.pop((fn_name, target), None)
+    return load_function(fn_name, target)
 
 
 def _import_data(target: str, fn_name: str):
@@ -86,9 +103,13 @@ def available(target: str = "float32") -> list[str]:
             if _import_data(target, name) is not None]
 
 
-def load(fn_name: str, target: str = "float32",
-         instrumented: bool = False) -> GeneratedFunction:
+def load_function(fn_name: str, target: str = "float32",
+                  instrumented: bool = False) -> GeneratedFunction:
     """The shipped correctly rounded implementation of ``fn_name``.
+
+    This is the low-level loader; most callers want the
+    :func:`repro.api.load` facade, which wraps the result in a
+    :class:`~repro.api.Library` handle.
 
     With ``instrumented=True`` the returned (uncached, fresh) object's
     ``evaluate`` is wrapped by :func:`instrument`; the default path
@@ -111,6 +132,20 @@ def load(fn_name: str, target: str = "float32",
     if instrumented:
         return instrument(fn)
     return fn
+
+
+def load(fn_name: str, target: str = "float32",
+         instrumented: bool = False) -> GeneratedFunction:
+    """Deprecated alias of :func:`load_function`.
+
+    New code should use :func:`repro.api.load` (the public facade) or
+    :func:`load_function` (the low-level loader).
+    """
+    warnings.warn(
+        "repro.libm.runtime.load is deprecated; use repro.api.load "
+        "(facade) or repro.libm.runtime.load_function (low-level)",
+        DeprecationWarning, stacklevel=2)
+    return load_function(fn_name, target, instrumented)
 
 
 def instrument(fn: GeneratedFunction,

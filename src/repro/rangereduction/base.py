@@ -30,6 +30,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import NamedTuple, Sequence
 
+import numpy as np
+
 __all__ = ["Reduced", "RangeReduction", "RangeReductionError"]
 
 
@@ -79,6 +81,56 @@ class RangeReduction(ABC):
     def exponents_for(self, fn_name: str) -> tuple[int, ...]:
         """Monomial structure for one reduced function."""
         return self.exponents[self.fn_names.index(fn_name)]
+
+    # -- batch interface ---------------------------------------------------
+    #
+    # Array counterparts of special/reduce/compensate used by
+    # :class:`repro.batch.engine.BatchFunction`.  Contract (per lane, the
+    # exact double operation sequence of the scalar method):
+    #
+    # * ``special_batch(xs)`` returns ``(mask, vals)`` — a boolean mask of
+    #   special-case lanes plus their final values *compressed* to the
+    #   masked lanes (``len(vals) == mask.sum()``).
+    # * ``reduce_batch(xs)`` is only ever called on non-special lanes and
+    #   returns ``(rs, ctx)``; ``ctx`` is opaque to the engine and handed
+    #   verbatim to ``compensate_batch`` (the vectorized overrides use
+    #   tuples of parallel arrays where the scalar path used tuples of
+    #   scalars).
+    # * ``compensate_batch(values, ctx)`` combines one value array per
+    #   name in :attr:`fn_names` into the compensated answers.
+    #
+    # The generic versions below simply loop over the scalar methods —
+    # trivially bit-identical, merely not fast.  The shipped reductions
+    # override all three with vectorized code.
+
+    def special_batch(self, xs: np.ndarray):
+        """Batch special cases: (mask, values-at-masked-lanes)."""
+        mask = np.zeros(xs.shape, dtype=bool)
+        vals = []
+        for i, x in enumerate(xs.tolist()):
+            s = self.special(x)
+            if s is not None:
+                mask[i] = True
+                vals.append(s)
+        return mask, np.array(vals, dtype=np.float64)
+
+    def reduce_batch(self, xs: np.ndarray):
+        """Batch range reduction of non-special lanes: (rs, ctx)."""
+        rs = np.empty_like(xs)
+        ctxs = []
+        for i, x in enumerate(xs.tolist()):
+            r, ctx = self.reduce(x)
+            rs[i] = r
+            ctxs.append(ctx)
+        return rs, ctxs
+
+    def compensate_batch(self, values: Sequence[np.ndarray], ctx):
+        """Batch output compensation (ctx as built by reduce_batch)."""
+        cols = [v.tolist() for v in values]
+        out = np.empty(len(ctx), dtype=np.float64)
+        for i, c in enumerate(ctx):
+            out[i] = self.compensate(tuple(col[i] for col in cols), c)
+        return out
 
     def make_fast_evaluate(self, funcs: Sequence, rnd):
         """Build the runtime hot-path closure for this reduction.

@@ -25,6 +25,9 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
+from repro.batch.reduce import table
 from repro.core.intervals import TargetFormat
 from repro.fp.formats import FloatFormat
 from repro.oracle.mpmath_oracle import Oracle, default_oracle
@@ -108,6 +111,31 @@ class ExpReduction(RangeReduction):
     def compensate(self, values: Sequence[float], ctx: tuple) -> float:
         q, j = ctx
         return math.ldexp(self._tab[j] * values[0], q)
+
+    def special_batch(self, xs: np.ndarray):
+        hi = xs >= self._hi_thr
+        lo = xs <= self._lo_thr
+        mask = np.isnan(xs) | hi | lo | (xs == 0.0)
+        sub = xs[mask]
+        vals = np.where(sub >= self._hi_thr, self._hi_result,
+                        np.where(sub <= self._lo_thr, self._lo_result, 1.0))
+        vals[np.isnan(sub)] = np.nan
+        return mask, vals
+
+    def reduce_batch(self, xs: np.ndarray):
+        k = xs * self._c_inv
+        np.rint(k, out=k)                   # round() ties-to-even, exact
+        r = k * self._c
+        np.subtract(xs, r, out=r)           # r = x - k*C
+        r += 0.0
+        ki = k.astype(np.int64)
+        return r, (ki >> 6, ki & 63)        # divmod(k, 64)
+
+    def compensate_batch(self, values, ctx):
+        q, j = ctx
+        g = table(self, "_tab").take(j)
+        g *= values[0]
+        return np.ldexp(g, q, out=g)
 
     def make_fast_evaluate(self, funcs, rnd):
         """Inlined hot path (bit-identical to special/reduce/compensate)."""

@@ -26,6 +26,9 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
+from repro.batch.reduce import table
 from repro.core.intervals import TargetFormat
 from repro.rangereduction.base import RangeReduction, Reduced
 from repro.rangereduction.tables import log_scale_constant, log_table
@@ -82,6 +85,31 @@ class LogReduction(RangeReduction):
         if self._pure_exponent:
             return (e + self._tab[j]) + v
         return (e * self._scale + self._tab[j]) + v
+
+    def special_batch(self, xs: np.ndarray):
+        mask = np.isnan(xs) | (xs <= 0.0) | np.isinf(xs)
+        sub = xs[mask]
+        vals = np.where(sub == 0.0, -np.inf, np.nan)
+        vals[sub == np.inf] = np.inf
+        return mask, vals
+
+    def reduce_batch(self, xs: np.ndarray):
+        m, e2 = np.frexp(xs)
+        e = e2.astype(np.int64) - 1
+        m = m * 2.0
+        j = ((m - 1.0) * self._entries).astype(np.int64)
+        f = 1.0 + j / self._entries      # exact (power-of-two entries)
+        d = m - f                        # exact (Sterbenz)
+        r = d / f
+        return r + 0.0, (e, j)
+
+    def compensate_batch(self, values, ctx):
+        e, j = ctx
+        v = values[0]
+        t = table(self, "_tab")[j]
+        if self._pure_exponent:
+            return (e + t) + v
+        return (e * self._scale + t) + v
 
     def make_fast_evaluate(self, funcs, rnd):
         """Inlined hot path (bit-identical to special/reduce/compensate)."""

@@ -22,6 +22,9 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
+from repro.batch.reduce import table
 from repro.core.intervals import TargetFormat
 from repro.fp.formats import FloatFormat
 from repro.oracle.mpmath_oracle import Oracle, default_oracle
@@ -94,6 +97,38 @@ class SinhCoshReduction(RangeReduction):
         if self._is_sinh:
             return sgn * (self._sinh_t[k] * vc + self._cosh_t[k] * vs)
         return self._cosh_t[k] * vc + self._sinh_t[k] * vs
+
+    def special_batch(self, xs: np.ndarray):
+        ax = np.abs(xs)
+        mask = np.isnan(xs) | (ax >= self._hi_thr) | (xs == 0.0)
+        sub = xs[mask]
+        asub = np.abs(sub)
+        if self._is_sinh:
+            vals = np.where(asub >= self._hi_thr,
+                            np.copysign(self._hi_result, sub), sub)
+        else:
+            vals = np.where(asub >= self._hi_thr, self._hi_result, 1.0)
+        vals[np.isnan(sub)] = np.nan
+        return mask, vals
+
+    def reduce_batch(self, xs: np.ndarray):
+        s = np.abs(xs)
+        k = np.rint(s * 64.0)
+        r = s - k / 64.0          # exact, as in the scalar path
+        if self._is_sinh:
+            sgn = np.where(xs < 0.0, -1.0, 1.0)
+        else:
+            sgn = np.ones_like(xs)
+        return r + 0.0, (k.astype(np.int64), sgn)
+
+    def compensate_batch(self, values, ctx):
+        k, sgn = ctx
+        vs, vc = values
+        st = table(self, "_sinh_t")[k]
+        ct = table(self, "_cosh_t")[k]
+        if self._is_sinh:
+            return sgn * (st * vc + ct * vs)
+        return ct * vc + st * vs
 
     def make_fast_evaluate(self, funcs, rnd):
         """Inlined hot path (bit-identical to special/reduce/compensate)."""

@@ -33,6 +33,9 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
+from repro.batch.reduce import table
 from repro.core.intervals import TargetFormat
 from repro.rangereduction.base import RangeReduction, Reduced
 from repro.rangereduction.tables import sinpicospi_tables
@@ -73,6 +76,23 @@ def _split_table(l2: float) -> tuple[int, float]:
     return n, q
 
 
+def _split_to_half_batch(ax: np.ndarray):
+    """Array version of :func:`_split_to_half`: (K, M, L') as arrays."""
+    j = np.fmod(ax, 2.0)
+    ge1 = j >= 1.0
+    l = np.where(ge1, j - 1.0, j)
+    refl = l > 0.5
+    l2 = np.where(refl, 1.0 - l, l)
+    return ge1, refl, l2
+
+
+def _split_table_batch(l2: np.ndarray):
+    """Array version of :func:`_split_table`: (N, Q) as arrays."""
+    n = np.minimum((l2 * 512.0).astype(np.int64), 255)
+    q = l2 - n * 0.001953125
+    return n, q
+
+
 class SinPiReduction(RangeReduction):
     """sinpi via periodicity + 512-entry tables (section 2)."""
 
@@ -108,6 +128,30 @@ class SinPiReduction(RangeReduction):
         # + 0.0 flushes a -0 product to +0, matching the oracle's zero
         # convention for non-special exact zeros (e.g. sinpi(-2)).
         return sgn * (self._sin_t[n] * vc + self._cos_t[n] * vs) + 0.0
+
+    def special_batch(self, xs: np.ndarray):
+        ax = np.abs(xs)
+        bad = np.isnan(xs) | np.isinf(xs)
+        mask = bad | (xs == 0.0) | (ax >= _BIG)
+        sub = xs[mask]
+        # x == +-0 keeps its sign; huge values are integers -> signed zero
+        vals = np.where(np.abs(sub) >= _BIG, np.copysign(0.0, sub), sub)
+        vals[bad[mask]] = np.nan
+        return mask, vals
+
+    def reduce_batch(self, xs: np.ndarray):
+        ax = np.abs(xs)
+        ge1, _refl, l2 = _split_to_half_batch(ax)
+        n, r = _split_table_batch(l2)
+        sgn = np.where((xs < 0.0) != ge1, -1.0, 1.0)
+        return r + 0.0, (n, sgn)
+
+    def compensate_batch(self, values, ctx):
+        n, sgn = ctx
+        vs, vc = values
+        st = table(self, "_sin_t")[n]
+        ct = table(self, "_cos_t")[n]
+        return sgn * (st * vc + ct * vs) + 0.0
 
     def make_fast_evaluate(self, funcs, rnd):
         """Inlined hot path (bit-identical to special/reduce/compensate)."""
@@ -177,6 +221,38 @@ class CosPiReduction(RangeReduction):
         n, sgn = ctx
         vs, vc = values
         return sgn * (self._cos_t[n] * vc + self._sin_t[n] * vs) + 0.0
+
+    def special_batch(self, xs: np.ndarray):
+        ax = np.abs(xs)
+        bad = np.isnan(xs) | np.isinf(xs)
+        mask = bad | (ax >= _BIG)
+        asub = ax[mask]
+        vals = np.ones(asub.shape, dtype=np.float64)
+        # parity only decides below 2**24 (above it every value is even);
+        # computed on those lanes alone so the int64 conversion is exact
+        par = np.isfinite(asub) & (asub < 2.0 ** 24)
+        if par.any():
+            odd = asub[par].astype(np.int64) & 1
+            vals[par] = np.where(odd == 1, -1.0, 1.0)
+        vals[bad[mask]] = np.nan
+        return mask, vals
+
+    def reduce_batch(self, xs: np.ndarray):
+        ax = np.abs(xs)
+        ge1, refl, l2 = _split_to_half_batch(ax)
+        n, q = _split_table_batch(l2)
+        sgn = np.where(ge1 != refl, -1.0, 1.0)   # (K + M) % 2
+        nz = n != 0
+        n2 = np.where(nz, n + 1, 0)
+        r = np.where(nz, (n + 1) * 0.001953125 - l2, q)
+        return r + 0.0, (n2, sgn)
+
+    def compensate_batch(self, values, ctx):
+        n, sgn = ctx
+        vs, vc = values
+        st = table(self, "_sin_t")[n]
+        ct = table(self, "_cos_t")[n]
+        return sgn * (ct * vc + st * vs) + 0.0
 
     def make_fast_evaluate(self, funcs, rnd):
         """Inlined hot path (bit-identical to special/reduce/compensate)."""

@@ -1,0 +1,192 @@
+"""Differential batch-vs-scalar equivalence of the vectorized engine.
+
+The contract under test (DESIGN.md, "Scalar/batch bit-identity"):
+``evaluate_many`` / ``evaluate_bits_many`` must return, for every
+element, exactly the bits the scalar ``evaluate`` / ``evaluate_bits``
+produce — same special cases, same reduction, same Horner, same
+compensation, same final rounding.
+
+Covered here:
+
+* exhaustively over the session-scoped float8/posit8 fixtures and over
+  a bfloat16 ``exp2`` generated in-test (every finite value plus
+  NaN/inf — the 16-bit target of the issue, exercising the generic
+  IEEE bit-algorithm rounding kernels);
+* stratified sampling plus mined hard cases for the shipped float32
+  and posit32 libraries (every function, no oracle needed);
+* input-handling edge cases: empty arrays, NaN/Inf propagation, 2-D
+  and non-contiguous inputs, dtype rejection.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import FunctionSpec, all_values, generate
+from repro.eval.hardcases import mine_hard_cases
+from repro.fp.formats import BFLOAT16, FLOAT32, FLOAT8
+from repro.libm.runtime import (FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS,
+                                load_function)
+from repro.posit.format import POSIT32
+from repro.rangereduction import reduction_for
+
+pytestmark = pytest.mark.batch
+
+#: Values every sweep includes: zeros, infinities, NaN, huge/tiny
+#: magnitudes, the sinpi/cospi integer thresholds, overflow territory.
+SPECIAL = [0.0, -0.0, float("inf"), float("-inf"), float("nan"),
+           1e30, -1e30, 2.0 ** 23, 2.0 ** 23 + 2.0, 2.0 ** 24,
+           88.7, -87.3, 1e-40, -1e-45, 0.5, 1.0, -1.0, 3.75e8]
+
+
+def assert_bit_identical(fn, xs):
+    """Both batch entry points against their scalar twins, elementwise."""
+    xs = np.asarray(xs, dtype=np.float64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")       # no stray FP warnings either
+        got_bits = fn.evaluate_bits_many(xs)
+        got_vals = fn.evaluate_many(xs)
+    for x, gb, gv in zip(xs.tolist(), got_bits.tolist(), got_vals.tolist()):
+        assert fn.evaluate_bits(x) == gb, f"bits mismatch at x={x!r}"
+        sv = fn.evaluate(x)
+        assert np.float64(sv).tobytes() == np.float64(gv).tobytes(), \
+            f"value mismatch at x={x!r}: scalar {sv!r}, batch {gv!r}"
+
+
+class TestExhaustiveSmallFormats:
+    """Every representable input of the tiny formats, plus non-finites."""
+
+    def _sweep(self, fn, fmt):
+        xs = list(all_values(fmt)) + SPECIAL
+        assert_bit_identical(fn, xs)
+
+    def test_float8_exp(self, float8_exp):
+        self._sweep(float8_exp, FLOAT8)
+
+    def test_float8_log2(self, float8_log2):
+        self._sweep(float8_log2, FLOAT8)
+
+    def test_float8_sinpi(self, float8_sinpi):
+        self._sweep(float8_sinpi, FLOAT8)
+
+    def test_posit8_exp(self, posit8_exp):
+        from repro.posit.format import POSIT8
+
+        self._sweep(posit8_exp, POSIT8)
+
+
+class TestExhaustiveBfloat16:
+    """A 16-bit generated target, swept exhaustively (no oracle needed:
+    the differential check compares the two implementations, not the
+    truth)."""
+
+    def test_exp2_every_value(self):
+        rr = reduction_for("exp2", BFLOAT16)
+        vals = list(all_values(BFLOAT16))
+        inputs = vals[::16]
+        inputs += [v for v in vals
+                   if rr.special(v) is None and abs(v) < 16.0][::4]
+        fn = generate(FunctionSpec("exp2", BFLOAT16, rr), inputs)
+        assert_bit_identical(fn, vals + SPECIAL)
+
+
+def _stratified(fmt_lo, fmt_hi, seed):
+    rng = random.Random(seed)
+    out = []
+    for lo, hi in ((fmt_lo, fmt_hi), (-1.0, 1.0), (-1e-3, 1e-3)):
+        out += [rng.uniform(lo, hi) for _ in range(400)]
+    return out
+
+
+@pytest.mark.parametrize("fn_name", FLOAT32_FUNCTIONS)
+def test_float32_stratified(fn_name):
+    fn = load_function(fn_name, "float32")
+    xs = _stratified(-100.0, 100.0, hash(fn_name) % 1000)
+    if fn_name in ("ln", "log2", "log10"):
+        xs += [abs(x) * s for x in xs[:300] for s in (1e-8, 1e8)]
+    assert_bit_identical(fn, xs + SPECIAL)
+
+
+@pytest.mark.parametrize("fn_name", POSIT32_FUNCTIONS)
+def test_posit32_stratified(fn_name):
+    fn = load_function(fn_name, "posit32")
+    xs = _stratified(-30.0, 30.0, hash(fn_name) % 1000)
+    if fn_name in ("ln", "log2", "log10"):
+        xs += [abs(x) * s for x in xs[:300] for s in (1e-4, 1e4)]
+    assert_bit_identical(fn, xs + SPECIAL)
+
+
+class TestHardCases:
+    """Mined hard cases — inputs whose exact result grazes a rounding
+    boundary — must agree too (they stress the deepest Horner/rounding
+    interplay)."""
+
+    def test_float32_exp_hard(self):
+        fn = load_function("exp", "float32")
+        rng = random.Random(11)
+        cands = [rng.uniform(-80.0, 80.0) for _ in range(150)]
+        hard = mine_hard_cases("exp", FLOAT32, cands, 8)
+        assert hard
+        assert_bit_identical(fn, hard)
+
+    def test_posit32_exp_hard(self):
+        fn = load_function("exp", "posit32")
+        rng = random.Random(12)
+        cands = [rng.uniform(-20.0, 20.0) for _ in range(150)]
+        hard = mine_hard_cases("exp", POSIT32, cands, 8)
+        assert hard
+        assert_bit_identical(fn, hard)
+
+
+class TestInputHandling:
+    """Shape, dtype and memory-layout behaviour of the batch API."""
+
+    @pytest.fixture(scope="class")
+    def exp32(self):
+        return load_function("exp", "float32")
+
+    def test_empty(self, exp32):
+        out = exp32.evaluate_many(np.array([], dtype=np.float64))
+        assert out.shape == (0,) and out.dtype == np.float64
+        bits = exp32.evaluate_bits_many(np.array([], dtype=np.float64))
+        assert bits.shape == (0,) and bits.dtype == np.uint64
+
+    def test_nan_inf_propagation(self, exp32):
+        out = exp32.evaluate_many(
+            np.array([np.nan, np.inf, -np.inf], dtype=np.float64))
+        assert np.isnan(out[0])
+        assert out[1] == np.inf and out[2] == 0.0
+
+    def test_2d_shape_preserved(self, exp32):
+        xs = np.array([[0.5, 1.0, -1.0], [2.0, np.nan, -700.0]])
+        out = exp32.evaluate_many(xs)
+        assert out.shape == xs.shape
+        flat = exp32.evaluate_many(xs.reshape(-1))
+        assert np.array_equal(out.reshape(-1), flat, equal_nan=True)
+
+    def test_non_contiguous(self, exp32):
+        base = np.linspace(-5.0, 5.0, 101)
+        strided = base[::2]
+        assert not strided.flags.c_contiguous or strided.size == 0
+        out = exp32.evaluate_many(strided)
+        want = exp32.evaluate_many(np.ascontiguousarray(strided))
+        assert np.array_equal(out, want)
+
+    def test_list_input_ok(self, exp32):
+        out = exp32.evaluate_many([0.0, 1.0])
+        assert out[0] == 1.0
+
+    def test_dtype_rejection(self, exp32):
+        with pytest.raises(TypeError, match="float64"):
+            exp32.evaluate_many(np.array([1.0, 2.0], dtype=np.float32))
+        with pytest.raises(TypeError, match="float64"):
+            exp32.evaluate_many(np.array([1, 2]))
+        with pytest.raises(TypeError, match="float64"):
+            exp32.evaluate_bits_many(np.array(["a"]))
+
+    def test_batch_is_cached(self, exp32):
+        assert exp32.batch is exp32.batch

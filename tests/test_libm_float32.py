@@ -9,7 +9,8 @@ from repro.core.sampling import boundary_values, sample_values
 from repro.fp.float32 import f32_round, f32_to_bits
 from repro.fp.formats import FLOAT32
 from repro.libm import float32 as rl
-from repro.libm.runtime import FLOAT32_FUNCTIONS, available, load
+from repro.libm.runtime import (FLOAT32_FUNCTIONS, available,
+                                load_function as load)
 from repro.oracle import default_oracle as orc
 
 

@@ -6,7 +6,8 @@ import random
 import pytest
 
 from repro.core.sampling import sample_values
-from repro.libm.runtime import POSIT32_FUNCTIONS, available, load
+from repro.libm.runtime import (POSIT32_FUNCTIONS, available,
+                                load_function as load)
 from repro.oracle import default_oracle as orc
 from repro.posit.format import POSIT32
 

@@ -111,13 +111,13 @@ class TestKilledRunResume:
         monkeypatch.setattr(genlib, "generate_one", flaky)
         with pytest.raises(ValueError, match="injected-kill-log2"):
             generate_library(self.NAMES, FLOAT8, tmp_path / "dead",
-                             settings=TINY, log=QUIET, checkpoint_dir=ck)
+                             settings=TINY, log=QUIET, checkpoint=ck)
         ckpt = Checkpoint(ck)
         assert ckpt.done("ln") and not ckpt.done("log2")
 
         monkeypatch.undo()
         generate_library(self.NAMES, FLOAT8, tmp_path / "resumed",
-                         settings=TINY, log=QUIET, checkpoint_dir=ck)
+                         settings=TINY, log=QUIET, checkpoint=ck)
         generate_library(self.NAMES, FLOAT8, tmp_path / "fresh",
                          settings=TINY, log=QUIET)
         for name in self.NAMES:
@@ -149,14 +149,14 @@ class TestKilledRunResume:
         with pytest.raises(ShardError, match="injected-kill-log2"):
             generate_library(self.NAMES, FLOAT8, tmp_path / "dead",
                              settings=TINY, log=QUIET, workers=2,
-                             checkpoint_dir=ck)
+                             checkpoint=ck)
         # the sibling shard that finished was checkpointed, not dropped
         assert Checkpoint(ck).done("ln")
 
         monkeypatch.undo()
         generate_library(self.NAMES, FLOAT8, tmp_path / "resumed",
                          settings=TINY, log=QUIET, workers=2,
-                         checkpoint_dir=ck)
+                         checkpoint=ck)
         generate_library(self.NAMES, FLOAT8, tmp_path / "fresh",
                          settings=TINY, log=QUIET)
         for name in self.NAMES:
@@ -167,7 +167,7 @@ class TestKilledRunResume:
     def test_mismatched_checkpoint_refused(self, tmp_path):
         ck = tmp_path / "ckpt"
         generate_library(["ln"], FLOAT8, tmp_path / "out", settings=TINY,
-                         log=QUIET, checkpoint_dir=ck, seed=2021)
+                         log=QUIET, checkpoint=ck, seed=2021)
         with pytest.raises(CheckpointMismatch):
             generate_library(["ln"], FLOAT8, tmp_path / "out2", settings=TINY,
-                             log=QUIET, checkpoint_dir=ck, seed=2022)
+                             log=QUIET, checkpoint=ck, seed=2022)

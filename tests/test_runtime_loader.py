@@ -18,10 +18,10 @@ def fresh_cache():
 
 class TestClearCache:
     def test_cache_reuse_and_clear(self, fresh_cache):
-        a = runtime.load("exp", "float32")
-        assert runtime.load("exp", "float32") is a
+        a = runtime.load_function("exp", "float32")
+        assert runtime.load_function("exp", "float32") is a
         runtime.clear_cache()
-        b = runtime.load("exp", "float32")
+        b = runtime.load_function("exp", "float32")
         assert b is not a
         # both rebuilt from the same frozen data
         assert b.evaluate(1.0) == a.evaluate(1.0)
@@ -41,11 +41,11 @@ class TestAvailable:
 
     def test_missing_load_raises_lookup(self):
         with pytest.raises(LookupError, match="no frozen data"):
-            runtime.load("sinpi", "float16")
+            runtime.load_function("sinpi", "float16")
 
     def test_unknown_target_raises_value(self):
         with pytest.raises(ValueError, match="unknown target"):
-            runtime.load("exp", "float99")
+            runtime.load_function("exp", "float99")
 
 
 MOD = "repro.libm.data_float32.exp"
@@ -89,8 +89,8 @@ class TestBrokenModules:
         break_exp_module(err)
         assert "exp" not in runtime.available("float32")
         with pytest.raises(LookupError, match="no frozen data"):
-            runtime.load("exp", "float32")
+            runtime.load_function("exp", "float32")
 
     def test_recovers_once_import_works_again(self, fresh_cache):
         assert "exp" in runtime.available("float32")
-        assert runtime.load("exp", "float32").evaluate(0.0) == 1.0
+        assert runtime.load_function("exp", "float32").evaluate(0.0) == 1.0

@@ -35,7 +35,7 @@ def main(argv=None) -> int:
     generate_library(args.functions, FLOAT32, args.out,
                      quick=args.quick, seed=args.seed, scale=args.scale,
                      workers=parse_workers(args.workers),
-                     checkpoint_dir=args.checkpoint)
+                     checkpoint=args.checkpoint)
     return 0
 
 

@@ -34,7 +34,7 @@ def main(argv=None) -> int:
     generate_library(args.functions, POSIT32, args.out,
                      quick=args.quick, seed=args.seed, scale=args.scale,
                      workers=parse_workers(args.workers),
-                     checkpoint_dir=args.checkpoint)
+                     checkpoint=args.checkpoint)
     return 0
 
 
