@@ -52,6 +52,7 @@ def test_parallel_validate_scaling(benchmark, report_dir):
 
     times: dict[int, float] = {}
     results: dict[int, list] = {}
+    infos: dict[int, dict] = {}
 
     def run():
         for workers in (1,) + WORKER_COUNTS:
@@ -62,6 +63,9 @@ def test_parallel_validate_scaling(benchmark, report_dir):
             t0 = time.perf_counter()
             results[workers] = validate(fn, pool, workers=workers)
             times[workers] = time.perf_counter() - t0
+            # parallel passes do their oracle work in forked workers, so
+            # only the serial snapshot carries meaningful call counters
+            infos[workers] = default_oracle.cache_info()
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -73,6 +77,12 @@ def test_parallel_validate_scaling(benchmark, report_dir):
         "-" * 28,
     ]
     metrics.gauge("parallel.bench.pool_size").set(float(len(pool)))
+    info = infos[1]
+    calls = max(1, info["calls"])
+    metrics.gauge("parallel.bench.oracle_hit_rate").set(
+        (info["mem_hits"] + info["store_hits"]) / calls)
+    metrics.gauge("parallel.bench.oracle_fast_certified").set(
+        float(info["fast_certified"]))
     speedups = {}
     for workers, t in sorted(times.items()):
         assert results[workers] == results[1], (

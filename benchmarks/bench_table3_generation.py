@@ -12,6 +12,7 @@ floats), minutes-scale generation.
 """
 
 import random
+import time
 
 import pytest
 
@@ -21,18 +22,25 @@ from repro.core.piecewise import PiecewiseConfig
 from repro.core.sampling import sample_values
 from repro.eval.tables import render_table3, table3_rows
 from repro.fp.formats import FLOAT32
+from repro.obs import metrics
 from repro.rangereduction.domains import sampling_domain
 from repro.rangereduction import reduction_for
+
+
+def _log2_workload():
+    """The bench's generation workload: log2/float32 at reduced sample."""
+    rr = reduction_for("log2", FLOAT32)
+    lo, hi = sampling_domain("log2", FLOAT32, rr)
+    inputs = sample_values(FLOAT32, 4000, random.Random(3), lo, hi)
+    spec = FunctionSpec("log2", FLOAT32, rr,
+                        PiecewiseConfig(max_index_bits=8))
+    return spec, inputs
 
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_generation_stats(benchmark, report_dir):
     def regenerate_log2_small():
-        rr = reduction_for("log2", FLOAT32)
-        lo, hi = sampling_domain("log2", FLOAT32, rr)
-        inputs = sample_values(FLOAT32, 4000, random.Random(3), lo, hi)
-        spec = FunctionSpec("log2", FLOAT32, rr,
-                            PiecewiseConfig(max_index_bits=8))
+        spec, inputs = _log2_workload()
         return generate(spec, inputs)
 
     g = benchmark.pedantic(regenerate_log2_small, rounds=1, iterations=1)
@@ -58,3 +66,109 @@ def test_table3_generation_stats(benchmark, report_dir):
     # oracle calls inside Algorithm 2 and validation are not included —
     # and the shared cache amortizes repeats, so the floor is lower)
     assert sum(r.oracle_share for r in rows) / len(rows) > 0.05
+
+
+@pytest.mark.benchmark(group="table3")
+def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
+    """Cold/warm persistent-cache speedups, with bit-identical tables.
+
+    Three in-process passes over the same workload:
+
+    * **baseline** — every fast path off: pure-Fraction oracle
+      certification, Fraction interval endpoints and format conversions,
+      per-probe corner walk, no LP memo, no store (the pre-optimization
+      pipeline);
+    * **cold** — fast paths on, empty persistent store (first run of a
+      fresh checkout);
+    * **warm** — fast paths on, the store the cold pass just filled
+      (every later run).
+
+    The three generated functions must serialize byte-identically —
+    the caches and fast paths are proven value-preserving — and the
+    floors are cold >= 1.5x, warm >= 5x over baseline.
+    """
+    import repro.core.reduced as reduced_mod
+    import repro.fp.formats as formats
+    import repro.fp.rounding as rounding
+    from repro.cache import SegmentStore
+    from repro.libm.serialize import function_to_dict
+    from repro.lp.solver import clear_solution_cache, use_solution_cache
+    from repro.oracle.mpmath_oracle import Oracle
+
+    root = tmp_path / "genstore"
+    times: dict[str, float] = {}
+    tables: dict[str, dict] = {}
+    oracles: dict[str, Oracle] = {}
+
+    def one_pass(name, oracle, *, fast):
+        clear_solution_cache()
+        use_solution_cache(fast)
+        rounding.FAST_INTERVALS = fast
+        formats.FAST_CONVERT = fast
+        reduced_mod.FAST_WALK = fast
+        spec, inputs = _log2_workload()
+        t0 = time.perf_counter()
+        fn = generate(spec, inputs, oracle)
+        times[name] = time.perf_counter() - t0
+        # function_to_dict embeds wall-clock GenStats; those can never
+        # match across passes, so compare everything but the timings
+        d = function_to_dict(fn)
+        for key in ("gen_time_s", "oracle_time_s", "phase_s",
+                    "total_time_s"):
+            d["stats"].pop(key, None)
+        tables[name] = d
+        oracles[name] = oracle
+
+    def run():
+        try:
+            one_pass("baseline",
+                     Oracle(fast_certify=False, adaptive_prec=False),
+                     fast=False)
+            store = SegmentStore(root)
+            one_pass("cold", Oracle(store=store), fast=True)
+            store.flush()
+            # a fresh store object on the same root = a later process
+            one_pass("warm", Oracle(store=SegmentStore(root)), fast=True)
+        finally:
+            rounding.FAST_INTERVALS = True
+            formats.FAST_CONVERT = True
+            reduced_mod.FAST_WALK = True
+            use_solution_cache(True)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert tables["cold"] == tables["baseline"], (
+        "fast-path generation diverged from the exact baseline")
+    assert tables["warm"] == tables["baseline"], (
+        "warm-cache generation diverged from the exact baseline")
+
+    cold_speedup = times["baseline"] / times["cold"]
+    warm_speedup = times["baseline"] / times["warm"]
+    info = oracles["warm"].cache_info()
+    calls = max(1, info["calls"])
+    hit_rate = (info["mem_hits"] + info["store_hits"]) / calls
+
+    metrics.gauge("cache.bench.baseline_s").set(times["baseline"])
+    metrics.gauge("cache.bench.cold_s").set(times["cold"])
+    metrics.gauge("cache.bench.warm_s").set(times["warm"])
+    metrics.gauge("cache.bench.cold_speedup").set(cold_speedup)
+    metrics.gauge("cache.bench.warm_speedup").set(warm_speedup)
+    metrics.gauge("cache.bench.warm_oracle_hit_rate").set(hit_rate)
+
+    lines = [
+        "Generation cache speedup (log2/float32, 4000 sampled inputs)",
+        f"{'pass':>10s} {'time_s':>9s} {'speedup':>8s}",
+        "-" * 30,
+        f"{'baseline':>10s} {times['baseline']:9.2f} {1.0:8.2f}",
+        f"{'cold':>10s} {times['cold']:9.2f} {cold_speedup:8.2f}",
+        f"{'warm':>10s} {times['warm']:9.2f} {warm_speedup:8.2f}",
+        f"warm-pass oracle hit rate: {hit_rate:.3f}",
+        "tables bit-identical across all passes: yes",
+    ]
+    emit(report_dir, "generation_cache.txt", "\n".join(lines) + "\n")
+
+    assert cold_speedup >= 1.5, (
+        f"cold-run speedup {cold_speedup:.2f}x below the 1.5x floor")
+    assert warm_speedup >= 5.0, (
+        f"warm-cache speedup {warm_speedup:.2f}x below the 5x floor")
+    assert hit_rate > 0.9

@@ -16,6 +16,8 @@ Commands
               flame-style phase breakdown
 ``lint``      run the floating-point-safety linter (fplint) and the
               frozen-table static verifier (tablecheck)
+``cache``     inspect, verify, warm, or compact the persistent
+              generation cache (``cache stats|verify|warm|gc``)
 """
 
 from __future__ import annotations
@@ -142,6 +144,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return analysis_cli.run(args)
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import cli as cache_cli
+
+    return cache_cli.run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -202,6 +210,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.cli import add_arguments as _lint_args
     _lint_args(p)
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("cache",
+                       help="persistent generation cache maintenance")
+    from repro.cache.cli import add_arguments as _cache_args
+    _cache_args(p)
+    p.set_defaults(fn=_cmd_cache)
 
     args = parser.parse_args(argv)
     return args.fn(args)

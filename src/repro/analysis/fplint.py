@@ -145,12 +145,14 @@ RULES: dict[str, Rule] = {r.code: r for r in (
     Rule("FP106", "bare or swallowed exception in core/", Severity.ERROR,
          "catch the narrowest exception and handle or re-raise it; the "
          "pipeline must fail loudly",
-         ("src/repro/core",)),
+         ("src/repro/core", "src/repro/cache"),
+         # the store CLI prints problems rather than raising by design
+         ("src/repro/cache/cli.py",)),
     Rule("FP107", "nondeterminism in the generation pipeline", Severity.ERROR,
          "use a seeded random.Random instance, perf_counter for durations "
          "only, and sorted() before iterating sets",
-         ("src/repro/core", "src/repro/libm/genlib.py", "src/repro/lp",
-          "tools")),
+         ("src/repro/core", "src/repro/cache", "src/repro/libm/genlib.py",
+          "src/repro/lp", "tools")),
     Rule("FP108", "missing 'from __future__ import annotations'",
          Severity.WARNING,
          "add the import as the first statement after the docstring",

@@ -1,0 +1,89 @@
+"""Persistent generation cache: on-disk oracle and interval store.
+
+The store (:mod:`repro.cache.store`) is content-addressed — keyed by
+function name, input bits, target format name, and producer code
+version — so generation, validation, and audits can share one warm
+cache across runs and across worker processes.  It is wired *under*
+``Oracle.round_to_bits``/``round_to_double`` and the corner walk of
+:func:`repro.core.reduced.reduced_intervals`: both only ever cache
+canonical values (the correctly rounded result, the proven walk
+extents), so enabling the cache cannot change a single generated bit.
+
+Activation
+----------
+
+Off by default.  Either construct an :class:`Oracle` with an explicit
+``store=``, or set a process-wide store::
+
+    from repro import cache
+    cache.configure("/path/to/cache")       # explicit
+
+    REPRO_CACHE_DIR=/path/to/cache ...      # via the environment
+
+The process-wide store is what the ``python -m repro cache`` CLI and
+the fork pool use: :func:`flush_active` runs in every worker at task
+end (publishing shard-local segments) and :func:`refresh_active` in the
+parent afterwards (merging them), mirroring the checkpoint manifest
+pattern of :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+
+from repro.cache.store import BucketSpec, SegmentStore
+
+__all__ = ["BucketSpec", "SegmentStore", "configure", "deactivate",
+           "active_store", "flush_active", "refresh_active", "ENV_VAR"]
+
+#: Environment variable naming the store root directory.
+ENV_VAR = "REPRO_CACHE_DIR"
+
+_active: SegmentStore | None = None
+_env_checked = False
+_atexit_registered = False
+
+
+def configure(root: str | os.PathLike, **kwargs) -> SegmentStore:
+    """Install (and return) the process-wide store rooted at ``root``."""
+    global _active, _env_checked, _atexit_registered
+    flush_active()
+    _active = SegmentStore(root, **kwargs)
+    _env_checked = True
+    if not _atexit_registered:
+        atexit.register(flush_active)
+        _atexit_registered = True
+    return _active
+
+
+def deactivate() -> None:
+    """Flush and drop the process-wide store (environment re-checked on
+    the next :func:`active_store` call only after a new configure)."""
+    global _active
+    flush_active()
+    _active = None
+
+
+def active_store() -> SegmentStore | None:
+    """The process-wide store, auto-configured from ``REPRO_CACHE_DIR``
+    on first use; None when no cache is enabled."""
+    global _env_checked
+    if _active is None and not _env_checked:
+        _env_checked = True
+        root = os.environ.get(ENV_VAR)
+        if root:
+            return configure(root)
+    return _active
+
+
+def flush_active() -> None:
+    """Flush the process-wide store, if any (worker task-end hook)."""
+    if _active is not None:
+        _active.flush()
+
+
+def refresh_active() -> None:
+    """Re-scan the process-wide store, if any (parent post-pool hook)."""
+    if _active is not None:
+        _active.refresh()

@@ -1,0 +1,150 @@
+"""``python -m repro cache {stats,warm,gc,verify}``.
+
+Maintenance commands for the persistent generation cache
+(:mod:`repro.cache.store`).  The store root comes from ``--dir`` or the
+``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+
+
+def _resolve_root(args: argparse.Namespace) -> str | None:
+    from repro.cache import ENV_VAR
+
+    return args.dir or os.environ.get(ENV_VAR)
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.cache import SegmentStore
+
+    root = _resolve_root(args)
+    if not root:
+        print("cache: no store directory (use --dir or set "
+              "REPRO_CACHE_DIR)", file=sys.stderr)
+        return None
+    return SegmentStore(root)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    rows = store.stats()
+    if not rows:
+        print(f"cache at {store.root}: empty")
+        return 0
+    wid = max(len(n) for n in rows)
+    print(f"cache at {store.root}")
+    print(f"{'bucket':<{wid}}  {'segs':>5} {'records':>9} {'bytes':>10} "
+          f"{'bad':>4} {'vers':>4}")
+    tot_r = tot_b = 0
+    for name, st in rows.items():
+        tot_r += st["records"]
+        tot_b += st["bytes"]
+        print(f"{name:<{wid}}  {st['segments']:>5} {st['records']:>9} "
+              f"{st['bytes']:>10} {st['unreadable']:>4} {st['versions']:>4}")
+    print(f"{'total':<{wid}}  {'':>5} {tot_r:>9} {tot_b:>10}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    problems = store.verify()
+    if not problems:
+        print(f"cache at {store.root}: all segments verify clean")
+        return 0
+    for p in problems:
+        print(f"PROBLEM {p}")
+    print(f"{len(problems)} problem(s) found")
+    return 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from repro.core.reduced import WALK_VERSION
+    from repro.oracle.mpmath_oracle import ORACLE_VERSION
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    res = store.gc({"oracle": ORACLE_VERSION, "walk": WALK_VERSION})
+    print(f"cache at {store.root}: removed {res['segments_removed']} "
+          f"segment(s), compacted {res['buckets_compacted']} bucket(s), "
+          f"kept {res['records_kept']} record(s)")
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    """Pre-populate oracle and walk buckets for a function/target."""
+    from repro import cache
+    from repro.core.intervals import target_is_special, \
+        target_rounding_interval
+    from repro.core.reduced import reduced_intervals
+    from repro.core.sampling import sample_values
+    from repro.libm.serialize import TARGETS_BY_NAME
+    from repro.oracle.mpmath_oracle import Oracle
+    from repro.rangereduction import reduction_for
+
+    root = _resolve_root(args)
+    if not root:
+        print("cache: no store directory (use --dir or set "
+              "REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    if args.target not in TARGETS_BY_NAME:
+        print(f"cache warm: unknown target {args.target!r}",
+              file=sys.stderr)
+        return 2
+    fmt = TARGETS_BY_NAME[args.target]
+    store = cache.configure(root)
+    oracle = Oracle(store=store)
+    rr = reduction_for(args.function, fmt)
+    xs = sample_values(fmt, args.n, random.Random(args.seed))
+    pairs = []
+    for x in xs:
+        if rr.special(x) is not None:
+            continue
+        bits = fmt.from_double(x)
+        if target_is_special(fmt, bits):
+            continue
+        y_bits = oracle.round_to_bits(args.function, x, fmt)
+        pairs.append((x, target_rounding_interval(fmt, y_bits)))
+    reduced_intervals(pairs, rr, oracle, store=store, fmt_name=str(fmt))
+    store.flush()
+    print(f"cache at {store.root}: warmed {args.function}/{args.target} "
+          f"with {len(pairs)} input(s) (seed {args.seed})")
+    return 0
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dir", metavar="DIR",
+                        help="store root (default: $REPRO_CACHE_DIR)")
+    sub = parser.add_subparsers(dest="cache_command", required=True)
+
+    p = sub.add_parser("stats", help="per-bucket segment/record totals")
+    p.set_defaults(cache_fn=_cmd_stats)
+
+    p = sub.add_parser("verify",
+                       help="structural check of every segment (exit 1 "
+                            "on any corruption)")
+    p.set_defaults(cache_fn=_cmd_verify)
+
+    p = sub.add_parser("gc", help="compact buckets, drop stale versions")
+    p.set_defaults(cache_fn=_cmd_gc)
+
+    p = sub.add_parser("warm", help="pre-populate oracle + walk buckets")
+    p.add_argument("--function", default="log2", help="function name")
+    p.add_argument("--target", default="float32")
+    p.add_argument("--n", type=int, default=4000,
+                   help="sampled input count")
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(cache_fn=_cmd_warm)
+
+
+def run(args: argparse.Namespace) -> int:
+    return args.cache_fn(args)

@@ -1,0 +1,379 @@
+"""Content-addressed, on-disk segment store for oracle/interval results.
+
+The generation pipeline recomputes expensive, *canonical* values over and
+over across runs: the correctly rounded target bits of ``f(x)`` (a Ziv
+escalation through mpmath per input) and the reduced-interval corner
+walk of Algorithm 2 (hundreds of output-compensation probes per input).
+Both are pure functions of ``(function, input bits, target format)`` —
+the correctly rounded result is mathematically unique, independent of
+working precision or probing strategy — so a run can safely reuse any
+previously certified record.  That is exactly what this store holds.
+
+Layout
+------
+
+One directory per *bucket* ``<kind>__<fn>__<fmt>`` under the store root
+(e.g. ``oracle__log2__float32``, ``walk__log2__float32``).  A bucket is
+a set of append-only binary *segment* files::
+
+    seg-<pid>-<store>-<n>.bin
+        MAGIC line            b"RPROSEG1\\n"
+        meta line             JSON: kind/fn/fmt/version/vals
+        fixed-width records   key u64, vals x u64, crc32 u32 (le)
+
+Records are content-addressed: the key is the 64-bit pattern of the
+input double, the values are unsigned 64-bit payloads (target bits for
+``oracle`` buckets; walk steps for ``walk`` buckets).  ``version`` is
+the producer's logical code version — a bumped producer simply stops
+reading old segments (*stale*), and ``gc`` deletes and compacts them.
+
+Concurrency
+-----------
+
+Writers never touch a shared file: each process appends to its own
+private segment (the name embeds the pid and a per-store sequence
+number) and publishes it with a write-to-temp + :func:`os.replace`
+rename, mirroring the atomic checkpoint shards of
+:mod:`repro.parallel.checkpoint`.  Readers therefore only ever see
+complete, fully written segments, and the fork pool of
+:mod:`repro.parallel.executor` composes naturally: every worker flushes
+its shard-local segments at task end and the parent merges them by
+re-scanning the bucket directories (:meth:`SegmentStore.refresh`).
+
+A corrupted segment (bad magic, malformed meta, torn/bit-flipped
+record) is detected by the per-record CRC and never poisons the cache:
+reading stops at the first bad byte and ``verify`` / ``gc`` report and
+remove the damage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.obs import metrics
+
+__all__ = ["BucketSpec", "SegmentStore", "MAGIC"]
+
+MAGIC = b"RPROSEG1\n"
+
+_C_HIT = metrics.counter("cache.hit")
+_C_MISS = metrics.counter("cache.miss")
+_C_PUT = metrics.counter("cache.put")
+_C_SEGS_WRITTEN = metrics.counter("cache.segments_written")
+_C_SEGS_LOADED = metrics.counter("cache.segments_loaded")
+_C_SEGS_STALE = metrics.counter("cache.segments_stale")
+_C_RECORDS_BAD = metrics.counter("cache.records_corrupt")
+_C_EVICTIONS = metrics.counter("cache.bucket_evictions")
+_C_REFRESHES = metrics.counter("cache.refreshes")
+
+_U64_MAX = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """Identity of one cache bucket (= one directory of segments)."""
+
+    #: Producer kind: ``"oracle"`` (target bits) or ``"walk"`` (corner walk).
+    kind: str
+    #: Function (oracle) or range-reduction (walk) name.
+    fn: str
+    #: Target format name (``str(fmt)``), part of the content address.
+    fmt: str
+    #: Logical code version of the producer; mismatched segments are stale.
+    version: int
+    #: Number of u64 value words per record.
+    vals: int
+
+    @property
+    def dirname(self) -> str:
+        return f"{self.kind}__{self.fn}__{self.fmt}"
+
+    @property
+    def record_struct(self) -> struct.Struct:
+        return struct.Struct("<" + "Q" * (1 + self.vals) + "I")
+
+
+class SegmentStore:
+    """On-disk segment store with an in-memory LRU bucket front.
+
+    ``get``/``put`` operate on whole buckets: the first access to a
+    bucket loads every valid segment into a plain dict (the LRU front);
+    ``put`` records go to a write-behind buffer that is flushed to a new
+    private segment every ``flush_every`` records, on :meth:`flush`, and
+    at interpreter exit (the caller registers that).  ``max_buckets``
+    bounds the LRU front; evicted buckets are flushed first.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, flush_every: int = 4096,
+                 max_buckets: int = 64):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.flush_every = flush_every
+        self.max_buckets = max_buckets
+        self._buckets: OrderedDict[BucketSpec, dict[int, tuple[int, ...]]] \
+            = OrderedDict()
+        self._pending: dict[BucketSpec, dict[int, tuple[int, ...]]] = {}
+        self._pending_n = 0
+        self._seq = 0
+        SegmentStore._instances += 1
+        self._store_no = SegmentStore._instances
+
+    #: Per-process instance counter, part of private segment names so two
+    #: stores on the same root in one process cannot collide.
+    _instances = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, spec: BucketSpec, key: int) -> tuple[int, ...] | None:
+        """Cached values for ``key``, or None on a miss."""
+        got = self._load(spec).get(key)
+        if got is None:
+            _C_MISS.inc()
+            return None
+        _C_HIT.inc()
+        return got
+
+    def put(self, spec: BucketSpec, key: int, values: tuple[int, ...]) -> None:
+        """Record ``key -> values`` (idempotent; known keys are kept)."""
+        if len(values) != spec.vals:
+            raise ValueError(
+                f"{spec.dirname}: expected {spec.vals} values, "
+                f"got {len(values)}")
+        bucket = self._load(spec)
+        if key in bucket:
+            return
+        bucket[key] = values
+        self._pending.setdefault(spec, {})[key] = values
+        self._pending_n += 1
+        _C_PUT.inc()
+        if self._pending_n >= self.flush_every:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Publish every pending record as new private segments."""
+        written = 0
+        for spec, records in sorted(self._pending.items(),
+                                    key=lambda kv: kv[0].dirname):
+            if records:
+                self._write_segment(spec, records)
+                written += 1
+        self._pending.clear()
+        self._pending_n = 0
+        return written
+
+    def refresh(self) -> None:
+        """Flush, then drop the LRU front so other processes' freshly
+        published segments become visible (the parent-side merge of the
+        worker/parent protocol)."""
+        self.flush()
+        self._buckets.clear()
+        _C_REFRESHES.inc()
+
+    def _write_segment(self, spec: BucketSpec,
+                       records: dict[int, tuple[int, ...]]) -> None:
+        dirp = self.root / spec.dirname
+        dirp.mkdir(parents=True, exist_ok=True)
+        meta = {"kind": spec.kind, "fn": spec.fn, "fmt": spec.fmt,
+                "version": spec.version, "vals": spec.vals}
+        parts = [MAGIC, json.dumps(meta, sort_keys=True).encode() + b"\n"]
+        for key in sorted(records):
+            payload = struct.pack("<" + "Q" * (1 + spec.vals),
+                                  key, *records[key])
+            parts.append(payload + struct.pack("<I", zlib.crc32(payload)))
+        blob = b"".join(parts)
+        # private final name: pid + per-store sequence; bump past any
+        # survivor of a recycled pid so no published segment is replaced
+        while True:
+            self._seq += 1
+            final = (dirp /
+                     f"seg-{os.getpid()}-{self._store_no}-{self._seq}.bin")
+            if not final.exists():
+                break
+        tmp = dirp / f".tmp-{final.name}"
+        tmp.write_bytes(blob)
+        os.replace(tmp, final)
+        _C_SEGS_WRITTEN.inc()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self, spec: BucketSpec) -> dict[int, tuple[int, ...]]:
+        bucket = self._buckets.get(spec)
+        if bucket is not None:
+            self._buckets.move_to_end(spec)
+            return bucket
+        bucket = {}
+        dirp = self.root / spec.dirname
+        if dirp.is_dir():
+            for path in sorted(dirp.glob("seg-*.bin")):
+                self._read_segment(path, spec, bucket)
+        # puts that were pending when this bucket was last evicted
+        bucket.update(self._pending.get(spec, {}))
+        self._buckets[spec] = bucket
+        while len(self._buckets) > self.max_buckets:
+            old_spec, _old = self._buckets.popitem(last=False)
+            pending = self._pending.pop(old_spec, None)
+            if pending:
+                self._pending_n -= len(pending)
+                self._write_segment(old_spec, pending)
+            _C_EVICTIONS.inc()
+        return bucket
+
+    def _read_segment(self, path: pathlib.Path, spec: BucketSpec,
+                      out: dict[int, tuple[int, ...]]) -> None:
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            _C_RECORDS_BAD.inc()
+            return
+        body, meta = _parse_header(blob)
+        if meta is None:
+            _C_RECORDS_BAD.inc()
+            return
+        if meta.get("version") != spec.version or meta.get("vals") != spec.vals:
+            _C_SEGS_STALE.inc()
+            return
+        rec = spec.record_struct
+        payload_len = rec.size - 4
+        for off in range(0, len(body) - rec.size + 1, rec.size):
+            chunk = body[off:off + rec.size]
+            fields = rec.unpack(chunk)
+            if zlib.crc32(chunk[:payload_len]) != fields[-1]:
+                _C_RECORDS_BAD.inc()
+                return  # append-only file: damage truncates the suffix
+            out[fields[0]] = fields[1:-1]
+        if len(body) % rec.size:
+            _C_RECORDS_BAD.inc()  # torn trailing record
+        _C_SEGS_LOADED.inc()
+
+    # ------------------------------------------------------------------
+    # Maintenance (stats / verify / gc)
+    # ------------------------------------------------------------------
+    def buckets_on_disk(self) -> list[str]:
+        """Sorted bucket directory names currently present on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and p.name.count("__") == 2)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-bucket segment/record/byte totals (reads every header)."""
+        out: dict[str, dict[str, int]] = {}
+        for name in self.buckets_on_disk():
+            dirp = self.root / name
+            segs = records = size = stale = 0
+            versions: set[int] = set()
+            for path in sorted(dirp.glob("seg-*.bin")):
+                blob = path.read_bytes()
+                size += len(blob)
+                segs += 1
+                body, meta = _parse_header(blob)
+                if meta is None:
+                    stale += 1
+                    continue
+                versions.add(int(meta.get("version", -1)))
+                vals = int(meta.get("vals", 1))
+                records += len(body) // (8 * (1 + vals) + 4)
+            out[name] = {"segments": segs, "records": records,
+                         "bytes": size, "unreadable": stale,
+                         "versions": len(versions)}
+        return out
+
+    def verify(self) -> list[str]:
+        """Structural check of every segment; returns problem strings."""
+        problems: list[str] = []
+        for name in self.buckets_on_disk():
+            dirp = self.root / name
+            for path in sorted(dirp.glob("seg-*.bin")):
+                rel = f"{name}/{path.name}"
+                blob = path.read_bytes()
+                body, meta = _parse_header(blob)
+                if meta is None:
+                    problems.append(f"{rel}: bad magic or meta header")
+                    continue
+                try:
+                    vals = int(meta["vals"])
+                except (KeyError, TypeError, ValueError):
+                    problems.append(f"{rel}: meta missing 'vals'")
+                    continue
+                rec = struct.Struct("<" + "Q" * (1 + vals) + "I")
+                if len(body) % rec.size:
+                    problems.append(
+                        f"{rel}: torn trailing record "
+                        f"({len(body) % rec.size} dangling bytes)")
+                for off in range(0, len(body) - rec.size + 1, rec.size):
+                    chunk = body[off:off + rec.size]
+                    if zlib.crc32(chunk[:-4]) != rec.unpack(chunk)[-1]:
+                        problems.append(
+                            f"{rel}: CRC mismatch in record "
+                            f"{off // rec.size}")
+                        break
+        return problems
+
+    def gc(self, current_versions: dict[str, int]) -> dict[str, int]:
+        """Compact every bucket: merge current-version records into one
+        segment, drop stale/corrupt segments.
+
+        ``current_versions`` maps a bucket *kind* to the live producer
+        version; buckets of unknown kinds keep their newest version seen
+        on disk.  Returns removal/compaction counts.
+        """
+        self.flush()
+        removed = kept = compacted = 0
+        for name in self.buckets_on_disk():
+            dirp = self.root / name
+            kind = name.split("__", 1)[0]
+            paths = sorted(dirp.glob("seg-*.bin"))
+            metas = []
+            for path in paths:
+                _body, meta = _parse_header(path.read_bytes())
+                metas.append(meta)
+            versions = [int(m["version"]) for m in metas
+                        if m is not None and "version" in m]
+            live = current_versions.get(
+                kind, max(versions) if versions else 0)
+            merged: dict[int, tuple[int, ...]] = {}
+            live_spec: BucketSpec | None = None
+            for path, meta in zip(paths, metas):
+                if meta is None or int(meta.get("version", -1)) != live:
+                    continue
+                spec = BucketSpec(str(meta["kind"]), str(meta["fn"]),
+                                  str(meta["fmt"]), live, int(meta["vals"]))
+                self._read_segment(path, spec, merged)
+                live_spec = spec
+            if merged and live_spec is not None:
+                self._write_segment(live_spec, merged)
+                kept += len(merged)
+                compacted += 1
+            for path in paths:
+                path.unlink(missing_ok=True)
+                removed += 1
+        self._buckets.clear()
+        return {"segments_removed": removed, "records_kept": kept,
+                "buckets_compacted": compacted}
+
+
+def _parse_header(blob: bytes) -> tuple[bytes, dict | None]:
+    """Split a segment blob into (record body, meta dict | None)."""
+    if not blob.startswith(MAGIC):
+        return b"", None
+    nl = blob.find(b"\n", len(MAGIC))
+    if nl < 0:
+        return b"", None
+    try:
+        meta = json.loads(blob[len(MAGIC):nl].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return b"", None
+    if not isinstance(meta, dict):
+        return b"", None
+    return blob[nl + 1:], meta

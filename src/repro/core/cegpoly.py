@@ -35,17 +35,19 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.fp.bits import next_double, prev_double
+from repro.fp.bits import (bits_to_double, double_to_bits, next_double,
+                           prev_double)
 from repro.lp.solver import LinearConstraint, fit_coefficients
 from repro.core.polynomials import Polynomial
 from repro.obs import enabled, event, metrics
 
-__all__ = ["CEGConfig", "CEGFailure", "gen_polynomial"]
+__all__ = ["CEGConfig", "CEGFailure", "CEGWarmState", "gen_polynomial"]
 
 _C_CALLS = metrics.counter("ceg.calls")
 _C_ROUNDS = metrics.counter("ceg.rounds")
 _C_VIOLATIONS = metrics.counter("ceg.violations")
 _C_FAILURES = metrics.counter("ceg.failures")
+_C_WARM_SEEDED = metrics.counter("ceg.warm_seeded")
 _H_SAMPLE = metrics.histogram("ceg.sample_size")
 _H_ROUNDS = metrics.histogram("ceg.rounds_per_call", kind="exact")
 
@@ -81,6 +83,55 @@ class CEGFailure:
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return False
+
+
+@dataclass
+class CEGWarmState:
+    """Cross-round memory for counterexample guided generation.
+
+    ``generate_validated`` re-runs the whole pipeline after every
+    validation round; the constraint set only gains a few hard-case
+    entries each time, so the counterexamples CEG discovered last round
+    are almost certainly counterexamples again.  The state records, per
+    sub-domain (keyed by the caller, e.g. ``(label:sign, index_bits,
+    group)``), the reduced inputs of the final accepted sample;
+    :func:`gen_polynomial` seeds its initial sample with whichever of
+    them still exist, typically collapsing the rediscovery rounds to one.
+
+    Seeding only adds sample points — the full-check loop still verifies
+    every constraint — so a warm start can change how fast CEG converges
+    but never lets an invalid polynomial through.  The state is scoped to
+    one ``generate_validated`` invocation and never persisted: generation
+    results stay independent of any on-disk cache.
+    """
+
+    #: warm key -> reduced inputs (double bit patterns) of the last
+    #: successful sample for that sub-domain.
+    samples: dict[tuple, tuple[int, ...]] = field(default_factory=dict)
+
+    def record(self, key: tuple, sample: Sequence[LinearConstraint]) -> None:
+        self.samples[key] = tuple(double_to_bits(c.r) for c in sample)
+
+    def seed_indices(self, key: tuple, rs: np.ndarray) -> list[int]:
+        """Indices into the value-sorted ``rs`` whose bit patterns match
+        the recorded sample (entries that vanished from the constraint
+        set are skipped)."""
+        stored = self.samples.get(key)
+        if not stored:
+            return []
+        out = []
+        n = len(rs)
+        for b in stored:
+            v = bits_to_double(b)
+            i = int(np.searchsorted(rs, v, side="left"))
+            # scan the equal-value window for the exact bit pattern
+            # (it has more than one element only for -0.0 vs +0.0)
+            while i < n and rs[i] == v:
+                if double_to_bits(float(rs[i])) == b:
+                    out.append(i)
+                    break
+                i += 1
+        return out
 
 
 def _initial_sample_indices(n: int, cfg: CEGConfig,
@@ -135,18 +186,24 @@ def gen_polynomial(
     constraints: Sequence[LinearConstraint],
     exponents: Sequence[int],
     cfg: CEGConfig | None = None,
+    *,
+    warm: CEGWarmState | None = None,
+    warm_key: tuple | None = None,
 ) -> Polynomial | CEGFailure:
     """Find a polynomial satisfying every constraint, or explain failure.
 
     ``constraints`` must be sorted by reduced input (callers get this from
-    :func:`repro.core.reduced.reduced_intervals`).
+    :func:`repro.core.reduced.reduced_intervals`).  When ``warm`` and
+    ``warm_key`` are given, the initial sample is seeded from (and the
+    final sample recorded into) the warm state for that key.
     """
     cfg = cfg or CEGConfig()
     exponents = tuple(exponents)
     if not constraints:
         return Polynomial(exponents, (0.0,) * len(exponents))
 
-    result = _gen_polynomial(constraints, exponents, cfg)
+    result = _gen_polynomial(constraints, exponents, cfg,
+                             warm=warm, warm_key=warm_key)
     if isinstance(result, CEGFailure):
         _C_FAILURES.inc()
         _H_SAMPLE.observe(result.sample_size)
@@ -164,6 +221,8 @@ def _gen_polynomial(
     constraints: Sequence[LinearConstraint],
     exponents: tuple[int, ...],
     cfg: CEGConfig,
+    warm: CEGWarmState | None = None,
+    warm_key: tuple | None = None,
 ) -> tuple[Polynomial, int] | CEGFailure:
     """The CEG loop proper; returns (poly, final sample size) or failure."""
     _C_CALLS.inc()
@@ -175,6 +234,12 @@ def _gen_polynomial(
     widths = hi - lo
 
     sample_idx = set(_initial_sample_indices(len(constraints), cfg, widths))
+    if warm is not None and warm_key is not None:
+        seeded = warm.seed_indices(warm_key, rs)
+        if seeded:
+            before = len(sample_idx)
+            sample_idx.update(seeded)
+            _C_WARM_SEEDED.inc(len(sample_idx) - before)
     sample = [constraints[i] for i in sorted(sample_idx)]
 
     poly: Polynomial | None = None
@@ -215,6 +280,8 @@ def _gen_polynomial(
 
     _H_ROUNDS.observe(rounds)
     assert poly is not None
+    if warm is not None and warm_key is not None:
+        warm.record(warm_key, sample)
     if cfg.lower_degree and len(exponents) > 1:
         for nterms in range(1, len(exponents)):
             shorter = _fit_rounded(sample, exponents[:nterms], cfg)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.cache import active_store
+from repro.core.cegpoly import CEGWarmState
 from repro.core.intervals import TargetFormat, target_rounding_interval
 from repro.core.piecewise import ApproxFunc, PiecewiseConfig, gen_approx_func
 from repro.core.reduced import ReducedConstraintSet, reduced_intervals
@@ -152,11 +154,14 @@ def generate(
     spec: FunctionSpec,
     inputs: Iterable[float],
     oracle: Oracle = default_oracle,
+    warm: CEGWarmState | None = None,
 ) -> GeneratedFunction:
     """Run the full pipeline for ``spec`` over the given inputs.
 
     ``inputs`` are doubles that are exact values of the target format
-    (from :mod:`repro.core.sampling`).  Raises
+    (from :mod:`repro.core.sampling`).  ``warm`` optionally carries CEG
+    state across repeated generations of the same spec (the
+    validate-and-repair loop).  Raises
     :class:`~repro.rangereduction.base.RangeReductionError` when output
     compensation cannot reach a rounding interval and
     :class:`GenerationError` when polynomial generation fails within the
@@ -164,6 +169,7 @@ def generate(
     """
     rr = spec.rr
     stats = GenStats()
+    store = oracle.store if oracle.store is not None else active_store()
 
     with timed_span("generate", fn=spec.name,
                     target=str(spec.target)) as sp_gen:
@@ -181,7 +187,8 @@ def generate(
         stats.phase_s["oracle"] = sp.elapsed
 
         with timed_span("reduced", fn=spec.name) as sp:
-            rset: ReducedConstraintSet = reduced_intervals(pairs, rr, oracle)
+            rset: ReducedConstraintSet = reduced_intervals(
+                pairs, rr, oracle, store=store, fmt_name=str(spec.target))
         stats.reduced_count = rset.reduced_count
         stats.phase_s["reduced"] = sp.elapsed
         event("generate.inputs", fn=spec.name, inputs=stats.input_count,
@@ -192,7 +199,8 @@ def generate(
             for fn_name in rr.fn_names:
                 af = gen_approx_func(fn_name, rset.constraints[fn_name],
                                      rr.exponents_for(fn_name),
-                                     spec.piecewise, label=fn_name)
+                                     spec.piecewise, label=fn_name,
+                                     warm=warm)
                 if af is None:
                     raise GenerationError(
                         f"{spec.name}/{fn_name}: no piecewise polynomial "

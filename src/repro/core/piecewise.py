@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
+from repro.core.cegpoly import (CEGConfig, CEGFailure, CEGWarmState,
+                                gen_polynomial)
 from repro.core.polynomials import Polynomial
 from repro.core.splitting import DomainSplit, split_domain
 from repro.fp.bits import double_to_bits
@@ -117,14 +118,19 @@ def gen_piecewise(
     exponents: Sequence[int],
     cfg: PiecewiseConfig | None = None,
     label: str = "",
+    warm: CEGWarmState | None = None,
+    warm_label: str | None = None,
 ) -> PiecewisePolynomial | None:
     """GenApproxHelper + GenPiecewise for one sign of reduced inputs.
 
     ``label`` tags trace events with the reduced function being
-    approximated; it does not affect generation.
+    approximated; it does not affect generation.  Warm-state keys use
+    ``warm_label`` (default ``label``), so callers passing ``warm`` must
+    keep it unique per reduced function and sign.
     """
     cfg = cfg or PiecewiseConfig()
     ceg = cfg.ceg or CEGConfig()
+    wlabel = warm_label if warm_label is not None else label
     n = cfg.start_index_bits
     while n <= cfg.max_index_bits:
         split = split_domain(constraints, n)
@@ -134,11 +140,13 @@ def gen_piecewise(
         _C_SPLIT_ATTEMPTS.inc()
         polys: list[Polynomial | None] = []
         ok = True
-        for group in split.groups:
+        for group_idx, group in enumerate(split.groups):
             if not group:
                 polys.append(None)
                 continue
-            result = gen_polynomial(group, exponents, ceg)
+            result = gen_polynomial(
+                group, exponents, ceg, warm=warm,
+                warm_key=(wlabel, split.index_bits, group_idx))
             if isinstance(result, CEGFailure):
                 ok = False
                 break
@@ -213,6 +221,7 @@ def gen_approx_func(
     exponents: Sequence[int],
     cfg: PiecewiseConfig | None = None,
     label: str = "",
+    warm: CEGWarmState | None = None,
 ) -> ApproxFunc | None:
     """GenApproxFunc: split by sign, then generate piecewise polynomials."""
     label = label or name
@@ -222,13 +231,15 @@ def gen_approx_func(
     if neg:
         with span("approxfunc", reduced_fn=label, sign="neg",
                   constraints=len(neg)):
-            neg_pp = gen_piecewise(neg, exponents, cfg, label=label)
+            neg_pp = gen_piecewise(neg, exponents, cfg, label=label,
+                                   warm=warm, warm_label=f"{label}:neg")
         if neg_pp is None:
             return None
     if pos:
         with span("approxfunc", reduced_fn=label, sign="pos",
                   constraints=len(pos)):
-            pos_pp = gen_piecewise(pos, exponents, cfg, label=label)
+            pos_pp = gen_piecewise(pos, exponents, cfg, label=label,
+                                   warm=warm, warm_label=f"{label}:pos")
         if pos_pp is None:
             return None
     return ApproxFunc(name, neg_pp, pos_pp)

@@ -23,25 +23,49 @@ Multiple inputs x can map to the same reduced input r; their per-x reduced
 intervals are intersected (Section 3.2).  An empty intersection means the
 range reduction cannot support a correct implementation and is reported
 as :class:`RangeReductionError`.
+
+Walk cache
+----------
+
+For a given range reduction, target format and input x, the walk result is
+a pure function of (rr.name, fmt, x): the seed values come from the
+(deterministic) oracle, the nudge search and the monotone binary search
+are deterministic, and the rounding interval is determined by the format.
+``reduced_intervals`` therefore accepts an optional persistent store
+(:mod:`repro.cache`) and memoises ``(k_lo, k_hi, nudge)`` per input —
+replaying a walk is three integer reads instead of dozens of output
+compensation evaluations, and by construction cannot change a bit of the
+result.  Bump :data:`_WALK_VERSION` whenever this module, the oracle
+certification, or any range reduction changes behaviour.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
-from repro.fp.bits import advance_double
+from repro.cache import BucketSpec, SegmentStore
+from repro.fp.bits import (advance_double, double_to_bits, double_to_ordinal,
+                           ordinal_to_double)
 from repro.fp.rounding import RoundingInterval
 from repro.lp.solver import LinearConstraint
+from repro.obs import metrics
 from repro.oracle.mpmath_oracle import Oracle, default_oracle
 from repro.rangereduction.base import RangeReduction, RangeReductionError
 
-__all__ = ["ReducedConstraintSet", "reduced_intervals", "max_steps_within"]
+__all__ = ["ReducedConstraintSet", "reduced_intervals", "max_steps_within",
+           "WALK_VERSION"]
 
 #: Upper bound on the widening binary search: 2**62 steps covers the
 #: whole double ordinal range.
 _MAX_STEP_LOG2 = 62
+
+#: Version key for persisted walk records; see module docstring.
+WALK_VERSION = 1
+
+_C_WALK_HITS = metrics.counter("cache.walk_hits")
+_C_WALK_MISSES = metrics.counter("cache.walk_misses")
 
 
 def max_steps_within(predicate: Callable[[int], bool]) -> int:
@@ -72,16 +96,74 @@ def max_steps_within(predicate: Callable[[int], bool]) -> int:
 #: rounding boundary (a few OC round-off ulps in practice).
 _MAX_NUDGE = 128
 
+_ORD_INF = double_to_ordinal(math.inf)
+
+#: Module switch for the hoisted-ordinal walk; set False to time (or
+#: differentially test against) the original per-probe closure.  Both
+#: walks evaluate the identical probe sequence.
+FAST_WALK = True
+
 
 def _nudge_into_interval(rr, red, v, iv):
-    """Step all components together until compensation lands in iv."""
+    """Step all components together until compensation lands in iv.
+
+    Returns ``(values, signed_step_count)`` or None when no nudge within
+    ``_MAX_NUDGE`` ulps reaches the interval.
+    """
     for sign in (-1, 1):
         for k in range(1, _MAX_NUDGE + 1):
             vals = [advance_double(vi, sign * k) for vi in v]
             y = rr.compensate(vals, red.ctx)
             if not math.isnan(y) and iv.lo <= y <= iv.hi:
-                return vals
+                return vals, sign * k
     return None
+
+
+def _walk_extents(rr, ctx, iv, v) -> tuple[int, int]:
+    """``(k_lo, k_hi)`` of the simultaneous corner walk from seed ``v``.
+
+    Same monotone predicate as the original per-call closure, with the
+    ordinal decomposition of the seed hoisted out of the probe loop
+    (``advance_double`` would re-derive it on every evaluation).  The
+    clamping matches :func:`repro.fp.bits.advance_double` exactly, so the
+    probe sequence — and therefore the result — is unchanged.
+    """
+    ords = [double_to_ordinal(vi) for vi in v]
+    compensate = rr.compensate
+    lo_b, hi_b = iv.lo, iv.hi
+
+    def corner_ok(k: int, sign: int) -> bool:
+        vals = []
+        for o in ords:
+            n = o + sign * k
+            if n > _ORD_INF:
+                n = _ORD_INF
+            elif n < -_ORD_INF:
+                n = -_ORD_INF
+            vals.append(ordinal_to_double(n))
+        y = compensate(vals, ctx)
+        if math.isnan(y):
+            return False
+        return lo_b <= y <= hi_b
+
+    k_lo = max_steps_within(lambda k: corner_ok(k, -1))
+    k_hi = max_steps_within(lambda k: corner_ok(k, +1))
+    return k_lo, k_hi
+
+
+def _walk_extents_ref(rr, ctx, iv, v) -> tuple[int, int]:
+    """Reference walk: ``advance_double`` per probe (pre-optimization)."""
+
+    def corner_ok(k: int, sign: int) -> bool:
+        vals = [advance_double(vi, sign * k) for vi in v]
+        y = rr.compensate(vals, ctx)
+        if math.isnan(y):
+            return False
+        return iv.lo <= y <= iv.hi
+
+    k_lo = max_steps_within(lambda k: corner_ok(k, -1))
+    k_hi = max_steps_within(lambda k: corner_ok(k, +1))
+    return k_lo, k_hi
 
 
 @dataclass
@@ -100,6 +182,9 @@ def reduced_intervals(
     pairs: Iterable[tuple[float, RoundingInterval]],
     rr: RangeReduction,
     oracle: Oracle = default_oracle,
+    *,
+    store: SegmentStore | None = None,
+    fmt_name: str | None = None,
 ) -> ReducedConstraintSet:
     """Deduce reduced rounding intervals (Algorithm 2 + merging).
 
@@ -111,44 +196,61 @@ def reduced_intervals(
         The range reduction / output compensation under test.
     oracle:
         Correctly rounded oracle used for the initial guesses v_i.
+    store, fmt_name:
+        When both are given, walk results are memoised in the persistent
+        cache under ``(rr.name, fmt_name, x)``; see the module docstring
+        for why replaying them is bit-exact.
     """
     fn_names = rr.fn_names
-    nfn = len(fn_names)
     merged: dict[str, dict[float, tuple[float, float]]] = {
         name: {} for name in fn_names}
     count = 0
+
+    spec = None
+    if store is not None and fmt_name is not None:
+        spec = BucketSpec("walk", rr.name, fmt_name, WALK_VERSION, 3)
 
     for x, iv in pairs:
         count += 1
         red = rr.reduce(x)
         r = red.r
         v = [oracle.round_to_double(fn, r) for fn in fn_names]
-        y0 = rr.compensate(v, red.ctx)
-        if not (iv.lo <= y0 <= iv.hi):
-            # The exact result can sit exactly on a rounding boundary
-            # (e.g. exp10(2) = 100 landing on a tie), so the double
-            # round-off of output compensation can push the seed a couple
-            # of ulps outside.  Nudge all components simultaneously along
-            # the monotone direction until compensation enters the
-            # interval; if a small nudge cannot reach it, the range
-            # reduction genuinely loses too much precision.
-            v = _nudge_into_interval(rr, red, v, iv)
-            if v is None:
-                raise RangeReductionError(
-                    f"{rr.name}: correctly rounded components at x={x!r} "
-                    f"(r={r!r}) compensate to {y0!r}, outside {iv}; "
-                    "redesign the range reduction or increase the "
-                    "precision of H")
 
-        def corner_ok(k: int, sign: int) -> bool:
-            vals = [advance_double(v[i], sign * k) for i in range(nfn)]
-            y = rr.compensate(vals, red.ctx)
-            if math.isnan(y):
-                return False
-            return iv.lo <= y <= iv.hi
+        cached = store.get(spec, double_to_bits(x)) if spec is not None \
+            else None
+        if cached is not None:
+            _C_WALK_HITS.inc()
+            k_lo, k_hi, nudge_rec = cached
+            nudge = nudge_rec - _MAX_NUDGE
+            if nudge:
+                v = [advance_double(vi, nudge) for vi in v]
+        else:
+            y0 = rr.compensate(v, red.ctx)
+            nudge = 0
+            if not (iv.lo <= y0 <= iv.hi):
+                # The exact result can sit exactly on a rounding boundary
+                # (e.g. exp10(2) = 100 landing on a tie), so the double
+                # round-off of output compensation can push the seed a
+                # couple of ulps outside.  Nudge all components
+                # simultaneously along the monotone direction until
+                # compensation enters the interval; if a small nudge
+                # cannot reach it, the range reduction genuinely loses
+                # too much precision.
+                nudged = _nudge_into_interval(rr, red, v, iv)
+                if nudged is None:
+                    raise RangeReductionError(
+                        f"{rr.name}: correctly rounded components at "
+                        f"x={x!r} (r={r!r}) compensate to {y0!r}, outside "
+                        f"{iv}; redesign the range reduction or increase "
+                        "the precision of H")
+                v, nudge = nudged
 
-        k_lo = max_steps_within(lambda k: corner_ok(k, -1))
-        k_hi = max_steps_within(lambda k: corner_ok(k, +1))
+            walk = _walk_extents if FAST_WALK else _walk_extents_ref
+            k_lo, k_hi = walk(rr, red.ctx, iv, v)
+            if spec is not None:
+                _C_WALK_MISSES.inc()
+                store.put(spec, double_to_bits(x),
+                          (k_lo, k_hi, nudge + _MAX_NUDGE))
 
         for i, fn in enumerate(fn_names):
             lo_i = advance_double(v[i], -k_lo)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.core.cegpoly import CEGWarmState
 from repro.core.generator import (FunctionSpec, GeneratedFunction, generate,
                                   target_bits)
 from repro.oracle.mpmath_oracle import Oracle, default_oracle
@@ -164,9 +165,16 @@ def generate_validated(
     added = 0
     clean = 0
     fn: GeneratedFunction | None = None
+    # CEG warm state spans the re-generation rounds of THIS invocation
+    # only: each regeneration re-poses almost the same sub-domain
+    # problems, so seeding from the previous round's samples skips the
+    # counterexample rediscovery.  Scoping it here (rather than globally)
+    # keeps every generate_validated call's trajectory a pure function of
+    # its arguments — independent of cache state and worker count.
+    warm = CEGWarmState()
     for round_no in range(max_rounds):
         if fn is None:
-            fn = generate(spec, work, oracle)
+            fn = generate(spec, work, oracle, warm=warm)
         bad = validate(fn, factory(round_no), oracle=oracle, workers=workers)
         if not bad:
             clean += 1

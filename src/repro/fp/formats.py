@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator
 
-from repro.fp.bits import fraction_to_double
+from repro.fp.bits import bits_to_double, double_to_bits, fraction_to_double
 
 __all__ = [
     "FloatFormat",
@@ -39,6 +39,12 @@ __all__ = [
     "FLOAT8",
     "round_fraction_to_int_rne",
 ]
+
+
+#: Module switch for the ldexp/bit-pattern decode and binary64 encode
+#: shortcuts; set False to re-time (or differentially test against) the
+#: all-``Fraction`` baseline.  Both paths are bit-identical.
+FAST_CONVERT = True
 
 
 def round_fraction_to_int_rne(q: Fraction) -> int:
@@ -191,6 +197,23 @@ class FloatFormat:
             return math.nan
         if self.is_inf(bits):
             return -math.inf if bits & self.sign_mask else math.inf
+        if FAST_CONVERT and self.mbits <= 52 and self.ebits <= 11:
+            # every finite value is exact in binary64 (module contract),
+            # so decode by bit algebra / ldexp instead of Fractions
+            if self.mbits == 52 and self.ebits == 11:
+                if bits == 0x8000000000000000:
+                    return 0.0  # -0 pattern decodes to +0.0, as before
+                return bits_to_double(bits)
+            m = bits & self.mant_mask
+            e = (bits >> self.mbits) & self.exp_mask
+            if e == 0:
+                if m == 0:
+                    return 0.0  # both zeros decode to +0.0, as before
+                v = math.ldexp(m, self.emin - self.mbits)
+            else:
+                v = math.ldexp((1 << self.mbits) | m,
+                               e - self.bias - self.mbits)
+            return -v if bits & self.sign_mask else v
         return fraction_to_double(self.to_fraction(bits))
 
     # ------------------------------------------------------------------
@@ -205,6 +228,15 @@ class FloatFormat:
         """
         if q == 0:
             return 0
+        if FAST_CONVERT and self.mbits == 52 and self.ebits == 11:
+            # binary64 target: CPython's Fraction -> float conversion is
+            # exactly RN_H (ties-to-even, overflow to inf), so the
+            # pattern of float(q) is the generic algorithm's answer
+            d = fraction_to_double(q)
+            if math.isinf(d):
+                return (self.sign_mask | self.inf_bits) if d < 0 \
+                    else self.inf_bits
+            return double_to_bits(d)
         sign_bits = self.sign_mask if q < 0 else 0
         a = -q if q < 0 else q
 

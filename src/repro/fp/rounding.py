@@ -14,6 +14,18 @@ latter: for IEEE-style targets whose values (and neighbour midpoints) are
 exactly representable in H, the interval boundaries are the midpoints
 between ``y`` and its T-neighbours, inclusive exactly when ``y``'s mantissa
 is even (ties go to even).  All arithmetic is exact.
+
+Two implementations produce the boundaries:
+
+* the original exact path decodes neighbours to ``Fraction`` and divides
+  (``_rounding_interval_exact``), raising when a midpoint is not
+  representable in H;
+* the fast path computes the midpoint in double arithmetic and *proves*
+  it exact with the 2Sum error-free transformation — the midpoint is
+  accepted only when the addition provably lost nothing and halving is
+  provably exact.  Whenever the proof fails, the exact path decides, so
+  the two are bit-identical by construction (``FAST_INTERVALS`` flips
+  the fast path off for baseline timing and differential tests).
 """
 
 from __future__ import annotations
@@ -26,6 +38,10 @@ from repro.fp.bits import fraction_to_double, next_double, prev_double
 from repro.fp.formats import FloatFormat
 
 __all__ = ["RoundingInterval", "rounding_interval", "overflow_threshold"]
+
+#: Module switch for the proven-exact double midpoint path; set False to
+#: re-time (or differentially test against) the pure-Fraction baseline.
+FAST_INTERVALS = True
 
 
 @dataclass(frozen=True)
@@ -55,6 +71,9 @@ class RoundingInterval:
         return RoundingInterval(lo, hi)
 
 
+_THRESHOLD_CACHE: dict[tuple[int, int], float] = {}
+
+
 def overflow_threshold(fmt: FloatFormat) -> float:
     """Smallest positive double that rounds to +infinity in ``fmt``.
 
@@ -62,10 +81,15 @@ def overflow_threshold(fmt: FloatFormat) -> float:
     power of two; the tie rounds away from the (odd, all-ones mantissa)
     maximum, i.e. overflows.
     """
+    key = (fmt.ebits, fmt.mbits)
+    d = _THRESHOLD_CACHE.get(key)
+    if d is not None:
+        return d
     b = Fraction(2) ** fmt.emax * (2 - Fraction(1, 1 << (fmt.mbits + 1)))
     d = fraction_to_double(b)
     if Fraction(d) != b:  # pragma: no cover - holds for all supported fmts
         raise ValueError(f"overflow threshold of {fmt} not exact in double")
+    _THRESHOLD_CACHE[key] = d
     return d
 
 
@@ -78,6 +102,27 @@ def _exact_midpoint(a: Fraction, b: Fraction) -> float:
     return d
 
 
+def _proven_midpoint(a: float, b: float) -> float | None:
+    """``(a+b)/2`` as a double, provably exact — else None.
+
+    2Sum (Knuth): for ``s = a + b`` the quantity
+    ``err = (a - (s - t)) + (b - t)`` with ``t = s - a`` is the *exact*
+    rounding error of the addition, so ``err == 0`` proves ``s`` exact
+    (an overflowing ``s`` makes ``err`` NaN, failing the proof).  The
+    halving ``m = 0.5 * s`` is exact iff doubling it restores ``s``
+    (doubling a double is exact below overflow).
+    """
+    s = a + b
+    t = s - a
+    err = (a - (s - t)) + (b - t)
+    if err != 0.0:
+        return None
+    m = 0.5 * s
+    if m + m != s:
+        return None
+    return m
+
+
 def rounding_interval(fmt: FloatFormat, y_bits: int) -> RoundingInterval:
     """Closed interval of doubles rounding to the value of ``y_bits``.
 
@@ -85,6 +130,37 @@ def rounding_interval(fmt: FloatFormat, y_bits: int) -> RoundingInterval:
     around 0), subnormal/normal boundaries, the largest finite value and
     infinities.  NaN has no rounding interval.
     """
+    if (not FAST_INTERVALS or fmt.mbits > 52 or fmt.ebits > 11
+            or fmt.is_inf(y_bits) or fmt.is_zero(y_bits)
+            or fmt.is_nan(y_bits)):
+        return _rounding_interval_exact(fmt, y_bits)
+
+    y = fmt.to_double(y_bits)  # exact: mbits <= 52, ebits <= 11
+    even = (y_bits & 1) == 0
+
+    up_bits = fmt.next_up(y_bits)
+    if fmt.is_inf(up_bits):
+        hi = prev_double(overflow_threshold(fmt))  # the tie overflows
+    else:
+        m = _proven_midpoint(y, fmt.to_double(up_bits))
+        if m is None:
+            return _rounding_interval_exact(fmt, y_bits)
+        hi = m if even else prev_double(m)
+
+    dn_bits = fmt.next_down(y_bits)
+    if fmt.is_inf(dn_bits):
+        lo = next_double(-overflow_threshold(fmt))
+    else:
+        m = _proven_midpoint(fmt.to_double(dn_bits), y)
+        if m is None:
+            return _rounding_interval_exact(fmt, y_bits)
+        lo = m if even else next_double(m)
+
+    return RoundingInterval(lo, hi)
+
+
+def _rounding_interval_exact(fmt: FloatFormat, y_bits: int) -> RoundingInterval:
+    """The original all-``Fraction`` boundary computation."""
     if fmt.is_nan(y_bits):
         raise ValueError("NaN has no rounding interval")
 

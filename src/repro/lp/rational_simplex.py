@@ -27,7 +27,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
 
+from repro.obs import metrics
+
 __all__ = ["LPResult", "solve_lp_exact", "LPStatus"]
+
+_C_PIVOTS = metrics.counter("lp.pivots")
 
 
 class LPStatus:
@@ -112,6 +116,7 @@ def _simplex(tab: list[list[Fraction]], basis: list[int], ncols: int,
                     row = i
         if row < 0:
             return LPStatus.UNBOUNDED
+        _C_PIVOTS.inc()
         _pivot(tab, basis, row, col)
 
 

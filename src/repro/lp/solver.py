@@ -21,6 +21,7 @@ margin simply makes that loop converge faster).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
@@ -28,16 +29,20 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.fp.bits import double_to_bits
 from repro.lp.rational_simplex import LPStatus, solve_lp_exact
 from repro.obs import enabled, event, metrics
 
-__all__ = ["LinearConstraint", "FitResult", "fit_coefficients"]
+__all__ = ["LinearConstraint", "FitResult", "fit_coefficients",
+           "use_solution_cache", "clear_solution_cache"]
 
 _C_SOLVES = metrics.counter("lp.solves")
 _C_INFEASIBLE = metrics.counter("lp.infeasible")
 _C_EXACT_FALLBACKS = metrics.counter("lp.exact_fallbacks")
 _C_EXACT_SOLVES = metrics.counter("lp.exact_solves")
 _C_REFINE_ROUNDS = metrics.counter("lp.refine_rounds")
+_C_MEMO_HITS = metrics.counter("lp.memo_hits")
+_C_DEDUP = metrics.counter("lp.dedup_dropped")
 _H_ROWS = metrics.histogram("lp.rows")
 
 #: HiGHS tolerances; the default 1e-7 would drown ulp-wide intervals
@@ -71,6 +76,37 @@ class FitResult:
     backend: str = "highs"
 
 
+#: Solution memo: both backends are deterministic functions of the exact
+#: constraint system (HiGHS with a fixed option set included), so a
+#: content-addressed lookup returns the bit-identical coefficients a
+#: fresh solve would.  This is the LP half of the CEG warm start — across
+#: validation rounds the early CEG iterations re-pose systems that were
+#: already solved.  Keys use bit patterns, not float equality, so -0.0
+#: and 0.0 endpoints stay distinct.
+_MEMO_MAX = 512
+_memo: OrderedDict[tuple, FitResult] = OrderedDict()
+_memo_enabled = True
+
+
+def use_solution_cache(on: bool) -> None:
+    """Enable/disable the in-process LP solution memo (for benchmarks)."""
+    global _memo_enabled
+    _memo_enabled = on
+    if not on:
+        _memo.clear()
+
+
+def clear_solution_cache() -> None:
+    """Drop all memoized LP solutions."""
+    _memo.clear()
+
+
+def _copy_result(res: FitResult) -> FitResult:
+    coeffs = None if res.coefficients is None else list(res.coefficients)
+    return FitResult(res.feasible, coeffs, margin=res.margin,
+                     backend=res.backend)
+
+
 def fit_coefficients(
     constraints: Sequence[LinearConstraint],
     exponents: Sequence[int],
@@ -89,8 +125,44 @@ def fit_coefficients(
         Solve with the exact rational simplex instead of HiGHS.  Slower;
         used for certification and for small/ill-conditioned systems.
     """
-    res = _fit(constraints, exponents, exact)
+    # Duplicate rows add nothing to the feasible region; drop exact
+    # (r, lo, hi) repeats before solving/keying.  The pipeline's samples
+    # hold one constraint per reduced input, so this is a safety net for
+    # external callers rather than a hot path.
+    sig = [(double_to_bits(c.r), double_to_bits(c.lo), double_to_bits(c.hi))
+           for c in constraints]
+    if len(set(sig)) != len(sig):
+        seen: set[tuple[int, int, int]] = set()
+        deduped = []
+        kept_sig = []
+        for c, k in zip(constraints, sig):
+            if k in seen:
+                continue
+            seen.add(k)
+            deduped.append(c)
+            kept_sig.append(k)
+        _C_DEDUP.inc(len(sig) - len(kept_sig))
+        constraints, sig = deduped, kept_sig
+
     m = len(constraints)
+    key = None
+    if _memo_enabled:
+        key = (bool(exact), tuple(exponents), tuple(sig))
+        hit = _memo.get(key)
+        if hit is not None:
+            _memo.move_to_end(key)
+            _C_MEMO_HITS.inc()
+            _C_SOLVES.inc()
+            _H_ROWS.observe(2 * m)
+            if not hit.feasible:
+                _C_INFEASIBLE.inc()
+            if enabled():
+                event("lp.solve", rows=2 * m, cols=len(exponents) + 1,
+                      feasible=hit.feasible, backend=hit.backend,
+                      margin=hit.margin)
+            return _copy_result(hit)
+
+    res = _fit(constraints, exponents, exact)
     _C_SOLVES.inc()
     _H_ROWS.observe(2 * m)
     if not res.feasible:
@@ -98,6 +170,10 @@ def fit_coefficients(
     if enabled():
         event("lp.solve", rows=2 * m, cols=len(exponents) + 1,
               feasible=res.feasible, backend=res.backend, margin=res.margin)
+    if key is not None:
+        _memo[key] = _copy_result(res)
+        if len(_memo) > _MEMO_MAX:
+            _memo.popitem(last=False)
     return res
 
 

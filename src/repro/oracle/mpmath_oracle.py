@@ -17,8 +17,23 @@ the table maker's dilemma, e.g. ``exp2`` of an integer or ``sinpi`` of a
 half-integer) are answered exactly by the per-function ``exact_hook``,
 so the loop always terminates.
 
+Step 3 has an integer *fast-certification* path: instead of building the
+exact rational bracket and rounding both endpoints (``Fraction``
+arithmetic over ~128-bit integers), the mantissa of the mpmath result is
+compared — in pure integer arithmetic — against the distance to the
+nearest rounding boundary of the target format.  When the error bound
+clears that distance with a 4x margin the rounded result is certified
+directly from the mantissa bits.  Whenever the cheap path cannot *prove*
+the rounding (boundary too close, subnormal/overflow edge, posit
+target), it falls back to the exact ``Fraction`` bracket at the *same*
+precision, so the escalation trajectory — and every certified bit — is
+identical to the slow path.
+
 The oracle caches aggressively: the generator asks for the same inputs
-many times while deducing reduced intervals.
+many times while deducing reduced intervals.  In-memory memoization is
+per-oracle; with a :class:`repro.cache.SegmentStore` attached (or
+``REPRO_CACHE_DIR`` set) certified bits also persist on disk, shared
+across runs and across worker processes.
 """
 
 from __future__ import annotations
@@ -29,16 +44,27 @@ from typing import Protocol
 
 import mpmath
 
-from repro.fp.bits import fraction_to_double
-from repro.fp.formats import FLOAT64
+from repro.cache import BucketSpec, SegmentStore, active_store
+from repro.fp.bits import double_to_bits, fraction_to_double
+from repro.fp.formats import FLOAT64, FloatFormat
 from repro.oracle.functions import FunctionDef, get_function
+from repro.posit.format import PositFormat
 
-__all__ = ["Oracle", "OracleError", "default_oracle", "mpf_to_fraction"]
+__all__ = ["Oracle", "OracleError", "ORACLE_VERSION", "default_oracle",
+           "mpf_to_fraction"]
 
 _START_PREC = 128
 _MAX_PREC = 8192
 #: Error allowance in ulps-at-working-precision for one mpmath call.
 _SLOP_BITS = 6
+#: Consecutive escalated certifications before the Ziv start precision of
+#: a function is raised (adaptive start; reset by ``clear_cache``).
+_ADAPT_AFTER = 16
+
+#: Logical version of the oracle result semantics.  Bump when a function
+#: definition or the certification contract changes: old on-disk cache
+#: segments then become stale and ``cache gc`` removes them.
+ORACLE_VERSION = 1
 
 
 class OracleError(RuntimeError):
@@ -62,18 +88,83 @@ def mpf_to_fraction(v: mpmath.mpf) -> Fraction:
     return -q if sign else q
 
 
+def _fast_round_bits(sign: int, man: int, exp: int, bc: int, prec: int,
+                     mbits: int, emin: int, emax: int, bias: int,
+                     sign_mask: int, mant_mask: int) -> int | None:
+    """Certify RN_T of ``±man * 2**exp`` by integer midpoint distance.
+
+    ``man`` is the (normalized, ``bc = man.bit_length()``) mantissa of an
+    mpmath result whose true value lies within ``2**(e+1-prec+_SLOP_BITS)``
+    of it.  Working in units of ``2**exp``: the target's rounding
+    boundaries (value midpoints) are spaced ``2**u`` apart inside the
+    binade, so if the error interval stays inside the binade and clears
+    the nearest boundary by a 4x margin, every value in it rounds to the
+    same target pattern — returned here.  ``None`` means "cannot prove";
+    the caller falls back to the exact bracket at the same precision.
+    """
+    e = exp + bc - 1                      # 2**e <= |v| < 2**(e+1)
+    if e < emin or e >= emax:
+        return None                       # subnormal / overflow edge
+    u = bc - 1 - mbits                    # target ulp in units of 2**exp
+    if u < 4:
+        return None                       # mantissa too short to certify
+    eu = bc - prec + _SLOP_BITS           # log2 of the error, same units
+    margin = (1 << (eu + 2)) if eu > 0 else 4
+    half = 1 << (u - 1)
+    if margin >= half:
+        return None
+    # the whole error interval must stay inside this binade (midpoint
+    # spacing halves below it, and the top is a representable boundary)
+    if man - (1 << (bc - 1)) < margin or (1 << bc) - man < margin:
+        return None
+    t = man & ((1 << u) - 1)
+    dist = t - half
+    if dist < 0:
+        dist = -dist
+    if dist < margin:
+        return None                       # too close to a boundary
+    head = man >> u
+    if t > half:
+        head += 1
+        if head == (1 << (mbits + 1)):    # carried into the next binade
+            head >>= 1
+            e += 1
+            if e > emax:                  # pragma: no cover - guarded above
+                return None
+    bits = ((e + bias) << mbits) | (head & mant_mask)
+    return (bits | sign_mask) if sign else bits
+
+
 class Oracle:
     """Correctly rounded evaluation of the registered elementary functions."""
 
     def __init__(self, start_prec: int = _START_PREC, max_prec: int = _MAX_PREC,
-                 cache: bool = True):
+                 cache: bool = True, store: SegmentStore | None = None,
+                 fast_certify: bool = True, adaptive_prec: bool = True):
         self.start_prec = start_prec
         self.max_prec = max_prec
         #: set False for timing runs (a memoized oracle would otherwise
         #: time as dictionary lookups instead of Ziv evaluation)
         self.cache = cache
+        #: explicit on-disk store; None falls back to the process-wide
+        #: store of :mod:`repro.cache` (itself None unless configured)
+        self.store = store
+        #: integer fast-certification (bit-identical; off re-times the
+        #: pure-Fraction baseline)
+        self.fast_certify = fast_certify
+        #: raise a function's Ziv start precision after repeated
+        #: escalations (results are precision-independent; this only
+        #: skips doomed low-precision evaluations)
+        self.adaptive_prec = adaptive_prec
         self._bits_cache: dict[tuple[str, float, int], int] = {}
         self._double_cache: dict[tuple[str, float], float] = {}
+        self._prec_start: dict[str, int] = {}
+        self._prec_streak: dict[str, int] = {}
+        self._fmt_params: dict[int, tuple | None] = {}
+        self._bucket_specs: dict[tuple[str, int], BucketSpec | None] = {}
+        self._info = {"calls": 0, "mem_hits": 0, "certified": 0,
+                      "fast_certified": 0, "escalated": 0, "exact_hook": 0,
+                      "store_hits": 0, "store_puts": 0}
 
     # ------------------------------------------------------------------
     # Core bracketing primitive
@@ -89,6 +180,12 @@ class Oracle:
             return exact, exact, True
         with mpmath.workprec(prec):
             v = fn.mp_call(mpmath.mpf(x))
+        lo, hi = self._bracket_from_mpf(v, prec)
+        return lo, hi, False
+
+    def _bracket_from_mpf(self, v: mpmath.mpf,
+                          prec: int) -> tuple[Fraction, Fraction]:
+        """Widen an inexact mpf to its rational error bracket."""
         if mpmath.isfinite(v) and v != 0:
             # exp of a posit-scale input can have a binary exponent of
             # ~1e30; rationalizing that would build an astronomically
@@ -101,24 +198,24 @@ class Oracle:
             if scale > 4200:
                 hi = Fraction(2) ** 4300
                 lo = Fraction(2) ** 4200
-                return (-hi, -lo, False) if sign_bit else (lo, hi, False)
+                return (-hi, -lo) if sign_bit else (lo, hi)
             if scale < -4200:
                 hi = Fraction(1, 2 ** 4200)
                 lo = Fraction(1, 2 ** 4300)
-                return (-hi, -lo, False) if sign_bit else (lo, hi, False)
+                return (-hi, -lo) if sign_bit else (lo, hi)
         q = mpf_to_fraction(v)
         if q == 0:
             # None of the registered functions returns an inexact zero at
             # mpmath precision (zeros are caught by the exact hooks), but
             # guard against it: a zero with no exact hook is uncertifiable
             # at this precision.
-            return Fraction(-1), Fraction(1), False
+            return Fraction(-1), Fraction(1)
         # q = m * 2**e with 2**(e') <= |q| < 2**(e'+1); one ulp at
         # precision prec is 2**(e'+1-prec); allow 2**_SLOP_BITS of them.
         mag = abs(q)
         e = mag.numerator.bit_length() - mag.denominator.bit_length()
         eps = Fraction(2) ** (e + 1 - prec + _SLOP_BITS)
-        return q - eps, q + eps, False
+        return q - eps, q + eps
 
     # ------------------------------------------------------------------
     # Rounding entry points
@@ -131,28 +228,106 @@ class Oracle:
         special-case layer of each library function, not the oracle.
         """
         key = (fn_name, x, id(fmt))
+        self._info["calls"] += 1
         if self.cache:
             hit = self._bits_cache.get(key)
             if hit is not None:
+                self._info["mem_hits"] += 1
                 return hit
         fn = get_function(fn_name)
         if not (math.isfinite(x) and fn.in_domain(x)):
             raise ValueError(f"{fn_name}({x!r}) is a limit/special case, "
                              "not an oracle query")
-        prec = self.start_prec
+        store = self.store if self.store is not None else active_store()
+        spec = skey = None
+        if store is not None:
+            spec = self._bucket_spec(fn_name, fmt)
+            if spec is not None:
+                skey = double_to_bits(x)
+                got = store.get(spec, skey)
+                if got is not None:
+                    self._info["store_hits"] += 1
+                    bits = got[0]
+                    if self.cache:
+                        self._bits_cache[key] = bits
+                    return bits
+        bits = self._certify(fn, fn_name, x, fmt)
+        if self.cache:
+            self._bits_cache[key] = bits
+        if spec is not None and store is not None:
+            store.put(spec, skey, (bits,))
+            self._info["store_puts"] += 1
+        return bits
+
+    def _certify(self, fn: FunctionDef, fn_name: str, x: float,
+                 fmt: _RoundsFractions) -> int:
+        """The Ziv escalation loop (exact hook, then certify-or-double)."""
+        exact = fn.exact_hook(Fraction(x))
+        if exact is not None:
+            self._info["exact_hook"] += 1
+            return fmt.from_fraction(exact)
+        start = self.start_prec
+        if self.adaptive_prec:
+            start = self._prec_start.get(fn_name, start)
+        params = None
+        if self.fast_certify:
+            params = self._fast_params(fmt)
+        prec = start
         while prec <= self.max_prec:
-            lo, hi, exact = self.bracket(fn, x, prec)
+            with mpmath.workprec(prec):
+                v = fn.mp_call(mpmath.mpf(x))
+            if params is not None:
+                sign, man, exp, bc = v._mpf_
+                if man > 0:
+                    bits = _fast_round_bits(sign, man, exp, bc, prec, *params)
+                    if bits is not None:
+                        self._info["fast_certified"] += 1
+                        self._note_certified(fn_name, start, prec)
+                        return bits
+            lo, hi = self._bracket_from_mpf(v, prec)
             lo_bits = fmt.from_fraction(lo)
-            if exact:
-                self._bits_cache[key] = lo_bits
-                return lo_bits
-            hi_bits = fmt.from_fraction(hi)
-            if lo_bits == hi_bits:
-                self._bits_cache[key] = lo_bits
+            if lo_bits == fmt.from_fraction(hi):
+                self._note_certified(fn_name, start, prec)
                 return lo_bits
             prec *= 2
         raise OracleError(
             f"could not certify {fn_name}({x!r}) at {self.max_prec} bits")
+
+    def _note_certified(self, fn_name: str, start: int, prec: int) -> None:
+        self._info["certified"] += 1
+        if prec == start:
+            self._prec_streak[fn_name] = 0
+            return
+        self._info["escalated"] += 1
+        if not self.adaptive_prec:
+            return
+        streak = self._prec_streak.get(fn_name, 0) + 1
+        if streak >= _ADAPT_AFTER:
+            self._prec_start[fn_name] = min(start * 2, self.max_prec)
+            streak = 0
+        self._prec_streak[fn_name] = streak
+
+    def _fast_params(self, fmt: _RoundsFractions) -> tuple | None:
+        """Precomputed format constants for the integer fast path, or
+        None for targets it does not cover (posits, custom formats)."""
+        params = self._fmt_params.get(id(fmt))
+        if params is None and id(fmt) not in self._fmt_params:
+            if type(fmt) is FloatFormat:
+                params = (fmt.mbits, fmt.emin, fmt.emax, fmt.bias,
+                          fmt.sign_mask, fmt.mant_mask)
+            self._fmt_params[id(fmt)] = params
+        return params
+
+    def _bucket_spec(self, fn_name: str, fmt: _RoundsFractions) -> BucketSpec | None:
+        """Disk-cache bucket for (fn, fmt); None for unnamable targets."""
+        bkey = (fn_name, id(fmt))
+        spec = self._bucket_specs.get(bkey)
+        if spec is None and bkey not in self._bucket_specs:
+            if isinstance(fmt, (FloatFormat, PositFormat)):
+                spec = BucketSpec("oracle", fn_name, str(fmt),
+                                  ORACLE_VERSION, 1)
+            self._bucket_specs[bkey] = spec
+        return spec
 
     def round_to_double(self, fn_name: str, x: float) -> float:
         """Correctly rounded f(x) in H = binary64.
@@ -176,10 +351,27 @@ class Oracle:
         with mpmath.workprec(prec):
             return fn.mp_call(mpmath.mpf(x))
 
+    def cache_info(self) -> dict[str, object]:
+        """Memo sizes, certification counters, and Ziv precision state."""
+        return {
+            "bits_entries": len(self._bits_cache),
+            "double_entries": len(self._double_cache),
+            "start_prec": dict(sorted(self._prec_start.items())),
+            "store": "attached" if self.store is not None else (
+                "process" if active_store() is not None else "none"),
+            **self._info,
+        }
+
     def clear_cache(self) -> None:
-        """Drop the memoized results."""
+        """Drop the memoized results *and* the Ziv start-precision
+        escalation state, so a cleared oracle re-times exactly like a
+        fresh one (benchmark passes rely on this)."""
         self._bits_cache.clear()
         self._double_cache.clear()
+        self._prec_start.clear()
+        self._prec_streak.clear()
+        for k in self._info:
+            self._info[k] = 0
 
 
 #: Shared module-level oracle; the caches make sharing worthwhile.

@@ -32,6 +32,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
+from repro.cache import flush_active, refresh_active
 from repro.obs import event, metrics, span
 from repro.obs.events import detach as _detach_trace
 from repro.parallel.shards import resolve_workers
@@ -59,6 +60,10 @@ def _call_captured(task: Callable[[Any], Any], payload: Any) -> tuple:
         result = task(payload)
     except Exception:
         return ("err", traceback.format_exc())
+    finally:
+        # publish this worker's cache segments (shard-local, atomically
+        # renamed into place) so the parent's refresh sees them
+        flush_active()
     return ("ok", result, metrics.snapshot())
 
 
@@ -95,6 +100,9 @@ def run_tasks(
             return results
 
         ctx = _context()
+        # flush pending cache writes so forked workers inherit a clean
+        # store (no double-publishing of the parent's pending records)
+        flush_active()
         with ProcessPoolExecutor(max_workers=n_workers,
                                  mp_context=ctx) as pool:
             futures = {pool.submit(_call_captured, task, p): i
@@ -125,4 +133,7 @@ def run_tasks(
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+        # merge the segments the workers published (checkpoint-manifest
+        # pattern: private files + atomic rename + parent re-scan)
+        refresh_active()
     return results

@@ -1,0 +1,102 @@
+"""The cache must never change a generated bit.
+
+Every layer of the generation cache — the on-disk oracle/walk store, the
+LP solution memo, the per-invocation CEG warm start, and the proven
+float fast paths — carries the same contract: results are bit-identical
+to the uncached pipeline.  These tests enforce it end to end by running
+``generate_validated`` with the cache off, cold, pre-warmed, and shared
+with a 4-worker pool, and asserting the serialized coefficient tables
+are byte-identical modulo wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.parallel_utils import TIMING_KEYS
+
+from repro import cache
+from repro.cache import SegmentStore
+from repro.core import FunctionSpec, all_values
+from repro.core.piecewise import PiecewiseConfig
+from repro.core.validate import generate_validated
+from repro.fp.formats import FLOAT8
+from repro.libm.serialize import function_to_dict
+from repro.lp.solver import clear_solution_cache
+from repro.oracle.mpmath_oracle import Oracle
+from repro.posit.format import POSIT8
+from repro.rangereduction import reduction_for
+
+pytestmark = pytest.mark.cache
+
+
+def _spec(name, fmt):
+    return FunctionSpec(name, fmt, reduction_for(name, fmt),
+                        PiecewiseConfig(max_index_bits=4))
+
+
+def _run(name, fmt, oracle, workers=None):
+    """One generate_validated run: sparse inputs + exhaustive validation,
+    so the outer loop genuinely folds counterexamples back."""
+    clear_solution_cache()
+    pool = list(all_values(fmt))
+    spec = _spec(name, fmt)
+    fn, added = generate_validated(spec, pool[::8], pool, oracle=oracle,
+                                   max_rounds=8, workers=workers)
+    d = function_to_dict(fn)
+    for key in TIMING_KEYS:
+        d["stats"].pop(key, None)
+    return d, added
+
+
+@pytest.mark.parametrize("name,fmt", [("exp2", FLOAT8), ("log2", FLOAT8),
+                                      ("exp", POSIT8)])
+def test_tables_identical_cache_off_cold_warm(name, fmt, tmp_path):
+    baseline, base_added = _run(name, fmt, Oracle(store=None))
+
+    root = tmp_path / "store"
+    cold_store = SegmentStore(root)
+    cold, cold_added = _run(name, fmt, Oracle(store=cold_store))
+    cold_store.flush()
+
+    warm_oracle = Oracle(store=SegmentStore(root))
+    warm, warm_added = _run(name, fmt, warm_oracle)
+
+    assert cold == baseline
+    assert warm == baseline
+    assert cold_added == base_added == warm_added
+    info = warm_oracle.cache_info()
+    assert info["store_hits"] > 0  # the warm pass really used the disk
+
+
+def test_tables_identical_serial_vs_workers(tmp_path):
+    baseline, _ = _run("exp2", FLOAT8, Oracle(store=None))
+
+    # process-wide store, inherited by the fork pool: workers publish
+    # shard-local segments at task end, the parent merges them after
+    cache.configure(tmp_path / "shared")
+    try:
+        shared, _ = _run("exp2", FLOAT8, Oracle(), workers=4)
+    finally:
+        cache.deactivate()
+    assert shared == baseline
+
+    # the pool run populated the store; a serial rerun over it must
+    # still produce the same bits
+    rerun, _ = _run("exp2", FLOAT8,
+                    Oracle(store=SegmentStore(tmp_path / "shared")))
+    assert rerun == baseline
+    store = SegmentStore(tmp_path / "shared")
+    assert store.verify() == []
+    assert any(st["records"] > 0 for st in store.stats().values())
+
+
+def test_prewarmed_store_only_serves_canonical_bits(tmp_path):
+    """A store warmed by one run serves a *different* run of the same
+    function without drift (fresh Oracle, fresh LP memo, fresh warm
+    state — only the disk carries over)."""
+    root = tmp_path / "store"
+    _run("exp2", FLOAT8, Oracle(store=SegmentStore(root)))
+    a, _ = _run("exp2", FLOAT8, Oracle(store=SegmentStore(root)))
+    b, _ = _run("exp2", FLOAT8, Oracle(store=None))
+    assert a == b

@@ -1,0 +1,250 @@
+"""Persistent segment store: durability, corruption, staleness, concurrency.
+
+The cache's safety contract is "a record read back is exactly a record
+some process certified" — so these tests attack every way that could
+fail: bit flips (CRC truncation), torn writes (trailing-record
+detection), producer version bumps (stale segments ignored, ``gc``
+removes them), and two processes appending to the same bucket at once
+(private segments + atomic publish mean both survive).
+"""
+
+from __future__ import annotations
+
+import struct
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import cache
+from repro.__main__ import main as repro_main
+from repro.cache import BucketSpec, SegmentStore
+from repro.cache.store import MAGIC
+
+pytestmark = pytest.mark.cache
+
+SPEC = BucketSpec("oracle", "exp", "float8", 1, 1)
+WALK = BucketSpec("walk", "exp", "float8", 1, 3)
+
+
+def _segment_paths(root, spec=SPEC):
+    return sorted((root / spec.dirname).glob("seg-*.bin"))
+
+
+class TestRoundtrip:
+    def test_put_get_same_store(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        assert store.get(SPEC, 7) is None
+        store.put(SPEC, 7, (42,))
+        assert store.get(SPEC, 7) == (42,)
+
+    def test_persists_across_store_objects(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put(SPEC, 1, (10,))
+        store.put(WALK, 1, (3, 4, 128))
+        store.flush()
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(SPEC, 1) == (10,)
+        assert fresh.get(WALK, 1) == (3, 4, 128)
+
+    def test_put_is_idempotent_first_wins(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put(SPEC, 5, (1,))
+        store.put(SPEC, 5, (2,))
+        assert store.get(SPEC, 5) == (1,)
+
+    def test_put_wrong_arity_raises(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put(SPEC, 5, (1, 2))
+
+    def test_u64_extremes_roundtrip(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        top = (1 << 64) - 1
+        store.put(SPEC, top, (top,))
+        store.put(SPEC, 0, (0,))
+        store.flush()
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(SPEC, top) == (top,)
+        assert fresh.get(SPEC, 0) == (0,)
+
+    def test_lru_eviction_flushes_pending(self, tmp_path):
+        store = SegmentStore(tmp_path, max_buckets=1)
+        store.put(SPEC, 9, (90,))
+        # loading a second bucket evicts the first; its pending record
+        # must be published, not lost
+        store.put(WALK, 9, (1, 2, 3))
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(SPEC, 9) == (90,)
+
+
+class TestCorruption:
+    def _write_three(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        for k in (1, 2, 3):
+            store.put(SPEC, k, (k * 10,))
+        store.flush()
+        (path,) = _segment_paths(tmp_path)
+        return path
+
+    def test_bitflip_truncates_from_damage(self, tmp_path):
+        path = self._write_three(tmp_path)
+        blob = bytearray(path.read_bytes())
+        # records are sorted by key; flip one byte inside the last one
+        rec = SPEC.record_struct.size
+        blob[-rec // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(SPEC, 1) == (10,)
+        assert fresh.get(SPEC, 2) == (20,)
+        assert fresh.get(SPEC, 3) is None  # damaged suffix dropped
+        assert any("CRC mismatch" in p for p in fresh.verify())
+
+    def test_torn_trailing_record_detected(self, tmp_path):
+        path = self._write_three(tmp_path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02\x03")
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(SPEC, 3) == (30,)  # complete records still load
+        assert any("torn trailing record" in p for p in fresh.verify())
+
+    def test_bad_magic_segment_ignored(self, tmp_path):
+        path = self._write_three(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(b"GARBAGE!\n" + blob[len(MAGIC):])
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(SPEC, 1) is None
+        assert any("bad magic" in p for p in fresh.verify())
+
+    def test_cli_verify_exit_codes(self, tmp_path, capsys):
+        path = self._write_three(tmp_path)
+        argv = ["cache", "--dir", str(tmp_path), "verify"]
+        assert repro_main(argv) == 0
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # break the last record's CRC word
+        path.write_bytes(bytes(blob))
+        assert repro_main(argv) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+
+    def test_cli_requires_a_root(self, monkeypatch, capsys):
+        monkeypatch.delenv(cache.ENV_VAR, raising=False)
+        assert repro_main(["cache", "verify"]) == 2
+
+
+class TestStaleVersions:
+    def test_bumped_version_misses(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put(SPEC, 1, (10,))
+        store.flush()
+        v2 = BucketSpec(SPEC.kind, SPEC.fn, SPEC.fmt, SPEC.version + 1,
+                        SPEC.vals)
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(v2, 1) is None
+        assert fresh.get(SPEC, 1) == (10,)  # old producer still hits
+
+    def test_gc_drops_stale_keeps_live(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        v2 = BucketSpec(SPEC.kind, SPEC.fn, SPEC.fmt, 2, SPEC.vals)
+        store.put(SPEC, 1, (10,))
+        store.put(v2, 1, (11,))
+        store.put(v2, 2, (22,))
+        store.flush()
+        res = store.gc({"oracle": 2})
+        assert res["records_kept"] == 2
+        assert res["buckets_compacted"] == 1
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(v2, 1) == (11,)
+        assert fresh.get(v2, 2) == (22,)
+        assert fresh.get(SPEC, 1) is None
+        # one compacted segment remains
+        assert len(_segment_paths(tmp_path)) == 1
+
+    def test_gc_removes_corrupt_segments(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put(SPEC, 1, (10,))
+        store.flush()
+        (path,) = _segment_paths(tmp_path)
+        path.write_bytes(b"not a segment")
+        res = store.gc({"oracle": SPEC.version})
+        assert res["segments_removed"] == 1
+        assert SegmentStore(tmp_path).verify() == []
+
+
+def _append_worker(args):
+    root, lo, hi = args
+    store = SegmentStore(root)
+    for k in range(lo, hi):
+        store.put(SPEC, k, (k + 1000,))
+    store.flush()
+    return hi - lo
+
+
+class TestConcurrency:
+    def test_two_process_concurrent_append(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            done = list(pool.map(_append_worker,
+                                 [(tmp_path, 0, 50), (tmp_path, 50, 100)]))
+        assert done == [50, 50]
+        # both workers published private segments; the union survives
+        merged = SegmentStore(tmp_path)
+        for k in range(100):
+            assert merged.get(SPEC, k) == (k + 1000,)
+        assert len(_segment_paths(tmp_path)) >= 2
+        assert merged.verify() == []
+
+    def test_refresh_sees_other_writers(self, tmp_path):
+        reader = SegmentStore(tmp_path)
+        assert reader.get(SPEC, 1) is None  # bucket now in the LRU front
+        writer = SegmentStore(tmp_path)
+        writer.put(SPEC, 1, (10,))
+        writer.flush()
+        assert reader.get(SPEC, 1) is None  # stale front until refresh
+        reader.refresh()
+        assert reader.get(SPEC, 1) == (10,)
+
+    def test_same_root_two_stores_unique_segments(self, tmp_path):
+        a, b = SegmentStore(tmp_path), SegmentStore(tmp_path)
+        a.put(SPEC, 1, (1,))
+        b.put(SPEC, 2, (2,))
+        a.flush()
+        b.flush()
+        names = [p.name for p in _segment_paths(tmp_path)]
+        assert len(names) == len(set(names)) == 2
+
+
+class TestProcessWideStore:
+    def test_configure_activate_deactivate(self, tmp_path):
+        store = cache.configure(tmp_path)
+        try:
+            assert cache.active_store() is store
+            store.put(SPEC, 3, (33,))
+            cache.flush_active()
+            assert SegmentStore(tmp_path).get(SPEC, 3) == (33,)
+        finally:
+            cache.deactivate()
+        assert cache.active_store() is None
+
+
+class TestStatsAndCLI:
+    def test_stats_counts_records(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        for k in range(5):
+            store.put(SPEC, k, (k,))
+        store.put(WALK, 1, (1, 2, 3))
+        store.flush()
+        st = store.stats()
+        assert st[SPEC.dirname]["records"] == 5
+        assert st[WALK.dirname]["records"] == 1
+        assert st[SPEC.dirname]["segments"] == 1
+
+    def test_cli_stats_and_gc(self, tmp_path, capsys):
+        store = SegmentStore(tmp_path)
+        store.put(SPEC, 1, (1,))
+        store.flush()
+        assert repro_main(["cache", "--dir", str(tmp_path), "stats"]) == 0
+        assert SPEC.dirname in capsys.readouterr().out
+        assert repro_main(["cache", "--dir", str(tmp_path), "gc"]) == 0
+
+    def test_record_struct_layout(self):
+        assert SPEC.record_struct.size == 8 + 8 + 4
+        assert WALK.record_struct.size == 8 + 3 * 8 + 4
+        assert struct.calcsize("<QQI") == SPEC.record_struct.size

@@ -1,0 +1,254 @@
+"""Differential proofs for the bit-identical fast paths.
+
+Every performance shortcut in the pipeline ships with a slow reference
+implementation and a module toggle; these tests run both sides over
+exhaustive small-format input sets plus stratified float32 hard cases
+and assert exact equality — the fast paths are *proven or fallen back
+from*, never trusted.
+
+Covered here: the 2Sum-proven rounding-interval midpoints
+(``FAST_INTERVALS``), the ldexp/bit-pattern format conversions
+(``FAST_CONVERT``), the hoisted-ordinal corner walk (``FAST_WALK``),
+the oracle's integer fast-certification and adaptive Ziv precision, and
+the ``clear_cache``/``cache_info`` contract they rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+import repro.core.reduced as reduced_mod
+import repro.fp.formats as formats_mod
+import repro.fp.rounding as rounding_mod
+from repro.core import all_values
+from repro.core.intervals import target_rounding_interval
+from repro.core.reduced import reduced_intervals
+from repro.fp.bits import bits_to_double, double_to_bits
+from repro.fp.formats import (BFLOAT16, FLOAT8, FLOAT16, FLOAT32, FLOAT64,
+                              FloatFormat)
+from repro.fp.rounding import _rounding_interval_exact, rounding_interval
+from repro.oracle.mpmath_oracle import Oracle
+from repro.posit.format import POSIT8
+from repro.rangereduction import reduction_for
+
+pytestmark = pytest.mark.cache
+
+
+@pytest.fixture
+def restore_toggles():
+    yield
+    rounding_mod.FAST_INTERVALS = True
+    formats_mod.FAST_CONVERT = True
+    reduced_mod.FAST_WALK = True
+
+
+def _all_patterns(fmt):
+    return range(1 << (fmt.ebits + fmt.mbits + 1))
+
+
+def _float32_strata(rng, n=4000):
+    """Bit patterns biased toward the proofs' hard edges: subnormal and
+    binade boundaries, the largest finite values, and odd/even ties."""
+    top = FLOAT32.inf_bits
+    hard = []
+    min_normal_bits = FLOAT32.from_double(float(FLOAT32.min_normal))
+    for base in (0, min_normal_bits, top - 1, top,
+                 FLOAT32.from_double(1.0), FLOAT32.from_double(2.0)):
+        for d in range(-4, 5):
+            b = base + d
+            if 0 <= b <= top:
+                hard.append(b)
+                hard.append(b | FLOAT32.sign_mask)
+    rand = [rng.getrandbits(32) for _ in range(n)]
+    return hard + rand
+
+
+class TestRoundingIntervalFastPath:
+    def _compare(self, fmt, patterns):
+        for y_bits in patterns:
+            if fmt.is_nan(y_bits):
+                continue
+            assert rounding_interval(fmt, y_bits) == \
+                _rounding_interval_exact(fmt, y_bits), hex(y_bits)
+
+    def test_float8_exhaustive(self):
+        self._compare(FLOAT8, _all_patterns(FLOAT8))
+
+    def test_small_formats_exhaustive(self):
+        fmt = FloatFormat(4, 3)
+        self._compare(fmt, _all_patterns(fmt))
+
+    def test_bfloat16_sampled(self):
+        rng = random.Random(11)
+        pats = [rng.getrandbits(16) for _ in range(2000)]
+        pats += list(range(64)) + list(range(BFLOAT16.inf_bits - 32,
+                                             BFLOAT16.inf_bits))
+        self._compare(BFLOAT16, pats)
+
+    def test_float16_sampled(self):
+        rng = random.Random(12)
+        pats = [rng.getrandbits(16) for _ in range(2000)]
+        self._compare(FLOAT16, pats)
+
+    def test_float32_hard_cases(self):
+        self._compare(FLOAT32, _float32_strata(random.Random(13)))
+
+    def test_toggle_really_disables(self, restore_toggles, monkeypatch):
+        calls = []
+        orig = rounding_mod._rounding_interval_exact
+        monkeypatch.setattr(rounding_mod, "_rounding_interval_exact",
+                            lambda f, b: calls.append(b) or orig(f, b))
+        rounding_mod.FAST_INTERVALS = False
+        rounding_interval(FLOAT8, 0x35)
+        assert calls  # exact path taken when the fast path is off
+
+
+class TestConvertFastPath:
+    def _roundtrip(self, fmt, patterns, restore):
+        fast, slow = [], []
+        formats_mod.FAST_CONVERT = True
+        for b in patterns:
+            fast.append(double_to_bits(fmt.to_double(b)))
+        formats_mod.FAST_CONVERT = False
+        for b in patterns:
+            slow.append(double_to_bits(fmt.to_double(b)))
+        assert fast == slow
+
+    def test_to_double_small_formats(self, restore_toggles):
+        for fmt in (FLOAT8, BFLOAT16, FloatFormat(5, 2)):
+            pats = [b for b in _all_patterns(fmt) if not fmt.is_nan(b)]
+            self._roundtrip(fmt, pats, restore_toggles)
+
+    def test_to_double_float64_patterns(self, restore_toggles):
+        rng = random.Random(21)
+        pats = [rng.getrandbits(64) for _ in range(5000)]
+        pats += [0, 1, 0x8000000000000000, FLOAT64.inf_bits,
+                 FLOAT64.inf_bits - 1]
+        pats = [b for b in pats if not FLOAT64.is_nan(b)]
+        self._roundtrip(FLOAT64, pats, restore_toggles)
+
+    def test_from_fraction_binary64(self, restore_toggles):
+        rng = random.Random(22)
+        cases = []
+        for _ in range(2000):
+            num = rng.getrandbits(96) - (1 << 95)
+            den = rng.getrandbits(64) + 1
+            cases.append(Fraction(num, den))
+        # exact doubles, halves of subnormals, and the overflow midpoint
+        cases += [Fraction(0), Fraction(1, 1 << 1080),
+                  Fraction(bits_to_double(1)) / 2,
+                  Fraction(2) ** 1024 * (2 - Fraction(1, 1 << 53)),
+                  -Fraction(2) ** 1024]
+        fast, slow = [], []
+        formats_mod.FAST_CONVERT = True
+        for q in cases:
+            fast.append(FLOAT64.from_fraction(q))
+        formats_mod.FAST_CONVERT = False
+        for q in cases:
+            slow.append(FLOAT64.from_fraction(q))
+        assert fast == slow
+
+
+class TestWalkFastPath:
+    def test_walk_identical_to_reference(self, restore_toggles):
+        oracle = Oracle()
+        rr = reduction_for("exp2", FLOAT8)
+        pairs = []
+        for x in all_values(FLOAT8):
+            if rr.special(x) is not None:
+                continue
+            y_bits = oracle.round_to_bits("exp2", x, FLOAT8)
+            pairs.append((x, target_rounding_interval(FLOAT8, y_bits)))
+
+        def snapshot():
+            rcs = reduced_intervals(pairs, rr, oracle)
+            return {fn: [(c.r, c.lo, c.hi) for c in cs]
+                    for fn, cs in rcs.constraints.items()}
+
+        reduced_mod.FAST_WALK = True
+        fast = snapshot()
+        reduced_mod.FAST_WALK = False
+        ref = snapshot()
+        assert fast == ref
+
+
+class TestOracleFastCertify:
+    def _bits(self, oracle, name, fmt, xs):
+        return [oracle.round_to_bits(name, x, fmt) for x in xs]
+
+    def test_float8_exhaustive(self):
+        fast = Oracle(fast_certify=True, adaptive_prec=False)
+        slow = Oracle(fast_certify=False, adaptive_prec=False)
+        for name in ("exp2", "log2", "sinpi"):
+            rr = reduction_for(name, FLOAT8)
+            xs = [x for x in all_values(FLOAT8) if rr.special(x) is None]
+            assert self._bits(fast, name, FLOAT8, xs) == \
+                self._bits(slow, name, FLOAT8, xs)
+        info = fast.cache_info()
+        assert info["fast_certified"] > 0  # the fast path actually fired
+
+    def test_posit8_exhaustive(self):
+        fast = Oracle(fast_certify=True)
+        slow = Oracle(fast_certify=False)
+        rr = reduction_for("exp", POSIT8)
+        xs = [x for x in all_values(POSIT8) if rr.special(x) is None]
+        assert self._bits(fast, "exp", POSIT8, xs) == \
+            self._bits(slow, "exp", POSIT8, xs)
+
+    def test_float32_sampled(self):
+        rng = random.Random(31)
+        fast = Oracle(fast_certify=True, adaptive_prec=True)
+        slow = Oracle(fast_certify=False, adaptive_prec=False)
+        for name, lo, hi in (("log2", 0.001, 1000.0), ("exp", -80.0, 80.0)):
+            rr = reduction_for(name, FLOAT32)
+            xs = []
+            while len(xs) < 150:
+                x = FLOAT32.to_double(rng.getrandbits(32))
+                if lo <= x <= hi and rr.special(x) is None:
+                    xs.append(x)
+            # exact-hook ties: the hardest cases of the table maker's
+            # dilemma (integral results certify only via the hook)
+            xs += [x for x in (1.0, 2.0, 4.0, 512.0) if name == "log2"]
+            assert self._bits(fast, name, FLOAT32, xs) == \
+                self._bits(slow, name, FLOAT32, xs)
+
+
+class TestOracleCacheState:
+    def test_clear_cache_resets_ziv_state(self):
+        oracle = Oracle()
+        oracle.round_to_bits("exp2", 0.75, FLOAT8)
+        oracle._prec_start["exp2"] = 512
+        oracle._prec_streak["exp2"] = 7
+        oracle.clear_cache()
+        info = oracle.cache_info()
+        assert info["bits_entries"] == 0
+        assert info["start_prec"] == {}
+        assert oracle._prec_streak == {}
+        assert info["calls"] == 0 and info["certified"] == 0
+
+    def test_cache_info_counters(self):
+        oracle = Oracle()
+        oracle.round_to_bits("exp2", 0.75, FLOAT8)
+        oracle.round_to_bits("exp2", 0.75, FLOAT8)
+        info = oracle.cache_info()
+        assert info["calls"] == 2
+        assert info["mem_hits"] == 1
+        assert info["store"] == "none"
+        assert info["bits_entries"] == 1
+
+    def test_adaptive_prec_is_bit_invisible(self):
+        adaptive = Oracle(adaptive_prec=True, start_prec=64)
+        plain = Oracle(adaptive_prec=False, start_prec=64)
+        rr = reduction_for("exp", FLOAT32)
+        rng = random.Random(41)
+        xs = []
+        while len(xs) < 80:
+            x = FLOAT32.to_double(rng.getrandbits(32))
+            if -80.0 <= x <= 80.0 and rr.special(x) is None:
+                xs.append(x)
+        a = [adaptive.round_to_bits("exp", x, FLOAT32) for x in xs]
+        b = [plain.round_to_bits("exp", x, FLOAT32) for x in xs]
+        assert a == b

@@ -11,6 +11,12 @@ a change to Algorithms 2–4 or the LP front end altered how hard the
 generator works — which is exactly the kind of silent regression the
 observability layer exists to catch.
 
+The comparison is tolerant of *new* trace content by construction:
+:func:`repro.obs.report.summarize` skips unknown event kinds, unknown
+point-event names, and extra metrics counters, so instrumentation added
+after the baseline was frozen (cache hit/miss counters, LP memo events,
+…) cannot fail the check — only drift in the effort metrics below can.
+
 Usage::
 
     PYTHONPATH=src python tools/check_genstats.py            # check

@@ -5,7 +5,9 @@ The static-analysis twin of ``tools/check_genstats.py``: where that
 script catches *generation-effort* drift, this one catches source-level
 invariant breakage (float-safety lint rules FP101–FP108, including the
 ``math.*``-transcendental ban FP102 over the runtime, range-reduction
-and vectorized ``src/repro/batch/`` paths) and structural corruption of
+and vectorized ``src/repro/batch/`` paths, and the swallowed-exception
+and determinism rules FP106/FP107 over the persistent generation cache
+``src/repro/cache/``) and structural corruption of
 the frozen coefficient tables (TC201–TC208) before it can reach
 exhaustive validation.
 
