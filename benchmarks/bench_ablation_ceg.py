@@ -10,7 +10,9 @@ DESIGN.md calls out two claims behind Algorithm 4 worth isolating:
 
 The bench generates the float32 log2 reduced-constraint set once and
 compares CEG generation at several initial sample sizes against a single
-all-constraints LP solve, printing sample sizes and times.
+all-constraints LP solve, printing sample sizes and times.  Registered
+as ``ablation_ceg`` (suite ``gen``) with the CEG and full-LP times as
+trajectory gauges.
 """
 
 import random
@@ -18,13 +20,13 @@ import time
 
 import pytest
 
-from conftest import emit
 from repro.core.cegpoly import CEGConfig, CEGFailure, gen_polynomial
 from repro.core.generator import target_rounding_interval
 from repro.core.reduced import reduced_intervals
 from repro.core.sampling import sample_values
 from repro.fp.formats import FLOAT32
 from repro.lp.solver import fit_coefficients
+from repro.obs.bench import benchmark as bench_register, emit_report
 from repro.oracle import default_oracle as orc
 from repro.rangereduction import reduction_for
 from repro.rangereduction.domains import sampling_domain
@@ -44,33 +46,38 @@ def _constraints(n_inputs: int = 4000):
     return reduced_intervals(pairs, rr).constraints["log2_1p"]
 
 
-@pytest.mark.benchmark(group="ablation-ceg")
-def test_ceg_sampling_ablation(benchmark, report_dir):
+@bench_register("ablation_ceg", suite="gen")
+def run_ablation_ceg() -> dict[str, float]:
+    """CEG sampling vs an all-constraints LP solve (section 3.4)."""
     cs = _constraints()
     lines = [f"CEG sampling ablation: log2, {len(cs)} reduced constraints, "
              f"exponents {EXPONENTS}",
              f"{'initial sample':>15s} {'time (s)':>9s} {'result':>8s}"]
 
-    def run_all():
-        results = []
-        for init in (10, 50, 200):
-            t0 = time.perf_counter()
-            res = gen_polynomial(cs, EXPONENTS,
-                                 CEGConfig(initial_sample=init))
-            dt = time.perf_counter() - t0
-            ok = not isinstance(res, CEGFailure)
-            results.append((init, dt, ok))
-            lines.append(f"{init:>15d} {dt:>9.2f} {'ok' if ok else 'FAIL':>8s}")
-        # the all-constraints LP: what CEG avoids
+    gauges: dict[str, float] = {"constraints": float(len(cs))}
+    for init in (10, 50, 200):
         t0 = time.perf_counter()
-        full = fit_coefficients(cs, EXPONENTS)
-        dt_full = time.perf_counter() - t0
-        lines.append(f"{'ALL (' + str(len(cs)) + ')':>15s} {dt_full:>9.2f} "
-                     f"{'ok' if full.feasible else 'FAIL':>8s}  "
-                     "<- single LP over every constraint")
-        return results, dt_full
+        res = gen_polynomial(cs, EXPONENTS, CEGConfig(initial_sample=init))
+        dt = time.perf_counter() - t0
+        ok = not isinstance(res, CEGFailure)
+        lines.append(f"{init:>15d} {dt:>9.2f} {'ok' if ok else 'FAIL':>8s}")
+        # every sampling configuration must converge to a full-coverage
+        # polynomial
+        assert ok, f"CEG failed at initial_sample={init}"
+        gauges[f"ceg_init_{init}_s"] = dt
+    # the all-constraints LP: what CEG avoids
+    t0 = time.perf_counter()
+    full = fit_coefficients(cs, EXPONENTS)
+    dt_full = time.perf_counter() - t0
+    lines.append(f"{'ALL (' + str(len(cs)) + ')':>15s} {dt_full:>9.2f} "
+                 f"{'ok' if full.feasible else 'FAIL':>8s}  "
+                 "<- single LP over every constraint")
+    gauges["full_lp_s"] = dt_full
 
-    (results, dt_full) = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    emit(report_dir, "ablation_ceg.txt", "\n".join(lines) + "\n")
-    # every sampling configuration must converge to a full-coverage poly
-    assert all(ok for _, _, ok in results)
+    emit_report("ablation_ceg.txt", "\n".join(lines) + "\n")
+    return gauges
+
+
+@pytest.mark.benchmark(group="ablation-ceg")
+def test_ceg_sampling_ablation(benchmark, report_dir):
+    benchmark.pedantic(run_ablation_ceg, rounds=1, iterations=1)

@@ -5,13 +5,15 @@ float32 inputs three ways — the per-element ``evaluate`` loop, the
 vectorized ``evaluate_many``, and the bit-pattern ``evaluate_bits_many``
 — asserts the batch results are bit-identical to the scalar loop on a
 sampled slice, and records elements/second and the batch/scalar speedup
-as gauges in the ``batch_throughput.metrics.json`` sidecar.
+as gauges in the ``batch_throughput.metrics.json`` sidecar and the
+``BENCH_<host>.json`` trajectory (suite ``quick``).
 
 The issue's acceptance bar is a ≥10x speedup on this exact sweep; that
-floor is asserted here so a regression in the numpy pipeline (a stray
-copy, a lost fast path) fails the benchmark rather than just slowing it.
-The scalar loop is timed over a subsample and extrapolated — at ~1.4M
-elements/s it is pure overhead to run in full every benchmark session.
+floor is declared on the registry entry (and re-asserted in the pytest
+wrapper) so a regression in the numpy pipeline (a stray copy, a lost
+fast path) fails the benchmark rather than just slowing it.  The scalar
+loop is timed over a subsample and extrapolated — at ~1.4M elements/s
+it is pure overhead to run in full every benchmark session.
 """
 
 from __future__ import annotations
@@ -22,9 +24,9 @@ import time
 import numpy as np
 import pytest
 
-from conftest import emit
 from repro import api
 from repro.obs import metrics
+from repro.obs.bench import benchmark, emit_report
 
 N = int(os.environ.get("REPRO_BENCH_BATCH_N", "1000000"))
 SCALAR_SAMPLE = 40000
@@ -32,9 +34,10 @@ SEED = 2021
 SPEEDUP_FLOOR = 10.0
 
 
-@pytest.mark.batch
-@pytest.mark.benchmark(group="batch")
-def test_batch_throughput(benchmark, report_dir):
+@benchmark("batch_throughput", suite="quick",
+           floors={"speedup": SPEEDUP_FLOOR})
+def run_batch_throughput() -> dict[str, float]:
+    """Vectorized float32 exp sweep vs the scalar loop (1e6 inputs)."""
     lib = api.load("exp", target="float32")
     rng = np.random.default_rng(SEED)
     # exact float32 values across the full non-special exp domain
@@ -45,31 +48,33 @@ def test_batch_throughput(benchmark, report_dir):
 
     times: dict[str, float] = {}
 
-    def run():
+    # best-of-two: the first full-size pass can pay one-off page-fault
+    # and allocator costs that are not steady-state throughput
+    for _ in range(2):
         t0 = time.perf_counter()
-        run.vals = lib.evaluate_batch(xs)
-        times["batch"] = time.perf_counter() - t0
+        vals = lib.evaluate_batch(xs)
+        dt = time.perf_counter() - t0
+        times["batch"] = min(times.get("batch", dt), dt)
 
         t0 = time.perf_counter()
-        run.bits = lib.evaluate_bits_batch(xs)
-        times["batch_bits"] = time.perf_counter() - t0
+        bits = lib.evaluate_bits_batch(xs)
+        dt = time.perf_counter() - t0
+        times["batch_bits"] = min(times.get("batch_bits", dt), dt)
 
-        sub = xs[:SCALAR_SAMPLE].tolist()
-        ev = lib.evaluate
-        t0 = time.perf_counter()
-        run.scalar = [ev(x) for x in sub]
-        times["scalar"] = (time.perf_counter() - t0) * (N / len(sub))
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    sub = xs[:SCALAR_SAMPLE].tolist()
+    ev = lib.evaluate
+    t0 = time.perf_counter()
+    scalar = [ev(x) for x in sub]
+    times["scalar"] = (time.perf_counter() - t0) * (N / len(sub))
 
     # bit-identity spot check on the scalar sample (the exhaustive
     # differential suite lives in tests/test_batch_equivalence.py)
-    got = run.vals[:SCALAR_SAMPLE]
-    assert np.asarray(run.scalar).tobytes() == got.tobytes()
+    got = vals[:SCALAR_SAMPLE]
+    assert np.asarray(scalar).tobytes() == got.tobytes()
     eb = lib.evaluate_bits
     stride = max(1, N // 2000)
     for i in range(0, N, stride):
-        assert run.bits[i] == eb(xs[i])
+        assert bits[i] == eb(xs[i])
 
     scalar_eps = N / times["scalar"]
     batch_eps = N / times["batch"]
@@ -94,8 +99,18 @@ def test_batch_throughput(benchmark, report_dir):
         f"speedup (batch vs scalar): {speedup:.1f}x "
         f"(floor: {SPEEDUP_FLOOR:.0f}x)",
     ]
-    emit(report_dir, "batch_throughput.txt", "\n".join(lines) + "\n")
+    emit_report("batch_throughput.txt", "\n".join(lines) + "\n")
 
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"batch speedup {speedup:.1f}x fell below the "
+    return {"speedup": speedup, "scalar_eps": scalar_eps,
+            "batch_eps": batch_eps,
+            "batch_bits_eps": N / times["batch_bits"]}
+
+
+@pytest.mark.batch
+@pytest.mark.benchmark(group="batch")
+def test_batch_throughput(benchmark, report_dir):
+    gauges = benchmark.pedantic(run_batch_throughput, rounds=1, iterations=1)
+
+    assert gauges["speedup"] >= SPEEDUP_FLOOR, (
+        f"batch speedup {gauges['speedup']:.1f}x fell below the "
         f"{SPEEDUP_FLOOR:.0f}x acceptance floor")

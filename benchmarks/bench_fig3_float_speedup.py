@@ -7,17 +7,52 @@ mini-max models and CR-LIBM clearly (CR-LIBM worst, ~2x class), beats or
 ties the float models (the paper concedes glibc float wins on the log
 family), with everything in the 1x-3x band.
 
-The per-function pytest-benchmark entries additionally give the raw
-ns/call of the shipped RLIBM-32 functions.
+The registered ``fig3_float_speedup`` benchmark (suite ``paper``)
+records the per-baseline geomean speedups as trajectory gauges; the
+per-function pytest-benchmark entries additionally give the raw ns/call
+of the shipped RLIBM-32 functions.
 """
 
 import pytest
 
-from conftest import emit
 from repro.baselines import timing_baselines
-from repro.eval.timing import render_speedups, speedup_rows, time_batch, timing_inputs
+from repro.eval.timing import (geomean, render_speedups, speedup_rows,
+                               timing_inputs)
 from repro.fp.formats import FLOAT32
 from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function as load
+from repro.obs.bench import benchmark as bench_register, emit_report
+
+
+@bench_register("fig3_float_speedup", suite="paper")
+def run_fig3_speedups() -> dict[str, float]:
+    """Per-baseline geomean speedup of RLIBM-32 float32 (Figure 3)."""
+    libs = timing_baselines()
+    rows = speedup_rows(FLOAT32_FUNCTIONS, FLOAT32,
+                        lambda n: load(n, "float32"), libs,
+                        n_inputs=384, repeats=3)
+    text = render_speedups(rows, "Figure 3: RLIBM-32 float32 speedups")
+    emit_report("fig3.txt", text)
+
+    gauges: dict[str, float] = {}
+    for lib_name in libs:
+        sp = [r.speedup(lib_name) for r in rows
+              if r.speedup(lib_name) is not None]
+        if sp:
+            key = lib_name.replace(" ", "_").replace("-", "_")
+            gauges[f"geomean_speedup_{key}"] = geomean(sp)
+
+    # shape assertions: CR-LIBM (Ziv evaluate+verify) must be the slowest
+    # baseline on every function it provides
+    for row in rows:
+        cr = row.speedup("crlibm")
+        if cr is None:
+            continue
+        others = [row.speedup(n) for n in row.baseline_ns
+                  if n != "crlibm" and row.speedup(n) is not None]
+        assert cr > max(others), (row.function, cr, others)
+    # and RLIBM-32 must beat the double mini-max models on average
+    assert gauges["geomean_speedup_intel_double"] > 1.0
+    return gauges
 
 
 @pytest.mark.benchmark(group="fig3-rlibm-ns")
@@ -35,33 +70,7 @@ def test_rlibm_float32_ns(benchmark, fn_name):
 
 @pytest.mark.benchmark(group="fig3-speedups")
 def test_fig3_speedup_table(benchmark, report_dir):
-    libs = timing_baselines()
-    rows = []
-
-    def run():
-        rows.clear()
-        rows.extend(speedup_rows(FLOAT32_FUNCTIONS, FLOAT32,
-                                 lambda n: load(n, "float32"), libs,
-                                 n_inputs=384, repeats=3))
-        return rows
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_speedups(rows, "Figure 3: RLIBM-32 float32 speedups")
-    emit(report_dir, "fig3.txt", text)
-
-    # shape assertions: CR-LIBM (Ziv evaluate+verify) must be the slowest
-    # baseline on every function it provides
-    for row in rows:
-        cr = row.speedup("crlibm")
-        if cr is None:
-            continue
-        others = [row.speedup(n) for n in row.baseline_ns
-                  if n != "crlibm" and row.speedup(n) is not None]
-        assert cr > max(others), (row.function, cr, others)
-    # and RLIBM-32 must beat the double mini-max models on average
-    from repro.eval.timing import geomean
-    g_double = geomean([r.speedup("intel double") for r in rows])
-    assert g_double > 1.0
+    benchmark.pedantic(run_fig3_speedups, rounds=1, iterations=1)
 
 
 @pytest.mark.benchmark(group="fig3-vectorization")
@@ -92,13 +101,13 @@ def test_vectorization_note(benchmark, report_dir):
     benchmark.pedantic(lambda: [g.evaluate(x) for x in xs],
                        rounds=3, iterations=1)
     from repro.eval.timing import time_batch as tb, time_scalar as ts
-    s_ns = ts(g.evaluate, xs, repeats=3)
-    v_ns = tb(vectorized, xs, repeats=3)
+    s_ns = ts(g.evaluate, xs, repeats=3).median
+    v_ns = tb(vectorized, xs, repeats=3).median
     text = ("Vectorization note (section 4.3):\n"
             f"  scalar RLIBM-32 exp: {s_ns:8.0f} ns/input\n"
             f"  vectorized mini-max exp (numpy batch): {v_ns:8.0f} ns/input\n"
             f"  vectorized/scalar: {v_ns / s_ns:.3f} "
             "(paper: vectorized Intel ~10% faster than RLIBM-32)\n")
-    emit(report_dir, "fig3_vectorization.txt", text)
+    emit_report("fig3_vectorization.txt", text)
     # the vectorized mini-max must beat scalar evaluation (as in the paper)
     assert v_ns < s_ns

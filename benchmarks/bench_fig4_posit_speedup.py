@@ -3,15 +3,18 @@ double libraries (glibc/Intel models and CR-LIBM).
 
 Reproduction target (shape): modest wins over the mini-max double models
 (paper: 1.1x) and a clear win over CR-LIBM (paper: 1.4x), with CR-LIBM
-the slowest on every function it provides.
+the slowest on every function it provides.  The registered
+``fig4_posit_speedup`` benchmark (suite ``paper``) records the
+per-baseline geomean speedups as trajectory gauges.
 """
 
 import pytest
 
-from conftest import emit
 from repro.baselines import posit_baselines
-from repro.eval.timing import geomean, render_speedups, speedup_rows, timing_inputs
+from repro.eval.timing import (geomean, render_speedups, speedup_rows,
+                               timing_inputs)
 from repro.libm.runtime import POSIT32_FUNCTIONS, load_function as load
+from repro.obs.bench import benchmark as bench_register, emit_report
 from repro.posit.format import POSIT32
 
 
@@ -26,6 +29,35 @@ def _have_posit_data() -> bool:
 pytestmark = pytest.mark.skipif(
     not _have_posit_data(),
     reason="posit32 data not generated yet (run tools/generate_posit32.py)")
+
+
+@bench_register("fig4_posit_speedup", suite="paper")
+def run_fig4_speedups() -> dict[str, float]:
+    """Per-baseline geomean speedup of RLIBM-32 posit32 (Figure 4)."""
+    if not _have_posit_data():
+        # no frozen posit tables: record nothing rather than fail the run
+        return {}
+    from repro.libm.runtime import available
+
+    libs = posit_baselines(timing=True)
+    fns = available("posit32")
+    rows = speedup_rows(fns, POSIT32, lambda n: load(n, "posit32"), libs,
+                        n_inputs=192, repeats=3)
+    text = render_speedups(rows, "Figure 4: RLIBM-32 posit32 speedups")
+    emit_report("fig4.txt", text)
+
+    gauges: dict[str, float] = {}
+    for lib_name in libs:
+        sp = [r.speedup(lib_name) for r in rows
+              if r.speedup(lib_name) is not None]
+        if sp:
+            key = lib_name.replace(" ", "_").replace("-", "_")
+            gauges[f"geomean_speedup_{key}"] = geomean(sp)
+
+    # CR-LIBM (Ziv) is the slowest comparator (paper: biggest speedup)
+    assert gauges["geomean_speedup_crlibm"] \
+        > gauges["geomean_speedup_glibc_double"]
+    return gauges
 
 
 @pytest.mark.benchmark(group="fig4-rlibm-ns")
@@ -46,25 +78,4 @@ def test_rlibm_posit32_ns(benchmark, fn_name):
 
 @pytest.mark.benchmark(group="fig4-speedups")
 def test_fig4_speedup_table(benchmark, report_dir):
-    libs = posit_baselines(timing=True)
-    rows = []
-
-    def run():
-        rows.clear()
-        from repro.libm.runtime import available
-        fns = available("posit32")
-        rows.extend(speedup_rows(fns, POSIT32,
-                                 lambda n: load(n, "posit32"), libs,
-                                 n_inputs=192, repeats=3))
-        return rows
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_speedups(rows, "Figure 4: RLIBM-32 posit32 speedups")
-    emit(report_dir, "fig4.txt", text)
-
-    # CR-LIBM (Ziv) is the slowest comparator (paper: biggest speedup)
-    cr = geomean([r.speedup("crlibm") for r in rows
-                  if r.speedup("crlibm") is not None])
-    gl = geomean([r.speedup("glibc double") for r in rows
-                  if r.speedup("glibc double") is not None])
-    assert cr > gl
+    benchmark.pedantic(run_fig4_speedups, rounds=1, iterations=1)

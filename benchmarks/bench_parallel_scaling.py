@@ -4,13 +4,16 @@ Times :func:`repro.core.validate.validate` over a large float32 input
 pool (default 100k inputs, ``REPRO_BENCH_POOL`` overrides) for the
 shipped ``exp`` at 1, 2, and 4 workers, asserts the parallel mismatch
 lists are bit-identical to serial, and records the speedups both in the
-text report and as gauges in the metrics sidecar
-(``parallel_scaling.metrics.json``), so scaling regressions diff like
-any other benchmark.
+text report and as gauges — in the ``parallel_scaling.metrics.json``
+sidecar and the ``BENCH_<host>.json`` trajectory (suite ``scaling``) —
+so scaling regressions diff like any other benchmark.
 
-The ≥1.5x-at-4-workers expectation only holds where 4 CPUs exist;
-on smaller machines the numbers are still recorded (process-pool
-overhead included) but not asserted.
+The speedup gauges are recorded **unconditionally**, on every machine:
+the known sub-1x regression on small hosts (see ROADMAP.md) has to be
+on the record to be tracked.  Only the ≥1.5x-at-4-workers *floor* is
+CPU-gated (the registry entry's ``gate``, and the pytest wrapper's
+assert): on a <4-CPU machine the numbers are still appended to the
+trajectory (process-pool overhead included) but not enforced.
 """
 
 from __future__ import annotations
@@ -21,17 +24,18 @@ import time
 
 import pytest
 
-from conftest import emit
 from repro.core.sampling import sample_values
 from repro.core.validate import validate
 from repro.fp.formats import FLOAT32
 from repro.libm.runtime import load_function as load
 from repro.obs import metrics
+from repro.obs.bench import benchmark, emit_report
 from repro.oracle import default_oracle
 
 POOL_SIZE = int(os.environ.get("REPRO_BENCH_POOL", "100000"))
 WORKER_COUNTS = (2, 4)
 SEED = 2021
+SPEEDUP_4_FLOOR = 1.5
 
 
 def _cpus() -> int:
@@ -41,9 +45,11 @@ def _cpus() -> int:
         return os.cpu_count() or 1
 
 
-@pytest.mark.parallel
-@pytest.mark.benchmark(group="parallel")
-def test_parallel_validate_scaling(benchmark, report_dir):
+@benchmark("parallel_scaling", suite="scaling",
+           floors={"speedup_4": SPEEDUP_4_FLOOR},
+           gate=lambda: _cpus() >= 4)
+def run_parallel_scaling() -> dict[str, float]:
+    """validate() wall time and speedup at 1/2/4 workers (float32 exp)."""
     fn = load("exp", "float32")
     # representable-value-proportional pool over the non-special domain
     pool = sample_values(FLOAT32, POOL_SIZE, random.Random(SEED),
@@ -53,21 +59,17 @@ def test_parallel_validate_scaling(benchmark, report_dir):
     times: dict[int, float] = {}
     results: dict[int, list] = {}
     infos: dict[int, dict] = {}
-
-    def run():
-        for workers in (1,) + WORKER_COUNTS:
-            # every configuration pays the full Ziv-loop oracle cost;
-            # otherwise the first pass warms the memo and later passes
-            # (and forked workers, which inherit it) time as dict lookups
-            default_oracle.clear_cache()
-            t0 = time.perf_counter()
-            results[workers] = validate(fn, pool, workers=workers)
-            times[workers] = time.perf_counter() - t0
-            # parallel passes do their oracle work in forked workers, so
-            # only the serial snapshot carries meaningful call counters
-            infos[workers] = default_oracle.cache_info()
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    for workers in (1,) + WORKER_COUNTS:
+        # every configuration pays the full Ziv-loop oracle cost;
+        # otherwise the first pass warms the memo and later passes
+        # (and forked workers, which inherit it) time as dict lookups
+        default_oracle.clear_cache()
+        t0 = time.perf_counter()
+        results[workers] = validate(fn, pool, workers=workers)
+        times[workers] = time.perf_counter() - t0
+        # parallel passes do their oracle work in forked workers, so
+        # only the serial snapshot carries meaningful call counters
+        infos[workers] = default_oracle.cache_info()
 
     serial_s = times[1]
     lines = [
@@ -76,26 +78,37 @@ def test_parallel_validate_scaling(benchmark, report_dir):
         f"{'workers':>8s} {'time_s':>9s} {'speedup':>8s}",
         "-" * 28,
     ]
+    gauges: dict[str, float] = {"pool_size": float(len(pool)),
+                                "cpus": float(_cpus())}
     metrics.gauge("parallel.bench.pool_size").set(float(len(pool)))
     info = infos[1]
     calls = max(1, info["calls"])
-    metrics.gauge("parallel.bench.oracle_hit_rate").set(
-        (info["mem_hits"] + info["store_hits"]) / calls)
+    hit_rate = (info["mem_hits"] + info["store_hits"]) / calls
+    gauges["oracle_hit_rate"] = hit_rate
+    metrics.gauge("parallel.bench.oracle_hit_rate").set(hit_rate)
     metrics.gauge("parallel.bench.oracle_fast_certified").set(
         float(info["fast_certified"]))
-    speedups = {}
     for workers, t in sorted(times.items()):
         assert results[workers] == results[1], (
             f"workers={workers} diverged from serial")
-        speedups[workers] = serial_s / t if t else float("inf")
-        lines.append(f"{workers:8d} {t:9.2f} {speedups[workers]:8.2f}")
+        speedup = serial_s / t if t else float("inf")
+        lines.append(f"{workers:8d} {t:9.2f} {speedup:8.2f}")
         metrics.gauge(f"parallel.bench.workers_{workers}_s").set(t)
-        metrics.gauge(f"parallel.bench.speedup_{workers}").set(
-            speedups[workers])
+        gauges[f"workers_{workers}_s"] = t
+        if workers != 1:
+            metrics.gauge(f"parallel.bench.speedup_{workers}").set(speedup)
+            gauges[f"speedup_{workers}"] = speedup
 
-    emit(report_dir, "parallel_scaling.txt", "\n".join(lines) + "\n")
+    emit_report("parallel_scaling.txt", "\n".join(lines) + "\n")
+    return gauges
+
+
+@pytest.mark.parallel
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_validate_scaling(benchmark, report_dir):
+    gauges = benchmark.pedantic(run_parallel_scaling, rounds=1, iterations=1)
 
     if _cpus() >= 4:
-        assert speedups[4] >= 1.5, (
-            f"4-worker speedup {speedups[4]:.2f}x below the 1.5x floor "
-            f"on a {_cpus()}-CPU machine")
+        assert gauges["speedup_4"] >= SPEEDUP_4_FLOOR, (
+            f"4-worker speedup {gauges['speedup_4']:.2f}x below the "
+            f"{SPEEDUP_4_FLOOR}x floor on a {_cpus()}-CPU machine")

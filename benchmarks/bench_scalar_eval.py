@@ -1,0 +1,71 @@
+"""Scalar evaluation latency of the shipped float32 exp (quick suite).
+
+A sub-second micro-benchmark using the hardened timing discipline of
+:mod:`repro.obs.timing` (perf_counter_ns, warmup, GC pinned, MAD
+outlier rejection) on the hottest scalar path: ``evaluate`` and
+``evaluate_bits`` of the shipped float32 ``exp`` over a fixed 512-input
+sample.  Because it is cheap it runs in every ``quick`` trajectory
+record, giving the per-call latency a dense history even when the
+heavyweight paper suites only run before releases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.timing import timing_inputs
+from repro.fp.formats import FLOAT32
+from repro.libm.runtime import load_function as load
+from repro.obs import metrics
+from repro.obs.bench import benchmark, emit_report
+
+N_INPUTS = 512
+REPEATS = 7
+
+
+@benchmark("scalar_eval", suite="quick")
+def run_scalar_eval() -> dict[str, float]:
+    """ns/call of float32 exp scalar evaluate/evaluate_bits (512 inputs)."""
+    from repro.obs.timing import measure
+
+    g = load("exp", "float32")
+    xs = timing_inputs("exp", FLOAT32, N_INPUTS)
+
+    def eval_loop():
+        ev = g.evaluate
+        for x in xs:
+            ev(x)
+
+    def bits_loop():
+        eb = g.evaluate_bits
+        for x in xs:
+            eb(x)
+
+    t_eval = measure(eval_loop, repeats=REPEATS, per=len(xs))
+    t_bits = measure(bits_loop, repeats=REPEATS, per=len(xs))
+
+    metrics.gauge("scalar.bench.eval_ns").set(t_eval.median)
+    metrics.gauge("scalar.bench.eval_bits_ns").set(t_bits.median)
+
+    lines = [
+        f"Scalar evaluation latency (float32 exp, {len(xs)} inputs, "
+        f"median of {REPEATS} repeats)",
+        f"{'path':>16s} {'ns/call':>9s} {'mad':>7s} {'kept':>5s}",
+        "-" * 40,
+        f"{'evaluate':>16s} {t_eval.median:9.0f} {t_eval.mad:7.0f} "
+        f"{t_eval.n:5d}",
+        f"{'evaluate_bits':>16s} {t_bits.median:9.0f} {t_bits.mad:7.0f} "
+        f"{t_bits.n:5d}",
+    ]
+    emit_report("scalar_eval.txt", "\n".join(lines) + "\n")
+
+    # the MAD gauge is named so metric_direction() skips it: spread is
+    # diagnostic context, not a regression signal
+    return {"eval_ns": t_eval.median, "eval_bits_ns": t_bits.median,
+            "eval_mad": t_eval.mad}
+
+
+@pytest.mark.benchmark(group="scalar")
+def test_scalar_eval_latency(benchmark, report_dir):
+    gauges = benchmark.pedantic(run_scalar_eval, rounds=1, iterations=1)
+    assert gauges["eval_ns"] > 0

@@ -5,15 +5,18 @@ float baselines are wrong on a visible fraction of inputs; the double
 baselines are wrong only on (some of) the mined hard cases; CR-LIBM's
 double-rounding shows up on rare hard cases; the N/A pattern matches the
 paper.  Counts are per sampled pool, not per 2**32 inputs (DESIGN.md §3).
+
+The registered ``table1_float_correctness`` benchmark (suite ``paper``)
+records the wrong-result totals as trajectory gauges.
 """
 
 import pytest
 
-from conftest import emit
 from repro.baselines import correctness_baselines
 from repro.eval.correctness import audit_function, build_pool, render_rows
 from repro.fp.formats import FLOAT32
 from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function as load
+from repro.obs.bench import benchmark as bench_register, emit_report
 
 #: Smaller pools keep the whole table under a few minutes; raise for a
 #: closer look.
@@ -22,24 +25,19 @@ N_HARD = 100
 HARD_CANDIDATES = 3000
 
 
-@pytest.mark.benchmark(group="table1")
-def test_table1_float_correctness(benchmark, report_dir):
+@bench_register("table1_float_correctness", suite="paper")
+def run_table1() -> dict[str, float]:
+    """Table 1 audit: wrong-result counts per library (float32)."""
     libs = correctness_baselines()
     rows = []
-
-    def run():
-        rows.clear()
-        for fn_name in FLOAT32_FUNCTIONS:
-            pool = build_pool(fn_name, FLOAT32, N_RANDOM, N_HARD,
-                              HARD_CANDIDATES)
-            rows.append(audit_function(fn_name, FLOAT32,
-                                       load(fn_name, "float32"), libs, pool))
-        return rows
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    for fn_name in FLOAT32_FUNCTIONS:
+        pool = build_pool(fn_name, FLOAT32, N_RANDOM, N_HARD,
+                          HARD_CANDIDATES)
+        rows.append(audit_function(fn_name, FLOAT32,
+                                   load(fn_name, "float32"), libs, pool))
     text = render_rows(rows, "Table 1: float32 correctness "
                              "(RLIBM-32 vs baseline stand-ins)")
-    emit(report_dir, "table1.txt", text)
+    emit_report("table1.txt", text)
 
     # the headline claim: RLIBM-32 produces the correct result everywhere.
     # The sampled 32-bit pipeline cannot prove it for all 2**32 inputs
@@ -52,3 +50,11 @@ def test_table1_float_correctness(benchmark, report_dir):
     float_wrong = sum(row.wrong["glibc float"] or 0 for row in rows
                       if row.wrong["glibc float"] is not None)
     assert float_wrong > 0
+    return {"rlibm_wrong": float(total_wrong),
+            "glibc_float_wrong": float(float_wrong),
+            "functions": float(len(rows))}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_float_correctness(benchmark, report_dir):
+    benchmark.pedantic(run_table1, rounds=1, iterations=1)

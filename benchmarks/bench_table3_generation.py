@@ -9,6 +9,11 @@ Reproduction target (shape): single-digit polynomial degrees, small
 piecewise tables, a *single* polynomial pair sufficing for sinpi/cospi,
 oracle time dominating generation time (the paper reports 86% for
 floats), minutes-scale generation.
+
+Two registered benchmarks (suite ``gen``): ``table3_generation`` (the
+live log2 regeneration + frozen-stats shape checks) and
+``generation_cache`` (baseline/cold/warm persistent-cache speedups with
+bit-identical tables, floors cold >= 1.5x, warm >= 5x).
 """
 
 import random
@@ -16,15 +21,18 @@ import time
 
 import pytest
 
-from conftest import emit
 from repro.core import FunctionSpec, generate
 from repro.core.piecewise import PiecewiseConfig
 from repro.core.sampling import sample_values
 from repro.eval.tables import render_table3, table3_rows
 from repro.fp.formats import FLOAT32
 from repro.obs import metrics
+from repro.obs.bench import benchmark as bench_register, emit_report
 from repro.rangereduction.domains import sampling_domain
 from repro.rangereduction import reduction_for
+
+COLD_SPEEDUP_FLOOR = 1.5
+WARM_SPEEDUP_FLOOR = 5.0
 
 
 def _log2_workload():
@@ -37,13 +45,13 @@ def _log2_workload():
     return spec, inputs
 
 
-@pytest.mark.benchmark(group="table3")
-def test_table3_generation_stats(benchmark, report_dir):
-    def regenerate_log2_small():
-        spec, inputs = _log2_workload()
-        return generate(spec, inputs)
-
-    g = benchmark.pedantic(regenerate_log2_small, rounds=1, iterations=1)
+@bench_register("table3_generation", suite="gen")
+def run_table3() -> dict[str, float]:
+    """Live log2 regeneration + frozen Table-3 statistics shape checks."""
+    spec, inputs = _log2_workload()
+    t0 = time.perf_counter()
+    g = generate(spec, inputs)
+    regen_s = time.perf_counter() - t0
     assert g.stats.reduced_count > 0
 
     parts = [render_table3(table3_rows("float32"),
@@ -51,8 +59,7 @@ def test_table3_generation_stats(benchmark, report_dir):
     posit_rows = table3_rows("posit32")
     if posit_rows:
         parts.append(render_table3(posit_rows, "Table 3 (posit32 functions)"))
-    text = "\n".join(parts)
-    emit(report_dir, "table3.txt", text)
+    emit_report("table3.txt", "\n".join(parts))
 
     rows = table3_rows("float32")
     assert len(rows) == 10
@@ -65,11 +72,17 @@ def test_table3_generation_stats(benchmark, report_dir):
     # 86%; our accounting only covers the rounding-interval phase — the
     # oracle calls inside Algorithm 2 and validation are not included —
     # and the shared cache amortizes repeats, so the floor is lower)
-    assert sum(r.oracle_share for r in rows) / len(rows) > 0.05
+    oracle_share = sum(r.oracle_share for r in rows) / len(rows)
+    assert oracle_share > 0.05
+    return {"regen_log2_s": regen_s,
+            "oracle_share": oracle_share,
+            "max_degree": float(max(max(r.degree.values()) for r in rows))}
 
 
-@pytest.mark.benchmark(group="table3")
-def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
+@bench_register("generation_cache", suite="gen",
+                floors={"cold_speedup": COLD_SPEEDUP_FLOOR,
+                        "warm_speedup": WARM_SPEEDUP_FLOOR})
+def run_generation_cache() -> dict[str, float]:
     """Cold/warm persistent-cache speedups, with bit-identical tables.
 
     Three in-process passes over the same workload:
@@ -87,6 +100,8 @@ def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
     the caches and fast paths are proven value-preserving — and the
     floors are cold >= 1.5x, warm >= 5x over baseline.
     """
+    import tempfile
+
     import repro.core.reduced as reduced_mod
     import repro.fp.formats as formats
     import repro.fp.rounding as rounding
@@ -95,7 +110,6 @@ def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
     from repro.lp.solver import clear_solution_cache, use_solution_cache
     from repro.oracle.mpmath_oracle import Oracle
 
-    root = tmp_path / "genstore"
     times: dict[str, float] = {}
     tables: dict[str, dict] = {}
     oracles: dict[str, Oracle] = {}
@@ -119,7 +133,8 @@ def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
         tables[name] = d
         oracles[name] = oracle
 
-    def run():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = f"{tmp}/genstore"
         try:
             one_pass("baseline",
                      Oracle(fast_certify=False, adaptive_prec=False),
@@ -134,8 +149,6 @@ def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
             formats.FAST_CONVERT = True
             reduced_mod.FAST_WALK = True
             use_solution_cache(True)
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
 
     assert tables["cold"] == tables["baseline"], (
         "fast-path generation diverged from the exact baseline")
@@ -165,10 +178,27 @@ def test_generation_cache_speedup(benchmark, report_dir, tmp_path):
         f"warm-pass oracle hit rate: {hit_rate:.3f}",
         "tables bit-identical across all passes: yes",
     ]
-    emit(report_dir, "generation_cache.txt", "\n".join(lines) + "\n")
+    emit_report("generation_cache.txt", "\n".join(lines) + "\n")
 
-    assert cold_speedup >= 1.5, (
-        f"cold-run speedup {cold_speedup:.2f}x below the 1.5x floor")
-    assert warm_speedup >= 5.0, (
-        f"warm-cache speedup {warm_speedup:.2f}x below the 5x floor")
     assert hit_rate > 0.9
+    return {"baseline_s": times["baseline"], "cold_s": times["cold"],
+            "warm_s": times["warm"], "cold_speedup": cold_speedup,
+            "warm_speedup": warm_speedup,
+            "warm_oracle_hit_rate": hit_rate}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_generation_stats(benchmark, report_dir):
+    benchmark.pedantic(run_table3, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_generation_cache_speedup(benchmark, report_dir):
+    gauges = benchmark.pedantic(run_generation_cache, rounds=1, iterations=1)
+
+    assert gauges["cold_speedup"] >= COLD_SPEEDUP_FLOOR, (
+        f"cold-run speedup {gauges['cold_speedup']:.2f}x below the "
+        f"{COLD_SPEEDUP_FLOOR}x floor")
+    assert gauges["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm-cache speedup {gauges['warm_speedup']:.2f}x below the "
+        f"{WARM_SPEEDUP_FLOOR}x floor")

@@ -4,21 +4,23 @@ Every bench writes its rendered table/figure to ``benchmarks/out/`` and
 prints it, so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
 the paper-shaped rows alongside pytest-benchmark's timing table.
 
-Each :func:`emit` call also attaches the current
-:func:`repro.obs.metrics.snapshot` as a ``<name>.metrics.json`` sidecar
-— structured, diffable counters (LP solves/rows, CEG rounds, exact
-fallbacks, ...) accumulated while the benchmark ran, so regressions in
-generation *effort* are visible across PRs even when wall time is noisy.
+The measurement bodies themselves live in module-level functions
+registered with :func:`repro.obs.bench.benchmark`, so the same code
+runs under pytest *and* under ``python -m repro bench run`` (which adds
+trajectory recording and regression comparison).  :func:`emit` is kept
+as the historical pytest-facing wrapper around
+:func:`repro.obs.bench.emit_report` — print the block, persist it, and
+attach the current metrics snapshot as a ``<name>.metrics.json``
+sidecar.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
 
 import pytest
 
-from repro.obs import metrics
+from repro.obs.bench import emit_report
 
 OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
 
@@ -31,11 +33,4 @@ def report_dir() -> pathlib.Path:
 
 def emit(report_dir: pathlib.Path, name: str, text: str) -> None:
     """Print a report block, persist it, and attach a metrics sidecar."""
-    print()
-    print(text)
-    (report_dir / name).write_text(text)
-    snap = metrics.snapshot()
-    if any(snap.values()):
-        stem = name.rsplit(".", 1)[0]
-        (report_dir / f"{stem}.metrics.json").write_text(
-            json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    emit_report(name, text, out_dir=report_dir)

@@ -18,6 +18,11 @@ Commands
               frozen-table static verifier (tablecheck)
 ``cache``     inspect, verify, warm, or compact the persistent
               generation cache (``cache stats|verify|warm|gc``)
+``bench``     benchmark registry + append-only performance trajectory
+              (``bench run|list|compare|history|export``)
+``report``    unified performance health summary: newest trajectory
+              record with drift status, cache/oracle hit rates,
+              worker utilization, profiler phases
 """
 
 from __future__ import annotations
@@ -150,6 +155,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return cache_cli.run(args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import cli as obs_cli
+
+    return obs_cli.run_bench(args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import cli as obs_cli
+
+    return obs_cli.run_report(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -216,6 +233,19 @@ def main(argv: list[str] | None = None) -> int:
     from repro.cache.cli import add_arguments as _cache_args
     _cache_args(p)
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser("bench",
+                       help="benchmark registry + performance trajectory")
+    from repro.obs.cli import add_bench_arguments as _bench_args
+    _bench_args(p)
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("report",
+                       help="performance health summary (trajectory, "
+                            "hit rates, utilization, profiler)")
+    from repro.obs.cli import add_report_arguments as _report_args
+    _report_args(p)
+    p.set_defaults(fn=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

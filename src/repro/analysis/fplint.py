@@ -145,14 +145,20 @@ RULES: dict[str, Rule] = {r.code: r for r in (
     Rule("FP106", "bare or swallowed exception in core/", Severity.ERROR,
          "catch the narrowest exception and handle or re-raise it; the "
          "pipeline must fail loudly",
-         ("src/repro/core", "src/repro/cache"),
+         ("src/repro/core", "src/repro/cache", "src/repro/obs/bench.py",
+          "src/repro/obs/export.py", "src/repro/obs/profile.py",
+          "src/repro/obs/timing.py"),
          # the store CLI prints problems rather than raising by design
          ("src/repro/cache/cli.py",)),
     Rule("FP107", "nondeterminism in the generation pipeline", Severity.ERROR,
          "use a seeded random.Random instance, perf_counter for durations "
          "only, and sorted() before iterating sets",
+         # timing/profile measure durations and must stay on the
+         # monotonic clock; bench/export are exempt — trajectory and
+         # snapshot records timestamp themselves with wall time by design
          ("src/repro/core", "src/repro/cache", "src/repro/libm/genlib.py",
-          "src/repro/lp", "tools")),
+          "src/repro/lp", "src/repro/obs/profile.py",
+          "src/repro/obs/timing.py", "tools")),
     Rule("FP108", "missing 'from __future__ import annotations'",
          Severity.WARNING,
          "add the import as the first statement after the docstring",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.batch.kernels import compile_approx
 from repro.batch.rounding import bits_kernel, round_kernel
+from repro.obs.profile import phase
 
 __all__ = ["BatchFunction"]
 
@@ -60,29 +61,46 @@ class BatchFunction:
         self._bits = bits_kernel(fn.spec.target)
 
     def _compensated(self, xs: np.ndarray) -> np.ndarray:
-        """Pipeline output *before* final rounding, per lane."""
+        """Pipeline output *before* final rounding, per lane.
+
+        Each stage is bracketed with :func:`repro.obs.profile.phase`
+        for the opt-in profiler's attribution panel; when no profiler
+        is active the brackets are the shared no-op (one global test
+        per stage per *batch*, never per element).
+        """
         rr = self.rr
-        mask, vals = rr.special_batch(xs)
+        with phase("special"):
+            mask, vals = rr.special_batch(xs)
         if not mask.any():                      # common case: no specials
-            r, ctx = rr.reduce_batch(xs)
-            values = tuple(kernel(r) for kernel in self._kernels)
-            return rr.compensate_batch(values, ctx)
+            with phase("reduce"):
+                r, ctx = rr.reduce_batch(xs)
+            with phase("horner"):
+                values = tuple(kernel(r) for kernel in self._kernels)
+            with phase("compensate"):
+                return rr.compensate_batch(values, ctx)
         out = np.empty_like(xs)
         out[mask] = vals
         rest = ~mask
         xr = xs[rest]
         if xr.size:
-            r, ctx = rr.reduce_batch(xr)
-            values = tuple(kernel(r) for kernel in self._kernels)
-            out[rest] = rr.compensate_batch(values, ctx)
+            with phase("reduce"):
+                r, ctx = rr.reduce_batch(xr)
+            with phase("horner"):
+                values = tuple(kernel(r) for kernel in self._kernels)
+            with phase("compensate"):
+                out[rest] = rr.compensate_batch(values, ctx)
         return out
 
     def evaluate_many(self, xs) -> np.ndarray:
         """Correctly rounded results (as doubles), same shape as ``xs``."""
         flat, shape = _as_input(xs)
-        return self._round(self._compensated(flat)).reshape(shape)
+        comp = self._compensated(flat)
+        with phase("round"):
+            return self._round(comp).reshape(shape)
 
     def evaluate_bits_many(self, xs) -> np.ndarray:
         """Target bit patterns (uint64), same shape as ``xs``."""
         flat, shape = _as_input(xs)
-        return self._bits(self._compensated(flat)).reshape(shape)
+        comp = self._compensated(flat)
+        with phase("round"):
+            return self._bits(comp).reshape(shape)

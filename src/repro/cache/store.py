@@ -121,6 +121,9 @@ class SegmentStore:
         self._pending: dict[BucketSpec, dict[int, tuple[int, ...]]] = {}
         self._pending_n = 0
         self._seq = 0
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
         SegmentStore._instances += 1
         self._store_no = SegmentStore._instances
 
@@ -135,8 +138,10 @@ class SegmentStore:
         """Cached values for ``key``, or None on a miss."""
         got = self._load(spec).get(key)
         if got is None:
+            self._misses += 1
             _C_MISS.inc()
             return None
+        self._hits += 1
         _C_HIT.inc()
         return got
 
@@ -152,6 +157,7 @@ class SegmentStore:
         bucket[key] = values
         self._pending.setdefault(spec, {})[key] = values
         self._pending_n += 1
+        self._puts += 1
         _C_PUT.inc()
         if self._pending_n >= self.flush_every:
             self.flush()
@@ -259,6 +265,20 @@ class SegmentStore:
     # ------------------------------------------------------------------
     # Maintenance (stats / verify / gc)
     # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, float]:
+        """This store object's lookup/insert activity and hit rate.
+
+        Instance-level on purpose (the ``cache.*`` metrics counters
+        aggregate *process*-wide): the hit-rate panels in
+        ``python -m repro report`` and the parallel benchmark need the
+        per-store view, and the serial-vs-parallel counter-equality
+        contract must not depend on which store absorbed the traffic.
+        """
+        lookups = self._hits + self._misses
+        return {"hits": self._hits, "misses": self._misses,
+                "puts": self._puts,
+                "hit_rate": self._hits / lookups if lookups else 0.0}
+
     def buckets_on_disk(self) -> list[str]:
         """Sorted bucket directory names currently present on disk."""
         if not self.root.is_dir():

@@ -66,7 +66,7 @@ def subdomain_sweep(
         stats = next(iter(g.stats.per_fn.values()))
         points.append(SweepPoint(
             index_bits=bits,
-            ns_per_call=time_scalar(g.evaluate, xs),
+            ns_per_call=time_scalar(g.evaluate, xs).median,
             max_degree=stats["degree"],
             max_terms=stats["terms"],
             mismatches=len(bad),

@@ -2,10 +2,14 @@
 
 The paper measures cycles per input with hardware counters over all
 2**32 inputs; we measure wall-clock nanoseconds per call over shared
-random input sets with ``time.perf_counter_ns`` (median of N repeats —
-robust against scheduler noise in both directions, so speedup rows are
-stable enough to diff across PRs), and report *relative* speedups —
-which is what every figure in the paper shows.  All contenders run on
+random input sets through the hardened :mod:`repro.obs.timing`
+machinery (``time.perf_counter_ns``, a warmup pass, GC pinned off,
+median/MAD outlier rejection — so speedup rows are stable enough to
+diff across PRs and to feed the ``BENCH_*.json`` trajectory), and
+report *relative* speedups — which is what every figure in the paper
+shows.  :func:`time_scalar` and :func:`time_batch` return a
+:class:`~repro.obs.timing.TimingResult` ``(median, mad, n)``; callers
+that only want the point estimate take ``.median``.  All contenders run on
 the same pure-Python substrate (DESIGN.md §3), so the ratios reflect
 each design's cost model: piecewise-low-degree (RLIBM) vs
 single-high-degree mini-max (glibc/Intel models) vs
@@ -20,8 +24,6 @@ from __future__ import annotations
 
 import math
 import random
-import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -32,11 +34,12 @@ from repro.core.generator import GeneratedFunction
 from repro.core.intervals import TargetFormat
 from repro.core.sampling import sample_values
 from repro.obs import enabled, event
+from repro.obs.timing import TimingResult, measure
 from repro.rangereduction.domains import sampling_domain
 from repro.rangereduction import reduction_for
 
-__all__ = ["SpeedupRow", "time_scalar", "time_batch", "speedup_rows",
-           "geomean", "render_speedups", "timing_inputs"]
+__all__ = ["SpeedupRow", "TimingResult", "time_scalar", "time_batch",
+           "speedup_rows", "geomean", "render_speedups", "timing_inputs"]
 
 
 def timing_inputs(fn_name: str, fmt: TargetFormat, n: int = 1024,
@@ -49,27 +52,21 @@ def timing_inputs(fn_name: str, fmt: TargetFormat, n: int = 1024,
 
 
 def time_scalar(fn: Callable[[float], float], xs: Sequence[float],
-                repeats: int = 5) -> float:
-    """Median-of-N nanoseconds per call."""
-    runs = []
-    for _ in range(repeats):
-        t0 = time.perf_counter_ns()
+                repeats: int = 5) -> TimingResult:
+    """Robust nanoseconds per call: ``(median, mad, n)`` over N repeats."""
+
+    def run():
         for x in xs:
             fn(x)
-        runs.append((time.perf_counter_ns() - t0) / len(xs))
-    return statistics.median(runs)
+
+    return measure(run, repeats=repeats, per=len(xs))
 
 
 def time_batch(fn: Callable[[Sequence[float]], np.ndarray],
-               xs: Sequence[float], repeats: int = 5) -> float:
-    """Median-of-N nanoseconds per element for array-at-a-time evaluation."""
+               xs: Sequence[float], repeats: int = 5) -> TimingResult:
+    """Robust nanoseconds per element for array-at-a-time evaluation."""
     arr = list(xs)
-    runs = []
-    for _ in range(repeats):
-        t0 = time.perf_counter_ns()
-        fn(arr)
-        runs.append((time.perf_counter_ns() - t0) / len(arr))
-    return statistics.median(runs)
+    return measure(lambda: fn(arr), repeats=repeats, per=len(arr))
 
 
 @dataclass
@@ -103,7 +100,7 @@ def speedup_rows(
     for fn_name in functions:
         xs = timing_inputs(fn_name, fmt, n_inputs)
         g = rlibm_for(fn_name)
-        row = SpeedupRow(fn_name, time_scalar(g.evaluate, xs, repeats))
+        row = SpeedupRow(fn_name, time_scalar(g.evaluate, xs, repeats).median)
         for name, lib in baselines.items():
             if not lib.supports(fn_name):
                 row.baseline_ns[name] = None
@@ -113,7 +110,7 @@ def speedup_rows(
             call = lib.call
             row.baseline_ns[name] = time_scalar(
                 lambda x, _c=call, _f=fn_name, _r=rnd: _r(_c(_f, x)),
-                xs, repeats)
+                xs, repeats).median
         if enabled():
             event("bench.row", fn=fn_name, target=str(fmt),
                   rlibm_ns=row.rlibm_ns, n=len(xs), repeats=repeats,

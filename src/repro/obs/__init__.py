@@ -10,6 +10,20 @@ Three small modules, one contract:
 * :mod:`repro.obs.report` — render a trace into a Table-3-style summary
   and a flame-style phase breakdown (``python -m repro stats``).
 
+Plus the performance-telemetry layer grown on top of them:
+
+* :mod:`repro.obs.timing` — hardened measurement (``perf_counter_ns``,
+  warmup, GC pinning, median/MAD outlier rejection) returning
+  ``(median, mad, n)`` :class:`~repro.obs.timing.TimingResult`\\ s.
+* :mod:`repro.obs.bench` — the benchmark registry, runner, and the
+  append-only ``BENCH_<host>.json`` trajectory store with k·MAD
+  regression detection (``python -m repro bench``).
+* :mod:`repro.obs.export` — OpenMetrics/Prometheus text rendering and
+  JSONL snapshot streaming for the metrics registry.
+* :mod:`repro.obs.profile` — opt-in sampling profiler with pipeline
+  phase attribution (``repro.obs.profile.phase``); feeds
+  ``python -m repro report``.
+
 The full vertical slice is instrumented: the generator's phases
 (Algorithm 1), reduced-interval deduction (Algorithm 2), domain
 splitting (Algorithm 3), the CEG/LP loop (Algorithm 4), and — strictly
@@ -25,3 +39,7 @@ from repro.obs import metrics
 
 __all__ = ["span", "timed_span", "event", "enable", "disable", "detach",
            "enabled", "configure_from_env", "NOOP_SPAN", "metrics"]
+
+# repro.obs.bench / export / profile / timing are imported lazily by
+# their users — pulling the registry machinery in here would put it on
+# the import path of every instrumented hot module.

@@ -1,0 +1,550 @@
+"""Benchmark registry, runner, and append-only performance trajectory.
+
+The paper's evaluation is entirely quantitative (Table 1/2 correctness,
+Figure 3/4 speedups, Table 3 generation effort); this module makes the
+reproduction's own performance claims equally durable.  Three pieces:
+
+* **Registry** — benchmarks declare themselves with
+  ``@benchmark("batch_throughput", suite="quick", floors={...})``.
+  The decorated function is a plain zero-argument callable returning a
+  ``{gauge_name: value}`` dict, so the same body serves the pytest
+  wrapper in ``benchmarks/bench_*.py`` *and* the CLI runner
+  (``python -m repro bench run``).  :func:`discover` imports every
+  ``benchmarks/bench_*.py`` to populate the registry.
+* **Runner** — each benchmark executes with a reset metrics registry
+  and hardened timing (:mod:`repro.obs.timing` discipline for micro
+  benches; a single monotonic wall clock for macro benches), floors are
+  checked (optionally behind a ``gate`` predicate — e.g. the parallel
+  scaling floor only applies where 4 CPUs exist), and the per-benchmark
+  gauges + full metrics snapshot land in one structured record.
+* **Trajectory store** — records append to ``BENCH_<host>.json`` at the
+  repo root, one JSON object per line, *append-only* (see DESIGN.md:
+  history is never rewritten; a bad record is superseded by appending,
+  not edited).  Each record carries the git SHA, timestamp, environment
+  fingerprint, per-benchmark gauges and metrics.  :func:`compare`
+  flags any tracked metric drifting more than ``k``·MAD (with a
+  relative-change floor) from its trailing window — exit-code gated for
+  CI via ``tools/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+import os
+import pathlib
+import platform
+import re
+import statistics
+import subprocess
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.obs import metrics
+from repro.obs.timing import MAD_SIGMA_SCALE, mad
+
+__all__ = ["benchmark", "Benchmark", "BenchResult", "Regression",
+           "REGISTRY", "discover", "run_selected", "select", "suites",
+           "emit_report", "default_root", "host_label", "trajectory_path",
+           "append_record", "load_trajectory", "load_history",
+           "compare", "metric_direction", "git_sha", "OUT_DIR_NAME"]
+
+SCHEMA_VERSION = 1
+OUT_DIR_NAME = "benchmarks/out"
+
+#: Default regression-detection knobs: a metric regresses when it moves
+#: against its direction by more than max(K_MAD scaled MADs of the
+#: trailing window, REL_FLOOR of the window median).  The relative
+#: floor keeps single-sample windows (MAD 0) meaningful and absorbs
+#: ordinary scheduler noise; 4 MADs ~= 2.7 sigma.
+DEFAULT_K_MAD = 4.0
+DEFAULT_REL_FLOOR = 0.25
+DEFAULT_WINDOW = 8
+
+
+# --------------------------------------------------------------------------
+# registry
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered benchmark: metadata + the measurement callable."""
+
+    name: str
+    func: Callable[[], dict[str, float] | None]
+    suite: str = "full"
+    #: gauge-name -> minimum acceptable value (checked after each run).
+    floors: dict[str, float] = field(default_factory=dict)
+    #: optional predicate; floors are enforced only when it returns True
+    #: (e.g. the parallel-scaling floor needs >= 4 CPUs).
+    gate: Callable[[], bool] | None = None
+    doc: str = ""
+
+    def floors_apply(self) -> bool:
+        return self.gate is None or bool(self.gate())
+
+
+REGISTRY: dict[str, Benchmark] = {}
+
+
+def benchmark(name: str, suite: str = "full",
+              floors: dict[str, float] | None = None,
+              gate: Callable[[], bool] | None = None):
+    """Register a benchmark; returns the function unchanged.
+
+    The function must be a zero-argument callable returning a flat
+    ``{gauge: float}`` dict (or ``None``).  Re-registration under the
+    same name replaces the entry (modules may be re-imported by pytest
+    and the CLI in one process).
+    """
+
+    def deco(func):
+        REGISTRY[name] = Benchmark(
+            name=name, func=func, suite=suite, floors=dict(floors or {}),
+            gate=gate, doc=(func.__doc__ or "").strip().splitlines()[0]
+            if func.__doc__ else "")
+        return func
+
+    return deco
+
+
+def default_root() -> pathlib.Path:
+    """The repository root: env override, pyproject walk-up, or source."""
+    env = os.environ.get("REPRO_BENCH_ROOT")
+    if env:
+        return pathlib.Path(env)
+    cur = pathlib.Path.cwd()
+    for cand in (cur, *cur.parents):
+        if (cand / "pyproject.toml").exists() \
+                and (cand / "benchmarks").is_dir():
+            return cand
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def discover(bench_dir: str | os.PathLike | None = None) -> dict[str, Benchmark]:
+    """Import every ``benchmarks/bench_*.py`` to populate the registry."""
+    d = pathlib.Path(bench_dir) if bench_dir is not None \
+        else default_root() / "benchmarks"
+    if not d.is_dir():
+        raise FileNotFoundError(f"benchmark directory not found: {d}")
+    path = str(d.resolve())
+    if path not in sys.path:
+        # bench modules do `from conftest import emit`
+        sys.path.insert(0, path)
+    for f in sorted(d.glob("bench_*.py")):
+        mod_name = f.stem
+        if mod_name in sys.modules:
+            continue
+        spec = importlib.util.spec_from_file_location(mod_name, f)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"cannot load benchmark module {f}")
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[mod_name] = module
+        spec.loader.exec_module(module)
+    return REGISTRY
+
+
+def suites() -> list[str]:
+    return sorted({b.suite for b in REGISTRY.values()})
+
+
+def select(suite: str | None = None,
+           names: Sequence[str] | None = None) -> list[Benchmark]:
+    """Benchmarks matching a suite (``all`` = everything) or name list."""
+    if names:
+        missing = [n for n in names if n not in REGISTRY]
+        if missing:
+            raise KeyError(f"unknown benchmark(s) {missing}; "
+                           f"known: {sorted(REGISTRY)}")
+        return [REGISTRY[n] for n in names]
+    out = [b for n, b in sorted(REGISTRY.items())
+           if suite in (None, "all", b.suite)]
+    if not out:
+        raise KeyError(f"no benchmarks in suite {suite!r}; "
+                       f"suites: {suites()}")
+    return out
+
+
+# --------------------------------------------------------------------------
+# report emission (shared with benchmarks/conftest.py)
+
+
+def emit_report(name: str, text: str,
+                out_dir: str | os.PathLike | None = None) -> None:
+    """Print a report block, persist it, and attach a metrics sidecar."""
+    d = pathlib.Path(out_dir) if out_dir is not None \
+        else default_root() / OUT_DIR_NAME
+    d.mkdir(parents=True, exist_ok=True)
+    print()
+    print(text)
+    (d / name).write_text(text)
+    snap = metrics.snapshot()
+    if any(snap.values()):
+        stem = name.rsplit(".", 1)[0]
+        (d / f"{stem}.metrics.json").write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n")
+
+
+# --------------------------------------------------------------------------
+# runner
+
+
+@dataclass
+class BenchResult:
+    """One benchmark execution inside a run."""
+
+    name: str
+    suite: str
+    wall_s: float
+    gauges: dict[str, float]
+    metrics: dict[str, Any]
+    ok: bool = True
+    error: str | None = None
+    floor_failures: list[str] = field(default_factory=list)
+
+    def tracked_metrics(self) -> dict[str, float]:
+        """The metrics the trajectory compares: wall time + gauges."""
+        out = {"wall_s": self.wall_s}
+        out.update(self.gauges)
+        return out
+
+
+def git_sha(root: pathlib.Path | None = None) -> str:
+    """Short HEAD SHA of the repo, or 'unknown' outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root or default_root()), capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def host_label() -> str:
+    """Filesystem-safe host identifier for the trajectory filename."""
+    env = os.environ.get("REPRO_BENCH_HOST")
+    raw = env if env else platform.node()
+    clean = re.sub(r"[^A-Za-z0-9_.-]", "-", raw).strip("-.")
+    return clean or "unknown"
+
+
+def _env_fingerprint() -> dict[str, Any]:
+    import numpy
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": cpus,
+        "numpy": numpy.__version__,
+    }
+
+
+def run_selected(benches: Sequence[Benchmark],
+                 suite_label: str = "custom",
+                 profile: float | None = None) -> tuple[list[BenchResult],
+                                                        dict[str, Any]]:
+    """Execute benchmarks and build a trajectory record.
+
+    Each benchmark runs with a freshly reset metrics registry so its
+    snapshot is self-contained.  A failing benchmark is recorded
+    (``ok=False`` with the traceback) and the run continues — a broken
+    bench must never silence the others' trajectory points.  When
+    ``profile`` is set, a :class:`repro.obs.profile.Profiler` with that
+    sampling interval wraps each benchmark and its phase/sample gauges
+    join the snapshot.
+    """
+    from repro.obs.profile import Profiler
+
+    results: list[BenchResult] = []
+    for b in benches:
+        metrics.reset()
+        prof = Profiler(interval=profile).start() if profile else None
+        t0 = time.perf_counter_ns()
+        gauges: dict[str, float] = {}
+        ok, err = True, None
+        try:
+            out = b.func()
+            if out:
+                gauges = {str(k): float(v) for k, v in out.items()}
+        except Exception:
+            ok, err = False, traceback.format_exc()
+        wall_s = (time.perf_counter_ns() - t0) / 1e9
+        if prof is not None:
+            prof.stop()
+            prof.publish_gauges()
+        res = BenchResult(name=b.name, suite=b.suite, wall_s=wall_s,
+                          gauges=gauges, metrics=metrics.snapshot(),
+                          ok=ok, error=err)
+        if ok and b.floors and b.floors_apply():
+            for key, floor in sorted(b.floors.items()):
+                got = gauges.get(key)
+                if got is None:
+                    res.floor_failures.append(
+                        f"{key}: floor {floor:g} but gauge missing")
+                elif got < floor:
+                    res.floor_failures.append(
+                        f"{key}: {got:g} below floor {floor:g}")
+        results.append(res)
+    record = {
+        "schema": SCHEMA_VERSION,
+        "ts": time.time(),
+        "sha": git_sha(),
+        "host": host_label(),
+        "suite": suite_label,
+        "env": _env_fingerprint(),
+        "benchmarks": {
+            r.name: {
+                "suite": r.suite, "wall_s": r.wall_s, "ok": r.ok,
+                "gauges": r.gauges, "floor_failures": r.floor_failures,
+                **({"error": r.error} if r.error else {}),
+                "metrics": r.metrics,
+            } for r in results
+        },
+    }
+    return results, record
+
+
+# --------------------------------------------------------------------------
+# trajectory store (append-only JSONL in BENCH_<host>.json)
+
+
+def trajectory_path(root: str | os.PathLike | None = None,
+                    host: str | None = None) -> pathlib.Path:
+    r = pathlib.Path(root) if root is not None else default_root()
+    return r / f"BENCH_{host or host_label()}.json"
+
+
+def append_record(record: dict[str, Any],
+                  path: str | os.PathLike) -> None:
+    """Append one record; the file is never rewritten (DESIGN.md)."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "a") as fh:
+        fh.write(json.dumps(record, separators=(",", ":"),
+                            sort_keys=True) + "\n")
+
+
+def load_trajectory(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Records of one trajectory file, oldest first (append order)."""
+    records = []
+    with open(os.fspath(path)) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(
+                    f"{path}:{lineno}: bad trajectory line: {e}") from e
+    return records
+
+
+def load_history(root: str | os.PathLike | None = None,
+                 host: str | None = None) -> list[dict[str, Any]]:
+    """All known records, sorted by timestamp.
+
+    Prefers the current host's ``BENCH_<host>.json``; when that file
+    does not exist (CI machines have unstable hostnames) every
+    ``BENCH_*.json`` at the root is merged, so a committed trajectory
+    seeded on another machine still anchors the comparison.
+    """
+    r = pathlib.Path(root) if root is not None else default_root()
+    own = trajectory_path(r, host)
+    paths = [own] if own.exists() else sorted(r.glob("BENCH_*.json"))
+    records: list[dict[str, Any]] = []
+    for p in paths:
+        records.extend(load_trajectory(p))
+    records.sort(key=lambda rec: rec.get("ts", 0.0))
+    return records
+
+
+# --------------------------------------------------------------------------
+# regression detection
+
+
+def metric_direction(name: str) -> str | None:
+    """'lower'/'higher' = which way is better; None = not compared."""
+    n = name.lower()
+    if ("speedup" in n or "hit_rate" in n or "throughput" in n
+            or "utilization" in n or n.endswith("_eps") or n == "eps"):
+        return "higher"
+    if (n.endswith("_s") or n.endswith("_ns") or n.endswith("_seconds")
+            or "time" in n):
+        return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that drifted beyond its statistical envelope."""
+
+    benchmark: str
+    metric: str
+    value: float
+    baseline: float
+    threshold: float
+    direction: str
+    n_history: int
+
+    def describe(self) -> str:
+        arrow = "above" if self.direction == "lower" else "below"
+        return (f"{self.benchmark}.{self.metric}: {self.value:g} is "
+                f"{arrow} the trailing median {self.baseline:g} by more "
+                f"than {self.threshold:g} "
+                f"(window of {self.n_history})")
+
+
+def _bench_metrics(record: dict[str, Any],
+                   name: str) -> dict[str, float] | None:
+    slot = record.get("benchmarks", {}).get(name)
+    if slot is None or not slot.get("ok", True):
+        return None
+    out = {"wall_s": slot.get("wall_s", 0.0)}
+    out.update(slot.get("gauges", {}))
+    return out
+
+
+def compare(history: Sequence[dict[str, Any]],
+            candidate: dict[str, Any] | None = None,
+            k_mad: float = DEFAULT_K_MAD,
+            rel_floor: float = DEFAULT_REL_FLOOR,
+            window: int = DEFAULT_WINDOW) -> list[Regression]:
+    """Flag candidate metrics drifting beyond the trailing window.
+
+    ``candidate`` defaults to the newest record in ``history`` (which
+    is then excluded from its own baseline).  Only metrics with a known
+    direction (:func:`metric_direction`) participate; a metric with no
+    prior observations is new and passes by definition.
+    """
+    records = list(history)
+    if candidate is None:
+        if not records:
+            return []
+        candidate = records[-1]
+        records = records[:-1]
+    out: list[Regression] = []
+    for bench_name, slot in sorted(candidate.get("benchmarks", {}).items()):
+        if not slot.get("ok", True):
+            continue
+        cand = _bench_metrics(candidate, bench_name) or {}
+        for metric_name, value in sorted(cand.items()):
+            direction = metric_direction(metric_name)
+            if direction is None or not isinstance(value, (int, float)) \
+                    or not math.isfinite(value):
+                continue
+            past = []
+            for rec in reversed(records):
+                m = _bench_metrics(rec, bench_name)
+                if m is None:
+                    continue
+                prev = m.get(metric_name)
+                if isinstance(prev, (int, float)) and math.isfinite(prev):
+                    past.append(float(prev))
+                if len(past) >= window:
+                    break
+            if not past:
+                continue
+            med = statistics.median(past)
+            spread = mad(past, med) * MAD_SIGMA_SCALE
+            threshold = max(k_mad * spread, rel_floor * abs(med))
+            if threshold <= 0.0:
+                continue
+            if direction == "lower" and value > med + threshold:
+                out.append(Regression(bench_name, metric_name, float(value),
+                                      med, threshold, direction, len(past)))
+            elif direction == "higher" and value < med - threshold:
+                out.append(Regression(bench_name, metric_name, float(value),
+                                      med, threshold, direction, len(past)))
+    return out
+
+
+# --------------------------------------------------------------------------
+# rendering
+
+
+def _iso(ts: float) -> str:
+    import datetime
+    return datetime.datetime.fromtimestamp(
+        ts, tz=datetime.timezone.utc).strftime("%Y-%m-%d %H:%M:%SZ")
+
+
+def render_run(results: Sequence[BenchResult],
+               title: str = "benchmark run") -> str:
+    from repro.obs.report import format_table
+    rows = []
+    for r in results:
+        status = "ok" if r.ok else "ERROR"
+        if r.floor_failures:
+            status = "FLOOR"
+        key_gauges = ", ".join(
+            f"{k.rsplit('.', 1)[-1]}={v:g}"
+            for k, v in sorted(r.gauges.items())[:4])
+        rows.append([r.name, r.suite, f"{r.wall_s:.2f}", status,
+                     key_gauges])
+    return format_table(["benchmark", "suite", "wall(s)", "status",
+                         "gauges"], rows, title=title,
+                        aligns="llrll")
+
+
+def render_compare(regressions: Sequence[Regression],
+                   n_history: int, title: str = "trajectory compare") -> str:
+    if not regressions:
+        return (f"{title}\nno regressions: every tracked metric is inside "
+                f"its k*MAD envelope ({n_history} prior record(s))\n")
+    lines = [title]
+    lines += ["  REGRESSION " + r.describe() for r in regressions]
+    return "\n".join(lines) + "\n"
+
+
+def render_history(records: Sequence[dict[str, Any]],
+                   bench_name: str | None = None,
+                   metric: str | None = None) -> str:
+    from repro.obs.report import format_table
+    if not records:
+        return "trajectory history\n(no records)\n"
+    if bench_name and metric:
+        rows = []
+        for rec in records:
+            m = _bench_metrics(rec, bench_name)
+            if m is None or metric not in m:
+                continue
+            rows.append([_iso(rec.get("ts", 0.0)), rec.get("sha", "?"),
+                         rec.get("suite", "?"), f"{m[metric]:g}"])
+        return format_table(["when", "sha", "suite", metric], rows,
+                            title=f"history: {bench_name}.{metric}",
+                            aligns="lllr")
+    rows = []
+    for rec in records:
+        benches = rec.get("benchmarks", {})
+        n_ok = sum(1 for b in benches.values() if b.get("ok", True))
+        rows.append([_iso(rec.get("ts", 0.0)), rec.get("sha", "?"),
+                     rec.get("suite", "?"), rec.get("host", "?"),
+                     f"{n_ok}/{len(benches)}"])
+    return format_table(["when", "sha", "suite", "host", "ok"], rows,
+                        title="trajectory history")
+
+
+def render_list(registry: dict[str, Benchmark] | None = None) -> str:
+    from repro.obs.report import format_table
+    reg = registry if registry is not None else REGISTRY
+    rows = []
+    for name, b in sorted(reg.items()):
+        floors = ", ".join(f"{k}>={v:g}" for k, v in sorted(b.floors.items()))
+        if floors and b.gate is not None:
+            floors += " (gated)"
+        rows.append([name, b.suite, floors or "-", b.doc])
+    return format_table(["benchmark", "suite", "floors", "description"],
+                        rows, title="registered benchmarks",
+                        aligns="llll")

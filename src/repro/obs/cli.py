@@ -1,0 +1,323 @@
+"""CLI for the performance-telemetry layer: ``repro bench`` / ``repro report``.
+
+``bench`` drives the registry + trajectory store in
+:mod:`repro.obs.bench`:
+
+* ``bench list`` — discovered benchmarks, suites, floors;
+* ``bench run --suite quick`` — execute, print the run table, append a
+  record to ``BENCH_<host>.json`` (``--no-append`` / ``--record`` for
+  CI runs that must not touch the committed trajectory);
+* ``bench compare`` — statistical regression gate: non-zero exit when
+  any tracked metric drifted > k·MAD (with a relative floor) from its
+  trailing window;
+* ``bench history`` — the trajectory as a table, optionally one
+  ``--benchmark/--metric`` series;
+* ``bench export`` — the newest record's metrics (or the
+  ``benchmarks/out/*.metrics.json`` sidecars) in OpenMetrics text.
+
+``report`` is the unified health summary: newest trajectory record with
+drift status, cache/oracle hit-rate and worker-utilization panels from
+the benchmark sidecars, and profiler phase gauges when present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any
+
+from repro.obs import bench as B
+
+
+# --------------------------------------------------------------------------
+# `repro bench`
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="bench_cmd", required=True)
+
+    p = sub.add_parser("list", help="discovered benchmarks and suites")
+    p.add_argument("--dir", default=None, metavar="ROOT",
+                   help="repo root holding benchmarks/ (default: auto)")
+    p.set_defaults(bench_fn=_cmd_list)
+
+    p = sub.add_parser("run", help="run a suite and append a trajectory "
+                                   "record")
+    p.add_argument("--suite", default="quick",
+                   help="suite to run (quick|gen|paper|scaling|all); "
+                        "default quick")
+    p.add_argument("--only", nargs="*", metavar="NAME",
+                   help="run exactly these benchmarks (overrides --suite)")
+    p.add_argument("--dir", default=None, metavar="ROOT")
+    p.add_argument("--no-append", action="store_true",
+                   help="do not append to the BENCH_<host>.json trajectory")
+    p.add_argument("--record", metavar="PATH",
+                   help="also write the run's record to PATH (JSON)")
+    p.add_argument("--profile", nargs="?", const=0.005, default=None,
+                   type=float, metavar="INTERVAL",
+                   help="wrap each benchmark in the sampling profiler")
+    p.add_argument("--export-openmetrics", metavar="PATH",
+                   help="write the run's merged metrics as OpenMetrics text")
+    p.set_defaults(bench_fn=_cmd_run)
+
+    p = sub.add_parser("compare", help="flag metrics drifting from their "
+                                       "trailing window (CI gate)")
+    p.add_argument("--dir", default=None, metavar="ROOT")
+    p.add_argument("--candidate", metavar="PATH",
+                   help="compare this record file instead of the newest "
+                        "trajectory record")
+    p.add_argument("--k-mad", type=float, default=B.DEFAULT_K_MAD)
+    p.add_argument("--rel-floor", type=float, default=B.DEFAULT_REL_FLOOR)
+    p.add_argument("--window", type=int, default=B.DEFAULT_WINDOW)
+    p.set_defaults(bench_fn=_cmd_compare)
+
+    p = sub.add_parser("history", help="render the trajectory store")
+    p.add_argument("--dir", default=None, metavar="ROOT")
+    p.add_argument("--benchmark", metavar="NAME")
+    p.add_argument("--metric", metavar="METRIC")
+    p.set_defaults(bench_fn=_cmd_history)
+
+    p = sub.add_parser("export", help="OpenMetrics text of recorded metrics")
+    p.add_argument("--dir", default=None, metavar="ROOT")
+    p.add_argument("--out", metavar="PATH",
+                   help="write to PATH instead of stdout")
+    p.add_argument("--sidecars", action="store_true",
+                   help="merge benchmarks/out/*.metrics.json instead of "
+                        "the newest trajectory record")
+    p.set_defaults(bench_fn=_cmd_export)
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    return args.bench_fn(args)
+
+
+def _root(args: argparse.Namespace) -> pathlib.Path:
+    return pathlib.Path(args.dir) if args.dir else B.default_root()
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    B.discover(_root(args) / "benchmarks")
+    print(B.render_list())
+    print(f"suites: {', '.join(B.suites())}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    root = _root(args)
+    B.discover(root / "benchmarks")
+    try:
+        benches = B.select(suite=None if args.only else args.suite,
+                           names=args.only)
+    except KeyError as e:
+        print(f"bench run: {e.args[0]}", file=sys.stderr)
+        return 2
+    label = "custom" if args.only else args.suite
+    results, record = B.run_selected(benches, suite_label=label,
+                                     profile=args.profile)
+    print(B.render_run(results, title=f"benchmark run: suite={label} "
+                                      f"sha={record['sha']}"))
+    failed = False
+    for r in results:
+        if not r.ok:
+            failed = True
+            print(f"ERROR {r.name} failed:\n{r.error}", file=sys.stderr)
+        for f in r.floor_failures:
+            failed = True
+            print(f"FLOOR {r.name}: {f}", file=sys.stderr)
+    if args.record:
+        pathlib.Path(args.record).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"record written to {args.record}", file=sys.stderr)
+    if not args.no_append:
+        path = B.trajectory_path(root)
+        B.append_record(record, path)
+        print(f"trajectory record appended to {path}", file=sys.stderr)
+    if args.export_openmetrics:
+        from repro.obs.export import merge_many, render_openmetrics
+        merged = merge_many(r.metrics for r in results)
+        pathlib.Path(args.export_openmetrics).write_text(
+            render_openmetrics(merged))
+        print(f"OpenMetrics written to {args.export_openmetrics}",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    root = _root(args)
+    try:
+        history = B.load_history(root)
+    except (OSError, ValueError) as e:
+        print(f"bench compare: {e}", file=sys.stderr)
+        return 2
+    candidate = None
+    if args.candidate:
+        try:
+            with open(args.candidate) as fh:
+                candidate = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench compare: bad candidate: {e}", file=sys.stderr)
+            return 2
+    if not history and candidate is None:
+        print("bench compare: no trajectory records found "
+              f"(looked for BENCH_*.json under {root})", file=sys.stderr)
+        return 2
+    n_prior = len(history) - (0 if candidate is not None else 1)
+    regs = B.compare(history, candidate, k_mad=args.k_mad,
+                     rel_floor=args.rel_floor, window=args.window)
+    print(B.render_compare(regs, max(n_prior, 0)))
+    return 1 if regs else 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    try:
+        records = B.load_history(_root(args))
+    except (OSError, ValueError) as e:
+        print(f"bench history: {e}", file=sys.stderr)
+        return 2
+    if bool(args.benchmark) != bool(args.metric):
+        print("bench history: --benchmark and --metric go together",
+              file=sys.stderr)
+        return 2
+    print(B.render_history(records, args.benchmark, args.metric))
+    return 0
+
+
+def _latest_record_metrics(root: pathlib.Path) -> dict[str, Any]:
+    from repro.obs.export import merge_many
+    records = B.load_history(root)
+    if not records:
+        return {}
+    latest = records[-1]
+    return merge_many(
+        slot.get("metrics", {})
+        for slot in latest.get("benchmarks", {}).values())
+
+
+def _sidecar_metrics(root: pathlib.Path) -> dict[str, Any]:
+    from repro.obs.export import merge_many
+    out_dir = root / B.OUT_DIR_NAME
+    snaps = []
+    for p in sorted(out_dir.glob("*.metrics.json")):
+        try:
+            snaps.append(json.loads(p.read_text()))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping sidecar {p.name}: {e}",
+                  file=sys.stderr)
+    return merge_many(snaps)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_openmetrics
+    root = _root(args)
+    snap = (_sidecar_metrics(root) if args.sidecars
+            else _latest_record_metrics(root))
+    if not snap or not any(snap.values()):
+        print("bench export: no recorded metrics found", file=sys.stderr)
+        return 2
+    text = render_openmetrics(snap)
+    if args.out:
+        pathlib.Path(args.out).write_text(text)
+        print(f"OpenMetrics written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# `repro report`
+
+
+def add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dir", default=None, metavar="ROOT",
+                        help="repo root (default: auto-detected)")
+    parser.add_argument("--window", type=int, default=B.DEFAULT_WINDOW)
+    parser.add_argument("--no-panels", action="store_true",
+                        help="skip the sidecar-derived hit-rate/"
+                             "utilization panels")
+
+
+def _gauge_panel(gauges: dict[str, float], patterns: tuple[str, ...],
+                 title: str) -> str | None:
+    from repro.obs.report import format_table
+    rows = [[n, f"{v:g}"] for n, v in sorted(gauges.items())
+            if any(p in n for p in patterns)]
+    if not rows:
+        return None
+    return format_table(["gauge", "value"], rows, title=title, aligns="lr")
+
+
+def run_report(args: argparse.Namespace) -> int:
+    root = pathlib.Path(args.dir) if args.dir else B.default_root()
+    parts: list[str] = []
+
+    # -- trajectory health ---------------------------------------------
+    try:
+        records = B.load_history(root)
+    except (OSError, ValueError) as e:
+        print(f"report: {e}", file=sys.stderr)
+        return 2
+    if records:
+        latest = records[-1]
+        from repro.obs.report import format_table
+        rows = []
+        regs = B.compare(records, window=args.window)
+        flagged = {(r.benchmark, r.metric) for r in regs}
+        for name, slot in sorted(latest.get("benchmarks", {}).items()):
+            status = "ok" if slot.get("ok", True) else "ERROR"
+            if slot.get("floor_failures"):
+                status = "FLOOR"
+            if any(b == name for b, _ in flagged):
+                status = "DRIFT"
+            gauges = slot.get("gauges", {})
+            key = ", ".join(f"{k.rsplit('.', 1)[-1]}={v:g}"
+                            for k, v in sorted(gauges.items())[:4])
+            rows.append([name, f"{slot.get('wall_s', 0.0):.2f}", status,
+                         key])
+        parts.append(format_table(
+            ["benchmark", "wall(s)", "status", "gauges"], rows,
+            title=f"latest trajectory record — sha {latest.get('sha', '?')}"
+                  f", suite {latest.get('suite', '?')}, "
+                  f"host {latest.get('host', '?')}",
+            aligns="lrll"))
+        parts.append(B.render_compare(regs, max(len(records) - 1, 0),
+                                      title="drift vs trailing window"))
+    else:
+        parts.append("no trajectory records yet — run "
+                     "`python -m repro bench run --suite quick`\n")
+
+    # -- hit-rate / utilization / profile panels ------------------------
+    if not args.no_panels:
+        merged = _sidecar_metrics(root)
+        gauges = merged.get("gauges", {}) if merged else {}
+        counters = merged.get("counters", {}) if merged else {}
+        panel = _gauge_panel(gauges, ("hit_rate", "fast_certified"),
+                             "cache / oracle")
+        if panel:
+            parts.append(panel)
+        hits, misses = counters.get("cache.hit", 0), counters.get(
+            "cache.miss", 0)
+        if hits or misses:
+            parts.append(f"cache store counters: {hits} hits / "
+                         f"{misses} misses "
+                         f"({hits / (hits + misses):.1%} hit rate)\n")
+        panel = _gauge_panel(gauges, ("parallel.pool.", "speedup"),
+                             "parallel executor")
+        if panel:
+            parts.append(panel)
+        prof = {n: v for n, v in gauges.items()
+                if n.startswith("profile.")}
+        if prof:
+            phase_ns = {n.split("profile.phase.", 1)[1].rsplit("_s", 1)[0]:
+                        int(v * 1e9) for n, v in prof.items()
+                        if n.startswith("profile.phase.")}
+            if phase_ns:
+                from repro.obs.profile import render_phase_report
+                parts.append(render_phase_report(
+                    {"phase_ns": phase_ns,
+                     "wall_s": prof.get("profile.wall_s", 0.0)},
+                    title="profiler phases (from sidecars)"))
+
+    print("\n".join(parts))
+    return 0

@@ -1,0 +1,233 @@
+"""Metrics export: OpenMetrics/Prometheus text format and JSONL streams.
+
+The :mod:`repro.obs.metrics` registry already feeds the benchmark
+``*.metrics.json`` sidecars; this module gives the same snapshots two
+wire formats the ROADMAP's serving layer can consume directly:
+
+* :func:`render_openmetrics` — the Prometheus/OpenMetrics text
+  exposition format, one family per instrument, terminated by
+  ``# EOF``.  Dotted repro metric names (``lp.solves``) become
+  sanitized family names (``repro_lp_solves``) and the *exact* original
+  name rides along as a ``name`` label, so the export is lossless even
+  if two dotted names sanitize to the same family.
+* :func:`parse_openmetrics` — the inverse, back to a snapshot dict.
+  ``parse(render(snap)) == snap`` for every snapshot the registry can
+  produce (the round-trip is pinned by ``tests/test_obs_export.py``).
+* :func:`append_snapshot_jsonl` / :func:`load_snapshot_jsonl` — an
+  append-only JSONL stream of timestamped snapshots, the same
+  record-per-line discipline as the trace files and the benchmark
+  trajectory store.
+
+Histograms keep their native buckets (``kind="log2"`` power-of-two or
+``kind="exact"`` discrete) as a ``b`` label on ``*_bucket`` samples
+rather than being coerced into cumulative ``le`` buckets: the log2
+buckets have no faithful finite ``le`` bound for the ``neg`` bucket,
+and the serving layer's scraper gets ``_count``/``_sum`` plus exact
+bucket counts either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, IO, Iterable
+
+__all__ = ["render_openmetrics", "parse_openmetrics",
+           "append_snapshot_jsonl", "load_snapshot_jsonl",
+           "sanitize_name"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str, prefix: str = "repro") -> str:
+    """A legal Prometheus metric family name for a dotted repro name."""
+    out = _SANITIZE.sub("_", name)
+    if prefix:
+        out = f"{prefix}_{out}"
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _unescape_label(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _fmt_value(v: float | int) -> str:
+    """Render a sample value; integers stay integral for lossless parse."""
+    if isinstance(v, bool):  # pragma: no cover - defensive
+        return str(int(v))
+    if isinstance(v, int):
+        return str(v)
+    return repr(v)
+
+
+def render_openmetrics(snap: dict[str, Any], prefix: str = "repro") -> str:
+    """Serialize a metrics snapshot to OpenMetrics text exposition.
+
+    ``snap`` is a :func:`repro.obs.metrics.snapshot` dict.  Counters
+    gain the conventional ``_total`` suffix, histograms emit
+    ``_bucket``/``_count``/``_sum`` samples; every sample carries the
+    original dotted name as a ``name`` label.
+    """
+    lines: list[str] = []
+    for name, value in snap.get("counters", {}).items():
+        fam = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {fam} counter")
+        lines.append(f"{fam}_total{{name=\"{_escape_label(name)}\"}} "
+                     f"{_fmt_value(value)}")
+    for name, value in snap.get("gauges", {}).items():
+        fam = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {fam} gauge")
+        lines.append(f"{fam}{{name=\"{_escape_label(name)}\"}} "
+                     f"{_fmt_value(value)}")
+    for name, h in snap.get("histograms", {}).items():
+        fam = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {fam} histogram")
+        esc = _escape_label(name)
+        kind = h.get("kind", "log2")
+        for bucket, count in h.get("buckets", {}).items():
+            lines.append(
+                f"{fam}_bucket{{name=\"{esc}\",kind=\"{kind}\","
+                f"b=\"{_escape_label(str(bucket))}\"}} {_fmt_value(count)}")
+        lines.append(f"{fam}_count{{name=\"{esc}\",kind=\"{kind}\"}} "
+                     f"{_fmt_value(h.get('count', 0))}")
+        lines.append(f"{fam}_sum{{name=\"{esc}\",kind=\"{kind}\"}} "
+                     f"{_fmt_value(h.get('sum', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<family>[a-zA-Z_:][a-zA-Z0-9_:]*)\{(?P<labels>[^}]*)\}\s+"
+    r"(?P<value>\S+)$")
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]'
+                    r'|\\.)*)"')
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    return {m.group("key"): _unescape_label(m.group("val"))
+            for m in _LABEL.finditer(text)}
+
+
+def _parse_value(text: str) -> float | int:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_openmetrics(text: str) -> dict[str, Any]:
+    """Parse OpenMetrics text produced by :func:`render_openmetrics`.
+
+    Returns a snapshot-shaped dict; unknown families (no ``name``
+    label) are rejected loudly — this is a round-trip validator, not a
+    general scraper.
+    """
+    types: dict[str, str] = {}
+    snap: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {raw!r}")
+        family, labels = m.group("family"), _parse_labels(m.group("labels"))
+        value = _parse_value(m.group("value"))
+        name = labels.get("name")
+        if name is None:
+            raise ValueError(f"line {lineno}: sample without name label")
+        if family.endswith("_total") and types.get(family[:-6]) == "counter":
+            snap["counters"][name] = value
+            continue
+        base, suffix = family, None
+        for suf in ("_bucket", "_count", "_sum"):
+            if family.endswith(suf) and types.get(family[:-len(suf)]) \
+                    == "histogram":
+                base, suffix = family[:-len(suf)], suf
+                break
+        if suffix is not None:
+            slot = snap["histograms"].setdefault(
+                name, {"kind": labels.get("kind", "log2"), "count": 0,
+                       "sum": 0.0, "buckets": {}})
+            if suffix == "_bucket":
+                slot["buckets"][labels["b"]] = value
+            elif suffix == "_count":
+                slot["count"] = value
+            else:
+                slot["sum"] = float(value)
+            continue
+        if types.get(family) == "gauge":
+            snap["gauges"][name] = float(value)
+            continue
+        raise ValueError(f"line {lineno}: family {family!r} has no TYPE")
+    return snap
+
+
+def append_snapshot_jsonl(target: str | os.PathLike | IO[str],
+                          snap: dict[str, Any], ts: float | None = None,
+                          **labels: Any) -> None:
+    """Append one timestamped snapshot record to a JSONL stream.
+
+    ``target`` is a path (opened in append mode) or an open text file.
+    Extra keyword labels (host, suite, sha, ...) land at the record's
+    top level next to ``ts`` and ``snapshot``.
+    """
+    if ts is None:
+        import time
+        ts = time.time()
+    rec = {"ts": ts, **labels, "snapshot": snap}
+    line = json.dumps(rec, separators=(",", ":"), sort_keys=True) + "\n"
+    if hasattr(target, "write"):
+        target.write(line)
+    else:
+        with open(os.fspath(target), "a") as fh:
+            fh.write(line)
+
+
+def load_snapshot_jsonl(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Read back a JSONL snapshot stream (malformed lines raise)."""
+    records = []
+    with open(os.fspath(path)) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(
+                    f"{path}:{lineno}: bad snapshot line: {e}") from e
+    return records
+
+
+def merge_many(snaps: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold several snapshots into one (counters/histograms add)."""
+    from repro.obs import metrics
+    out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snaps:
+        out = metrics.merge(out, snap)
+    return out

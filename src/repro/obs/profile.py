@@ -1,0 +1,296 @@
+"""Opt-in low-overhead profiler with pipeline-phase attribution.
+
+Two complementary mechanisms, both strictly opt-in (the shipped hot
+paths pay one module-global ``is None`` test when profiling is off,
+the same discipline as :mod:`repro.obs.events`):
+
+* **Phase accounting** — instrumented code brackets its pipeline
+  stages with ``with profile.phase("reduce"):``.  When a profiler is
+  active each bracket adds an integer-nanosecond delta into a per-phase
+  accumulator, giving *deterministic* wall-time attribution for the
+  batch engine's stages (``special → reduce → horner → compensate →
+  round``) at a cost of two clock reads per stage per *batch* (never
+  per element).  When no profiler is active, :func:`phase` returns the
+  shared no-op context manager.
+* **Sampling** — a daemon thread (or, opportunistically, a SIGALRM
+  timer via ``mode="signal"``) wakes every ``interval`` seconds and
+  records (a) the phase currently on top of the phase stack and (b)
+  the code location at the top of the main thread's stack.  Sampling
+  sees the time *between* phase brackets too — the "where did the rest
+  go" signal phase accounting cannot give — at an overhead bounded by
+  the sample rate, not by the workload.
+
+The combined report (:meth:`Profiler.report`) and the published gauges
+(``profile.phase.<name>_s``, ``profile.samples.<phase>``) feed
+``python -m repro report``.  The instrumentation budget is <5% end to
+end on the batch-throughput workload; ``tests/test_obs_profile.py``
+asserts it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any
+
+__all__ = ["Profiler", "phase", "active", "start", "stop", "NOOP_PHASE",
+           "render_phase_report"]
+
+
+class _NoopPhase:
+    """Shared do-nothing phase bracket used while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NOOP_PHASE = _NoopPhase()
+
+_active: "Profiler | None" = None
+
+
+class _PhaseSpan:
+    """A live phase bracket: pushes on the stack, accumulates ns."""
+
+    __slots__ = ("_prof", "name", "_t0")
+
+    def __init__(self, prof: "Profiler", name: str):
+        self._prof = prof
+        self.name = name
+
+    def __enter__(self) -> "_PhaseSpan":
+        p = self._prof
+        p.stack.append(self.name)
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        dt = time.perf_counter_ns() - self._t0
+        p = self._prof
+        if p.stack and p.stack[-1] == self.name:
+            p.stack.pop()
+        p.phase_ns[self.name] = p.phase_ns.get(self.name, 0) + dt
+        p.phase_calls[self.name] = p.phase_calls.get(self.name, 0) + 1
+        return False
+
+
+def phase(name: str):
+    """Bracket a pipeline stage; the shared no-op when profiling is off."""
+    p = _active
+    if p is None:
+        return NOOP_PHASE
+    return _PhaseSpan(p, name)
+
+
+class Profiler:
+    """Sampling profiler + phase accountant.
+
+    ``interval`` is the sampling period in seconds (0 disables the
+    sampler entirely — phase accounting still works).  ``mode`` is
+    ``"thread"`` (portable default) or ``"signal"`` (SIGALRM; main
+    thread only, falls back to the thread sampler if the itimer cannot
+    be installed).
+    """
+
+    def __init__(self, interval: float = 0.005, mode: str = "thread"):
+        if mode not in ("thread", "signal"):
+            raise ValueError(f"unknown profiler mode {mode!r}")
+        self.interval = interval
+        self.mode = mode
+        self.stack: list[str] = []
+        self.phase_ns: dict[str, int] = {}
+        self.phase_calls: dict[str, int] = {}
+        self.samples: dict[str, int] = {}
+        self.locations: dict[str, int] = {}
+        self.n_samples = 0
+        self._t_started = 0.0
+        self.wall_s = 0.0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._main_ident = threading.main_thread().ident
+        self._signal_installed = False
+
+    # -- sampling -------------------------------------------------------
+
+    def _take_sample(self) -> None:
+        self.n_samples += 1
+        top = self.stack[-1] if self.stack else "(no phase)"
+        self.samples[top] = self.samples.get(top, 0) + 1
+        frame = sys._current_frames().get(self._main_ident)
+        if frame is not None:
+            code = frame.f_code
+            loc = f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}"
+            self.locations[loc] = self.locations.get(loc, 0) + 1
+
+    def _sampler_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._take_sample()
+
+    def _on_alarm(self, signum: int, frame: Any) -> None:
+        self.n_samples += 1
+        top = self.stack[-1] if self.stack else "(no phase)"
+        self.samples[top] = self.samples.get(top, 0) + 1
+        if frame is not None:
+            code = frame.f_code
+            loc = f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}"
+            self.locations[loc] = self.locations.get(loc, 0) + 1
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "Profiler":
+        global _active
+        if _active is not None:
+            raise RuntimeError("a profiler is already active")
+        self._t_started = time.perf_counter()
+        self._stop.clear()
+        if self.interval and self.mode == "signal":
+            self._signal_installed = self._try_install_signal()
+        if self.interval and not self._signal_installed:
+            self._thread = threading.Thread(
+                target=self._sampler_loop, name="repro-profiler",
+                daemon=True)
+            self._thread.start()
+        _active = self
+        return self
+
+    def _try_install_signal(self) -> bool:
+        if threading.current_thread() is not threading.main_thread():
+            return False
+        import signal
+        try:
+            self._prev_handler = signal.signal(signal.SIGALRM,
+                                               self._on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.interval,
+                             self.interval)
+        except (ValueError, OSError, AttributeError):
+            return False
+        return True
+
+    def stop(self) -> "Profiler":
+        global _active
+        if _active is not self:
+            raise RuntimeError("this profiler is not the active one")
+        self.wall_s += time.perf_counter() - self._t_started
+        if self._signal_installed:
+            import signal
+            signal.setitimer(signal.ITIMER_REAL, 0.0, 0.0)
+            signal.signal(signal.SIGALRM, self._prev_handler)
+            self._signal_installed = False
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        _active = None
+        return self
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+    # -- results --------------------------------------------------------
+
+    def publish_gauges(self) -> None:
+        """Write phase times and sample shares into the metrics registry."""
+        from repro.obs import metrics
+        for name, ns in self.phase_ns.items():
+            metrics.gauge(f"profile.phase.{name}_s").set(ns / 1e9)
+        total = self.n_samples
+        if total:
+            for name, count in self.samples.items():
+                metrics.gauge(f"profile.samples.{name}").set(count / total)
+        metrics.gauge("profile.wall_s").set(self.wall_s)
+        metrics.gauge("profile.n_samples").set(float(total))
+
+    def report(self, title: str = "profile") -> str:
+        return render_phase_report(
+            {"phase_ns": dict(self.phase_ns),
+             "phase_calls": dict(self.phase_calls),
+             "samples": dict(self.samples),
+             "locations": dict(self.locations),
+             "n_samples": self.n_samples, "wall_s": self.wall_s},
+            title=title)
+
+
+def render_phase_report(data: dict[str, Any],
+                        title: str = "profile") -> str:
+    """Render phase accounting + sample attribution as tables."""
+    from repro.obs.report import format_table
+    phase_ns = data.get("phase_ns", {})
+    wall_s = data.get("wall_s", 0.0)
+    parts = []
+    if phase_ns:
+        total_ns = sum(phase_ns.values())
+        rows = []
+        for name in sorted(phase_ns, key=phase_ns.get, reverse=True):
+            ns = phase_ns[name]
+            calls = data.get("phase_calls", {}).get(name, 0)
+            rows.append([name, calls, f"{ns / 1e9:.4f}",
+                         f"{100.0 * ns / total_ns:.1f}%" if total_ns
+                         else "0.0%"])
+        foot = (f"wall {wall_s:.3f}s, phases cover "
+                f"{100.0 * total_ns / 1e9 / wall_s:.1f}% of it"
+                if wall_s > 0 else None)
+        parts.append(format_table(["phase", "calls", "time(s)", "share"],
+                                  rows, title=title, footer=foot))
+    else:
+        parts.append(f"{title}\n(no phase brackets hit)\n")
+    n = data.get("n_samples", 0)
+    samples = data.get("samples", {})
+    if n and samples:
+        rows = [[name, count, f"{100.0 * count / n:.1f}%"]
+                for name, count in sorted(samples.items(),
+                                          key=lambda kv: -kv[1])]
+        parts.append(format_table(["sampled phase", "samples", "share"],
+                                  rows, title=f"{title}: sampler "
+                                              f"({n} samples)"))
+        locs = data.get("locations", {})
+        rows = [[loc, count, f"{100.0 * count / n:.1f}%"]
+                for loc, count in sorted(locs.items(),
+                                         key=lambda kv: -kv[1])[:12]]
+        if rows:
+            parts.append(format_table(["location", "samples", "share"],
+                                      rows,
+                                      title=f"{title}: hottest locations"))
+    return "\n".join(parts)
+
+
+def active() -> "Profiler | None":
+    """The currently active profiler, if any."""
+    return _active
+
+
+def start(interval: float = 0.005, mode: str = "thread") -> Profiler:
+    """Create and start a profiler (module-level convenience)."""
+    return Profiler(interval=interval, mode=mode).start()
+
+
+def stop() -> Profiler:
+    """Stop the active profiler and return it."""
+    p = _active
+    if p is None:
+        raise RuntimeError("no active profiler")
+    return p.stop()
+
+
+def configure_from_env() -> "Profiler | None":
+    """Honor ``REPRO_PROFILE=interval[,mode]`` (e.g. ``0.005,thread``)."""
+    spec = os.environ.get("REPRO_PROFILE")
+    if not spec:
+        return None
+    parts = spec.split(",")
+    try:
+        interval = float(parts[0]) if parts[0] else 0.005
+    except ValueError:
+        interval = 0.005
+    mode = parts[1].strip() if len(parts) > 1 else "thread"
+    return start(interval=interval, mode=mode)

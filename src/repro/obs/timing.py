@@ -1,0 +1,136 @@
+"""Hardened wall-clock measurement: warmup, GC pinning, robust statistics.
+
+Every benchmark in this repository ultimately reduces to "time a
+callable N times and report a stable number".  Before this module each
+bench rolled its own ``perf_counter`` loop and reported a bare median —
+fine for eyeballing a table once, too fragile for an append-only
+trajectory store that flags drift of a few k·MAD (``repro.obs.bench``).
+The hardening applied here:
+
+* **clock** — ``time.perf_counter_ns``: monotonic, highest resolution
+  the platform offers, integer nanoseconds (no float accumulation).
+* **warmup** — a configurable number of untimed passes first, so
+  lazy-compiled kernels, cold caches, and allocator warm-up never land
+  in the recorded samples.
+* **GC pinning** — the collector is disabled around the timed region
+  (and restored to its prior state), so a generational collection
+  triggered by unrelated allocations cannot poison a sample.
+* **outlier rejection** — samples further than ``k_mad`` scaled MADs
+  from the median are dropped (scheduler preemptions, CPU-frequency
+  excursions), and the median/MAD are recomputed over the survivors.
+
+Results are a :class:`TimingResult` ``(median, mad, n)`` — the median
+and the median-absolute-deviation of the surviving samples plus how
+many survived — never a bare float: a trajectory record without a
+dispersion estimate cannot support statistical regression detection.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from typing import Callable, NamedTuple, Sequence
+
+__all__ = ["TimingResult", "mad", "reject_outliers", "measure",
+           "measure_ns"]
+
+#: 1 MAD of a normal distribution ~= 0.6745 sigma; the scale factor
+#: turns a MAD threshold into (approximately) a sigma threshold.
+MAD_SIGMA_SCALE = 1.4826
+
+
+class TimingResult(NamedTuple):
+    """Robust timing summary: median, MAD, and surviving sample count.
+
+    ``median`` and ``mad`` carry whatever unit the samples had
+    (nanoseconds per call for the :mod:`repro.eval.timing` helpers).
+    Comparisons and rendering usually want just the ``median``;
+    regression detection wants all three.
+    """
+
+    median: float
+    mad: float
+    n: int
+
+
+def mad(samples: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: median)."""
+    if not samples:
+        return 0.0
+    c = statistics.median(samples) if center is None else center
+    return statistics.median([abs(s - c) for s in samples])
+
+
+def reject_outliers(samples: Sequence[float],
+                    k_mad: float = 3.0) -> list[float]:
+    """Drop samples further than ``k_mad`` scaled MADs from the median.
+
+    With fewer than three samples (or a zero MAD, i.e. a perfectly
+    quiet run) every sample is kept — there is no dispersion estimate
+    to reject against.
+    """
+    kept = list(samples)
+    if len(kept) < 3:
+        return kept
+    med = statistics.median(kept)
+    spread = mad(kept, med) * MAD_SIGMA_SCALE
+    if spread <= 0.0:
+        return kept
+    limit = k_mad * spread
+    return [s for s in kept if abs(s - med) <= limit]
+
+
+def summarize(samples: Sequence[float], k_mad: float = 3.0) -> TimingResult:
+    """Outlier-rejected ``(median, mad, n)`` over raw samples."""
+    kept = reject_outliers(samples, k_mad)
+    if not kept:
+        return TimingResult(0.0, 0.0, 0)
+    med = statistics.median(kept)
+    return TimingResult(med, mad(kept, med), len(kept))
+
+
+def measure_ns(fn: Callable[[], object], repeats: int = 5,
+               warmup: int = 1, k_mad: float = 3.0,
+               pin_gc: bool = True) -> TimingResult:
+    """Time ``fn()`` ``repeats`` times; robust nanoseconds per call.
+
+    Runs ``warmup`` untimed passes, disables the garbage collector for
+    the timed region (restoring its prior state afterwards), records
+    one integer-nanosecond sample per repeat, and returns the
+    outlier-rejected :class:`TimingResult`.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    was_enabled = gc.isenabled()
+    if pin_gc and was_enabled:
+        gc.disable()
+    try:
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter_ns()
+            fn()
+            samples.append(float(time.perf_counter_ns() - t0))
+    finally:
+        if pin_gc and was_enabled:
+            gc.enable()
+    return summarize(samples, k_mad)
+
+
+def measure(fn: Callable[[], object], repeats: int = 5, warmup: int = 1,
+            k_mad: float = 3.0, pin_gc: bool = True,
+            per: int = 1) -> TimingResult:
+    """Like :func:`measure_ns` but scaled: ns per *item*.
+
+    ``per`` is how many logical items one ``fn()`` call processes (the
+    length of the input list for a scalar loop, the batch size for an
+    array call); median and MAD are divided by it so results from
+    different batch sizes land in the same unit.
+    """
+    if per < 1:
+        raise ValueError("per must be >= 1")
+    r = measure_ns(fn, repeats=repeats, warmup=warmup, k_mad=k_mad,
+                   pin_gc=pin_gc)
+    return TimingResult(r.median / per, r.mad / per, r.n)

@@ -28,6 +28,7 @@ and spawned otherwise.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Sequence
@@ -56,6 +57,7 @@ def _call_captured(task: Callable[[Any], Any], payload: Any) -> tuple:
     """Worker-side trampoline: isolate obs state, capture any failure."""
     _detach_trace()
     metrics.reset()
+    t0 = time.perf_counter()
     try:
         result = task(payload)
     except Exception:
@@ -64,7 +66,8 @@ def _call_captured(task: Callable[[Any], Any], payload: Any) -> tuple:
         # publish this worker's cache segments (shard-local, atomically
         # renamed into place) so the parent's refresh sees them
         flush_active()
-    return ("ok", result, metrics.snapshot())
+    return ("ok", result, metrics.snapshot(),
+            time.perf_counter() - t0)
 
 
 def _context() -> multiprocessing.context.BaseContext:
@@ -103,6 +106,8 @@ def run_tasks(
         # flush pending cache writes so forked workers inherit a clean
         # store (no double-publishing of the parent's pending records)
         flush_active()
+        t_start = time.perf_counter()
+        busy_s = 0.0
         with ProcessPoolExecutor(max_workers=n_workers,
                                  mp_context=ctx) as pool:
             futures = {pool.submit(_call_captured, task, p): i
@@ -124,15 +129,30 @@ def run_tasks(
                         status = fut.result()
                         if status[0] == "err":
                             raise ShardError(label, i, status[1])
-                        _, result, snap = status
+                        _, result, snap, shard_s = status
                         metrics.absorb(snap)
-                        event("parallel.shard", label=label, index=i)
+                        busy_s += shard_s
+                        metrics.histogram("parallel.shard_s").observe(shard_s)
+                        event("parallel.shard", label=label, index=i,
+                              shard_s=round(shard_s, 6))
                         results[i] = result
                         if on_result is not None:
                             on_result(i, result)
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+        # worker-utilization gauges for `repro report`: what share of
+        # the pool's capacity (workers x wall clock) ran task code —
+        # low utilization means fork/pickle overhead or skew dominates.
+        # Gauges/histograms only: the serial-vs-parallel *counter*
+        # equality contract stays intact.
+        wall_s = time.perf_counter() - t_start
+        metrics.gauge("parallel.pool.workers").set(float(n_workers))
+        metrics.gauge("parallel.pool.busy_s").set(busy_s)
+        metrics.gauge("parallel.pool.wall_s").set(wall_s)
+        if wall_s > 0.0:
+            metrics.gauge("parallel.pool.utilization").set(
+                busy_s / (n_workers * wall_s))
         # merge the segments the workers published (checkpoint-manifest
         # pattern: private files + atomic rename + parent re-scan)
         refresh_active()

@@ -93,8 +93,10 @@ class _ConstantLib:
 
 class TestTiming:
     def test_time_scalar_positive(self):
-        ns = time_scalar(math.exp, [0.1, 0.2, 0.3] * 20, repeats=2)
-        assert ns > 0
+        res = time_scalar(math.exp, [0.1, 0.2, 0.3] * 20, repeats=2)
+        assert res.median > 0
+        assert res.mad >= 0
+        assert 1 <= res.n <= 2
 
     def test_timing_inputs_avoid_specials(self):
         xs = timing_inputs("exp", FLOAT32, 64)

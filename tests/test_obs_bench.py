@@ -1,0 +1,335 @@
+"""Benchmark registry, runner, trajectory store, and regression gate.
+
+These tests drive :mod:`repro.obs.bench` with synthetic benchmarks (the
+real ones live in ``benchmarks/`` and are exercised by
+``python -m repro bench run``): registration and selection, floor and
+gate semantics, error isolation, the append-only trajectory store, and
+the k·MAD drift detector — including the acceptance criterion that an
+injected 2x slowdown is flagged while ordinary noise is not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs import bench as B
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    saved = dict(B.REGISTRY)
+    B.REGISTRY.clear()
+    metrics.reset()
+    yield
+    B.REGISTRY.clear()
+    B.REGISTRY.update(saved)
+    metrics.reset()
+
+
+def _record(ts, benches):
+    """A minimal synthetic trajectory record."""
+    return {
+        "schema": B.SCHEMA_VERSION, "ts": ts, "sha": "abc1234",
+        "host": "testhost", "suite": "quick", "env": {},
+        "benchmarks": {
+            name: {"suite": "quick", "wall_s": m.pop("wall_s", 1.0),
+                   "ok": m.pop("ok", True), "gauges": m,
+                   "floor_failures": [], "metrics": {}}
+            for name, m in benches.items()
+        },
+    }
+
+
+class TestRegistry:
+    def test_register_and_select(self):
+        @B.benchmark("alpha", suite="quick")
+        def alpha():
+            return {"x": 1.0}
+
+        @B.benchmark("beta", suite="paper", floors={"y": 2.0})
+        def beta():
+            return {"y": 3.0}
+
+        assert set(B.REGISTRY) == {"alpha", "beta"}
+        assert [b.name for b in B.select(suite="quick")] == ["alpha"]
+        assert [b.name for b in B.select(suite="all")] == ["alpha", "beta"]
+        assert [b.name for b in B.select(names=["beta"])] == ["beta"]
+        assert B.suites() == ["paper", "quick"]
+
+    def test_select_unknown(self):
+        with pytest.raises(KeyError):
+            B.select(names=["nope"])
+        with pytest.raises(KeyError):
+            B.select(suite="nope")
+
+    def test_reregistration_replaces(self):
+        @B.benchmark("dup")
+        def one():
+            return {"v": 1.0}
+
+        @B.benchmark("dup")
+        def two():
+            return {"v": 2.0}
+
+        assert B.REGISTRY["dup"].func is two
+
+    def test_gate_controls_floors(self):
+        b = B.Benchmark("g", lambda: {}, gate=lambda: False)
+        assert not b.floors_apply()
+        assert B.Benchmark("g2", lambda: {}).floors_apply()
+
+
+class TestRunner:
+    def test_run_selected_builds_record(self):
+        @B.benchmark("ok_bench", suite="quick")
+        def ok_bench():
+            metrics.counter("side.effect").inc()
+            return {"speed": 2.0}
+
+        results, record = B.run_selected(B.select(suite="quick"),
+                                         suite_label="quick")
+        (r,) = results
+        assert r.ok and r.gauges == {"speed": 2.0}
+        assert r.wall_s > 0
+        assert r.metrics["counters"] == {"side.effect": 1}
+        slot = record["benchmarks"]["ok_bench"]
+        assert slot["ok"] and slot["gauges"] == {"speed": 2.0}
+        assert record["schema"] == B.SCHEMA_VERSION
+        assert {"ts", "sha", "host", "suite", "env"} <= set(record)
+        assert record["env"].get("cpus", 0) >= 1
+
+    def test_failing_bench_does_not_stop_run(self):
+        @B.benchmark("boom", suite="quick")
+        def boom():
+            raise RuntimeError("kaput")
+
+        @B.benchmark("fine", suite="quick")
+        def fine():
+            return {"v": 1.0}
+
+        results, record = B.run_selected(B.select(suite="quick"), "quick")
+        by_name = {r.name: r for r in results}
+        assert not by_name["boom"].ok
+        assert "kaput" in by_name["boom"].error
+        assert by_name["fine"].ok
+        assert "error" in record["benchmarks"]["boom"]
+
+    def test_floor_failure_detected(self):
+        @B.benchmark("floored", floors={"speed": 10.0})
+        def floored():
+            return {"speed": 3.0}
+
+        results, _ = B.run_selected(B.select(suite="all"), "all")
+        assert results[0].floor_failures
+        assert "below floor" in results[0].floor_failures[0]
+
+    def test_missing_floor_gauge_flagged(self):
+        @B.benchmark("nogauge", floors={"speed": 1.0}, gate=lambda: True)
+        def nogauge():
+            return {}
+
+        results, _ = B.run_selected(B.select(suite="all"), "all")
+        assert "gauge missing" in results[0].floor_failures[0]
+
+    def test_gated_floor_skipped(self):
+        @B.benchmark("gated", floors={"speed": 10.0}, gate=lambda: False)
+        def gated():
+            return {"speed": 1.0}
+
+        results, _ = B.run_selected(B.select(suite="all"), "all")
+        assert results[0].floor_failures == []
+
+    def test_tracked_metrics_include_wall(self):
+        r = B.BenchResult("b", "quick", 1.5, {"g": 2.0}, {})
+        assert r.tracked_metrics() == {"wall_s": 1.5, "g": 2.0}
+
+
+class TestTrajectory:
+    def test_append_only_and_load(self, tmp_path):
+        p = tmp_path / "BENCH_testhost.json"
+        B.append_record(_record(1.0, {"b": {"wall_s": 1.0}}), p)
+        B.append_record(_record(2.0, {"b": {"wall_s": 1.1}}), p)
+        records = B.load_trajectory(p)
+        assert [r["ts"] for r in records] == [1.0, 2.0]
+        # append-only: a third append leaves the first two lines intact
+        before = p.read_text().splitlines()
+        B.append_record(_record(3.0, {"b": {"wall_s": 0.9}}), p)
+        assert p.read_text().splitlines()[:2] == before
+
+    def test_load_history_prefers_own_host(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HOST", "me")
+        B.append_record(_record(1.0, {"b": {}}),
+                        tmp_path / "BENCH_me.json")
+        B.append_record(_record(2.0, {"b": {}}),
+                        tmp_path / "BENCH_other.json")
+        assert len(B.load_history(tmp_path)) == 1
+
+    def test_load_history_merges_foreign_hosts(self, tmp_path, monkeypatch):
+        # CI machine with an unknown hostname: all BENCH_*.json anchor
+        monkeypatch.setenv("REPRO_BENCH_HOST", "fresh-ci-box")
+        B.append_record(_record(2.0, {"b": {}}),
+                        tmp_path / "BENCH_a.json")
+        B.append_record(_record(1.0, {"b": {}}),
+                        tmp_path / "BENCH_b.json")
+        records = B.load_history(tmp_path)
+        assert [r["ts"] for r in records] == [1.0, 2.0]
+
+    def test_bad_line_raises(self, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        p.write_text("{}\nnot json\n")
+        with pytest.raises(ValueError, match="bad trajectory line"):
+            B.load_trajectory(p)
+
+    def test_host_label_sanitized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HOST", "we ird/host!")
+        assert B.host_label() == "we-ird-host"
+
+
+class TestDirections:
+    @pytest.mark.parametrize("name,want", [
+        ("wall_s", "lower"), ("eval_ns", "lower"), ("time_total", "lower"),
+        ("speedup", "higher"), ("speedup_4", "higher"),
+        ("oracle_hit_rate", "higher"), ("batch_eps", "higher"),
+        ("utilization", "higher"),
+        ("eval_mad", None), ("functions", None), ("constraints", None),
+    ])
+    def test_metric_direction(self, name, want):
+        assert B.metric_direction(name) == want
+
+
+class TestCompare:
+    def _history(self, walls, speedups):
+        return [_record(float(i), {"b": {"wall_s": w, "speedup": s}})
+                for i, (w, s) in enumerate(zip(walls, speedups))]
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        # acceptance criterion: vs a single committed record, a 2x
+        # synthetic slowdown must trip the gate
+        history = self._history([1.0, 2.0], [10.0, 10.0])
+        regs = B.compare(history)
+        assert any(r.metric == "wall_s" and r.direction == "lower"
+                   for r in regs)
+        assert "above the trailing median" in regs[0].describe()
+
+    def test_noise_within_rel_floor_passes(self):
+        history = self._history([1.0, 1.1], [10.0, 9.5])
+        assert B.compare(history) == []
+
+    def test_speedup_drop_is_flagged(self):
+        history = self._history([1.0] * 4, [10.0, 10.1, 9.9, 4.0])
+        regs = B.compare(history)
+        assert any(r.metric == "speedup" and r.direction == "higher"
+                   for r in regs)
+
+    def test_tight_window_catches_small_drift(self):
+        # eight quiet records then +30%: the MAD envelope is tiny, the
+        # rel_floor (25%) is what the drift must clear — and it does
+        walls = [1.0, 1.01, 0.99, 1.0, 1.02, 0.98, 1.0, 1.01, 1.3]
+        history = self._history(walls, [10.0] * 9)
+        regs = B.compare(history)
+        assert any(r.metric == "wall_s" for r in regs)
+
+    def test_explicit_candidate(self):
+        history = self._history([1.0, 1.0], [10.0, 10.0])
+        cand = _record(9.0, {"b": {"wall_s": 5.0, "speedup": 10.0}})
+        regs = B.compare(history, candidate=cand)
+        assert regs and regs[0].value == 5.0
+        # with an explicit candidate the full history is the baseline
+        assert regs[0].n_history == 2
+
+    def test_new_benchmark_passes(self):
+        history = self._history([1.0], [10.0])
+        cand = _record(9.0, {"newbie": {"wall_s": 100.0}})
+        assert B.compare(history, candidate=cand) == []
+
+    def test_failed_benchmarks_are_skipped(self):
+        history = [_record(1.0, {"b": {"wall_s": 1.0}}),
+                   _record(2.0, {"b": {"wall_s": 99.0, "ok": False}})]
+        assert B.compare(history) == []
+
+    def test_empty_history(self):
+        assert B.compare([]) == []
+
+    def test_window_limits_baseline(self):
+        # ancient fast records beyond the window must not dominate
+        walls = [0.1] * 10 + [1.0] * 8 + [1.05]
+        history = self._history(walls, [10.0] * 19)
+        assert B.compare(history, window=8) == []
+
+
+class TestCli:
+    def test_compare_exit_codes(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        root = tmp_path
+        p = root / "BENCH_testhost.json"
+        B.append_record(_record(1.0, {"b": {"wall_s": 1.0}}), p)
+        # one record, nothing to compare against: clean exit
+        assert main(["bench", "compare", "--dir", str(root)]) == 0
+        B.append_record(_record(2.0, {"b": {"wall_s": 1.02}}), p)
+        assert main(["bench", "compare", "--dir", str(root)]) == 0
+        B.append_record(_record(3.0, {"b": {"wall_s": 2.1}}), p)
+        assert main(["bench", "compare", "--dir", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_compare_candidate_file(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        B.append_record(_record(1.0, {"b": {"wall_s": 1.0}}),
+                        tmp_path / "BENCH_testhost.json")
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(
+            _record(2.0, {"b": {"wall_s": 2.0}})))
+        assert main(["bench", "compare", "--dir", str(tmp_path),
+                     "--candidate", str(cand)]) == 1
+
+    def test_compare_no_records(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        assert main(["bench", "compare", "--dir", str(tmp_path)]) == 2
+
+    def test_history_renders(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        p = tmp_path / "BENCH_testhost.json"
+        B.append_record(_record(1.0, {"b": {"wall_s": 1.0}}), p)
+        assert main(["bench", "history", "--dir", str(tmp_path)]) == 0
+        assert "abc1234" in capsys.readouterr().out
+        assert main(["bench", "history", "--dir", str(tmp_path),
+                     "--benchmark", "b", "--metric", "wall_s"]) == 0
+
+    def test_export_from_trajectory(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        rec = _record(1.0, {"b": {"wall_s": 1.0}})
+        rec["benchmarks"]["b"]["metrics"] = {
+            "counters": {"lp.solves": 5}, "gauges": {}, "histograms": {}}
+        B.append_record(rec, tmp_path / "BENCH_testhost.json")
+        assert main(["bench", "export", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_lp_solves_total{name="lp.solves"} 5' in out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_report_without_records(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        (tmp_path / "benchmarks").mkdir()
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "no trajectory records" in capsys.readouterr().out
+
+    def test_report_with_records(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_BENCH_HOST", "testhost")
+        p = tmp_path / "BENCH_testhost.json"
+        B.append_record(_record(1.0, {"b": {"wall_s": 1.0}}), p)
+        B.append_record(_record(2.0, {"b": {"wall_s": 5.0}}), p)
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "latest trajectory record" in out
+        assert "DRIFT" in out

@@ -1,0 +1,155 @@
+"""OpenMetrics / JSONL export (repro.obs.export).
+
+The headline contract: ``parse_openmetrics(render_openmetrics(snap))``
+equals ``snap`` for every snapshot the metrics registry can produce —
+counters, gauges, and both histogram kinds (including the ``neg``
+log2 bucket, which has no finite ``le`` bound and is why the export
+keeps native bucket labels).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.export import (append_snapshot_jsonl, load_snapshot_jsonl,
+                              merge_many, parse_openmetrics,
+                              render_openmetrics, sanitize_name)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    metrics.reset()
+    yield
+    metrics.reset()
+
+
+def _full_snapshot() -> dict:
+    """A registry snapshot exercising every instrument family."""
+    metrics.counter("lp.solves").inc(17)
+    metrics.counter("cache.hit").inc(3)
+    metrics.gauge("batch.bench.speedup").set(11.375)
+    metrics.gauge("profile.wall_s").set(0.125)
+    h = metrics.histogram("lp.rows", kind="log2")
+    h.observe(100)
+    h.observe(1000)
+    h.observe(-1.0)   # the 'neg' bucket: no finite le bound exists
+    h.observe(0.0)
+    e = metrics.histogram("subdomain.index", kind="exact")
+    e.observe(3)
+    e.observe(3)
+    e.observe(7)
+    return metrics.snapshot()
+
+
+class TestRoundTrip:
+    def test_full_snapshot_round_trips(self):
+        snap = _full_snapshot()
+        text = render_openmetrics(snap)
+        assert text.endswith("# EOF\n")
+        back = parse_openmetrics(text)
+        assert back == snap
+
+    def test_empty_snapshot(self):
+        snap = metrics.snapshot()
+        back = parse_openmetrics(render_openmetrics(snap))
+        assert back["counters"] == {}
+        assert back["histograms"] == {}
+
+    def test_colliding_names_stay_distinct(self):
+        # 'a.b' and 'a_b' sanitize to the same family; the name label
+        # keeps them separate through the round trip
+        metrics.counter("a.b").inc(1)
+        metrics.counter("a_b").inc(2)
+        snap = metrics.snapshot()
+        back = parse_openmetrics(render_openmetrics(snap))
+        assert back["counters"] == {"a.b": 1, "a_b": 2}
+
+    def test_label_escaping(self):
+        metrics.gauge('weird "name"\npath').set(1.5)
+        snap = metrics.snapshot()
+        back = parse_openmetrics(render_openmetrics(snap))
+        assert back == snap
+        assert back["gauges"]['weird "name"\npath'] == 1.5
+
+    def test_float_precision_survives(self):
+        metrics.gauge("g").set(0.1 + 0.2)   # not exactly 0.3
+        snap = metrics.snapshot()
+        back = parse_openmetrics(render_openmetrics(snap))
+        assert back["gauges"]["g"] == snap["gauges"]["g"]
+
+
+class TestFormat:
+    def test_counter_total_suffix_and_type_lines(self):
+        metrics.counter("lp.solves").inc(4)
+        text = render_openmetrics(metrics.snapshot())
+        assert "# TYPE repro_lp_solves counter" in text
+        assert 'repro_lp_solves_total{name="lp.solves"} 4' in text
+
+    def test_histogram_samples(self):
+        metrics.histogram("lp.rows").observe(100)
+        text = render_openmetrics(metrics.snapshot())
+        assert "# TYPE repro_lp_rows histogram" in text
+        assert 'repro_lp_rows_bucket{name="lp.rows",kind="log2",b="6"} 1' \
+            in text
+        assert 'repro_lp_rows_count{name="lp.rows",kind="log2"} 1' in text
+
+    def test_sanitize_name(self):
+        assert sanitize_name("lp.solves") == "repro_lp_solves"
+        assert sanitize_name("a b-c", prefix="") == "a_b_c"
+        # a leading digit is illegal without a prefix
+        assert sanitize_name("9x", prefix="").startswith("_")
+
+    def test_parse_rejects_unnamed_sample(self):
+        with pytest.raises(ValueError, match="name label"):
+            parse_openmetrics('# TYPE x gauge\nx{foo="1"} 2\n# EOF\n')
+
+    def test_parse_rejects_untyped_family(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_openmetrics('mystery{name="m"} 2\n# EOF\n')
+
+
+class TestJsonl:
+    def test_append_and_load(self, tmp_path):
+        p = tmp_path / "snaps.jsonl"
+        snap = _full_snapshot()
+        append_snapshot_jsonl(p, snap, ts=1.0, host="ci", suite="quick")
+        append_snapshot_jsonl(p, snap, ts=2.0, host="ci", suite="quick")
+        records = load_snapshot_jsonl(p)
+        assert [r["ts"] for r in records] == [1.0, 2.0]
+        assert records[0]["host"] == "ci"
+        assert records[0]["snapshot"] == snap
+
+    def test_append_to_open_file(self):
+        buf = io.StringIO()
+        append_snapshot_jsonl(buf, {"counters": {}, "gauges": {},
+                                    "histograms": {}}, ts=3.5)
+        rec = json.loads(buf.getvalue())
+        assert rec["ts"] == 3.5
+
+    def test_load_rejects_garbage(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"ts": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad snapshot line"):
+            load_snapshot_jsonl(p)
+
+
+class TestMergeMany:
+    def test_counters_add_gauges_last_write_wins(self):
+        a = {"counters": {"c": 1}, "gauges": {"g": 1.0}, "histograms": {}}
+        b = {"counters": {"c": 2}, "gauges": {"g": 5.0}, "histograms": {}}
+        out = merge_many([a, b])
+        assert out["counters"] == {"c": 3}
+        assert out["gauges"] == {"g": 5.0}
+
+    def test_histogram_buckets_add(self):
+        h = {"kind": "log2", "count": 1, "sum": 100.0, "buckets": {"6": 1}}
+        out = merge_many([{"histograms": {"h": h}},
+                          {"histograms": {"h": dict(h)}}])
+        assert out["histograms"]["h"]["count"] == 2
+        assert out["histograms"]["h"]["buckets"] == {"6": 2}

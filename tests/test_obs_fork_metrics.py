@@ -1,0 +1,123 @@
+"""Observability across the fork boundary (satellite of PR 6).
+
+Two contracts the telemetry subsystem leans on:
+
+* **Counter conservation** — metrics incremented inside worker
+  processes are absorbed back into the parent, so a 4-worker run's
+  counters equal the serial run's exactly (gauges last-write-win and
+  the executor's own utilization gauges ride alongside without
+  breaking the equality).
+* **Trace isolation** — workers detach the inherited trace sink
+  (:func:`repro.obs.events.detach`), so a traced parallel run produces
+  a single well-formed JSONL stream with no interleaved or torn lines
+  from the children.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.parallel.executor import run_tasks
+
+pytestmark = pytest.mark.parallel
+
+
+def _counting_task(payload: int) -> int:
+    """Module-level (picklable) task: bumps counters proportional to
+    the payload, touches a histogram and a span."""
+    metrics.counter("fork.calls").inc()
+    metrics.counter("fork.items").inc(payload)
+    metrics.histogram("fork.sizes").observe(float(payload))
+    with obs.span("fork.work", payload=payload):
+        obs.event("fork.tick", payload=payload)
+    return payload * 2
+
+
+PAYLOADS = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    obs.disable()
+    metrics.reset()
+    yield
+    obs.disable()
+    metrics.reset()
+
+
+class TestCounterConservation:
+    def test_four_workers_equal_serial_counters(self):
+        results_serial = run_tasks(_counting_task, PAYLOADS, workers=1)
+        serial = metrics.snapshot()
+
+        metrics.reset()
+        results_par = run_tasks(_counting_task, PAYLOADS, workers=4)
+        parallel = metrics.snapshot()
+
+        assert results_par == results_serial == [p * 2 for p in PAYLOADS]
+        # the executor's utilization instruments are gauges/histograms
+        # only, so the counter equality holds exactly
+        assert parallel["counters"] == serial["counters"]
+        assert parallel["counters"]["fork.calls"] == len(PAYLOADS)
+        assert parallel["counters"]["fork.items"] == sum(PAYLOADS)
+
+    def test_task_histograms_absorbed(self):
+        run_tasks(_counting_task, PAYLOADS, workers=4)
+        snap = metrics.snapshot()
+        h = snap["histograms"]["fork.sizes"]
+        assert h["count"] == len(PAYLOADS)
+        assert h["sum"] == float(sum(PAYLOADS))
+
+    def test_pool_gauges_published(self):
+        run_tasks(_counting_task, PAYLOADS, workers=4)
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["parallel.pool.workers"] == 4.0
+        assert gauges["parallel.pool.busy_s"] >= 0.0
+        assert gauges["parallel.pool.wall_s"] > 0.0
+        assert 0.0 <= gauges["parallel.pool.utilization"] <= 1.0
+        # per-shard wall times landed in the executor's histogram
+        assert metrics.snapshot()["histograms"]["parallel.shard_s"][
+            "count"] == len(PAYLOADS)
+
+    def test_serial_run_has_no_pool_gauges(self):
+        run_tasks(_counting_task, PAYLOADS, workers=1)
+        assert "parallel.pool.workers" not in [
+            n for n, v in metrics.snapshot()["gauges"].items() if v]
+
+
+class TestTraceIsolation:
+    def test_parallel_trace_is_well_formed(self, tmp_path):
+        p = tmp_path / "par.jsonl"
+        obs.enable(p)
+        run_tasks(_counting_task, PAYLOADS, workers=4)
+        obs.disable()
+
+        lines = p.read_text().splitlines()
+        events = [json.loads(line) for line in lines]  # every line parses
+        metas = [e for e in events if e["ev"] == "meta"]
+        assert len(metas) == 1  # workers detached: no duplicate headers
+        # the parent's span + one shard point per task are all present
+        run_spans = [e for e in events
+                     if e["ev"] == "span" and e["name"] == "parallel.run"]
+        assert len(run_spans) == 1
+        shards = [e for e in events
+                  if e["ev"] == "point" and e["name"] == "parallel.shard"]
+        assert len(shards) == len(PAYLOADS)
+        assert all("shard_s" in s for s in shards)
+        assert sorted(s["index"] for s in shards) == list(range(
+            len(PAYLOADS)))
+        # the workers' fork.work spans were detached, not interleaved
+        assert not any(e.get("name") == "fork.work" for e in events)
+
+    def test_serial_trace_keeps_task_spans(self, tmp_path):
+        p = tmp_path / "serial.jsonl"
+        obs.enable(p)
+        run_tasks(_counting_task, PAYLOADS[:3], workers=1)
+        obs.disable()
+        events = [json.loads(line) for line in p.read_text().splitlines()]
+        work = [e for e in events if e.get("name") == "fork.work"]
+        assert len(work) == 3

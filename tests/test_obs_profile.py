@@ -1,0 +1,189 @@
+"""Sampling profiler + phase attribution (repro.obs.profile).
+
+Pins the opt-in discipline (the shared no-op bracket when no profiler
+is active — the same contract obs.events keeps for spans), the phase
+accounting arithmetic, the thread/signal samplers, gauge publication,
+and — under the ``bench`` marker, outside tier-1 — the <5% overhead
+budget on the batch-throughput workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs import profile as P
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _no_active_profiler():
+    metrics.reset()
+    yield
+    if P.active() is not None:
+        P.stop()
+    metrics.reset()
+
+
+class TestPhaseBrackets:
+    def test_noop_when_inactive(self):
+        # hot-path guarantee: one shared object, no allocation
+        assert P.phase("reduce") is P.NOOP_PHASE
+        assert P.phase("horner") is P.NOOP_PHASE
+        with P.phase("anything"):
+            pass
+
+    def test_phase_accumulates(self):
+        with P.Profiler(interval=0) as prof:
+            for _ in range(3):
+                with P.phase("reduce"):
+                    pass
+            with P.phase("horner"):
+                time.sleep(0.002)
+        assert prof.phase_calls == {"reduce": 3, "horner": 1}
+        assert prof.phase_ns["horner"] >= 2_000_000
+        assert prof.phase_ns["reduce"] >= 0
+        assert prof.stack == []
+
+    def test_nested_phases_stack(self):
+        with P.Profiler(interval=0) as prof:
+            with P.phase("outer"):
+                assert prof.stack == ["outer"]
+                with P.phase("inner"):
+                    assert prof.stack == ["outer", "inner"]
+                assert prof.stack == ["outer"]
+        assert prof.phase_calls == {"outer": 1, "inner": 1}
+
+    def test_batch_engine_is_bracketed(self):
+        # the pipeline stages of DESIGN.md's batch engine must show up
+        import numpy as np
+        from repro.libm.runtime import load_function
+        g = load_function("exp", "float32")
+        xs = np.linspace(-1.0, 1.0, 64)
+        with P.Profiler(interval=0) as prof:
+            g.evaluate_many(xs)
+        assert {"special", "reduce", "horner", "compensate",
+                "round"} <= set(prof.phase_ns)
+
+
+class TestSampler:
+    def test_thread_sampler_collects(self):
+        with P.Profiler(interval=0.002) as prof:
+            with P.phase("busy"):
+                t_end = time.perf_counter() + 0.05
+                while time.perf_counter() < t_end:
+                    pass
+        assert prof.n_samples >= 3
+        assert prof.samples.get("busy", 0) >= 1
+        assert prof.wall_s > 0.04
+        # the sampler thread is gone after stop()
+        assert prof._thread is None
+
+    def test_signal_mode_works_or_falls_back(self):
+        with P.Profiler(interval=0.002, mode="signal") as prof:
+            t_end = time.perf_counter() + 0.03
+            while time.perf_counter() < t_end:
+                pass
+        assert prof.n_samples >= 1
+
+    def test_interval_zero_disables_sampler(self):
+        with P.Profiler(interval=0) as prof:
+            with P.phase("p"):
+                pass
+        assert prof.n_samples == 0
+        assert prof._thread is None
+
+
+class TestLifecycle:
+    def test_single_active_enforced(self):
+        p1 = P.Profiler(interval=0).start()
+        try:
+            with pytest.raises(RuntimeError, match="already active"):
+                P.Profiler(interval=0).start()
+        finally:
+            p1.stop()
+        assert P.active() is None
+
+    def test_stop_foreign_profiler_rejected(self):
+        p1 = P.Profiler(interval=0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                P.Profiler(interval=0).stop()
+        finally:
+            p1.stop()
+
+    def test_module_level_start_stop(self):
+        p = P.start(interval=0)
+        assert P.active() is p
+        assert P.stop() is p
+        assert P.active() is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            P.Profiler(mode="quantum")
+
+    def test_configure_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "0.5,thread")
+        p = P.configure_from_env()
+        assert p is not None and p.interval == 0.5
+        p.stop()
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert P.configure_from_env() is None
+
+
+class TestResults:
+    def test_publish_gauges(self):
+        with P.Profiler(interval=0.002) as prof:
+            with P.phase("work"):
+                time.sleep(0.02)
+        prof.publish_gauges()
+        snap = metrics.snapshot()
+        assert snap["gauges"]["profile.phase.work_s"] > 0
+        assert snap["gauges"]["profile.wall_s"] > 0
+        assert snap["gauges"]["profile.n_samples"] >= 1
+
+    def test_report_renders(self):
+        with P.Profiler(interval=0.002) as prof:
+            with P.phase("alpha"):
+                time.sleep(0.01)
+        text = prof.report(title="unit profile")
+        assert "unit profile" in text
+        assert "alpha" in text
+
+    def test_report_without_phases(self):
+        with P.Profiler(interval=0) as prof:
+            pass
+        assert "no phase brackets" in prof.report()
+
+
+@pytest.mark.bench
+class TestOverheadBudget:
+    def test_profiler_overhead_under_5_percent(self):
+        """The <5% instrumentation budget (DESIGN.md) on the
+        batch-throughput workload: phase brackets are per-batch and the
+        sampler is interval-bounded, so an active profiler must not
+        meaningfully slow ``evaluate_many``."""
+        import numpy as np
+        from repro.libm.runtime import load_function
+        from repro.obs.timing import measure
+
+        g = load_function("exp", "float32")
+        rng = np.random.default_rng(7)
+        xs = rng.uniform(-80.0, 80.0, 200_000).astype(
+            np.float32).astype(np.float64)
+        g.evaluate_many(xs[:8])
+
+        def workload():
+            g.evaluate_many(xs)
+
+        base = measure(workload, repeats=9, warmup=2)
+        prof = P.Profiler(interval=0.005)
+        with prof:
+            with_prof = measure(workload, repeats=9, warmup=2)
+        overhead = with_prof.median / base.median - 1.0
+        assert overhead < 0.05, (
+            f"profiler overhead {overhead:.1%} exceeds the 5% budget "
+            f"(base {base.median:.0f}ns, profiled {with_prof.median:.0f}ns)")

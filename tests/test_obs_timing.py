@@ -1,0 +1,109 @@
+"""Hardened timing discipline (repro.obs.timing).
+
+The trajectory store's regression detection leans on every timing
+result carrying a dispersion estimate; these tests pin the statistical
+helpers (MAD, outlier rejection) and the measurement loop's contracts
+(warmup runs, GC state restored, per-item scaling).
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.eval.timing import time_batch, time_scalar
+from repro.obs.timing import (MAD_SIGMA_SCALE, TimingResult, mad, measure,
+                              measure_ns, reject_outliers, summarize)
+
+pytestmark = pytest.mark.obs
+
+
+class TestStatistics:
+    def test_mad_basic(self):
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+        assert mad([5.0]) == 0.0
+        assert mad([]) == 0.0
+
+    def test_mad_explicit_center(self):
+        assert mad([1.0, 2.0, 3.0], center=1.0) == 1.0
+
+    def test_reject_outliers_drops_spike(self):
+        samples = [10.0, 11.0, 10.5, 9.5, 10.2, 1000.0]
+        kept = reject_outliers(samples)
+        assert 1000.0 not in kept
+        assert len(kept) == 5
+
+    def test_reject_outliers_keeps_small_samples(self):
+        # <3 samples: no dispersion estimate, nothing is rejected
+        assert reject_outliers([1.0, 100.0]) == [1.0, 100.0]
+
+    def test_reject_outliers_zero_spread(self):
+        # a perfectly quiet run must not reject everything
+        assert reject_outliers([5.0] * 10) == [5.0] * 10
+
+    def test_summarize(self):
+        r = summarize([10.0, 11.0, 10.5, 9.5, 10.2, 1000.0])
+        assert isinstance(r, TimingResult)
+        assert 9.5 <= r.median <= 11.0
+        assert r.n == 5
+        assert r.mad <= 1.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == TimingResult(0.0, 0.0, 0)
+
+    def test_mad_sigma_scale(self):
+        assert 1.48 < MAD_SIGMA_SCALE < 1.49
+
+
+class TestMeasure:
+    def test_measure_ns_positive_and_counts(self):
+        calls = []
+        r = measure_ns(lambda: calls.append(1), repeats=5, warmup=2)
+        assert r.median > 0
+        # warmup passes ran untimed but ran
+        assert len(calls) == 7
+        assert 1 <= r.n <= 5
+
+    def test_measure_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            measure_ns(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            measure(lambda: None, per=0)
+
+    def test_gc_state_restored(self):
+        assert gc.isenabled()
+        seen = []
+        measure_ns(lambda: seen.append(gc.isenabled()), repeats=2, warmup=0)
+        # the collector was off inside the timed region...
+        assert not any(seen)
+        # ...and back on afterwards
+        assert gc.isenabled()
+
+    def test_gc_left_alone_when_disabled(self):
+        gc.disable()
+        try:
+            measure_ns(lambda: None, repeats=1)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_per_scales_result(self):
+        slow = measure(lambda: sum(range(1000)), repeats=3, per=1)
+        scaled = measure(lambda: sum(range(1000)), repeats=3, per=1000)
+        assert scaled.median < slow.median
+
+
+class TestEvalTimingFacade:
+    """repro.eval.timing.time_scalar/time_batch return TimingResult."""
+
+    def test_time_scalar(self):
+        r = time_scalar(lambda x: x * x, [0.1, 0.2, 0.3] * 10, repeats=3)
+        assert isinstance(r, TimingResult)
+        assert r.median > 0
+
+    def test_time_batch(self):
+        r = time_batch(lambda xs: [x + 1 for x in xs], [0.5] * 30,
+                       repeats=3)
+        assert isinstance(r, TimingResult)
+        assert r.median > 0

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI gate: run the quick benchmark suite and fail on performance drift.
+
+The performance twin of ``tools/run_lint.py`` / ``tools/check_genstats.py``:
+executes the ``quick`` suite from the benchmark registry
+(:mod:`repro.obs.bench`), then compares the fresh record against the
+committed ``BENCH_*.json`` trajectory.  The build fails when
+
+* any benchmark errors or misses a declared floor (exit 1), or
+* any tracked metric drifts beyond its k·MAD envelope with the
+  relative-change floor (exit 1) — the same detector as
+  ``python -m repro bench compare``.
+
+The gate never appends to the committed trajectory (CI machines would
+pollute the history with their own noise); record-keeping runs append
+explicitly with ``python -m repro bench run``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench.py             # gate (exit 1)
+    PYTHONPATH=src python tools/check_bench.py --suite gen
+    PYTHONPATH=src python tools/check_bench.py --record out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.obs import bench as B
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", default="quick",
+                        help="suite to gate on (default: quick)")
+    parser.add_argument("--k-mad", type=float, default=B.DEFAULT_K_MAD)
+    # the gate measures fresh (possibly on a different machine than the
+    # committed trajectory), so it tolerates more relative noise than
+    # `bench compare` does between records of one host's own history;
+    # a genuine 2x regression still clears the 50% floor easily
+    parser.add_argument("--rel-floor", type=float, default=0.5)
+    parser.add_argument("--window", type=int, default=B.DEFAULT_WINDOW)
+    parser.add_argument("--record", metavar="PATH",
+                        help="also write the fresh record to PATH (JSON)")
+    args = parser.parse_args(argv)
+
+    B.discover(REPO / "benchmarks")
+    benches = B.select(suite=args.suite)
+    results, record = B.run_selected(benches, suite_label=args.suite)
+    print(B.render_run(results,
+                       title=f"check_bench: suite={args.suite} "
+                             f"sha={record['sha']}"))
+
+    failed = False
+    for r in results:
+        if not r.ok:
+            failed = True
+            print(f"ERROR {r.name} failed:\n{r.error}", file=sys.stderr)
+        for f in r.floor_failures:
+            failed = True
+            print(f"FLOOR {r.name}: {f}", file=sys.stderr)
+
+    if args.record:
+        pathlib.Path(args.record).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    history = B.load_history(REPO)
+    if not history:
+        print("check_bench: no committed BENCH_*.json trajectory — "
+              "floors gated, drift not compared", file=sys.stderr)
+        return 1 if failed else 0
+    regs = B.compare(history, candidate=record, k_mad=args.k_mad,
+                     rel_floor=args.rel_floor, window=args.window)
+    print(B.render_compare(regs, len(history),
+                           title="drift vs committed trajectory"))
+    return 1 if (failed or regs) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
