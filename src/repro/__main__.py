@@ -16,6 +16,8 @@ Commands
               flame-style phase breakdown
 ``lint``      run the floating-point-safety linter (fplint) and the
               frozen-table static verifier (tablecheck)
+``certify``   verify (or emit) the proof-carrying certificates that
+              accompany the shipped coefficient tables
 ``cache``     inspect, verify, warm, or compact the persistent
               generation cache (``cache stats|verify|warm|gc``)
 ``bench``     benchmark registry + append-only performance trajectory
@@ -149,6 +151,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return analysis_cli.run(args)
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.analysis import cli as analysis_cli
+
+    return analysis_cli.run_certify(args)
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import cli as cache_cli
 
@@ -227,6 +235,13 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.cli import add_arguments as _lint_args
     _lint_args(p)
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("certify",
+                       help="verify/emit the proof-carrying table "
+                            "certificates")
+    from repro.analysis.cli import add_certify_arguments as _certify_args
+    _certify_args(p)
+    p.set_defaults(fn=_cmd_certify)
 
     p = sub.add_parser("cache",
                        help="persistent generation cache maintenance")

@@ -18,7 +18,7 @@ from typing import Iterable
 from repro.analysis.findings import Finding
 
 __all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline",
-           "apply_baseline"]
+           "apply_baseline", "prune_baseline"]
 
 #: Repo-relative location of the committed baseline.
 DEFAULT_BASELINE = "tools/fplint_baseline.json"
@@ -43,6 +43,28 @@ def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
         json.dumps(entries, indent=2, sort_keys=True) + "\n",
         encoding="utf-8")
     return len(entries)
+
+
+def prune_baseline(path: str | Path,
+                   findings: Iterable[Finding]) -> tuple[int, int]:
+    """Drop baseline entries no current finding matches.
+
+    Returns ``(entries kept, entries pruned)``.  The baseline-only-ever-
+    shrinks contract, mechanised: a grandfathered finding that has since
+    been fixed must not linger as a free pass for a future regression at
+    the same location.  A missing or empty baseline file is left alone.
+    """
+    p = Path(path)
+    known = load_baseline(p)
+    if not known:
+        return 0, 0
+    live = {f.key for f in findings}
+    kept = {k: v for k, v in known.items() if k in live}
+    pruned = len(known) - len(kept)
+    if pruned:
+        p.write_text(json.dumps(kept, indent=2, sort_keys=True) + "\n",
+                     encoding="utf-8")
+    return len(kept), pruned
 
 
 def apply_baseline(findings: Iterable[Finding],

@@ -1,0 +1,32 @@
+"""Proof-carrying tables: certificate emission + independent verification.
+
+RLIBM-32's headline property — the polynomial's double evaluation lands
+inside every reduced rounding interval — is far cheaper to *check* than
+to *find*.  This package makes shipped tables carry a machine-checkable
+certificate of that property:
+
+* :mod:`repro.analysis.certify.format` — the versioned certificate
+  schema, exact-rational/hex-double codecs and file I/O (stdlib only).
+* :mod:`repro.analysis.certify.emit` — certificate emission: from the
+  generation pipeline's captured LP samples, or post hoc from a frozen
+  ``DATA`` module via an oracle-backed sweep.
+* :mod:`repro.analysis.certify.verify` — the **trusted checker**: an
+  independent exact-rational verifier sharing no code with the
+  generation/solve path (stdlib + the findings model only).
+* :mod:`repro.analysis.certify.runner` — discovery over the shipped
+  data packages, obs counters/spans, used by the CLI and the
+  ``tools/run_certify.py`` gate.
+
+The trusted-checker boundary and the exact-arithmetic-only rule are
+documented in DESIGN.md ("Certified tables").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.certify.format import (FORMAT_VERSION, CertificateError,
+                                           certificate_path, load_certificate,
+                                           save_certificate)
+from repro.analysis.certify.verify import verify_certificate
+
+__all__ = ["FORMAT_VERSION", "CertificateError", "certificate_path",
+           "load_certificate", "save_certificate", "verify_certificate"]

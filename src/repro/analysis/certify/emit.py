@@ -1,0 +1,295 @@
+"""Certificate emission — from fresh generation or from frozen tables.
+
+Two producers, one format:
+
+* :func:`certificate_from_capture` packages the LP-pinning samples the
+  generation pipeline captured (``capture=`` on
+  :func:`repro.core.generator.generate`) into a certificate — the exact
+  constraint sets that pinned each sub-domain's polynomial.
+* :func:`certificate_for_data` certifies an already-shipped frozen
+  ``DATA`` module post hoc: a cheap pure-float sweep maps sampled
+  inputs to sub-domain slots, per-slot representatives get the oracle +
+  Algorithm-2 interval walk, and the resulting reduced constraints
+  become certificate points.
+
+Emission deliberately *may* share code with generation (oracle, range
+reduction, the interval walk, the exact LP) — only the checker must
+not.  What emission must never do is ship a certificate the checker
+would reject, so every candidate point is pre-screened with the
+checker's own emulated evaluation (shipped tables were generated from
+samples and retain residual misses; those points are dropped and
+counted), and every LP witness is self-verified before it is written
+(:func:`repro.lp.solver.certificate_witness` re-checks primal/dual
+feasibility and strong duality internally).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.analysis.certify.format import (FORMAT_VERSION, float_to_hex,
+                                           frac_to_str, table_key)
+from repro.analysis.certify.verify import emulate_poly
+from repro.cache import active_store
+from repro.core.intervals import target_rounding_interval
+from repro.core.reduced import reduced_intervals
+from repro.core.sampling import sample_values
+from repro.fp.bits import double_to_bits
+from repro.lp.solver import LinearConstraint, LPWitness, certificate_witness
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+
+__all__ = ["EmitStats", "certificate_for_data", "certificate_from_capture"]
+
+#: Certificate points kept per sub-domain slot (endpoints + spread).
+_POINTS_PER_SLOT = 5
+
+#: Pivot budget for witness LP solves; a LIMIT means no witness.
+_WITNESS_PIVOTS = 4000
+
+
+@dataclass
+class EmitStats:
+    """What emission covered (and what it had to leave out)."""
+
+    tables: int = 0
+    slots: int = 0
+    certified: int = 0
+    unconstrained: int = 0
+    points: int = 0
+    #: candidate points whose emulated evaluation missed the interval
+    #: (sampled-generation residue) — dropped, never certified
+    dropped_points: int = 0
+    #: slots whose every candidate was dropped or whose LP witness could
+    #: not be built
+    dropped_slots: int = 0
+    by_table: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+def _spread(items: list, k: int) -> list:
+    """Up to ``k`` entries including both endpoints, evenly spaced."""
+    n = len(items)
+    if n <= k:
+        return list(items)
+    idx = sorted({round(i * (n - 1) / (k - 1)) for i in range(k)})
+    return [items[i] for i in idx]
+
+
+def _passes_emulation(exponents: Sequence[int],
+                      coefficients: Sequence[float],
+                      c: LinearConstraint) -> bool:
+    """The checker's own containment test, applied pre-emission."""
+    v = emulate_poly(exponents, coefficients, c.r)
+    return (math.isfinite(v)
+            and Fraction(c.lo) <= Fraction(v) <= Fraction(c.hi))
+
+
+def _witness_dict(wit: LPWitness, rows: list[int]) -> dict[str, Any]:
+    return {
+        "rows": rows,
+        "delta": frac_to_str(wit.delta),
+        "coeffs": [frac_to_str(c) for c in wit.coefficients],
+        "duals_lo": [frac_to_str(y) for y in wit.duals_lo],
+        "duals_hi": [frac_to_str(y) for y in wit.duals_hi],
+        "dual_cap": frac_to_str(wit.dual_cap),
+        "tight_rows": list(wit.tight_rows),
+    }
+
+
+def _build_slot(index: int, exponents: tuple[int, ...],
+                coefficients: tuple[float, ...],
+                candidates: list[LinearConstraint],
+                stats: EmitStats) -> dict[str, Any]:
+    """One certificate slot: screened points + a self-checked witness."""
+    base = {
+        "index": index,
+        "exponents": list(exponents),
+        "coefficients": [float_to_hex(c) for c in coefficients],
+    }
+    pts = sorted(candidates, key=lambda c: c.r)
+    kept = [c for c in pts if _passes_emulation(exponents, coefficients, c)]
+    stats.dropped_points += len(pts) - len(kept)
+    kept = _spread(kept, _POINTS_PER_SLOT)
+
+    witness = None
+    while kept:
+        wit = certificate_witness(kept, exponents,
+                                  max_pivots=_WITNESS_PIVOTS)
+        if wit is not None:
+            witness = wit
+            break
+        # the LP over these points admits no nonnegative-margin vertex;
+        # retry without the most binding (narrowest) interval
+        drop = min(range(len(kept)),
+                   key=lambda i: Fraction(kept[i].hi) - Fraction(kept[i].lo))
+        kept.pop(drop)
+
+    if not kept or witness is None:
+        if candidates:
+            stats.dropped_slots += 1
+        stats.unconstrained += 1
+        return {**base, "status": "unconstrained", "points": [],
+                "witness": None}
+
+    stats.certified += 1
+    stats.points += len(kept)
+    points = [{"r": float_to_hex(c.r),
+               "lo": frac_to_str(Fraction(c.lo)),
+               "hi": frac_to_str(Fraction(c.hi))} for c in kept]
+    return {**base, "status": "certified", "points": points,
+            "witness": _witness_dict(witness, list(range(len(kept))))}
+
+
+def _assemble(function: str, target: str,
+              slot_points: dict[tuple[str, str], dict[int, list]],
+              tables_geom: dict[tuple[str, str], tuple[int, int, tuple]],
+              stats: EmitStats) -> dict[str, Any]:
+    """Build the certificate dict from per-slot candidate constraints."""
+    tables: dict[str, Any] = {}
+    for (fn, side), (index_bits, shift, polys) in sorted(tables_geom.items()):
+        key = table_key(fn, side)
+        stats.tables += 1
+        slots = []
+        buckets = slot_points.get((fn, side), {})
+        for idx in range(1 << index_bits):
+            stats.slots += 1
+            exps, coeffs = polys[idx]
+            slots.append(_build_slot(idx, tuple(exps), tuple(coeffs),
+                                     buckets.get(idx, []), stats))
+        tables[key] = {
+            "fn": fn, "side": side,
+            "index_bits": index_bits, "shift": shift,
+            "slots": slots,
+        }
+        stats.by_table[key] = {
+            "slots": 1 << index_bits,
+            "certified": sum(1 for s in slots
+                             if s["status"] == "certified"),
+        }
+    return {
+        "format_version": FORMAT_VERSION,
+        "function": function,
+        "target": target,
+        "tables": tables,
+    }
+
+
+def _tables_geometry(data: dict[str, Any]) \
+        -> dict[tuple[str, str], tuple[int, int, tuple]]:
+    """(fn, side) -> (index_bits, shift, polys) for every present table."""
+    geom = {}
+    for fn, sides in data["approx"].items():
+        for side in ("neg", "pos"):
+            pp = sides.get(side)
+            if pp is not None:
+                geom[(fn, side)] = (pp["index_bits"], pp["shift"],
+                                    tuple(pp["polys"]))
+    return geom
+
+
+def _bucket(geom: dict[tuple[str, str], tuple[int, int, tuple]],
+            constraints: dict[str, list[LinearConstraint]]) \
+        -> dict[tuple[str, str], dict[int, list]]:
+    """Assign reduced constraints to (fn, side, slot) buckets."""
+    out: dict[tuple[str, str], dict[int, list]] = {}
+    for fn, cons in constraints.items():
+        for c in cons:
+            side = "neg" if c.r < 0.0 else "pos"
+            g = geom.get((fn, side))
+            if g is None:
+                continue
+            index_bits, shift, _ = g
+            idx = (double_to_bits(c.r) >> shift) & ((1 << index_bits) - 1)
+            out.setdefault((fn, side), {}).setdefault(idx, []).append(c)
+    return out
+
+
+
+def certificate_for_data(
+    data: dict[str, Any],
+    *,
+    oracle: Oracle = default_oracle,
+    sweep: int = 30_000,
+    per_slot_candidates: int = 8,
+    seed: int = 2021,
+) -> tuple[dict[str, Any], EmitStats]:
+    """Certify a frozen ``DATA`` module post hoc.
+
+    Sweeps ``sweep`` ordinal-uniform target inputs through range
+    reduction only (pure float, no oracle) to find which sub-domain each
+    reduced input lands in, selects up to ``per_slot_candidates`` spread
+    representatives per slot, and runs the oracle + Algorithm-2 interval
+    walk on the selected inputs only.  Intervals from inputs sharing a
+    reduced value are intersected exactly as in generation, so every
+    certificate point carries a genuine reduced rounding interval.
+    """
+    from repro.libm.serialize import TARGETS_BY_NAME, function_from_dict
+    from repro.rangereduction.domains import sampling_domain
+
+    fn_obj = function_from_dict(data)
+    rr = fn_obj.spec.rr
+    fmt = TARGETS_BY_NAME[data["target"]]
+    name = data["function"]
+    geom = _tables_geometry(data)
+
+    lo, hi = sampling_domain(name, fmt, rr)
+    xs = sample_values(fmt, sweep, random.Random(seed), lo, hi)
+
+    # pure-float sweep: reduced input -> slot, one representative x per
+    # distinct r per slot
+    reps: dict[tuple[str, str, int], dict[float, float]] = {}
+    for x in xs:
+        if rr.special(x) is not None:
+            continue
+        r = rr.reduce(x).r
+        side = "neg" if r < 0.0 else "pos"
+        for (fn, s), (index_bits, shift, _) in geom.items():
+            if s != side:
+                continue
+            idx = (double_to_bits(r) >> shift) & ((1 << index_bits) - 1)
+            reps.setdefault((fn, side, idx), {}).setdefault(r, x)
+
+    selected: set[float] = set()
+    for bucket in reps.values():
+        rs = sorted(bucket)
+        selected.update(bucket[r] for r in _spread(rs, per_slot_candidates))
+    sel_xs = sorted(selected)
+
+    pairs = [(x, target_rounding_interval(
+        fmt, oracle.round_to_bits(name, x, fmt))) for x in sel_xs]
+    store = oracle.store if oracle.store is not None else active_store()
+    rset = reduced_intervals(pairs, rr, oracle, store=store,
+                             fmt_name=str(fmt))
+
+    stats = EmitStats()
+    cert = _assemble(name, data["target"],
+                     _bucket(geom, rset.constraints), geom, stats)
+    return cert, stats
+
+
+def certificate_from_capture(
+    data: dict[str, Any],
+    capture: dict[tuple, list[LinearConstraint]],
+) -> tuple[dict[str, Any], EmitStats]:
+    """Certify from the generation pipeline's captured pinning samples.
+
+    ``capture`` is the dict filled by ``generate(..., capture=...)``:
+    ``("<fn>:<side>", group_index) -> final LP sample`` for every
+    generated sub-domain.  The sample constraints are exactly the
+    reduced intervals that pinned the shipped polynomial, so they become
+    the certificate points directly — no sweep, no fresh oracle calls.
+    """
+    geom = _tables_geometry(data)
+    slot_points: dict[tuple[str, str], dict[int, list]] = {}
+    for (label, idx), sample in capture.items():
+        fn, _, side = label.rpartition(":")
+        if (fn, side) not in geom:
+            continue
+        slot_points.setdefault((fn, side), {})[idx] = list(sample)
+    stats = EmitStats()
+    cert = _assemble(data["function"], data["target"], slot_points, geom,
+                     stats)
+    return cert, stats

@@ -1,0 +1,282 @@
+"""The certificate file format (versioned, exact, stdlib-only).
+
+A certificate accompanies one frozen data module as ``<name>.cert.json``
+in the same package directory.  It records, per piecewise table
+(``"<fn>:<side>"``) and per sub-domain slot:
+
+* the slot's monomial exponents and coefficients (hex doubles, which the
+  verifier cross-checks bit-for-bit against ``DATA``),
+* certificate *points*: reduced inputs (hex doubles) with their reduced
+  rounding-interval endpoints as exact rationals (``"p/q"`` strings),
+* an LP vertex *witness*: exact-rational coefficients and margin plus
+  the dual multipliers proving the margin optimal (strong duality is
+  re-checkable by direct substitution).
+
+Everything numeric is stored losslessly: doubles as ``float.hex()``
+strings, rationals as ``"numerator/denominator"`` decimal strings.  No
+value in a certificate requires floating-point parsing beyond the exact
+hex-double codec.
+
+This module is inside the trusted-checker boundary (see DESIGN.md): it
+imports nothing from the generation or solve paths.  Bump
+:data:`FORMAT_VERSION` on any schema change — the verifier rejects
+unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+__all__ = ["FORMAT_VERSION", "CertificateError", "certificate_path",
+           "frac_to_str", "frac_from_str", "hex_to_float", "float_to_hex",
+           "load_certificate", "save_certificate", "schema_errors",
+           "table_key"]
+
+#: Schema version this tree reads and writes.
+FORMAT_VERSION = 1
+
+_CERT_KEYS = frozenset({"format_version", "function", "target", "tables"})
+_TABLE_KEYS = frozenset({"fn", "side", "index_bits", "shift", "slots"})
+_SLOT_KEYS = frozenset({"index", "exponents", "coefficients", "status",
+                        "points", "witness"})
+_POINT_KEYS = frozenset({"r", "lo", "hi"})
+_WITNESS_KEYS = frozenset({"rows", "delta", "coeffs", "duals_lo",
+                           "duals_hi", "dual_cap", "tight_rows"})
+
+
+class CertificateError(Exception):
+    """A certificate file is missing, unreadable, or not JSON."""
+
+
+def certificate_path(module_path: str | Path) -> Path:
+    """The certificate path for a data module: ``exp2.py`` -> ``exp2.cert.json``."""
+    p = Path(module_path)
+    return p.with_name(p.stem + ".cert.json")
+
+
+def table_key(fn: str, side: str) -> str:
+    """Canonical table identifier inside a certificate."""
+    return f"{fn}:{side}"
+
+
+def frac_to_str(q: Fraction) -> str:
+    """Lossless decimal rational encoding, always ``p/q``."""
+    return f"{q.numerator}/{q.denominator}"
+
+
+def frac_from_str(s: str) -> Fraction:
+    """Parse a ``p/q`` string exactly (integer arithmetic only)."""
+    num, _, den = s.partition("/")
+    return Fraction(int(num), int(den))
+
+
+def float_to_hex(v: float) -> str:
+    """Lossless hex encoding of a finite double."""
+    if not math.isfinite(v):
+        raise ValueError(f"cannot certify non-finite double {v!r}")
+    return v.hex()
+
+
+def hex_to_float(s: str) -> float:
+    """Exact inverse of :func:`float_to_hex` (rejects non-finite)."""
+    v = float.fromhex(s)
+    if not math.isfinite(v):
+        raise ValueError(f"non-finite hex double {s!r}")
+    return v
+
+
+def load_certificate(path: str | Path) -> dict[str, Any]:
+    """Read a certificate file; :class:`CertificateError` on any failure."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as e:
+        raise CertificateError(f"cannot read certificate: {e}") from e
+    try:
+        cert = json.loads(text)
+    except ValueError as e:
+        raise CertificateError(f"certificate is not valid JSON: {e}") from e
+    if not isinstance(cert, dict):
+        raise CertificateError("certificate top level must be an object")
+    return cert
+
+
+def save_certificate(path: str | Path, cert: dict[str, Any]) -> None:
+    """Write a certificate with stable formatting (diff-friendly)."""
+    Path(path).write_text(
+        json.dumps(cert, indent=1, sort_keys=True) + "\n")
+
+
+def _is_int(v: Any) -> bool:
+    return type(v) is int
+
+
+def _check_frac(errors: list[str], where: str, v: Any) -> None:
+    if not isinstance(v, str):
+        errors.append(f"{where}: rational must be a 'p/q' string, got "
+                      f"{type(v).__name__}")
+        return
+    try:
+        frac_from_str(v)
+    except (ValueError, ZeroDivisionError) as e:
+        errors.append(f"{where}: bad rational {v!r} ({e})")
+
+
+def _check_hex(errors: list[str], where: str, v: Any) -> None:
+    if not isinstance(v, str):
+        errors.append(f"{where}: double must be a hex string, got "
+                      f"{type(v).__name__}")
+        return
+    try:
+        hex_to_float(v)
+    except ValueError as e:
+        errors.append(f"{where}: bad hex double {v!r} ({e})")
+
+
+def _check_frac_list(errors: list[str], where: str, v: Any) -> None:
+    if not isinstance(v, list):
+        errors.append(f"{where}: expected a list of rationals")
+        return
+    for i, item in enumerate(v):
+        _check_frac(errors, f"{where}[{i}]", item)
+
+
+def _schema_errors_witness(errors: list[str], where: str, wit: Any,
+                           npoints: int) -> None:
+    if not isinstance(wit, dict) or set(wit) != _WITNESS_KEYS:
+        errors.append(f"{where}: witness keys must be "
+                      f"{sorted(_WITNESS_KEYS)}")
+        return
+    rows = wit["rows"]
+    if not isinstance(rows, list) or not rows \
+            or any(not _is_int(i) for i in rows):
+        errors.append(f"{where}.rows: expected a non-empty int list")
+    elif sorted(set(rows)) != rows or rows[0] < 0 or rows[-1] >= npoints:
+        errors.append(f"{where}.rows: must be strictly increasing indices "
+                      f"into the slot's {npoints} points")
+    _check_frac(errors, f"{where}.delta", wit["delta"])
+    _check_frac(errors, f"{where}.dual_cap", wit["dual_cap"])
+    for key in ("coeffs", "duals_lo", "duals_hi"):
+        _check_frac_list(errors, f"{where}.{key}", wit[key])
+    if isinstance(rows, list):
+        for key in ("duals_lo", "duals_hi"):
+            if isinstance(wit[key], list) and len(wit[key]) != len(rows):
+                errors.append(f"{where}.{key}: {len(wit[key])} duals for "
+                              f"{len(rows)} witness rows")
+    tight = wit["tight_rows"]
+    if not isinstance(tight, list) or any(not isinstance(t, str)
+                                          for t in tight):
+        errors.append(f"{where}.tight_rows: expected a list of row tags")
+
+
+def _schema_errors_slot(errors: list[str], where: str, slot: Any) -> None:
+    if not isinstance(slot, dict) or set(slot) != _SLOT_KEYS:
+        errors.append(f"{where}: slot keys must be {sorted(_SLOT_KEYS)}")
+        return
+    if not _is_int(slot["index"]) or slot["index"] < 0:
+        errors.append(f"{where}.index: expected a non-negative int")
+    exps = slot["exponents"]
+    if not isinstance(exps, list) or not exps \
+            or any(not _is_int(e) or e < 0 for e in exps):
+        errors.append(f"{where}.exponents: expected non-negative ints")
+    coeffs = slot["coefficients"]
+    if not isinstance(coeffs, list):
+        errors.append(f"{where}.coefficients: expected a list")
+        coeffs = []
+    for i, c in enumerate(coeffs):
+        _check_hex(errors, f"{where}.coefficients[{i}]", c)
+    if isinstance(exps, list) and len(coeffs) != len(exps):
+        errors.append(f"{where}: {len(exps)} exponents vs {len(coeffs)} "
+                      "coefficients")
+    points = slot["points"]
+    if not isinstance(points, list):
+        errors.append(f"{where}.points: expected a list")
+        points = []
+    for i, pt in enumerate(points):
+        pw = f"{where}.points[{i}]"
+        if not isinstance(pt, dict) or set(pt) != _POINT_KEYS:
+            errors.append(f"{pw}: point keys must be {sorted(_POINT_KEYS)}")
+            continue
+        _check_hex(errors, f"{pw}.r", pt["r"])
+        _check_frac(errors, f"{pw}.lo", pt["lo"])
+        _check_frac(errors, f"{pw}.hi", pt["hi"])
+    status = slot["status"]
+    if status not in ("certified", "unconstrained"):
+        errors.append(f"{where}.status: {status!r} is neither 'certified' "
+                      "nor 'unconstrained'")
+    elif status == "certified":
+        if not points:
+            errors.append(f"{where}: certified slot with no points")
+        if slot["witness"] is None:
+            errors.append(f"{where}: certified slot with no witness")
+        else:
+            _schema_errors_witness(errors, f"{where}.witness",
+                                   slot["witness"], len(points))
+    else:
+        if points or slot["witness"] is not None:
+            errors.append(f"{where}: unconstrained slot must carry no "
+                          "points or witness")
+
+
+def schema_errors(cert: Any) -> list[str]:
+    """Structural problems with a parsed certificate (empty = well-formed).
+
+    Purely local validation: types, key sets, parsability of every
+    encoded number, and intra-slot consistency.  Anything relating the
+    certificate to ``DATA`` or to arithmetic truth is the verifier's
+    job, not the schema's.
+    """
+    errors: list[str] = []
+    if not isinstance(cert, dict):
+        return ["certificate top level must be an object"]
+    if set(cert) != _CERT_KEYS:
+        return [f"certificate keys must be {sorted(_CERT_KEYS)}"]
+    if cert["format_version"] != FORMAT_VERSION:
+        errors.append(f"format_version {cert['format_version']!r} not "
+                      f"supported (expected {FORMAT_VERSION})")
+        return errors
+    if not isinstance(cert["function"], str) \
+            or not isinstance(cert["target"], str):
+        errors.append("function/target must be strings")
+    tables = cert["tables"]
+    if not isinstance(tables, dict):
+        return errors + ["tables must be an object"]
+    for key, table in tables.items():
+        where = f"tables[{key!r}]"
+        if not isinstance(table, dict) or set(table) != _TABLE_KEYS:
+            errors.append(f"{where}: table keys must be "
+                          f"{sorted(_TABLE_KEYS)}")
+            continue
+        if not isinstance(table["fn"], str) \
+                or table["side"] not in ("neg", "pos"):
+            errors.append(f"{where}: bad fn/side")
+        elif key != table_key(table["fn"], table["side"]):
+            errors.append(f"{where}: key disagrees with fn/side "
+                          f"{table['fn']!r}/{table['side']!r}")
+        bits, shift = table["index_bits"], table["shift"]
+        if not _is_int(bits) or not _is_int(shift) or bits < 0 \
+                or shift < 0 or shift + bits > 64:
+            errors.append(f"{where}: bad index_bits/shift "
+                          f"({bits!r}, {shift!r})")
+            continue
+        slots = table["slots"]
+        if not isinstance(slots, list):
+            errors.append(f"{where}.slots: expected a list")
+            continue
+        seen: set[int] = set()
+        for i, slot in enumerate(slots):
+            _schema_errors_slot(errors, f"{where}.slots[{i}]", slot)
+            idx = slot.get("index") if isinstance(slot, dict) else None
+            if _is_int(idx):
+                if idx in seen:
+                    errors.append(f"{where}.slots[{i}]: duplicate slot "
+                                  f"index {idx}")
+                elif not 0 <= idx < (1 << bits):
+                    errors.append(f"{where}.slots[{i}]: slot index {idx} "
+                                  f"outside 2**{bits} sub-domains")
+                seen.add(idx)
+    return errors

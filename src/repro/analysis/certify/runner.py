@@ -1,0 +1,132 @@
+"""Certify-run orchestration over the shipped frozen-data packages.
+
+Walks the same data packages as tablecheck, pairs every data module with
+its ``<name>.cert.json``, and runs the trusted checker
+(:mod:`repro.analysis.certify.verify`) or the emitter
+(:mod:`repro.analysis.certify.emit`) over each.  This is the only
+certify module that touches :mod:`repro.obs` — the checker itself stays
+stdlib-only — so certify runs show up in ``python -m repro report``
+alongside generation and lint telemetry.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.certify import emit as emit_mod
+from repro.analysis.certify import verify as verify_mod
+from repro.analysis.certify.format import (CertificateError,
+                                           certificate_path,
+                                           load_certificate,
+                                           save_certificate)
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.obs import metrics, timed_span
+
+__all__ = ["DATA_PACKAGES", "check_all", "emit_all", "iter_data_modules"]
+
+#: The shipped frozen-data packages, in check order (same as tablecheck).
+DATA_PACKAGES = ("repro.libm.data_float32", "repro.libm.data_posit32")
+
+_C_MODULES = metrics.counter("certify.modules")
+_C_SLOTS = metrics.counter("certify.slots")
+_C_POINTS = metrics.counter("certify.points")
+_C_FINDINGS = metrics.counter("certify.findings")
+_C_EMITTED = metrics.counter("certify.emitted")
+
+
+def iter_data_modules(packages: tuple[str, ...] = DATA_PACKAGES) \
+        -> Iterator[tuple[str, Path, dict]]:
+    """Yield ``(module_name, module_path, DATA)`` for every data module."""
+    for pkg_name in packages:
+        pkg = importlib.import_module(pkg_name)
+        for info in sorted(pkgutil.iter_modules(pkg.__path__),
+                           key=lambda i: i.name):
+            if info.ispkg:
+                continue
+            full = f"{pkg_name}.{info.name}"
+            mod = importlib.import_module(full)
+            yield full, Path(mod.__file__), mod.DATA
+
+
+def _cert_stats(cert: dict) -> tuple[int, int]:
+    """(slots, points) counted from a parsed certificate."""
+    slots = points = 0
+    for table in cert.get("tables", {}).values():
+        for slot in table.get("slots", ()):
+            slots += 1
+            points += len(slot.get("points", ()))
+    return slots, points
+
+
+def check_all(packages: tuple[str, ...] = DATA_PACKAGES,
+              extra_paths: tuple[str, ...] = (),
+              only: tuple[str, ...] = ()) -> tuple[int, list[Finding]]:
+    """Verify every shipped certificate; ``(module count, findings)``.
+
+    ``extra_paths`` adds standalone data-module files (fixtures, CLI
+    args); ``only`` filters by unqualified module name (``exp2``).
+    """
+    findings: list[Finding] = []
+    n = 0
+    targets: list[tuple[str, Path, dict]] = list(iter_data_modules(packages))
+    for path in extra_paths:
+        from repro.analysis.tablecheck import load_module_from_path
+
+        mod = load_module_from_path(path)
+        targets.append((Path(path).stem, Path(path), mod.DATA))
+    for name, mod_path, data in targets:
+        short = name.rsplit(".", 1)[-1]
+        if only and short not in only:
+            continue
+        n += 1
+        cpath = certificate_path(mod_path)
+        with timed_span("certify.check", module=short):
+            _C_MODULES.inc()
+            try:
+                cert = load_certificate(cpath)
+            except CertificateError as e:
+                findings.append(Finding(
+                    str(cpath), 1, 0, "CE301", Severity.ERROR, str(e),
+                    hint="run 'python -m repro certify --emit' to create "
+                         "the certificate"))
+                _C_FINDINGS.inc()
+                continue
+            fs = verify_mod.verify_certificate(cert, data, str(cpath))
+            slots, points = _cert_stats(cert)
+            _C_SLOTS.inc(slots)
+            _C_POINTS.inc(points)
+            _C_FINDINGS.inc(len(fs))
+            findings.extend(fs)
+    return n, sort_findings(findings)
+
+
+def emit_all(packages: tuple[str, ...] = DATA_PACKAGES,
+             only: tuple[str, ...] = (), *, sweep: int = 30_000,
+             log=print) -> int:
+    """(Re)emit certificates for every shipped data module; returns count.
+
+    Emission is oracle-backed and therefore slow-ish (seconds per
+    module); the check path never needs it — certificates are committed
+    next to their data modules.
+    """
+    n = 0
+    for name, mod_path, data in iter_data_modules(packages):
+        short = name.rsplit(".", 1)[-1]
+        if only and short not in only:
+            continue
+        with timed_span("certify.emit", module=short):
+            cert, stats = emit_mod.certificate_for_data(data, sweep=sweep)
+            cpath = certificate_path(mod_path)
+            save_certificate(cpath, cert)
+            _C_EMITTED.inc()
+        n += 1
+        log(f"[{short}] {cpath.name}: {stats.certified}/{stats.slots} "
+            f"slots certified, {stats.points} points"
+            + (f", {stats.dropped_points} points dropped"
+               if stats.dropped_points else "")
+            + (f", {stats.dropped_slots} slots uncertifiable"
+               if stats.dropped_slots else ""))
+    return n

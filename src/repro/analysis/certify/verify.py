@@ -1,0 +1,419 @@
+"""The independent exact-rational certificate verifier (trusted checker).
+
+This module re-establishes the correctness claim of a shipped table from
+its certificate **without trusting anything that produced it**: it shares
+no code with the generation pipeline, the oracle, or the LP solve path.
+Its only imports are the standard library, the certificate codec
+(:mod:`repro.analysis.certify.format`) and the findings model.  Every
+decision is made in exact integer/rational arithmetic; the only
+floating-point operations are constructing doubles from their bit
+patterns (exact by definition) — never arithmetic on them.
+
+What is re-derived from scratch here (deliberate duplication — the
+point of translation validation is an independent implementation):
+
+* round-to-nearest-ties-even of an exact rational to binary64,
+  including subnormals and the overflow-to-infinity midpoint rule;
+* the runtime's Horner evaluation order (arithmetic-progression
+  exponent structure and the irregular fallback), emulated with one
+  exact rounding per double operation;
+* the bit-pattern sub-domain lookup (shift + mask);
+* LP vertex-witness validity: primal feasibility, dual feasibility and
+  strong duality by direct substitution.
+
+Finding codes
+-------------
+
+* CE301 — certificate missing or unreadable
+* CE302 — certificate malformed (schema/version/encoding)
+* CE303 — certificate disagrees with ``DATA`` (coefficients, exponents,
+  table geometry, function/target identity)
+* CE304 — invalid certificate point (empty interval, wrong sub-domain,
+  wrong sign side)
+* CE305 — containment failure: the emulated double Horner evaluation of
+  the shipped polynomial lands outside the stored rounding interval
+* CE306 — LP witness primal infeasibility
+* CE307 — LP witness optimality failure (dual infeasible or strong
+  duality violated)
+* CE308 — coverage gap: a table or sub-domain of ``DATA`` has no
+  certificate entry
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.analysis.certify.format import (FORMAT_VERSION, frac_from_str,
+                                           hex_to_float, schema_errors,
+                                           table_key)
+from repro.analysis.findings import Finding, Severity, sort_findings
+
+__all__ = ["round_frac_to_double", "emulate_poly", "verify_certificate",
+           "CODES"]
+
+#: Rule code -> summary (mirrors fplint.RULES for reporting).
+CODES = {
+    "CE301": "certificate missing or unreadable",
+    "CE302": "certificate malformed",
+    "CE303": "certificate disagrees with DATA",
+    "CE304": "invalid certificate point",
+    "CE305": "interval containment failure",
+    "CE306": "LP witness primal infeasibility",
+    "CE307": "LP witness optimality failure",
+    "CE308": "coverage gap",
+}
+
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
+
+
+def _bits(x: float) -> int:
+    return _PACK_Q.unpack(_PACK_D.pack(x))[0]
+
+
+def round_frac_to_double(q: Fraction) -> float:
+    """Round an exact rational to binary64, nearest-ties-even.
+
+    Independent of ``Fraction.__float__`` and of ``repro.fp``: pure
+    integer arithmetic selects the significand, ``math.ldexp`` (exact
+    for integer significands up to 2**53) constructs the result.
+    Overflow follows IEEE: magnitudes at or above the
+    2**1024 - 2**970 midpoint become infinity.
+    """
+    if q == 0:
+        return 0.0
+    neg = q < 0
+    if neg:
+        q = -q
+    n, d = q.numerator, q.denominator
+    # e with 2**e <= q < 2**(e+1)
+    e = n.bit_length() - d.bit_length()
+    if e >= 0:
+        if n < d << e:
+            e -= 1
+    else:
+        if n << -e < d:
+            e -= 1
+    # lsb weight: 2**(e-52) for normals, fixed 2**-1074 in the subnormal
+    # range (reduced precision)
+    shift = e - 52 if e >= -1022 else -1074
+    if shift >= 0:
+        num, den = n, d << shift
+    else:
+        num, den = n << -shift, d
+    m, rem = divmod(num, den)
+    twice = 2 * rem
+    if twice > den or (twice == den and m & 1):
+        m += 1
+    try:
+        v = math.ldexp(float(m), shift)
+    except OverflowError:
+        v = math.inf
+    if math.isinf(v):
+        return -math.inf if neg else math.inf
+    return -v if neg else v
+
+
+def _rn(q: Fraction) -> float:
+    return round_frac_to_double(q)
+
+
+def _progression(exponents: Sequence[int]) -> tuple[int, int] | None:
+    """(start, stride) when the exponents are an arithmetic progression.
+
+    Re-derived from the documented runtime contract (a single exponent
+    counts as stride 1); returns None for irregular sets.
+    """
+    exps = list(exponents)
+    if not exps or sorted(exps) != exps or len(set(exps)) != len(exps):
+        return None
+    if len(exps) == 1:
+        return exps[0], 1
+    stride = exps[1] - exps[0]
+    if stride <= 0:
+        return None
+    for a, b in zip(exps, exps[1:]):
+        if b - a != stride:
+            return None
+    return exps[0], stride
+
+
+def _pow_emulated(r: float, e: int) -> float:
+    """``r**e`` by repeated double multiplication, exactly as the runtime.
+
+    ``e == 0`` follows the runtime's ``r*0 + 1.0`` spelling, which is
+    exactly 1.0 for every finite r.
+    """
+    if e == 0:
+        return 1.0
+    acc = r
+    for _ in range(e - 1):
+        if not math.isfinite(acc):
+            return acc
+        acc = _rn(Fraction(acc) * Fraction(r))
+    return acc
+
+
+def emulate_poly(exponents: Sequence[int], coefficients: Sequence[float],
+                 r: float) -> float:
+    """The runtime's double-precision Horner evaluation, emulated exactly.
+
+    Every double operation of the runtime order is performed as an exact
+    rational operation followed by one round-to-double; the result is
+    therefore bit-identical to what the shipped library computes.
+    Returns a non-finite value when any intermediate overflows.
+    """
+    cs = list(coefficients)
+    struct_ = _progression(exponents)
+    if struct_ is None:
+        # irregular fallback: left-to-right accumulation from 0.0
+        acc = 0.0
+        for c, e in zip(cs, exponents):
+            p = _pow_emulated(r, e)
+            if not math.isfinite(p):
+                return p
+            t = _rn(Fraction(c) * Fraction(p))
+            if not math.isfinite(t):
+                return t
+            acc = _rn(Fraction(acc) + Fraction(t))
+            if not math.isfinite(acc):
+                return acc
+        return acc
+    start, stride = struct_
+    acc = cs[-1]
+    if len(cs) > 1:
+        u = _pow_emulated(r, stride)
+        if not math.isfinite(u):
+            return u
+        for c in reversed(cs[:-1]):
+            acc = _rn(Fraction(acc) * Fraction(u))
+            if not math.isfinite(acc):
+                return acc
+            acc = _rn(Fraction(acc) + Fraction(c))
+            if not math.isfinite(acc):
+                return acc
+    if start:
+        p = _pow_emulated(r, start)
+        if not math.isfinite(p):
+            return p
+        acc = _rn(Fraction(acc) * Fraction(p))
+    return acc
+
+
+def _slot_index(r: float, shift: int, index_bits: int) -> int:
+    return (_bits(r) >> shift) & ((1 << index_bits) - 1)
+
+
+class _Reporter:
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def err(self, rule: str, message: str, hint: str = "") -> None:
+        self.findings.append(
+            Finding(self.path, 1, 0, rule, Severity.ERROR, message, hint))
+
+
+def _poly_exact(exponents: Sequence[int], coeffs: Sequence[Fraction],
+                r: Fraction) -> Fraction:
+    return sum((c * r ** e for c, e in zip(coeffs, exponents)), Fraction(0))
+
+
+def _check_witness(rep: _Reporter, where: str, wit: dict[str, Any],
+                   points: list[dict[str, Any]],
+                   exponents: Sequence[int]) -> None:
+    """Re-check the LP vertex witness by direct substitution.
+
+    Primal failures report CE306, dual/optimality failures CE307.  The
+    LP is the margin formulation over the witness rows: maximize delta
+    with P(r_i) in [lo_i + delta*w_i, hi_i - delta*w_i] and delta <= 1,
+    where w_i is the interval half-width.
+    """
+    rows = wit["rows"]
+    delta = frac_from_str(wit["delta"])
+    coeffs = [frac_from_str(s) for s in wit["coeffs"]]
+    y_lo = [frac_from_str(s) for s in wit["duals_lo"]]
+    y_hi = [frac_from_str(s) for s in wit["duals_hi"]]
+    y_cap = frac_from_str(wit["dual_cap"])
+    if len(coeffs) != len(exponents):
+        rep.err("CE306", f"{where}: witness has {len(coeffs)} coefficients "
+                         f"for {len(exponents)} exponents")
+        return
+
+    rfs, los, his, ws = [], [], [], []
+    for i in rows:
+        pt = points[i]
+        rfs.append(Fraction(hex_to_float(pt["r"])))
+        lo = frac_from_str(pt["lo"])
+        hi = frac_from_str(pt["hi"])
+        los.append(lo)
+        his.append(hi)
+        ws.append((hi - lo) / 2)
+
+    # primal feasibility of the witness polynomial at margin delta
+    if delta < 0 or delta > 1:
+        rep.err("CE306", f"{where}: witness margin {delta} outside [0, 1]")
+        return
+    for i, (rf, lo, hi, w) in enumerate(zip(rfs, los, his, ws)):
+        p = _poly_exact(exponents, coeffs, rf)
+        if p < lo + delta * w or p > hi - delta * w:
+            rep.err("CE306",
+                    f"{where}: witness polynomial violates row {rows[i]} "
+                    f"at margin {delta}")
+            return
+
+    # dual feasibility: nonnegative multipliers ...
+    if y_cap < 0 or any(y < 0 for y in y_lo) or any(y < 0 for y in y_hi):
+        rep.err("CE307", f"{where}: negative dual multiplier")
+        return
+    # ... each free coefficient column prices to zero ...
+    for e in exponents:
+        if sum((yu - yl) * rf ** e
+               for yl, yu, rf in zip(y_lo, y_hi, rfs)) != 0:
+            rep.err("CE307",
+                    f"{where}: dual equality fails for exponent {e}")
+            return
+    # ... and the free delta column prices to its unit cost
+    if sum((yl + yu) * w for yl, yu, w in zip(y_lo, y_hi, ws)) + y_cap != 1:
+        rep.err("CE307", f"{where}: dual equality fails for the margin "
+                         "column")
+        return
+    # strong duality: the dual objective must equal the primal margin —
+    # any widening of an active interval breaks this identity
+    dual_obj = sum(hi * yu - lo * yl
+                   for lo, hi, yl, yu in zip(los, his, y_lo, y_hi)) + y_cap
+    if dual_obj != delta:
+        rep.err("CE307",
+                f"{where}: strong duality fails (dual objective {dual_obj} "
+                f"!= margin {delta}) — an active interval endpoint does "
+                "not match the witness")
+
+
+def _check_slot(rep: _Reporter, where: str, slot: dict[str, Any],
+                data_poly: tuple, side: str, shift: int,
+                index_bits: int) -> None:
+    exps, coeffs = data_poly
+    # CE303: certificate <-> DATA identity, bit for bit
+    if list(slot["exponents"]) != list(exps):
+        rep.err("CE303",
+                f"{where}: exponents {slot['exponents']} disagree with "
+                f"DATA {list(exps)}",
+                hint="re-emit the certificate after regenerating")
+        return
+    cert_coeffs = [hex_to_float(s) for s in slot["coefficients"]]
+    for j, (cc, dc) in enumerate(zip(cert_coeffs, coeffs)):
+        if type(dc) is not float or _bits(cc) != _bits(dc):
+            rep.err("CE303",
+                    f"{where}: coefficient [{j}] {cc!r} disagrees with "
+                    f"DATA {dc!r}",
+                    hint="the shipped table changed after certification; "
+                         "re-emit the certificate")
+            return
+    if len(cert_coeffs) != len(coeffs):
+        rep.err("CE303", f"{where}: {len(cert_coeffs)} coefficients vs "
+                         f"{len(coeffs)} in DATA")
+        return
+    if slot["status"] != "certified":
+        return
+
+    points = slot["points"]
+    for i, pt in enumerate(points):
+        pw = f"{where}.points[{i}]"
+        r = hex_to_float(pt["r"])
+        lo = frac_from_str(pt["lo"])
+        hi = frac_from_str(pt["hi"])
+        # CE304: the point must be a valid member of this sub-domain
+        if lo > hi:
+            rep.err("CE304", f"{pw}: empty interval (lo > hi)")
+            continue
+        if (side == "neg") != (r < 0.0):
+            rep.err("CE304", f"{pw}: r={r!r} is on the wrong sign side")
+            continue
+        if _slot_index(r, shift, index_bits) != slot["index"]:
+            rep.err("CE304",
+                    f"{pw}: r={r!r} indexes sub-domain "
+                    f"{_slot_index(r, shift, index_bits)}, not "
+                    f"{slot['index']}")
+            continue
+        # CE305: the emulated runtime evaluation must land in [lo, hi]
+        v = emulate_poly(exps, cert_coeffs, r)
+        if not math.isfinite(v) or not lo <= Fraction(v) <= hi:
+            rep.err("CE305",
+                    f"{pw}: emulated Horner evaluation {v!r} outside the "
+                    f"rounding interval [{pt['lo']}, {pt['hi']}] at "
+                    f"r={r!r}")
+
+    _check_witness(rep, f"{where}.witness", slot["witness"], points, exps)
+
+
+def verify_certificate(cert: Any, data: Any, cert_path: str) -> list[Finding]:
+    """All findings from checking one certificate against its ``DATA``.
+
+    ``cert`` is the parsed certificate (or None for a missing file —
+    the caller reports CE301 itself when loading fails, this accepts
+    only parsed dicts), ``data`` the frozen module's ``DATA`` dict,
+    ``cert_path`` the repo-relative path used in findings.
+    """
+    rep = _Reporter(cert_path)
+
+    for msg in schema_errors(cert):
+        rep.err("CE302", msg)
+    if rep.findings:
+        return sort_findings(rep.findings)
+
+    if not isinstance(data, dict) or "approx" not in data:
+        rep.err("CE303", "frozen DATA is missing or malformed; nothing to "
+                         "certify against")
+        return sort_findings(rep.findings)
+    if cert["function"] != data.get("function") \
+            or cert["target"] != data.get("target"):
+        rep.err("CE303",
+                f"certificate is for {cert['function']!r}/"
+                f"{cert['target']!r} but DATA is for "
+                f"{data.get('function')!r}/{data.get('target')!r}")
+        return sort_findings(rep.findings)
+
+    # table coverage, both directions
+    data_tables: dict[str, dict] = {}
+    for fn, sides in data["approx"].items():
+        for side in ("neg", "pos"):
+            if sides.get(side) is not None:
+                data_tables[table_key(fn, side)] = sides[side]
+    for key in sorted(set(data_tables) - set(cert["tables"])):
+        rep.err("CE308", f"DATA table {key!r} has no certificate entry",
+                hint="re-run certificate emission")
+    for key in sorted(set(cert["tables"]) - set(data_tables)):
+        rep.err("CE303", f"certificate table {key!r} does not exist in "
+                         "DATA")
+
+    for key in sorted(set(cert["tables"]) & set(data_tables)):
+        table = cert["tables"][key]
+        dt = data_tables[key]
+        where = f"tables[{key!r}]"
+        bits, shift = table["index_bits"], table["shift"]
+        if bits != dt.get("index_bits") or shift != dt.get("shift"):
+            rep.err("CE303",
+                    f"{where}: geometry (index_bits={bits}, shift={shift}) "
+                    f"disagrees with DATA (index_bits="
+                    f"{dt.get('index_bits')}, shift={dt.get('shift')})")
+            continue
+        polys = dt.get("polys", [])
+        by_index = {s["index"]: s for s in table["slots"]}
+        for idx in range(1 << bits):
+            if idx >= len(polys):
+                break  # slot count mismatch is tablecheck's TC203
+            slot = by_index.get(idx)
+            if slot is None:
+                rep.err("CE308",
+                        f"{where}: sub-domain {idx} has no certificate "
+                        "entry",
+                        hint="a dropped slot leaves part of the reduced "
+                             "domain uncertified; re-emit")
+                continue
+            _check_slot(rep, f"{where}.slots[index={idx}]", slot,
+                        polys[idx], table["side"], shift, bits)
+
+    return sort_findings(rep.findings)

@@ -19,7 +19,8 @@ from repro.analysis import baseline as baseline_mod
 from repro.analysis import fplint, tablecheck
 from repro.analysis.findings import Finding, sort_findings
 
-__all__ = ["add_arguments", "run", "main"]
+__all__ = ["add_arguments", "run", "main",
+           "add_certify_arguments", "run_certify", "certify_main"]
 
 
 def find_root(start: Path | None = None) -> Path:
@@ -51,6 +52,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="report baselined findings too")
     parser.add_argument("--write-baseline", action="store_true",
                         help="grandfather the current findings and exit")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="delete stale baseline entries (entries no "
+                             "current finding matches) and exit")
+    parser.add_argument("--fail-stale", action="store_true",
+                        help="exit non-zero when the baseline holds stale "
+                             "entries (the CI gate sets this)")
+    parser.add_argument("--fix", action="store_true",
+                        help="auto-apply the mechanical fix-it hints "
+                             f"({', '.join(fplint.FIXABLE)}) and exit")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="with --fix: print the unified diff instead "
+                             "of rewriting files")
     parser.add_argument("--no-tablecheck", action="store_true",
                         help="skip the frozen-table verifier")
     parser.add_argument("--no-fplint", action="store_true",
@@ -101,6 +114,23 @@ def run(args: argparse.Namespace) -> int:
         print(f"lint: cannot locate repo root: {e}", file=sys.stderr)
         return 2
 
+    if args.fix:
+        paths = [Path(p) for p in args.paths] or None
+        try:
+            fixed, diffs = fplint.fix_paths(paths, root,
+                                            dry_run=args.dry_run)
+        except (OSError, ValueError, SyntaxError) as e:
+            print(f"lint: --fix failed: {e}", file=sys.stderr)
+            return 2
+        if args.dry_run:
+            for rel in sorted(diffs):
+                print(diffs[rel], end="")
+        verb = "would fix" if args.dry_run else "fixed"
+        print(f"lint: {verb} {len(fixed)} finding"
+              f"{'s' if len(fixed) != 1 else ''} in {len(diffs)} file"
+              f"{'s' if len(diffs) != 1 else ''}")
+        return 0
+
     findings: list[Finding] = []
     if not args.no_fplint:
         paths = [Path(p) for p in args.paths] or None
@@ -129,6 +159,11 @@ def run(args: argparse.Namespace) -> int:
         n = baseline_mod.write_baseline(baseline_path, findings)
         print(f"baseline written: {baseline_path} ({n} entries)")
         return 0
+    if args.prune_baseline:
+        kept, pruned = baseline_mod.prune_baseline(baseline_path, findings)
+        print(f"baseline pruned: {baseline_path} ({pruned} stale "
+              f"entr{'ies' if pruned != 1 else 'y'} removed, {kept} kept)")
+        return 0
 
     stale: list[str] = []
     baselined = 0
@@ -150,7 +185,13 @@ def run(args: argparse.Namespace) -> int:
         }, indent=2))
     else:
         print(_render_text(findings, stale, n_modules, elapsed, baselined))
-    return 1 if findings else 0
+    if findings:
+        return 1
+    if stale and args.fail_stale:
+        print("lint: stale baseline entries remain; run "
+              "--prune-baseline to drop them", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -162,3 +203,136 @@ def main(argv: list[str] | None = None) -> int:
 
 if __name__ == "__main__":
     sys.exit(main())
+
+
+# ---------------------------------------------------------------------------
+# ``python -m repro certify`` — proof-carrying tables
+# ---------------------------------------------------------------------------
+
+def add_certify_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--check", action="store_true",
+                        help="verify shipped certificates against their "
+                             "data modules (the default action)")
+    parser.add_argument("--emit", action="store_true",
+                        help="(re)emit certificates for the shipped data "
+                             "modules — oracle-backed, slow")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="FN",
+                        help="restrict to one function (repeatable), "
+                             "e.g. --only exp2")
+    parser.add_argument("--table", action="append", default=[],
+                        metavar="FILE",
+                        help="extra data-module file to check against its "
+                             "sibling certificate (repeatable)")
+    parser.add_argument("--sweep", type=int, default=30_000,
+                        help="emission sweep size per module "
+                             "(default: 30000)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=baseline_mod.DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {baseline_mod.DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--root", help="repo root (default: auto-detected)")
+
+
+def _render_certify_text(findings: list[Finding], stale: list[str],
+                         n_modules: int, elapsed: float,
+                         baselined: int) -> str:
+    from repro.analysis.certify.verify import CODES
+    from repro.obs.report import format_table
+
+    out = [f.render() for f in findings]
+    if findings:
+        out.append("")
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        rows = [[rule, by_rule[rule], "error",
+                 CODES.get(rule, "certificate invariant")]
+                for rule in sorted(by_rule)]
+        out.append(format_table(["rule", "count", "severity", "summary"],
+                                rows, aligns="lrll"))
+    for key in stale:
+        out.append(f"stale baseline entry (already fixed): {key}")
+    verdict = "clean" if not findings else \
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    extra = f", {baselined} baselined" if baselined else ""
+    out.append(f"certify: {verdict} ({n_modules} data modules "
+               f"checked{extra}, {elapsed:.2f}s)")
+    return "\n".join(out)
+
+
+def run_certify(args: argparse.Namespace) -> int:
+    from repro.analysis.certify import runner
+
+    t0 = time.perf_counter()
+    try:
+        root = Path(args.root).resolve() if args.root else find_root()
+    except Exception as e:
+        print(f"certify: cannot locate repo root: {e}", file=sys.stderr)
+        return 2
+
+    if args.emit and args.check:
+        print("certify: --emit and --check are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.emit:
+        try:
+            n = runner.emit_all(only=tuple(args.only), sweep=args.sweep)
+        except Exception as e:
+            print(f"certify: emission failed: {e}", file=sys.stderr)
+            return 2
+        print(f"certify: emitted {n} certificates "
+              f"({time.perf_counter() - t0:.1f}s)")
+        return 0
+
+    n_modules, findings = runner.check_all(extra_paths=tuple(args.table),
+                                           only=tuple(args.only))
+    # report certificate paths relative to the repo root
+    rel_findings = []
+    for f in findings:
+        try:
+            rel = Path(f.path).resolve().relative_to(root).as_posix()
+            f = Finding(rel, f.line, f.col, f.rule, f.severity,
+                        f.message, f.hint)
+        except ValueError:
+            pass
+        rel_findings.append(f)
+    findings = sort_findings(rel_findings)
+
+    stale: list[str] = []
+    baselined = 0
+    if not args.no_baseline:
+        known = baseline_mod.load_baseline(root / args.baseline)
+        total = len(findings)
+        findings, stale = baseline_mod.apply_baseline(
+            findings, {k: v for k, v in known.items()
+                       if ":CE3" in k})
+        baselined = total - len(findings)
+
+    elapsed = time.perf_counter() - t0
+    if args.fmt == "json":
+        print(json.dumps({
+            "ok": not findings,
+            "findings": [f.to_dict() for f in findings],
+            "baselined": baselined,
+            "data_modules_checked": n_modules,
+            "elapsed_s": round(elapsed, 3),
+        }, indent=2))
+    else:
+        print(_render_certify_text(findings, stale, n_modules, elapsed,
+                                   baselined))
+    return 1 if findings else 0
+
+
+def certify_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-certify",
+        description="verify (or emit) the proof-carrying certificates "
+                    "accompanying the shipped coefficient tables")
+    add_certify_arguments(parser)
+    return run_certify(parser.parse_args(argv))

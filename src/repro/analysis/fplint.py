@@ -50,8 +50,8 @@ from typing import Callable, Iterable, Sequence
 
 from repro.analysis.findings import Finding, Severity, sort_findings
 
-__all__ = ["Rule", "RULES", "DEFAULT_ROOTS", "lint_source", "lint_file",
-           "lint_paths"]
+__all__ = ["Rule", "RULES", "DEFAULT_ROOTS", "FIXABLE", "lint_source",
+           "lint_file", "lint_paths", "apply_fixes", "fix_paths"]
 
 #: Roots (repo-relative) that ``lint_paths`` walks by default.
 DEFAULT_ROOTS = ("src/repro", "tools")
@@ -535,3 +535,103 @@ def lint_paths(paths: Sequence[str | os.PathLike] | None = None,
     for f in _iter_py([Path(p) for p in paths]):
         out.extend(lint_file(f, rootp))
     return sort_findings(out)
+
+
+# --------------------------------------------------------------------------
+# --fix: mechanical application of fix-it hints
+
+
+#: Rules whose hints are mechanical enough to auto-apply.
+FIXABLE = ("FP103", "FP108")
+
+
+def apply_fixes(src: str, path: str) -> tuple[str, list[Finding]]:
+    """Apply the fix-it hints for :data:`FIXABLE` findings in one module.
+
+    Returns ``(new source, findings fixed)``.  Only findings the linter
+    would actually report are touched (suppressed and baselined-out
+    call sites are the caller's concern — this operates pre-baseline,
+    like the linter itself).  Fixes are purely mechanical:
+
+    * FP103 — rewrite the float literal as ``repr(value)``, the shortest
+      decimal that round-trips to the same double.  Literals that
+      overflow to infinity have no repr form and are left alone.
+    * FP108 — insert ``from __future__ import annotations`` directly
+      after the module docstring (or at the top when there is none).
+    """
+    findings = [f for f in lint_source(src, path) if f.rule in FIXABLE]
+    if not findings:
+        return src, []
+    lines = src.splitlines()
+    tree = ast.parse(src)
+
+    fixed: list[Finding] = []
+    locs = {(f.line, f.col): f for f in findings if f.rule == "FP103"}
+    edits: list[tuple[int, int, int, str]] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Constant)
+                and isinstance(node.value, float)):
+            continue
+        f = locs.get((node.lineno, node.col_offset))
+        if f is None or node.lineno != getattr(node, "end_lineno",
+                                               node.lineno) \
+                or not math.isfinite(node.value):
+            continue
+        edits.append((node.lineno, node.col_offset, node.end_col_offset,
+                      repr(node.value)))
+        fixed.append(f)
+    # bottom-up, right-to-left so earlier spans keep their offsets
+    for lineno, col, end, rep in sorted(edits, reverse=True):
+        line = lines[lineno - 1]
+        lines[lineno - 1] = line[:col] + rep + line[end:]
+
+    fp108 = next((f for f in findings if f.rule == "FP108"), None)
+    if fp108 is not None:
+        doc = tree.body[0] if (tree.body
+                               and isinstance(tree.body[0], ast.Expr)
+                               and isinstance(tree.body[0].value,
+                                              ast.Constant)
+                               and isinstance(tree.body[0].value.value,
+                                              str)) else None
+        if doc is not None:
+            at = doc.end_lineno
+            lines[at:at] = ["", "from __future__ import annotations"]
+        else:
+            lines[0:0] = ["from __future__ import annotations", ""]
+        fixed.append(fp108)
+
+    out = "\n".join(lines)
+    if src.endswith("\n"):
+        out += "\n"
+    return out, sort_findings(fixed)
+
+
+def fix_paths(paths: Sequence[str | os.PathLike] | None = None,
+              root: str | os.PathLike = ".", *, dry_run: bool = False) \
+        -> tuple[list[Finding], dict[str, str]]:
+    """Apply :func:`apply_fixes` across files/directories.
+
+    Returns ``(findings fixed, {repo-relative path: unified diff})``.
+    With ``dry_run`` nothing is written; otherwise every fixed file is
+    rewritten in place.
+    """
+    import difflib
+
+    rootp = Path(root).resolve()
+    if paths is None:
+        paths = [rootp / r for r in DEFAULT_ROOTS]
+    all_fixed: list[Finding] = []
+    diffs: dict[str, str] = {}
+    for p in _iter_py([Path(q) for q in paths]):
+        rel = p.resolve().relative_to(rootp).as_posix()
+        src = p.read_text(encoding="utf-8")
+        new, fixed = apply_fixes(src, rel)
+        if not fixed or new == src:
+            continue
+        all_fixed.extend(fixed)
+        diffs[rel] = "".join(difflib.unified_diff(
+            src.splitlines(keepends=True), new.splitlines(keepends=True),
+            fromfile=f"a/{rel}", tofile=f"b/{rel}"))
+        if not dry_run:
+            p.write_text(new, encoding="utf-8")
+    return sort_findings(all_fixed), diffs

@@ -31,6 +31,13 @@ Invariants checked (rule codes TC2xx)
 * TC207 — stats: the GenStats counters present, numeric, non-negative.
 * TC208 — reconstruction: ``serialize.function_from_dict`` rebuilds a
   runnable object from the frozen dict.
+* TC209 — sub-domain contiguity: within one module and sign, every
+  reduced function indexes the *same* reduced input, so all their index
+  fields must end at the same bit (``shift + index_bits`` equal across
+  tables — adjacent sub-domain bounds then meet exactly at one common
+  bit boundary, leaving no gap and no overlap), and an index field of a
+  sign-split table must never reach the sign bit
+  (``shift + index_bits <= 63`` when ``index_bits >= 1``).
 """
 
 from __future__ import annotations
@@ -136,6 +143,41 @@ def _check_piecewise(c: _Checker, where: str, pp: Any) -> None:
             _check_float(c, "TC205", f"{pw}.c[{j}]", coeff)
 
 
+def _check_contiguity(c: _Checker, approx: dict) -> None:
+    """TC209: per sign, the sub-domain fields of all tables meet exactly."""
+    for side in ("neg", "pos"):
+        tops: dict[str, int] = {}
+        for name in sorted(approx):
+            sides = approx[name]
+            if not isinstance(sides, dict):
+                continue
+            pp = sides.get(side)
+            if not isinstance(pp, dict):
+                continue
+            bits, shift = pp.get("index_bits"), pp.get("shift")
+            if type(bits) is not int or type(shift) is not int \
+                    or bits < 0 or shift < 0:
+                continue  # malformed geometry is TC203's report
+            top = shift + bits
+            if bits >= 1 and top > 63:
+                c.err("TC209",
+                      f"approx[{name!r}].{side}: index field (shift="
+                      f"{shift}, index_bits={bits}) reaches the sign bit; "
+                      "sub-domains would straddle the neg/pos split",
+                      hint="same-sign tables must index below bit 63")
+            tops[name] = top
+        if len(set(tops.values())) > 1:
+            detail = ", ".join(f"{n}: ends at bit {t}"
+                               for n, t in sorted(tops.items()))
+            c.err("TC209",
+                  f"{side} sub-domain tables are not contiguous across "
+                  f"reduced functions: index fields end at different bits "
+                  f"({detail})",
+                  hint="every reduced function indexes the same reduced "
+                       "input; adjacent sub-domain bounds must meet at "
+                       "one common bit boundary (equal shift+index_bits)")
+
+
 def _check_rr_state_value(c: _Checker, where: str, v: Any) -> None:
     if isinstance(v, (tuple, list)):
         for i, item in enumerate(v):
@@ -199,6 +241,7 @@ def check_data(data: Any, path: str,
             c.err("TC203", f"approx[{name!r}]: both sides absent")
         for side in ("neg", "pos"):
             _check_piecewise(c, f"approx[{name!r}].{side}", sides[side])
+    _check_contiguity(c, approx)
 
     st = data["rr_state"]
     if not isinstance(st, dict):

@@ -189,13 +189,19 @@ def gen_polynomial(
     *,
     warm: CEGWarmState | None = None,
     warm_key: tuple | None = None,
+    capture: dict | None = None,
+    capture_key: tuple | None = None,
 ) -> Polynomial | CEGFailure:
     """Find a polynomial satisfying every constraint, or explain failure.
 
     ``constraints`` must be sorted by reduced input (callers get this from
     :func:`repro.core.reduced.reduced_intervals`).  When ``warm`` and
     ``warm_key`` are given, the initial sample is seeded from (and the
-    final sample recorded into) the warm state for that key.
+    final sample recorded into) the warm state for that key.  When
+    ``capture`` is given, the final accepted sample — the exact constraint
+    set that pinned the LP solution — is stored under ``capture_key`` with
+    its *original* (unrefined) rounding intervals, for certificate
+    emission.
     """
     cfg = cfg or CEGConfig()
     exponents = tuple(exponents)
@@ -203,7 +209,8 @@ def gen_polynomial(
         return Polynomial(exponents, (0.0,) * len(exponents))
 
     result = _gen_polynomial(constraints, exponents, cfg,
-                             warm=warm, warm_key=warm_key)
+                             warm=warm, warm_key=warm_key,
+                             capture=capture, capture_key=capture_key)
     if isinstance(result, CEGFailure):
         _C_FAILURES.inc()
         _H_SAMPLE.observe(result.sample_size)
@@ -223,6 +230,8 @@ def _gen_polynomial(
     cfg: CEGConfig,
     warm: CEGWarmState | None = None,
     warm_key: tuple | None = None,
+    capture: dict | None = None,
+    capture_key: tuple | None = None,
 ) -> tuple[Polynomial, int] | CEGFailure:
     """The CEG loop proper; returns (poly, final sample size) or failure."""
     _C_CALLS.inc()
@@ -282,6 +291,8 @@ def _gen_polynomial(
     assert poly is not None
     if warm is not None and warm_key is not None:
         warm.record(warm_key, sample)
+    if capture is not None and capture_key is not None:
+        capture[capture_key] = tuple(sample)
     if cfg.lower_degree and len(exponents) > 1:
         for nterms in range(1, len(exponents)):
             shorter = _fit_rounded(sample, exponents[:nterms], cfg)

@@ -155,13 +155,17 @@ def generate(
     inputs: Iterable[float],
     oracle: Oracle = default_oracle,
     warm: CEGWarmState | None = None,
+    capture: dict | None = None,
 ) -> GeneratedFunction:
     """Run the full pipeline for ``spec`` over the given inputs.
 
     ``inputs`` are doubles that are exact values of the target format
     (from :mod:`repro.core.sampling`).  ``warm`` optionally carries CEG
     state across repeated generations of the same spec (the
-    validate-and-repair loop).  Raises
+    validate-and-repair loop).  ``capture`` optionally collects every
+    generated sub-domain's final LP-pinning constraint sample, keyed
+    ``("<fn>:<side>", group_index)`` — the raw material for certificate
+    emission (:mod:`repro.analysis.certify`).  Raises
     :class:`~repro.rangereduction.base.RangeReductionError` when output
     compensation cannot reach a rounding interval and
     :class:`GenerationError` when polynomial generation fails within the
@@ -200,7 +204,7 @@ def generate(
                 af = gen_approx_func(fn_name, rset.constraints[fn_name],
                                      rr.exponents_for(fn_name),
                                      spec.piecewise, label=fn_name,
-                                     warm=warm)
+                                     warm=warm, capture=capture)
                 if af is None:
                     raise GenerationError(
                         f"{spec.name}/{fn_name}: no piecewise polynomial "

@@ -120,13 +120,17 @@ def gen_piecewise(
     label: str = "",
     warm: CEGWarmState | None = None,
     warm_label: str | None = None,
+    capture: dict | None = None,
 ) -> PiecewisePolynomial | None:
     """GenApproxHelper + GenPiecewise for one sign of reduced inputs.
 
     ``label`` tags trace events with the reduced function being
     approximated; it does not affect generation.  Warm-state keys use
     ``warm_label`` (default ``label``), so callers passing ``warm`` must
-    keep it unique per reduced function and sign.
+    keep it unique per reduced function and sign.  When ``capture`` is
+    given, each generated sub-domain's final LP-pinning sample is stored
+    under ``(warm_label, group_index)`` — only for the split that
+    succeeded, never for abandoned attempts.
     """
     cfg = cfg or PiecewiseConfig()
     ceg = cfg.ceg or CEGConfig()
@@ -138,6 +142,7 @@ def gen_piecewise(
             # the domain has no more pattern bits to split on
             n = split.index_bits
         _C_SPLIT_ATTEMPTS.inc()
+        attempt: dict | None = {} if capture is not None else None
         polys: list[Polynomial | None] = []
         ok = True
         for group_idx, group in enumerate(split.groups):
@@ -146,7 +151,8 @@ def gen_piecewise(
                 continue
             result = gen_polynomial(
                 group, exponents, ceg, warm=warm,
-                warm_key=(wlabel, split.index_bits, group_idx))
+                warm_key=(wlabel, split.index_bits, group_idx),
+                capture=attempt, capture_key=(wlabel, group_idx))
             if isinstance(result, CEGFailure):
                 ok = False
                 break
@@ -155,6 +161,13 @@ def gen_piecewise(
               groups=len(split.groups),
               populated=sum(1 for g in split.groups if g), ok=ok)
         if ok:
+            if capture is not None and attempt is not None:
+                # replace this side's entries wholesale so re-generation
+                # (the validate-and-repair loop) never leaves slots from
+                # an earlier, differently-split round behind
+                for key in [k for k in capture if k[0] == wlabel]:
+                    del capture[key]
+                capture.update(attempt)
             _H_INDEX_BITS.observe(split.index_bits)
             return PiecewisePolynomial(split.index_bits, split.shift,
                                        tuple(_fill_gaps(polys)))
@@ -222,6 +235,7 @@ def gen_approx_func(
     cfg: PiecewiseConfig | None = None,
     label: str = "",
     warm: CEGWarmState | None = None,
+    capture: dict | None = None,
 ) -> ApproxFunc | None:
     """GenApproxFunc: split by sign, then generate piecewise polynomials."""
     label = label or name
@@ -232,14 +246,16 @@ def gen_approx_func(
         with span("approxfunc", reduced_fn=label, sign="neg",
                   constraints=len(neg)):
             neg_pp = gen_piecewise(neg, exponents, cfg, label=label,
-                                   warm=warm, warm_label=f"{label}:neg")
+                                   warm=warm, warm_label=f"{label}:neg",
+                                   capture=capture)
         if neg_pp is None:
             return None
     if pos:
         with span("approxfunc", reduced_fn=label, sign="pos",
                   constraints=len(pos)):
             pos_pp = gen_piecewise(pos, exponents, cfg, label=label,
-                                   warm=warm, warm_label=f"{label}:pos")
+                                   warm=warm, warm_label=f"{label}:pos",
+                                   capture=capture)
         if pos_pp is None:
             return None
     return ApproxFunc(name, neg_pp, pos_pp)

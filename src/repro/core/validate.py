@@ -140,6 +140,7 @@ def generate_validated(
     max_rounds: int = 4,
     clean_rounds: int = 1,
     workers: int | str | None = None,
+    capture: dict | None = None,
 ) -> tuple[GeneratedFunction, int]:
     """Outer counterexample loop for sampled (32-bit) generation.
 
@@ -154,6 +155,11 @@ def generate_validated(
     (:func:`validate`); the counterexamples fold back into ``work`` in
     serial order, so the loop's trajectory — and the final function —
     is identical for any worker count (DESIGN.md, shard-merge note).
+
+    ``capture`` optionally collects the accepted function's LP-pinning
+    samples (see :func:`repro.core.generator.generate`); each
+    regeneration round replaces the previous round's entries, so the
+    final contents describe exactly the function returned.
 
     Returns the generated function and the number of counterexamples
     that had to be folded back into the input set.  Raises if validation
@@ -174,7 +180,7 @@ def generate_validated(
     warm = CEGWarmState()
     for round_no in range(max_rounds):
         if fn is None:
-            fn = generate(spec, work, oracle, warm=warm)
+            fn = generate(spec, work, oracle, warm=warm, capture=capture)
         bad = validate(fn, factory(round_no), oracle=oracle, workers=workers)
         if not bad:
             clean += 1

@@ -27,7 +27,8 @@ from repro.core.piecewise import PiecewiseConfig
 from repro.core.sampling import boundary_values, sample_values
 from repro.core.validate import generate_validated, validate
 from repro.eval.hardcases import mine_hard_cases
-from repro.libm.serialize import function_to_dict, render_module
+from repro.libm.serialize import (function_to_dict, render_certificate,
+                                  render_module)
 from repro.obs import span
 from repro.parallel import Checkpoint, resolve_workers, run_tasks
 from repro.rangereduction.domains import boundary_centers, sampling_domain
@@ -78,12 +79,15 @@ def generate_one(
     scale: int = 1,
     log=print,
     workers: int | str | None = None,
+    capture: dict | None = None,
 ) -> tuple[GeneratedFunction, dict]:
     """Run the sampled pipeline for one function; returns (fn, extra
     stats).  ``scale`` divides every sample budget (time/quality knob);
     ``quick`` is the x8 smoke-test shortcut; ``workers`` parallelizes
     the oracle-comparison phases (validation rounds and the final
-    residual check) without changing any result."""
+    residual check) without changing any result.  ``capture`` collects
+    the accepted function's LP-pinning samples for certificate emission
+    (see :func:`repro.core.generator.generate`)."""
     cfg = settings or GEN_SETTINGS[name]
     div = 8 if quick else max(1, scale)
     rng = random.Random(seed)
@@ -123,7 +127,7 @@ def generate_one(
         fn, folded = generate_validated(spec, inputs, fresh_validation,
                                         max_rounds=cfg.rounds,
                                         clean_rounds=cfg.clean_rounds,
-                                        workers=workers)
+                                        workers=workers, capture=capture)
     log(f"[{name}] generated: {fn.stats.per_fn} "
         f"reduced={fn.stats.reduced_count} folded-back={folded} "
         f"({time.perf_counter() - t0:.0f}s)")
@@ -144,27 +148,37 @@ def generate_one(
 
 def _render_one(name: str, fmt: TargetFormat, seed: int, quick: bool,
                 scale: int, settings: GenSettings | None,
-                workers: int | str | None, log) -> str:
-    """Generate one function and render its frozen data module source."""
+                workers: int | str | None, log) -> tuple[str, str]:
+    """Generate one function; returns (module source, certificate JSON).
+
+    The certificate is built from the run's captured LP-pinning samples
+    and self-verified with the trusted checker before freeze
+    (:func:`repro.libm.serialize.render_certificate`).
+    """
+    capture: dict = {}
     fn, extra = generate_one(name, fmt, seed=seed, quick=quick,
                              settings=settings, scale=scale, log=log,
-                             workers=workers)
+                             workers=workers, capture=capture)
     data = function_to_dict(fn)
     data["stats"].update(extra)
-    return render_module(data)
+    cert_text, cstats = render_certificate(data, capture)
+    log(f"[{name}] certificate: {cstats.certified}/{cstats.slots} slots "
+        f"certified, {cstats.points} points")
+    return render_module(data), cert_text
 
 
-def _generate_one_task(payload: tuple) -> tuple[str, str]:
-    """Worker task for the per-function fan-out: (name, module source).
+def _generate_one_task(payload: tuple) -> tuple[str, str, str]:
+    """Worker task for the per-function fan-out: (name, module source,
+    certificate JSON).
 
     Runs in its own process; the inner validation stays serial (the
     pool is already one process per function) and logging goes to the
     worker's stdout with a function prefix.
     """
     name, fmt, seed, quick, scale, settings = payload
-    source = _render_one(name, fmt, seed, quick, scale, settings,
-                         workers=None, log=print)
-    return name, source
+    source, cert = _render_one(name, fmt, seed, quick, scale, settings,
+                               workers=None, log=print)
+    return name, source, cert
 
 
 def generate_library(
@@ -213,11 +227,13 @@ def generate_library(
         })
 
     sources: dict[str, str] = {}
+    certs: dict[str, str | None] = {}
     pending: list[str] = []
     for name in names:
         saved = ckpt.load(name) if ckpt is not None else None
         if saved is not None:
             sources[name] = saved["source"]
+            certs[name] = saved.get("cert")
             log(f"[{name}] resumed from checkpoint")
         else:
             pending.append(name)
@@ -227,23 +243,27 @@ def generate_library(
         payloads = [(name, fmt, seed, quick, scale, settings)
                     for name in pending]
 
-        def _save(index: int, result: tuple[str, str]) -> None:
-            name, source = result
+        def _save(index: int, result: tuple[str, str, str]) -> None:
+            name, source, cert = result
             sources[name] = source
+            certs[name] = cert
             if ckpt is not None:
-                ckpt.save(name, {"source": source})
+                ckpt.save(name, {"source": source, "cert": cert})
 
         run_tasks(_generate_one_task, payloads, workers=n_workers,
                   label="genlib", on_result=_save)
     else:
         for name in pending:
-            source = _render_one(name, fmt, seed, quick, scale, settings,
-                                 workers=workers, log=log)
+            source, cert = _render_one(name, fmt, seed, quick, scale,
+                                       settings, workers=workers, log=log)
             sources[name] = source
+            certs[name] = cert
             if ckpt is not None:
-                ckpt.save(name, {"source": source})
+                ckpt.save(name, {"source": source, "cert": cert})
 
     for name in names:
         path = out_dir / f"{name}.py"
         path.write_text(sources[name])
+        if certs.get(name) is not None:
+            (out_dir / f"{name}.cert.json").write_text(certs[name])
         log(f"[{name}] wrote {path} ({path.stat().st_size // 1024} KB)")

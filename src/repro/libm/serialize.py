@@ -34,7 +34,7 @@ from repro.rangereduction.sinhcosh import SinhCoshReduction
 from repro.rangereduction.sinpicospi import CosPiReduction, SinPiReduction
 
 __all__ = ["function_to_dict", "function_from_dict", "render_module",
-           "TARGETS_BY_NAME"]
+           "render_certificate", "TARGETS_BY_NAME"]
 
 _RR_CLASSES: dict[str, type[RangeReduction]] = {
     "log": LogReduction,
@@ -209,3 +209,36 @@ def render_module(data: dict[str, Any]) -> str:
     )
     _verify_rendered(source, data)
     return source
+
+
+def render_certificate(data: dict[str, Any],
+                       capture: dict) -> tuple[str, Any]:
+    """Render the certificate accompanying a frozen data module.
+
+    ``capture`` is the LP-pinning sample dict collected by
+    ``generate(..., capture=...)``; the result is the JSON text to write
+    as ``<name>.cert.json`` next to the module (same stable formatting as
+    :func:`repro.analysis.certify.format.save_certificate`) plus the
+    emission stats.  The emitted certificate is verified with the trusted
+    checker before it is returned — freezing a certificate the verifier
+    rejects raises instead of shipping bad proof material.
+    """
+    import json
+
+    from repro.analysis.certify.emit import certificate_from_capture
+    from repro.analysis.certify.format import schema_errors
+    from repro.analysis.certify.verify import verify_certificate
+
+    cert, stats = certificate_from_capture(data, capture)
+    problems = schema_errors(cert)
+    if problems:
+        raise ValueError(
+            f"render_certificate: emitted certificate is malformed: "
+            f"{problems[0]}")
+    findings = verify_certificate(cert, data, "<render_certificate>")
+    if findings:
+        f = findings[0]
+        raise ValueError(
+            f"render_certificate: emitted certificate fails verification "
+            f"({f.rule}: {f.message})")
+    return json.dumps(cert, indent=1, sort_keys=True) + "\n", stats

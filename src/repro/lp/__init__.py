@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from repro.lp.rational_simplex import LPResult, LPStatus, solve_lp_exact
-from repro.lp.solver import FitResult, LinearConstraint, fit_coefficients
+from repro.lp.solver import (FitResult, LinearConstraint, LPWitness,
+                             certificate_witness, fit_coefficients)
 
 __all__ = [
     "LPResult", "LPStatus", "solve_lp_exact",
     "FitResult", "LinearConstraint", "fit_coefficients",
+    "LPWitness", "certificate_witness",
 ]

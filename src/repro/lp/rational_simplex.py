@@ -124,11 +124,14 @@ def solve_lp_exact(
     a_ub: Sequence[Sequence[Fraction]],
     b_ub: Sequence[Fraction],
     c: Sequence[Fraction],
+    max_pivots: int = 400,
 ) -> LPResult:
     """Solve max c.x s.t. a_ub x <= b_ub with free x, exactly.
 
     All inputs may be any rational-convertible numbers; computation is
-    exact throughout.
+    exact throughout.  ``max_pivots`` bounds each simplex phase; the
+    certificate-witness path raises it because a LIMIT there means no
+    certificate can be emitted.
     """
     m = len(a_ub)
     n = len(c)
@@ -185,7 +188,7 @@ def solve_lp_exact(
             if bcol in art_cols:
                 for j in range(total_cols + 1):
                     tab[-1][j] -= tab[i][j]
-        status = _simplex(tab, basis, total_cols)
+        status = _simplex(tab, basis, total_cols, max_pivots)
         if status == LPStatus.LIMIT:
             return LPResult(LPStatus.LIMIT)
         if status != LPStatus.OPTIMAL or tab[-1][-1] != 0:
@@ -211,7 +214,7 @@ def solve_lp_exact(
             factor = tab[-1][bcol]
             for j in range(total_cols + 1):
                 tab[-1][j] -= factor * tab[i][j]
-    status = _simplex(tab, basis, total_cols)
+    status = _simplex(tab, basis, total_cols, max_pivots)
     if status != LPStatus.OPTIMAL:
         return LPResult(status)
 

@@ -34,6 +34,7 @@ from repro.lp.rational_simplex import LPStatus, solve_lp_exact
 from repro.obs import enabled, event, metrics
 
 __all__ = ["LinearConstraint", "FitResult", "fit_coefficients",
+           "LPWitness", "certificate_witness",
            "use_solution_cache", "clear_solution_cache"]
 
 _C_SOLVES = metrics.counter("lp.solves")
@@ -42,6 +43,7 @@ _C_EXACT_FALLBACKS = metrics.counter("lp.exact_fallbacks")
 _C_EXACT_SOLVES = metrics.counter("lp.exact_solves")
 _C_REFINE_ROUNDS = metrics.counter("lp.refine_rounds")
 _C_MEMO_HITS = metrics.counter("lp.memo_hits")
+_C_WITNESS = metrics.counter("lp.witness_solves")
 _C_DEDUP = metrics.counter("lp.dedup_dropped")
 _H_ROWS = metrics.histogram("lp.rows")
 
@@ -398,3 +400,169 @@ def _fit_exact(
     for j, e in enumerate(exponents):
         coeffs[orig_exponents.index(e)] = float(res.x[j] / scales[j])
     return FitResult(True, coeffs, margin=float(res.x[n]), backend="exact")
+
+
+@dataclass
+class LPWitness:
+    """Exact LP vertex witness for one certified sub-domain.
+
+    The primal half says: the exact-rational polynomial with
+    ``coefficients`` attains normalized margin ``delta`` on every
+    certificate constraint.  The dual half (``duals_lo``/``duals_hi``
+    per constraint plus ``dual_cap`` for the ``delta <= 1`` row) is a
+    feasible dual solution whose objective equals ``delta`` — strong
+    duality, checkable by direct substitution, proving no larger margin
+    exists.  An independent verifier needs only Fraction arithmetic to
+    confirm all of it (see ``repro.analysis.certify.verify``).
+    """
+
+    exponents: tuple[int, ...]
+    coefficients: list[Fraction]
+    delta: Fraction
+    duals_lo: list[Fraction]
+    duals_hi: list[Fraction]
+    dual_cap: Fraction
+    #: Primal rows active at the vertex ("lo:i", "hi:i", "cap").
+    tight_rows: list[str]
+
+
+def _witness_checks(
+    constraints: Sequence[LinearConstraint],
+    exponents: Sequence[int],
+    coeffs: Sequence[Fraction],
+    delta: Fraction,
+    y_lo: Sequence[Fraction],
+    y_hi: Sequence[Fraction],
+    y_cap: Fraction,
+) -> list[str] | None:
+    """Re-derive the certificate identities by direct substitution.
+
+    Returns the list of tight primal rows on success, None on any
+    failure.  This is the same arithmetic the independent verifier
+    performs; running it at emission time guarantees we never ship a
+    witness the checker would reject.
+    """
+    rfs = [Fraction(c.r) for c in constraints]
+    los = [Fraction(c.lo) for c in constraints]
+    his = [Fraction(c.hi) for c in constraints]
+    ws = [(h - l) / 2 for l, h in zip(los, his)]
+    if delta < 0 or delta > 1:
+        return None
+    tight: list[str] = []
+    for i, (rf, lo, hi, w) in enumerate(zip(rfs, los, his, ws)):
+        p = sum(cj * rf ** e for cj, e in zip(coeffs, exponents))
+        lo_bound = lo + delta * w
+        hi_bound = hi - delta * w
+        if p < lo_bound or p > hi_bound:
+            return None
+        if p == lo_bound:
+            tight.append(f"lo:{i}")
+        if p == hi_bound:
+            tight.append(f"hi:{i}")
+    if delta == 1:
+        tight.append("cap")
+    # dual feasibility: nonnegativity ...
+    if y_cap < 0 or any(y < 0 for y in y_lo) or any(y < 0 for y in y_hi):
+        return None
+    # ... equality for every free coefficient column ...
+    for e in exponents:
+        if sum((yu - yl) * rf ** e
+               for yl, yu, rf in zip(y_lo, y_hi, rfs)) != 0:
+            return None
+    # ... and for the free delta column
+    if sum((yl + yu) * w for yl, yu, w in zip(y_lo, y_hi, ws)) + y_cap != 1:
+        return None
+    # strong duality: dual objective meets the primal margin exactly
+    dual_obj = sum(hi * yu - lo * yl
+                   for lo, hi, yl, yu in zip(los, his, y_lo, y_hi)) + y_cap
+    if dual_obj != delta:
+        return None
+    return tight
+
+
+def certificate_witness(
+    constraints: Sequence[LinearConstraint],
+    exponents: Sequence[int],
+    max_pivots: int = 4000,
+) -> LPWitness | None:
+    """Solve the margin LP exactly and package a checkable vertex witness.
+
+    Solves the primal (maximize the normalized margin ``delta``) with the
+    exact rational simplex, then solves the *dual* LP exactly to obtain
+    multipliers, and finally re-verifies primal feasibility, dual
+    feasibility and strong duality by direct Fraction substitution.
+    Returns None when no nonnegative-margin vertex exists or the pivot
+    budget runs out — the caller must then drop the offending sample or
+    ship the table uncertified, never a bogus witness.
+
+    Column scaling (``t = r/s`` as in the solve path) leaves the dual
+    solution unchanged because the coefficient columns carry zero
+    objective cost, so the returned multipliers satisfy the *unscaled*
+    identities the verifier checks.
+    """
+    m = len(constraints)
+    n = len(exponents)
+    if m == 0 or n == 0:
+        return None
+    _C_WITNESS.inc()
+    s = max((abs(Fraction(c.r)) for c in constraints),
+            default=Fraction(1)) or Fraction(1)
+    scales = [s ** e for e in exponents]
+
+    # Primal rows (scaled): lo-row then hi-row per constraint, then the
+    # delta cap.  Unlike _fit_exact there is no  -delta <= 0  row: a
+    # negative optimum then cleanly signals "margin 0 is unreachable".
+    a_ub: list[list[Fraction]] = []
+    b_ub: list[Fraction] = []
+    for c in constraints:
+        t = Fraction(c.r) / s
+        row = [t ** e for e in exponents]
+        lo, hi = Fraction(c.lo), Fraction(c.hi)
+        w = (hi - lo) / 2
+        a_ub.append([-v for v in row] + [w])
+        b_ub.append(-lo)
+        a_ub.append(list(row) + [w])
+        b_ub.append(hi)
+    a_ub.append([Fraction(0)] * n + [Fraction(1)])
+    b_ub.append(Fraction(1))
+    cost = [Fraction(0)] * n + [Fraction(1)]
+
+    res = solve_lp_exact(a_ub, b_ub, cost, max_pivots)
+    if res.status != LPStatus.OPTIMAL or res.x is None:
+        return None
+    delta = res.x[n]
+    if delta < 0:
+        return None
+    coeffs = [res.x[j] / scales[j] for j in range(n)]
+
+    # Dual LP: min b.y  s.t.  A^T y = cost, y >= 0 — posed for the
+    # max-form solver as  max -b.y  with equality pairs and -y <= 0.
+    nrows = len(a_ub)
+    da_ub: list[list[Fraction]] = []
+    db_ub: list[Fraction] = []
+    for j in range(n + 1):
+        col = [a_ub[k][j] for k in range(nrows)]
+        da_ub.append(col)
+        db_ub.append(cost[j])
+        da_ub.append([-v for v in col])
+        db_ub.append(-cost[j])
+    for k in range(nrows):
+        row = [Fraction(0)] * nrows
+        row[k] = Fraction(-1)
+        da_ub.append(row)
+        db_ub.append(Fraction(0))
+    dcost = [-v for v in b_ub]
+    dres = solve_lp_exact(da_ub, db_ub, dcost, max_pivots)
+    if dres.status != LPStatus.OPTIMAL or dres.x is None:
+        return None
+    y = dres.x
+    y_lo = [y[2 * i] for i in range(m)]
+    y_hi = [y[2 * i + 1] for i in range(m)]
+    y_cap = y[2 * m]
+
+    tight = _witness_checks(constraints, exponents, coeffs, delta,
+                            y_lo, y_hi, y_cap)
+    if tight is None:
+        return None
+    return LPWitness(tuple(exponents), coeffs, delta,
+                     y_lo, y_hi, y_cap, tight)

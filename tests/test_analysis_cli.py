@@ -103,3 +103,67 @@ def test_tools_run_lint_gate():
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     assert mod.main([]) == 0
+
+
+class TestFixCLI:
+    def _bad_literal(self, root: Path) -> Path:
+        pkg = root / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        bad = pkg / "lit.py"
+        bad.write_text("from __future__ import annotations\n"
+                       "c = 88.722839355468751\n")
+        return bad
+
+    def test_fix_dry_run_prints_diff(self, tmp_path, capsys):
+        bad = self._bad_literal(tmp_path)
+        before = bad.read_text()
+        rc = lint_main(["--root", str(tmp_path), "--fix", "--dry-run",
+                        str(bad)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert bad.read_text() == before
+        assert "+c = 88.72283935546875" in out
+        assert "would fix 1 finding in 1 file" in out
+
+    def test_fix_rewrites_and_lints_clean(self, tmp_path, capsys):
+        bad = self._bad_literal(tmp_path)
+        rc = lint_main(["--root", str(tmp_path), "--fix", str(bad)])
+        assert rc == 0
+        assert "fixed 1 finding in 1 file" in capsys.readouterr().out
+        assert lint_main(["--root", str(tmp_path), "--no-tablecheck",
+                          str(bad)]) == 0
+
+
+class TestBaselineMaintenanceCLI:
+    def test_prune_baseline_drops_stale_entries(self, tmp_path, capsys):
+        bad = _write_bad_module(tmp_path)
+        args = ["--root", str(tmp_path), "--no-tablecheck", str(bad)]
+        lint_main([*args, "--write-baseline"])
+        bad.write_text("from __future__ import annotations\n")  # fixed
+        capsys.readouterr()
+        # stale entries fail only when the gate's strict flag is on
+        assert lint_main([*args, "--fail-stale"]) == 1
+        assert "stale baseline" in capsys.readouterr().err
+        assert lint_main([*args, "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline pruned" in out and "stale" in out
+        baseline = json.loads(
+            (tmp_path / "tools" / "fplint_baseline.json").read_text())
+        assert baseline == {}
+        # once pruned, the strict gate passes again
+        assert lint_main([*args, "--fail-stale"]) == 0
+
+    def test_prune_keeps_live_entries(self, tmp_path, capsys):
+        bad = _write_bad_module(tmp_path)
+        args = ["--root", str(tmp_path), "--no-tablecheck", str(bad)]
+        lint_main([*args, "--write-baseline"])
+        capsys.readouterr()
+        assert lint_main([*args, "--prune-baseline"]) == 0
+        baseline = json.loads(
+            (tmp_path / "tools" / "fplint_baseline.json").read_text())
+        assert baseline  # still-firing findings stay grandfathered
+
+    def test_prune_baseline_unit_missing_file(self, tmp_path):
+        from repro.analysis.baseline import prune_baseline
+
+        assert prune_baseline(tmp_path / "nope.json", []) == (0, 0)

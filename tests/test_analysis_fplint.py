@@ -280,3 +280,88 @@ class TestInfrastructure:
         assert (f.rule, f.line) == ("FP105", 2)
         assert f.hint and f.path == LIBM
         assert "path" in f.to_dict() and f.key.count(":") == 2
+
+
+class TestApplyFixes:
+    """The mechanical --fix path for the FIXABLE rules (FP103, FP108)."""
+
+    def test_fp103_rewrites_to_shortest_repr(self):
+        from repro.analysis.fplint import apply_fixes
+
+        src = HEADER + "c = 88.722839355468751\nd = 0.5\n"
+        out, fixed = apply_fixes(src, CORE)
+        assert "c = 88.72283935546875\n" in out
+        assert "d = 0.5\n" in out  # already shortest: untouched
+        assert [f.rule for f in fixed] == ["FP103"]
+        # the result lints clean for the fixable rules
+        assert not [f for f in lint_source(out, CORE)
+                    if f.rule in ("FP103", "FP108")]
+
+    def test_fp103_overflowing_literal_left_alone(self):
+        from repro.analysis.fplint import apply_fixes
+
+        src = HEADER + "c = 1e999\n"
+        out, fixed = apply_fixes(src, CORE)
+        assert out == src and fixed == []
+
+    def test_fp108_inserted_after_docstring(self):
+        from repro.analysis.fplint import apply_fixes
+
+        src = '"""Doc."""\n\nx = 1\n'
+        out, fixed = apply_fixes(src, CORE)
+        assert out.splitlines()[:4] == [
+            '"""Doc."""', "", "from __future__ import annotations", ""]
+        assert [f.rule for f in fixed] == ["FP108"]
+
+    def test_fp108_inserted_at_top_without_docstring(self):
+        from repro.analysis.fplint import apply_fixes
+
+        out, fixed = apply_fixes("x = 1\n", CORE)
+        assert out.startswith("from __future__ import annotations\n")
+        assert [f.rule for f in fixed] == ["FP108"]
+
+    def test_suppressions_respected(self):
+        from repro.analysis.fplint import apply_fixes
+
+        src = HEADER + "c = 88.722839355468751  # fplint: disable=FP103\n"
+        out, fixed = apply_fixes(src, CORE)
+        assert out == src and fixed == []
+
+    def test_multiple_literals_one_line(self):
+        from repro.analysis.fplint import apply_fixes
+
+        src = HEADER + "c = (88.722839355468751, 0.1000000000000000001)\n"
+        out, fixed = apply_fixes(src, CORE)
+        assert "c = (88.72283935546875, 0.1)\n" in out
+        assert [f.rule for f in fixed] == ["FP103", "FP103"]
+
+
+class TestFixPaths:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        bad = pkg / "bad.py"
+        bad.write_text(HEADER + "c = 88.722839355468751\n")
+        return bad
+
+    def test_dry_run_leaves_files_and_returns_diff(self, tmp_path):
+        from repro.analysis.fplint import fix_paths
+
+        bad = self._tree(tmp_path)
+        before = bad.read_text()
+        fixed, diffs = fix_paths([bad], tmp_path, dry_run=True)
+        assert bad.read_text() == before
+        assert [f.rule for f in fixed] == ["FP103"]
+        (diff,) = diffs.values()
+        assert "-c = 88.722839355468751" in diff
+        assert "+c = 88.72283935546875" in diff
+
+    def test_write_mode_rewrites_in_place(self, tmp_path):
+        from repro.analysis.fplint import fix_paths
+
+        bad = self._tree(tmp_path)
+        fixed, diffs = fix_paths([bad], tmp_path, dry_run=False)
+        assert "c = 88.72283935546875\n" in bad.read_text()
+        assert len(fixed) == 1 and len(diffs) == 1
+        # second pass: nothing left to fix
+        assert fix_paths([bad], tmp_path, dry_run=False) == ([], {})

@@ -133,3 +133,46 @@ class TestCheckData:
                                             expect_function="ln",
                                             expect_target="posit32")}
         assert "TC201" in rules
+
+
+class TestTC209Contiguity:
+    """TC209: per sign, every reduced function's index field ends at the
+    same bit (they index one shared reduced-input population)."""
+
+    @pytest.fixture()
+    def cosh_data(self):
+        mod = importlib.import_module("repro.libm.data_float32.cosh")
+        return copy.deepcopy(mod.DATA)
+
+    def test_shipped_multi_fn_module_is_contiguous(self, cosh_data):
+        assert check_data(cosh_data, "cosh.py") == []
+
+    def test_mismatched_field_top_fires(self, cosh_data):
+        # cosh pos ends at bit 59+1=60, sinh pos at 58+2=60; nudging one
+        # shift breaks the shared-prefix invariant
+        cosh_data["approx"]["cosh"]["pos"]["shift"] += 1
+        findings = [f for f in check_data(cosh_data, "cosh.py")
+                    if f.rule == "TC209"]
+        assert findings
+        assert "not contiguous" in findings[0].message
+        assert "cosh" in findings[0].message
+
+    def test_zero_bit_tables_also_checked(self, cosh_data):
+        # index_bits == 0 tables still carry a field top (their shift)
+        cosh_data["approx"]["sinh"]["neg"]["shift"] += 1
+        rules = {f.rule for f in check_data(cosh_data, "cosh.py")}
+        assert "TC209" in rules
+
+    def test_index_field_reaching_sign_bit_fires(self, cosh_data):
+        pp = cosh_data["approx"]["cosh"]["pos"]
+        pp["shift"] = 63  # with index_bits=1 the field straddles bit 63
+        msgs = [f.message for f in check_data(cosh_data, "cosh.py")
+                if f.rule == "TC209"]
+        assert any("sign bit" in m for m in msgs)
+
+    def test_single_fn_module_cannot_misalign(self, exp_data):
+        # one reduced function per side: contiguity is vacuous, so a
+        # shift nudge below the sign bit raises no TC209
+        next(iter(exp_data["approx"].values()))["pos"]["shift"] += 1
+        rules = {f.rule for f in check_data(exp_data, "exp.py")}
+        assert "TC209" not in rules

@@ -1,0 +1,444 @@
+"""Proof-carrying tables: the exact-rational verifier and its certificates.
+
+Four layers, mirroring the trusted-checker boundary in DESIGN.md:
+
+* the checker's re-derived primitives (`round_frac_to_double`,
+  `emulate_poly`) differentially against the implementations they must
+  agree with but may not import at check time;
+* the LP vertex witness round trip (solve -> encode -> re-check) and its
+  tamper sensitivity;
+* the certificate schema and the shipped certificates themselves (a
+  quick per-format smoke stays tier-1; the full 18-module sweep is
+  behind the ``certify`` marker);
+* the three ISSUE-mandated mutation tests: each corruption of a shipped
+  table/certificate pair must be caught with the *precise* CE code.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib
+import importlib.util
+import json
+import math
+import random
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.analysis.certify import runner
+from repro.analysis.certify.emit import (_witness_dict,
+                                         certificate_from_capture)
+from repro.analysis.certify.format import (FORMAT_VERSION, certificate_path,
+                                           frac_from_str, frac_to_str,
+                                           hex_to_float, load_certificate,
+                                           schema_errors, table_key)
+from repro.analysis.certify.verify import (CODES, _check_witness, _Reporter,
+                                           emulate_poly,
+                                           round_frac_to_double,
+                                           verify_certificate)
+from repro.core import FunctionSpec, all_values, generate
+from repro.core.polynomials import Polynomial
+from repro.fp.bits import double_to_bits, fraction_to_double
+from repro.fp.formats import FLOAT8
+from repro.libm.serialize import function_to_dict
+from repro.lp.solver import LinearConstraint, certificate_witness
+from repro.rangereduction import reduction_for
+
+
+def _same_double(a: float, b: float) -> bool:
+    return double_to_bits(a) == double_to_bits(b)
+
+
+# ---------------------------------------------------------------------------
+# round_frac_to_double: the checker's independent RN64
+# ---------------------------------------------------------------------------
+
+class TestRoundFracToDouble:
+    def test_exact_values_round_trip(self):
+        for v in (0.0, 1.0, -1.0, 0.5, 2.0 ** -1022, 2.0 ** 1023,
+                  5e-324, -5e-324, 1.5, math.pi.hex() and math.pi):
+            assert _same_double(round_frac_to_double(Fraction(v)), v)
+
+    def test_ties_to_even_at_2_53(self):
+        # 2**53 + 1 is a midpoint; even significand wins
+        assert round_frac_to_double(Fraction(2 ** 53 + 1)) == float(2 ** 53)
+        assert round_frac_to_double(Fraction(2 ** 53 + 3)) == float(2 ** 53 + 4)
+        assert round_frac_to_double(Fraction(-(2 ** 53 + 1))) == -float(2 ** 53)
+
+    def test_subnormal_boundary(self):
+        tiny = Fraction(1, 2 ** 1074)          # smallest subnormal
+        assert round_frac_to_double(tiny) == 5e-324
+        # half of it is a midpoint against zero: even (zero) wins
+        assert round_frac_to_double(tiny / 2) == 0.0
+        assert round_frac_to_double(3 * tiny / 2) == 2 * 5e-324
+        assert round_frac_to_double(-tiny / 2) == 0.0
+
+    def test_overflow_midpoint(self):
+        mid = Fraction(2 ** 1024 - 2 ** 970)   # IEEE overflow threshold
+        below = mid - 1
+        assert round_frac_to_double(below) == math.ldexp(2 ** 53 - 1, 971)
+        assert round_frac_to_double(mid) == math.inf
+        assert round_frac_to_double(-mid) == -math.inf
+
+    def test_differential_against_fp_bits(self):
+        rng = random.Random(20210621)
+        for _ in range(400):
+            num = rng.randint(-10 ** 12, 10 ** 12)
+            den = rng.randint(1, 10 ** 12)
+            q = Fraction(num, den) * Fraction(2) ** rng.randint(-80, 80)
+            assert _same_double(round_frac_to_double(q),
+                                fraction_to_double(q))
+
+    def test_differential_near_doubles(self):
+        # perturbed doubles land between representables: the hard case
+        rng = random.Random(7)
+        for _ in range(300):
+            x = math.ldexp(rng.random() + 0.5,
+                           rng.randint(-1030, 1020))
+            q = Fraction(x) * (1 + Fraction(rng.randint(-3, 3), 2 ** 55))
+            assert _same_double(round_frac_to_double(q),
+                                fraction_to_double(q))
+
+
+# ---------------------------------------------------------------------------
+# emulate_poly: the checker's independent Horner order
+# ---------------------------------------------------------------------------
+
+class TestEmulatePoly:
+    @staticmethod
+    def _random_poly(rng, regular: bool) -> tuple[tuple[int, ...],
+                                                  tuple[float, ...]]:
+        n = rng.randint(1, 6)
+        if regular:
+            start = rng.randint(0, 2)
+            stride = rng.randint(1, 3)
+            exps = tuple(start + stride * i for i in range(n))
+        else:
+            exps = (0, 1, 3, 4, 7)[:max(n, 3)]
+        coeffs = tuple(rng.uniform(-2.0, 2.0) for _ in exps)
+        return exps, coeffs
+
+    @pytest.mark.parametrize("regular", [True, False])
+    def test_differential_against_runtime(self, regular):
+        rng = random.Random(42 + regular)
+        for _ in range(200):
+            exps, coeffs = self._random_poly(rng, regular)
+            p = Polynomial(exps, coeffs)
+            r = rng.uniform(-1.0, 1.0) * 2.0 ** rng.randint(-8, 2)
+            assert _same_double(emulate_poly(exps, coeffs, r), p(r))
+
+    def test_shipped_slot_is_bit_identical(self):
+        mod = importlib.import_module("repro.libm.data_float32.exp2")
+        pp = mod.DATA["approx"]["exp2"]["pos"]
+        exps, coeffs = pp["polys"][0]
+        p = Polynomial(tuple(exps), tuple(coeffs))
+        for i in range(50):
+            r = math.ldexp(1 + i / 50, -9)
+            assert _same_double(emulate_poly(exps, coeffs, r), p(r))
+
+    def test_overflow_returns_nonfinite(self):
+        v = emulate_poly((0, 1), (1e308, 1e308), 10.0)
+        assert not math.isfinite(v)
+
+
+# ---------------------------------------------------------------------------
+# LP vertex witness: round trip and tamper sensitivity
+# ---------------------------------------------------------------------------
+
+def _toy_witness():
+    cons = [LinearConstraint(0.25, 0.20, 0.30),
+            LinearConstraint(0.50, 0.45, 0.60),
+            LinearConstraint(0.75, 0.70, 0.85)]
+    exps = (0, 1)
+    wit = certificate_witness(cons, exps)
+    assert wit is not None
+    points = [{"r": c.r.hex(), "lo": frac_to_str(Fraction(c.lo)),
+               "hi": frac_to_str(Fraction(c.hi))} for c in cons]
+    return _witness_dict(wit, [0, 1, 2]), points, exps
+
+
+def _witness_findings(wd, points, exps):
+    rep = _Reporter("toy.cert.json")
+    _check_witness(rep, "w", wd, points, exps)
+    return [f.rule for f in rep.findings]
+
+
+class TestWitness:
+    def test_round_trip_verifies(self):
+        wd, points, exps = _toy_witness()
+        assert Fraction(0) <= frac_from_str(wd["delta"]) <= Fraction(1)
+        assert _witness_findings(wd, points, exps) == []
+
+    def test_tampered_delta_is_caught(self):
+        wd, points, exps = _toy_witness()
+        delta = frac_from_str(wd["delta"])
+        wd["delta"] = frac_to_str(delta + Fraction(1, 100))
+        rules = _witness_findings(wd, points, exps)
+        assert rules and set(rules) <= {"CE306", "CE307"}
+
+    def test_widened_active_interval_breaks_strong_duality(self):
+        wd, points, exps = _toy_witness()
+        # pick a row with a nonzero lo multiplier: its lo row is active
+        j = next(i for i, y in enumerate(wd["duals_lo"])
+                 if frac_from_str(y) > 0)
+        lo = frac_from_str(points[j]["lo"])
+        hi = frac_from_str(points[j]["hi"])
+        delta = frac_from_str(wd["delta"])
+        eps = (hi - lo) * (1 - delta) / 4
+        points[j]["lo"] = frac_to_str(lo - eps)
+        assert _witness_findings(wd, points, exps) == ["CE307"]
+
+    def test_negative_dual_is_caught(self):
+        wd, points, exps = _toy_witness()
+        wd["duals_lo"][0] = frac_to_str(
+            -frac_from_str(wd["duals_lo"][0]) - 1)
+        assert "CE307" in _witness_findings(wd, points, exps)
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+
+def _shipped(modname: str):
+    mod = importlib.import_module(modname)
+    data = copy.deepcopy(mod.DATA)
+    cpath = certificate_path(mod.__file__)
+    return data, load_certificate(cpath), str(cpath)
+
+
+class TestSchema:
+    def test_shipped_certificate_is_well_formed(self):
+        _, cert, _ = _shipped("repro.libm.data_float32.exp2")
+        assert schema_errors(cert) == []
+
+    def test_unknown_version_is_ce302(self):
+        data, cert, path = _shipped("repro.libm.data_float32.exp2")
+        cert["format_version"] = FORMAT_VERSION + 1
+        findings = verify_certificate(cert, data, path)
+        assert {f.rule for f in findings} == {"CE302"}
+
+    def test_wrong_key_set_is_ce302(self):
+        data, cert, path = _shipped("repro.libm.data_float32.exp2")
+        cert["extra"] = 1
+        assert {f.rule for f in verify_certificate(cert, data, path)} \
+            == {"CE302"}
+
+    def test_bad_hex_double_is_ce302(self):
+        data, cert, path = _shipped("repro.libm.data_float32.exp2")
+        table = next(iter(cert["tables"].values()))
+        table["slots"][0]["coefficients"][0] = "not-a-hex"
+        assert {f.rule for f in verify_certificate(cert, data, path)} \
+            == {"CE302"}
+
+    def test_codes_cover_the_documented_range(self):
+        assert sorted(CODES) == [f"CE30{i}" for i in range(1, 9)]
+
+
+# ---------------------------------------------------------------------------
+# shipped certificates
+# ---------------------------------------------------------------------------
+
+class TestShippedCertificates:
+    def test_quick_per_format_smoke(self):
+        # one module per shipped format: pure rational arithmetic, fast
+        n, findings = runner.check_all(only=("exp2",))
+        assert findings == []
+        assert n == 2  # float32 + posit32
+
+    @pytest.mark.certify
+    def test_full_sweep_all_modules(self):
+        n, findings = runner.check_all()
+        assert findings == []
+        assert n == 18
+
+    @pytest.mark.certify
+    def test_post_hoc_emission_round_trip(self, tmp_path):
+        # oracle-backed: re-emit one module at reduced sweep and re-check
+        from repro.analysis.certify.emit import certificate_for_data
+
+        data, _, _ = _shipped("repro.libm.data_float32.log2")
+        cert, stats = certificate_for_data(data, sweep=4000)
+        assert schema_errors(cert) == []
+        assert verify_certificate(cert, data, "log2.cert.json") == []
+        assert stats.certified >= 1 and stats.points >= stats.certified
+
+
+# ---------------------------------------------------------------------------
+# the three mutation tests (ISSUE acceptance criteria)
+# ---------------------------------------------------------------------------
+
+class TestMutations:
+    def test_flipped_coefficient_bit_is_ce303(self):
+        from repro.fp.bits import bits_to_double
+
+        data, cert, path = _shipped("repro.libm.data_float32.exp2")
+        pp = data["approx"]["exp2"]["pos"]
+        exps, coeffs = pp["polys"][0]
+        coeffs = list(coeffs)
+        coeffs[0] = bits_to_double(double_to_bits(coeffs[0]) ^ 1)
+        pp["polys"][0] = (exps, tuple(coeffs))
+        findings = verify_certificate(cert, data, path)
+        assert {f.rule for f in findings} == {"CE303"}
+        assert any("coefficient [0]" in f.message for f in findings)
+
+    def test_dropped_subdomain_is_ce308(self):
+        # pick any shipped table with more than one sub-domain slot
+        for modname, _, _ in runner.iter_data_modules():
+            data, cert, path = _shipped(modname)
+            for key, table in cert["tables"].items():
+                if len(table["slots"]) > 1:
+                    dropped = table["slots"].pop()
+                    findings = verify_certificate(cert, data, path)
+                    assert {f.rule for f in findings} == {"CE308"}
+                    assert any(f"sub-domain {dropped['index']}" in f.message
+                               for f in findings)
+                    return
+        pytest.fail("no shipped table with more than one sub-domain")
+
+    def test_widened_active_interval_is_ce307(self):
+        # scan shipped certificates for a certified slot whose margin is
+        # strictly below the cap and whose witness uses a lo multiplier:
+        # complementary slackness makes that lo row active, so widening
+        # the interval must break strong duality (CE307) while leaving
+        # containment (CE305) and primal feasibility (CE306) intact
+        for modname, _, _ in runner.iter_data_modules():
+            data, cert, path = _shipped(modname)
+            for table in cert["tables"].values():
+                for slot in table["slots"]:
+                    if slot["status"] != "certified":
+                        continue
+                    wit = slot["witness"]
+                    delta = frac_from_str(wit["delta"])
+                    if not delta < 1:
+                        continue
+                    j = next((i for i, y in enumerate(wit["duals_lo"])
+                              if frac_from_str(y) > 0), None)
+                    if j is None:
+                        continue
+                    pt = slot["points"][wit["rows"][j]]
+                    lo = frac_from_str(pt["lo"])
+                    hi = frac_from_str(pt["hi"])
+                    eps = (hi - lo) * (1 - delta) / 4
+                    pt["lo"] = frac_to_str(lo - eps)
+                    findings = verify_certificate(cert, data, path)
+                    assert {f.rule for f in findings} == {"CE307"}, \
+                        f"{modname}: {[f.render() for f in findings]}"
+                    assert any("dual" in f.message for f in findings)
+                    return
+        pytest.fail("no certified slot with delta < 1 and a lo multiplier")
+
+
+# ---------------------------------------------------------------------------
+# capture-based emission from a live generation run (FLOAT8: cheap)
+# ---------------------------------------------------------------------------
+
+class TestCaptureEmission:
+    def test_generate_capture_certifies_cleanly(self):
+        rr = reduction_for("exp2", FLOAT8)
+        spec = FunctionSpec("exp2", FLOAT8, rr)
+        capture: dict = {}
+        fn = generate(spec, list(all_values(FLOAT8)), capture=capture)
+        assert capture, "generation captured no LP-pinning samples"
+        data = function_to_dict(fn)
+        cert, stats = certificate_from_capture(data, capture)
+        assert schema_errors(cert) == []
+        assert verify_certificate(cert, data, "float8_exp2.cert.json") == []
+        assert stats.certified >= 1
+        # capture keys carry the "<fn>:<side>" labels of real tables
+        assert all(lbl.rsplit(":", 1)[1] in ("neg", "pos")
+                   for lbl, _ in capture)
+
+    def test_render_certificate_prescreens_tampered_data(self):
+        from repro.libm.serialize import render_certificate
+
+        rr = reduction_for("exp2", FLOAT8)
+        spec = FunctionSpec("exp2", FLOAT8, rr)
+        capture: dict = {}
+        fn = generate(spec, list(all_values(FLOAT8)), capture=capture)
+        data = function_to_dict(fn)
+        text, stats = render_certificate(data, capture)
+        assert json.loads(text)["format_version"] == FORMAT_VERSION
+        assert stats.certified >= 1
+        # a table corrupted before freezing cannot pick up a valid proof:
+        # the pre-screen drops every captured point the broken polynomial
+        # misses, so damaged slots degrade to unconstrained instead of
+        # shipping a certificate the checker would reject
+        bad = copy.deepcopy(data)
+        for sides in bad["approx"].values():
+            for side in ("neg", "pos"):
+                pp = sides.get(side)
+                if not (pp and pp["polys"]):
+                    continue
+                # shift every polynomial by a constant far outside any
+                # float rounding interval
+                pp["polys"] = [
+                    (tuple(exps),
+                     tuple(c + 64.0 if e == min(exps) else c
+                           for e, c in zip(exps, coeffs)))
+                    for exps, coeffs in pp["polys"]]
+        text2, stats2 = render_certificate(bad, capture)
+        assert stats2.dropped_points > 0
+        assert stats2.certified < stats.certified
+        cert2 = json.loads(text2)
+        assert verify_certificate(cert2, bad, "bad") == []
+
+
+# ---------------------------------------------------------------------------
+# CLI and CI gate
+# ---------------------------------------------------------------------------
+
+class TestCertifyCLI:
+    def test_smoke_exit_zero(self, capsys):
+        assert repro_main(["certify", "--only", "exp2"]) == 0
+        out = capsys.readouterr().out
+        assert "certify: clean (2 data modules checked" in out
+
+    def test_json_format(self, capsys):
+        assert repro_main(["certify", "--only", "exp2",
+                           "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["findings"] == []
+        assert report["data_modules_checked"] == 2
+
+    def test_emit_and_check_are_exclusive(self, capsys):
+        assert repro_main(["certify", "--emit", "--check"]) == 2
+
+    def test_missing_certificate_is_ce301(self, tmp_path, capsys):
+        src = Path(importlib.import_module(
+            "repro.libm.data_float32.exp2").__file__)
+        orphan = tmp_path / "orphanmod.py"
+        orphan.write_text(src.read_text())
+        rc = repro_main(["certify", "--table", str(orphan),
+                         "--only", "orphanmod", "--format", "json"])
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in report["findings"]] == ["CE301"]
+        assert report["data_modules_checked"] == 1
+
+    def test_check_findings_exit_one(self, tmp_path, capsys):
+        # a stale certificate next to a modified module must fail
+        src = Path(importlib.import_module(
+            "repro.libm.data_float32.exp2").__file__)
+        mod = tmp_path / "stalemod.py"
+        mod.write_text(src.read_text().replace(
+            "'function': 'exp2'", "'function': 'exp2x'", 1))
+        cert = json.loads(certificate_path(src).read_text())
+        (tmp_path / "stalemod.cert.json").write_text(json.dumps(cert))
+        rc = repro_main(["certify", "--table", str(mod),
+                         "--only", "stalemod", "--format", "json"])
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert any(f["rule"] == "CE303" for f in report["findings"])
+
+    @pytest.mark.certify
+    def test_tools_run_certify_gate(self):
+        spec = importlib.util.spec_from_file_location(
+            "run_certify_gate",
+            Path(__file__).parent.parent / "tools" / "run_certify.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert mod.main([]) == 0

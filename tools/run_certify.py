@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""CI gate: verify every shipped table certificate, fail on any finding.
+
+The proof-carrying-tables twin of ``tools/run_lint.py``: every frozen
+data module in ``data_float32/`` and ``data_posit32/`` ships with a
+``<name>.cert.json`` certificate (reduced-interval endpoints as exact
+rationals, the LP-pinning sample, and the LP vertex witness), and this
+gate re-checks all of them with the independent exact-rational verifier
+(``repro.analysis.certify.verify`` — no shared code with the solve
+path, no oracle, no floating-point trust beyond the hex codec).
+
+A failure means a table and its proof disagree: either the tables were
+regenerated without ``--emit``-ing fresh certificates, or the frozen
+data was corrupted.  Findings are CE301–CE308; see
+``python -m repro certify --help``.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_certify.py           # gate (exit 1)
+    PYTHONPATH=src python tools/run_certify.py --format json
+    PYTHONPATH=src python tools/run_certify.py --emit    # refreeze
+
+All arguments are forwarded to ``python -m repro certify``; the repo
+root is pinned to this checkout so the gate works from any cwd.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.analysis.cli import certify_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--root" not in args:
+        args += ["--root", str(REPO)]
+    return certify_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

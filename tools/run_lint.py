@@ -31,12 +31,25 @@ sys.path.insert(0, str(REPO / "src"))
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.analysis.cli import main as lint_main
+    from repro.analysis.cli import certify_main, main as lint_main
 
     args = list(sys.argv[1:] if argv is None else argv)
     if "--root" not in args:
         args += ["--root", str(REPO)]
-    return lint_main(args)
+    # the gate is strict about baseline hygiene: stale grandfathered
+    # entries fail the build until --prune-baseline drops them
+    maintenance = any(a in ("--write-baseline", "--prune-baseline",
+                            "--fix") for a in args)
+    if "--fail-stale" not in args and not maintenance:
+        args += ["--fail-stale"]
+    rc = lint_main(args)
+    # the certificate gate rides along: shipped tables must agree with
+    # their proofs whenever the lint gate runs (skipped for baseline
+    # maintenance and --fix invocations, which exit before reporting)
+    if maintenance:
+        return rc
+    certify_rc = certify_main(["--root", str(REPO)])
+    return rc or certify_rc
 
 
 if __name__ == "__main__":
