@@ -25,6 +25,9 @@ Commands
 ``report``    unified performance health summary: newest trajectory
               record with drift status, cache/oracle hit rates,
               worker utilization, profiler phases
+``adversarial``  mine hostile-input corpora for the shipped tables, or
+              replay the committed corpora through every evaluation
+              path (``adversarial mine|check``)
 """
 
 from __future__ import annotations
@@ -68,8 +71,14 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     fmt = TARGETS_BY_NAME[args.target]
     libs = (posit_baselines() if args.target.startswith("posit")
             else correctness_baselines())
+    corpus_dir = None
+    if args.adversarial:
+        from repro.eval.adversarial import default_corpus_dir
+
+        corpus_dir = default_corpus_dir(".")
     pool = build_pool(args.function, fmt, n_random=args.n,
-                      n_hard=args.hard, hard_candidates=4 * args.hard + 100)
+                      n_hard=args.hard, hard_candidates=4 * args.hard + 100,
+                      corpus_dir=corpus_dir)
     rlibm = load_function(args.function, args.target)
     row = audit_function(args.function, fmt, rlibm, libs, pool,
                          workers=parse_workers(args.workers))
@@ -175,6 +184,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return obs_cli.run_report(args)
 
 
+def _cmd_adversarial(args: argparse.Namespace) -> int:
+    from repro.eval.adversarial import cli as adversarial_cli
+
+    return adversarial_cli.run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -194,6 +209,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", default=None, metavar="N|auto",
                    help="parallelize the audit over a process pool "
                         "(default: serial; results are identical)")
+    p.add_argument("--adversarial", action="store_true",
+                   help="merge the committed adversarial corpus for this "
+                        "function into the audit pool")
     p.set_defaults(fn=_cmd_audit)
 
     p = sub.add_parser("generate", help="generate + freeze a library")
@@ -261,6 +279,13 @@ def main(argv: list[str] | None = None) -> int:
     from repro.obs.cli import add_report_arguments as _report_args
     _report_args(p)
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("adversarial",
+                       help="mine or replay the hostile-input corpora "
+                            "(adversarial mine|check)")
+    from repro.eval.adversarial.cli import add_arguments as _adv_args
+    _adv_args(p)
+    p.set_defaults(fn=_cmd_adversarial)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -10,6 +10,8 @@ from repro.eval.tables import GenerationRow, render_table3, table3_rows
 from repro.eval.timing import (SpeedupRow, geomean, render_speedups,
                                speedup_rows, time_batch, time_scalar,
                                timing_inputs)
+# last: adversarial composes the modules above (hardcases, correctness)
+from repro.eval import adversarial
 
 __all__ = [
     "CorrectnessRow", "audit_function", "build_pool", "render_rows",
@@ -18,4 +20,5 @@ __all__ = [
     "GenerationRow", "render_table3", "table3_rows",
     "SpeedupRow", "geomean", "render_speedups", "speedup_rows",
     "time_batch", "time_scalar", "timing_inputs",
+    "adversarial",
 ]

@@ -1,0 +1,53 @@
+"""Adversarial hard-case corpora: mined hostile inputs, frozen per-
+function regression corpora, and a differential audit harness.
+
+The paper sidesteps the table maker's dilemma by enumerating every
+input; the sampled 32-bit pipeline cannot, so this subsystem mines the
+inputs most likely to break a correctly-rounded claim — rounding-
+boundary grazers, range-reduction seams, special-value frontiers — and
+freezes them as committed JSON corpora that every shipped table must
+replay bit-identically through all four evaluation paths (scalar,
+batch, instrumented, parallel).
+
+Layout:
+
+* :mod:`~repro.eval.adversarial.corpus` — the versioned corpus file
+  format and its schema checker;
+* :mod:`~repro.eval.adversarial.generators` — per-(function, format)
+  hostile-input candidate generators;
+* :mod:`~repro.eval.adversarial.mine` — the corpus factory: generate,
+  de-duplicate, rank by exact boundary distance, freeze;
+* :mod:`~repro.eval.adversarial.audit` — the differential replay
+  harness and its findings;
+* :mod:`~repro.eval.adversarial.cli` — ``python -m repro adversarial
+  mine|check``.
+"""
+
+from __future__ import annotations
+
+from repro.eval.adversarial.audit import (AuditFailure, CorpusAudit,
+                                          audit_corpus, audit_corpus_dir,
+                                          render_audits)
+from repro.eval.adversarial.corpus import (CORPUS_VERSION, Corpus,
+                                           CorpusEntry, CorpusError,
+                                           corpus_path, default_corpus_dir,
+                                           list_corpora, load_corpus,
+                                           save_corpus, schema_errors)
+from repro.eval.adversarial.generators import (boundary_ordinal_candidates,
+                                               graze_candidates,
+                                               random_candidates,
+                                               seam_candidates,
+                                               special_frontier_candidates)
+from repro.eval.adversarial.mine import (corpus_inputs, mine_corpora,
+                                         mine_corpus)
+
+__all__ = [
+    "AuditFailure", "CorpusAudit", "audit_corpus", "audit_corpus_dir",
+    "render_audits",
+    "CORPUS_VERSION", "Corpus", "CorpusEntry", "CorpusError",
+    "corpus_path", "default_corpus_dir", "list_corpora", "load_corpus",
+    "save_corpus", "schema_errors",
+    "boundary_ordinal_candidates", "graze_candidates", "random_candidates",
+    "seam_candidates", "special_frontier_candidates",
+    "corpus_inputs", "mine_corpus", "mine_corpora",
+]

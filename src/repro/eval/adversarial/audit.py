@@ -1,0 +1,212 @@
+"""The differential replay harness for frozen adversarial corpora.
+
+Every corpus entry replays through all the evaluation paths the library
+ships — the scalar interpreter (``evaluate_bits``), the vectorized
+batch engine (``evaluate_bits_many``), the instrumented runtime wrapper
+(:func:`repro.libm.runtime.instrument`), and, when ``workers`` > 1, the
+process-pool path that rebuilds the function from its serialized form
+in each worker — and every path must reproduce the frozen expected bit
+pattern exactly.  A disagreement *between* paths is as much a finding
+as a wrong result: the four paths claim bit-identity, and this harness
+is where that claim is enforced against the hardest known inputs.
+
+The harness never consults the oracle: the frozen corpus is the
+authority at replay time, which keeps the CI gate fast and makes a
+corpus failure unambiguous — either a table regressed or the corpus
+must be consciously re-mined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.generator import GeneratedFunction, target_bits
+from repro.core.validate import _evaluate_bits_all
+from repro.eval.adversarial.corpus import Corpus, list_corpora, load_corpus
+from repro.eval.adversarial.generators import input_value
+from repro.obs import metrics, timed_span
+
+__all__ = ["AuditFailure", "CorpusAudit", "audit_corpus",
+           "audit_corpus_dir", "render_audits"]
+
+#: The evaluation paths every corpus replays through (the parallel path
+#: joins when the audit runs with ``workers`` > 1).
+PATHS = ("scalar", "batch", "instrumented", "parallel")
+
+
+@dataclass(frozen=True)
+class AuditFailure:
+    """One entry one path got wrong (bits differ from the frozen want)."""
+
+    function: str
+    target: str
+    path: str
+    x_bits: int
+    want_bits: int
+    got_bits: int
+
+    def __str__(self) -> str:
+        return (f"{self.function}/{self.target} [{self.path}] "
+                f"x={hex(self.x_bits)}: got {hex(self.got_bits)}, "
+                f"want {hex(self.want_bits)}")
+
+
+@dataclass
+class CorpusAudit:
+    """The outcome of replaying one corpus through every path."""
+
+    function: str
+    target: str
+    size: int
+    paths: tuple[str, ...]
+    failures: list[AuditFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _replay_chunk(payload: tuple) -> list[tuple[int, int, int]]:
+    """Worker task: scalar-replay one corpus chunk on a rebuilt function.
+
+    Returns ``(x_bits, want_bits, got_bits)`` mismatches only — the
+    payload already carries the frozen expectations, so workers never
+    touch the oracle or the corpus files.
+    """
+    data, items = payload
+    from repro.libm.serialize import function_from_dict
+
+    fn = function_from_dict(data)
+    fmt = fn.spec.target
+    out = []
+    for x_bits, want_bits in items:
+        got = fn.evaluate_bits(input_value(fmt, x_bits))
+        if got != want_bits:
+            out.append((x_bits, want_bits, got))
+    return out
+
+
+def audit_corpus(
+    corpus: Corpus,
+    *,
+    fn: GeneratedFunction | None = None,
+    workers: int | str | None = None,
+) -> CorpusAudit:
+    """Replay one corpus through every evaluation path.
+
+    ``fn`` defaults to the shipped frozen table for the corpus's
+    (function, target); pass a freshly generated function to audit an
+    unshipped table against an ad-hoc corpus.  The parallel path only
+    runs when ``workers`` resolves above 1 — it costs a process pool.
+    """
+    from repro.parallel.shards import resolve_workers
+
+    if fn is None:
+        from repro.libm.runtime import load_function
+
+        fn = load_function(corpus.function, corpus.target)
+    fmt = fn.spec.target
+    n_workers = resolve_workers(workers)
+    paths = PATHS if n_workers > 1 else PATHS[:3]
+
+    failures: list[AuditFailure] = []
+
+    def fail(path: str, x_bits: int, want: int, got: int) -> None:
+        failures.append(AuditFailure(corpus.function, corpus.target,
+                                     path, x_bits, want, got))
+
+    with timed_span("adversarial.audit", fn=corpus.function,
+                    target=corpus.target, paths=len(paths)):
+        xs = [input_value(fmt, e.x_bits) for e in corpus]
+
+        for e, x in zip(corpus, xs):
+            got = fn.evaluate_bits(x)
+            if got != e.want_bits:
+                fail("scalar", e.x_bits, e.want_bits, got)
+
+        for e, got in zip(corpus, _evaluate_bits_all(fn, xs)):
+            if got != e.want_bits:
+                fail("batch", e.x_bits, e.want_bits, got)
+
+        from repro.libm.runtime import instrument
+
+        inst = instrument(fn, prefix=f"adversarial.{corpus.function}")
+        for e, x in zip(corpus, xs):
+            got = target_bits(fmt, inst.evaluate(x))
+            if got != e.want_bits:
+                fail("instrumented", e.x_bits, e.want_bits, got)
+
+        if n_workers > 1:
+            from repro.libm.serialize import function_to_dict
+            from repro.parallel import plan_chunks, run_tasks
+
+            data = function_to_dict(fn)
+            items = [(e.x_bits, e.want_bits) for e in corpus]
+            payloads = [(data, items[a:b])
+                        for a, b in plan_chunks(len(items), n_workers)]
+            parts = run_tasks(_replay_chunk, payloads, workers=n_workers,
+                              label=f"adversarial:{corpus.function}")
+            for part in parts:
+                for x_bits, want, got in part:
+                    fail("parallel", x_bits, want, got)
+
+    metrics.counter("adversarial.corpora").inc()
+    metrics.counter("adversarial.checked").inc(len(corpus) * len(paths))
+    metrics.counter("adversarial.failed").inc(len(failures))
+    return CorpusAudit(corpus.function, corpus.target, len(corpus),
+                       paths, failures)
+
+
+def audit_corpus_dir(
+    directory: str | Path,
+    *,
+    functions: list[str] | None = None,
+    target: str | None = None,
+    workers: int | str | None = None,
+    loader=None,
+) -> list[CorpusAudit]:
+    """Replay every committed corpus under ``directory``.
+
+    ``functions``/``target`` filter which corpora replay; schema-invalid
+    files raise :class:`~repro.eval.adversarial.corpus.CorpusError`
+    (a frozen corpus must never be silently skipped).  ``loader``
+    overrides how ``(fn_name, target)`` resolves to a runnable function
+    (default: the shipped frozen tables) — tests audit ad-hoc small-
+    format corpora this way.
+    """
+    if loader is None:
+        from repro.libm.runtime import load_function
+
+        loader = load_function
+    audits = []
+    for fn_name, tgt, path in list_corpora(directory):
+        if functions is not None and fn_name not in functions:
+            continue
+        if target is not None and tgt != target:
+            continue
+        audits.append(audit_corpus(load_corpus(path),
+                                   fn=loader(fn_name, tgt),
+                                   workers=workers))
+    return audits
+
+
+def render_audits(audits: list[CorpusAudit]) -> str:
+    """Text report: one line per corpus, failures itemized below."""
+    if not audits:
+        return "(no adversarial corpora found)\n"
+    out = []
+    width = max(len(f"{a.function}.{a.target}") for a in audits) + 2
+    for a in audits:
+        name = f"{a.function}.{a.target}"
+        status = ("ok" if a.ok else f"FAIL({len(a.failures)})")
+        out.append(f"{name:{width}s} {a.size:4d} entries  "
+                   f"{len(a.paths)} paths  {status}")
+        for f in a.failures[:8]:
+            out.append(f"    {f}")
+        if len(a.failures) > 8:
+            out.append(f"    ... and {len(a.failures) - 8} more")
+    total = sum(len(a.failures) for a in audits)
+    out.append(f"{len(audits)} corpora, "
+               f"{sum(a.size for a in audits)} entries, {total} failures")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,71 @@
+"""``python -m repro adversarial`` — mine or check hostile-input corpora.
+
+Two modes:
+
+* ``mine`` — run the corpus factory for the selected (function, target)
+  pairs and freeze the results under ``--dir`` (oracle required; this
+  is how the committed corpora are refreshed after a conscious table
+  change);
+* ``check`` — replay the committed corpora through every evaluation
+  path (no oracle; this is the CI gate's engine).  Exit status 1 when
+  any entry fails on any path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["add_arguments", "run"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("mode", choices=("mine", "check"),
+                        help="mine: refresh corpora (oracle); "
+                             "check: replay committed corpora (no oracle)")
+    parser.add_argument("--dir", default=None, metavar="DIR",
+                        help="corpus directory "
+                             "(default: tests/data/adversarial)")
+    parser.add_argument("--target", choices=("float32", "posit32"),
+                        default=None, help="restrict to one target format")
+    parser.add_argument("--functions", nargs="*", default=None,
+                        metavar="FN", help="restrict to these functions")
+    parser.add_argument("--workers", default=None, metavar="N|auto",
+                        help="process-pool width; >1 adds the parallel "
+                             "replay path (check) or fans mining out")
+    parser.add_argument("--seed", type=int, default=2021,
+                        help="mining seed (mine mode)")
+
+
+def _pairs(args) -> list[tuple[str, str]]:
+    from repro.libm.runtime import FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS
+
+    shipped = ([(f, "float32") for f in FLOAT32_FUNCTIONS]
+               + [(f, "posit32") for f in POSIT32_FUNCTIONS])
+    return [(f, t) for f, t in shipped
+            if (args.target is None or t == args.target)
+            and (args.functions is None or f in args.functions)]
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.eval.adversarial import (audit_corpus_dir, default_corpus_dir,
+                                        mine_corpora, render_audits)
+    from repro.parallel import parse_workers
+
+    directory = args.dir if args.dir is not None else default_corpus_dir(".")
+    workers = parse_workers(args.workers)
+
+    if args.mode == "mine":
+        pairs = _pairs(args)
+        paths = mine_corpora(pairs, directory, seed=args.seed,
+                             workers=workers)
+        for p in paths:
+            print(f"wrote {p}")
+        return 0
+
+    audits = audit_corpus_dir(directory, functions=args.functions,
+                              target=args.target, workers=workers)
+    sys.stdout.write(render_audits(audits))
+    if not audits:
+        return 1
+    return 0 if all(a.ok for a in audits) else 1

@@ -1,0 +1,198 @@
+"""The frozen adversarial corpus file format (versioned, exact, JSON).
+
+A corpus accompanies one shipped (function, target) table as
+``tests/data/adversarial/<function>.<target>.json``.  Like the table
+certificates (:mod:`repro.analysis.certify.format`) it is versioned and
+stores every number losslessly: inputs and expected results are *bit
+patterns* of the target format (hex strings), never decimal floats, so
+a corpus can be replayed byte-identically on any platform.
+
+Each entry records:
+
+* ``x`` — the input, as a target-format bit pattern;
+* ``want`` — the correctly rounded result, as a target-format bit
+  pattern (from the special-case layer or the oracle at mining time);
+* ``d`` — the exact boundary distance of the result in interval widths
+  (``repr`` of the float; 0.5 for special/unbounded results), kept for
+  ranking and reporting — the replay harness never recomputes it;
+* ``src`` — provenance tag: which generator produced the input.
+
+Bump :data:`CORPUS_VERSION` on any schema change — the loader rejects
+unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["CORPUS_VERSION", "Corpus", "CorpusEntry", "CorpusError",
+           "SOURCES", "corpus_path", "default_corpus_dir", "list_corpora",
+           "load_corpus", "save_corpus", "schema_errors"]
+
+#: Schema version this tree reads and writes.
+CORPUS_VERSION = 1
+
+#: The provenance tags a generator may stamp on an entry.
+SOURCES = ("special", "seam", "boundary", "graze", "random")
+
+_CORPUS_KEYS = frozenset({"corpus_version", "function", "target", "entries"})
+_ENTRY_KEYS = frozenset({"x", "want", "d", "src"})
+
+
+class CorpusError(Exception):
+    """A corpus file is missing, unreadable, or not valid JSON."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One frozen hostile input with its expected rounded result."""
+
+    x_bits: int
+    want_bits: int
+    distance: float
+    source: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {"x": hex(self.x_bits), "want": hex(self.want_bits),
+                "d": repr(self.distance), "src": self.source}
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "CorpusEntry":
+        return cls(int(doc["x"], 16), int(doc["want"], 16),
+                   float(doc["d"]), doc["src"])
+
+
+@dataclass
+class Corpus:
+    """A frozen per-(function, target) adversarial regression corpus."""
+
+    function: str
+    target: str
+    entries: list[CorpusEntry]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"corpus_version": CORPUS_VERSION,
+                "function": self.function,
+                "target": self.target,
+                "entries": [e.to_json() for e in self.entries]}
+
+
+def default_corpus_dir(root: str | Path = ".") -> Path:
+    """The committed corpus directory under a repository root."""
+    return Path(root) / "tests" / "data" / "adversarial"
+
+
+def corpus_path(directory: str | Path, function: str, target: str) -> Path:
+    """``<dir>/<function>.<target>.json``."""
+    return Path(directory) / f"{function}.{target}.json"
+
+
+def list_corpora(directory: str | Path) -> list[tuple[str, str, Path]]:
+    """Sorted ``(function, target, path)`` triples of the committed files."""
+    d = Path(directory)
+    if not d.is_dir():
+        return []
+    out = []
+    for p in sorted(d.glob("*.json")):
+        parts = p.name.split(".")
+        if len(parts) == 3:
+            out.append((parts[0], parts[1], p))
+    return out
+
+
+def save_corpus(corpus: Corpus, directory: str | Path) -> Path:
+    """Write the corpus to its canonical path; returns the path."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    path = corpus_path(d, corpus.function, corpus.target)
+    path.write_text(json.dumps(corpus.to_json(), indent=1) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_corpus(path: str | Path) -> Corpus:
+    """Load and schema-check one corpus file.
+
+    Raises :class:`CorpusError` for unreadable/invalid files (including
+    schema findings — a frozen corpus that fails its own schema must
+    never be silently skipped by the replay gate).
+    """
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as e:
+        raise CorpusError(f"cannot read corpus {p}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise CorpusError(f"corpus {p} is not valid JSON: {e}") from e
+    errs = schema_errors(doc)
+    if errs:
+        raise CorpusError(f"corpus {p} fails its schema: " + "; ".join(errs))
+    return Corpus(doc["function"], doc["target"],
+                  [CorpusEntry.from_json(e) for e in doc["entries"]])
+
+
+def _hex_errors(doc: dict, key: str, where: str, errs: list[str]) -> None:
+    v = doc.get(key)
+    if not isinstance(v, str) or not v.startswith("0x"):
+        errs.append(f"{where}: {key!r} must be a hex string")
+        return
+    try:
+        int(v, 16)
+    except ValueError:
+        errs.append(f"{where}: {key!r} is not valid hex: {v!r}")
+
+
+def schema_errors(doc: Any) -> list[str]:
+    """Structural findings for a parsed corpus document (empty = valid)."""
+    errs: list[str] = []
+    if not isinstance(doc, dict):
+        return ["corpus document must be a JSON object"]
+    if set(doc) != _CORPUS_KEYS:
+        errs.append(f"corpus keys must be {sorted(_CORPUS_KEYS)}, "
+                    f"got {sorted(doc)}")
+        return errs
+    if doc["corpus_version"] != CORPUS_VERSION:
+        errs.append(f"unknown corpus_version {doc['corpus_version']!r} "
+                    f"(this tree reads {CORPUS_VERSION})")
+        return errs
+    for key in ("function", "target"):
+        if not isinstance(doc[key], str) or not doc[key]:
+            errs.append(f"{key!r} must be a non-empty string")
+    entries = doc["entries"]
+    if not isinstance(entries, list) or not entries:
+        errs.append("'entries' must be a non-empty list")
+        return errs
+    seen: set[str] = set()
+    for i, e in enumerate(entries):
+        where = f"entry {i}"
+        if not isinstance(e, dict):
+            errs.append(f"{where}: must be an object")
+            continue
+        if set(e) != _ENTRY_KEYS:
+            errs.append(f"{where}: keys must be {sorted(_ENTRY_KEYS)}")
+            continue
+        _hex_errors(e, "x", where, errs)
+        _hex_errors(e, "want", where, errs)
+        try:
+            d = float(e["d"])
+            if not 0.0 <= d <= 0.5:
+                errs.append(f"{where}: distance {d!r} outside [0, 0.5]")
+        except (TypeError, ValueError):
+            errs.append(f"{where}: 'd' must parse as a float")
+        if e.get("src") not in SOURCES:
+            errs.append(f"{where}: unknown source tag {e.get('src')!r}")
+        x = e.get("x")
+        if isinstance(x, str):
+            if x in seen:
+                errs.append(f"{where}: duplicate input {x}")
+            seen.add(x)
+    return errs

@@ -1,0 +1,255 @@
+"""Hostile-input candidate generators, per (function, format).
+
+Each generator returns *target-representable* doubles aimed at one
+family of historically wrong-making inputs (PyMPF's test generators and
+the RLIBM papers' wrong-result tables both draw from these):
+
+* :func:`boundary_ordinal_candidates` — ordinal neighbourhoods of the
+  structural points of the function's domain (domain endpoints, the
+  table-driven cluster centres, posit regime transitions);
+* :func:`special_frontier_candidates` — the exact frontiers of the
+  special-case layer: the last ordinal the polynomial path answers next
+  to the first the special layer answers, plus the non-finite patterns
+  (NaN/±inf, NaR) and signed zeros themselves;
+* :func:`seam_candidates` — range-reduction seams: inputs bracketing
+  every change of the shipped tables' sub-domain index field or of the
+  reduction's compensation context (table entry switches, ``k``
+  threshold crossings), located by ordinal bisection;
+* :func:`graze_candidates` — oracle-guided boundary grazers: random
+  starts refined by a Newton step in ordinal space toward the nearest
+  rounding-interval boundary of their result, plus ±k-ulp
+  neighbourhoods of the refined inputs;
+* :func:`random_candidates` — plain ordinal-uniform random draws (the
+  miner keeps only the hardest).
+
+Generators may return duplicates and inputs the special layer answers;
+the miner de-duplicates and tags provenance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+from repro.core.intervals import TargetFormat, target_rounding_interval
+from repro.core.sampling import (boundary_values, ordinal_limit,
+                                 sample_values, value_to_ordinal)
+from repro.fp.formats import FloatFormat
+from repro.oracle.functions import get_function
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+from repro.posit.format import PositFormat
+from repro.rangereduction.base import RangeReduction
+from repro.rangereduction.domains import boundary_centers, sampling_domain
+
+__all__ = ["boundary_ordinal_candidates", "special_frontier_candidates",
+           "seam_candidates", "graze_candidates", "random_candidates",
+           "input_value"]
+
+#: Oracle bracket precision for the graze refinement step (the miner's
+#: final ranking re-measures with the escalating boundary_distance).
+_GRAZE_PREC = 192
+
+
+def input_value(fmt: TargetFormat, bits: int) -> float:
+    """Decode a corpus input pattern to the double the runtime receives.
+
+    The one pattern :meth:`~repro.fp.formats.FloatFormat.to_double`
+    cannot round-trip is the IEEE negative zero (it decodes to ``+0.0``
+    by contract); corpora carry it because ``sinpi``/``cospi`` results
+    depend on the sign of zero.
+    """
+    if isinstance(fmt, FloatFormat) and bits == fmt.sign_mask:
+        return -0.0
+    return fmt.to_double(bits)
+
+
+def boundary_ordinal_candidates(
+    fn_name: str,
+    fmt: TargetFormat,
+    rr: RangeReduction,
+    radius: int = 16,
+) -> list[float]:
+    """Ordinal neighbourhoods of the domain's structural points."""
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    out = boundary_values(fmt, boundary_centers(fn_name, rr, lo, hi), radius)
+    if isinstance(fmt, PositFormat):
+        # regime transitions: tapered precision changes across powers of
+        # useed, where repurposed libraries historically go wrong.  The
+        # regimes span useed**±(nbits-2); tighter neighbourhoods keep the
+        # candidate count proportionate.
+        u = float(fmt.useed)
+        centers = []
+        for k in range(1, fmt.nbits - 1):
+            c = u ** k
+            if math.isinf(c):
+                break
+            centers += [x for x in (c, 1.0 / c, -c, -1.0 / c)
+                        if lo <= x <= hi]
+        out += boundary_values(fmt, centers, min(radius, 3))
+    return out
+
+
+def special_frontier_candidates(
+    fn_name: str,
+    fmt: TargetFormat,
+    rr: RangeReduction,
+    radius: int = 8,
+) -> list[float]:
+    """The special-case layer's frontiers and the special patterns."""
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    out = boundary_values(fmt, [lo, hi, 0.0], radius)
+    limit = ordinal_limit(fmt)
+    # the format's own extremes (maxpos/minpos for posits, the largest
+    # finite and deepest subnormal for IEEE targets)
+    for n in (limit, -limit, 1, -1):
+        out.append(fmt.to_double(fmt.from_ordinal(n)))
+    if isinstance(fmt, FloatFormat):
+        out += [0.0, -0.0, math.inf, -math.inf, math.nan]
+    else:
+        out += [0.0, math.nan]   # posit zero and NaR
+    return out
+
+
+def _signature(rr: RangeReduction, approx: dict, x: float):
+    """What changes across a seam: sub-domain indices + reduction ctx."""
+    if rr.special(x) is not None:
+        return None
+    r, ctx = rr.reduce(x)
+    sig: list[object] = [repr(ctx)]
+    for name in rr.fn_names:
+        af = approx[name]
+        side = af.neg if r < 0.0 else af.pos
+        sig.append((r < 0.0, side.index_of(r) if side is not None else -1))
+    return tuple(sig)
+
+
+def seam_candidates(
+    fn_name: str,
+    fmt: TargetFormat,
+    rr: RangeReduction,
+    approx: dict,
+    n_base: int = 512,
+    radius: int = 2,
+    max_seams: int = 64,
+) -> list[float]:
+    """Inputs bracketing changes of the shipped tables' index fields.
+
+    Walks ``n_base`` ordinal-equidistant probes over the non-special
+    domain; whenever two consecutive probes disagree on the sub-domain
+    signature (table index per reduced function, or the compensation
+    context — i.e. the ``k``/table-entry seams of the range reduction),
+    an ordinal bisection pins the *first* flip between them and both
+    sides of the seam join the candidate set with a ±``radius``
+    neighbourhood.
+    """
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    olo, ohi = value_to_ordinal(fmt, lo), value_to_ordinal(fmt, hi)
+    if ohi - olo < 2:
+        return []
+
+    def val(o: int) -> float:
+        return fmt.to_double(fmt.from_ordinal(o))
+
+    n_base = min(n_base, ohi - olo + 1)
+    seam_ordinals: list[int] = []
+    prev_o: int | None = None
+    prev_sig = None
+    for i in range(n_base):
+        o = olo + (ohi - olo) * i // (n_base - 1)
+        if o == prev_o:
+            continue
+        sig = _signature(rr, approx, val(o))
+        if prev_o is not None and sig != prev_sig:
+            a, b = prev_o, o
+            want = prev_sig
+            while b - a > 1:
+                m = (a + b) // 2
+                if _signature(rr, approx, val(m)) == want:
+                    a = m
+                else:
+                    b = m
+            seam_ordinals += [a, b]
+            if len(seam_ordinals) >= 2 * max_seams:
+                break
+        prev_o, prev_sig = o, sig
+    return boundary_values(fmt, [val(o) for o in seam_ordinals], radius)
+
+
+def graze_candidates(
+    fn_name: str,
+    fmt: TargetFormat,
+    rr: RangeReduction,
+    count: int = 32,
+    seed: int = 11,
+    oracle: Oracle = default_oracle,
+    radius: int = 2,
+    steps: int = 2,
+) -> list[float]:
+    """Oracle-guided boundary grazers with ±k-ulp neighbourhoods."""
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    rng = random.Random(seed)
+    starts = [x for x in sample_values(fmt, count, rng, lo, hi)
+              if rr.special(x) is None]
+    olo, ohi = value_to_ordinal(fmt, lo), value_to_ordinal(fmt, hi)
+    out: list[float] = []
+    for x in starts:
+        for _ in range(steps):
+            nxt = _graze_step(fn_name, fmt, rr, x, oracle, olo, ohi)
+            if nxt is None:
+                break
+            x = nxt
+        out += boundary_values(fmt, [x], radius)
+    return out
+
+
+def _graze_step(fn_name: str, fmt: TargetFormat, rr: RangeReduction,
+                x: float, oracle: Oracle, olo: int, ohi: int) -> float | None:
+    """One Newton step in ordinal space toward the nearest boundary."""
+    fn = get_function(fn_name)
+    lo_br, hi_br, exact = oracle.bracket(fn, x, _GRAZE_PREC)
+    if exact:
+        return None
+    q = (lo_br + hi_br) / 2
+    iv = target_rounding_interval(fmt, fmt.from_fraction(q))
+    if math.isinf(iv.lo) or math.isinf(iv.hi):
+        return None
+    b_lo, b_hi = Fraction(iv.lo), Fraction(iv.hi)
+    target = b_lo if (q - b_lo) <= (b_hi - q) else b_hi
+    # local derivative from the two neighbouring representable inputs
+    o = value_to_ordinal(fmt, x)
+    if not olo < o < ohi:
+        return None
+    x_dn = fmt.to_double(fmt.from_ordinal(o - 1))
+    x_up = fmt.to_double(fmt.from_ordinal(o + 1))
+    if rr.special(x_dn) is not None or rr.special(x_up) is not None:
+        return None
+    f_dn = oracle.round_to_double(fn_name, x_dn)
+    f_up = oracle.round_to_double(fn_name, x_up)
+    span = x_up - x_dn
+    dy = f_up - f_dn
+    if not math.isfinite(dy) or dy == 0.0:   # fplint: disable=FP101
+        return None
+    # ordinals per unit input is locally 2 / span; clamp the jump so a
+    # bad linearization cannot leave the neighbourhood that produced it
+    k = int(round(float(target - q) / dy * 2.0))
+    k = max(-(1 << 16), min(1 << 16, k))
+    if k == 0:
+        return None
+    o2 = max(olo + 1, min(ohi - 1, o + k))
+    x2 = fmt.to_double(fmt.from_ordinal(o2))
+    if o2 == o or rr.special(x2) is not None:
+        return None
+    return x2
+
+
+def random_candidates(
+    fn_name: str,
+    fmt: TargetFormat,
+    rr: RangeReduction,
+    count: int = 256,
+    seed: int = 7,
+) -> list[float]:
+    """Plain ordinal-uniform draws over the non-special domain."""
+    lo, hi = sampling_domain(fn_name, fmt, rr)
+    return sample_values(fmt, count, random.Random(seed), lo, hi)

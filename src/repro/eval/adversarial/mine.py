@@ -1,0 +1,161 @@
+"""The corpus factory: generate, de-duplicate, rank, freeze.
+
+:func:`mine_corpus` runs every hostile-input generator for one
+(function, target) pair, de-duplicates the candidates by input bit
+pattern (first generator wins the provenance tag), measures each
+non-special candidate's exact :func:`~repro.eval.hardcases.
+boundary_distance`, keeps the hardest per category, and records the
+correctly rounded expected result (special-case layer or oracle) for
+each survivor.  The result freezes as a committed JSON file the replay
+harness (:mod:`~repro.eval.adversarial.audit`) re-checks forever after
+without an oracle in the loop.
+
+Mining is deterministic for a given seed; re-mining with the shipped
+defaults reproduces the committed corpora byte-for-byte as long as the
+tables and the oracle semantics are unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import GeneratedFunction, target_bits
+from repro.eval.adversarial.corpus import Corpus, CorpusEntry, save_corpus
+from repro.eval.adversarial.generators import (boundary_ordinal_candidates,
+                                               graze_candidates,
+                                               random_candidates,
+                                               seam_candidates,
+                                               special_frontier_candidates)
+from repro.eval.hardcases import boundary_distance
+from repro.obs import metrics, timed_span
+from repro.oracle.mpmath_oracle import Oracle, default_oracle
+
+__all__ = ["mine_corpus", "mine_corpora", "corpus_inputs", "CATEGORY_CAPS"]
+
+#: Per-provenance entry caps (hardest kept); the sum bounds corpus size.
+CATEGORY_CAPS = {"special": 32, "seam": 32, "boundary": 24,
+                 "graze": 24, "random": 16}
+
+
+def _candidate_sets(fn_name, fmt, rr, approx, seed, oracle):
+    """(tag, candidates) in provenance-priority order."""
+    return [
+        ("special", special_frontier_candidates(fn_name, fmt, rr)),
+        ("seam", seam_candidates(fn_name, fmt, rr, approx)),
+        ("boundary", boundary_ordinal_candidates(fn_name, fmt, rr)),
+        ("graze", graze_candidates(fn_name, fmt, rr, seed=seed + 1,
+                                   oracle=oracle)),
+        ("random", random_candidates(fn_name, fmt, rr, seed=seed)),
+    ]
+
+
+def mine_corpus(
+    fn_name: str,
+    target: str,
+    *,
+    fn: GeneratedFunction | None = None,
+    seed: int = 2021,
+    caps: dict[str, int] | None = None,
+    oracle: Oracle = default_oracle,
+) -> Corpus:
+    """Mine the adversarial corpus for one shipped (function, target).
+
+    ``fn`` defaults to the shipped frozen table (its range reduction
+    carries the frozen thresholds, so mining never re-derives them);
+    pass a freshly generated function for unshipped formats (tests mine
+    float8 corpora this way).
+    """
+    from repro.libm.serialize import TARGETS_BY_NAME
+
+    fmt = TARGETS_BY_NAME[target]
+    if fn is None:
+        from repro.libm.runtime import load_function
+
+        fn = load_function(fn_name, target)
+    rr = fn.spec.rr
+    caps = dict(CATEGORY_CAPS, **(caps or {}))
+
+    with timed_span("adversarial.mine", fn=fn_name, target=target):
+        tagged: dict[int, str] = {}
+        for tag, xs in _candidate_sets(fn_name, fmt, rr, fn.approx,
+                                       seed, oracle):
+            for x in xs:
+                bits = target_bits(fmt, x)
+                tagged.setdefault(bits, tag)
+
+        from repro.eval.adversarial.generators import input_value
+
+        scored: dict[str, list[CorpusEntry]] = {t: [] for t in caps}
+        for bits, tag in tagged.items():
+            x = input_value(fmt, bits)
+            s = rr.special(x)
+            if s is not None:
+                want = target_bits(fmt, s)
+                d = 0.5
+            else:
+                want = oracle.round_to_bits(fn_name, x, fmt)
+                d = boundary_distance(fn_name, x, fmt, oracle)
+            scored[tag].append(CorpusEntry(bits, want, d, tag))
+
+        entries: list[CorpusEntry] = []
+        for tag, cap in caps.items():
+            ranked = sorted(scored[tag],
+                            key=lambda e: (e.distance, e.x_bits))
+            entries += ranked[:cap]
+        entries.sort(key=lambda e: (e.distance, e.source, e.x_bits))
+        metrics.counter("adversarial.mined").inc(len(entries))
+    return Corpus(fn_name, target, entries)
+
+
+def corpus_inputs(directory, target: str) -> dict[str, list[float]]:
+    """Decoded inputs of every committed corpus for one target.
+
+    The feedback loop's reading end: ``tools/generate_*.py
+    --adversarial`` folds these into the generation constraint set, so a
+    regenerated table can never re-ship a rounding the corpus already
+    proved wrong.
+    """
+    from repro.eval.adversarial.corpus import list_corpora, load_corpus
+    from repro.eval.adversarial.generators import input_value
+    from repro.libm.serialize import TARGETS_BY_NAME
+
+    fmt = TARGETS_BY_NAME[target]
+    out: dict[str, list[float]] = {}
+    for fn_name, tgt, path in list_corpora(directory):
+        if tgt != target:
+            continue
+        corpus = load_corpus(path)
+        out[fn_name] = [input_value(fmt, e.x_bits) for e in corpus]
+    return out
+
+
+def _mine_task(payload: tuple) -> dict:
+    """Worker task: mine one corpus, return its JSON document."""
+    fn_name, target, seed = payload
+    return mine_corpus(fn_name, target, seed=seed).to_json()
+
+
+def mine_corpora(
+    pairs: list[tuple[str, str]],
+    directory,
+    *,
+    seed: int = 2021,
+    workers=None,
+) -> list:
+    """Mine and freeze corpora for many (function, target) pairs.
+
+    With ``workers`` > 1 the pairs are mined across a process pool (one
+    task per corpus); results are identical to serial mining — each
+    corpus depends only on its own (function, target, seed).
+    Returns the written paths in ``pairs`` order.
+    """
+    from repro.eval.adversarial.corpus import CorpusEntry
+    from repro.parallel import run_tasks
+
+    payloads = [(f, t, seed) for f, t in pairs]
+    docs = run_tasks(_mine_task, payloads, workers=workers,
+                     label="adversarial.mine")
+    paths = []
+    for doc in docs:
+        corpus = Corpus(doc["function"], doc["target"],
+                        [CorpusEntry.from_json(e) for e in doc["entries"]])
+        paths.append(save_corpus(corpus, directory))
+    return paths

@@ -66,9 +66,17 @@ def build_pool(
     hard_candidates: int = 6000,
     seed: int = 7,
     oracle: Oracle = default_oracle,
+    corpus_dir=None,
 ) -> list[float]:
-    """The Table 1/2 input pool for one function (memoized per settings)."""
-    key = (fn_name, fmt, n_random, n_hard, hard_candidates, seed, id(oracle))
+    """The Table 1/2 input pool for one function (memoized per settings).
+
+    ``corpus_dir`` optionally merges the committed adversarial corpus
+    for this (function, format) into the pool — the frozen hostile
+    inputs then count toward every library's wrong-result column, not
+    just the freshly mined ones.
+    """
+    key = (fn_name, fmt, n_random, n_hard, hard_candidates, seed,
+           id(oracle), None if corpus_dir is None else str(corpus_dir))
     cached = _POOL_CACHE.get(key)
     if cached is not None:
         return list(cached)
@@ -82,6 +90,19 @@ def build_pool(
                                           random.Random(seed + 1), lo, hi)
                  if rr.special(x) is None]
         pool += mine_hard_cases(fn_name, fmt, cands, n_hard, oracle)
+    if corpus_dir is not None:
+        from repro.eval.adversarial.corpus import corpus_path, load_corpus
+        from repro.eval.adversarial.generators import input_value
+        from repro.libm.serialize import TARGETS_BY_NAME
+
+        target = next((n for n, f in TARGETS_BY_NAME.items() if f is fmt),
+                      None)
+        path = (corpus_path(corpus_dir, fn_name, target)
+                if target is not None else None)
+        if path is not None and path.exists():
+            pool += [x for x in (input_value(fmt, e.x_bits)
+                                 for e in load_corpus(path))
+                     if math.isfinite(x)]
     # dedupe, keep order stable for reproducibility
     pool = sorted(set(pool))
     _POOL_CACHE[key] = pool

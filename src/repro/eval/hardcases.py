@@ -13,23 +13,41 @@ sample.  Our sampled 32-bit pipeline mines them explicitly instead:
 * feed the hardest candidates into both the generation input set and the
   Table 1/2 correctness pools — they are precisely the inputs that
   defeat the double-precision baselines (X(1)..X(5) in Table 1).
+
+The distance computation is Ziv-style: the oracle bracket starts at
+:data:`_PREC` bits and the precision doubles whenever the bracket is too
+coarse to *prove* the distance — it straddles a rounding boundary (the
+two endpoints round to different target patterns) or the endpoint
+distances disagree beyond :data:`_DIST_TOL`.  A fixed precision would
+silently return a coarse distance exactly on the deepest-grazing inputs,
+the ones mining exists to find.
 """
 
 from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.intervals import TargetFormat, target_rounding_interval
+from repro.fp.bits import DBL_MIN_SUBNORMAL
 from repro.oracle.functions import get_function
 from repro.oracle.mpmath_oracle import Oracle, default_oracle
+from repro.posit.format import PositFormat
 
 __all__ = ["boundary_distance", "mine_hard_cases"]
 
-#: Bracketing precision for the distance estimate; generous for 32-bit
-#: targets whose hard cases need ~2**-60 resolution.
+#: Starting bracketing precision; generous for 32-bit targets whose hard
+#: cases need ~2**-60 resolution, and escalated automatically beyond it.
 _PREC = 256
+#: Precision ceiling for the escalation loop.  A bracket still straddling
+#: a boundary here is treated as *on* the boundary (distance 0): the only
+#: reals this misdecides are within 2**-4000 of an exact tie.
+_MAX_PREC = 4096
+#: Required agreement between the distances at the two bracket endpoints,
+#: in interval widths.  2**-20 resolves every ranking decision mining
+#: makes while keeping the common case at one bracket evaluation.
+_DIST_TOL = Fraction(1, 1 << 20)
 
 
 def boundary_distance(
@@ -37,20 +55,48 @@ def boundary_distance(
     x: float,
     fmt: TargetFormat,
     oracle: Oracle = default_oracle,
+    prec: int = _PREC,
+    max_prec: int = _MAX_PREC,
 ) -> float:
     """Distance of f(x) from the nearest rounding boundary, in interval
     widths (0 = exactly on a boundary, 0.5 = dead centre).
 
     Exactly representable results return 0.5 (nothing to graze), and
-    results whose rounding interval is unbounded (overflow/saturation
-    regions) return 0.5 as well.
+    results whose rounding interval is unbounded (overflow regions of
+    IEEE targets, the saturation intervals at a posit's maxpos/minpos)
+    return 0.5 as well — their rounding can never be grazed.
+
+    ``prec`` is the starting bracket precision; it escalates (doubling,
+    up to ``max_prec``) until the bracket provably pins the distance.  A
+    bracket that still straddles a boundary at ``max_prec`` is reported
+    as distance 0.0 — the input *is* a tie to every realistic tolerance.
     """
     fn = get_function(fn_name)
-    lo_br, hi_br, exact = oracle.bracket(fn, x, _PREC)
-    if exact:
-        return 0.5
-    q = (lo_br + hi_br) / 2
-    y_bits = fmt.from_fraction(q)
+    while True:
+        lo_br, hi_br, exact = oracle.bracket(fn, x, prec)
+        if exact:
+            return 0.5
+        lo_bits = fmt.from_fraction(lo_br)
+        if lo_bits == fmt.from_fraction(hi_br):
+            d = _bracket_distance(fmt, lo_bits, lo_br, hi_br)
+            if d is not None:
+                return d
+        if prec >= max_prec:
+            # still straddling a boundary: an exact (or indistinguishably
+            # near-exact) tie the function's exact_hook does not model
+            return 0.0
+        prec = min(prec * 2, max_prec)
+
+
+def _bracket_distance(fmt: TargetFormat, y_bits: int,
+                      lo_br: Fraction, hi_br: Fraction) -> float | None:
+    """Distance certified by a bracket that rounds unambiguously.
+
+    Returns None when the bracket endpoints' distances disagree by more
+    than :data:`_DIST_TOL` (caller escalates).  The distance function
+    ``d(q) = min(q - lo, hi - q) / width`` is concave on the interval,
+    so agreeing endpoints bound the value over the whole bracket.
+    """
     iv = target_rounding_interval(fmt, y_bits)
     if math.isinf(iv.lo) or math.isinf(iv.hi):
         return 0.5
@@ -58,7 +104,21 @@ def boundary_distance(
     width = hi - lo
     if width == 0:
         return 0.5
-    d = min(q - lo, hi - q) / width
+    # the posit ±minpos saturation intervals carry a stand-in edge for
+    # the open boundary at 0 (posits never round a non-zero value to
+    # zero), so only the tie-side edge is a genuine, grazeable boundary
+    posit = isinstance(fmt, PositFormat)
+    lo_real = not (posit and abs(iv.lo) == DBL_MIN_SUBNORMAL)
+    hi_real = not (posit and abs(iv.hi) == DBL_MIN_SUBNORMAL)
+
+    def dist(q: Fraction) -> Fraction:
+        edges = ([q - lo] if lo_real else []) + ([hi - q] if hi_real else [])
+        return min(edges) / width
+
+    d_lo, d_hi = dist(lo_br), dist(hi_br)
+    if abs(d_hi - d_lo) > _DIST_TOL:
+        return None
+    d = (d_lo + d_hi) / 2
     return max(0.0, min(0.5, float(d)))
 
 

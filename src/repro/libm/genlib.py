@@ -80,6 +80,7 @@ def generate_one(
     log=print,
     workers: int | str | None = None,
     capture: dict | None = None,
+    extra_inputs: list[float] | None = None,
 ) -> tuple[GeneratedFunction, dict]:
     """Run the sampled pipeline for one function; returns (fn, extra
     stats).  ``scale`` divides every sample budget (time/quality knob);
@@ -87,7 +88,11 @@ def generate_one(
     the oracle-comparison phases (validation rounds and the final
     residual check) without changing any result.  ``capture`` collects
     the accepted function's LP-pinning samples for certificate emission
-    (see :func:`repro.core.generator.generate`)."""
+    (see :func:`repro.core.generator.generate`).  ``extra_inputs`` are
+    additional representable inputs forced into the generation
+    constraint set — the adversarial-corpus feedback loop: inputs a
+    frozen corpus proved wrong join the LP constraints of the next
+    generation, which therefore cannot ship the same wrong rounding."""
     cfg = settings or GEN_SETTINGS[name]
     div = 8 if quick else max(1, scale)
     rng = random.Random(seed)
@@ -108,6 +113,9 @@ def generate_one(
                                   random.Random(seed + 1), lo, hi)
         hard_pool = [x for x in hard_pool if rr.special(x) is None]
         inputs += mine_hard_cases(name, fmt, hard_pool, cfg.hard_keep // div)
+        inputs += [x for x in rr.hard_input_candidates() if lo <= x <= hi]
+        if extra_inputs:
+            inputs += [x for x in extra_inputs if lo <= x <= hi]
     log(f"[{name}] {len(inputs)} generation inputs "
         f"({time.perf_counter() - t0:.0f}s incl. hard-case mining)")
 
@@ -148,7 +156,8 @@ def generate_one(
 
 def _render_one(name: str, fmt: TargetFormat, seed: int, quick: bool,
                 scale: int, settings: GenSettings | None,
-                workers: int | str | None, log) -> tuple[str, str]:
+                workers: int | str | None, log,
+                extra_inputs: list[float] | None = None) -> tuple[str, str]:
     """Generate one function; returns (module source, certificate JSON).
 
     The certificate is built from the run's captured LP-pinning samples
@@ -158,7 +167,8 @@ def _render_one(name: str, fmt: TargetFormat, seed: int, quick: bool,
     capture: dict = {}
     fn, extra = generate_one(name, fmt, seed=seed, quick=quick,
                              settings=settings, scale=scale, log=log,
-                             workers=workers, capture=capture)
+                             workers=workers, capture=capture,
+                             extra_inputs=extra_inputs)
     data = function_to_dict(fn)
     data["stats"].update(extra)
     cert_text, cstats = render_certificate(data, capture)
@@ -175,9 +185,10 @@ def _generate_one_task(payload: tuple) -> tuple[str, str, str]:
     pool is already one process per function) and logging goes to the
     worker's stdout with a function prefix.
     """
-    name, fmt, seed, quick, scale, settings = payload
+    name, fmt, seed, quick, scale, settings, extra_inputs = payload
     source, cert = _render_one(name, fmt, seed, quick, scale, settings,
-                               workers=None, log=print)
+                               workers=None, log=print,
+                               extra_inputs=extra_inputs)
     return name, source, cert
 
 
@@ -194,6 +205,7 @@ def generate_library(
     checkpoint: pathlib.Path | str | None = None,
     settings: GenSettings | None = None,
     checkpoint_dir: pathlib.Path | str | None = None,
+    extra_inputs: dict[str, list[float]] | None = None,
 ) -> None:
     """Generate and freeze a set of functions into ``out_dir``.
 
@@ -207,7 +219,10 @@ def generate_library(
     checkpoints cannot leak into a differently configured run
     (``checkpoint_dir`` is the deprecated spelling of the same
     parameter).  ``settings`` overrides :data:`GEN_SETTINGS` for every
-    function (small budgets for tests and sweeps).
+    function (small budgets for tests and sweeps).  ``extra_inputs``
+    maps function names to additional generation inputs (see
+    :func:`generate_one`) — typically the inputs of the shipped
+    adversarial corpora (``tools/generate_float32.py --adversarial``).
     """
     if checkpoint_dir is not None:
         warnings.warn("checkpoint_dir= is deprecated; use checkpoint=",
@@ -219,11 +234,16 @@ def generate_library(
     if not init.exists():
         init.write_text('"""Frozen coefficient tables (generated)."""\n')
 
+    extra_inputs = extra_inputs or {}
     ckpt = None
     if checkpoint is not None:
         ckpt = Checkpoint(checkpoint, manifest={
             "target": str(fmt), "seed": seed, "quick": bool(quick),
             "scale": scale,
+            # fingerprint, so a checkpoint taken without (or with other)
+            # corpus feedback cannot leak into this run
+            "extra_inputs": {n: len(v) for n, v in sorted(
+                extra_inputs.items()) if v},
         })
 
     sources: dict[str, str] = {}
@@ -240,7 +260,8 @@ def generate_library(
 
     n_workers = resolve_workers(workers)
     if n_workers > 1 and len(pending) > 1:
-        payloads = [(name, fmt, seed, quick, scale, settings)
+        payloads = [(name, fmt, seed, quick, scale, settings,
+                     extra_inputs.get(name))
                     for name in pending]
 
         def _save(index: int, result: tuple[str, str, str]) -> None:
@@ -255,7 +276,8 @@ def generate_library(
     else:
         for name in pending:
             source, cert = _render_one(name, fmt, seed, quick, scale,
-                                       settings, workers=workers, log=log)
+                                       settings, workers=workers, log=log,
+                                       extra_inputs=extra_inputs.get(name))
             sources[name] = source
             certs[name] = cert
             if ckpt is not None:

@@ -82,6 +82,21 @@ class RangeReduction(ABC):
         """Monomial structure for one reduced function."""
         return self.exponents[self.fn_names.index(fn_name)]
 
+    def hard_input_candidates(self) -> list[float]:
+        """Exhaustively enumerated hard inputs, if the reduction has any.
+
+        Some reductions have a band where many representable inputs map
+        onto every output ordinal (exp near 0: the k = 0 band compensates
+        nothing, and hundreds of inputs share each result near 1.0).
+        Random hard-case mining cannot cover such a band densely, so the
+        generated polynomial can ship a wrong rounding on an unsampled
+        graze.  Reductions with such a band override this to enumerate
+        the *complete* family by walking every output midpoint in the
+        band and keeping the representable preimages that graze it; the
+        generator folds them into the constraint set.  Default: none.
+        """
+        return []
+
     # -- batch interface ---------------------------------------------------
     #
     # Array counterparts of special/reduce/compensate used by

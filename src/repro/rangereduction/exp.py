@@ -102,6 +102,75 @@ class ExpReduction(RangeReduction):
             return 1.0
         return None
 
+    #: Keep preimages within this many interval widths of a midpoint.
+    #: LP solutions are vertices — some constraint sits exactly on its
+    #: interval edge — so between sampled constraints the polynomial can
+    #: drift by ~1e-5..1e-4 widths; this catches the graze family that
+    #: drift can misround while staying ~10k candidates per target.
+    _GRAZE_THRESHOLD = 3e-5
+    #: Hard ceiling on kept candidates (sorted hardest-first, so every
+    #: genuinely grazing input survives the cap by a wide margin).
+    _GRAZE_CAP = 24576
+
+    def hard_input_candidates(self) -> list[float]:
+        """Every representable input grazing a midpoint in the k=0 band.
+
+        For |x| < C/2 the reduction is the identity (k = 0, r = x) and
+        output compensation multiplies by T[0] = 1: the polynomial alone
+        decides roundings in a band where up to ~2**18 inputs share each
+        output ordinal near 1.0.  The graze family there is dense but
+        *enumerable*: walk every output midpoint m between consecutive
+        target values in [f(-C/2), f(C/2)] and invert it — the preimage
+        is x* = log1p(m-1) / ln(b), computable in pure double arithmetic
+        (m-1 is exact by Sterbenz, log1p carries ~2**-58 absolute error,
+        far below the 2**-40-scale distances being classified).  Keep
+        the representable neighbours of each x* whose image grazes m
+        within :data:`_GRAZE_THRESHOLD` interval widths.
+
+        IEEE targets only: posit targets carry ~28 fraction bits near
+        1.0, so their band family is both deeper (multi-seed mining has
+        never caught a posit near-1 miss — the extra precision tightens
+        the LP) and large enough past the cap to over-constrain
+        generation into infeasibility; the posit weak spot observed in
+        practice is the saturation frontier instead (see ROADMAP).
+        """
+        fmt = self.target
+        if self._saturating:
+            return []
+        # generation-time enumeration: candidates need ~2**-30 accuracy,
+        # not correct rounding, so plain math.* is fine here
+        ln_b = {"exp": 1.0, "exp2": math.log(2.0),  # fplint: disable=FP102
+                "exp10": math.log(10.0)}[self.name]  # fplint: disable=FP102
+        half_band = self._c / 2.0
+        lo_bits = fmt.from_double(math.exp(-half_band * ln_b))  # fplint: disable=FP102
+        hi_bits = fmt.from_double(math.exp(half_band * ln_b))  # fplint: disable=FP102
+        scored: list[tuple[float, float]] = []
+        seen: set[int] = set()
+        bits = lo_bits
+        y = fmt.to_double(bits)
+        while bits != hi_bits:
+            nbits = fmt.next_up(bits)
+            ny = fmt.to_double(nbits)
+            width = ny - y
+            m = y + width / 2.0
+            x_star = math.log1p(m - 1.0) / ln_b  # fplint: disable=FP102
+            deriv = ln_b * m
+            xb = fmt.from_double(x_star)
+            up, down = fmt.next_up, fmt.next_down
+            for cb, step in ((xb, up), (down(xb), down)):
+                while True:
+                    x = fmt.to_double(cb)
+                    d = abs(x - x_star) * deriv / width
+                    if d >= self._GRAZE_THRESHOLD:
+                        break
+                    if cb not in seen and self.special(x) is None:
+                        seen.add(cb)
+                        scored.append((d, x))
+                    cb = step(cb)
+            bits, y = nbits, ny
+        scored.sort(key=lambda t: t[0])
+        return [x for _, x in scored[: self._GRAZE_CAP]]
+
     def reduce(self, x: float) -> Reduced:
         k = round(x * self._c_inv)
         r = x - k * self._c

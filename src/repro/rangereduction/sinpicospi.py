@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.batch.reduce import table
 from repro.core.intervals import TargetFormat
+from repro.posit.format import PositFormat
 from repro.rangereduction.base import RangeReduction, Reduced
 from repro.rangereduction.tables import sinpicospi_tables
 
@@ -205,6 +206,63 @@ class CosPiReduction(RangeReduction):
                 return 1.0        # spacing >= 2: every value is even
             return 1.0 if int(ax) % 2 == 0 else -1.0
         return None
+
+    #: Same classification threshold/cap as ExpReduction (see exp.py for
+    #: the LP-vertex-drift rationale behind the numbers).
+    _GRAZE_THRESHOLD = 3e-5
+    _GRAZE_CAP = 24576
+
+    def hard_input_candidates(self) -> list[float]:
+        """Every representable input grazing a midpoint in the N=0 band.
+
+        For 0 < x < 1/512 the reduction is the identity (N = 0, R = x)
+        and compensation multiplies by cospi(0) = 1: the cospi
+        polynomial alone decides roundings in a band where thousands of
+        inputs share each output ordinal just below 1.0 — the exact
+        analogue of the exp-family k=0 band.  Walk every output
+        midpoint m in (cospi(1/512), 1] and invert it: the preimage is
+        x* = acos(m)/pi (m is an exact double, libm acos carries ~1 ulp
+        relative error — orders of magnitude below the distances being
+        classified).  Negative inputs reduce to the same R by evenness,
+        so positive candidates constrain both signs.
+
+        IEEE targets only, for the same reasons as ExpReduction: no
+        posit near-1 cospi miss has ever been mined, and posit bands
+        are large enough to over-constrain generation (see ROADMAP).
+        """
+        fmt = self.target
+        if isinstance(fmt, PositFormat):
+            return []
+        # generation-time enumeration: candidates need ~2**-30 accuracy,
+        # not correct rounding, so plain math.* is fine here
+        lo_bits = fmt.from_double(math.cos(math.pi / 512.0))  # fplint: disable=FP102
+        hi_bits = fmt.from_double(1.0)
+        scored: list[tuple[float, float]] = []
+        seen: set[int] = set()
+        bits = lo_bits
+        y = fmt.to_double(bits)
+        while bits != hi_bits:
+            nbits = fmt.next_up(bits)
+            ny = fmt.to_double(nbits)
+            width = ny - y
+            m = y + width / 2.0
+            x_star = math.acos(m) / math.pi  # fplint: disable=FP102
+            deriv = math.pi * math.sin(math.pi * x_star)  # fplint: disable=FP102
+            xb = fmt.from_double(x_star)
+            up, down = fmt.next_up, fmt.next_down
+            for cb, step in ((xb, up), (down(xb), down)):
+                while True:
+                    x = fmt.to_double(cb)
+                    d = abs(x - x_star) * deriv / width
+                    if d >= self._GRAZE_THRESHOLD:
+                        break
+                    if cb not in seen and self.special(x) is None:
+                        seen.add(cb)
+                        scored.append((d, x))
+                    cb = step(cb)
+            bits, y = nbits, ny
+        scored.sort(key=lambda t: t[0])
+        return [x for _, x in scored[: self._GRAZE_CAP]]
 
     def reduce(self, x: float) -> Reduced:
         ax = abs(x)               # cospi is even

@@ -1,0 +1,338 @@
+"""Tests for the adversarial corpus subsystem (mine, freeze, replay).
+
+The fast tier mines corpora for the tiny float8/posit8 session fixtures
+(sub-second) and replays the *committed* float32/posit32 corpora
+through every evaluation path; the oracle-heavy full re-mine of the
+shipped formats hides behind the ``adversarial`` marker.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.adversarial import (CORPUS_VERSION, Corpus, CorpusEntry,
+                                    CorpusError, audit_corpus,
+                                    audit_corpus_dir, corpus_inputs,
+                                    corpus_path, default_corpus_dir,
+                                    list_corpora, load_corpus, mine_corpus,
+                                    render_audits, save_corpus, schema_errors)
+from repro.eval.adversarial.generators import (boundary_ordinal_candidates,
+                                               graze_candidates, input_value,
+                                               random_candidates,
+                                               seam_candidates,
+                                               special_frontier_candidates)
+from repro.fp.formats import FLOAT8, FLOAT32
+from repro.libm.runtime import available
+from repro.posit.format import POSIT8
+
+needs_float32 = pytest.mark.skipif(
+    len(available("float32")) < 10, reason="float32 tables not generated")
+needs_posit32 = pytest.mark.skipif(
+    len(available("posit32")) < 8, reason="posit32 tables not generated")
+
+COMMITTED = default_corpus_dir(".")
+
+
+def _corpus(entries=None):
+    entries = entries or [CorpusEntry(0x3c, 0x3d, 0.25, "random"),
+                          CorpusEntry(0x81, 0x00, 0.5, "special")]
+    return Corpus("exp", "float8", entries)
+
+
+class TestCorpusCodec:
+    def test_entry_round_trip(self):
+        e = CorpusEntry(0xdeadbeef, 0x7f800000, 1.2681649789067737e-18,
+                        "graze")
+        assert CorpusEntry.from_json(e.to_json()) == e
+
+    def test_save_load_round_trip(self, tmp_path):
+        c = _corpus()
+        path = save_corpus(c, tmp_path)
+        assert path == corpus_path(tmp_path, "exp", "float8")
+        back = load_corpus(path)
+        assert back.function == "exp" and back.target == "float8"
+        assert back.entries == c.entries
+
+    def test_distance_survives_exactly(self, tmp_path):
+        # repr round-trip: the frozen distance is the mined distance
+        d = 2.220446049250313e-16
+        c = _corpus([CorpusEntry(1, 2, d, "graze")])
+        assert load_corpus(save_corpus(c, tmp_path)).entries[0].distance == d
+
+    def test_list_corpora(self, tmp_path):
+        save_corpus(_corpus(), tmp_path)
+        save_corpus(Corpus("ln", "posit8", _corpus().entries), tmp_path)
+        (tmp_path / "README.json").write_text("{}")   # not fn.target.json
+        got = list_corpora(tmp_path)
+        assert [(f, t) for f, t, _ in got] == [
+            ("exp", "float8"), ("ln", "posit8")]
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(CorpusError, match="cannot read"):
+            load_corpus(tmp_path / "nope.float8.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        p = tmp_path / "exp.float8.json"
+        p.write_text("{not json")
+        with pytest.raises(CorpusError, match="not valid JSON"):
+            load_corpus(p)
+
+
+class TestSchema:
+    def test_valid_document(self):
+        assert schema_errors(_corpus().to_json()) == []
+
+    def test_not_an_object(self):
+        assert schema_errors([1, 2]) != []
+
+    def test_unknown_version(self):
+        doc = _corpus().to_json()
+        doc["corpus_version"] = CORPUS_VERSION + 1
+        assert any("corpus_version" in e for e in schema_errors(doc))
+
+    def test_missing_and_extra_keys(self):
+        doc = _corpus().to_json()
+        del doc["target"]
+        assert schema_errors(doc)
+        doc = _corpus().to_json()
+        doc["bonus"] = 1
+        assert schema_errors(doc)
+
+    def test_bad_hex(self):
+        doc = _corpus().to_json()
+        doc["entries"][0]["x"] = "3c"          # no 0x prefix
+        assert any("hex" in e for e in schema_errors(doc))
+        doc["entries"][0]["x"] = "0xzz"
+        assert any("hex" in e for e in schema_errors(doc))
+
+    def test_distance_out_of_range(self):
+        doc = _corpus().to_json()
+        doc["entries"][0]["d"] = "0.75"
+        assert any("outside" in e for e in schema_errors(doc))
+
+    def test_unknown_source_tag(self):
+        doc = _corpus().to_json()
+        doc["entries"][0]["src"] = "fuzzer"
+        assert any("source tag" in e for e in schema_errors(doc))
+
+    def test_duplicate_inputs(self):
+        e = CorpusEntry(0x3c, 0x3d, 0.25, "random")
+        doc = Corpus("exp", "float8", [e, e]).to_json()
+        assert any("duplicate" in e_ for e_ in schema_errors(doc))
+
+    def test_empty_entries(self):
+        doc = _corpus().to_json()
+        doc["entries"] = []
+        assert any("non-empty" in e for e in schema_errors(doc))
+
+
+class TestGenerators:
+    def test_input_value_negative_zero(self):
+        bits = FLOAT32.sign_mask
+        x = input_value(FLOAT32, bits)
+        assert x == 0.0 and str(x) == "-0.0"
+
+    def test_input_value_plain(self):
+        assert input_value(FLOAT8, FLOAT8.from_double(1.5)) == 1.5
+
+    def test_special_frontier_has_nonfinite_float_patterns(self, float8_exp):
+        rr = float8_exp.spec.rr
+        xs = special_frontier_candidates("exp", FLOAT8, rr)
+        assert any(x != x for x in xs)           # nan
+        assert float("inf") in xs and float("-inf") in xs
+
+    def test_special_frontier_posit(self, posit8_exp):
+        rr = posit8_exp.spec.rr
+        xs = special_frontier_candidates("exp", POSIT8, rr)
+        assert 0.0 in xs and any(x != x for x in xs)   # zero and NaR
+
+    def test_boundary_candidates_posit_regimes(self, posit8_exp):
+        rr = posit8_exp.spec.rr
+        xs = boundary_ordinal_candidates("exp", POSIT8, rr)
+        u = float(POSIT8.useed)
+        assert any(abs(x - u) / u < 0.5 for x in xs if x > 0)
+
+    def test_seam_candidates_straddle_index_change(self, float8_log2):
+        rr = float8_log2.spec.rr
+        xs = seam_candidates("log2", FLOAT8, rr, float8_log2.approx)
+        assert xs, "a piecewise table must have at least one seam"
+
+    def test_random_candidates_deterministic(self, float8_exp):
+        rr = float8_exp.spec.rr
+        a = random_candidates("exp", FLOAT8, rr, count=40, seed=3)
+        b = random_candidates("exp", FLOAT8, rr, count=40, seed=3)
+        assert a == b
+        assert a != random_candidates("exp", FLOAT8, rr, count=40, seed=4)
+
+    def test_graze_candidates_stay_in_domain(self, float8_exp):
+        rr = float8_exp.spec.rr
+        xs = graze_candidates("exp", FLOAT8, rr, count=8, seed=5)
+        for x in xs:
+            assert rr.special(x) is None or True   # representable doubles
+            assert FLOAT8.to_double(FLOAT8.from_double(x)) == x
+
+
+class TestMine:
+    def test_mine_float8_corpus(self, float8_exp):
+        c = mine_corpus("exp", "float8", fn=float8_exp)
+        assert c.function == "exp" and c.target == "float8"
+        assert len(c) > 0
+        assert schema_errors(c.to_json()) == []
+        # ranked: distances ascend
+        ds = [e.distance for e in c]
+        assert ds == sorted(ds)
+
+    def test_mine_deterministic(self, float8_exp):
+        a = mine_corpus("exp", "float8", fn=float8_exp)
+        b = mine_corpus("exp", "float8", fn=float8_exp)
+        assert a.to_json() == b.to_json()
+
+    def test_mined_corpus_replays_clean(self, float8_exp):
+        # an exhaustively generated table must pass its own fresh corpus
+        c = mine_corpus("exp", "float8", fn=float8_exp)
+        audit = audit_corpus(c, fn=float8_exp)
+        assert audit.ok, [str(f) for f in audit.failures]
+        assert audit.paths == ("scalar", "batch", "instrumented")
+
+    def test_corpus_inputs_reads_back(self, float8_exp, tmp_path):
+        c = mine_corpus("exp", "float8", fn=float8_exp)
+        save_corpus(c, tmp_path)
+        got = corpus_inputs(tmp_path, "float8")
+        assert set(got) == {"exp"}
+        assert len(got["exp"]) == len(c)
+
+
+class TestAudit:
+    def test_tamper_detection(self, float8_exp, tmp_path):
+        # flip one expected bit pattern: every path must report it
+        c = mine_corpus("exp", "float8", fn=float8_exp)
+        e = next(e for e in c if e.distance < 0.5)
+        bad = CorpusEntry(e.x_bits, e.want_bits ^ 1, e.distance, e.source)
+        tampered = Corpus(c.function, c.target,
+                          [bad if x is e else x for x in c.entries])
+        audit = audit_corpus(tampered, fn=float8_exp)
+        assert not audit.ok
+        assert {f.path for f in audit.failures} == {
+            "scalar", "batch", "instrumented"}
+        assert all(f.x_bits == e.x_bits for f in audit.failures)
+
+    def test_audit_dir_and_render(self, float8_exp, tmp_path):
+        save_corpus(mine_corpus("exp", "float8", fn=float8_exp), tmp_path)
+        audits = audit_corpus_dir(tmp_path,
+                                  loader=lambda f, t: float8_exp)
+        assert len(audits) == 1 and audits[0].ok
+        text = render_audits(audits)
+        assert "exp.float8" in text and "ok" in text
+
+    def test_audit_dir_propagates_schema_failure(self, tmp_path):
+        p = tmp_path / "exp.float8.json"
+        p.write_text(json.dumps({"corpus_version": 99}))
+        with pytest.raises(CorpusError):
+            audit_corpus_dir(tmp_path)
+
+    @pytest.mark.parallel
+    def test_parallel_path_agrees(self, float8_exp):
+        c = mine_corpus("exp", "float8", fn=float8_exp)
+        audit = audit_corpus(c, fn=float8_exp, workers=2)
+        assert audit.paths == ("scalar", "batch", "instrumented", "parallel")
+        assert audit.ok, [str(f) for f in audit.failures]
+
+
+class TestCommittedCorpora:
+    """The frozen corpora are part of the shipped library's contract."""
+
+    def test_all_shipped_pairs_have_corpora(self):
+        have = {(f, t) for f, t, _ in list_corpora(COMMITTED)}
+        for f in available("float32"):
+            assert (f, "float32") in have
+        for f in available("posit32"):
+            assert (f, "posit32") in have
+
+    def test_committed_corpora_pass_schema(self):
+        for _, _, path in list_corpora(COMMITTED):
+            doc = json.loads(path.read_text())
+            assert schema_errors(doc) == [], path
+
+    @needs_float32
+    def test_committed_float32_corpora_replay_clean(self):
+        audits = audit_corpus_dir(COMMITTED, target="float32")
+        assert audits
+        bad = [str(f) for a in audits for f in a.failures]
+        assert not bad, bad
+
+    @needs_posit32
+    def test_committed_posit32_corpora_replay_clean(self):
+        audits = audit_corpus_dir(COMMITTED, target="posit32")
+        assert audits
+        bad = [str(f) for a in audits for f in a.failures]
+        assert not bad, bad
+
+
+class TestCLI:
+    @needs_float32
+    def test_check_mode(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        save_corpus(load_corpus(corpus_path(COMMITTED, "exp", "float32")),
+                    tmp_path)
+        rc = main(["adversarial", "check", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "exp.float32" in out
+
+    @needs_float32
+    def test_check_mode_fails_on_tamper(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        c = load_corpus(corpus_path(COMMITTED, "exp", "float32"))
+        e = c.entries[0]
+        c.entries[0] = CorpusEntry(e.x_bits, e.want_bits ^ 1, e.distance,
+                                   e.source)
+        save_corpus(c, tmp_path)
+        assert main(["adversarial", "check", "--dir", str(tmp_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_mode_empty_dir_fails(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["adversarial", "check", "--dir", str(tmp_path)]) == 1
+
+    @needs_float32
+    @pytest.mark.adversarial
+    def test_mine_mode_full_float32(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(["adversarial", "mine", "--dir", str(tmp_path),
+                   "--target", "float32"])
+        assert rc == 0
+        assert len(list_corpora(tmp_path)) == len(available("float32"))
+        assert main(["adversarial", "check", "--dir", str(tmp_path),
+                     "--target", "float32"]) == 0
+
+
+class TestGate:
+    @needs_float32
+    @needs_posit32
+    def test_tools_run_adversarial_gate(self):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "run_adversarial",
+            pathlib.Path(__file__).parent.parent / "tools"
+            / "run_adversarial.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert mod.main([]) == 0
+
+    def test_gate_reports_missing_corpus(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "run_adversarial",
+            pathlib.Path(__file__).parent.parent / "tools"
+            / "run_adversarial.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert mod.main(["--dir", str(tmp_path)]) == 1
+        assert "missing corpus" in capsys.readouterr().out

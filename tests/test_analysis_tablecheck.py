@@ -165,7 +165,8 @@ class TestTC209Contiguity:
 
     def test_index_field_reaching_sign_bit_fires(self, cosh_data):
         pp = cosh_data["approx"]["cosh"]["pos"]
-        pp["shift"] = 63  # with index_bits=1 the field straddles bit 63
+        pp["index_bits"] = max(pp["index_bits"], 1)
+        pp["shift"] = 63  # with index_bits>=1 the field straddles bit 63
         msgs = [f.message for f in check_data(cosh_data, "cosh.py")
                 if f.rule == "TC209"]
         assert any("sign bit" in m for m in msgs)

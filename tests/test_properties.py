@@ -211,3 +211,69 @@ class TestShardProperties:
             plan_chunks(-1, 2)
         with pytest.raises(ValueError):
             plan_chunks(5, 2, chunk_size=0)
+
+
+class TestDifferentialEvaluation:
+    """Scalar, batch-engine, and corpus replays agree bit-exactly.
+
+    The bit-identity claim between ``evaluate_bits`` and the vectorized
+    ``evaluate_bits_many`` is load-bearing for the adversarial audit
+    (all replay paths must agree before a corpus failure means
+    anything), so it gets its own property: arbitrary bit patterns,
+    including specials, evaluated both ways.
+    """
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xff),
+                    min_size=1, max_size=48, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_float8_paths_agree_on_any_patterns(self, float8_exp, patterns):
+        import numpy as np
+
+        from repro.eval.adversarial.generators import input_value
+
+        xs = [input_value(FLOAT8, b) for b in patterns]
+        scalar = [float8_exp.evaluate_bits(x) for x in xs]
+        batch = float8_exp.evaluate_bits_many(
+            np.array(xs, dtype=np.float64)).tolist()
+        assert scalar == batch
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xff),
+                    min_size=1, max_size=48, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_posit8_paths_agree_on_any_patterns(self, posit8_exp, patterns):
+        import numpy as np
+
+        from repro.eval.adversarial.generators import input_value
+
+        xs = [input_value(POSIT8, b) for b in patterns]
+        scalar = [posit8_exp.evaluate_bits(x) for x in xs]
+        batch = posit8_exp.evaluate_bits_many(
+            np.array(xs, dtype=np.float64)).tolist()
+        assert scalar == batch
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_committed_corpus_draws_replay_identically(self, data):
+        """Random draws from the committed adversarial corpora: every
+        path reproduces the frozen expected bits."""
+        import numpy as np
+
+        from repro.eval.adversarial import default_corpus_dir, list_corpora, \
+            load_corpus
+        from repro.eval.adversarial.generators import input_value
+        from repro.libm.runtime import load_function
+        from repro.libm.serialize import TARGETS_BY_NAME
+
+        corpora = list_corpora(default_corpus_dir("."))
+        assume(corpora)
+        fn_name, target, path = data.draw(st.sampled_from(corpora))
+        corpus = load_corpus(path)
+        entries = data.draw(st.lists(st.sampled_from(corpus.entries),
+                                     min_size=1, max_size=16, unique=True))
+        fn = load_function(fn_name, target)
+        fmt = TARGETS_BY_NAME[target]
+        xs = [input_value(fmt, e.x_bits) for e in entries]
+        scalar = [fn.evaluate_bits(x) for x in xs]
+        batch = fn.evaluate_bits_many(np.array(xs, dtype=np.float64)).tolist()
+        assert scalar == batch
+        assert scalar == [e.want_bits for e in entries]

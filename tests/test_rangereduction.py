@@ -147,6 +147,59 @@ class TestExpReduction:
         assert math.copysign(1.0, red.r) == 1.0
 
 
+class TestHardInputCandidates:
+    """The dense-band midpoint-preimage enumerations (exp, cospi)."""
+
+    def test_base_default_is_empty(self, rr_log, rr_sinh, rr_sinpi):
+        assert rr_log.hard_input_candidates() == []
+        assert rr_sinh.hard_input_candidates() == []
+        assert rr_sinpi.hard_input_candidates() == []
+
+    def test_posit_targets_exempt(self):
+        # posit near-1 precision over-constrains generation; the band
+        # enumeration is IEEE-only (see docstring + ROADMAP)
+        assert ExpReduction("exp", POSIT16).hard_input_candidates() == []
+        assert CosPiReduction(POSIT16).hard_input_candidates() == []
+
+    def test_small_format_band_and_specials(self):
+        rr = ExpReduction("exp2", FLOAT8)
+        cands = rr.hard_input_candidates()
+        for x in cands:
+            assert abs(x) < rr._c / 2
+            assert rr.special(x) is None
+        # deterministic: pure arithmetic, no RNG
+        assert cands == rr.hard_input_candidates()
+
+    def test_float32_family_covers_known_misroundings(self, rr_exp):
+        # inputs several shipped exp tables rounded wrong before the
+        # enumerator existed (found by multi-seed adversarial mining);
+        # all graze a midpoint within 3e-5 interval widths, so the
+        # enumeration must produce every one of them
+        known = [0x3689ffeb, 0x369dffe8, 0x354ffffa, 0x38b79df1,
+                 0x395b4a21, 0x3a80edc3, 0xb3c00003, 0xb9369c12]
+        cands = rr_exp.hard_input_candidates()
+        bits = {FLOAT32.from_double(x) for x in cands}
+        missing = [hex(b) for b in known if b not in bits]
+        assert not missing, f"enumeration lost known hard inputs: {missing}"
+        assert len(cands) <= rr_exp._GRAZE_CAP
+
+    def test_cospi_band_covers_known_misroundings(self):
+        # |x| of inputs the shipped cospi/float32 table rounded wrong
+        # before the enumerator existed (cospi is even, so positive
+        # candidates constrain both signs)
+        rr = CosPiReduction(FLOAT32)
+        cands = rr.hard_input_candidates()
+        bits = {FLOAT32.from_double(x) for x in cands}
+        known = [0x3a3998a5, 0x3aa67079, 0x3ac9ed99]
+        missing = [hex(b) for b in known if b not in bits]
+        assert not missing, f"enumeration lost known hard inputs: {missing}"
+        for x in cands:
+            assert 0.0 < x < 1.0 / 512.0 + 1.0 / 4096.0
+            assert rr.special(x) is None
+        assert len(cands) <= rr._GRAZE_CAP
+        assert cands == rr.hard_input_candidates()
+
+
 class TestSinhCoshReduction:
     def test_reduction_exact(self, rr_sinh):
         for x in (0.7, -5.33, 42.015625, 88.0):

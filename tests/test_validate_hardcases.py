@@ -10,8 +10,9 @@ from repro.core.sampling import sample_values
 from repro.core.validate import (Mismatch, generate_validated, reference_bits,
                                  validate)
 from repro.eval.hardcases import boundary_distance, mine_hard_cases
-from repro.fp.formats import FLOAT8, FLOAT32
+from repro.fp.formats import FLOAT8, FLOAT16, FLOAT32
 from repro.oracle import default_oracle as orc
+from repro.posit.format import POSIT8, POSIT32
 from repro.rangereduction import reduction_for
 
 
@@ -98,3 +99,75 @@ class TestHardCases:
         hard = mine_hard_cases("exp", FLOAT32, xs, 3)
         # the hardest of 600 exp values should graze within ~1e-2 widths
         assert boundary_distance("exp", hard[0], FLOAT32) < 1e-2
+
+
+class TestPrecisionEscalation:
+    """boundary_distance must escalate past a too-coarse first bracket."""
+
+    # exp2 of this double grazes a FLOAT16 rounding boundary at ~2**-59.4
+    # — far below what a 64-bit bracket can resolve, so a fixed-precision
+    # distance would silently report garbage here
+    GRAZE_X = -0.026661379199639502
+    GRAZE_D = 1.2681649789067737e-18
+
+    def test_pinned_grazing_input(self):
+        d = boundary_distance("exp2", self.GRAZE_X, FLOAT16)
+        assert d == self.GRAZE_D
+        assert 0.0 < d < 2.0 ** -50
+
+    def test_coarse_start_escalates_to_same_answer(self):
+        # a deliberately hopeless 64-bit starting bracket must escalate
+        # until it proves the same distance the 256-bit start finds
+        d64 = boundary_distance("exp2", self.GRAZE_X, FLOAT16, prec=64)
+        assert d64 == self.GRAZE_D
+
+    def test_ordinary_inputs_unaffected_by_start(self):
+        for x in (0.5, 1.3, 7.7):
+            d64 = boundary_distance("exp", x, FLOAT32, prec=64)
+            d256 = boundary_distance("exp", x, FLOAT32, prec=256)
+            assert abs(d64 - d256) <= 2.0 ** -19
+
+    def test_max_prec_straddle_reports_tie(self):
+        # at max_prec == prec the loop cannot escalate: a bracket that
+        # still straddles must come back as an exact tie (0.0), never an
+        # arbitrary coarse value
+        d = boundary_distance("exp2", self.GRAZE_X, FLOAT16,
+                              prec=64, max_prec=64)
+        assert d == 0.0
+
+
+class TestBoundaryDistanceEdges:
+    """Edge cases: unbounded intervals, exact results, posit regimes."""
+
+    def test_float_overflow_interval_unbounded(self):
+        # rounding interval of +inf is [threshold, inf): never grazeable
+        assert boundary_distance("exp", 100.0, FLOAT32) == 0.5
+        assert boundary_distance("exp10", 50.0, FLOAT32) == 0.5
+
+    def test_posit_saturation_unbounded(self):
+        # posits never overflow: huge results saturate at maxpos, whose
+        # rounding interval is unbounded above — distance 0.5 by fiat
+        assert boundary_distance("exp", 100.0, POSIT32) == 0.5
+        assert boundary_distance("exp", -100.0, POSIT32) == 0.5
+
+    def test_exactly_representable_results(self):
+        # the oracle's exact hook: nothing to graze, distance 0.5
+        assert boundary_distance("exp2", 3.0, FLOAT32) == 0.5
+        assert boundary_distance("log2", 8.0, FLOAT32) == 0.5
+        assert boundary_distance("exp2", 2.0, POSIT32) == 0.5
+
+    def test_posit_regime_boundary_results(self):
+        # results landing at useed**k regime transitions: tapered
+        # precision jumps across the boundary, but the interval is
+        # bounded and the distance must stay in [0, 0.5]
+        u = float(POSIT32.useed)
+        for x in (u, u * u, 1.0 / u):
+            d = boundary_distance("ln", x, POSIT32)
+            assert 0.0 <= d <= 0.5
+
+    def test_distance_always_in_range_posit8(self):
+        for x in sample_values(POSIT8, 60, random.Random(2)):
+            if x == 0.0:
+                continue
+            d = boundary_distance("exp", x, POSIT8)
+            assert 0.0 <= d <= 0.5

@@ -28,14 +28,23 @@ def main(argv=None) -> int:
                              "results are identical)")
     parser.add_argument("--checkpoint", type=pathlib.Path, metavar="DIR",
                         help="resume a killed run from this directory")
+    parser.add_argument("--adversarial", type=pathlib.Path, metavar="DIR",
+                        nargs="?", const=pathlib.Path("tests/data/adversarial"),
+                        help="fold the committed adversarial corpus inputs "
+                             "for float32 into the generation constraints")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path(__file__).resolve().parent.parent
                         / "src" / "repro" / "libm" / "data_float32")
     args = parser.parse_args(argv)
+    extra = None
+    if args.adversarial is not None:
+        from repro.eval.adversarial import corpus_inputs
+
+        extra = corpus_inputs(args.adversarial, "float32")
     generate_library(args.functions, FLOAT32, args.out,
                      quick=args.quick, seed=args.seed, scale=args.scale,
                      workers=parse_workers(args.workers),
-                     checkpoint=args.checkpoint)
+                     checkpoint=args.checkpoint, extra_inputs=extra)
     return 0
 
 

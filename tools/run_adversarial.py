@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""CI gate: replay the committed adversarial corpora, fail on any miss.
+
+The runtime twin of ``tools/run_certify.py``: where the certificate
+gate proves the frozen tables still match their LP-derived proofs, this
+gate proves the shipped *runtime* still produces the frozen correctly
+rounded result on every committed hostile input — through the scalar,
+batch, and instrumented paths (and the process-pool path when
+``--workers`` > 1).  No oracle runs here; the corpus files are the
+authority, so the gate stays fast enough for every CI run.
+
+A failure means either a table regressed or a corpus is stale; re-mine
+consciously with ``python -m repro adversarial mine`` (and regenerate
+the affected tables with ``tools/generate_*.py --adversarial``) rather
+than editing corpus files by hand.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_adversarial.py            # gate
+    PYTHONPATH=src python tools/run_adversarial.py --workers 2
+
+Exit status 1 on any schema finding, missing corpus, or replay miss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Every shipped (function, target) must have a committed corpus; a
+#: deleted corpus file must fail the gate, not silently shrink it.
+def _expected_pairs() -> set[tuple[str, str]]:
+    from repro.libm.runtime import FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS
+
+    return ({(f, "float32") for f in FLOAT32_FUNCTIONS}
+            | {(f, "posit32") for f in POSIT32_FUNCTIONS})
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.eval.adversarial import (CorpusError, audit_corpus_dir,
+                                        default_corpus_dir, list_corpora,
+                                        render_audits)
+    from repro.parallel import parse_workers
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", type=pathlib.Path,
+                        default=default_corpus_dir(REPO))
+    parser.add_argument("--workers", default=None, metavar="N|auto",
+                        help=">1 adds the process-pool replay path")
+    args = parser.parse_args(argv)
+
+    have = {(f, t) for f, t, _ in list_corpora(args.dir)}
+    missing = sorted(_expected_pairs() - have)
+    if missing:
+        for f, t in missing:
+            print(f"adversarial gate: missing corpus {f}.{t}.json")
+        return 1
+
+    try:
+        audits = audit_corpus_dir(args.dir,
+                                  workers=parse_workers(args.workers))
+    except CorpusError as e:
+        print(f"adversarial gate: {e}")
+        return 1
+    sys.stdout.write(render_audits(audits))
+    return 0 if audits and all(a.ok for a in audits) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

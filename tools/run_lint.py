@@ -43,13 +43,28 @@ def main(argv: list[str] | None = None) -> int:
     if "--fail-stale" not in args and not maintenance:
         args += ["--fail-stale"]
     rc = lint_main(args)
-    # the certificate gate rides along: shipped tables must agree with
-    # their proofs whenever the lint gate runs (skipped for baseline
-    # maintenance and --fix invocations, which exit before reporting)
+    # the certificate and adversarial gates ride along: shipped tables
+    # must agree with their proofs AND reproduce the frozen hostile-
+    # input corpora whenever the lint gate runs (both skipped for
+    # baseline maintenance and --fix invocations, which exit before
+    # reporting)
     if maintenance:
         return rc
     certify_rc = certify_main(["--root", str(REPO)])
-    return rc or certify_rc
+    adversarial_rc = _adversarial_main([])
+    return rc or certify_rc or adversarial_rc
+
+
+def _adversarial_main(argv: list[str]) -> int:
+    # loaded by path: tools/ is not a package and may be off sys.path
+    # (tests import this gate the same way)
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "run_adversarial", REPO / "tools" / "run_adversarial.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.main(argv)
 
 
 if __name__ == "__main__":
