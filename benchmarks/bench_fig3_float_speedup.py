@@ -19,8 +19,15 @@ from repro.baselines import timing_baselines
 from repro.eval.timing import (geomean, render_speedups, speedup_rows,
                                timing_inputs)
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function as load
+from repro.api import functions, load as _load
 from repro.obs.bench import benchmark as bench_register, emit_report
+
+FLOAT32_FUNCTIONS = functions("float32")
+
+
+def load(name: str, target: str = "float32"):
+    """The raw GeneratedFunction via the facade (timing wants no wrapper)."""
+    return _load(name, target).fn
 
 
 @bench_register("fig3_float_speedup", suite="paper")

@@ -13,9 +13,16 @@ import pytest
 from repro.baselines import posit_baselines
 from repro.eval.timing import (geomean, render_speedups, speedup_rows,
                                timing_inputs)
-from repro.libm.runtime import POSIT32_FUNCTIONS, load_function as load
+from repro.api import functions, load as _load
 from repro.obs.bench import benchmark as bench_register, emit_report
 from repro.posit.format import POSIT32
+
+POSIT32_FUNCTIONS = functions("posit32")
+
+
+def load(name: str, target: str = "posit32"):
+    """The raw GeneratedFunction via the facade (timing wants no wrapper)."""
+    return _load(name, target).fn
 
 
 def _have_posit_data() -> bool:
@@ -37,7 +44,7 @@ def run_fig4_speedups() -> dict[str, float]:
     if not _have_posit_data():
         # no frozen posit tables: record nothing rather than fail the run
         return {}
-    from repro.libm.runtime import available
+    from repro.api import available
 
     libs = posit_baselines(timing=True)
     fns = available("posit32")

@@ -24,13 +24,14 @@ import time
 
 import pytest
 
+from repro.api import load as _load
 from repro.core.sampling import sample_values
 from repro.core.validate import validate
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import load_function as load
 from repro.obs import metrics
 from repro.obs.bench import benchmark, emit_report
 from repro.oracle import default_oracle
+from repro.parallel.executor import clear_shared_pools
 
 POOL_SIZE = int(os.environ.get("REPRO_BENCH_POOL", "100000"))
 WORKER_COUNTS = (2, 4)
@@ -50,7 +51,7 @@ def _cpus() -> int:
            gate=lambda: _cpus() >= 4)
 def run_parallel_scaling() -> dict[str, float]:
     """validate() wall time and speedup at 1/2/4 workers (float32 exp)."""
-    fn = load("exp", "float32")
+    fn = _load("exp", "float32").fn
     # representable-value-proportional pool over the non-special domain
     pool = sample_values(FLOAT32, POOL_SIZE, random.Random(SEED),
                          -80.0, 80.0)
@@ -59,13 +60,19 @@ def run_parallel_scaling() -> dict[str, float]:
     times: dict[int, float] = {}
     results: dict[int, list] = {}
     infos: dict[int, dict] = {}
+    clear_shared_pools()          # measure fork cost once, from cold
+    reuse_before = metrics.counter("workers.pool_reuse").value
     for workers in (1,) + WORKER_COUNTS:
         # every configuration pays the full Ziv-loop oracle cost;
         # otherwise the first pass warms the memo and later passes
         # (and forked workers, which inherit it) time as dict lookups
         default_oracle.clear_cache()
         t0 = time.perf_counter()
-        results[workers] = validate(fn, pool, workers=workers)
+        # reuse_pool: the per-worker-count pool is memoized, so this
+        # benchmark and the serving benchmark share forks and both feed
+        # the workers.pool_reuse counter instead of double-forking
+        results[workers] = validate(fn, pool, workers=workers,
+                                    reuse_pool=True)
         times[workers] = time.perf_counter() - t0
         # parallel passes do their oracle work in forked workers, so
         # only the serial snapshot carries meaningful call counters
@@ -98,6 +105,20 @@ def run_parallel_scaling() -> dict[str, float]:
         if workers != 1:
             metrics.gauge(f"parallel.bench.speedup_{workers}").set(speedup)
             gauges[f"speedup_{workers}"] = speedup
+
+    # warm-pool pass: the 2-worker pool is already forked, so this
+    # validates against memoized workers — proof the bench never
+    # double-forks, visible as a workers.pool_reuse increment
+    head = set(pool[:2000])
+    warm = validate(fn, pool[:2000], workers=2, reuse_pool=True)
+    assert warm == [m for m in results[1] if m.x in head], \
+        "warm-pool validate diverged from serial"
+    reuse = metrics.counter("workers.pool_reuse").value - reuse_before
+    assert reuse >= 1, "warm-pool pass did not reuse the memoized pool"
+    gauges["pool_reuse"] = float(reuse)
+    metrics.gauge("parallel.bench.pool_reuse").set(float(reuse))
+    lines.append(f"pool reuse hits: {reuse}")
+    clear_shared_pools()
 
     emit_report("parallel_scaling.txt", "\n".join(lines) + "\n")
     return gauges

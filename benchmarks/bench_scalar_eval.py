@@ -14,8 +14,8 @@ from __future__ import annotations
 import pytest
 
 from repro.eval.timing import timing_inputs
+from repro.api import load as _load
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import load_function as load
 from repro.obs import metrics
 from repro.obs.bench import benchmark, emit_report
 
@@ -28,7 +28,7 @@ def run_scalar_eval() -> dict[str, float]:
     """ns/call of float32 exp scalar evaluate/evaluate_bits (512 inputs)."""
     from repro.obs.timing import measure
 
-    g = load("exp", "float32")
+    g = _load("exp", "float32").fn
     xs = timing_inputs("exp", FLOAT32, N_INPUTS)
 
     def eval_loop():

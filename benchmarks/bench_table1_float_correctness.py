@@ -15,8 +15,15 @@ import pytest
 from repro.baselines import correctness_baselines
 from repro.eval.correctness import audit_function, build_pool, render_rows
 from repro.fp.formats import FLOAT32
-from repro.libm.runtime import FLOAT32_FUNCTIONS, load_function as load
+from repro.api import functions, load as _load
 from repro.obs.bench import benchmark as bench_register, emit_report
+
+FLOAT32_FUNCTIONS = functions("float32")
+
+
+def load(name: str, target: str = "float32"):
+    """The raw GeneratedFunction via the facade (the audit pickles it)."""
+    return _load(name, target).fn
 
 #: Smaller pools keep the whole table under a few minutes; raise for a
 #: closer look.

@@ -17,9 +17,16 @@ import pytest
 from repro.baselines import posit_baselines
 from repro.core.sampling import sample_values
 from repro.eval.correctness import audit_function, build_pool, render_rows
-from repro.libm.runtime import POSIT32_FUNCTIONS, load_function as load
+from repro.api import functions, load as _load
 from repro.obs.bench import benchmark as bench_register, emit_report
 from repro.posit.format import POSIT32
+
+POSIT32_FUNCTIONS = functions("posit32")
+
+
+def load(name: str, target: str = "posit32"):
+    """The raw GeneratedFunction via the facade (the audit pickles it)."""
+    return _load(name, target).fn
 
 N_RANDOM = 1200
 N_HARD = 60

@@ -9,6 +9,8 @@ Commands
               across RLIBM-32 and the baseline stand-ins
 ``generate``  run the generator for a target format and freeze the
               coefficient tables into the library's data packages
+``serve``     start the multi-process libm service: shared-memory
+              tables, coalesced batches, load shedding (Ctrl-C stops)
 ``table3``    print the generation statistics of the shipped tables
 ``trace``     run another repro command with structured tracing enabled
               and write the JSONL trace (``trace -- generate ...``)
@@ -33,20 +35,19 @@ Commands
 from __future__ import annotations
 
 import argparse
-import pathlib
 import sys
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.api import load
     from repro.core.generator import target_bits
-    from repro.libm.runtime import load_function
     from repro.libm.serialize import TARGETS_BY_NAME
     from repro.oracle import default_oracle as orc
     from repro.rangereduction import reduction_for
 
     fmt = TARGETS_BY_NAME[args.target]
     x = fmt.to_double(fmt.from_double(args.x))
-    g = load_function(args.function, args.target)
+    g = load(args.function, args.target)
     got = g.evaluate(x)
     got_bits = g.evaluate_bits(x)
     print(f"{args.function}({x!r}) [{args.target}]")
@@ -61,9 +62,9 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.api import load
     from repro.baselines import correctness_baselines, posit_baselines
     from repro.eval.correctness import audit_function, build_pool, render_rows
-    from repro.libm.runtime import load_function
     from repro.libm.serialize import TARGETS_BY_NAME
 
     from repro.parallel import parse_workers
@@ -79,7 +80,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     pool = build_pool(args.function, fmt, n_random=args.n,
                       n_hard=args.hard, hard_candidates=4 * args.hard + 100,
                       corpus_dir=corpus_dir)
-    rlibm = load_function(args.function, args.target)
+    rlibm = load(args.function, args.target).fn
     row = audit_function(args.function, fmt, rlibm, libs, pool,
                          workers=parse_workers(args.workers))
     print(render_rows([row], f"audit: {args.function} [{args.target}]"))
@@ -87,19 +88,33 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    from repro.libm.genlib import generate_library
-    from repro.libm.runtime import functions_for
-    from repro.libm.serialize import TARGETS_BY_NAME
-    from repro.parallel import parse_workers
+    from repro.api.generate import generate_library
 
-    fmt = TARGETS_BY_NAME[args.target]
-    names = args.functions or list(functions_for(args.target))
-    out = (pathlib.Path(args.out) if args.out else
-           pathlib.Path(__file__).resolve().parent / "libm"
-           / f"data_{args.target}")
-    generate_library(names, fmt, out, quick=args.quick, seed=args.seed,
-                     workers=parse_workers(args.workers),
-                     checkpoint=args.checkpoint)
+    generate_library(args.functions or None, args.target,
+                     args.out, quick=args.quick, seed=args.seed,
+                     workers=args.workers, checkpoint=args.checkpoint)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro import api
+
+    svc = api.serve(args.functions or None, targets=tuple(args.targets),
+                    address=args.address, workers=args.workers,
+                    max_batch=args.max_batch,
+                    max_delay_s=args.max_delay_ms / 1000.0)
+    print(f"serving {', '.join(svc.keys)}")
+    print(f"  address: {svc.address}")
+    print(f"  workers: {args.workers}  tables: {svc.content_hash[:12]}…")
+    try:
+        signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down…", file=sys.stderr)
+        svc.close()
     return 0
 
 
@@ -227,6 +242,23 @@ def main(argv: list[str] | None = None) -> int:
                    help="checkpoint directory: finished functions are "
                         "saved and a restarted run resumes from them")
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("serve",
+                       help="start the multi-process libm service "
+                            "(unix socket; Ctrl-C to stop)")
+    p.add_argument("--functions", nargs="*",
+                   help="functions to serve (default: all shipped)")
+    p.add_argument("--targets", nargs="*", default=["float32"],
+                   help="target formats to serve (default: float32)")
+    p.add_argument("--address", default=None,
+                   help="unix-socket path (default: a fresh tmp path)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (default: 2)")
+    p.add_argument("--max-batch", type=int, default=65536,
+                   help="coalescer flush size in lanes (default: 65536)")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="coalescer flush deadline (default: 2 ms)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("table3", help="generation statistics")
     p.add_argument("--target", default="float32")

@@ -30,6 +30,9 @@ FP107     error     nondeterminism in the generation pipeline (global RNG,
                     wall clock, hash-ordered set iteration)
 FP108     warning   module in src/ missing ``from __future__ import
                     annotations``
+FP109     error     direct import of ``repro.libm.runtime`` outside the
+                    sanctioned layers (``repro/api``, ``repro/serve``,
+                    ``repro/libm``, ``repro/eval``)
 ========  ========  ==========================================================
 
 Any finding can be suppressed for one line with a trailing
@@ -54,7 +57,9 @@ __all__ = ["Rule", "RULES", "DEFAULT_ROOTS", "FIXABLE", "lint_source",
            "lint_file", "lint_paths", "apply_fixes", "fix_paths"]
 
 #: Roots (repo-relative) that ``lint_paths`` walks by default.
-DEFAULT_ROOTS = ("src/repro", "tools")
+#: benchmarks/ and examples/ are walked for the layering rule (FP109)
+#: only — every other rule's ``applies`` scope keeps it out of them.
+DEFAULT_ROOTS = ("src/repro", "tools", "benchmarks", "examples")
 
 _DISABLE_RE = re.compile(r"#\s*fplint:\s*disable=([A-Z0-9,\s]+)")
 
@@ -164,6 +169,15 @@ RULES: dict[str, Rule] = {r.code: r for r in (
          "add the import as the first statement after the docstring",
          ("src/repro",),
          _DATA_PKGS),
+    Rule("FP109", "direct import of repro.libm.runtime", Severity.ERROR,
+         "route through repro.api (load / reload / functions / available) "
+         "— the runtime loader is an internal layer behind the facade",
+         ("src/repro", "tools", "benchmarks", "examples"),
+         # the facade and the service own the loader; the libm package
+         # *is* the loader; the eval layer differentially audits the
+         # low-level path against the facade by design
+         ("src/repro/api/", "src/repro/serve/", "src/repro/libm/",
+          "src/repro/eval/")),
 )}
 
 
@@ -298,6 +312,10 @@ class _FileLinter:
                 self._check_fp106(node)
             elif isinstance(node, (ast.For, ast.ImportFrom)):
                 self._check_fp107_stmt(node)
+                if isinstance(node, ast.ImportFrom):
+                    self._check_fp109(node)
+            elif isinstance(node, ast.Import):
+                self._check_fp109(node)
         return self._suppress(self.findings)
 
     def _suppress(self, findings: list[Finding]) -> list[Finding]:
@@ -464,6 +482,26 @@ class _FileLinter:
         if is_set:
             self.add("FP107", node.iter,
                      "iterating a set is hash-order dependent")
+
+    def _check_fp109(self, node: ast.stmt) -> None:
+        """Layering: only api/serve (and libm itself) touch the loader."""
+        _RUNTIME = "repro.libm.runtime"
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _RUNTIME \
+                        or alias.name.startswith(_RUNTIME + "."):
+                    self.add("FP109", node,
+                             f"direct import of {alias.name}")
+            return
+        mod = node.module or ""
+        if node.level:  # relative import: resolved inside repro.libm,
+            return      # which the rule's excludes already exempt
+        if mod == _RUNTIME or mod.startswith(_RUNTIME + "."):
+            self.add("FP109", node, f"direct import from {mod}")
+        elif mod == "repro.libm" and any(a.name == "runtime"
+                                         for a in node.names):
+            self.add("FP109", node,
+                     "direct import of runtime from repro.libm")
 
     def _check_fp108(self, tree: ast.Module) -> None:
         for stmt in tree.body:

@@ -1,7 +1,7 @@
-"""The public entry point of the reproduction.
+"""The public *serving-time* entry point of the reproduction.
 
 Everything a user of the generated libraries needs is reachable from
-this one module::
+this one package::
 
     from repro import api
 
@@ -17,9 +17,22 @@ run the numpy-vectorized engine (:mod:`repro.batch`), which is
 bit-identical to the scalar path for every input — see DESIGN.md,
 "Scalar/batch bit-identity".
 
+For heavy traffic the same surface is served out-of-process:
+:func:`serve` starts the multi-process libm service
+(:mod:`repro.serve`) and :func:`connect` returns a
+:class:`ServiceClient` whose ``evaluate_batch`` / ``evaluate_bits_batch``
+match :class:`Library`'s signatures exactly, so callers swap
+local↔remote without code changes.
+
+The *generation-time* half of the codebase — running the RLIBM-32
+pipeline and freezing new coefficient tables — lives behind
+:mod:`repro.api.generate`; nothing in this module ever touches the
+oracle or the LP solver.
+
 The older entry points (``repro.libm.runtime.load``,
 ``repro.libm.float32`` / ``posit32`` wrappers) keep working;
-``runtime.load`` emits a :class:`DeprecationWarning` pointing here.
+``runtime.load`` and ``runtime.reload`` emit ``DeprecationWarning``s
+pointing here.
 """
 
 from __future__ import annotations
@@ -27,7 +40,8 @@ from __future__ import annotations
 from repro.core.generator import GeneratedFunction
 from repro.libm import runtime
 
-__all__ = ["Library", "load", "functions", "targets", "reload"]
+__all__ = ["Library", "ServiceClient", "available", "connect", "functions",
+           "load", "reload", "serve", "targets"]
 
 
 class Library:
@@ -72,14 +86,16 @@ class Library:
 
     # -- introspection -----------------------------------------------------
 
-    def instrumented(self) -> "Library":
+    def instrumented(self, prefix: str | None = None) -> "Library":
         """A fresh handle whose *scalar* path records runtime metrics.
 
         Wraps :func:`repro.libm.runtime.instrument`; the batch path is
         not instrumented (it reports no per-call metrics) and the
-        shared cached function stays untouched.
+        shared cached function stays untouched.  ``prefix`` overrides
+        the metric-name prefix (default ``libm.<name>``).
         """
-        return Library(runtime.instrument(self.fn), self.target)
+        return Library(runtime.instrument(self.fn, prefix=prefix),
+                       self.target)
 
     @property
     def stats(self):
@@ -103,7 +119,7 @@ def load(function: str, target: str = "float32") -> Library:
 
 def reload(function: str, target: str = "float32") -> Library:
     """Like :func:`load`, but bypassing caches (fresh frozen data)."""
-    return Library(runtime.reload(function, target), target)
+    return Library(runtime.reload_function(function, target), target)
 
 
 def functions(target: str = "float32") -> tuple[str, ...]:
@@ -111,6 +127,51 @@ def functions(target: str = "float32") -> tuple[str, ...]:
     return runtime.functions_for(target)
 
 
+def available(target: str = "float32") -> list[str]:
+    """Function names with frozen data actually shipped for ``target``."""
+    return runtime.available(target)
+
+
 def targets() -> tuple[str, ...]:
     """Target formats the loader accepts (shipped: float32, posit32)."""
     return runtime.KNOWN_TARGETS
+
+
+# -- the serving layer (imported lazily: repro.serve pulls in asyncio,
+#    multiprocessing.shared_memory and the worker-pool machinery, none of
+#    which an in-process `api.load` user should pay for) ------------------
+
+
+def serve(*args, **kwargs):
+    """Start the multi-process libm service; see :func:`repro.serve.serve`.
+
+    Returns a :class:`repro.serve.ServiceHandle` whose ``address`` a
+    :func:`connect` call (in this process or any other) can dial.
+    """
+    from repro.serve import serve as _serve
+
+    return _serve(*args, **kwargs)
+
+
+def connect(function: str, target: str = "float32", *, address=None,
+            **kwargs) -> "ServiceClient":
+    """Dial a running libm service; see :func:`repro.serve.connect`.
+
+    The returned :class:`ServiceClient` mirrors :class:`Library`'s
+    ``evaluate`` / ``evaluate_batch`` / ``evaluate_bits_batch``.
+    """
+    from repro.serve import connect as _connect
+
+    return _connect(function, target, address=address, **kwargs)
+
+
+def __getattr__(name: str):
+    if name == "ServiceClient":
+        from repro.serve.client import ServiceClient
+
+        return ServiceClient
+    if name == "generate":
+        import importlib
+
+        return importlib.import_module("repro.api.generate")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

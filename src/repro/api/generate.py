@@ -1,0 +1,87 @@
+"""The blessed *generation-time* entry point.
+
+The serving surface (:mod:`repro.api`) never touches the oracle or the
+LP solver; everything that *creates* frozen coefficient tables funnels
+through this module instead::
+
+    from repro.api import generate
+
+    generate.generate_library(
+        ["exp", "ln"], target="bfloat16",
+        out_dir="src/repro/libm/data_bfloat16",
+        workers="auto", checkpoint="ckpt/",
+        adversarial="tests/data/adversarial")
+
+This is a thin, documented wrapper over
+:func:`repro.libm.genlib.generate_library` that resolves target names,
+parses the ``workers`` knob, and folds committed adversarial corpora
+into the generation constraints the way ``tools/generate_*.py
+--adversarial`` does — the one place the generation-time options are
+spelled once for the CLI, the tools, and programmatic callers alike.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any
+
+__all__ = ["default_out_dir", "generate_library"]
+
+
+def default_out_dir(target: str) -> pathlib.Path:
+    """The in-tree frozen-data package for ``target``."""
+    return (pathlib.Path(__file__).resolve().parent.parent / "libm"
+            / f"data_{target}")
+
+
+def generate_library(
+    functions: list[str] | None = None,
+    target: str = "float32",
+    out_dir: str | pathlib.Path | None = None,
+    *,
+    quick: bool = False,
+    seed: int = 2021,
+    scale: int = 1,
+    workers: int | str | None = None,
+    checkpoint: str | pathlib.Path | None = None,
+    adversarial: str | pathlib.Path | None = None,
+    **kwargs: Any,
+) -> pathlib.Path:
+    """Generate + freeze correctly rounded tables for ``target``.
+
+    ``functions`` defaults to the target's full function set;
+    ``out_dir`` to the in-tree data package (regenerating the shipped
+    library in place).  ``workers`` accepts an int, ``"auto"`` or None
+    (serial — results are bit-identical either way); ``checkpoint``
+    makes the run resumable; ``adversarial`` names a corpus directory
+    whose committed hostile inputs are folded into the generation
+    constraints (:func:`repro.eval.adversarial.corpus_inputs`).
+    Remaining keyword arguments pass through to
+    :func:`repro.libm.genlib.generate_library`.  Returns the directory
+    the data modules were written to.
+    """
+    from repro.libm import genlib, runtime
+    from repro.libm.serialize import TARGETS_BY_NAME
+    from repro.parallel import parse_workers
+
+    if target not in TARGETS_BY_NAME:
+        raise ValueError(f"unknown target {target!r}; "
+                         f"expected one of {sorted(TARGETS_BY_NAME)}")
+    fmt = TARGETS_BY_NAME[target]
+    names = list(functions) if functions else list(
+        runtime.functions_for(target))
+    out = pathlib.Path(out_dir) if out_dir is not None \
+        else default_out_dir(target)
+
+    extra = None
+    if adversarial is not None:
+        from repro.eval.adversarial import corpus_inputs
+
+        extra = corpus_inputs(adversarial, target)
+
+    genlib.generate_library(
+        names, fmt, out, quick=quick, seed=seed, scale=scale,
+        workers=parse_workers(workers) if isinstance(workers, str)
+        else workers,
+        checkpoint=checkpoint, extra_inputs=extra, **kwargs)
+    return out

@@ -60,6 +60,27 @@ class BatchFunction:
         self._round = round_kernel(fn.spec.target)
         self._bits = bits_kernel(fn.spec.target)
 
+    @classmethod
+    def from_parts(cls, rr, kernels, target) -> "BatchFunction":
+        """Assemble a batch pipeline from prebuilt per-fn kernels.
+
+        The serving workers (:mod:`repro.serve.tables`) rebuild the
+        range reduction from its frozen state and the Horner kernels
+        from shared-memory coefficient views — no
+        :class:`~repro.core.generator.GeneratedFunction` (and no frozen
+        data module import) ever exists in the worker.  ``kernels``
+        must be in ``rr.fn_names`` order, each mapping a reduced-input
+        array to that elementary function's values, exactly like the
+        :func:`~repro.batch.kernels.compile_approx` output.
+        """
+        bf = cls.__new__(cls)
+        bf.fn = None
+        bf.rr = rr
+        bf._kernels = list(kernels)
+        bf._round = round_kernel(target)
+        bf._bits = bits_kernel(target)
+        return bf
+
     def _compensated(self, xs: np.ndarray) -> np.ndarray:
         """Pipeline output *before* final rounding, per lane.
 

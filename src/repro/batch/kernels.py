@@ -38,15 +38,21 @@ import numpy as np
 from repro.core.piecewise import ApproxFunc, PiecewisePolynomial
 from repro.core.polynomials import Polynomial, _pow_small, horner_structure
 
-__all__ = ["compile_approx", "compile_piecewise"]
+__all__ = ["compile_approx", "compile_piecewise", "gathered_kernel",
+           "padded_tables"]
 
 
-def _padded_tables(polys: Sequence[Polynomial]):
+def padded_tables(polys: Sequence[Polynomial]):
     """Gathered-Horner tables ``(start, stride, cols)``, or None.
 
     ``cols[t]`` holds coefficient ``t`` of every sub-domain (zero-padded
     rows for lowered-degree polynomials).  Returns None when the padded
     evaluation cannot be proven bit-identical to the scalar path.
+
+    Public because the serving layer's shared-memory arena
+    (:mod:`repro.serve.tables`) freezes exactly these column arrays and
+    rebuilds the kernel in attached worker processes via
+    :func:`gathered_kernel`.
     """
     ref = max(polys, key=lambda p: len(p.exponents))
     exps = ref.exponents
@@ -69,40 +75,53 @@ def _padded_tables(polys: Sequence[Polynomial]):
     return start, stride, cols
 
 
+def gathered_kernel(shift: int, index_bits: int, start: int, stride: int,
+                    cols: Sequence[np.ndarray]) -> Callable:
+    """The gathered-coefficient Horner kernel over prebuilt column arrays.
+
+    ``cols`` may be any float64 arrays of equal length — freshly padded
+    ones from :func:`padded_tables` or read-only views into a shared-
+    memory arena; the kernel never writes into them.
+    """
+    u_shift = np.uint64(shift)
+    mask = np.uint64((1 << index_bits) - 1)
+    nterms = len(cols)
+
+    def kernel(r: np.ndarray) -> np.ndarray:
+        idx = ((r.view(np.uint64) >> u_shift) & mask).astype(np.intp)
+        if nterms > 1:
+            u = _pow_small(r, stride)
+            acc = cols[nterms - 1].take(idx)
+            buf = np.empty_like(acc)
+            # in-place steps: same multiply/add per lane, no temporaries
+            for t in range(nterms - 2, -1, -1):
+                acc *= u
+                acc += np.take(cols[t], idx, out=buf)
+        else:
+            acc = cols[0].take(idx)
+        if start:
+            acc *= _pow_small(r, start)
+        return acc
+
+    return kernel
+
+
 def compile_piecewise(pp: PiecewisePolynomial) -> Callable:
     """Array kernel for one piecewise polynomial (bit-exact per lane)."""
     if pp.index_bits == 0:
         p0 = pp.polys[0]
         return p0.eval_many
 
+    padded = padded_tables(pp.polys)
+    if padded is not None:
+        start, stride, cols = padded
+        return gathered_kernel(pp.shift, pp.index_bits, start, stride, cols)
+
     shift = np.uint64(pp.shift)
     mask = np.uint64((1 << pp.index_bits) - 1)
 
     def indices(r: np.ndarray) -> np.ndarray:
         return ((r.view(np.uint64) >> shift) & mask).astype(np.intp)
-
-    padded = _padded_tables(pp.polys)
-    if padded is not None:
-        start, stride, cols = padded
-        nterms = len(cols)
-
-        def kernel(r: np.ndarray) -> np.ndarray:
-            idx = indices(r)
-            if nterms > 1:
-                u = _pow_small(r, stride)
-                acc = cols[nterms - 1].take(idx)
-                buf = np.empty_like(acc)
-                # in-place steps: same multiply/add per lane, no temporaries
-                for t in range(nterms - 2, -1, -1):
-                    acc *= u
-                    acc += np.take(cols[t], idx, out=buf)
-            else:
-                acc = cols[0].take(idx)
-            if start:
-                acc *= _pow_small(r, start)
-            return acc
-
-        return kernel
 
     polys = pp.polys
 

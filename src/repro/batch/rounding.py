@@ -48,7 +48,7 @@ from repro.core.intervals import TargetFormat
 from repro.fp.formats import FLOAT32, FloatFormat
 from repro.posit.format import PositFormat
 
-__all__ = ["bits_kernel", "round_kernel"]
+__all__ = ["bits_kernel", "decode_kernel", "round_kernel"]
 
 _ABS64 = 0x7FFFFFFFFFFFFFFF
 _EXPINF = 0x7FF0000000000000
@@ -308,6 +308,42 @@ def round_kernel(fmt: TargetFormat) -> Callable:
 
         return kernel
     return _scalar_round(fmt)
+
+
+def decode_kernel(fmt: TargetFormat) -> Callable:
+    """Array decoder: T bit patterns (uint64) -> the doubles the runtime
+    receives, lane-identical to
+    :func:`repro.eval.adversarial.generators.input_value`.
+
+    Like ``input_value`` (and unlike the bare ``to_double``), the IEEE
+    negative-zero pattern decodes to ``-0.0`` — ``sinpi``/``cospi``
+    results depend on the sign of zero, and serving requests carry raw
+    bit patterns exactly as the frozen adversarial corpora do.
+    """
+    if isinstance(fmt, FloatFormat):
+        dec = _FloatDecode(fmt)
+        sign_mask = fmt.sign_mask
+
+        def kernel(bits: np.ndarray) -> np.ndarray:
+            val = dec(bits)
+            val[bits == sign_mask] = -0.0
+            return val
+
+        return kernel
+    if isinstance(fmt, PositFormat) and _posit_vectorizable(fmt):
+        dec = _PositDecode(fmt)
+
+        def kernel(bits: np.ndarray) -> np.ndarray:
+            # the posit decoder's shift arithmetic is written in int64
+            return dec(bits.astype(np.int64))
+
+        return kernel
+
+    def kernel(bits: np.ndarray) -> np.ndarray:
+        return np.array([fmt.to_double(int(b)) for b in bits.tolist()],
+                        dtype=np.float64)
+
+    return kernel
 
 
 def bits_kernel(fmt: TargetFormat) -> Callable:

@@ -68,6 +68,7 @@ def validate(
     limit: int | None = None,
     workers: int | str | None = None,
     chunk_size: int | None = None,
+    reuse_pool: bool = False,
 ) -> list[Mismatch]:
     """Compare the generated function to the oracle on every input.
 
@@ -76,14 +77,16 @@ def validate(
     (:mod:`repro.parallel`); chunks preserve input order and merge at
     the barrier, so the mismatch list is bit-identical to the serial
     one — ``limit`` then truncates the merged list, which is the same
-    prefix the serial early-exit produces.
+    prefix the serial early-exit produces.  ``reuse_pool`` draws the
+    workers from :func:`repro.parallel.executor.shared_pool`, so
+    back-to-back validations fork once.
     """
     from repro.parallel.shards import resolve_workers
 
     n_workers = resolve_workers(workers)
     if n_workers > 1:
         return _validate_parallel(fn, list(inputs), oracle, limit,
-                                  n_workers, chunk_size)
+                                  n_workers, chunk_size, reuse_pool)
     xs = list(inputs)
     bad: list[Mismatch] = []
     for x, got in zip(xs, _evaluate_bits_all(fn, xs)):
@@ -111,6 +114,7 @@ def _validate_parallel(
     limit: int | None,
     n_workers: int,
     chunk_size: int | None,
+    reuse_pool: bool = False,
 ) -> list[Mismatch]:
     """Chunked oracle comparison with ordered counterexample merge.
 
@@ -126,7 +130,7 @@ def _validate_parallel(
     payloads = [(data, xs[a:b], oracle)
                 for a, b in plan_chunks(len(xs), n_workers, chunk_size)]
     parts = run_tasks(_validate_chunk, payloads, workers=n_workers,
-                      label=f"validate:{fn.name}")
+                      label=f"validate:{fn.name}", reuse_pool=reuse_pool)
     bad = [m for part in parts for m in part]
     return bad if limit is None else bad[:limit]
 

@@ -18,8 +18,9 @@ from repro.core.generator import GeneratedFunction
 from repro.libm.serialize import function_from_dict
 from repro.obs import metrics
 
-__all__ = ["load", "load_function", "reload", "available", "clear_cache",
-           "instrument", "FLOAT32_FUNCTIONS", "POSIT32_FUNCTIONS"]
+__all__ = ["load", "load_function", "reload", "reload_function", "available",
+           "clear_cache", "instrument", "FLOAT32_FUNCTIONS",
+           "POSIT32_FUNCTIONS"]
 
 #: The ten float32 functions of the paper's prototype.
 FLOAT32_FUNCTIONS = ("ln", "log2", "log10", "exp", "exp2", "exp10",
@@ -59,18 +60,35 @@ def clear_cache() -> None:
     _cache.clear()
 
 
-def reload(fn_name: str, target: str = "float32") -> GeneratedFunction:
+def reload_function(fn_name: str, target: str = "float32") \
+        -> GeneratedFunction:
     """Reload one function from its frozen data module, bypassing caches.
 
     Purges the data module from ``sys.modules`` and drops the cached
     GeneratedFunction, then loads fresh — the dance the
     :func:`clear_cache` docstring used to tell callers to do by hand.
     Use after regenerating a single table in-place, or in tests that
-    monkeypatch a data module.
+    monkeypatch a data module.  Most callers want the
+    :func:`repro.api.reload` facade, which wraps the result in a
+    :class:`~repro.api.Library` handle.
     """
     sys.modules.pop(_module_name(target, fn_name), None)
     _cache.pop((fn_name, target), None)
     return load_function(fn_name, target)
+
+
+def reload(fn_name: str, target: str = "float32") -> GeneratedFunction:
+    """Deprecated alias of :func:`reload_function`.
+
+    New code should use :func:`repro.api.reload` (the public facade) or
+    :func:`reload_function` (the low-level loader) — the same split
+    :func:`load` / :func:`load_function` already has.
+    """
+    warnings.warn(
+        "repro.libm.runtime.reload is deprecated; use repro.api.reload "
+        "(facade) or repro.libm.runtime.reload_function (low-level)",
+        DeprecationWarning, stacklevel=2)
+    return reload_function(fn_name, target)
 
 
 def _import_data(target: str, fn_name: str):

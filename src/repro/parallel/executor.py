@@ -27,6 +27,7 @@ and spawned otherwise.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
 import traceback
@@ -38,7 +39,8 @@ from repro.obs import event, metrics, span
 from repro.obs.events import detach as _detach_trace
 from repro.parallel.shards import resolve_workers
 
-__all__ = ["ShardError", "run_tasks"]
+__all__ = ["ShardError", "clear_shared_pools", "discard_shared_pool",
+           "run_tasks", "shared_pool"]
 
 
 class ShardError(RuntimeError):
@@ -76,12 +78,71 @@ def _context() -> multiprocessing.context.BaseContext:
         "fork" if "fork" in methods else "spawn")
 
 
+# --------------------------------------------------------------------------
+# shared (memoized) pools — fork once, reuse across calls
+#
+# ROADMAP's parallel-scaling regression traced to fork/pickle overhead
+# dominating the now-fast serial path: every run_tasks call paid a fresh
+# pool.  Pools memoized here are keyed by (kind, workers) and live until
+# discarded, so repeated runs — validate passes, the serving layer's
+# dispatch path, back-to-back benchmarks — amortize the fork.  The
+# ``workers.pool_reuse`` counter records every amortized hit; the serving
+# benchmark and bench_parallel_scaling share it to prove they are not
+# double-forking.
+
+_SHARED_POOLS: dict[tuple, ProcessPoolExecutor] = {}
+
+
+def shared_pool(workers: int, *, kind: str = "tasks",
+                initializer: Callable | None = None,
+                initargs: tuple = ()) -> ProcessPoolExecutor:
+    """The memoized pool for ``(kind, workers)``, created on first use.
+
+    ``initializer``/``initargs`` only apply on creation (they are part
+    of the pool's identity in spirit, so callers must use a distinct
+    ``kind`` per initializer — the serving layer keys by arena name).
+    Increments ``workers.pool_reuse`` on every memo hit.
+    """
+    key = (kind, workers)
+    pool = _SHARED_POOLS.get(key)
+    if pool is not None:
+        metrics.counter("workers.pool_reuse").inc()
+        return pool
+    flush_active()
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=_context(),
+                               initializer=initializer, initargs=initargs)
+    _SHARED_POOLS[key] = pool
+    metrics.counter("workers.pool_created").inc()
+    return pool
+
+
+def discard_shared_pool(kind: str, workers: int, *,
+                        cancel: bool = False) -> None:
+    """Shut down and forget one memoized pool (no-op when absent)."""
+    pool = _SHARED_POOLS.pop((kind, workers), None)
+    if pool is not None:
+        pool.shutdown(wait=not cancel, cancel_futures=cancel)
+
+
+def clear_shared_pools() -> None:
+    """Shut down every memoized pool (tests; interpreter exit)."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        # wait: returning before the workers exit races the stdlib's own
+        # atexit hook (it pokes a pipe this shutdown already closed)
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(clear_shared_pools)
+
+
 def run_tasks(
     task: Callable[[Any], Any],
     payloads: Sequence[Any],
     workers: int | str | None = None,
     label: str = "parallel",
     on_result: Callable[[int, Any], None] | None = None,
+    reuse_pool: bool = False,
 ) -> list[Any]:
     """Run ``task`` over every payload; results in payload order.
 
@@ -90,6 +151,13 @@ def run_tasks(
     invoked as ``(index, result)`` in *completion* order — the hook for
     checkpointing finished shards while others still run — while the
     returned list always follows payload order.
+
+    ``reuse_pool=True`` draws workers from the memoized
+    :func:`shared_pool` instead of forking a fresh pool, so back-to-back
+    calls (benchmark sweeps, the serving layer) pay the fork once; the
+    pool survives the call and is torn down at interpreter exit or by
+    :func:`clear_shared_pools`.  On failure the shared pool is discarded
+    (its workers may hold cancelled state), so the next call re-forks.
     """
     n = len(payloads)
     n_workers = min(resolve_workers(workers), max(1, n))
@@ -102,45 +170,52 @@ def run_tasks(
                     on_result(i, results[i])
             return results
 
-        ctx = _context()
         # flush pending cache writes so forked workers inherit a clean
         # store (no double-publishing of the parent's pending records)
         flush_active()
+        if reuse_pool:
+            pool = shared_pool(n_workers)
+        else:
+            pool = ProcessPoolExecutor(max_workers=n_workers,
+                                       mp_context=_context())
         t_start = time.perf_counter()
         busy_s = 0.0
-        with ProcessPoolExecutor(max_workers=n_workers,
-                                 mp_context=ctx) as pool:
-            futures = {pool.submit(_call_captured, task, p): i
-                       for i, p in enumerate(payloads)}
-            pending = set(futures)
-            try:
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        i = futures[fut]
-                        exc = fut.exception()
-                        if exc is not None:
-                            # pool-level failure (lost worker, unpicklable
-                            # result, ...) — no worker traceback exists
-                            raise ShardError(
-                                label, i, "".join(traceback.format_exception(
-                                    type(exc), exc, exc.__traceback__)))
-                        status = fut.result()
-                        if status[0] == "err":
-                            raise ShardError(label, i, status[1])
-                        _, result, snap, shard_s = status
-                        metrics.absorb(snap)
-                        busy_s += shard_s
-                        metrics.histogram("parallel.shard_s").observe(shard_s)
-                        event("parallel.shard", label=label, index=i,
-                              shard_s=round(shard_s, 6))
-                        results[i] = result
-                        if on_result is not None:
-                            on_result(i, result)
-            except BaseException:
+        futures = {pool.submit(_call_captured, task, p): i
+                   for i, p in enumerate(payloads)}
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = futures[fut]
+                    exc = fut.exception()
+                    if exc is not None:
+                        # pool-level failure (lost worker, unpicklable
+                        # result, ...) — no worker traceback exists
+                        raise ShardError(
+                            label, i, "".join(traceback.format_exception(
+                                type(exc), exc, exc.__traceback__)))
+                    status = fut.result()
+                    if status[0] == "err":
+                        raise ShardError(label, i, status[1])
+                    _, result, snap, shard_s = status
+                    metrics.absorb(snap)
+                    busy_s += shard_s
+                    metrics.histogram("parallel.shard_s").observe(shard_s)
+                    event("parallel.shard", label=label, index=i,
+                          shard_s=round(shard_s, 6))
+                    results[i] = result
+                    if on_result is not None:
+                        on_result(i, result)
+        except BaseException:
+            if reuse_pool:
+                discard_shared_pool("tasks", n_workers, cancel=True)
+            else:
                 pool.shutdown(wait=False, cancel_futures=True)
-                raise
+            raise
+        if not reuse_pool:
+            pool.shutdown(wait=True)
         # worker-utilization gauges for `repro report`: what share of
         # the pool's capacity (workers x wall clock) ran task code —
         # low utilization means fork/pickle overhead or skew dominates.

@@ -1,0 +1,69 @@
+"""Admission control: bounded queues and explicit load shedding.
+
+A service with no admission control converts overload into unbounded
+memory growth and unbounded tail latency.  The frontend consults an
+:class:`AdmissionController` before accepting each request; a refused
+request is answered with ``STATUS_SHED`` immediately — the client
+learns *now* that it must back off, instead of timing out later.
+
+Two independent caps:
+
+* ``max_pending_evals`` — total lanes admitted but not yet answered,
+  service-wide.  Bounds the coalescer buffers plus everything queued on
+  the worker pool.
+* ``max_client_inflight`` — outstanding *requests* per connection, so
+  one aggressive pipeliner cannot monopolize the eval budget and starve
+  every other client.
+
+The controller is event-loop-confined (no locks); counts move in
+``admit`` and ``release`` only, so the gauges always reconcile.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Lane- and request-budget gatekeeper for the frontend."""
+
+    def __init__(self, *, max_pending_evals: int = 4_000_000,
+                 max_client_inflight: int = 128):
+        self.max_pending_evals = int(max_pending_evals)
+        self.max_client_inflight = int(max_client_inflight)
+        self._pending = 0
+        self._inflight: dict[int, int] = {}
+        self._g_pending = metrics.gauge("serve.pending_evals")
+        self._c_shed = metrics.counter("serve.shed")
+        self._c_shed_client = metrics.counter("serve.shed.client_cap")
+
+    def admit(self, client_id: int, lanes: int) -> bool:
+        """True and reserves budget, or False → caller replies SHED."""
+        if self._pending + lanes > self.max_pending_evals:
+            self._c_shed.inc()
+            return False
+        if self._inflight.get(client_id, 0) >= self.max_client_inflight:
+            self._c_shed.inc()
+            self._c_shed_client.inc()
+            return False
+        self._pending += lanes
+        self._inflight[client_id] = self._inflight.get(client_id, 0) + 1
+        self._g_pending.set(float(self._pending))
+        return True
+
+    def release(self, client_id: int, lanes: int) -> None:
+        """Return the budget reserved by a successful ``admit``."""
+        self._pending -= lanes
+        self._g_pending.set(float(self._pending))
+        left = self._inflight.get(client_id, 0) - 1
+        if left > 0:
+            self._inflight[client_id] = left
+        else:
+            self._inflight.pop(client_id, None)
+
+    def forget(self, client_id: int) -> None:
+        """Drop a disconnected client's request count (lanes released
+        individually as their batches complete)."""
+        self._inflight.pop(client_id, None)

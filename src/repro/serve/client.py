@@ -1,0 +1,163 @@
+"""Blocking client for the libm service.
+
+:class:`ServiceClient` mirrors the :class:`repro.api.Library` batch
+surface — ``evaluate_batch`` / ``evaluate_bits_batch`` with identical
+signatures and shapes — so swapping a local library handle for a
+service connection is a one-line change.  Large inputs are split into
+``chunk`` -lane requests and *pipelined*: every request is written
+before the first reply is read, letting the service coalesce them into
+large worker batches.
+
+``STATUS_SHED`` replies are retried with exponential backoff (the
+service promises shedding is a statement about load, never about the
+input); after ``shed_retries`` refusals :class:`ServiceOverloaded` is
+raised with the counts a caller needs to back off meaningfully.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from repro.serve import protocol
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceOverloaded", "connect"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with STATUS_ERROR."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service kept shedding after every retry."""
+
+
+class ServiceClient:
+    """One connection to a running libm service, bound to one function.
+
+    Not thread-safe: one client per thread (connections are cheap).
+    """
+
+    def __init__(self, function: str, target: str = "float32", *,
+                 address: str, timeout: float = 30.0, chunk: int = 65536,
+                 shed_retries: int = 8, shed_backoff_s: float = 0.005):
+        self.function = function
+        self.target = target
+        self.address = address
+        self.chunk = int(chunk)
+        self.shed_retries = int(shed_retries)
+        self.shed_backoff_s = float(shed_backoff_s)
+        self._req_seq = 0
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(address)
+
+    # -- the Library-compatible surface ------------------------------------
+
+    def evaluate(self, x: float) -> float:
+        """f(x) correctly rounded to the target, as a double."""
+        return float(self._run(protocol.OP_EVAL,
+                               np.array([x], dtype=np.float64))[0])
+
+    __call__ = evaluate
+
+    def evaluate_batch(self, xs) -> np.ndarray:
+        """Vectorized evaluate: float64 array in, doubles out."""
+        arr = np.asarray(xs, dtype=np.float64)
+        return self._run(protocol.OP_EVAL,
+                         arr.reshape(-1)).reshape(arr.shape)
+
+    def evaluate_bits_batch(self, xs) -> np.ndarray:
+        """Vectorized evaluate to target bit patterns (uint64)."""
+        arr = np.asarray(xs, dtype=np.float64)
+        return self._run(protocol.OP_EVAL_BITS,
+                         arr.reshape(-1)).reshape(arr.shape)
+
+    def evaluate_bits_from_bits(self, bits) -> np.ndarray:
+        """Target bit patterns in, correctly rounded bit patterns out.
+
+        The corpus-replay path: inputs are *input* encodings in the
+        target format, decoded service-side exactly like
+        :func:`repro.eval.adversarial.generators.input_value`.
+        """
+        arr = np.asarray(bits, dtype=np.uint64)
+        return self._run(protocol.OP_EVAL_FROM_BITS,
+                         arr.reshape(-1)).reshape(arr.shape)
+
+    def ping(self) -> bool:
+        """Round-trip an empty request (liveness check)."""
+        self._req_seq += 1
+        rid = self._req_seq
+        protocol.send_frame(self._sock, protocol.pack_request(
+            rid, protocol.OP_PING, self.function, self.target,
+            np.empty(0, dtype=np.float64)))
+        rep = protocol.unpack_reply(protocol.recv_frame(self._sock),
+                                    protocol.OP_PING)
+        return rep.status == protocol.STATUS_OK
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire machinery ----------------------------------------------------
+
+    def _run(self, op: int, flat: np.ndarray) -> np.ndarray:
+        """Evaluate a flat array: chunk, pipeline, reassemble, retry SHED."""
+        if flat.size == 0:
+            return np.empty(0, dtype=protocol.reply_dtype(op))
+        chunks = [flat[i:i + self.chunk]
+                  for i in range(0, len(flat), self.chunk)]
+        results: dict[int, np.ndarray] = {}
+        pending = self._send_all(op, chunks, range(len(chunks)))
+        shed_round = 0
+        while pending:
+            shed: list[int] = []
+            for _ in range(len(pending)):
+                rep = protocol.unpack_reply(
+                    protocol.recv_frame(self._sock), op)
+                idx = pending.get(rep.req_id)
+                if idx is None:
+                    raise protocol.ProtocolError(
+                        f"reply for unknown request id {rep.req_id}")
+                del pending[rep.req_id]
+                if rep.status == protocol.STATUS_OK:
+                    results[idx] = rep.data
+                elif rep.status == protocol.STATUS_SHED:
+                    shed.append(idx)
+                else:
+                    raise ServiceError(rep.error or "service error")
+            if shed:
+                shed_round += 1
+                if shed_round > self.shed_retries:
+                    raise ServiceOverloaded(
+                        f"service shed {len(shed)} of {len(chunks)} "
+                        f"chunks after {self.shed_retries} retries")
+                time.sleep(self.shed_backoff_s * (2 ** (shed_round - 1)))
+                pending = self._send_all(
+                    op, [chunks[i] for i in shed], shed)
+        return np.concatenate([results[i] for i in range(len(chunks))]) \
+            if len(chunks) > 1 else results[0]
+
+    def _send_all(self, op: int, chunks, indices) -> dict[int, int]:
+        """Write one request per chunk; returns req_id → chunk index."""
+        pending: dict[int, int] = {}
+        for chunk, idx in zip(chunks, indices):
+            self._req_seq += 1
+            rid = self._req_seq & 0xFFFFFFFF
+            protocol.send_frame(self._sock, protocol.pack_request(
+                rid, op, self.function, self.target, chunk))
+            pending[rid] = idx
+        return pending
+
+
+def connect(function: str, target: str = "float32", *,
+            address: str, **kwargs) -> ServiceClient:
+    """Dial a running libm service (see :func:`repro.serve.serve`)."""
+    return ServiceClient(function, target, address=address, **kwargs)

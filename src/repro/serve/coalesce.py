@@ -1,0 +1,124 @@
+"""Request coalescing: many small requests, few large worker batches.
+
+The batch engine's throughput comes from amortizing per-batch overhead
+over thousands of lanes; a service fed 256-lane requests would waste it
+dispatching 256-lane batches.  The :class:`Coalescer` buffers incoming
+requests per ``(key, opcode)`` and flushes one concatenated batch to
+the worker pool when either
+
+* the buffered lane count reaches ``max_batch`` (**size** trigger),
+* the oldest buffered request has waited ``max_delay_s`` (**deadline**
+  trigger — bounds the latency a lone request pays for batching), or
+* the service is shutting down (**drain** trigger).
+
+Each submitter gets a future resolving to its own slice of the batch
+result; a worker failure fails every request in the batch (the client
+sees ``STATUS_ERROR``, never a wrong answer).  All bookkeeping runs on
+the event loop — no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from repro.obs import metrics
+
+__all__ = ["Coalescer"]
+
+
+class _Buffer:
+    __slots__ = ("items", "lanes", "timer")
+
+    def __init__(self):
+        self.items: list[tuple[np.ndarray, asyncio.Future]] = []
+        self.lanes = 0
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class Coalescer:
+    """Deadline- and size-triggered batcher in front of a worker pool.
+
+    ``dispatch`` is an async callable ``(key, op, batch) -> results``
+    (normally :meth:`repro.serve.workers.WorkerPool.run`).
+    """
+
+    def __init__(self, dispatch: Callable[..., Awaitable[np.ndarray]], *,
+                 max_batch: int = 65536, max_delay_s: float = 0.002):
+        self._dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._buffers: dict[tuple[str, int], _Buffer] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._h_batch = metrics.histogram("serve.coalesce.batch")
+
+    def pending_lanes(self) -> int:
+        """Lanes currently buffered (admission control reads this)."""
+        return sum(b.lanes for b in self._buffers.values())
+
+    def submit(self, key: str, op: int,
+               data: np.ndarray) -> "asyncio.Future[np.ndarray]":
+        """Buffer one request; the future resolves to its result slice."""
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        buf = self._buffers.get((key, op))
+        if buf is None:
+            buf = self._buffers[(key, op)] = _Buffer()
+        buf.items.append((data, fut))
+        buf.lanes += len(data)
+        if buf.lanes >= self.max_batch:
+            metrics.counter("serve.coalesce.flush.size").inc()
+            self._flush((key, op))
+        elif buf.timer is None:
+            buf.timer = loop.call_later(self.max_delay_s,
+                                        self._deadline, (key, op))
+        return fut
+
+    def _deadline(self, keyop: tuple[str, int]) -> None:
+        if keyop in self._buffers:
+            metrics.counter("serve.coalesce.flush.deadline").inc()
+            self._flush(keyop)
+
+    def _flush(self, keyop: tuple[str, int]) -> None:
+        buf = self._buffers.pop(keyop, None)
+        if buf is None:
+            return
+        if buf.timer is not None:
+            buf.timer.cancel()
+        self._h_batch.observe(buf.lanes)
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(keyop, buf.items))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, keyop: tuple[str, int],
+                         items: list[tuple[np.ndarray, asyncio.Future]]) \
+            -> None:
+        key, op = keyop
+        batch = items[0][0] if len(items) == 1 else \
+            np.concatenate([d for d, _ in items])
+        try:
+            out = await self._dispatch(key, op, batch)
+        except Exception as e:
+            for _, fut in items:
+                if not fut.done():
+                    fut.set_exception(
+                        RuntimeError(f"batch evaluation failed: {e}"))
+            return
+        pos = 0
+        for data, fut in items:
+            n = len(data)
+            if not fut.done():
+                fut.set_result(out[pos:pos + n])
+            pos += n
+
+    async def drain(self) -> None:
+        """Flush every buffer and wait for in-flight batches (shutdown)."""
+        for keyop in list(self._buffers):
+            metrics.counter("serve.coalesce.flush.drain").inc()
+            self._flush(keyop)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)

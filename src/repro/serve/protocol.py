@@ -1,0 +1,213 @@
+"""Wire protocol of the libm service: framed binary batch requests.
+
+One *frame* is a 4-byte little-endian length prefix followed by that
+many payload bytes.  A request payload is a fixed header (request id,
+opcode, function/target name lengths, lane count) followed by the two
+names and the packed input lanes; a reply echoes the request id with a
+status byte and the packed output lanes (or a UTF-8 error message).
+
+Lane encodings are dictated by the opcode:
+
+========================  ==============  =================
+opcode                    request lanes   reply lanes
+========================  ==============  =================
+:data:`OP_EVAL`           float64         float64 (doubles)
+:data:`OP_EVAL_BITS`      float64         uint64 (target bits)
+:data:`OP_EVAL_FROM_BITS` uint64 (bits)   uint64 (target bits)
+:data:`OP_PING`           none            none
+========================  ==============  =================
+
+``OP_EVAL_FROM_BITS`` exists for bit-exact corpus replay: the *input*
+is already a target bit pattern, decoded service-side with
+:func:`repro.batch.rounding.decode_kernel` so the client never needs
+the format tables.
+
+Everything here is pure ``struct`` + numpy — no serialization library,
+no pickling of client-supplied bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["OP_EVAL", "OP_EVAL_BITS", "OP_EVAL_FROM_BITS", "OP_PING",
+           "STATUS_OK", "STATUS_SHED", "STATUS_ERROR",
+           "MAX_FRAME", "MAX_NAME", "ProtocolError", "Request", "Reply",
+           "pack_request", "unpack_request", "pack_reply", "unpack_reply",
+           "recv_frame", "send_frame", "read_frame", "write_frame",
+           "request_dtype", "reply_dtype"]
+
+OP_EVAL = 1            #: doubles in, correctly rounded doubles out
+OP_EVAL_BITS = 2       #: doubles in, target bit patterns out
+OP_EVAL_FROM_BITS = 3  #: target bit patterns in, target bit patterns out
+OP_PING = 4            #: liveness probe; empty reply
+
+STATUS_OK = 0      #: reply carries result lanes
+STATUS_SHED = 1    #: admission control refused the request (retryable)
+STATUS_ERROR = 2   #: reply carries a UTF-8 error message
+
+#: Hard cap on a frame's payload size — a corrupt length prefix must
+#: not make the server allocate gigabytes.  8 MiB fits one million
+#: float64 lanes plus the header.
+MAX_FRAME = 8 << 20
+
+#: Function/target names are short identifiers.
+MAX_NAME = 64
+
+_LEN = struct.Struct("<I")
+# req_id, op, fn_len, target_len, lane count
+_REQ_HEAD = struct.Struct("<IBBBI")
+# req_id, status, lane count
+_REP_HEAD = struct.Struct("<IBI")
+
+_OPS = (OP_EVAL, OP_EVAL_BITS, OP_EVAL_FROM_BITS, OP_PING)
+_STATUSES = (STATUS_OK, STATUS_SHED, STATUS_ERROR)
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame; the connection must be dropped."""
+
+
+class Request(NamedTuple):
+    req_id: int
+    op: int
+    function: str
+    target: str
+    data: np.ndarray
+
+
+class Reply(NamedTuple):
+    req_id: int
+    status: int
+    data: np.ndarray | None
+    error: str | None
+
+
+def request_dtype(op: int) -> np.dtype:
+    """The lane dtype a request carries for this opcode."""
+    return np.dtype(np.uint64 if op == OP_EVAL_FROM_BITS else np.float64)
+
+
+def reply_dtype(op: int) -> np.dtype:
+    """The lane dtype a reply carries for this opcode."""
+    return np.dtype(np.float64 if op == OP_EVAL else np.uint64)
+
+
+def pack_request(req_id: int, op: int, function: str, target: str,
+                 data: np.ndarray) -> bytes:
+    """Serialize one request payload (unframed)."""
+    fn_b = function.encode("utf-8")
+    tg_b = target.encode("utf-8")
+    if len(fn_b) > MAX_NAME or len(tg_b) > MAX_NAME:
+        raise ProtocolError("function/target name too long")
+    lanes = np.ascontiguousarray(data, dtype=request_dtype(op))
+    head = _REQ_HEAD.pack(req_id & 0xFFFFFFFF, op, len(fn_b), len(tg_b),
+                          lanes.size)
+    return head + fn_b + tg_b + lanes.tobytes()
+
+
+def unpack_request(payload: bytes) -> Request:
+    """Parse one request payload; raises :class:`ProtocolError`."""
+    if len(payload) < _REQ_HEAD.size:
+        raise ProtocolError("request shorter than its header")
+    req_id, op, fn_len, tg_len, n = _REQ_HEAD.unpack_from(payload)
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}")
+    pos = _REQ_HEAD.size
+    try:
+        function = payload[pos:pos + fn_len].decode("utf-8")
+        pos += fn_len
+        target = payload[pos:pos + tg_len].decode("utf-8")
+        pos += tg_len
+    except UnicodeDecodeError as e:
+        raise ProtocolError(f"undecodable function/target name: {e}") from e
+    body = payload[pos:]
+    if len(body) != n * 8:
+        raise ProtocolError(
+            f"request declares {n} lanes but carries {len(body)} bytes")
+    data = np.frombuffer(body, dtype=request_dtype(op))
+    return Request(req_id, op, function, target, data)
+
+
+def pack_reply(req_id: int, status: int, data: np.ndarray | None = None,
+               error: str | None = None) -> bytes:
+    """Serialize one reply payload (unframed)."""
+    if status == STATUS_ERROR:
+        body = (error or "internal error").encode("utf-8")
+        return _REP_HEAD.pack(req_id & 0xFFFFFFFF, status, 0) + body
+    if data is None:
+        return _REP_HEAD.pack(req_id & 0xFFFFFFFF, status, 0)
+    lanes = np.ascontiguousarray(data)
+    return (_REP_HEAD.pack(req_id & 0xFFFFFFFF, status, lanes.size)
+            + lanes.tobytes())
+
+
+def unpack_reply(payload: bytes, op: int) -> Reply:
+    """Parse one reply payload for a request sent with ``op``."""
+    if len(payload) < _REP_HEAD.size:
+        raise ProtocolError("reply shorter than its header")
+    req_id, status, n = _REP_HEAD.unpack_from(payload)
+    if status not in _STATUSES:
+        raise ProtocolError(f"unknown status {status}")
+    body = payload[_REP_HEAD.size:]
+    if status == STATUS_ERROR:
+        return Reply(req_id, status, None, body.decode("utf-8", "replace"))
+    if len(body) != n * 8:
+        raise ProtocolError(
+            f"reply declares {n} lanes but carries {len(body)} bytes")
+    data = np.frombuffer(body, dtype=reply_dtype(op)) if n else \
+        np.empty(0, dtype=reply_dtype(op))
+    return Reply(req_id, status, data, None)
+
+
+# -- framing: async (server side) and blocking (client side) ---------------
+
+
+async def read_frame(reader) -> bytes | None:
+    """Read one frame from an asyncio StreamReader; None on clean EOF."""
+    try:
+        head = await reader.readexactly(_LEN.size)
+    except (EOFError, ConnectionError, OSError):
+        # IncompleteReadError (mid-frame EOF) subclasses EOFError
+        return None
+    (size,) = _LEN.unpack(head)
+    if size > MAX_FRAME:
+        raise ProtocolError(f"frame of {size} bytes exceeds MAX_FRAME")
+    return await reader.readexactly(size)
+
+
+def write_frame(writer, payload: bytes) -> None:
+    """Queue one frame on an asyncio StreamWriter (caller drains)."""
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError("frame exceeds MAX_FRAME")
+    writer.write(_LEN.pack(len(payload)) + payload)
+
+
+def send_frame(sock, payload: bytes) -> None:
+    """Write one frame to a blocking socket."""
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError("frame exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_frame(sock) -> bytes:
+    """Read one frame from a blocking socket; raises on EOF."""
+    head = _recv_exact(sock, _LEN.size)
+    (size,) = _LEN.unpack(head)
+    if size > MAX_FRAME:
+        raise ProtocolError(f"frame of {size} bytes exceeds MAX_FRAME")
+    return _recv_exact(sock, size)
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ConnectionError("libm service closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)

@@ -100,7 +100,7 @@ class TestReload:
         # a stale cache entry keeps returning the same object ...
         assert runtime.load_function("exp", "float32") is fn
         # ... until reload purges both module and function caches
-        fresh = runtime.reload("exp", "float32")
+        fresh = runtime.reload_function("exp", "float32")
         assert fresh is not fn
         assert fresh.evaluate_bits(1.0) == fn.evaluate_bits(1.0)
         assert runtime.load_function("exp", "float32") is fresh

@@ -3,21 +3,24 @@
 
 Runs the sampled RLIBM-32 pipeline for the eight posit32 functions and
 freezes the results into src/repro/libm/data_posit32/.
+
+This is a thin argv shim over
+:func:`repro.api.generate.generate_library`, the blessed
+generation-time entry point.
 """
 
 import argparse
 import pathlib
 import sys
 
-from repro.libm.genlib import generate_library
-from repro.libm.runtime import POSIT32_FUNCTIONS
-from repro.parallel import parse_workers
-from repro.posit.format import POSIT32
+from repro.api import functions
+from repro.api.generate import generate_library
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--functions", nargs="*", default=list(POSIT32_FUNCTIONS))
+    parser.add_argument("--functions", nargs="*",
+                        default=list(functions("posit32")))
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--scale", type=int, default=1,
@@ -31,19 +34,14 @@ def main(argv=None) -> int:
                         nargs="?", const=pathlib.Path("tests/data/adversarial"),
                         help="fold the committed adversarial corpus inputs "
                              "for posit32 into the generation constraints")
-    parser.add_argument("--out", type=pathlib.Path,
-                        default=pathlib.Path(__file__).resolve().parent.parent
-                        / "src" / "repro" / "libm" / "data_posit32")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="output data package (default: the in-tree "
+                             "src/repro/libm/data_posit32)")
     args = parser.parse_args(argv)
-    extra = None
-    if args.adversarial is not None:
-        from repro.eval.adversarial import corpus_inputs
-
-        extra = corpus_inputs(args.adversarial, "posit32")
-    generate_library(args.functions, POSIT32, args.out,
+    generate_library(args.functions, "posit32", args.out,
                      quick=args.quick, seed=args.seed, scale=args.scale,
-                     workers=parse_workers(args.workers),
-                     checkpoint=args.checkpoint, extra_inputs=extra)
+                     workers=args.workers, checkpoint=args.checkpoint,
+                     adversarial=args.adversarial)
     return 0
 
 

@@ -34,10 +34,10 @@ sys.path.insert(0, str(REPO / "src"))
 #: Every shipped (function, target) must have a committed corpus; a
 #: deleted corpus file must fail the gate, not silently shrink it.
 def _expected_pairs() -> set[tuple[str, str]]:
-    from repro.libm.runtime import FLOAT32_FUNCTIONS, POSIT32_FUNCTIONS
+    from repro.api import functions
 
-    return ({(f, "float32") for f in FLOAT32_FUNCTIONS}
-            | {(f, "posit32") for f in POSIT32_FUNCTIONS})
+    return ({(f, "float32") for f in functions("float32")}
+            | {(f, "posit32") for f in functions("posit32")})
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -43,25 +43,27 @@ def main(argv: list[str] | None = None) -> int:
     if "--fail-stale" not in args and not maintenance:
         args += ["--fail-stale"]
     rc = lint_main(args)
-    # the certificate and adversarial gates ride along: shipped tables
-    # must agree with their proofs AND reproduce the frozen hostile-
-    # input corpora whenever the lint gate runs (both skipped for
-    # baseline maintenance and --fix invocations, which exit before
+    # the certificate, adversarial, and serving gates ride along:
+    # shipped tables must agree with their proofs, reproduce the frozen
+    # hostile-input corpora, AND answer bit-identically through the
+    # multi-process service whenever the lint gate runs (all skipped
+    # for baseline maintenance and --fix invocations, which exit before
     # reporting)
     if maintenance:
         return rc
     certify_rc = certify_main(["--root", str(REPO)])
-    adversarial_rc = _adversarial_main([])
-    return rc or certify_rc or adversarial_rc
+    adversarial_rc = _tool_main("run_adversarial", [])
+    serve_rc = _tool_main("run_serve_smoke", [])
+    return rc or certify_rc or adversarial_rc or serve_rc
 
 
-def _adversarial_main(argv: list[str]) -> int:
+def _tool_main(name: str, argv: list[str]) -> int:
     # loaded by path: tools/ is not a package and may be off sys.path
-    # (tests import this gate the same way)
+    # (tests import these gates the same way)
     import importlib.util
 
     spec = importlib.util.spec_from_file_location(
-        "run_adversarial", REPO / "tools" / "run_adversarial.py")
+        name, REPO / "tools" / f"{name}.py")
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     return mod.main(argv)

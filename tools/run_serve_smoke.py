@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI gate: boot the serving layer, replay one hostile corpus through it.
+
+The serving twin of ``tools/run_adversarial.py``: where that gate
+proves the in-process runtime still reproduces every frozen corpus,
+this one proves the *service* path — shared-memory arena publication,
+fork workers, unix-socket framing, coalescing — answers bit-identically
+to the scalar library on the nastiest committed inputs, then shuts down
+cleanly.  One corpus keeps it cheap enough to chain into every
+``tools/run_lint.py`` run; the exhaustive serving differential lives in
+``tests/test_serve.py`` (``-m serve``).
+
+Usage::
+
+    PYTHONPATH=src python tools/run_serve_smoke.py
+    PYTHONPATH=src python tools/run_serve_smoke.py --corpus ln.float32
+
+Exit status 1 on any mismatch, boot failure, or a shutdown that takes
+longer than the deadline (default 10 s for the whole run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DEFAULT_CORPUS = "exp.float32"
+
+
+def main(argv: list[str] | None = None) -> int:
+    import numpy as np
+
+    from repro.eval.adversarial import corpus_path, default_corpus_dir, \
+        load_corpus
+    from repro.serve import serve
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--corpus", default=DEFAULT_CORPUS,
+                        metavar="FN.TARGET",
+                        help=f"committed corpus to replay "
+                             f"(default: {DEFAULT_CORPUS})")
+    parser.add_argument("--dir", type=pathlib.Path,
+                        default=default_corpus_dir(REPO))
+    parser.add_argument("--deadline", type=float, default=10.0,
+                        help="whole-run wall-clock budget in seconds")
+    args = parser.parse_args(argv)
+
+    function, _, target = args.corpus.partition(".")
+    path = corpus_path(args.dir, function, target or "float32")
+    if not path.is_file():
+        print(f"serve smoke: no corpus at {path}")
+        return 1
+    corpus = load_corpus(path)
+    x = np.array([e.x_bits for e in corpus], dtype=np.uint64)
+    want = np.array([e.want_bits for e in corpus], dtype=np.uint64)
+
+    t0 = time.perf_counter()
+    with serve([corpus.function], targets=(corpus.target,),
+               workers=2) as svc:
+        with svc.connect(corpus.function, corpus.target) as client:
+            if not client.ping():
+                print("serve smoke: ping failed")
+                return 1
+            got = client.evaluate_bits_from_bits(x)
+        svc.close()
+    elapsed = time.perf_counter() - t0
+
+    bad = np.nonzero(got != want)[0]
+    if bad.size:
+        i = int(bad[0])
+        print(f"serve smoke: {corpus.function}.{corpus.target} "
+              f"FAILED — {bad.size}/{len(corpus)} replies diverge "
+              f"(first: x={x[i]:#x} want={want[i]:#x} got={got[i]:#x})")
+        return 1
+    if elapsed > args.deadline:
+        print(f"serve smoke: replay was bit-identical but took "
+              f"{elapsed:.1f}s (> {args.deadline:.0f}s deadline)")
+        return 1
+    print(f"serve smoke: {corpus.function}.{corpus.target} "
+          f"{len(corpus)} hostile inputs bit-identical through the "
+          f"service, clean shutdown, {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
