@@ -8,7 +8,9 @@ sampled slice, and records elements/second and the batch/scalar speedup
 as gauges in the ``batch_throughput.metrics.json`` sidecar and the
 ``BENCH_<host>.json`` trajectory (suite ``quick``).
 
-The issue's acceptance bar is a ≥10x speedup on this exact sweep; that
+The acceptance bar is a ≥16x speedup on this exact sweep (raised from
+the original 10x once merged sign tables, index pre-expansion and cache
+blocking landed — measured ~22x); that
 floor is declared on the registry entry (and re-asserted in the pytest
 wrapper) so a regression in the numpy pipeline (a stray copy, a lost
 fast path) fails the benchmark rather than just slowing it.  The scalar
@@ -31,7 +33,7 @@ from repro.obs.bench import benchmark, emit_report
 N = int(os.environ.get("REPRO_BENCH_BATCH_N", "1000000"))
 SCALAR_SAMPLE = 40000
 SEED = 2021
-SPEEDUP_FLOOR = 10.0
+SPEEDUP_FLOOR = 16.0
 
 
 @benchmark("batch_throughput", suite="quick",

@@ -38,6 +38,14 @@ Invariants checked (rule codes TC2xx)
   bit boundary, leaving no gap and no overlap), and an index field of a
   sign-split table must never reach the sign bit
   (``shift + index_bits <= 63`` when ``index_bits >= 1``).
+* TC210 — compact-layout fidelity: a module shipping a ``COMPACT``
+  blob (:mod:`repro.libm.compact`) must decode cleanly, the decode
+  must be the dict the module actually exposes as ``DATA``, and that
+  dict must survive the *legacy* literal rendering round-trip
+  (``render_module_legacy`` execs its own output and compares bit for
+  bit) — so a torn pool, a stale hybrid module, or a codec regression
+  is caught statically, without trusting the compact codec to verify
+  itself.
 """
 
 from __future__ import annotations
@@ -284,6 +292,35 @@ def check_data(data: Any, path: str,
     return c.findings
 
 
+def _check_compact(c: _Checker, mod: ModuleType) -> None:
+    """TC210: a COMPACT blob must decode to exactly what DATA exposes,
+    and the decode must survive the legacy literal rendering round-trip.
+    """
+    comp = mod.__dict__.get("COMPACT")  # plain lookup: no PEP 562 decode
+    if comp is None:
+        return  # legacy-rendered module; nothing compact to verify
+    from repro.libm import compact
+    from repro.libm.serialize import _deep_equal, render_module_legacy
+    try:
+        decoded = compact.decode(comp)
+    except Exception as e:
+        c.err("TC210", f"COMPACT blob fails to decode: "
+                       f"{type(e).__name__}: {e}",
+              "the pool or skeleton is torn; regenerate the module")
+        return
+    if not _deep_equal(decoded, mod.DATA):
+        c.err("TC210", "module DATA differs from its own COMPACT decode",
+              "stale hybrid module (literal DATA left beside COMPACT); "
+              "regenerate the module")
+    try:
+        render_module_legacy(decoded)
+    except Exception as e:
+        c.err("TC210", f"decoded compact data fails the legacy rendering "
+                       f"round-trip: {type(e).__name__}: {e}",
+              "a decoded double does not repr-round-trip or structure "
+              "was lost; regenerate the module")
+
+
 def check_module(mod: ModuleType) -> list[Finding]:
     """Check one imported data module (expects a module-level ``DATA``)."""
     path = getattr(mod, "__file__", None) or mod.__name__
@@ -293,8 +330,11 @@ def check_module(mod: ModuleType) -> list[Finding]:
     if not hasattr(mod, "DATA"):
         return [Finding(path, 1, 0, "TC201", Severity.ERROR,
                         "module has no DATA constant", "")]
-    return check_data(mod.DATA, path, expect_function=short,
-                      expect_target=target)
+    findings = check_data(mod.DATA, path, expect_function=short,
+                          expect_target=target)
+    c = _Checker(path)
+    _check_compact(c, mod)
+    return findings + c.findings
 
 
 def load_module_from_path(path: str | Path) -> ModuleType:
@@ -361,4 +401,7 @@ def run_tablecheck(packages: tuple[str, ...] = DATA_PACKAGES,
         else:
             # standalone files carry no package context; skip name checks
             findings.extend(check_data(mod.DATA, str(path)))
+            c = _Checker(str(path))
+            _check_compact(c, mod)
+            findings.extend(c.findings)
     return total, sort_findings(findings)

@@ -1,560 +1,122 @@
-"""Generated coefficient data for cospi (float32).
+"""Generated coefficient data for cospi (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 530 deduplicated doubles, little-endian, base64
+_POOL = (
+    "BgAAAAAA8D/38ZzJPL0TwL1tzDIKOxBAFi1EVPshCUAjLURU+yEJQAAAAAAAAAAAQF2q17yrFMAAAAAAAAAAAKsAkR49nQJA"
+    "AAAAAAAAAABYPfP51lTnQAAAAAAAAPA/koqOhdj/7z/bkpsWYv/vP6FRS7Sc/u8/Dc2EYIj97z/40/EdJfzvP133/u9y+u8/"
+    "34Hb2nH47z9+bXnjIfbvP1xXjQ+D8+8/rXGOZZXw7z/Ec7bsWO3vPzqIAa3N6e8/QDkur/Pl7z8JW738yuHvP1b08Z9T3e8/"
+    "JiXRo43Y7z+ECyIUedPvP3umbf0Vzu8/Ibf+bGTI7z/Tn+FwZMLvP4ZB5BcWvO8/QdeVcXm17z+7z0aOjq7vPxelCH9Vp+8/"
+    "yLKtVc6f7z+bCckk+ZfvP9tBrv/Vj+8/qUtx+mSH7z9uPeYppn7vP3cgoaOZde8/t7v1fT9s7z+wXPfPl2LvP4SeeLGiWO8/"
+    "LS8LO2BO7z/dkv+F0EPvP4nlZKzzOO8/nZoIyckt7z/aOnb3UiLvP10g91OPFu8/1zCS+34K7z/slQsMIv7uP8Jz5KN48e4/"
+    "vJ1a4oLk7j9jSWjnQNfuP4S/w9Oyye4/dAvfyNi77j+OqOfosq3uP9otxlZBn+4/8vcdNoSQ7j8N0Uyre4HuP0SXatsncu4/"
+    "EuFI7Ihi7j/8n3IEn1LuP37BK0tqQu4/Jc5w6Oox7j/lhvYEISHuP6yAKcoMEO4/K74tYq7+7T/aR973Be3tPzzCzLYT2+0/"
+    "YAJBy9fI7T+boDhiUrbtP4iJZqmDo+0/Ro0yz2uQ7T/57LgCC33tP4vmyXNhae0/sT7pUm9V7T86yU3RNEHtP5/v4CCyLO0/"
+    "3DU+dOcX7T+SvbL+1ALtP3PHPPR67ew/9jKLidnX7D9c/Pzz8MHsPwC5oGnBq+w/9RE0IUuV7D/zPCNSjn7sP5tziDSLZ+w/"
+    "B2krAUJQ7D+xvYDxsjjsP7BxqT/eIOw/SVVyJsQI7D/dd1PhZPDrPyqVb6zA1+s/6oCTxNe+6z/SkDVnqqXrP+kEddI4jOs/"
+    "Pm4ZRYNy6z8FFJL+iVjrPxJX9T5NPus/tBMAR80j6z8AAhVYCgnrP3QUPLQE7uo/EdUhnrzS6j/UwBZZMrfqP6OhDilmm+o/"
+    "neafUlh/6j/i+gIbCWPqP8iaEch4Ruo/gidGoKcp6j83+brqlQzqP5SvKe9D7+k/1YDq9bHR6T9Bh/NH4LPpPyIN2C7Plek/"
+    "QtfH9H536T/XbY7k71jpP/tjkkkiOuk/op3UbxYb6T8NlO+jzPvoP8yYFjNF3Og/QRcVa4C86D+q1E2afpzoP78uug9AfOg/"
+    "zFjpGsVb6D9ul/8LDjvoP8x6tTMbGug/cRdX4+z45z+yPcNsg9fnP6+vaiLftec/5VVPVwCU5z9hcgNf53HnP43SqI2UT+c/"
+    "lv/vNwgt5z96bRezQgrnP6+o6lRE5+Y/dYLBcw3E5j/NO39mnqDmPxCvkYT3fOY/PXjwJRlZ5j/pGxyjAzXmP98sHVW3EOY/"
+    "dHCDlTTs5T+MAWW+e8flP1ByXSqNouU/oOyMNGl95T83UZc4EFjlP5ZVo5KCMuU/m6BZn8AM5T/p5eO7yubkPwQA7EWhwOQ/"
+    "OQmbm0Sa5D9Hc5gbtXPkP9YdCSXzTOQ/sWuOF/8l5D/UVkVT2f7jP0SDxTiC1+M/uVAgKfqv4z8i69+FQYjjP/NZBrFYYOM/"
+    "V44MDUA44z81cOH89w/jPxfq6OOA5+I/6vP6Jdu+4j+onGInB5biP98S3UwFbeI/H6yY+9VD4j9Z6zOZeRriPxuGvIvw8OE/"
+    "yGiuOTvH4T+4ufIJWp3hP0nb3mNNc+E/62wzrxVJ4T8jSxtUsx7hP36OKrsm9OA/j4ldTXDJ4D/hxRd0kJ7gP+7/IpmHc+A/"
+    "GiKuJlZI4D+3PkyH/BzgPxAS50v24t8/upr426SL3z9n0D+WBTTfP9Z471IZ3N4/FFH46uCD3j879gY4XSveP1jMgRSP0t0/"
+    "ieOGW3d53T9b2+noFiDdP17EMZluxtw/CwCXSX9s3D/nHgHYSRLcPwG9BCPPt9s/wFzhCRBd2z8JQH9sDQLbP8o/bSvIpto/"
+    "5aHeJ0FL2j+K7ahDee/ZP/+9QWFxk9k/15O8Yyo32T+wpMgupdrYP2Oprqbifdg/xKpOsOMg2D/nzB0xqcPXP/YYJA80Ztc/"
+    "n0X6MIUI1z8Xfsd9narWP8YnP919TNY/k6aeNyfu1T/dH6t1mo/VPyQ8r4DYMNU/aud4QuLR1D9UEFeluHLUPwFmF5RcE9Q/"
+    "txQE+s6z0z9SgeHCEFTTP4cD7Noi9NI/Bp/VLgaU0j9xu8OruzPSPz7bTD9E09E/d1F216By0T939rFi0hHRP5Db28/ZsNA/"
+    "rv03DrhP0D/57d8a3NzPPxtfIXv5Gc8/GxoQHspWzj8RQ0XlT5PNP4ayErOMz8w/Y09+aoILzD8iZz3vMkfLP1EEsCWggso/"
+    "ZkPc8su9yT8Lpmk8uPjIP8ZknOhmM8g/Mb9Q3tltxz+ySvYEE6jGP8Y/i0QU4sU/8sWXhd8bxT9aPimxdlXEPxSNzbDbjsM/"
+    "OmGObhDIwj/Pe+zUFgHCP3f12s7wOcE/HYO6R6BywD8Oc6lWTla/P8mfrssOx70/1cKex4U3vD8DXEkkt6e6Pyy0KbymF7k/"
+    "IVtdaliHtz8ZpJoK0Pa1P5YgJ3kRZrQ/9hnOkiDVsj+zCdc0AUSxP+Ag+HluZa8/49fAEo1CrD8U2A3xZR+pP0PNkNIA/KU/"
+    "zVWUdWXYoj8Bz9ExN2mfP35mo/dVIZk//Q7juzbZkj+Ex9780SGJP3EAZ/7wIXk/AAAAAAAAAAAAAAAAAAAAAHEAZ/7wIXk/"
+    "hMfe/NEhiT/9DuO7NtmSP35mo/dVIZk/Ac/RMTdpnz/NVZR1ZdiiP0PNkNIA/KU/FNgN8WUfqT/j18ASjUKsP+Ag+HluZa8/"
+    "swnXNAFEsT/2Gc6SINWyP5YgJ3kRZrQ/GaSaCtD2tT8hW11qWIe3Pyy0KbymF7k/A1xJJLenuj/Vwp7HhTe8P8mfrssOx70/"
+    "DnOpVk5Wvz8dg7pHoHLAP3f12s7wOcE/z3vs1BYBwj86YY5uEMjCPxSNzbDbjsM/Wj4psXZVxD/yxZeF3xvFP8Y/i0QU4sU/"
+    "skr2BBOoxj8xv1De2W3HP8ZknOhmM8g/C6ZpPLj4yD9mQ9zyy73JP1EEsCWggso/Imc97zJHyz9jT35qggvMP4ayErOMz8w/"
+    "EUNF5U+TzT8bGhAeylbOPxtfIXv5Gc8/+e3fGtzczz+u/TcOuE/QP5Db28/ZsNA/d/axYtIR0T93UXbXoHLRPz7bTD9E09E/"
+    "cbvDq7sz0j8Gn9UuBpTSP4cD7Noi9NI/UoHhwhBU0z+3FAT6zrPTPwFmF5RcE9Q/VBBXpbhy1D9q53hC4tHUPyQ8r4DYMNU/"
+    "3R+rdZqP1T+Tpp43J+7VP8YnP919TNY/F37HfZ2q1j+fRfowhQjXP/YYJA80Ztc/58wdManD1z/Eqk6w4yDYP2Oprqbifdg/"
+    "sKTILqXa2D/Xk7xjKjfZP/+9QWFxk9k/iu2oQ3nv2T/lod4nQUvaP8o/bSvIpto/CUB/bA0C2z/AXOEJEF3bPwG9BCPPt9s/"
+    "5x4B2EkS3D8LAJdJf2zcP17EMZluxtw/W9vp6BYg3T+J44Zbd3ndP1jMgRSP0t0/O/YGOF0r3j8UUfjq4IPeP9Z471IZ3N4/"
+    "Z9A/lgU03z+6mvjbpIvfPxAS50v24t8/tz5Mh/wc4D8aIq4mVkjgP+7/IpmHc+A/4cUXdJCe4D+PiV1NcMngP36OKrsm9OA/"
+    "I0sbVLMe4T/rbDOvFUnhP0nb3mNNc+E/uLnyCVqd4T/IaK45O8fhPxuGvIvw8OE/WeszmXka4j8frJj71UPiP98S3UwFbeI/"
+    "qJxiJweW4j/q8/ol277iPxfq6OOA5+I/NXDh/PcP4z9XjgwNQDjjP/NZBrFYYOM/IuvfhUGI4z+5UCAp+q/jP0SDxTiC1+M/"
+    "1FZFU9n+4z+xa44X/yXkP9YdCSXzTOQ/R3OYG7Vz5D85CZubRJrkPwQA7EWhwOQ/6eXju8rm5D+boFmfwAzlP5ZVo5KCMuU/"
+    "N1GXOBBY5T+g7Iw0aX3lP1ByXSqNouU/jAFlvnvH5T90cIOVNOzlP98sHVW3EOY/6RscowM15j89ePAlGVnmPxCvkYT3fOY/"
+    "zTt/Zp6g5j91gsFzDcTmP6+o6lRE5+Y/em0Xs0IK5z+W/+83CC3nP43SqI2UT+c/YXIDX+dx5z/lVU9XAJTnP6+vaiLftec/"
+    "sj3DbIPX5z9xF1fj7PjnP8x6tTMbGug/bpf/Cw476D/MWOkaxVvoP78uug9AfOg/qtRNmn6c6D9BFxVrgLzoP8yYFjNF3Og/"
+    "DZTvo8z76D+indRvFhvpP/tjkkkiOuk/122O5O9Y6T9C18f0fnfpPyIN2C7Plek/QYfzR+Cz6T/VgOr1sdHpP5SvKe9D7+k/"
+    "N/m66pUM6j+CJ0agpynqP8iaEch4Ruo/4voCGwlj6j+d5p9SWH/qP6OhDilmm+o/1MAWWTK36j8R1SGevNLqP3QUPLQE7uo/"
+    "AAIVWAoJ6z+0EwBHzSPrPxJX9T5NPus/BRSS/olY6z8+bhlFg3LrP+kEddI4jOs/0pA1Z6ql6z/qgJPE177rPyqVb6zA1+s/"
+    "3XdT4WTw6z9JVXImxAjsP7BxqT/eIOw/sb2A8bI47D8HaSsBQlDsP5tziDSLZ+w/8zwjUo5+7D/1ETQhS5XsPwC5oGnBq+w/"
+    "XPz88/DB7D/2MouJ2dfsP3PHPPR67ew/kr2y/tQC7T/cNT505xftP5/v4CCyLO0/OslN0TRB7T+xPulSb1XtP4vmyXNhae0/"
+    "+ey4Agt97T9GjTLPa5DtP4iJZqmDo+0/m6A4YlK27T9gAkHL18jtPzzCzLYT2+0/2kfe9wXt7T8rvi1irv7tP6yAKcoMEO4/"
+    "5Yb2BCEh7j8lznDo6jHuP37BK0tqQu4//J9yBJ9S7j8S4UjsiGLuP0SXatsncu4/DdFMq3uB7j/y9x02hJDuP9otxlZBn+4/"
+    "jqjn6LKt7j90C9/I2LvuP4S/w9Oyye4/Y0lo50DX7j+8nVriguTuP8Jz5KN48e4/7JULDCL+7j/XMJL7fgrvP10g91OPFu8/"
+    "2jp291Ii7z+dmgjJyS3vP4nlZKzzOO8/3ZL/hdBD7z8tLws7YE7vP4SeeLGiWO8/sFz3z5di7z+3u/V9P2zvP3cgoaOZde8/"
+    "bj3mKaZ+7z+pS3H6ZIfvP9tBrv/Vj+8/mwnJJPmX7z/Isq1Vzp/vPxelCH9Vp+8/u89Gjo6u7z9B15VxebXvP4ZB5BcWvO8/"
+    "05/hcGTC7z8ht/5sZMjvP3umbf0Vzu8/hAsiFHnT7z8mJdGjjdjvP1b08Z9T3e8/CVu9/Mrh7z9AOS6v8+XvPzqIAa3N6e8/"
+    "xHO27Fjt7z+tcY5llfDvP1xXjQ+D8+8/fm154yH27z/fgdvacfjvP133/u9y+u8/+NPxHSX87z8NzYRgiP3vP6FRS7Sc/u8/"
+    "25KbFmL/7z+Sio6F2P/vPwAAAAAAAPA/APakxfmHOUAAWNt0AdAUQABg6LfG7/A/AMJEP/dEM0AAg9mfrIJLQA=="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'cospi',
+    "target": 'float32',
+    "rr_kind": 'cospi',
+    "pool_len": 530,
+    "pool": _POOL,
+    "data": {'approx': {'cospi': {'neg': None,
+                          'pos': {'@pp': {'index_bits': 0,
+                                          'mode': 'raw',
+                                          'polys': [[[0, 2, 4], 0, 3]],
+                                          'shift': 60}}},
+                'sinpi': {'neg': None,
+                          'pos': {'@pp': {'cols': [3, 4, 2],
+                                          'exps': [1, 3, 5, 7],
+                                          'index_bits': 1,
+                                          'lens': [1, 4],
+                                          'mode': 'packed',
+                                          'shift': 59,
+                                          'start': 1,
+                                          'stride': 2}}}},
+     'function': 'cospi',
+     'rr_kind': 'cospi',
+     'rr_state': {'_cos_t': {'@fv': [11, 257]},
+                  '_sin_t': {'@fv': [268, 257]},
+                  'exponents': {'@t': [{'@t': [1, 3, 5, 7]}, {'@t': [0, 2, 4, 6]}]},
+                  'fn_names': {'@t': ['sinpi', 'cospi']},
+                  'name': 'cospi'},
+     'stats': {'counterexamples_folded': 0,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 525},
+               'input_count': 53185,
+               'oracle_time_s': {'@f': 526},
+               'per_fn': {'cospi': {'degree': 4, 'npolys': 1, 'terms': 3},
+                          'sinpi': {'degree': 7, 'npolys': 2, 'terms': 4}},
+               'phase_s': {'oracle': {'@f': 526}, 'piecewise': {'@f': 527}, 'reduced': {'@f': 528}},
+               'reduced_count': 40105,
+               'special_count': 387,
+               'total_time_s': {'@f': 529}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'cospi': {'neg': None,
-                      'pos': {'index_bits': 0,
-                              'polys': [((0, 2, 4),
-                                         (1.0000000000000013,
-                                          -4.934802198604749,
-                                          4.05765609143003))],
-                              'shift': 60}},
-            'sinpi': {'neg': None,
-                      'pos': {'index_bits': 1,
-                              'polys': [((1,), (3.1415926535897922,)),
-                                        ((1, 3, 5, 7),
-                                         (3.141592653589798,
-                                          -5.167712564252099,
-                                          2.326776732254151,
-                                          47782.7180114935))],
-                              'shift': 59}}},
- 'function': 'cospi',
- 'rr_kind': 'cospi',
- 'rr_state': {'_cos_t': (1.0,
-                         0.9999811752826011,
-                         0.9999247018391445,
-                         0.9998305817958234,
-                         0.9996988186962042,
-                         0.9995294175010931,
-                         0.9993223845883495,
-                         0.9990777277526454,
-                         0.9987954562051724,
-                         0.9984755805732948,
-                         0.9981181129001492,
-                         0.9977230666441916,
-                         0.9972904566786902,
-                         0.9968202992911657,
-                         0.996312612182778,
-                         0.9957674144676598,
-                         0.9951847266721969,
-                         0.9945645707342554,
-                         0.9939069700023561,
-                         0.9932119492347945,
-                         0.99247953459871,
-                         0.9917097536690995,
-                         0.99090263542778,
-                         0.9900582102622971,
-                         0.989176509964781,
-                         0.9882575677307495,
-                         0.9873014181578584,
-                         0.9863080972445987,
-                         0.9852776423889412,
-                         0.984210092386929,
-                         0.9831054874312163,
-                         0.9819638691095552,
-                         0.9807852804032304,
-                         0.9795697656854405,
-                         0.9783173707196277,
-                         0.9770281426577544,
-                         0.9757021300385286,
-                         0.9743393827855759,
-                         0.9729399522055602,
-                         0.9715038909862518,
-                         0.970031253194544,
-                         0.9685220942744173,
-                         0.9669764710448521,
-                         0.9653944416976894,
-                         0.9637760657954398,
-                         0.9621214042690416,
-                         0.9604305194155658,
-                         0.9587034748958716,
-                         0.9569403357322088,
-                         0.9551411683057707,
-                         0.9533060403541939,
-                         0.9514350209690083,
-                         0.9495281805930367,
-                         0.9475855910177411,
-                         0.9456073253805213,
-                         0.9435934581619604,
-                         0.9415440651830208,
-                         0.9394592236021899,
-                         0.937339011912575,
-                         0.9351835099389476,
-                         0.9329927988347388,
-                         0.9307669610789837,
-                         0.9285060804732156,
-                         0.9262102421383114,
-                         0.9238795325112867,
-                         0.9215140393420419,
-                         0.9191138516900578,
-                         0.9166790599210427,
-                         0.9142097557035307,
-                         0.9117060320054299,
-                         0.9091679830905224,
-                         0.9065957045149153,
-                         0.9039892931234433,
-                         0.901348847046022,
-                         0.8986744656939538,
-                         0.8959662497561851,
-                         0.8932243011955153,
-                         0.8904487232447579,
-                         0.8876396204028539,
-                         0.8847970984309378,
-                         0.881921264348355,
-                         0.8790122264286335,
-                         0.8760700941954066,
-                         0.8730949784182901,
-                         0.8700869911087115,
-                         0.8670462455156926,
-                         0.8639728561215867,
-                         0.8608669386377673,
-                         0.8577286100002721,
-                         0.8545579883654005,
-                         0.8513551931052652,
-                         0.8481203448032972,
-                         0.8448535652497071,
-                         0.8415549774368984,
-                         0.8382247055548381,
-                         0.83486287498638,
-                         0.8314696123025452,
-                         0.8280450452577558,
-                         0.8245893027850253,
-                         0.8211025149911046,
-                         0.8175848131515837,
-                         0.8140363297059484,
-                         0.8104571982525948,
-                         0.8068475535437992,
-                         0.8032075314806449,
-                         0.799537269107905,
-                         0.7958369046088836,
-                         0.7921065773002124,
-                         0.7883464276266062,
-                         0.7845565971555752,
-                         0.7807372285720945,
-                         0.7768884656732324,
-                         0.773010453362737,
-                         0.7691033376455796,
-                         0.765167265622459,
-                         0.7612023854842618,
-                         0.7572088465064846,
-                         0.7531867990436125,
-                         0.7491363945234594,
-                         0.745057785441466,
-                         0.7409511253549591,
-                         0.7368165688773699,
-                         0.7326542716724128,
-                         0.7284643904482252,
-                         0.7242470829514669,
-                         0.7200025079613817,
-                         0.7157308252838187,
-                         0.7114321957452164,
-                         0.7071067811865476,
-                         0.7027547444572253,
-                         0.6983762494089728,
-                         0.693971460889654,
-                         0.6895405447370669,
-                         0.6850836677727004,
-                         0.680600997795453,
-                         0.6760927035753159,
-                         0.6715589548470184,
-                         0.6669999223036375,
-                         0.6624157775901718,
-                         0.6578066932970786,
-                         0.6531728429537768,
-                         0.6485144010221124,
-                         0.6438315428897915,
-                         0.6391244448637757,
-                         0.6343932841636455,
-                         0.629638238914927,
-                         0.6248594881423863,
-                         0.6200572117632892,
-                         0.6152315905806268,
-                         0.6103828062763095,
-                         0.6055110414043255,
-                         0.600616479383869,
-                         0.5956993044924334,
-                         0.5907597018588743,
-                         0.5857978574564389,
-                         0.5808139580957645,
-                         0.5758081914178453,
-                         0.5707807458869673,
-                         0.5657318107836132,
-                         0.560661576197336,
-                         0.5555702330196022,
-                         0.5504579729366048,
-                         0.5453249884220465,
-                         0.5401714727298929,
-                         0.5349976198870973,
-                         0.5298036246862947,
-                         0.524589682678469,
-                         0.5193559901655896,
-                         0.5141027441932218,
-                         0.508830142543107,
-                         0.5035383837257176,
-                         0.49822766697278187,
-                         0.49289819222978404,
-                         0.48755016014843594,
-                         0.4821837720791228,
-                         0.47679923006332214,
-                         0.47139673682599764,
-                         0.4659764957679662,
-                         0.46053871095824,
-                         0.45508358712634384,
-                         0.4496113296546066,
-                         0.44412214457042926,
-                         0.43861623853852766,
-                         0.43309381885315196,
-                         0.4275550934302821,
-                         0.4220002707997997,
-                         0.4164295600976372,
-                         0.41084317105790397,
-                         0.40524131400498986,
-                         0.39962419984564684,
-                         0.3939920400610481,
-                         0.3883450466988263,
-                         0.3826834323650898,
-                         0.37700741021641826,
-                         0.37131719395183754,
-                         0.36561299780477385,
-                         0.35989503653498817,
-                         0.3541635254204904,
-                         0.34841868024943456,
-                         0.3426607173119944,
-                         0.33688985339222005,
-                         0.33110630575987643,
-                         0.3253102921622629,
-                         0.3195020308160157,
-                         0.31368174039889146,
-                         0.30784964004153487,
-                         0.3020059493192281,
-                         0.29615088824362384,
-                         0.2902846772544624,
-                         0.2844075372112718,
-                         0.2785196893850531,
-                         0.272621355449949,
-                         0.26671275747489837,
-                         0.2607941179152755,
-                         0.25486565960451457,
-                         0.24892760574572018,
-                         0.2429801799032639,
-                         0.2370236059943672,
-                         0.2310581082806711,
-                         0.22508391135979283,
-                         0.2191012401568698,
-                         0.21311031991609136,
-                         0.20711137619221856,
-                         0.2011046348420919,
-                         0.19509032201612828,
-                         0.18906866414980622,
-                         0.18303988795514095,
-                         0.17700422041214875,
-                         0.17096188876030122,
-                         0.16491312048996992,
-                         0.15885814333386145,
-                         0.15279718525844344,
-                         0.14673047445536175,
-                         0.14065823933284924,
-                         0.1345807085071262,
-                         0.12849811079379317,
-                         0.1224106751992162,
-                         0.11631863091190477,
-                         0.11022220729388306,
-                         0.10412163387205457,
-                         0.0980171403295606,
-                         0.09190895649713272,
-                         0.0857973123444399,
-                         0.07968243797143013,
-                         0.07356456359966743,
-                         0.06744391956366406,
-                         0.06132073630220858,
-                         0.05519524434968994,
-                         0.049067674327418015,
-                         0.04293825693494082,
-                         0.03680722294135883,
-                         0.030674803176636626,
-                         0.024541228522912288,
-                         0.01840672990580482,
-                         0.012271538285719925,
-                         0.006135884649154475,
-                         0.0),
-              '_sin_t': (0.0,
-                         0.006135884649154475,
-                         0.012271538285719925,
-                         0.01840672990580482,
-                         0.024541228522912288,
-                         0.030674803176636626,
-                         0.03680722294135883,
-                         0.04293825693494082,
-                         0.049067674327418015,
-                         0.05519524434968994,
-                         0.06132073630220858,
-                         0.06744391956366406,
-                         0.07356456359966743,
-                         0.07968243797143013,
-                         0.0857973123444399,
-                         0.09190895649713272,
-                         0.0980171403295606,
-                         0.10412163387205457,
-                         0.11022220729388306,
-                         0.11631863091190477,
-                         0.1224106751992162,
-                         0.12849811079379317,
-                         0.1345807085071262,
-                         0.14065823933284924,
-                         0.14673047445536175,
-                         0.15279718525844344,
-                         0.15885814333386145,
-                         0.16491312048996992,
-                         0.17096188876030122,
-                         0.17700422041214875,
-                         0.18303988795514095,
-                         0.18906866414980622,
-                         0.19509032201612828,
-                         0.2011046348420919,
-                         0.20711137619221856,
-                         0.21311031991609136,
-                         0.2191012401568698,
-                         0.22508391135979283,
-                         0.2310581082806711,
-                         0.2370236059943672,
-                         0.2429801799032639,
-                         0.24892760574572018,
-                         0.25486565960451457,
-                         0.2607941179152755,
-                         0.26671275747489837,
-                         0.272621355449949,
-                         0.2785196893850531,
-                         0.2844075372112718,
-                         0.2902846772544624,
-                         0.29615088824362384,
-                         0.3020059493192281,
-                         0.30784964004153487,
-                         0.31368174039889146,
-                         0.3195020308160157,
-                         0.3253102921622629,
-                         0.33110630575987643,
-                         0.33688985339222005,
-                         0.3426607173119944,
-                         0.34841868024943456,
-                         0.3541635254204904,
-                         0.35989503653498817,
-                         0.36561299780477385,
-                         0.37131719395183754,
-                         0.37700741021641826,
-                         0.3826834323650898,
-                         0.3883450466988263,
-                         0.3939920400610481,
-                         0.39962419984564684,
-                         0.40524131400498986,
-                         0.41084317105790397,
-                         0.4164295600976372,
-                         0.4220002707997997,
-                         0.4275550934302821,
-                         0.43309381885315196,
-                         0.43861623853852766,
-                         0.44412214457042926,
-                         0.4496113296546066,
-                         0.45508358712634384,
-                         0.46053871095824,
-                         0.4659764957679662,
-                         0.47139673682599764,
-                         0.47679923006332214,
-                         0.4821837720791228,
-                         0.48755016014843594,
-                         0.49289819222978404,
-                         0.49822766697278187,
-                         0.5035383837257176,
-                         0.508830142543107,
-                         0.5141027441932218,
-                         0.5193559901655896,
-                         0.524589682678469,
-                         0.5298036246862947,
-                         0.5349976198870973,
-                         0.5401714727298929,
-                         0.5453249884220465,
-                         0.5504579729366048,
-                         0.5555702330196022,
-                         0.560661576197336,
-                         0.5657318107836132,
-                         0.5707807458869673,
-                         0.5758081914178453,
-                         0.5808139580957645,
-                         0.5857978574564389,
-                         0.5907597018588743,
-                         0.5956993044924334,
-                         0.600616479383869,
-                         0.6055110414043255,
-                         0.6103828062763095,
-                         0.6152315905806268,
-                         0.6200572117632892,
-                         0.6248594881423863,
-                         0.629638238914927,
-                         0.6343932841636455,
-                         0.6391244448637757,
-                         0.6438315428897915,
-                         0.6485144010221124,
-                         0.6531728429537768,
-                         0.6578066932970786,
-                         0.6624157775901718,
-                         0.6669999223036375,
-                         0.6715589548470184,
-                         0.6760927035753159,
-                         0.680600997795453,
-                         0.6850836677727004,
-                         0.6895405447370669,
-                         0.693971460889654,
-                         0.6983762494089728,
-                         0.7027547444572253,
-                         0.7071067811865476,
-                         0.7114321957452164,
-                         0.7157308252838187,
-                         0.7200025079613817,
-                         0.7242470829514669,
-                         0.7284643904482252,
-                         0.7326542716724128,
-                         0.7368165688773699,
-                         0.7409511253549591,
-                         0.745057785441466,
-                         0.7491363945234594,
-                         0.7531867990436125,
-                         0.7572088465064846,
-                         0.7612023854842618,
-                         0.765167265622459,
-                         0.7691033376455796,
-                         0.773010453362737,
-                         0.7768884656732324,
-                         0.7807372285720945,
-                         0.7845565971555752,
-                         0.7883464276266062,
-                         0.7921065773002124,
-                         0.7958369046088836,
-                         0.799537269107905,
-                         0.8032075314806449,
-                         0.8068475535437992,
-                         0.8104571982525948,
-                         0.8140363297059484,
-                         0.8175848131515837,
-                         0.8211025149911046,
-                         0.8245893027850253,
-                         0.8280450452577558,
-                         0.8314696123025452,
-                         0.83486287498638,
-                         0.8382247055548381,
-                         0.8415549774368984,
-                         0.8448535652497071,
-                         0.8481203448032972,
-                         0.8513551931052652,
-                         0.8545579883654005,
-                         0.8577286100002721,
-                         0.8608669386377673,
-                         0.8639728561215867,
-                         0.8670462455156926,
-                         0.8700869911087115,
-                         0.8730949784182901,
-                         0.8760700941954066,
-                         0.8790122264286335,
-                         0.881921264348355,
-                         0.8847970984309378,
-                         0.8876396204028539,
-                         0.8904487232447579,
-                         0.8932243011955153,
-                         0.8959662497561851,
-                         0.8986744656939538,
-                         0.901348847046022,
-                         0.9039892931234433,
-                         0.9065957045149153,
-                         0.9091679830905224,
-                         0.9117060320054299,
-                         0.9142097557035307,
-                         0.9166790599210427,
-                         0.9191138516900578,
-                         0.9215140393420419,
-                         0.9238795325112867,
-                         0.9262102421383114,
-                         0.9285060804732156,
-                         0.9307669610789837,
-                         0.9329927988347388,
-                         0.9351835099389476,
-                         0.937339011912575,
-                         0.9394592236021899,
-                         0.9415440651830208,
-                         0.9435934581619604,
-                         0.9456073253805213,
-                         0.9475855910177411,
-                         0.9495281805930367,
-                         0.9514350209690083,
-                         0.9533060403541939,
-                         0.9551411683057707,
-                         0.9569403357322088,
-                         0.9587034748958716,
-                         0.9604305194155658,
-                         0.9621214042690416,
-                         0.9637760657954398,
-                         0.9653944416976894,
-                         0.9669764710448521,
-                         0.9685220942744173,
-                         0.970031253194544,
-                         0.9715038909862518,
-                         0.9729399522055602,
-                         0.9743393827855759,
-                         0.9757021300385286,
-                         0.9770281426577544,
-                         0.9783173707196277,
-                         0.9795697656854405,
-                         0.9807852804032304,
-                         0.9819638691095552,
-                         0.9831054874312163,
-                         0.984210092386929,
-                         0.9852776423889412,
-                         0.9863080972445987,
-                         0.9873014181578584,
-                         0.9882575677307495,
-                         0.989176509964781,
-                         0.9900582102622971,
-                         0.99090263542778,
-                         0.9917097536690995,
-                         0.99247953459871,
-                         0.9932119492347945,
-                         0.9939069700023561,
-                         0.9945645707342554,
-                         0.9951847266721969,
-                         0.9957674144676598,
-                         0.996312612182778,
-                         0.9968202992911657,
-                         0.9972904566786902,
-                         0.9977230666441916,
-                         0.9981181129001492,
-                         0.9984755805732948,
-                         0.9987954562051724,
-                         0.9990777277526454,
-                         0.9993223845883495,
-                         0.9995294175010931,
-                         0.9996988186962042,
-                         0.9998305817958234,
-                         0.9999247018391445,
-                         0.9999811752826011,
-                         1.0),
-              'exponents': ((1, 3, 5, 7), (0, 2, 4, 6)),
-              'fn_names': ('sinpi', 'cospi'),
-              'name': 'cospi'},
- 'stats': {'counterexamples_folded': 0,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 25.531154968999545,
-           'input_count': 53185,
-           'oracle_time_s': 5.203130555999451,
-           'per_fn': {'cospi': {'degree': 4, 'npolys': 1, 'terms': 3},
-                      'sinpi': {'degree': 7, 'npolys': 2, 'terms': 4}},
-           'phase_s': {'oracle': 5.203130555999451,
-                       'piecewise': 1.0585391219992744,
-                       'reduced': 19.269397691999984},
-           'reduced_count': 40105,
-           'special_count': 387,
-           'total_time_s': 55.020893079001326},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

@@ -1,123 +1,83 @@
-"""Generated coefficient data for exp (float32).
+"""Generated coefficient data for exp (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 101 deduplicated doubles, little-endian, base64
+_POOL = (
+    "AAAABAAA8D8GAAAAAADwPwAAAAAAAAAA/2QBAAAA8D8AAAAAAAAAAIiOaQwAAOA/AAAAAAAAAACMqgKgnlXFPwAAAAAAAAAA"
+    "Y1Lf67HWpT8AAAAEAADwPwQAAAAAAPA/AAAAAAAAAACRav7////vPwAAAAAAAAAAg1F0AAAA4D8AAAAAAAAAAJl0LaKPWcU/"
+    "AAAAAAAAAACAicEtXnXCvwAAAAAAAAAAAI0lw+S+VkAAAAAAAAAAAABiMnkw99HAAAAAAAAAAADQKN7CECQ0Qe85+v5CLoY/"
+    "/oIrZUcVV0AAAAAAAADwfwAAAABDLlZAAAAAAAAAAAAAAACgNv5ZwAAAAAAAAPA/YYB3Ppos8D90hRXTsFnwP8ibdRhFh/A/"
+    "D4n5bFi18D+i0dMy7OPwP1FbEtABE/E/4C2prppC8T97UX08uHLxP3XLb+tbo/E/qrloMYfU8T/WjGKIOwbyPzhidW56OPI/"
+    "3XziZUVr8j/h3h/1nZ7yPwsD5KaF0vI/FbcxCv4G8z//FmSyCDzzP8upOjencfM/95/lNNun8z8iNBJMpt7zPyou9yEKFvQ/"
+    "LYlhYAhO9D/QPMG1oob0PycqNtXav/Q/pyyddrL59D+CT51WKzT1P9ontTZHb/U/KVRI3Qer9T9IIa0Vb+f1P4VVOrB+JPY/"
+    "JSJVgjhi9j/NO39mnqD2Py8aZTyy3/Y/dF/s6HUf9z/JZ0JW61/3P4cB63MUofc/Yk7PNvPi9z8TzkyZiSX4P+2SRJvZaPg/"
+    "26AqQuWs+D82dxWZrvH4P+XFzbA3N/k/UE7en4J9+T+Q8KOCkcT5P2XlXXtmDPo/XSU+sgNV+j+//XlVa576P63TWpmf6Po/"
+    "+xVPuKIz+z9HXvvydn/7P9LBS5AezPs/nFKF3ZsZ/D9L0Vcu8Wf8P2mQ79wgt/w/fIkHSi0H/T+HpPvcGFj9P4Uy2wPmqf0/"
+    "X5t7M5f8/T/2P4vnLlD+P9qQpKKvpP4/J1ph7hv6/j9ARW5bdlD/P9iQnoHBp/8/AJDFXnE5KEAAYKRTzigDQACgoikD0/A/"
+    "ALhPf9dUIUAAlJYvh2M+QA=="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'exp',
+    "target": 'float32',
+    "rr_kind": 'exp',
+    "pool_len": 101,
+    "pool": _POOL,
+    "data": {'approx': {'exp': {'neg': {'@pp': {'cols': [0, 5, 2],
+                                        'exps': [0, 1, 2, 3, 4],
+                                        'index_bits': 1,
+                                        'lens': [1, 5],
+                                        'mode': 'packed',
+                                        'shift': 59,
+                                        'start': 0,
+                                        'stride': 1}},
+                        'pos': {'@pp': {'cols': [10, 8, 2],
+                                        'exps': [0, 1, 2, 3, 4, 5, 6, 7],
+                                        'index': [0, 0, 0, 1],
+                                        'index_bits': 2,
+                                        'lens': [1, 8],
+                                        'mode': 'packed',
+                                        'shift': 58,
+                                        'start': 0,
+                                        'stride': 1}}}},
+     'function': 'exp',
+     'rr_kind': 'exp',
+     'rr_state': {'_c': {'@f': 26},
+                  '_c_inv': {'@f': 27},
+                  '_hi_result': {'@f': 28},
+                  '_hi_thr': {'@f': 29},
+                  '_lo_result': {'@f': 30},
+                  '_lo_thr': {'@f': 31},
+                  '_saturating': False,
+                  '_tab': {'@fv': [32, 64]},
+                  'exponents': {'@t': [{'@t': [0, 1, 2, 3, 4, 5, 6, 7]}]},
+                  'fn_names': {'@t': ['exp']},
+                  'name': 'exp'},
+     'stats': {'counterexamples_folded': 0,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 96},
+               'input_count': 64407,
+               'oracle_time_s': {'@f': 97},
+               'per_fn': {'exp': {'degree': 7, 'npolys': 6, 'terms': 8}},
+               'phase_s': {'oracle': {'@f': 97}, 'piecewise': {'@f': 98}, 'reduced': {'@f': 99}},
+               'reduced_count': 63958,
+               'special_count': 386,
+               'total_time_s': {'@f': 100}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'exp': {'neg': {'index_bits': 1,
-                            'polys': [((0,), (1.0000000149011612,)),
-                                      ((0, 1, 2, 3, 4),
-                                       (1.0000000000000013,
-                                        1.0000000000202929,
-                                        0.5000000231197683,
-                                        0.16667540371902978,
-                                        0.04265361789990576))],
-                            'shift': 59},
-                    'pos': {'index_bits': 2,
-                            'polys': [((0,), (1.0000000149011612,)),
-                                      ((0,), (1.0000000149011612,)),
-                                      ((0,), (1.0000000149011612,)),
-                                      ((0, 1, 2, 3, 4, 5, 6, 7),
-                                       (1.0000000000000009,
-                                        0.9999999999884769,
-                                        0.5000000008463278,
-                                        0.1667956869013423,
-                                        -0.14420678362064265,
-                                        90.98271254221982,
-                                        -18396.757397266105,
-                                        1319952.7612023838))],
-                            'shift': 58}}},
- 'function': 'exp',
- 'rr_kind': 'exp',
- 'rr_state': {'_c': 0.010830424696249145,
-              '_c_inv': 92.33248261689366,
-              '_hi_result': inf,
-              '_hi_thr': 88.72283935546875,
-              '_lo_result': 0.0,
-              '_lo_thr': -103.97208404541016,
-              '_saturating': False,
-              '_tab': (1.0,
-                       1.0108892860517005,
-                       1.0218971486541166,
-                       1.0330248790212284,
-                       1.0442737824274138,
-                       1.0556451783605572,
-                       1.0671404006768237,
-                       1.0787607977571199,
-                       1.0905077326652577,
-                       1.102382583307841,
-                       1.1143867425958924,
-                       1.1265216186082418,
-                       1.1387886347566916,
-                       1.1511892299529827,
-                       1.1637248587775775,
-                       1.1763969916502812,
-                       1.189207115002721,
-                       1.202156731452703,
-                       1.215247359980469,
-                       1.22848053610687,
-                       1.241857812073484,
-                       1.255380757024691,
-                       1.2690509571917332,
-                       1.2828700160787783,
-                       1.2968395546510096,
-                       1.3109612115247644,
-                       1.3252366431597413,
-                       1.339667524053303,
-                       1.3542555469368927,
-                       1.3690024229745905,
-                       1.383909881963832,
-                       1.3989796725383112,
-                       1.4142135623730951,
-                       1.42961333839197,
-                       1.4451808069770467,
-                       1.460917794180647,
-                       1.4768261459394993,
-                       1.4929077282912648,
-                       1.5091644275934228,
-                       1.5255981507445384,
-                       1.5422108254079407,
-                       1.559004400237837,
-                       1.5759808451078865,
-                       1.593142151342267,
-                       1.6104903319492543,
-                       1.6280274218573478,
-                       1.645755478153965,
-                       1.6636765803267364,
-                       1.681792830507429,
-                       1.7001063537185235,
-                       1.718619298122478,
-                       1.7373338352737062,
-                       1.7562521603732995,
-                       1.7753764925265212,
-                       1.7947090750031072,
-                       1.8142521755003989,
-                       1.8340080864093424,
-                       1.8539791250833855,
-                       1.8741676341103,
-                       1.8945759815869656,
-                       1.9152065613971474,
-                       1.9360617934922943,
-                       1.9571441241754002,
-                       1.978456026387951),
-              'exponents': ((0, 1, 2, 3, 4, 5, 6, 7),),
-              'fn_names': ('exp',),
-              'name': 'exp'},
- 'stats': {'counterexamples_folded': 0,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 12.112193070999638,
-           'input_count': 64407,
-           'oracle_time_s': 2.394924787000491,
-           'per_fn': {'exp': {'degree': 7, 'npolys': 6, 'terms': 8}},
-           'phase_s': {'oracle': 2.394924787000491,
-                       'piecewise': 1.0515166880013567,
-                       'reduced': 8.665706613999646},
-           'reduced_count': 63958,
-           'special_count': 386,
-           'total_time_s': 30.388781523000944},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

@@ -1,122 +1,73 @@
-"""Generated coefficient data for exp10 (float32).
+"""Generated coefficient data for exp10 (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 91 deduplicated doubles, little-endian, base64
+_POOL = (
+    "+v//////7z/oD7a7sWsCQPfqRzQlNQVAZ9iecZNOAEAA+dVia5ceQACE2dJGzLRAAPxqESVVP0GAe4zSYtWxQff//////+8/"
+    "WLG4u7FrAkBZFbP1IzUFQBAbn288VABAAJBeR0YbJMAAWc753CzCQABAdlAxxUvBAGQX3k0XwEH/eZ9QE0RzP3GjeQlPk2pA"
+    "AAAAAAAA8H8AAABgE0RDQAAAAAAAAAAAAAAAwMaTRsAAAAAAAADwP2GAdz6aLPA/dIUV07BZ8D/Im3UYRYfwPw+J+WxYtfA/"
+    "otHTMuzj8D9RWxLQARPxP+Atqa6aQvE/e1F9PLhy8T91y2/rW6PxP6q5aDGH1PE/1oxiiDsG8j84YnVuejjyP9184mVFa/I/"
+    "4d4f9Z2e8j8LA+SmhdLyPxW3MQr+BvM//xZksgg88z/LqTo3p3HzP/ef5TTbp/M/IjQSTKbe8z8qLvchChb0Py2JYWAITvQ/"
+    "0DzBtaKG9D8nKjbV2r/0P6csnXay+fQ/gk+dVis09T/aJ7U2R2/1PylUSN0Hq/U/SCGtFW/n9T+FVTqwfiT2PyUiVYI4YvY/"
+    "zTt/Zp6g9j8vGmU8st/2P3Rf7Oh1H/c/yWdCVutf9z+HAetzFKH3P2JOzzbz4vc/E85MmYkl+D/tkkSb2Wj4P9ugKkLlrPg/"
+    "NncVma7x+D/lxc2wNzf5P1BO3p+Cffk/kPCjgpHE+T9l5V17Zgz6P10lPrIDVfo/v/15VWue+j+t01qZn+j6P/sVT7iiM/s/"
+    "R1778nZ/+z/SwUuQHsz7P5xShd2bGfw/S9FXLvFn/D9pkO/cILf8P3yJB0otB/0/h6T73BhY/T+FMtsD5qn9P1+bezOX/P0/"
+    "9j+L5y5Q/j/akKSir6T+PydaYe4b+v4/QEVuW3ZQ/z/YkJ6Bwaf/PwB6ke0iKTdAAPBwlOyrFkAA4OuYcU38PwD8CAOcci9A"
+    "AIeAkm43T0A="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'exp10',
+    "target": 'float32',
+    "rr_kind": 'exp',
+    "pool_len": 91,
+    "pool": _POOL,
+    "data": {'approx': {'exp10': {'neg': {'@pp': {'index_bits': 0,
+                                          'mode': 'raw',
+                                          'polys': [[[0, 1, 2, 3, 4, 5, 6, 7], 0, 8]],
+                                          'shift': 60}},
+                          'pos': {'@pp': {'index_bits': 0,
+                                          'mode': 'raw',
+                                          'polys': [[[0, 1, 2, 3, 4, 5, 6, 7], 8, 8]],
+                                          'shift': 60}}}},
+     'function': 'exp10',
+     'rr_kind': 'exp',
+     'rr_state': {'_c': {'@f': 16},
+                  '_c_inv': {'@f': 17},
+                  '_hi_result': {'@f': 18},
+                  '_hi_thr': {'@f': 19},
+                  '_lo_result': {'@f': 20},
+                  '_lo_thr': {'@f': 21},
+                  '_saturating': False,
+                  '_tab': {'@fv': [22, 64]},
+                  'exponents': {'@t': [{'@t': [0, 1, 2, 3, 4, 5, 6, 7]}]},
+                  'fn_names': {'@t': ['exp10']},
+                  'name': 'exp10'},
+     'stats': {'counterexamples_folded': 0,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 86},
+               'input_count': 64992,
+               'oracle_time_s': {'@f': 87},
+               'per_fn': {'exp10': {'degree': 7, 'npolys': 2, 'terms': 8}},
+               'phase_s': {'oracle': {'@f': 87}, 'piecewise': {'@f': 88}, 'reduced': {'@f': 89}},
+               'reduced_count': 64511,
+               'special_count': 386,
+               'total_time_s': {'@f': 90}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'exp10': {'neg': {'index_bits': 0,
-                              'polys': [((0, 1, 2, 3, 4, 5, 6, 7),
-                                         (0.9999999999999993,
-                                          2.302585093015285,
-                                          2.6509498676726895,
-                                          2.038367164287638,
-                                          7.647870582876067,
-                                          5324.276654810645,
-                                          2053413.068038702,
-                                          299197138.54875946))],
-                              'shift': 60},
-                      'pos': {'index_bits': 0,
-                              'polys': [((0, 1, 2, 3, 4, 5, 6, 7),
-                                         (0.999999999999999,
-                                          2.302585093091846,
-                                          2.6509474940564073,
-                                          2.0411308975630007,
-                                          -10.053270559590601,
-                                          9305.72637347551,
-                                          -3639906.6286087036,
-                                          539925436.1827393))],
-                              'shift': 60}}},
- 'function': 'exp10',
- 'rr_kind': 'exp',
- 'rr_state': {'_c': 0.004703593682249706,
-              '_c_inv': 212.60339807279118,
-              '_hi_result': inf,
-              '_hi_thr': 38.53184127807617,
-              '_lo_result': 0.0,
-              '_lo_thr': -45.154502868652344,
-              '_saturating': False,
-              '_tab': (1.0,
-                       1.0108892860517005,
-                       1.0218971486541166,
-                       1.0330248790212284,
-                       1.0442737824274138,
-                       1.0556451783605572,
-                       1.0671404006768237,
-                       1.0787607977571199,
-                       1.0905077326652577,
-                       1.102382583307841,
-                       1.1143867425958924,
-                       1.1265216186082418,
-                       1.1387886347566916,
-                       1.1511892299529827,
-                       1.1637248587775775,
-                       1.1763969916502812,
-                       1.189207115002721,
-                       1.202156731452703,
-                       1.215247359980469,
-                       1.22848053610687,
-                       1.241857812073484,
-                       1.255380757024691,
-                       1.2690509571917332,
-                       1.2828700160787783,
-                       1.2968395546510096,
-                       1.3109612115247644,
-                       1.3252366431597413,
-                       1.339667524053303,
-                       1.3542555469368927,
-                       1.3690024229745905,
-                       1.383909881963832,
-                       1.3989796725383112,
-                       1.4142135623730951,
-                       1.42961333839197,
-                       1.4451808069770467,
-                       1.460917794180647,
-                       1.4768261459394993,
-                       1.4929077282912648,
-                       1.5091644275934228,
-                       1.5255981507445384,
-                       1.5422108254079407,
-                       1.559004400237837,
-                       1.5759808451078865,
-                       1.593142151342267,
-                       1.6104903319492543,
-                       1.6280274218573478,
-                       1.645755478153965,
-                       1.6636765803267364,
-                       1.681792830507429,
-                       1.7001063537185235,
-                       1.718619298122478,
-                       1.7373338352737062,
-                       1.7562521603732995,
-                       1.7753764925265212,
-                       1.7947090750031072,
-                       1.8142521755003989,
-                       1.8340080864093424,
-                       1.8539791250833855,
-                       1.8741676341103,
-                       1.8945759815869656,
-                       1.9152065613971474,
-                       1.9360617934922943,
-                       1.9571441241754002,
-                       1.978456026387951),
-              'exponents': ((0, 1, 2, 3, 4, 5, 6, 7),),
-              'fn_names': ('exp10',),
-              'name': 'exp10'},
- 'stats': {'counterexamples_folded': 0,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 23.16068920900034,
-           'input_count': 64992,
-           'oracle_time_s': 5.667894668000372,
-           'per_fn': {'exp10': {'degree': 7, 'npolys': 2, 'terms': 8}},
-           'phase_s': {'oracle': 5.667894668000372,
-                       'piecewise': 1.7689071629993123,
-                       'reduced': 15.723846525999761},
-           'reduced_count': 64511,
-           'special_count': 386,
-           'total_time_s': 62.43306189800023},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

@@ -1,138 +1,84 @@
-"""Generated coefficient data for exp2 (float32).
+"""Generated coefficient data for exp2 (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 111 deduplicated doubles, little-endian, base64
+_POOL = (
+    "AAAABAAA8D/9///////vPwAAAAAAAAAAMSX//kIu5j8AAAAAAAAAAEhPCCK/v84/AAAAAAAAAAC8fLNCA36sPwAAAAAAAAAA"
+    "AMibvWq5sz8AAAAAAAAAAKBQzu3Aky5AAAAAAAAAAADgJqdAMd+ZQAAAAAAAAAAAuMJ0GPu68EAOg1MDAADwPwAAAAQAAPA/"
+    "CAAAAAAA8D8+AAAAAADwPwAAAAAAAAAAAAAAAAAAAADQMZsAQy7mP++E9P5CLuY/AAAAAAAAAAAAAAAAAAAAAIwFEAqLu84/"
+    "+4NzJ76/zj8AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAC1TCKZwmqsPwAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAJgbMZBWzYM/"
+    "AAAAAAAAkD8AAAAAAABQQAAAAAAAAPB/AAAAAAAAYEAAAAAAAAAAAAAAAAAAwGLAAAAAAAAA8D9hgHc+mizwP3SFFdOwWfA/"
+    "yJt1GEWH8D8PiflsWLXwP6LR0zLs4/A/UVsS0AET8T/gLamumkLxP3tRfTy4cvE/dctv61uj8T+quWgxh9TxP9aMYog7BvI/"
+    "OGJ1bno48j/dfOJlRWvyP+HeH/WdnvI/CwPkpoXS8j8VtzEK/gbzP/8WZLIIPPM/y6k6N6dx8z/3n+U026fzPyI0Ekym3vM/"
+    "Ki73IQoW9D8tiWFgCE70P9A8wbWihvQ/Jyo21dq/9D+nLJ12svn0P4JPnVYrNPU/2ie1Nkdv9T8pVEjdB6v1P0ghrRVv5/U/"
+    "hVU6sH4k9j8lIlWCOGL2P807f2aeoPY/LxplPLLf9j90X+zodR/3P8lnQlbrX/c/hwHrcxSh9z9iTs828+L3PxPOTJmJJfg/"
+    "7ZJEm9lo+D/boCpC5az4PzZ3FZmu8fg/5cXNsDc3+T9QTt6fgn35P5Dwo4KRxPk/ZeVde2YM+j9dJT6yA1X6P7/9eVVrnvo/"
+    "rdNamZ/o+j/7FU+4ojP7P0de+/J2f/s/0sFLkB7M+z+cUoXdmxn8P0vRVy7xZ/w/aZDv3CC3/D98iQdKLQf9P4ek+9wYWP0/"
+    "hTLbA+ap/T9fm3szl/z9P/Y/i+cuUP4/2pCkoq+k/j8nWmHuG/r+P0BFblt2UP8/2JCegcGn/z8ALISLS2s2QADw2KxTZxNA"
+    "AIAB+4qDA0AAUGjOBEIuQACSaV04CktA"
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'exp2',
+    "target": 'float32',
+    "rr_kind": 'exp',
+    "pool_len": 111,
+    "pool": _POOL,
+    "data": {'approx': {'exp2': {'neg': {'@pp': {'cols': [0, 8, 2],
+                                         'exps': [0, 1, 2, 3, 4, 5, 6, 7],
+                                         'index_bits': 1,
+                                         'lens': [1, 8],
+                                         'mode': 'packed',
+                                         'shift': 59,
+                                         'start': 0,
+                                         'stride': 1}},
+                         'pos': {'@pp': {'cols': [16, 5, 4],
+                                         'exps': [0, 1, 2, 3, 4],
+                                         'index': [0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 3],
+                                         'index_bits': 4,
+                                         'lens': [1, 1, 3, 5],
+                                         'mode': 'packed',
+                                         'shift': 56,
+                                         'start': 0,
+                                         'stride': 1}}}},
+     'function': 'exp2',
+     'rr_kind': 'exp',
+     'rr_state': {'_c': {'@f': 36},
+                  '_c_inv': {'@f': 37},
+                  '_hi_result': {'@f': 38},
+                  '_hi_thr': {'@f': 39},
+                  '_lo_result': {'@f': 40},
+                  '_lo_thr': {'@f': 41},
+                  '_saturating': False,
+                  '_tab': {'@fv': [42, 64]},
+                  'exponents': {'@t': [{'@t': [0, 1, 2, 3, 4, 5, 6, 7]}]},
+                  'fn_names': {'@t': ['exp2']},
+                  'name': 'exp2'},
+     'stats': {'counterexamples_folded': 0,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 106},
+               'input_count': 64635,
+               'oracle_time_s': {'@f': 107},
+               'per_fn': {'exp2': {'degree': 7, 'npolys': 18, 'terms': 8}},
+               'phase_s': {'oracle': {'@f': 107}, 'piecewise': {'@f': 108}, 'reduced': {'@f': 109}},
+               'reduced_count': 63077,
+               'special_count': 386,
+               'total_time_s': {'@f': 110}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'exp2': {'neg': {'index_bits': 1,
-                             'polys': [((0,), (1.0000000149011612,)),
-                                       ((0, 1, 2, 3, 4, 5, 6, 7),
-                                        (0.9999999999999997,
-                                         0.6931471805957355,
-                                         0.2402266422437782,
-                                         0.05564890088293725,
-                                         0.07704798821558256,
-                                         15.288581305918626,
-                                         1655.7980981938817,
-                                         68527.6934707266))],
-                             'shift': 59},
-                     'pos': {'index_bits': 4,
-                             'polys': [((0,), (1.0000000123911295,)),
-                                       ((0,), (1.0000000123911295,)),
-                                       ((0,), (1.0000000123911295,)),
-                                       ((0,), (1.0000000123911295,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0,), (1.0000000149011612,)),
-                                       ((0, 1, 2),
-                                        (1.0000000000000018,
-                                         0.6931471835937888,
-                                         0.24009836188637868)),
-                                       ((0, 1, 2, 3, 4),
-                                        (1.0000000000000138,
-                                         0.6931471805184212,
-                                         0.2402265255578014,
-                                         0.05550201529799762,
-                                         0.009668995166192393))],
-                             'shift': 56}}},
- 'function': 'exp2',
- 'rr_kind': 'exp',
- 'rr_state': {'_c': 0.015625,
-              '_c_inv': 64.0,
-              '_hi_result': inf,
-              '_hi_thr': 128.0,
-              '_lo_result': 0.0,
-              '_lo_thr': -150.0,
-              '_saturating': False,
-              '_tab': (1.0,
-                       1.0108892860517005,
-                       1.0218971486541166,
-                       1.0330248790212284,
-                       1.0442737824274138,
-                       1.0556451783605572,
-                       1.0671404006768237,
-                       1.0787607977571199,
-                       1.0905077326652577,
-                       1.102382583307841,
-                       1.1143867425958924,
-                       1.1265216186082418,
-                       1.1387886347566916,
-                       1.1511892299529827,
-                       1.1637248587775775,
-                       1.1763969916502812,
-                       1.189207115002721,
-                       1.202156731452703,
-                       1.215247359980469,
-                       1.22848053610687,
-                       1.241857812073484,
-                       1.255380757024691,
-                       1.2690509571917332,
-                       1.2828700160787783,
-                       1.2968395546510096,
-                       1.3109612115247644,
-                       1.3252366431597413,
-                       1.339667524053303,
-                       1.3542555469368927,
-                       1.3690024229745905,
-                       1.383909881963832,
-                       1.3989796725383112,
-                       1.4142135623730951,
-                       1.42961333839197,
-                       1.4451808069770467,
-                       1.460917794180647,
-                       1.4768261459394993,
-                       1.4929077282912648,
-                       1.5091644275934228,
-                       1.5255981507445384,
-                       1.5422108254079407,
-                       1.559004400237837,
-                       1.5759808451078865,
-                       1.593142151342267,
-                       1.6104903319492543,
-                       1.6280274218573478,
-                       1.645755478153965,
-                       1.6636765803267364,
-                       1.681792830507429,
-                       1.7001063537185235,
-                       1.718619298122478,
-                       1.7373338352737062,
-                       1.7562521603732995,
-                       1.7753764925265212,
-                       1.7947090750031072,
-                       1.8142521755003989,
-                       1.8340080864093424,
-                       1.8539791250833855,
-                       1.8741676341103,
-                       1.8945759815869656,
-                       1.9152065613971474,
-                       1.9360617934922943,
-                       1.9571441241754002,
-                       1.978456026387951),
-              'exponents': ((0, 1, 2, 3, 4, 5, 6, 7),),
-              'fn_names': ('exp2',),
-              'name': 'exp2'},
- 'stats': {'counterexamples_folded': 0,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 22.419121474998974,
-           'input_count': 64635,
-           'oracle_time_s': 4.850905133000197,
-           'per_fn': {'exp2': {'degree': 7, 'npolys': 18, 'terms': 8}},
-           'phase_s': {'oracle': 4.850905133000197,
-                       'piecewise': 2.4392299280007137,
-                       'reduced': 15.12894291900011},
-           'reduced_count': 63077,
-           'special_count': 386,
-           'total_time_s': 54.079845119998936},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

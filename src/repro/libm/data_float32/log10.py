@@ -1,166 +1,71 @@
-"""Generated coefficient data for log10 (float32).
+"""Generated coefficient data for log10 (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 136 deduplicated doubles, little-endian, base64
+_POOL = (
+    "oUj+FHvL2z/sesqIhsvLv8F/US1in8I/r92BeZrQyb//eZ9QE0TTPwAAAAAAAAAAJu0hctSvaz8P0fykdpR7P4Q2RFEIm4Q/"
+    "kDexjpBeiz94bESogwqRP+CLy1pPX5Q/+B8738Otlz8Q5gAr+fWaP48FvawGOJ4/AAAXqAG6oD9MMfzAAlWiPyXkpZkR7aM/"
+    "2lOz7jiCpT+ZKn1CgxSnP/RHuN76o6g/6u8J1qkwqj+E/Y0FmrqrP7SsTxbVQa0/CIi1fmTGrj8WgPDBKCSwP14WgZ3S47A/"
+    "FhhQRTSisT9KWesVUl+yPxhxxFUwG7M/eTHFNdPVsz/7SN/RPo+0P4U+lzF3R7U//fSKSID+tT/J4vP2XbS2P/0mJQoUabc/"
+    "SqQFPaYcuD8NSIY4GM+4PwmiFJRtgLk/6u8J1qkwuj8HvhZ00N+6P5g9q9Pkjbs//25cSuo6vD+lPUYe5Oa8P5ypaobVkb0/"
+    "/hkOq8E7vj8E8hCmq+S+P5GBRoOWjL8/hrRkoMIZwD+2w6ZnvWzAPxzENwk9v8A/VxOB8EIRwT8QnayC0GLBP3tPyR7ns8E/"
+    "d4fuHYgEwj88fV7TtFTCPyq6p4xupMI/AaDFkbbzwj9tCUAljkLDP4MLSoT2kMM/hd/f5vDewz8C/ON/fizEPxFkO32gecQ/"
+    "ODPpB1jGxD89bClEphLFP/gQi1GMXsU/+ogJSwuqxT+SXCVHJPXFP7tJ/FfYP8Y//LdgiyiKxj9rkPDqFdTGP4B+K3yhHcc/"
+    "hZ6IQMxmxz8Enos1l6/HP6BS2VQD+Mc/dctLlBFAyD8Z4QXmwofIPw1IhjgYz8g/eCm6dhIWyT+6RQ+IslzJP1ykhVD5osk/"
+    "vtTAsOfoyT/SwhiGfi7KP/Qiqqq+c8o//Hdm9ai4yj+AtiM6Pv3KPweIq0l/Qcs/BTHK8WyFyz9AHF39B8nLPyYOYTRRDMw/"
+    "ogIAXElPzD/Kt5428ZHMP73n6YNJ1Mw/9zPjAFMWzT89xO1nDljNP0eb2nB8mc0/KaP00J3azT+Bcww7cxvOP0LTg1/9W84/"
+    "B/hY7Dyczj+vhDGNMtzOPwFJZeveG88/B8QIrkJbzz/Favd5XprPP9a03fEy2c8/RHghW+AL0D/wb8kyBCvQPwSQE04FStA/"
+    "PS4o+uNo0D+spy+DoIfQPxnIVjQ7ptA/PRnTV7TE0D9/Guc2DOPQP71h5hlDAdE/vaU5SFkf0T/hsmIITz3RP5JKAKAkW9E/"
+    "Ae7RU9p40T+4lLtncJbRP3tPyR7ns9E/+dcyuz7R0T/DDV9+d+7RPwVh56iRC9I/ZCubeo0o0j+G94Iya0XSP5234w4rYtI/"
+    "Z+tBTc1+0j8JtmQqUpvSPyLkWOK5t9I/fuJzsATU0j++pVbPMvDSP1+D8HhEDNM/YvyB5jko0z8AGhzZIOksQACgphMslQBA"
+    "gGiDxQEZSkA="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'log10',
+    "target": 'float32',
+    "rr_kind": 'log',
+    "pool_len": 136,
+    "pool": _POOL,
+    "data": {'approx': {'log10_1p': {'neg': None,
+                             'pos': {'@pp': {'index_bits': 0,
+                                             'mode': 'raw',
+                                             'polys': [[[1, 2, 3, 4], 0, 4]],
+                                             'shift': 57}}}},
+     'function': 'log10',
+     'rr_kind': 'log',
+     'rr_state': {'_entries': 128,
+                  '_pure_exponent': False,
+                  '_scale': {'@f': 4},
+                  '_tab': {'@fv': [5, 128]},
+                  'exponents': {'@t': [{'@t': [1, 2, 3, 4, 5, 6]}]},
+                  'fn_names': {'@t': ['log10_1p']},
+                  'name': 'log10',
+                  'table_bits': 7},
+     'stats': {'counterexamples_folded': 1,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 133},
+               'input_count': 43233,
+               'oracle_time_s': {'@f': 134},
+               'per_fn': {'log10_1p': {'degree': 4, 'npolys': 1, 'terms': 4}},
+               'reduced_count': 41577,
+               'special_count': 192,
+               'total_time_s': {'@f': 135}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'log10_1p': {'neg': None,
-                         'pos': {'index_bits': 0,
-                                 'polys': [((1, 2, 3, 4),
-                                            (0.4342944817555097,
-                                             -0.21714860610241915,
-                                             0.1454889985352548,
-                                             -0.20167857106183137))],
-                                 'shift': 57}}},
- 'function': 'log10',
- 'rr_kind': 'log',
- 'rr_state': {'_entries': 128,
-              '_pure_exponent': False,
-              '_scale': 0.3010299956639812,
-              '_tab': (0.0,
-                       0.003379740651380597,
-                       0.006733382658968403,
-                       0.010061326007895895,
-                       0.013363961557981502,
-                       0.016641671319217427,
-                       0.01989482871693926,
-                       0.02312379884713775,
-                       0.02632893872234915,
-                       0.029510597508538402,
-                       0.032669116753368144,
-                       0.03580483060622672,
-                       0.03891806603036966,
-                       0.04200914300751153,
-                       0.045078374735188116,
-                       0.048126067817193446,
-                       0.05115252244738129,
-                       0.054158032587106525,
-                       0.05714288613656873,
-                       0.06010736510030773,
-                       0.06305174574708902,
-                       0.06597629876440567,
-                       0.06888128940781288,
-                       0.07176697764530107,
-                       0.07463361829690418,
-                       0.07748146116973044,
-                       0.0803107511885947,
-                       0.08312172852242312,
-                       0.08591462870659324,
-                       0.08868968276136537,
-                       0.09144711730655426,
-                       0.09418715467258312,
-                       0.09691001300805642,
-                       0.09961590638398134,
-                       0.10230504489476258,
-                       0.10497763475608944,
-                       0.10763387839982952,
-                       0.11027397456603792,
-                       0.11289811839218673,
-                       0.11550650149971492,
-                       0.11809931207799448,
-                       0.12067673496580517,
-                       0.12323895173040557,
-                       0.12578614074428546,
-                       0.12831847725968054,
-                       0.13083613348092704,
-                       0.13333927863473136,
-                       0.13582807903842609,
-                       0.13830269816628146,
-                       0.14076329671393825,
-                       0.1432100326610256,
-                       0.14564306133202481,
-                       0.1480625354554377,
-                       0.15046860522131614,
-                       0.15286141833720643,
-                       0.1552411200825611,
-                       0.1576078533616681,
-                       0.15996175875514543,
-                       0.16230297457004794,
-                       0.1646316368886306,
-                       0.16694787961581148,
-                       0.1692518345253758,
-                       0.1715436313049606,
-                       0.17382339759985918,
-                       0.17609125905568124,
-                       0.1783473393599054,
-                       0.18059176028235768,
-                       0.18282464171464965,
-                       0.1850461017086077,
-                       0.18725625651372457,
-                       0.18945522061366274,
-                       0.1916431067618383,
-                       0.19382002601611284,
-                       0.1959860877726205,
-                       0.1981413997987554,
-                       0.20028606826534456,
-                       0.2024201977780304,
-                       0.20454389140788592,
-                       0.20665725072128505,
-                       0.20876037580904938,
-                       0.21085336531489318,
-                       0.21293631646318564,
-                       0.2150093250860509,
-                       0.2170724856498243,
-                       0.21912589128088306,
-                       0.22116963379086935,
-                       0.22320380370132248,
-                       0.22522849026773697,
-                       0.22724378150306254,
-                       0.22924976420066115,
-                       0.23124652395673648,
-                       0.23323414519224997,
-                       0.23521271117433787,
-                       0.23718230403724233,
-                       0.23914300480277026,
-                       0.2410948934002923,
-                       0.24303804868629444,
-                       0.24497254846349412,
-                       0.24689846949953256,
-                       0.24881588754525436,
-                       0.2507248773525854,
-                       0.2526255126920196,
-                       0.2545178663697245,
-                       0.25640201024427595,
-                       0.2582780152430313,
-                       0.2601459513781506,
-                       0.26200588776227446,
-                       0.2638578926238679,
-                       0.26570203332223824,
-                       0.2675383763622355,
-                       0.26936698740864357,
-                       0.2711879313002693,
-                       0.27300127206373764,
-                       0.274807072927,
-                       0.2766053963325629,
-                       0.27839630395044385,
-                       0.28017985669086104,
-                       0.2819561147166641,
-                       0.28372513745551076,
-                       0.28548698361179736,
-                       0.2872417111783479,
-                       0.28898937744786796,
-                       0.2907300390241692,
-                       0.29246375183316975,
-                       0.29419057113367575,
-                       0.29591055152794954,
-                       0.29762374697206967,
-                       0.2993302107860868),
-              'exponents': ((1, 2, 3, 4, 5, 6),),
-              'fn_names': ('log10_1p',),
-              'name': 'log10',
-              'table_bits': 7},
- 'stats': {'counterexamples_folded': 1,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 14.45532873600041,
-           'input_count': 43233,
-           'oracle_time_s': 2.072837976000301,
-           'per_fn': {'log10_1p': {'degree': 4, 'npolys': 1, 'terms': 4}},
-           'reduced_count': 41577,
-           'special_count': 192,
-           'total_time_s': 52.19536656299988},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

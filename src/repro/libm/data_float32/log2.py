@@ -1,172 +1,75 @@
-"""Generated coefficient data for log2 (float32).
+"""Generated coefficient data for log2 (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 142 deduplicated doubles, little-endian, base64
+_POOL = (
+    "OIMzXkcV9z9n9gZmRxX3P5EJJ6eHmea/OoECVVIV57/4i5N1yfmiwJSDxhzD5d4/qRsPwn6QoUELYw0obKbhv6wD19zOtIXC"
+    "AAAAAAAAAAAAAAAAAADwPwAAAAAAAAAAUQjvtlD+hj8q0sKFlueWPxM0E9XRHKE/h/2OddO6pj9fqwq5+k2sP5ufop8467A/"
+    "w/En3S+qsz8WE8n69mO2P1szRm6hGLk/uqutQELIuz+ypX8R7HK+P+R52oxYjMA/eytVl9HcwT8arnji6SrDP033g/mpdsQ/"
+    "iNb7ORrAxT9/Au/UQgfHP7MDL9ArTMg/33B+B92OyT+U7LQtXs/KP+5N2c22Dcw/cFkyTO5JzT9Nak7nC4TOPwpoArkWvM8/"
+    "CTCw2wp50D92C9PaBxPRP3DwkbIFrNE/OgcOqwdE0j+vmk38ENvSP+3NpM4kcdM/SQQbO0YG1D+LG81LeJrUP7OWTPy9LdU/"
+    "iNb7ORrA1T+ne2fkj1HWP94Mnc0h4tY/PPt+utJx1z9UHBZjpQDYPyay4HKcjtg/CRcfibob2T8vIx45AqjZP1Fgfwp2M9o/"
+    "SR9/eRi+2j+hgjj360fbPzGQ5+ny0Ns/VlsprS9Z3D99WDqSpODcPw/qMuBTZ90/TDZC1D/t3T/SVOehanLePyDiKHPW9t4/"
+    "zwbLaIV63z+b/4Oaef3fP3+Zl4vaP+A/PXB/8pyA4D+mOtYABcHgP+rIU7ETAeE/ROWh+slA4T9ql3LPKIDhPw7QlR4xv+E/"
+    "JoEO0+P94T/IJyfUQTziP/jLhQVMeuI/0Xo/RwO44j8mP+t1aPXiP6ectGp8MuM/YpFt+z9v4z9nIaD6s6vjPxZwnzfZ5+M/"
+    "qWqYfrAj5D85B6KYOl/kP4sbzUt4muQ/xM4zW2rV5D/5qAiHERDlP45DpYxuSuU/NJ2YJoKE5T81FLUMTb7lP68JHvTP9+U/"
+    "SDBVjwsx5j/MiEeOAGrmPwoPWp6vouY/Shl2ahnb5j98bBWbPhPnP1QHTtYfS+c/V6bdv72C5z/kAjX5GLrnPxbPgiEy8ec/"
+    "c3C+1Qko6D8me7KwoF7oP4vvBkv3lOg/vjtLOw7L6D/NAgAW5gDpPy+roG1/Nuk/9rWs0tpr6T9Q4LDT+KDpP7MQUP3Z1ek/"
+    "LRFM2n4K6j8fGI7z5z7qP8ggL9AVc+o/0xSA9Qin6j8zyBHnwdrqP2zIvCZBDus/jACpNIdB6z/aMlWPlHTrP2RJnrNpp+s/"
+    "bn7GHAfa6z/TXXxEbQzsP1Wg4aKcPuw/x+GRrpVw7D8WM6ncWKLsPweJyqDm0+w/lggmbT8F7T/VMX+yYzbtPw/qMuBTZ+0/"
+    "FWY9ZBCY7T9s9T+rmcjtPyyvhiDw+O0/QAEOLhQp7j/OIog8BlnuP3NqYrPGiO4/+4jK+FW47j9QqbNxtOfuPzB224HiFu8/"
+    "VQbPi+BF7z+ur+/wrnTvPzPCdxFOo+8/+Sp/TL7R7z8AVlBsk3cnQABQYNLJ3vs/gC6b08G9U0A="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'log2',
+    "target": 'float32',
+    "rr_kind": 'log',
+    "pool_len": 142,
+    "pool": _POOL,
+    "data": {'approx': {'log2_1p': {'neg': None,
+                            'pos': {'@pp': {'cols': [0, 5, 2],
+                                            'exps': [1, 2, 3, 4, 5],
+                                            'index_bits': 1,
+                                            'lens': [5, 4],
+                                            'mode': 'packed',
+                                            'shift': 56,
+                                            'start': 1,
+                                            'stride': 1}}}},
+     'function': 'log2',
+     'rr_kind': 'log',
+     'rr_state': {'_entries': 128,
+                  '_pure_exponent': True,
+                  '_scale': {'@f': 10},
+                  '_tab': {'@fv': [11, 128]},
+                  'exponents': {'@t': [{'@t': [1, 2, 3, 4, 5, 6]}]},
+                  'fn_names': {'@t': ['log2_1p']},
+                  'name': 'log2',
+                  'table_bits': 7},
+     'stats': {'counterexamples_folded': 9,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 139},
+               'input_count': 43241,
+               'oracle_time_s': {'@f': 140},
+               'per_fn': {'log2_1p': {'degree': 5, 'npolys': 2, 'terms': 5}},
+               'reduced_count': 41584,
+               'special_count': 192,
+               'total_time_s': {'@f': 141}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'log2_1p': {'neg': None,
-                        'pos': {'index_bits': 1,
-                                'polys': [((1, 2, 3, 4, 5),
-                                           (1.4426950149283595,
-                                            -0.7062414421746316,
-                                            -2428.893475161396,
-                                            147341153.0295079,
-                                            -2983288609504.459)),
-                                          ((1, 2, 3, 4),
-                                           (1.4426950440823931,
-                                            -0.7213527355525351,
-                                            0.48277356920339654,
-                                            -0.5515652448912943))],
-                                'shift': 56}}},
- 'function': 'log2',
- 'rr_kind': 'log',
- 'rr_state': {'_entries': 128,
-              '_pure_exponent': True,
-              '_scale': 1.0,
-              '_tab': (0.0,
-                       0.01122725542325412,
-                       0.02236781302845451,
-                       0.03342300153745028,
-                       0.044394119358453436,
-                       0.0552824355011896,
-                       0.06608919045777244,
-                       0.0768155970508309,
-                       0.0874628412503394,
-                       0.09803208296052672,
-                       0.10852445677816905,
-                       0.11894107272350743,
-                       0.12928301694496647,
-                       0.13955135239879354,
-                       0.14974711950468206,
-                       0.1598713367783894,
-                       0.16992500144231237,
-                       0.17990909001493446,
-                       0.18982455888001723,
-                       0.1996723448363644,
-                       0.20945336562894978,
-                       0.21916852046216156,
-                       0.22881869049588088,
-                       0.2384047393250789,
-                       0.2479275134435855,
-                       0.25738784269265175,
-                       0.2667865406949014,
-                       0.27612440527423754,
-                       0.28540221886224837,
-                       0.294620748891627,
-                       0.30378074817710293,
-                       0.31288295528435534,
-                       0.32192809488736235,
-                       0.33091687811461695,
-                       0.33985000288462475,
-                       0.34872815423107756,
-                       0.3575520046180837,
-                       0.3663222142458158,
-                       0.37503943134692475,
-                       0.38370429247405224,
-                       0.3923174227787603,
-                       0.4008794362821843,
-                       0.4093909361377018,
-                       0.41785251488589786,
-                       0.42626475470209796,
-                       0.43462822763672465,
-                       0.4429434958487283,
-                       0.4512111118323288,
-                       0.45943161863729726,
-                       0.4676055500829974,
-                       0.47573343096639775,
-                       0.4838157772642564,
-                       0.4918530963296747,
-                       0.4998458870832054,
-                       0.5077946401986962,
-                       0.5156998382840424,
-                       0.5235619560570128,
-                       0.5313814605163121,
-                       0.5391588111080314,
-                       0.5468944598876366,
-                       0.5545888516776374,
-                       0.5622424242210726,
-                       0.5698556083309478,
-                       0.5774288280357487,
-                       0.5849625007211562,
-                       0.5924570372680804,
-                       0.5999128421871277,
-                       0.6073303137496107,
-                       0.6147098441152082,
-                       0.6220518194563762,
-                       0.6293566200796096,
-                       0.6366246205436489,
-                       0.6438561897747247,
-                       0.6510516911789286,
-                       0.6582114827517948,
-                       0.6653359171851763,
-                       0.6724253419714956,
-                       0.6794800995054461,
-                       0.6865005271832184,
-                       0.6934869574993252,
-                       0.7004397181410922,
-                       0.7073591320808827,
-                       0.7142455176661227,
-                       0.7210991887071851,
-                       0.7279204545631992,
-                       0.7347096202258382,
-                       0.7414669864011469,
-                       0.7481928495894603,
-                       0.7548875021634686,
-                       0.7615512324444793,
-                       0.7681843247769263,
-                       0.7747870596011734,
-                       0.7813597135246596,
-                       0.7879025593914316,
-                       0.794415866350106,
-                       0.8008998999203047,
-                       0.8073549220576041,
-                       0.8137811912170371,
-                       0.8201789624151877,
-                       0.826548487290915,
-                       0.8328900141647416,
-                       0.839203788096944,
-                       0.8454900509443752,
-                       0.8517490414160576,
-                       0.8579809951275721,
-                       0.8641861446542802,
-                       0.8703647195834046,
-                       0.8765169465649997,
-                       0.8826430493618412,
-                       0.8887432488982591,
-                       0.8948177633079435,
-                       0.9008668079807486,
-                       0.9068905956085185,
-                       0.9128893362299616,
-                       0.9188632372745945,
-                       0.9248125036057809,
-                       0.9307373375628862,
-                       0.9366379390025705,
-                       0.9425145053392399,
-                       0.9483672315846776,
-                       0.9541963103868752,
-                       0.9600019320680809,
-                       0.965784284662087,
-                       0.971543553950772,
-                       0.9772799234999164,
-                       0.9829935746943101,
-                       0.9886846867721658,
-                       0.9943534368588579),
-              'exponents': ((1, 2, 3, 4, 5, 6),),
-              'fn_names': ('log2_1p',),
-              'name': 'log2',
-              'table_bits': 7},
- 'stats': {'counterexamples_folded': 9,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 11.733546623999246,
-           'input_count': 43241,
-           'oracle_time_s': 1.7418916910000917,
-           'per_fn': {'log2_1p': {'degree': 5, 'npolys': 2, 'terms': 5}},
-           'reduced_count': 41584,
-           'special_count': 192,
-           'total_time_s': 78.9649552360006},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

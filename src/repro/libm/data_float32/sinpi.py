@@ -1,556 +1,122 @@
-"""Generated coefficient data for sinpi (float32).
+"""Generated coefficient data for sinpi (float32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 526 deduplicated doubles, little-endian, base64
+_POOL = (
+    "mAIAAAAA8D+apjbWO70TwG86K9cOJARAeWw/VPshCUBDK0RU+yEJQAAAAAAAAAAAyvhcfbyrFMAAAAAAAADwP5KKjoXY/+8/"
+    "25KbFmL/7z+hUUu0nP7vPw3NhGCI/e8/+NPxHSX87z9d9/7vcvrvP9+B29px+O8/fm154yH27z9cV40Pg/PvP61xjmWV8O8/"
+    "xHO27Fjt7z86iAGtzenvP0A5Lq/z5e8/CVu9/Mrh7z9W9PGfU93vPyYl0aON2O8/hAsiFHnT7z97pm39Fc7vPyG3/mxkyO8/"
+    "05/hcGTC7z+GQeQXFrzvP0HXlXF5te8/u89Gjo6u7z8XpQh/VafvP8iyrVXOn+8/mwnJJPmX7z/bQa7/1Y/vP6lLcfpkh+8/"
+    "bj3mKaZ+7z93IKGjmXXvP7e79X0/bO8/sFz3z5di7z+EnnixoljvPy0vCztgTu8/3ZL/hdBD7z+J5WSs8zjvP52aCMnJLe8/"
+    "2jp291Ii7z9dIPdTjxbvP9cwkvt+Cu8/7JULDCL+7j/Cc+SjePHuP7ydWuKC5O4/Y0lo50DX7j+Ev8PTssnuP3QL38jYu+4/"
+    "jqjn6LKt7j/aLcZWQZ/uP/L3HTaEkO4/DdFMq3uB7j9El2rbJ3LuPxLhSOyIYu4//J9yBJ9S7j9+wStLakLuPyXOcOjqMe4/"
+    "5Yb2BCEh7j+sgCnKDBDuPyu+LWKu/u0/2kfe9wXt7T88wsy2E9vtP2ACQcvXyO0/m6A4YlK27T+IiWapg6PtP0aNMs9rkO0/"
+    "+ey4Agt97T+L5slzYWntP7E+6VJvVe0/OslN0TRB7T+f7+AgsiztP9w1PnTnF+0/kr2y/tQC7T9zxzz0eu3sP/Yyi4nZ1+w/"
+    "XPz88/DB7D8AuaBpwavsP/URNCFLlew/8zwjUo5+7D+bc4g0i2fsPwdpKwFCUOw/sb2A8bI47D+wcak/3iDsP0lVcibECOw/"
+    "3XdT4WTw6z8qlW+swNfrP+qAk8TXvus/0pA1Z6ql6z/pBHXSOIzrPz5uGUWDcus/BRSS/olY6z8SV/U+TT7rP7QTAEfNI+s/"
+    "AAIVWAoJ6z90FDy0BO7qPxHVIZ680uo/1MAWWTK36j+joQ4pZpvqP53mn1JYf+o/4voCGwlj6j/ImhHIeEbqP4InRqCnKeo/"
+    "N/m66pUM6j+UrynvQ+/pP9WA6vWx0ek/QYfzR+Cz6T8iDdguz5XpP0LXx/R+d+k/122O5O9Y6T/7Y5JJIjrpP6Kd1G8WG+k/"
+    "DZTvo8z76D/MmBYzRdzoP0EXFWuAvOg/qtRNmn6c6D+/LroPQHzoP8xY6RrFW+g/bpf/Cw476D/MerUzGxroP3EXV+Ps+Oc/"
+    "sj3DbIPX5z+vr2oi37XnP+VVT1cAlOc/YXIDX+dx5z+N0qiNlE/nP5b/7zcILec/em0Xs0IK5z+vqOpUROfmP3WCwXMNxOY/"
+    "zTt/Zp6g5j8Qr5GE93zmPz148CUZWeY/6RscowM15j/fLB1VtxDmP3Rwg5U07OU/jAFlvnvH5T9Qcl0qjaLlP6DsjDRpfeU/"
+    "N1GXOBBY5T+WVaOSgjLlP5ugWZ/ADOU/6eXju8rm5D8EAOxFocDkPzkJm5tEmuQ/R3OYG7Vz5D/WHQkl80zkP7Frjhf/JeQ/"
+    "1FZFU9n+4z9Eg8U4gtfjP7lQICn6r+M/IuvfhUGI4z/zWQaxWGDjP1eODA1AOOM/NXDh/PcP4z8X6ujjgOfiP+rz+iXbvuI/"
+    "qJxiJweW4j/fEt1MBW3iPx+smPvVQ+I/WeszmXka4j8bhryL8PDhP8horjk7x+E/uLnyCVqd4T9J295jTXPhP+tsM68VSeE/"
+    "I0sbVLMe4T9+jiq7JvTgP4+JXU1wyeA/4cUXdJCe4D/u/yKZh3PgPxoiriZWSOA/tz5Mh/wc4D8QEudL9uLfP7qa+Nuki98/"
+    "Z9A/lgU03z/WeO9SGdzePxRR+Orgg94/O/YGOF0r3j9YzIEUj9LdP4njhlt3ed0/W9vp6BYg3T9exDGZbsbcPwsAl0l/bNw/"
+    "5x4B2EkS3D8BvQQjz7fbP8Bc4QkQXds/CUB/bA0C2z/KP20ryKbaP+Wh3idBS9o/iu2oQ3nv2T//vUFhcZPZP9eTvGMqN9k/"
+    "sKTILqXa2D9jqa6m4n3YP8SqTrDjINg/58wdManD1z/2GCQPNGbXP59F+jCFCNc/F37HfZ2q1j/GJz/dfUzWP5Omnjcn7tU/"
+    "3R+rdZqP1T8kPK+A2DDVP2rneELi0dQ/VBBXpbhy1D8BZheUXBPUP7cUBPrOs9M/UoHhwhBU0z+HA+zaIvTSPwaf1S4GlNI/"
+    "cbvDq7sz0j8+20w/RNPRP3dRdtegctE/d/axYtIR0T+Q29vP2bDQP679Nw64T9A/+e3fGtzczz8bXyF7+RnPPxsaEB7KVs4/"
+    "EUNF5U+TzT+GshKzjM/MP2NPfmqCC8w/Imc97zJHyz9RBLAloILKP2ZD3PLLvck/C6ZpPLj4yD/GZJzoZjPIPzG/UN7Zbcc/"
+    "skr2BBOoxj/GP4tEFOLFP/LFl4XfG8U/Wj4psXZVxD8Ujc2w247DPzphjm4QyMI/z3vs1BYBwj939drO8DnBPx2DukegcsA/"
+    "DnOpVk5Wvz/Jn67LDse9P9XCnseFN7w/A1xJJLenuj8stCm8phe5PyFbXWpYh7c/GaSaCtD2tT+WICd5EWa0P/YZzpIg1bI/"
+    "swnXNAFEsT/gIPh5bmWvP+PXwBKNQqw/FNgN8WUfqT9DzZDSAPylP81VlHVl2KI/Ac/RMTdpnz9+ZqP3VSGZP/0O47s22ZI/"
+    "hMfe/NEhiT9xAGf+8CF5PwAAAAAAAAAAAAAAAAAAAABxAGf+8CF5P4TH3vzRIYk//Q7juzbZkj9+ZqP3VSGZPwHP0TE3aZ8/"
+    "zVWUdWXYoj9DzZDSAPylPxTYDfFlH6k/49fAEo1CrD/gIPh5bmWvP7MJ1zQBRLE/9hnOkiDVsj+WICd5EWa0PxmkmgrQ9rU/"
+    "IVtdaliHtz8stCm8phe5PwNcSSS3p7o/1cKex4U3vD/Jn67LDse9Pw5zqVZOVr8/HYO6R6BywD939drO8DnBP8977NQWAcI/"
+    "OmGObhDIwj8Ujc2w247DP1o+KbF2VcQ/8sWXhd8bxT/GP4tEFOLFP7JK9gQTqMY/Mb9Q3tltxz/GZJzoZjPIPwumaTy4+Mg/"
+    "ZkPc8su9yT9RBLAloILKPyJnPe8yR8s/Y09+aoILzD+GshKzjM/MPxFDReVPk80/GxoQHspWzj8bXyF7+RnPP/nt3xrc3M8/"
+    "rv03DrhP0D+Q29vP2bDQP3f2sWLSEdE/d1F216By0T8+20w/RNPRP3G7w6u7M9I/Bp/VLgaU0j+HA+zaIvTSP1KB4cIQVNM/"
+    "txQE+s6z0z8BZheUXBPUP1QQV6W4ctQ/aud4QuLR1D8kPK+A2DDVP90fq3Waj9U/k6aeNyfu1T/GJz/dfUzWPxd+x32dqtY/"
+    "n0X6MIUI1z/2GCQPNGbXP+fMHTGpw9c/xKpOsOMg2D9jqa6m4n3YP7CkyC6l2tg/15O8Yyo32T//vUFhcZPZP4rtqEN579k/"
+    "5aHeJ0FL2j/KP20ryKbaPwlAf2wNAts/wFzhCRBd2z8BvQQjz7fbP+ceAdhJEtw/CwCXSX9s3D9exDGZbsbcP1vb6egWIN0/"
+    "ieOGW3d53T9YzIEUj9LdPzv2BjhdK94/FFH46uCD3j/WeO9SGdzeP2fQP5YFNN8/upr426SL3z8QEudL9uLfP7c+TIf8HOA/"
+    "GiKuJlZI4D/u/yKZh3PgP+HFF3SQnuA/j4ldTXDJ4D9+jiq7JvTgPyNLG1SzHuE/62wzrxVJ4T9J295jTXPhP7i58glaneE/"
+    "yGiuOTvH4T8bhryL8PDhP1nrM5l5GuI/H6yY+9VD4j/fEt1MBW3iP6icYicHluI/6vP6Jdu+4j8X6ujjgOfiPzVw4fz3D+M/"
+    "V44MDUA44z/zWQaxWGDjPyLr34VBiOM/uVAgKfqv4z9Eg8U4gtfjP9RWRVPZ/uM/sWuOF/8l5D/WHQkl80zkP0dzmBu1c+Q/"
+    "OQmbm0Sa5D8EAOxFocDkP+nl47vK5uQ/m6BZn8AM5T+WVaOSgjLlPzdRlzgQWOU/oOyMNGl95T9Qcl0qjaLlP4wBZb57x+U/"
+    "dHCDlTTs5T/fLB1VtxDmP+kbHKMDNeY/PXjwJRlZ5j8Qr5GE93zmP807f2aeoOY/dYLBcw3E5j+vqOpUROfmP3ptF7NCCuc/"
+    "lv/vNwgt5z+N0qiNlE/nP2FyA1/ncec/5VVPVwCU5z+vr2oi37XnP7I9w2yD1+c/cRdX4+z45z/MerUzGxroP26X/wsOO+g/"
+    "zFjpGsVb6D+/LroPQHzoP6rUTZp+nOg/QRcVa4C86D/MmBYzRdzoPw2U76PM++g/op3UbxYb6T/7Y5JJIjrpP9dtjuTvWOk/"
+    "QtfH9H536T8iDdguz5XpP0GH80fgs+k/1YDq9bHR6T+UrynvQ+/pPzf5uuqVDOo/gidGoKcp6j/ImhHIeEbqP+L6AhsJY+o/"
+    "neafUlh/6j+joQ4pZpvqP9TAFlkyt+o/EdUhnrzS6j90FDy0BO7qPwACFVgKCes/tBMAR80j6z8SV/U+TT7rPwUUkv6JWOs/"
+    "Pm4ZRYNy6z/pBHXSOIzrP9KQNWeqpes/6oCTxNe+6z8qlW+swNfrP913U+Fk8Os/SVVyJsQI7D+wcak/3iDsP7G9gPGyOOw/"
+    "B2krAUJQ7D+bc4g0i2fsP/M8I1KOfuw/9RE0IUuV7D8AuaBpwavsP1z8/PPwwew/9jKLidnX7D9zxzz0eu3sP5K9sv7UAu0/"
+    "3DU+dOcX7T+f7+AgsiztPzrJTdE0Qe0/sT7pUm9V7T+L5slzYWntP/nsuAILfe0/Ro0yz2uQ7T+IiWapg6PtP5ugOGJStu0/"
+    "YAJBy9fI7T88wsy2E9vtP9pH3vcF7e0/K74tYq7+7T+sgCnKDBDuP+WG9gQhIe4/Jc5w6Oox7j9+wStLakLuP/yfcgSfUu4/"
+    "EuFI7Ihi7j9El2rbJ3LuPw3RTKt7ge4/8vcdNoSQ7j/aLcZWQZ/uP46o5+iyre4/dAvfyNi77j+Ev8PTssnuP2NJaOdA1+4/"
+    "vJ1a4oLk7j/Cc+SjePHuP+yVCwwi/u4/1zCS+34K7z9dIPdTjxbvP9o6dvdSIu8/nZoIyckt7z+J5WSs8zjvP92S/4XQQ+8/"
+    "LS8LO2BO7z+EnnixoljvP7Bc98+XYu8/t7v1fT9s7z93IKGjmXXvP2495immfu8/qUtx+mSH7z/bQa7/1Y/vP5sJyST5l+8/"
+    "yLKtVc6f7z8XpQh/VafvP7vPRo6Oru8/QdeVcXm17z+GQeQXFrzvP9Of4XBkwu8/Ibf+bGTI7z97pm39Fc7vP4QLIhR50+8/"
+    "JiXRo43Y7z9W9PGfU93vPwlbvfzK4e8/QDkur/Pl7z86iAGtzenvP8RztuxY7e8/rXGOZZXw7z9cV40Pg/PvP35teeMh9u8/"
+    "34Hb2nH47z9d9/7vcvrvP/jT8R0l/O8/Dc2EYIj97z+hUUu0nP7vP9uSmxZi/+8/koqOhdj/7z8AAAAAAADwPwCeCWnnvTBA"
+    "AGAmkJPD9j8AwPbnUcrlPwDE+vixRi1AgA1zA5cXXEA="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'sinpi',
+    "target": 'float32',
+    "rr_kind": 'sinpi',
+    "pool_len": 526,
+    "pool": _POOL,
+    "data": {'approx': {'cospi': {'neg': None,
+                          'pos': {'@pp': {'index_bits': 0,
+                                          'mode': 'raw',
+                                          'polys': [[[0, 2, 4], 0, 3]],
+                                          'shift': 60}}},
+                'sinpi': {'neg': None,
+                          'pos': {'@pp': {'cols': [3, 2, 2],
+                                          'exps': [1, 3],
+                                          'index_bits': 1,
+                                          'lens': [1, 2],
+                                          'mode': 'packed',
+                                          'shift': 59,
+                                          'start': 1,
+                                          'stride': 2}}}},
+     'function': 'sinpi',
+     'rr_kind': 'sinpi',
+     'rr_state': {'_cos_t': {'@fv': [7, 257]},
+                  '_sin_t': {'@fv': [264, 257]},
+                  'exponents': {'@t': [{'@t': [1, 3, 5, 7]}, {'@t': [0, 2, 4, 6]}]},
+                  'fn_names': {'@t': ['sinpi', 'cospi']},
+                  'name': 'sinpi'},
+     'stats': {'counterexamples_folded': 4,
+               'final_check': {'misses': 0, 'n': 20000},
+               'gen_time_s': {'@f': 521},
+               'input_count': 50211,
+               'oracle_time_s': {'@f': 522},
+               'per_fn': {'cospi': {'degree': 4, 'npolys': 1, 'terms': 3},
+                          'sinpi': {'degree': 3, 'npolys': 2, 'terms': 2}},
+               'phase_s': {'oracle': {'@f': 522}, 'piecewise': {'@f': 523}, 'reduced': {'@f': 524}},
+               'reduced_count': 38200,
+               'special_count': 389,
+               'total_time_s': {'@f': 525}},
+     'target': 'float32'},
+}
 
-DATA = {'approx': {'cospi': {'neg': None,
-                      'pos': {'index_bits': 0,
-                              'polys': [((0, 2, 4),
-                                         (1.0000000000001474,
-                                          -4.934798571668262,
-                                          2.5176064310137956))],
-                              'shift': 60}},
-            'sinpi': {'neg': None,
-                      'pos': {'index_bits': 1,
-                              'polys': [((1,), (3.1415926534514793,)),
-                                        ((1, 3), (3.141592653589585, -5.16771121864276))],
-                              'shift': 59}}},
- 'function': 'sinpi',
- 'rr_kind': 'sinpi',
- 'rr_state': {'_cos_t': (1.0,
-                         0.9999811752826011,
-                         0.9999247018391445,
-                         0.9998305817958234,
-                         0.9996988186962042,
-                         0.9995294175010931,
-                         0.9993223845883495,
-                         0.9990777277526454,
-                         0.9987954562051724,
-                         0.9984755805732948,
-                         0.9981181129001492,
-                         0.9977230666441916,
-                         0.9972904566786902,
-                         0.9968202992911657,
-                         0.996312612182778,
-                         0.9957674144676598,
-                         0.9951847266721969,
-                         0.9945645707342554,
-                         0.9939069700023561,
-                         0.9932119492347945,
-                         0.99247953459871,
-                         0.9917097536690995,
-                         0.99090263542778,
-                         0.9900582102622971,
-                         0.989176509964781,
-                         0.9882575677307495,
-                         0.9873014181578584,
-                         0.9863080972445987,
-                         0.9852776423889412,
-                         0.984210092386929,
-                         0.9831054874312163,
-                         0.9819638691095552,
-                         0.9807852804032304,
-                         0.9795697656854405,
-                         0.9783173707196277,
-                         0.9770281426577544,
-                         0.9757021300385286,
-                         0.9743393827855759,
-                         0.9729399522055602,
-                         0.9715038909862518,
-                         0.970031253194544,
-                         0.9685220942744173,
-                         0.9669764710448521,
-                         0.9653944416976894,
-                         0.9637760657954398,
-                         0.9621214042690416,
-                         0.9604305194155658,
-                         0.9587034748958716,
-                         0.9569403357322088,
-                         0.9551411683057707,
-                         0.9533060403541939,
-                         0.9514350209690083,
-                         0.9495281805930367,
-                         0.9475855910177411,
-                         0.9456073253805213,
-                         0.9435934581619604,
-                         0.9415440651830208,
-                         0.9394592236021899,
-                         0.937339011912575,
-                         0.9351835099389476,
-                         0.9329927988347388,
-                         0.9307669610789837,
-                         0.9285060804732156,
-                         0.9262102421383114,
-                         0.9238795325112867,
-                         0.9215140393420419,
-                         0.9191138516900578,
-                         0.9166790599210427,
-                         0.9142097557035307,
-                         0.9117060320054299,
-                         0.9091679830905224,
-                         0.9065957045149153,
-                         0.9039892931234433,
-                         0.901348847046022,
-                         0.8986744656939538,
-                         0.8959662497561851,
-                         0.8932243011955153,
-                         0.8904487232447579,
-                         0.8876396204028539,
-                         0.8847970984309378,
-                         0.881921264348355,
-                         0.8790122264286335,
-                         0.8760700941954066,
-                         0.8730949784182901,
-                         0.8700869911087115,
-                         0.8670462455156926,
-                         0.8639728561215867,
-                         0.8608669386377673,
-                         0.8577286100002721,
-                         0.8545579883654005,
-                         0.8513551931052652,
-                         0.8481203448032972,
-                         0.8448535652497071,
-                         0.8415549774368984,
-                         0.8382247055548381,
-                         0.83486287498638,
-                         0.8314696123025452,
-                         0.8280450452577558,
-                         0.8245893027850253,
-                         0.8211025149911046,
-                         0.8175848131515837,
-                         0.8140363297059484,
-                         0.8104571982525948,
-                         0.8068475535437992,
-                         0.8032075314806449,
-                         0.799537269107905,
-                         0.7958369046088836,
-                         0.7921065773002124,
-                         0.7883464276266062,
-                         0.7845565971555752,
-                         0.7807372285720945,
-                         0.7768884656732324,
-                         0.773010453362737,
-                         0.7691033376455796,
-                         0.765167265622459,
-                         0.7612023854842618,
-                         0.7572088465064846,
-                         0.7531867990436125,
-                         0.7491363945234594,
-                         0.745057785441466,
-                         0.7409511253549591,
-                         0.7368165688773699,
-                         0.7326542716724128,
-                         0.7284643904482252,
-                         0.7242470829514669,
-                         0.7200025079613817,
-                         0.7157308252838187,
-                         0.7114321957452164,
-                         0.7071067811865476,
-                         0.7027547444572253,
-                         0.6983762494089728,
-                         0.693971460889654,
-                         0.6895405447370669,
-                         0.6850836677727004,
-                         0.680600997795453,
-                         0.6760927035753159,
-                         0.6715589548470184,
-                         0.6669999223036375,
-                         0.6624157775901718,
-                         0.6578066932970786,
-                         0.6531728429537768,
-                         0.6485144010221124,
-                         0.6438315428897915,
-                         0.6391244448637757,
-                         0.6343932841636455,
-                         0.629638238914927,
-                         0.6248594881423863,
-                         0.6200572117632892,
-                         0.6152315905806268,
-                         0.6103828062763095,
-                         0.6055110414043255,
-                         0.600616479383869,
-                         0.5956993044924334,
-                         0.5907597018588743,
-                         0.5857978574564389,
-                         0.5808139580957645,
-                         0.5758081914178453,
-                         0.5707807458869673,
-                         0.5657318107836132,
-                         0.560661576197336,
-                         0.5555702330196022,
-                         0.5504579729366048,
-                         0.5453249884220465,
-                         0.5401714727298929,
-                         0.5349976198870973,
-                         0.5298036246862947,
-                         0.524589682678469,
-                         0.5193559901655896,
-                         0.5141027441932218,
-                         0.508830142543107,
-                         0.5035383837257176,
-                         0.49822766697278187,
-                         0.49289819222978404,
-                         0.48755016014843594,
-                         0.4821837720791228,
-                         0.47679923006332214,
-                         0.47139673682599764,
-                         0.4659764957679662,
-                         0.46053871095824,
-                         0.45508358712634384,
-                         0.4496113296546066,
-                         0.44412214457042926,
-                         0.43861623853852766,
-                         0.43309381885315196,
-                         0.4275550934302821,
-                         0.4220002707997997,
-                         0.4164295600976372,
-                         0.41084317105790397,
-                         0.40524131400498986,
-                         0.39962419984564684,
-                         0.3939920400610481,
-                         0.3883450466988263,
-                         0.3826834323650898,
-                         0.37700741021641826,
-                         0.37131719395183754,
-                         0.36561299780477385,
-                         0.35989503653498817,
-                         0.3541635254204904,
-                         0.34841868024943456,
-                         0.3426607173119944,
-                         0.33688985339222005,
-                         0.33110630575987643,
-                         0.3253102921622629,
-                         0.3195020308160157,
-                         0.31368174039889146,
-                         0.30784964004153487,
-                         0.3020059493192281,
-                         0.29615088824362384,
-                         0.2902846772544624,
-                         0.2844075372112718,
-                         0.2785196893850531,
-                         0.272621355449949,
-                         0.26671275747489837,
-                         0.2607941179152755,
-                         0.25486565960451457,
-                         0.24892760574572018,
-                         0.2429801799032639,
-                         0.2370236059943672,
-                         0.2310581082806711,
-                         0.22508391135979283,
-                         0.2191012401568698,
-                         0.21311031991609136,
-                         0.20711137619221856,
-                         0.2011046348420919,
-                         0.19509032201612828,
-                         0.18906866414980622,
-                         0.18303988795514095,
-                         0.17700422041214875,
-                         0.17096188876030122,
-                         0.16491312048996992,
-                         0.15885814333386145,
-                         0.15279718525844344,
-                         0.14673047445536175,
-                         0.14065823933284924,
-                         0.1345807085071262,
-                         0.12849811079379317,
-                         0.1224106751992162,
-                         0.11631863091190477,
-                         0.11022220729388306,
-                         0.10412163387205457,
-                         0.0980171403295606,
-                         0.09190895649713272,
-                         0.0857973123444399,
-                         0.07968243797143013,
-                         0.07356456359966743,
-                         0.06744391956366406,
-                         0.06132073630220858,
-                         0.05519524434968994,
-                         0.049067674327418015,
-                         0.04293825693494082,
-                         0.03680722294135883,
-                         0.030674803176636626,
-                         0.024541228522912288,
-                         0.01840672990580482,
-                         0.012271538285719925,
-                         0.006135884649154475,
-                         0.0),
-              '_sin_t': (0.0,
-                         0.006135884649154475,
-                         0.012271538285719925,
-                         0.01840672990580482,
-                         0.024541228522912288,
-                         0.030674803176636626,
-                         0.03680722294135883,
-                         0.04293825693494082,
-                         0.049067674327418015,
-                         0.05519524434968994,
-                         0.06132073630220858,
-                         0.06744391956366406,
-                         0.07356456359966743,
-                         0.07968243797143013,
-                         0.0857973123444399,
-                         0.09190895649713272,
-                         0.0980171403295606,
-                         0.10412163387205457,
-                         0.11022220729388306,
-                         0.11631863091190477,
-                         0.1224106751992162,
-                         0.12849811079379317,
-                         0.1345807085071262,
-                         0.14065823933284924,
-                         0.14673047445536175,
-                         0.15279718525844344,
-                         0.15885814333386145,
-                         0.16491312048996992,
-                         0.17096188876030122,
-                         0.17700422041214875,
-                         0.18303988795514095,
-                         0.18906866414980622,
-                         0.19509032201612828,
-                         0.2011046348420919,
-                         0.20711137619221856,
-                         0.21311031991609136,
-                         0.2191012401568698,
-                         0.22508391135979283,
-                         0.2310581082806711,
-                         0.2370236059943672,
-                         0.2429801799032639,
-                         0.24892760574572018,
-                         0.25486565960451457,
-                         0.2607941179152755,
-                         0.26671275747489837,
-                         0.272621355449949,
-                         0.2785196893850531,
-                         0.2844075372112718,
-                         0.2902846772544624,
-                         0.29615088824362384,
-                         0.3020059493192281,
-                         0.30784964004153487,
-                         0.31368174039889146,
-                         0.3195020308160157,
-                         0.3253102921622629,
-                         0.33110630575987643,
-                         0.33688985339222005,
-                         0.3426607173119944,
-                         0.34841868024943456,
-                         0.3541635254204904,
-                         0.35989503653498817,
-                         0.36561299780477385,
-                         0.37131719395183754,
-                         0.37700741021641826,
-                         0.3826834323650898,
-                         0.3883450466988263,
-                         0.3939920400610481,
-                         0.39962419984564684,
-                         0.40524131400498986,
-                         0.41084317105790397,
-                         0.4164295600976372,
-                         0.4220002707997997,
-                         0.4275550934302821,
-                         0.43309381885315196,
-                         0.43861623853852766,
-                         0.44412214457042926,
-                         0.4496113296546066,
-                         0.45508358712634384,
-                         0.46053871095824,
-                         0.4659764957679662,
-                         0.47139673682599764,
-                         0.47679923006332214,
-                         0.4821837720791228,
-                         0.48755016014843594,
-                         0.49289819222978404,
-                         0.49822766697278187,
-                         0.5035383837257176,
-                         0.508830142543107,
-                         0.5141027441932218,
-                         0.5193559901655896,
-                         0.524589682678469,
-                         0.5298036246862947,
-                         0.5349976198870973,
-                         0.5401714727298929,
-                         0.5453249884220465,
-                         0.5504579729366048,
-                         0.5555702330196022,
-                         0.560661576197336,
-                         0.5657318107836132,
-                         0.5707807458869673,
-                         0.5758081914178453,
-                         0.5808139580957645,
-                         0.5857978574564389,
-                         0.5907597018588743,
-                         0.5956993044924334,
-                         0.600616479383869,
-                         0.6055110414043255,
-                         0.6103828062763095,
-                         0.6152315905806268,
-                         0.6200572117632892,
-                         0.6248594881423863,
-                         0.629638238914927,
-                         0.6343932841636455,
-                         0.6391244448637757,
-                         0.6438315428897915,
-                         0.6485144010221124,
-                         0.6531728429537768,
-                         0.6578066932970786,
-                         0.6624157775901718,
-                         0.6669999223036375,
-                         0.6715589548470184,
-                         0.6760927035753159,
-                         0.680600997795453,
-                         0.6850836677727004,
-                         0.6895405447370669,
-                         0.693971460889654,
-                         0.6983762494089728,
-                         0.7027547444572253,
-                         0.7071067811865476,
-                         0.7114321957452164,
-                         0.7157308252838187,
-                         0.7200025079613817,
-                         0.7242470829514669,
-                         0.7284643904482252,
-                         0.7326542716724128,
-                         0.7368165688773699,
-                         0.7409511253549591,
-                         0.745057785441466,
-                         0.7491363945234594,
-                         0.7531867990436125,
-                         0.7572088465064846,
-                         0.7612023854842618,
-                         0.765167265622459,
-                         0.7691033376455796,
-                         0.773010453362737,
-                         0.7768884656732324,
-                         0.7807372285720945,
-                         0.7845565971555752,
-                         0.7883464276266062,
-                         0.7921065773002124,
-                         0.7958369046088836,
-                         0.799537269107905,
-                         0.8032075314806449,
-                         0.8068475535437992,
-                         0.8104571982525948,
-                         0.8140363297059484,
-                         0.8175848131515837,
-                         0.8211025149911046,
-                         0.8245893027850253,
-                         0.8280450452577558,
-                         0.8314696123025452,
-                         0.83486287498638,
-                         0.8382247055548381,
-                         0.8415549774368984,
-                         0.8448535652497071,
-                         0.8481203448032972,
-                         0.8513551931052652,
-                         0.8545579883654005,
-                         0.8577286100002721,
-                         0.8608669386377673,
-                         0.8639728561215867,
-                         0.8670462455156926,
-                         0.8700869911087115,
-                         0.8730949784182901,
-                         0.8760700941954066,
-                         0.8790122264286335,
-                         0.881921264348355,
-                         0.8847970984309378,
-                         0.8876396204028539,
-                         0.8904487232447579,
-                         0.8932243011955153,
-                         0.8959662497561851,
-                         0.8986744656939538,
-                         0.901348847046022,
-                         0.9039892931234433,
-                         0.9065957045149153,
-                         0.9091679830905224,
-                         0.9117060320054299,
-                         0.9142097557035307,
-                         0.9166790599210427,
-                         0.9191138516900578,
-                         0.9215140393420419,
-                         0.9238795325112867,
-                         0.9262102421383114,
-                         0.9285060804732156,
-                         0.9307669610789837,
-                         0.9329927988347388,
-                         0.9351835099389476,
-                         0.937339011912575,
-                         0.9394592236021899,
-                         0.9415440651830208,
-                         0.9435934581619604,
-                         0.9456073253805213,
-                         0.9475855910177411,
-                         0.9495281805930367,
-                         0.9514350209690083,
-                         0.9533060403541939,
-                         0.9551411683057707,
-                         0.9569403357322088,
-                         0.9587034748958716,
-                         0.9604305194155658,
-                         0.9621214042690416,
-                         0.9637760657954398,
-                         0.9653944416976894,
-                         0.9669764710448521,
-                         0.9685220942744173,
-                         0.970031253194544,
-                         0.9715038909862518,
-                         0.9729399522055602,
-                         0.9743393827855759,
-                         0.9757021300385286,
-                         0.9770281426577544,
-                         0.9783173707196277,
-                         0.9795697656854405,
-                         0.9807852804032304,
-                         0.9819638691095552,
-                         0.9831054874312163,
-                         0.984210092386929,
-                         0.9852776423889412,
-                         0.9863080972445987,
-                         0.9873014181578584,
-                         0.9882575677307495,
-                         0.989176509964781,
-                         0.9900582102622971,
-                         0.99090263542778,
-                         0.9917097536690995,
-                         0.99247953459871,
-                         0.9932119492347945,
-                         0.9939069700023561,
-                         0.9945645707342554,
-                         0.9951847266721969,
-                         0.9957674144676598,
-                         0.996312612182778,
-                         0.9968202992911657,
-                         0.9972904566786902,
-                         0.9977230666441916,
-                         0.9981181129001492,
-                         0.9984755805732948,
-                         0.9987954562051724,
-                         0.9990777277526454,
-                         0.9993223845883495,
-                         0.9995294175010931,
-                         0.9996988186962042,
-                         0.9998305817958234,
-                         0.9999247018391445,
-                         0.9999811752826011,
-                         1.0),
-              'exponents': ((1, 3, 5, 7), (0, 2, 4, 6)),
-              'fn_names': ('sinpi', 'cospi'),
-              'name': 'sinpi'},
- 'stats': {'counterexamples_folded': 4,
-           'final_check': {'misses': 0, 'n': 20000},
-           'gen_time_s': 16.741812291000315,
-           'input_count': 50211,
-           'oracle_time_s': 1.4227481489997444,
-           'per_fn': {'cospi': {'degree': 4, 'npolys': 1, 'terms': 3},
-                      'sinpi': {'degree': 3, 'npolys': 2, 'terms': 2}},
-           'phase_s': {'oracle': 1.4227481489997444,
-                       'piecewise': 0.6809472590011865,
-                       'reduced': 14.638076573000944},
-           'reduced_count': 38200,
-           'special_count': 389,
-           'total_time_s': 112.3685921310007},
- 'target': 'float32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

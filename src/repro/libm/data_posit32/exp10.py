@@ -1,119 +1,72 @@
-"""Generated coefficient data for exp10 (posit32).
+"""Generated coefficient data for exp10 (posit32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 88 deduplicated doubles, little-endian, base64
+_POOL = (
+    "UwAAAAAA8D+QWca7sWsCQMyitHElNQVAxWvlNyNJAEAep1/4EK32PyT5/////+8/33lIvLFrAkCooyRpFjUFQM++P/Kp4QBA"
+    "FGapnnBKWcCcJ9cAilTxQHhKqjh/AnfB4JmX0ga050H/eZ9QE0RzP3GjeQlPk2pAAAAAAAAAcEcAAADQwcJBQAAAAAAAAHA4"
+    "AAAA0MHCQcAAAAAAAADwP2GAdz6aLPA/dIUV07BZ8D/Im3UYRYfwPw+J+WxYtfA/otHTMuzj8D9RWxLQARPxP+Atqa6aQvE/"
+    "e1F9PLhy8T91y2/rW6PxP6q5aDGH1PE/1oxiiDsG8j84YnVuejjyP9184mVFa/I/4d4f9Z2e8j8LA+SmhdLyPxW3MQr+BvM/"
+    "/xZksgg88z/LqTo3p3HzP/ef5TTbp/M/IjQSTKbe8z8qLvchChb0Py2JYWAITvQ/0DzBtaKG9D8nKjbV2r/0P6csnXay+fQ/"
+    "gk+dVis09T/aJ7U2R2/1PylUSN0Hq/U/SCGtFW/n9T+FVTqwfiT2PyUiVYI4YvY/zTt/Zp6g9j8vGmU8st/2P3Rf7Oh1H/c/"
+    "yWdCVutf9z+HAetzFKH3P2JOzzbz4vc/E85MmYkl+D/tkkSb2Wj4P9ugKkLlrPg/NncVma7x+D/lxc2wNzf5P1BO3p+Cffk/"
+    "kPCjgpHE+T9l5V17Zgz6P10lPrIDVfo/v/15VWue+j+t01qZn+j6P/sVT7iiM/s/R1778nZ/+z/SwUuQHsz7P5xShd2bGfw/"
+    "S9FXLvFn/D9pkO/cILf8P3yJB0otB/0/h6T73BhY/T+FMtsD5qn9P1+bezOX/P0/9j+L5y5Q/j/akKSir6T+PydaYe4b+v4/"
+    "QEVuW3ZQ/z/YkJ6Bwaf/PwCImaAtARxAAMDhQytlAEAAQDcz1FrtPwBY3gg3IxBAoHkjB8WnikA="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'exp10',
+    "target": 'posit32',
+    "rr_kind": 'exp',
+    "pool_len": 88,
+    "pool": _POOL,
+    "data": {'approx': {'exp10': {'neg': {'@pp': {'index_bits': 0,
+                                          'mode': 'raw',
+                                          'polys': [[[0, 1, 2, 3, 4], 0, 5]],
+                                          'shift': 59}},
+                          'pos': {'@pp': {'index_bits': 0,
+                                          'mode': 'raw',
+                                          'polys': [[[0, 1, 2, 3, 4, 5, 6, 7], 5, 8]],
+                                          'shift': 59}}}},
+     'function': 'exp10',
+     'rr_kind': 'exp',
+     'rr_state': {'_c': {'@f': 13},
+                  '_c_inv': {'@f': 14},
+                  '_hi_result': {'@f': 15},
+                  '_hi_thr': {'@f': 16},
+                  '_lo_result': {'@f': 17},
+                  '_lo_thr': {'@f': 18},
+                  '_saturating': True,
+                  '_tab': {'@fv': [19, 64]},
+                  'exponents': {'@t': [{'@t': [0, 1, 2, 3, 4, 5, 6, 7]}]},
+                  'fn_names': {'@t': ['exp10']},
+                  'name': 'exp10'},
+     'stats': {'counterexamples_folded': 40,
+               'final_check': {'misses': 0, 'n': 19999},
+               'gen_time_s': {'@f': 83},
+               'input_count': 45517,
+               'oracle_time_s': {'@f': 84},
+               'per_fn': {'exp10': {'degree': 7, 'npolys': 2, 'terms': 8}},
+               'phase_s': {'oracle': {'@f': 84}, 'piecewise': {'@f': 85}, 'reduced': {'@f': 86}},
+               'reduced_count': 45076,
+               'special_count': 386,
+               'total_time_s': {'@f': 87}},
+     'target': 'posit32'},
+}
 
-DATA = {'approx': {'exp10': {'neg': {'index_bits': 0,
-                              'polys': [((0, 1, 2, 3, 4),
-                                         (1.0000000000000184,
-                                          2.30258509348932,
-                                          2.650950325322219,
-                                          2.0357117049111104,
-                                          1.417252512177988))],
-                              'shift': 59},
-                      'pos': {'index_bits': 0,
-                              'polys': [((0, 1, 2, 3, 4, 5, 6, 7),
-                                         (0.999999999999805,
-                                          2.302585097276491,
-                                          2.650921651297228,
-                                          2.1101874280646835,
-                                          -101.16312376540037,
-                                          70984.62520518753,
-                                          -24127475.541574925,
-                                          3181393556.7375336))],
-                              'shift': 59}}},
- 'function': 'exp10',
- 'rr_kind': 'exp',
- 'rr_state': {'_c': 0.004703593682249706,
-              '_c_inv': 212.60339807279118,
-              '_hi_result': 1.329227995784916e+36,
-              '_hi_thr': 35.52153968811035,
-              '_lo_result': 7.52316384526264e-37,
-              '_lo_thr': -35.52153968811035,
-              '_saturating': True,
-              '_tab': (1.0,
-                       1.0108892860517005,
-                       1.0218971486541166,
-                       1.0330248790212284,
-                       1.0442737824274138,
-                       1.0556451783605572,
-                       1.0671404006768237,
-                       1.0787607977571199,
-                       1.0905077326652577,
-                       1.102382583307841,
-                       1.1143867425958924,
-                       1.1265216186082418,
-                       1.1387886347566916,
-                       1.1511892299529827,
-                       1.1637248587775775,
-                       1.1763969916502812,
-                       1.189207115002721,
-                       1.202156731452703,
-                       1.215247359980469,
-                       1.22848053610687,
-                       1.241857812073484,
-                       1.255380757024691,
-                       1.2690509571917332,
-                       1.2828700160787783,
-                       1.2968395546510096,
-                       1.3109612115247644,
-                       1.3252366431597413,
-                       1.339667524053303,
-                       1.3542555469368927,
-                       1.3690024229745905,
-                       1.383909881963832,
-                       1.3989796725383112,
-                       1.4142135623730951,
-                       1.42961333839197,
-                       1.4451808069770467,
-                       1.460917794180647,
-                       1.4768261459394993,
-                       1.4929077282912648,
-                       1.5091644275934228,
-                       1.5255981507445384,
-                       1.5422108254079407,
-                       1.559004400237837,
-                       1.5759808451078865,
-                       1.593142151342267,
-                       1.6104903319492543,
-                       1.6280274218573478,
-                       1.645755478153965,
-                       1.6636765803267364,
-                       1.681792830507429,
-                       1.7001063537185235,
-                       1.718619298122478,
-                       1.7373338352737062,
-                       1.7562521603732995,
-                       1.7753764925265212,
-                       1.7947090750031072,
-                       1.8142521755003989,
-                       1.8340080864093424,
-                       1.8539791250833855,
-                       1.8741676341103,
-                       1.8945759815869656,
-                       1.9152065613971474,
-                       1.9360617934922943,
-                       1.9571441241754002,
-                       1.978456026387951),
-              'exponents': ((0, 1, 2, 3, 4, 5, 6, 7),),
-              'fn_names': ('exp10',),
-              'name': 'exp10'},
- 'stats': {'counterexamples_folded': 40,
-           'final_check': {'misses': 0, 'n': 19999},
-           'gen_time_s': 7.001150616999439,
-           'input_count': 45517,
-           'oracle_time_s': 2.0493989280003007,
-           'per_fn': {'exp10': {'degree': 7, 'npolys': 2, 'terms': 8}},
-           'phase_s': {'oracle': 2.0493989280003007,
-                       'piecewise': 0.9173375129994383,
-                       'reduced': 4.0343896280010085},
-           'reduced_count': 45076,
-           'special_count': 386,
-           'total_time_s': 852.9712050220005},
- 'target': 'posit32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

@@ -1,169 +1,75 @@
-"""Generated coefficient data for ln (posit32).
+"""Generated coefficient data for ln (posit32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 144 deduplicated doubles, little-endian, base64
+_POOL = (
+    "txTn////7z9QDzcAAADwP73MktEo4d+/HqyBmAQA4L8AAAAAAAAAANmN2+Jrb9U/AAAAAAAAAAARPUsKNgfnvwAAAAAAAAAA"
+    "HKIAvbEQTkAAAAAAAAAAAKZCeWpdcqXA7zn6/kIu5j8AAAAAAAAAAIlnEGsq4H8/5AP8sKjAjz8bsdUHG7mXPwAzeA6bgp8/"
+    "YL3+uYeeoz/83DL2WHSnP79xGXHdQqs/pmIRwDAKrz/heqPuNmWxP9HRG5bXQbM/PxgGPwcbtT9Ma+WK0vC2PyGbMdZFw7g/"
+    "Y9VKOm2Suj9Dx1uPVF68P+byKm4HJ74/u+rbMZHsvz9ZjtB8ftfAP6BnL9Uqt8E/I/Uf+FKVwj90jx4g/HHDPx59y2wrTcQ/"
+    "OLSh4+UmxT/Uk6dwMP/FPx3SGecP1sY/CdkQAomrxz8RySBloH/IP7RW9JxaUsk/Y7XiH7wjyj/zv4BOyfPKP9aMLXSGwss/"
+    "Ipqax/ePzD+Ru09rIVzNP+byKm4HJ84/Nlncy63wzj8rPl5tGLnPP0HQtJQlQNA/45Bz4iSj0D/VSq75iwXRPw6mq6tcZ9E/"
+    "+5lpwZjI0T9mec/7QSnSP6OG3hNaidI/MR3huuLo0j9VfZia3UfTP+pFaVVMptM/5KeGhjAE1D/CXhzCi2HUP6F4d5VfvtQ/"
+    "Lfgth60a1T9sWkUXd3bVP8oJWL+90dU/lce58oIs1j+vFJseyIbWP+ShK6qO4NY/B9C79tc51z+iR91fpZLXP8Ovgjv46tc/"
+    "F4se2tFC2D9bQsGGM5rYP8diNoce8dg/+xYhHJRH2T+L4BeBlZ3ZP0yYv+wj89k/CrvlkEBI2j9KCJqa7JzaP2t4RzIp8do/"
+    "Y4/Me/dE2z/7EJOWWJjbP3wbp51N69s/Ta3Np9c93D8imprH94/cP+vzhQuv4dw/1esAfv4y3T8+L4ol54PdP6HEwQRq1N0/"
+    "Jmx8Gogk3j+Ih9ZhQnTeP8CMRtKZw94/7QavX48S3z+sKHD6I2HfPx/zeI9Yr98/mPRXCC793z//0KWlUiXgP9ImqZ3fS+A/"
+    "QN8cXD5y4D8hNVdPb5jgP4MqJeRyvuA/jMzRhUnk4D+XTC2e8wnhP7zvk5VxL+E/6tX00sNU4T+hmdi76nnhP2/JZ7TmnuE/"
+    "JTxxH7jD4T/QQHBeX+jhP26rktHcDOI/Q7++1zAx4j/L95jOW1XiPxuxiRJeeeI/i7DC/jed4j+MjkTt6cDiP2gC5DZ05OI/"
+    "vhBPM9cH4z9xHRI5EyvjP9PhnJ0oTuM/tkdHtRdx4z8aKlbT4JPjPyP8/0mEtuM/+1ZxagLZ4z9Cb9GEW/vjP65yRuiPHeQ/"
+    "Z8754p8/5D/CXhzCi2HkP9+I6tFTg+Q/uz6wXfik5D867syvecbkP7FbtxHY5+Q/a2gBzBMJ5T+rxVsmLSrlP5iUmWckS+U/"
+    "mfOz1flr5T+Jec21rYzlPy2fNUxAreU/ZRds3LHN5T91FiSpAu7lP9mIR/QyDuY/ACl+WUgENkAAgGTQj1r6P8AR/ud+HlpA"
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'ln',
+    "target": 'posit32',
+    "rr_kind": 'log',
+    "pool_len": 144,
+    "pool": _POOL,
+    "data": {'approx': {'log1p': {'neg': None,
+                          'pos': {'@pp': {'cols': [0, 6, 2],
+                                          'exps': [1, 2, 3, 4, 5, 6],
+                                          'index_bits': 1,
+                                          'lens': [2, 6],
+                                          'mode': 'packed',
+                                          'shift': 56,
+                                          'start': 1,
+                                          'stride': 1}}}},
+     'function': 'ln',
+     'rr_kind': 'log',
+     'rr_state': {'_entries': 128,
+                  '_pure_exponent': False,
+                  '_scale': {'@f': 12},
+                  '_tab': {'@fv': [13, 128]},
+                  'exponents': {'@t': [{'@t': [1, 2, 3, 4, 5, 6]}]},
+                  'fn_names': {'@t': ['log1p']},
+                  'name': 'ln',
+                  'table_bits': 7},
+     'stats': {'counterexamples_folded': 4,
+               'final_check': {'misses': 1, 'n': 20000},
+               'gen_time_s': {'@f': 141},
+               'input_count': 43236,
+               'oracle_time_s': {'@f': 142},
+               'per_fn': {'log1p': {'degree': 6, 'npolys': 2, 'terms': 6}},
+               'reduced_count': 41854,
+               'special_count': 192,
+               'total_time_s': {'@f': 143}},
+     'target': 'posit32'},
+}
 
-DATA = {'approx': {'log1p': {'neg': None,
-                      'pos': {'index_bits': 1,
-                              'polys': [((1, 2), (0.9999999998186898, -0.49811764207988657)),
-                                        ((1, 2, 3, 4, 5, 6),
-                                         (1.0000000008012258,
-                                          -0.5000021914141859,
-                                          0.33492562440934887,
-                                          -0.7196302605679269,
-                                          60.130424142178725,
-                                          -2745.18245295466))],
-                              'shift': 56}}},
- 'function': 'ln',
- 'rr_kind': 'log',
- 'rr_state': {'_entries': 128,
-              '_pure_exponent': False,
-              '_scale': 0.6931471805599453,
-              '_tab': (0.0,
-                       0.007782140442054949,
-                       0.015504186535965254,
-                       0.02316705928153438,
-                       0.030771658666753687,
-                       0.0383188643021366,
-                       0.0458095360312942,
-                       0.053244514518812285,
-                       0.06062462181643484,
-                       0.06795066190850775,
-                       0.07522342123758753,
-                       0.08244366921107459,
-                       0.08961215868968714,
-                       0.09672962645855111,
-                       0.10379679368164356,
-                       0.11081436634029011,
-                       0.11778303565638346,
-                       0.12470347850095724,
-                       0.13157635778871926,
-                       0.13840232285911913,
-                       0.1451820098444979,
-                       0.15191604202584197,
-                       0.15860503017663857,
-                       0.16524957289530717,
-                       0.17185025692665923,
-                       0.1784076574728183,
-                       0.184922338494012,
-                       0.19139485299962947,
-                       0.19782574332991987,
-                       0.2042155414286909,
-                       0.21056476910734964,
-                       0.21687393830061436,
-                       0.22314355131420976,
-                       0.22937410106484582,
-                       0.2355660713127669,
-                       0.24171993688714516,
-                       0.24783616390458127,
-                       0.25391520998096345,
-                       0.25995752443692605,
-                       0.26596354849713794,
-                       0.27193371548364176,
-                       0.2778684510034563,
-                       0.2837681731306446,
-                       0.28963329258304266,
-                       0.2954642128938359,
-                       0.3012613305781618,
-                       0.3070250352949119,
-                       0.3127557100038969,
-                       0.3184537311185346,
-                       0.324119468654212,
-                       0.329753286372468,
-                       0.3353555419211378,
-                       0.3409265869705932,
-                       0.34646676734620857,
-                       0.3519764231571782,
-                       0.3574558889218038,
-                       0.3629054936893685,
-                       0.3683255611587076,
-                       0.37371640979358406,
-                       0.37907835293496944,
-                       0.38441169891033206,
-                       0.3897167511400252,
-                       0.394993808240869,
-                       0.4002431641270127,
-                       0.4054651081081644,
-                       0.4106599249852684,
-                       0.415827895143711,
-                       0.42096929464412963,
-                       0.4260843953109001,
-                       0.4311734648183713,
-                       0.43623676677491807,
-                       0.4412745608048752,
-                       0.44628710262841953,
-                       0.45127464413945856,
-                       0.4562374334815876,
-                       0.46117571512217015,
-                       0.46608972992459924,
-                       0.470979715218791,
-                       0.4758459048699639,
-                       0.4806885293457519,
-                       0.4855078157817008,
-                       0.4903039880451938,
-                       0.4950772667978515,
-                       0.4998278695564493,
-                       0.5045560107523953,
-                       0.5092619017898079,
-                       0.5139457511022343,
-                       0.5186077642080457,
-                       0.5232481437645479,
-                       0.5278670896208424,
-                       0.5324647988694718,
-                       0.5370414658968836,
-                       0.5415972824327444,
-                       0.5461324375981357,
-                       0.5506471179526623,
-                       0.5551415075405016,
-                       0.5596157879354227,
-                       0.564070138284803,
-                       0.5685047353526688,
-                       0.5729197535617855,
-                       0.5773153650348236,
-                       0.5816917396346225,
-                       0.5860490450035782,
-                       0.5903874466021763,
-                       0.5947071077466928,
-                       0.5990081896460834,
-                       0.6032908514380843,
-                       0.6075552502245418,
-                       0.6118015411059929,
-                       0.616029877215514,
-                       0.6202404097518576,
-                       0.6244332880118935,
-                       0.6286086594223741,
-                       0.6327666695710378,
-                       0.6369074622370692,
-                       0.6410311794209312,
-                       0.6451379613735847,
-                       0.6492279466251099,
-                       0.6533012720127457,
-                       0.65735807270836,
-                       0.661398482245365,
-                       0.6654226325450905,
-                       0.6694306539426292,
-                       0.6734226752121667,
-                       0.6773988235918061,
-                       0.6813592248079031,
-                       0.6853040030989194,
-                       0.689233281238809),
-              'exponents': ((1, 2, 3, 4, 5, 6),),
-              'fn_names': ('log1p',),
-              'name': 'ln',
-              'table_bits': 7},
- 'stats': {'counterexamples_folded': 4,
-           'final_check': {'misses': 1, 'n': 20000},
-           'gen_time_s': 22.016728966999835,
-           'input_count': 43236,
-           'oracle_time_s': 1.6471098080000957,
-           'per_fn': {'log1p': {'degree': 6, 'npolys': 2, 'terms': 6}},
-           'reduced_count': 41854,
-           'special_count': 192,
-           'total_time_s': 104.47649574099978},
- 'target': 'posit32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

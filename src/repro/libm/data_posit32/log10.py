@@ -1,167 +1,75 @@
-"""Generated coefficient data for log10 (posit32).
+"""Generated coefficient data for log10 (posit32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 140 deduplicated doubles, little-endian, base64
+_POOL = (
+    "vg3sFHvL2z8enhAVe8vbPz05GgFCscu/PqvM13rLy78AAAAAAAAAAFol4J6Th8I/AAAAAAAAAABOWr0Sg6+7v/95n1ATRNM/"
+    "AAAAAAAAAAAm7SFy1K9rPw/R/KR2lHs/hDZEUQibhD+QN7GOkF6LP3hsRKiDCpE/4IvLWk9flD/4Hzvfw62XPxDmACv59Zo/"
+    "jwW9rAY4nj8AABeoAbqgP0wx/MACVaI/JeSlmRHtoz/aU7PuOIKlP5kqfUKDFKc/9Ee43vqjqD/q7wnWqTCqP4T9jQWauqs/"
+    "tKxPFtVBrT8IiLV+ZMauPxaA8MEoJLA/XhaBndLjsD8WGFBFNKKxP0pZ6xVSX7I/GHHEVTAbsz95McU109WzP/tI39E+j7Q/"
+    "hT6XMXdHtT/99IpIgP61P8ni8/ZdtLY//SYlChRptz9KpAU9phy4Pw1IhjgYz7g/CaIUlG2AuT/q7wnWqTC6Pwe+FnTQ37o/"
+    "mD2r0+SNuz//blxK6jq8P6U9Rh7k5rw/nKlqhtWRvT/+GQ6rwTu+PwTyEKar5L4/kYFGg5aMvz+GtGSgwhnAP7bDpme9bMA/"
+    "HMQ3CT2/wD9XE4HwQhHBPxCdrILQYsE/e0/JHuezwT93h+4diATCPzx9XtO0VMI/KrqnjG6kwj8BoMWRtvPCP20JQCWOQsM/"
+    "gwtKhPaQwz+F39/m8N7DPwL8439+LMQ/EWQ7faB5xD84M+kHWMbEPz1sKUSmEsU/+BCLUYxexT/6iAlLC6rFP5JcJUck9cU/"
+    "u0n8V9g/xj/8t2CLKIrGP2uQ8OoV1MY/gH4rfKEdxz+FnohAzGbHPwSeizWXr8c/oFLZVAP4xz91y0uUEUDIPxnhBebCh8g/"
+    "DUiGOBjPyD94Kbp2EhbJP7pFD4iyXMk/XKSFUPmiyT++1MCw5+jJP9LCGIZ+Lso/9CKqqr5zyj/8d2b1qLjKP4C2Izo+/co/"
+    "B4irSX9Byz8FMcrxbIXLP0AcXf0Hycs/Jg5hNFEMzD+iAgBcSU/MP8q3njbxkcw/vefpg0nUzD/3M+MAUxbNPz3E7WcOWM0/"
+    "R5vacHyZzT8po/TQndrNP4FzDDtzG84/QtODX/1bzj8H+FjsPJzOP6+EMY0y3M4/AUll694bzz8HxAiuQlvPP8Vq93lems8/"
+    "1rTd8TLZzz9EeCFb4AvQP/BvyTIEK9A/BJATTgVK0D89Lij642jQP6ynL4Ogh9A/GchWNDum0D89GdNXtMTQP38a5zYM49A/"
+    "vWHmGUMB0T+9pTlIWR/RP+GyYghPPdE/kkoAoCRb0T8B7tFT2njRP7iUu2dwltE/e0/JHuez0T/51zK7PtHRP8MNX3537tE/"
+    "BWHnqJEL0j9kK5t6jSjSP4b3gjJrRdI/nbfjDiti0j9n60FNzX7SPwm2ZCpSm9I/IuRY4rm30j9+4nOwBNTSP76lVs8y8NI/"
+    "X4PweEQM0z9i/IHmOSjTPwDwsyzAmCxAAAClov005j8AYZz/5NxOQA=="
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'log10',
+    "target": 'posit32',
+    "rr_kind": 'log',
+    "pool_len": 140,
+    "pool": _POOL,
+    "data": {'approx': {'log10_1p': {'neg': None,
+                             'pos': {'@pp': {'cols': [0, 4, 2],
+                                             'exps': [1, 2, 3, 4],
+                                             'index_bits': 1,
+                                             'lens': [2, 4],
+                                             'mode': 'packed',
+                                             'shift': 56,
+                                             'start': 1,
+                                             'stride': 1}}}},
+     'function': 'log10',
+     'rr_kind': 'log',
+     'rr_state': {'_entries': 128,
+                  '_pure_exponent': False,
+                  '_scale': {'@f': 8},
+                  '_tab': {'@fv': [9, 128]},
+                  'exponents': {'@t': [{'@t': [1, 2, 3, 4, 5, 6]}]},
+                  'fn_names': {'@t': ['log10_1p']},
+                  'name': 'log10',
+                  'table_bits': 7},
+     'stats': {'counterexamples_folded': 2,
+               'final_check': {'misses': 0, 'n': 6666},
+               'gen_time_s': {'@f': 137},
+               'input_count': 15567,
+               'oracle_time_s': {'@f': 138},
+               'per_fn': {'log10_1p': {'degree': 4, 'npolys': 2, 'terms': 4}},
+               'reduced_count': 14216,
+               'special_count': 192,
+               'total_time_s': {'@f': 139}},
+     'target': 'posit32'},
+}
 
-DATA = {'approx': {'log10_1p': {'neg': None,
-                         'pos': {'index_bits': 1,
-                                 'polys': [((1, 2), (0.43429448168918927, -0.21634697965459707)),
-                                           ((1, 2, 3, 4),
-                                            (0.4342944818222082,
-                                             -0.21714721238216755,
-                                             0.14476247079464138,
-                                             -0.10814685065756999))],
-                                 'shift': 56}}},
- 'function': 'log10',
- 'rr_kind': 'log',
- 'rr_state': {'_entries': 128,
-              '_pure_exponent': False,
-              '_scale': 0.3010299956639812,
-              '_tab': (0.0,
-                       0.003379740651380597,
-                       0.006733382658968403,
-                       0.010061326007895895,
-                       0.013363961557981502,
-                       0.016641671319217427,
-                       0.01989482871693926,
-                       0.02312379884713775,
-                       0.02632893872234915,
-                       0.029510597508538402,
-                       0.032669116753368144,
-                       0.03580483060622672,
-                       0.03891806603036966,
-                       0.04200914300751153,
-                       0.045078374735188116,
-                       0.048126067817193446,
-                       0.05115252244738129,
-                       0.054158032587106525,
-                       0.05714288613656873,
-                       0.06010736510030773,
-                       0.06305174574708902,
-                       0.06597629876440567,
-                       0.06888128940781288,
-                       0.07176697764530107,
-                       0.07463361829690418,
-                       0.07748146116973044,
-                       0.0803107511885947,
-                       0.08312172852242312,
-                       0.08591462870659324,
-                       0.08868968276136537,
-                       0.09144711730655426,
-                       0.09418715467258312,
-                       0.09691001300805642,
-                       0.09961590638398134,
-                       0.10230504489476258,
-                       0.10497763475608944,
-                       0.10763387839982952,
-                       0.11027397456603792,
-                       0.11289811839218673,
-                       0.11550650149971492,
-                       0.11809931207799448,
-                       0.12067673496580517,
-                       0.12323895173040557,
-                       0.12578614074428546,
-                       0.12831847725968054,
-                       0.13083613348092704,
-                       0.13333927863473136,
-                       0.13582807903842609,
-                       0.13830269816628146,
-                       0.14076329671393825,
-                       0.1432100326610256,
-                       0.14564306133202481,
-                       0.1480625354554377,
-                       0.15046860522131614,
-                       0.15286141833720643,
-                       0.1552411200825611,
-                       0.1576078533616681,
-                       0.15996175875514543,
-                       0.16230297457004794,
-                       0.1646316368886306,
-                       0.16694787961581148,
-                       0.1692518345253758,
-                       0.1715436313049606,
-                       0.17382339759985918,
-                       0.17609125905568124,
-                       0.1783473393599054,
-                       0.18059176028235768,
-                       0.18282464171464965,
-                       0.1850461017086077,
-                       0.18725625651372457,
-                       0.18945522061366274,
-                       0.1916431067618383,
-                       0.19382002601611284,
-                       0.1959860877726205,
-                       0.1981413997987554,
-                       0.20028606826534456,
-                       0.2024201977780304,
-                       0.20454389140788592,
-                       0.20665725072128505,
-                       0.20876037580904938,
-                       0.21085336531489318,
-                       0.21293631646318564,
-                       0.2150093250860509,
-                       0.2170724856498243,
-                       0.21912589128088306,
-                       0.22116963379086935,
-                       0.22320380370132248,
-                       0.22522849026773697,
-                       0.22724378150306254,
-                       0.22924976420066115,
-                       0.23124652395673648,
-                       0.23323414519224997,
-                       0.23521271117433787,
-                       0.23718230403724233,
-                       0.23914300480277026,
-                       0.2410948934002923,
-                       0.24303804868629444,
-                       0.24497254846349412,
-                       0.24689846949953256,
-                       0.24881588754525436,
-                       0.2507248773525854,
-                       0.2526255126920196,
-                       0.2545178663697245,
-                       0.25640201024427595,
-                       0.2582780152430313,
-                       0.2601459513781506,
-                       0.26200588776227446,
-                       0.2638578926238679,
-                       0.26570203332223824,
-                       0.2675383763622355,
-                       0.26936698740864357,
-                       0.2711879313002693,
-                       0.27300127206373764,
-                       0.274807072927,
-                       0.2766053963325629,
-                       0.27839630395044385,
-                       0.28017985669086104,
-                       0.2819561147166641,
-                       0.28372513745551076,
-                       0.28548698361179736,
-                       0.2872417111783479,
-                       0.28898937744786796,
-                       0.2907300390241692,
-                       0.29246375183316975,
-                       0.29419057113367575,
-                       0.29591055152794954,
-                       0.29762374697206967,
-                       0.2993302107860868),
-              'exponents': ((1, 2, 3, 4, 5, 6),),
-              'fn_names': ('log10_1p',),
-              'name': 'log10',
-              'table_bits': 7},
- 'stats': {'counterexamples_folded': 2,
-           'final_check': {'misses': 0, 'n': 6666},
-           'gen_time_s': 14.298341175999667,
-           'input_count': 15567,
-           'oracle_time_s': 0.6939685990000726,
-           'per_fn': {'log10_1p': {'degree': 4, 'npolys': 2, 'terms': 4}},
-           'reduced_count': 14216,
-           'special_count': 192,
-           'total_time_s': 61.72573847900094},
- 'target': 'posit32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

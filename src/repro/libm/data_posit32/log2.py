@@ -1,172 +1,75 @@
-"""Generated coefficient data for log2 (posit32).
+"""Generated coefficient data for log2 (posit32) — compact layout v1.
 
 Produced by the RLIBM-32 pipeline (tools/generate_*.py); do not edit by hand.
+Every double lives in the base64 pool below as little-endian 64-bit
+patterns; ``repro.libm.compact.decode`` reproduces the legacy ``DATA`` dict
+bit for bit (accessing ``DATA`` on this module does exactly that).
 """
 
-import math
+# 144 deduplicated doubles, little-endian, base64
+_POOL = (
+    "C20cZUcV9z9i8fJlRxX3P99VtQH2Cue/5a8ve1EV57980gn1GmmFwCTNC8Kp9N4/AAAAAAAAAAA2tdOvlY7xvwAAAAAAAAAA"
+    "Qk/ObH/GVkAAAAAAAAAAAK6i9wrSgbDAAAAAAAAA8D8AAAAAAAAAAFEI77ZQ/oY/KtLChZbnlj8TNBPV0RyhP4f9jnXTuqY/"
+    "X6sKufpNrD+bn6KfOOuwP8PxJ90vqrM/FhPJ+vZjtj9bM0ZuoRi5P7qrrUBCyLs/sqV/Eexyvj/kedqMWIzAP3srVZfR3ME/"
+    "Gq544ukqwz9N94P5qXbEP4jW+zkawMU/fwLv1EIHxz+zAy/QK0zIP99wfgfdjsk/lOy0LV7Pyj/uTdnNtg3MP3BZMkzuSc0/"
+    "TWpO5wuEzj8KaAK5FrzPPwkwsNsKedA/dgvT2gcT0T9w8JGyBazRPzoHDqsHRNI/r5pN/BDb0j/tzaTOJHHTP0kEGztGBtQ/"
+    "ixvNS3ia1D+zlkz8vS3VP4jW+zkawNU/p3tn5I9R1j/eDJ3NIeLWPzz7frrScdc/VBwWY6UA2D8msuBynI7YPwkXH4m6G9k/"
+    "LyMeOQKo2T9RYH8KdjPaP0kff3kYvto/oYI49+tH2z8xkOfp8tDbP1ZbKa0vWdw/fVg6kqTg3D8P6jLgU2fdP0w2QtQ/7d0/"
+    "0lTnoWpy3j8g4ihz1vbeP88Gy2iFet8/m/+Dmnn93z9/mZeL2j/gPz1wf/KcgOA/pjrWAAXB4D/qyFOxEwHhP0TlofrJQOE/"
+    "apdyzyiA4T8O0JUeMb/hPyaBDtPj/eE/yCcn1EE84j/4y4UFTHriP9F6P0cDuOI/Jj/rdWj14j+nnLRqfDLjP2KRbfs/b+M/"
+    "ZyGg+rOr4z8WcJ832efjP6lqmH6wI+Q/OQeimDpf5D+LG81LeJrkP8TOM1tq1eQ/+agIhxEQ5T+OQ6WMbkrlPzSdmCaChOU/"
+    "NRS1DE2+5T+vCR70z/flP0gwVY8LMeY/zIhHjgBq5j8KD1qer6LmP0oZdmoZ2+Y/fGwVmz4T5z9UB07WH0vnP1em3b+9guc/"
+    "5AI1+Ri65z8Wz4IhMvHnP3NwvtUJKOg/JnuysKBe6D+L7wZL95ToP747SzsOy+g/zQIAFuYA6T8vq6BtfzbpP/a1rNLaa+k/"
+    "UOCw0/ig6T+zEFD92dXpPy0RTNp+Cuo/HxiO8+c+6j/IIC/QFXPqP9MUgPUIp+o/M8gR58Ha6j9syLwmQQ7rP4wAqTSHQes/"
+    "2jJVj5R06z9kSZ6zaafrP25+xhwH2us/0118RG0M7D9VoOGinD7sP8fhka6VcOw/FjOp3Fii7D8Hicqg5tPsP5YIJm0/Be0/"
+    "1TF/smM27T8P6jLgU2ftPxVmPWQQmO0/bPU/q5nI7T8sr4Yg8PjtP0ABDi4UKe4/ziKIPAZZ7j9zamKzxojuP/uIyvhVuO4/"
+    "UKmzcbTn7j8wdtuB4hbvP1UGz4vgRe8/rq/v8K507z8zwncRTqPvP/kqf0y+0e8/AKAc+F2YPUAAEK7DO9L8P8AEpPPNmGZA"
+)
 
-# float repr round-trips exactly; the two specials need names
-inf = math.inf
-nan = math.nan
+COMPACT = {
+    "version": 1,
+    "function": 'log2',
+    "target": 'posit32',
+    "rr_kind": 'log',
+    "pool_len": 144,
+    "pool": _POOL,
+    "data": {'approx': {'log2_1p': {'neg': None,
+                            'pos': {'@pp': {'cols': [0, 6, 2],
+                                            'exps': [1, 2, 3, 4, 5, 6],
+                                            'index_bits': 1,
+                                            'lens': [3, 6],
+                                            'mode': 'packed',
+                                            'shift': 56,
+                                            'start': 1,
+                                            'stride': 1}}}},
+     'function': 'log2',
+     'rr_kind': 'log',
+     'rr_state': {'_entries': 128,
+                  '_pure_exponent': True,
+                  '_scale': {'@f': 12},
+                  '_tab': {'@fv': [13, 128]},
+                  'exponents': {'@t': [{'@t': [1, 2, 3, 4, 5, 6]}]},
+                  'fn_names': {'@t': ['log2_1p']},
+                  'name': 'log2',
+                  'table_bits': 7},
+     'stats': {'counterexamples_folded': 7,
+               'final_check': {'misses': 1, 'n': 10000},
+               'gen_time_s': {'@f': 141},
+               'input_count': 22489,
+               'oracle_time_s': {'@f': 142},
+               'per_fn': {'log2_1p': {'degree': 6, 'npolys': 2, 'terms': 6}},
+               'reduced_count': 21132,
+               'special_count': 192,
+               'total_time_s': {'@f': 143}},
+     'target': 'posit32'},
+}
 
-DATA = {'approx': {'log2_1p': {'neg': None,
-                        'pos': {'index_bits': 1,
-                                'polys': [((1, 2, 3),
-                                           (1.442695040669437,
-                                            -0.720088008247952,
-                                            -685.1381626860962)),
-                                          ((1, 2, 3, 4, 5, 6),
-                                           (1.4426950437910695,
-                                            -0.721352329824637,
-                                            0.48368305158438063,
-                                            -1.0973107212297015,
-                                            91.10152740619108,
-                                            -4225.820479848115))],
-                                'shift': 56}}},
- 'function': 'log2',
- 'rr_kind': 'log',
- 'rr_state': {'_entries': 128,
-              '_pure_exponent': True,
-              '_scale': 1.0,
-              '_tab': (0.0,
-                       0.01122725542325412,
-                       0.02236781302845451,
-                       0.03342300153745028,
-                       0.044394119358453436,
-                       0.0552824355011896,
-                       0.06608919045777244,
-                       0.0768155970508309,
-                       0.0874628412503394,
-                       0.09803208296052672,
-                       0.10852445677816905,
-                       0.11894107272350743,
-                       0.12928301694496647,
-                       0.13955135239879354,
-                       0.14974711950468206,
-                       0.1598713367783894,
-                       0.16992500144231237,
-                       0.17990909001493446,
-                       0.18982455888001723,
-                       0.1996723448363644,
-                       0.20945336562894978,
-                       0.21916852046216156,
-                       0.22881869049588088,
-                       0.2384047393250789,
-                       0.2479275134435855,
-                       0.25738784269265175,
-                       0.2667865406949014,
-                       0.27612440527423754,
-                       0.28540221886224837,
-                       0.294620748891627,
-                       0.30378074817710293,
-                       0.31288295528435534,
-                       0.32192809488736235,
-                       0.33091687811461695,
-                       0.33985000288462475,
-                       0.34872815423107756,
-                       0.3575520046180837,
-                       0.3663222142458158,
-                       0.37503943134692475,
-                       0.38370429247405224,
-                       0.3923174227787603,
-                       0.4008794362821843,
-                       0.4093909361377018,
-                       0.41785251488589786,
-                       0.42626475470209796,
-                       0.43462822763672465,
-                       0.4429434958487283,
-                       0.4512111118323288,
-                       0.45943161863729726,
-                       0.4676055500829974,
-                       0.47573343096639775,
-                       0.4838157772642564,
-                       0.4918530963296747,
-                       0.4998458870832054,
-                       0.5077946401986962,
-                       0.5156998382840424,
-                       0.5235619560570128,
-                       0.5313814605163121,
-                       0.5391588111080314,
-                       0.5468944598876366,
-                       0.5545888516776374,
-                       0.5622424242210726,
-                       0.5698556083309478,
-                       0.5774288280357487,
-                       0.5849625007211562,
-                       0.5924570372680804,
-                       0.5999128421871277,
-                       0.6073303137496107,
-                       0.6147098441152082,
-                       0.6220518194563762,
-                       0.6293566200796096,
-                       0.6366246205436489,
-                       0.6438561897747247,
-                       0.6510516911789286,
-                       0.6582114827517948,
-                       0.6653359171851763,
-                       0.6724253419714956,
-                       0.6794800995054461,
-                       0.6865005271832184,
-                       0.6934869574993252,
-                       0.7004397181410922,
-                       0.7073591320808827,
-                       0.7142455176661227,
-                       0.7210991887071851,
-                       0.7279204545631992,
-                       0.7347096202258382,
-                       0.7414669864011469,
-                       0.7481928495894603,
-                       0.7548875021634686,
-                       0.7615512324444793,
-                       0.7681843247769263,
-                       0.7747870596011734,
-                       0.7813597135246596,
-                       0.7879025593914316,
-                       0.794415866350106,
-                       0.8008998999203047,
-                       0.8073549220576041,
-                       0.8137811912170371,
-                       0.8201789624151877,
-                       0.826548487290915,
-                       0.8328900141647416,
-                       0.839203788096944,
-                       0.8454900509443752,
-                       0.8517490414160576,
-                       0.8579809951275721,
-                       0.8641861446542802,
-                       0.8703647195834046,
-                       0.8765169465649997,
-                       0.8826430493618412,
-                       0.8887432488982591,
-                       0.8948177633079435,
-                       0.9008668079807486,
-                       0.9068905956085185,
-                       0.9128893362299616,
-                       0.9188632372745945,
-                       0.9248125036057809,
-                       0.9307373375628862,
-                       0.9366379390025705,
-                       0.9425145053392399,
-                       0.9483672315846776,
-                       0.9541963103868752,
-                       0.9600019320680809,
-                       0.965784284662087,
-                       0.971543553950772,
-                       0.9772799234999164,
-                       0.9829935746943101,
-                       0.9886846867721658,
-                       0.9943534368588579),
-              'exponents': ((1, 2, 3, 4, 5, 6),),
-              'fn_names': ('log2_1p',),
-              'name': 'log2',
-              'table_bits': 7},
- 'stats': {'counterexamples_folded': 7,
-           'final_check': {'misses': 1, 'n': 10000},
-           'gen_time_s': 29.595183855999494,
-           'input_count': 22489,
-           'oracle_time_s': 1.801326526999219,
-           'per_fn': {'log2_1p': {'degree': 6, 'npolys': 2, 'terms': 6}},
-           'reduced_count': 21132,
-           'special_count': 192,
-           'total_time_s': 180.7751405910003},
- 'target': 'posit32'}
+
+def __getattr__(name):
+    """PEP 562: decode the legacy DATA dict on first access."""
+    if name != "DATA":
+        raise AttributeError(name)
+    from repro.libm.compact import decode
+
+    data = globals()["DATA"] = decode(COMPACT)
+    return data

@@ -145,7 +145,16 @@ def load_function(fn_name: str, target: str = "float32",
             raise LookupError(
                 f"no frozen data for {fn_name}/{target}; generate it with "
                 f"'python -m repro generate --target {target}'")
-        fn = function_from_dict(mod.DATA)
+        comp = getattr(mod, "COMPACT", None)
+        if comp is not None:
+            # compact frozen layout: decode the pool directly and keep
+            # its zero-copy views (frozen gathered columns, primed rr
+            # tables) — never materialize the legacy literal dict here
+            from repro.libm.compact import function_from_compact
+
+            fn = function_from_compact(comp)
+        else:
+            fn = function_from_dict(mod.DATA)
         _cache[key] = fn
     if instrumented:
         return instrument(fn)

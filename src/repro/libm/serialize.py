@@ -9,9 +9,13 @@ generation statistics — into a plain-Python data module under
 library only reads those modules; importing it never touches the oracle
 or the LP solver.
 
-Everything is serialized as Python literals (float ``repr`` round-trips
-exactly), mirroring how RLIBM-32 emits C source files with hex-float
-coefficient tables.
+Shipped modules use the compact frozen-table layout
+(:mod:`repro.libm.compact`): every double travels as its little-endian
+64-bit pattern inside one base85 pool — the plain-Python analogue of
+how RLIBM-32 emits C source files with hex-float coefficient tables —
+and the legacy literal ``DATA`` dict is decoded lazily on first access.
+:func:`render_module_legacy` keeps the original all-literals rendering
+(float ``repr`` round-trips exactly) as the diffable reference form.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from repro.rangereduction.sinhcosh import SinhCoshReduction
 from repro.rangereduction.sinpicospi import CosPiReduction, SinPiReduction
 
 __all__ = ["function_to_dict", "function_from_dict", "render_module",
-           "render_certificate", "TARGETS_BY_NAME"]
+           "render_module_legacy", "render_certificate", "TARGETS_BY_NAME"]
 
 _RR_CLASSES: dict[str, type[RangeReduction]] = {
     "log": LogReduction,
@@ -189,12 +193,18 @@ def _verify_rendered(source: str, data: dict[str, Any]) -> None:
             "was lost)")
 
 
-def render_module(data: dict[str, Any]) -> str:
-    """Render the frozen data as a Python source module.
+def render_module_legacy(data: dict[str, Any]) -> str:
+    """Render the frozen data as a literal-``DATA`` source module.
 
-    The result is verified before it is returned (see
-    :func:`_verify_rendered`): rendering that would freeze a table the
-    static verifier rejects raises instead of writing bad data.
+    The pre-compact rendering: every double as a ``repr`` literal.  The
+    shipped packages use :func:`render_module` (compact layout) instead;
+    this form remains the reference for diffing, for the TC210
+    round-trip check (:mod:`repro.analysis.tablecheck` re-renders each
+    decoded compact module through *this* renderer), and for tests that
+    need an import-shaped legacy module.  The result is verified before
+    it is returned (see :func:`_verify_rendered`): rendering that would
+    freeze a table the static verifier rejects raises instead of
+    writing bad data.
     """
     body = pprint.pformat(data, width=100, sort_dicts=True)
     source = (
@@ -209,6 +219,25 @@ def render_module(data: dict[str, Any]) -> str:
     )
     _verify_rendered(source, data)
     return source
+
+
+def render_module(data: dict[str, Any]) -> str:
+    """Render the frozen data as a compact-layout source module.
+
+    Shipped data modules use the compact frozen-table layout of
+    :mod:`repro.libm.compact`: every double lives in one base85 pool of
+    little-endian bit patterns, piecewise sides are deduplicated behind
+    an index indirection, and the legacy ``DATA`` dict is decoded
+    lazily (PEP 562) on first attribute access — so every dict-level
+    consumer (tablecheck, certify, diffing) keeps working unchanged.
+    The render is verified before it is returned: the source must
+    contain no float literal at all, must round-trip its ``COMPACT``
+    blob through ``exec``, and the decoded blob must reproduce ``data``
+    bit for bit.
+    """
+    from repro.libm.compact import render_compact
+
+    return render_compact(data)
 
 
 def render_certificate(data: dict[str, Any],

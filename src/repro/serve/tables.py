@@ -7,11 +7,9 @@ processes :func:`attach` the segment and rebuild runnable
 :class:`~repro.batch.engine.BatchFunction` pipelines whose
 gathered-Horner kernels read the coefficient columns *in place* —
 zero-copy, read-only views straight into the arena.  A worker never
-imports ``repro.libm.data_*`` (importing all eighteen shipped modules
-costs ~0.7 s and ~90 MB of private RSS per process; attaching the arena
-is milliseconds and the pages are shared).
+imports ``repro.libm.data_*``.
 
-Arena layout::
+Arena layout (format version 2)::
 
     [0:8)    magic  b"RLSARENA"
     [8:12)   format version (uint32 LE)
@@ -19,14 +17,28 @@ Arena layout::
     [20:20+M) pickled manifest (built by this module, never from the wire)
     [...]    8-byte-aligned float64 coefficient arena
 
-The manifest maps ``"fn:target"`` keys to everything a worker needs
-*except* the coefficients: the range reduction's kind + frozen state,
-and per elementary function a descriptor per sign — either
-``mode="gathered"`` (shift/index_bits/Horner structure plus the arena
-offset of its padded column block) or ``mode="inline"`` (the raw
-piecewise dict, for the rare table the padded gathered form cannot
-represent bit-identically; see
-:func:`repro.batch.kernels.padded_tables`).
+The float64 arena is **content-addressed**: every block (padded
+coefficient columns, range-reduction tables) is deduplicated by its
+bytes at publish time, so e.g. ``sinh`` and ``cosh`` — which share
+their compensation tables — store them once, across modules.  The
+manifest maps ``"fn:target"`` keys to everything a worker needs
+*except* the doubles:
+
+* the range reduction's kind + frozen state, with every float-vector
+  table lifted out of the pickled state into the arena
+  (``rr_vecs``: attr → (byte offset, length)); the attach rebuilds the
+  tuples and *primes* the batch table cache
+  (:func:`repro.batch.reduce.prime`) with the zero-copy arena views,
+  so the hot path never re-converts them;
+* per elementary function either one ``mode="merged"`` descriptor
+  (both signs folded into a single deduplicated gathered table, see
+  :func:`repro.batch.kernels.merged_sign_tables`), or a descriptor per
+  sign — ``mode="gathered"`` (shift/index_bits/Horner structure, the
+  arena offset of the *unique*-column block, and the slot→unique index
+  indirection as little-endian u32 bytes) or ``mode="inline"`` (the
+  raw piecewise dict, for the rare table the padded gathered form
+  cannot represent bit-identically; see
+  :func:`repro.batch.kernels.padded_tables`).
 
 Trust boundary (see DESIGN.md): the arena is *versioned against table
 content* — the manifest records a SHA-256 over the descriptors and the
@@ -42,22 +54,28 @@ import hashlib
 import pickle
 import secrets
 from multiprocessing import resource_tracker, shared_memory
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.batch.engine import BatchFunction
-from repro.batch.kernels import gathered_kernel, padded_tables
+from repro.batch.kernels import (frozen_from_polys, gathered_kernel,
+                                 merged_kernel, merged_sign_tables)
+from repro.batch.reduce import FrozenGather
 from repro.batch.rounding import decode_kernel
 from repro.core.piecewise import PiecewisePolynomial
-from repro.core.polynomials import Polynomial, horner_structure
+from repro.core.polynomials import Polynomial
 
 __all__ = ["ARENA_VERSION", "ArenaError", "AttachedArena", "PublishedArena",
            "arena_key", "attach", "build_manifest", "publish"]
 
-ARENA_VERSION = 1
+ARENA_VERSION = 2
 _MAGIC = b"RLSARENA"
 _HEAD = len(_MAGIC) + 4 + 8  # magic + version + manifest length
+
+#: float-vector rr attributes shorter than this stay pickled in the
+#: manifest; longer ones move into the content-addressed arena
+_VEC_MIN = 16
 
 #: mappings that could not unmap at close() because exported views were
 #: still alive; kept referenced so the finalizer never re-raises
@@ -77,33 +95,61 @@ def _align8(n: int) -> int:
     return (n + 7) & ~7
 
 
-def _side_descriptor(pp: PiecewisePolynomial | None,
-                     blocks: list[np.ndarray], offset: int):
-    """Descriptor for one sign's piecewise table; appends arena blocks.
+class _BlockPool:
+    """Content-addressed float64 block store (dedup by exact bytes)."""
 
-    Returns ``(descriptor, new_offset)``.  Gathered mode stores the
-    padded column matrix (``nterms`` x ``npolys`` float64, row-major) at
-    ``offset``; inline mode embeds the polynomial literals directly in
-    the manifest (tiny, and only used where padding is unsound).
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._offsets: dict[bytes, int] = {}
+        self.nbytes = 0
+
+    def add(self, arr: np.ndarray) -> int:
+        """Byte offset of this block in the arena, storing it once."""
+        raw = np.ascontiguousarray(arr, dtype=np.float64).tobytes()
+        off = self._offsets.get(raw)
+        if off is None:
+            off = self.nbytes
+            self._offsets[raw] = off
+            self._chunks.append(raw)
+            self.nbytes += len(raw)
+        return off
+
+    def tobytes(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+def _index_bytes(index: Optional[np.ndarray]):
+    if index is None:
+        return None
+    return index.astype("<u4").tobytes()
+
+
+def _side_descriptor(pp: PiecewisePolynomial | None, pool: _BlockPool):
+    """Descriptor for one sign's piecewise table; pools its columns.
+
+    Gathered mode stores the deduplicated padded column matrix
+    (``nterms`` x ``nuniq`` float64, row-major) in the arena plus the
+    slot→unique indirection in the manifest; inline mode embeds the
+    polynomial literals directly (tiny: single-polynomial sides and the
+    rare table where padding is unsound).
     """
     if pp is None:
-        return None, offset
-    padded = padded_tables(pp.polys) if pp.index_bits else None
-    if padded is None:
-        desc = {"mode": "inline",
+        return None
+    fz = pp.__dict__.get("_frozen")
+    if not (isinstance(fz, FrozenGather) and fz.index_bits == pp.index_bits
+            and fz.shift == pp.shift):
+        fz = frozen_from_polys(pp)
+    if fz is None:
+        return {"mode": "inline",
                 "index_bits": pp.index_bits, "shift": pp.shift,
                 "polys": [(tuple(p.exponents), tuple(p.coefficients))
                           for p in pp.polys]}
-        return desc, offset
-    start, stride, cols = padded
-    block = np.ascontiguousarray(np.stack(cols))  # (nterms, npolys)
-    blocks.append(block)
-    desc = {"mode": "gathered",
-            "shift": pp.shift, "index_bits": pp.index_bits,
-            "start": start, "stride": stride,
-            "nterms": block.shape[0], "npolys": block.shape[1],
-            "offset": offset}
-    return desc, offset + block.nbytes
+    return {"mode": "gathered",
+            "shift": fz.shift, "index_bits": fz.index_bits,
+            "start": fz.start, "stride": fz.stride,
+            "nterms": fz.cols.shape[0], "nuniq": fz.cols.shape[1],
+            "offset": pool.add(fz.cols),
+            "index": _index_bytes(fz.index)}
 
 
 def build_manifest(pairs: Sequence[tuple[str, str]]):
@@ -116,24 +162,42 @@ def build_manifest(pairs: Sequence[tuple[str, str]]):
     from repro.libm.runtime import load_function
     from repro.libm.serialize import _RR_KIND, _rr_state
 
-    blocks: list[np.ndarray] = []
+    pool = _BlockPool()
     entries: dict[str, Any] = {}
-    offset = 0
     for function, target in pairs:
         fn = load_function(function, target)
         rr = fn.spec.rr
         fns = []
         for name in rr.fn_names:
             af = fn.approx[name]
-            neg, offset = _side_descriptor(af.neg, blocks, offset)
-            pos, offset = _side_descriptor(af.pos, blocks, offset)
-            fns.append({"name": name, "neg": neg, "pos": pos})
+            merged = merged_sign_tables(af)
+            if merged is not None:
+                smin, w, start, stride, grid, index = merged
+                fns.append({"name": name, "merged": {
+                    "mode": "merged", "smin": smin, "w": w,
+                    "start": start, "stride": stride,
+                    "nterms": grid.shape[0], "nuniq": grid.shape[1],
+                    "offset": pool.add(grid),
+                    "index": _index_bytes(index)}})
+            else:
+                fns.append({"name": name,
+                            "neg": _side_descriptor(af.neg, pool),
+                            "pos": _side_descriptor(af.pos, pool)})
+        state = _rr_state(rr)
+        rr_vecs: dict[str, tuple[int, int]] = {}
+        for attr in sorted(state):
+            v = state[attr]
+            if isinstance(v, tuple) and len(v) >= _VEC_MIN \
+                    and all(type(x) is float for x in v):
+                rr_vecs[attr] = (pool.add(np.array(v, dtype=np.float64)),
+                                 len(v))
+                del state[attr]
         entries[arena_key(function, target)] = {
             "function": function, "target": target,
-            "rr_kind": _RR_KIND[type(rr)], "rr_state": _rr_state(rr),
-            "fns": fns,
+            "rr_kind": _RR_KIND[type(rr)], "rr_state": state,
+            "rr_vecs": rr_vecs, "fns": fns,
         }
-    arena = b"".join(b.tobytes() for b in blocks)
+    arena = pool.tobytes()
     manifest = {"version": ARENA_VERSION, "entries": entries,
                 "arena_nbytes": len(arena)}
     manifest["content_hash"] = _content_hash(manifest, arena)
@@ -199,7 +263,8 @@ class AttachedArena:
     """A read-only view of a published arena in (usually) another process.
 
     :meth:`batch_function` rebuilds the full batch pipeline for one
-    key — range reduction from its pickled state, Horner kernels as
+    key — range reduction from its pickled state (float-vector tables
+    rebuilt from, and primed with, arena views), Horner kernels as
     zero-copy views into the segment — and memoizes it.
     """
 
@@ -217,21 +282,28 @@ class AttachedArena:
         """The ``"fn:target"`` keys this arena serves."""
         return sorted(self.manifest["entries"])
 
-    def _cols(self, desc: dict) -> list[np.ndarray]:
-        """Read-only per-Horner-step column views for a gathered block."""
-        n = desc["nterms"] * desc["npolys"]
+    def _block(self, desc: dict) -> np.ndarray:
+        """Read-only (nterms, nuniq) column view of one pooled block."""
+        n = desc["nterms"] * desc["nuniq"]
         start = desc["offset"] // 8
-        block = self._arena[start:start + n].reshape(
-            desc["nterms"], desc["npolys"])
-        return [block[t] for t in range(desc["nterms"])]
+        return self._arena[start:start + n].reshape(
+            desc["nterms"], desc["nuniq"])
+
+    @staticmethod
+    def _index(desc: dict) -> Optional[np.ndarray]:
+        raw = desc.get("index")
+        if raw is None:
+            return None
+        return np.frombuffer(raw, dtype="<u4").astype(np.intp)
 
     def _side_kernel(self, desc: dict | None):
         if desc is None:
             return None
         if desc["mode"] == "gathered":
+            block = self._block(desc)
             return gathered_kernel(desc["shift"], desc["index_bits"],
                                    desc["start"], desc["stride"],
-                                   self._cols(desc))
+                                   list(block), self._index(desc))
         from repro.batch.kernels import compile_piecewise
 
         polys = tuple(Polynomial(tuple(e), tuple(c))
@@ -244,20 +316,33 @@ class AttachedArena:
         bf = self._funcs.get(key)
         if bf is not None:
             return bf
-        from repro.batch.kernels import compile_approx  # noqa: F401 (doc)
+        from repro.batch.reduce import prime
         from repro.libm.serialize import TARGETS_BY_NAME, _rr_from_state
 
         entry = self.manifest["entries"].get(key)
         if entry is None:
             raise ArenaError(f"arena {self.name} does not serve {key!r}")
         target = TARGETS_BY_NAME[entry["target"]]
-        rr = _rr_from_state(entry["rr_kind"], dict(entry["rr_state"]),
-                            target)
+        state = dict(entry["rr_state"])
+        primed: list[tuple[str, np.ndarray]] = []
+        for attr, (off, n) in entry.get("rr_vecs", {}).items():
+            view = self._arena[off // 8:off // 8 + n]
+            state[attr] = tuple(view.tolist())
+            primed.append((attr, view))
+        rr = _rr_from_state(entry["rr_kind"], state, target)
+        for attr, view in primed:
+            prime(rr, attr, view)
         kernels = []
         for fd in entry["fns"]:
-            neg = self._side_kernel(fd["neg"])
-            pos = self._side_kernel(fd["pos"])
-            kernels.append(_sign_dispatch(neg, pos))
+            if "merged" in fd:
+                desc = fd["merged"]
+                kernels.append(merged_kernel(
+                    desc["smin"], desc["w"], desc["start"], desc["stride"],
+                    self._block(desc), self._index(desc)))
+            else:
+                neg = self._side_kernel(fd["neg"])
+                pos = self._side_kernel(fd["pos"])
+                kernels.append(_sign_dispatch(neg, pos))
         bf = BatchFunction.from_parts(rr, kernels, target)
         self._funcs[key] = bf
         return bf

@@ -32,9 +32,13 @@ def data_modulo_timing(path: pathlib.Path) -> dict:
     and final-check tallies — must be bit-identical across serial,
     parallel, and resumed runs.
     """
+    from repro.libm.compact import decode
+
     ns: dict = {}
     exec(compile(path.read_text(), str(path), "exec"), ns)
-    data = ns["DATA"]
+    # compact layout: a plain exec exposes COMPACT, not the lazily
+    # decoded DATA (PEP 562 only fires on real module objects)
+    data = decode(ns["COMPACT"]) if "COMPACT" in ns else ns["DATA"]
     for key in TIMING_KEYS:
         data["stats"].pop(key, None)
     return data

@@ -1,0 +1,431 @@
+"""Tests for the compact frozen-table layout (repro.libm.compact).
+
+The compact codec carries every double as its 64-bit pattern, so its
+one hard contract is *bit identity*: ``decode(encode(data))`` must
+reproduce the legacy ``DATA`` dict exactly, a compact-loaded function
+must agree with the dict-loaded one on every output bit, and the
+evaluation-side views it primes (frozen gathered columns, rr tables)
+must never change a result — only where it is computed from.
+"""
+
+import base64
+import importlib
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.reduce import FrozenGather
+from repro.libm import compact
+from repro.libm.compact import (CompactError, decode, decode_module, encode,
+                                function_from_compact, render_compact)
+from repro.libm.serialize import (_deep_equal, function_from_dict,
+                                  function_to_dict)
+
+SHIPPED = [("float32", f) for f in ("ln", "log2", "log10", "exp", "exp2",
+                                    "exp10", "sinh", "cosh", "sinpi",
+                                    "cospi")] + \
+          [("posit32", f) for f in ("ln", "log2", "log10", "exp", "exp2",
+                                    "exp10", "sinh", "cosh")]
+
+
+def _shipped_module(target: str, name: str):
+    return importlib.import_module(f"repro.libm.data_{target}.{name}")
+
+
+# ---------------------------------------------------------------------------
+# generic skeleton codec
+
+
+finite_floats = st.floats(allow_nan=False, width=64)
+any_floats = st.floats(width=64)  # nan/inf included: the pool stores bits
+leaf = st.one_of(any_floats, st.integers(-2**40, 2**40),
+                 st.text(max_size=8), st.booleans(), st.none())
+skeleton = st.recursive(
+    leaf,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(
+            st.text(min_size=1, max_size=6).filter(
+                lambda s: not s.startswith("@")),
+            inner, max_size=4)),
+    max_leaves=24)
+
+
+class TestSkeletonCodec:
+    @given(st.dictionaries(st.sampled_from("abcdef"), skeleton, max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_is_bit_identical(self, data):
+        assert _deep_equal(decode(encode(data)), data)
+
+    def test_specials_survive(self):
+        data = {"v": (math.inf, -math.inf, math.nan, 0.0, -0.0, 5e-324)}
+        out = decode(encode(data))
+        assert _deep_equal(out, data)
+        # -0.0 and subnormals by bit pattern, not just value
+        for got, want in zip(out["v"], data["v"]):
+            assert struct.pack("<d", got) == struct.pack("<d", want)
+
+    def test_tuple_vs_list_distinction(self):
+        data = {"t": (1.0, 2.0), "l": [1.0, 2.0]}
+        out = decode(encode(data))
+        assert type(out["t"]) is tuple and type(out["l"]) is list
+
+    def test_at_keys_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="@"):
+            encode({"x": {"@f": 1}})
+
+    def test_float_subclass_rejected(self):
+        class Sneaky(float):
+            pass
+
+        with pytest.raises(ValueError):
+            encode({"x": Sneaky(1.5)})
+
+    def test_pool_deduplicates_identical_vectors(self):
+        data = {"a": (1.5, 2.5, 3.5), "b": (1.5, 2.5, 3.5),
+                "c": [1.5, 2.5, 3.5]}
+        comp = encode(data)
+        assert comp["pool_len"] == 3
+        assert _deep_equal(decode(comp), data)
+
+
+class TestBlobValidation:
+    def _good(self):
+        return encode({"x": 1.25, "v": (0.5, 0.75)})
+
+    def test_version_mismatch(self):
+        comp = self._good()
+        comp["version"] = 99
+        with pytest.raises(CompactError, match="version"):
+            decode(comp)
+
+    def test_torn_pool(self):
+        comp = self._good()
+        raw = base64.b64decode(comp["pool"])
+        comp["pool"] = base64.b64encode(raw[:-3]).decode("ascii")
+        with pytest.raises(CompactError):
+            decode(comp)
+
+    def test_pool_len_mismatch(self):
+        comp = self._good()
+        comp["pool_len"] += 1
+        with pytest.raises(CompactError, match="pool_len"):
+            decode(comp)
+
+    def test_reference_outside_pool(self):
+        comp = encode({"x": 1.25})
+        comp["data"]["x"] = {"@f": 10_000}
+        with pytest.raises(CompactError, match="outside"):
+            decode(comp)
+
+    def test_malformed_marker(self):
+        comp = encode({"x": 1.25})
+        comp["data"]["x"] = {"@f": 0, "extra": 1}
+        with pytest.raises(CompactError, match="marker"):
+            decode(comp)
+
+    def test_pool_is_read_only(self):
+        dec = decode_module(encode({"v": (1.0, 2.0, 3.0)}))
+        with pytest.raises(ValueError):
+            dec.pool[0] = 9.0
+
+
+# ---------------------------------------------------------------------------
+# piecewise sides: packing decision, dedup, frozen views
+
+
+class TestSidePacking:
+    def _side(self, polys, bits=None, shift=52):
+        import math as m
+
+        bits = bits if bits is not None else m.frexp(len(polys))[1] - 1
+        assert 1 << bits == len(polys)
+        return {"index_bits": bits, "shift": shift, "polys": polys}
+
+    def _encode_side(self, side):
+        data = {"approx": {"f": {"neg": None, "pos": side}}}
+        comp = encode(data)
+        return comp, comp["data"]["approx"]["f"]["pos"]
+
+    def test_shared_prefix_side_is_packed(self):
+        side = self._side([((0, 1, 2), (1.0, 2.0, 3.0)),
+                           ((0, 1), (4.0, 5.0)),
+                           ((0, 1, 2), (6.0, 7.0, 8.0)),
+                           ((0,), (9.0,))])
+        comp, node = self._encode_side(side)
+        assert node["@pp"]["mode"] == "packed"
+        assert _deep_equal(
+            decode(comp)["approx"]["f"]["pos"], side)
+
+    def test_zero_top_coefficient_forces_raw(self):
+        # a shorter row ending in 0.0 is exactly the case padding may
+        # not fold (0.0*u + c flips a signed zero); the codec must make
+        # the same call as repro.batch.kernels.padded_tables
+        from repro.batch.kernels import padded_tables
+        from repro.libm.serialize import _piecewise_from_dict
+
+        side = self._side([((0, 1, 2), (1.0, 2.0, 3.0)),
+                           ((0, 1), (4.0, 0.0))])
+        comp, node = self._encode_side(side)
+        assert node["@pp"]["mode"] == "raw"
+        assert padded_tables(_piecewise_from_dict(side).polys) is None
+        assert _deep_equal(decode(comp)["approx"]["f"]["pos"], side)
+
+    def test_packed_decision_agrees_with_padded_tables(self):
+        # the two independent decision procedures must agree on every
+        # shipped side: packed <=> padded_tables succeeds
+        from repro.batch.kernels import padded_tables
+        from repro.libm.serialize import _piecewise_from_dict
+
+        for target, name in SHIPPED:
+            mod = _shipped_module(target, name)
+            comp = mod.COMPACT
+            for fn_name, sides in comp["data"]["approx"].items():
+                for side_name, node in sides.items():
+                    if not (isinstance(node, dict) and "@pp" in node):
+                        continue
+                    legacy = decode(comp)["approx"][fn_name][side_name]
+                    pp = _piecewise_from_dict(legacy)
+                    packed = node["@pp"]["mode"] == "packed"
+                    padded = (pp.index_bits > 0
+                              and padded_tables(pp.polys) is not None)
+                    assert packed == padded, (target, name, fn_name,
+                                              side_name)
+
+    def test_dedup_is_bit_exact(self):
+        # 0.0 and -0.0 coefficients must NOT merge
+        side = self._side([((0, 1), (1.0, 0.0)),
+                           ((0, 1), (1.0, -0.0))])
+        comp, node = self._encode_side(side)
+        out = decode(comp)["approx"]["f"]["pos"]
+        c0, c1 = out["polys"][0][1][1], out["polys"][1][1][1]
+        assert struct.pack("<d", c0) != struct.pack("<d", c1)
+        assert _deep_equal(out, side)
+
+    def test_duplicate_slots_share_one_unique(self):
+        row = ((0, 1, 2), (1.5, 2.5, 3.5))
+        side = self._side([row, row, row, ((0, 1, 2), (4.0, 5.0, 6.0))])
+        comp, node = self._encode_side(side)
+        pp = node["@pp"]
+        assert pp["cols"][2] == 2  # nuniq
+        assert "index" in pp or "index_b64" in pp
+        assert _deep_equal(decode(comp)["approx"]["f"]["pos"], side)
+
+    def test_frozen_gather_attached_for_packed_sides(self):
+        side = self._side([((0, 1, 2), (1.0, 2.0, 3.0)),
+                           ((0, 1, 2), (4.0, 5.0, 6.0))])
+        comp, _node = self._encode_side(side)
+        dec = decode_module(comp)
+        fz = dec.frozen[("f", "pos")]
+        assert isinstance(fz, FrozenGather)
+        assert fz.cols.shape == (3, 2)
+        assert fz.cols.base is not None  # zero-copy view into the pool
+
+
+# ---------------------------------------------------------------------------
+# shipped modules: the real contract
+
+
+class TestShippedModules:
+    @pytest.mark.parametrize("target,name", SHIPPED)
+    def test_lazy_data_matches_compact_decode(self, target, name):
+        mod = _shipped_module(target, name)
+        assert _deep_equal(mod.DATA, decode(mod.COMPACT))
+
+    @pytest.mark.parametrize("target,name", SHIPPED)
+    def test_render_round_trips(self, target, name):
+        # render_compact self-verifies (AST scan + exec + bit compare);
+        # re-render the shipped dict and prove the verifier stays green
+        mod = _shipped_module(target, name)
+        assert "COMPACT" in render_compact(mod.DATA)
+
+    def test_compact_function_bit_identical_scalar(self):
+        # stratified scalar differential: compact-loaded vs dict-loaded
+        rng = np.random.default_rng(2021)
+        for target, name in [("float32", "sinh"), ("float32", "exp"),
+                             ("posit32", "log2")]:
+            mod = _shipped_module(target, name)
+            via_compact = function_from_compact(mod.COMPACT)
+            via_dict = function_from_dict(mod.DATA)
+            if target == "float32":
+                xs = np.concatenate([
+                    rng.uniform(-10, 10, 200),
+                    rng.uniform(-1e-3, 1e-3, 100),
+                    [0.0, -0.0, 1.0, -1.0, math.inf, -math.inf, math.nan],
+                ])
+            else:
+                xs = np.concatenate([rng.uniform(0.01, 100, 300),
+                                     [1.0, 2.0, 0.5]])
+            for x in xs:
+                x = float(x)
+                a = via_compact.evaluate_bits(x)
+                b = via_dict.evaluate_bits(x)
+                assert a == b, (target, name, x)
+
+    def test_compact_function_bit_identical_batch(self):
+        from repro.batch.engine import BatchFunction
+
+        rng = np.random.default_rng(7)
+        for target, name in [("float32", "cosh"), ("posit32", "exp10")]:
+            mod = _shipped_module(target, name)
+            bf_c = BatchFunction(function_from_compact(mod.COMPACT))
+            bf_d = BatchFunction(function_from_dict(mod.DATA))
+            if target == "float32":
+                xs = rng.uniform(-80, 80, 50_000)
+                xs[::97] = -0.0
+                xs[1::97] = 0.0
+                xs[2::997] = np.nan
+            else:
+                xs = rng.uniform(1e-6, 1e6, 50_000)
+            got = bf_c.evaluate_bits_many(xs)
+            want = bf_d.evaluate_bits_many(xs)
+            assert (got == want).all(), (target, name)
+
+    def test_frozen_views_prime_the_batch_caches(self):
+        from repro.batch.reduce import table
+
+        mod = _shipped_module("float32", "sinh")
+        fn = function_from_compact(mod.COMPACT)
+        dec = decode_module(mod.COMPACT)
+        rr = fn.spec.rr
+        for attr, (off, n) in dec.rr_vectors.items():
+            arr = table(rr, attr)
+            assert not arr.flags.writeable  # primed view, not a copy
+            assert np.array_equal(arr, dec.pool[off:off + n])
+        assert dec.frozen  # sinh carries packed sides
+        for (fn_name, side_name), fz in dec.frozen.items():
+            af = fn.approx[fn_name]
+            pp = af.neg if side_name == "neg" else af.pos
+            got = pp.__dict__["_frozen"]
+            assert isinstance(got, FrozenGather)
+            assert got.cols.tobytes() == fz.cols.tobytes()
+
+    @pytest.mark.parametrize("target,name", SHIPPED)
+    def test_certificates_still_verify(self, target, name):
+        # certify smoke on every shipped cert against the compact DATA
+        import json
+        from pathlib import Path
+
+        from repro.analysis.certify.verify import verify_certificate
+
+        mod = _shipped_module(target, name)
+        cert_path = Path(mod.__file__).with_suffix("").with_suffix("") \
+            .parent / f"{name}.cert.json"
+        cert = json.loads(cert_path.read_text())
+        findings = verify_certificate(cert, mod.DATA, str(cert_path))
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# tablecheck TC210
+
+
+class TestTC210:
+    def test_shipped_modules_pass(self):
+        from repro.analysis.tablecheck import run_tablecheck
+
+        n, findings = run_tablecheck()
+        assert n == 18
+        assert findings == []
+
+    def test_torn_pool_is_flagged(self, tmp_path):
+        from repro.analysis.tablecheck import (_Checker, _check_compact,
+                                               load_module_from_path)
+
+        mod = _shipped_module("float32", "exp")
+        src = render_compact(mod.DATA)
+        # drop one full pool line: still valid python and valid base64,
+        # but the pool no longer holds pool_len doubles — a torn blob
+        lines = src.splitlines(keepends=True)
+        pool_lines = [i for i, l in enumerate(lines)
+                      if l.startswith('    "')]
+        del lines[pool_lines[len(pool_lines) // 2]]
+        p = tmp_path / "exp.py"
+        p.write_text("".join(lines))
+        tampered = load_module_from_path(p)
+        c = _Checker(str(p))
+        _check_compact(c, tampered)
+        assert any(f.rule == "TC210" for f in c.findings)
+
+    def test_stale_hybrid_module_is_flagged(self, tmp_path):
+        from repro.analysis.tablecheck import (_Checker, _check_compact,
+                                               load_module_from_path)
+
+        mod = _shipped_module("float32", "ln")
+        src = render_compact(mod.DATA)
+        # a literal DATA left beside COMPACT that disagrees with it
+        src += "\nDATA = {'stale': True}\n"
+        p = tmp_path / "ln.py"
+        p.write_text(src)
+        c = _Checker(str(p))
+        _check_compact(c, load_module_from_path(p))
+        assert any(f.rule == "TC210" for f in c.findings)
+
+
+# ---------------------------------------------------------------------------
+# kernel equivalence: specialized / merged vs generic
+
+
+@pytest.mark.batch
+class TestKernelEquivalence:
+    def _lanes(self, rng, pp):
+        # raw double bit patterns that exercise every sub-domain slot,
+        # plus the sign/zero/NaN hazards
+        r = rng.uniform(-2.0, 2.0, 4096)
+        r[::31] = 0.0
+        r[1::31] = -0.0
+        r[2::311] = np.nan
+        return r
+
+    def test_specialized_matches_generic_on_shipped_sides(self):
+        from repro.batch.kernels import gathered_kernel
+
+        rng = np.random.default_rng(11)
+        checked = 0
+        for target, name in SHIPPED:
+            dec = decode_module(_shipped_module(target, name).COMPACT)
+            for key, fz in dec.frozen.items():
+                r = self._lanes(rng, None)
+                fast = gathered_kernel(fz.shift, fz.index_bits, fz.start,
+                                       fz.stride, list(fz.cols), fz.index,
+                                       specialize=True)
+                slow = gathered_kernel(fz.shift, fz.index_bits, fz.start,
+                                       fz.stride, list(fz.cols), fz.index,
+                                       specialize=False)
+                a, b = fast(r), slow(r)
+                assert a.tobytes() == b.tobytes(), (target, name, key)
+                checked += 1
+        assert checked >= 10
+
+    def test_merged_matches_sign_dispatch_on_shipped_tables(self):
+        from repro.batch.kernels import (compile_piecewise, merged_kernel,
+                                         merged_sign_tables)
+        from repro.libm.runtime import load_function
+
+        rng = np.random.default_rng(13)
+        merged_seen = 0
+        for target, name in [("float32", "sinh"), ("float32", "cosh"),
+                             ("float32", "exp"), ("posit32", "exp2")]:
+            fn = load_function(name, target)
+            for fn_name in fn.spec.rr.fn_names:
+                af = fn.approx[fn_name]
+                m = merged_sign_tables(af)
+                if m is None:
+                    continue
+                merged_seen += 1
+                fast = merged_kernel(*m)
+                neg = compile_piecewise(af.neg) if af.neg else None
+                pos = compile_piecewise(af.pos) if af.pos else None
+                r = self._lanes(rng, None)
+                want = np.empty_like(r)
+                mask = r < 0.0  # -0.0 and NaN land on pos, like scalar
+                want[mask] = neg(r[mask])
+                want[~mask] = pos(r[~mask])
+                assert fast(r).tobytes() == want.tobytes(), (target, name,
+                                                             fn_name)
+        assert merged_seen >= 2

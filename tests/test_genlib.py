@@ -71,8 +71,13 @@ class TestGenerateLibrary:
                          seed=5, log=lambda s: None)
         path = tmp_path / "exp2.py"
         assert path.exists()
+        # compact layout: a plain exec exposes COMPACT, not the lazily
+        # decoded DATA (PEP 562 only fires on real module objects)
+        from repro.libm.compact import decode
+
         ns = {}
         exec(compile(path.read_text(), str(path), "exec"), ns)
-        fn = function_from_dict(ns["DATA"])
+        data = decode(ns["COMPACT"])
+        fn = function_from_dict(data)
         assert fn.evaluate(2.0) == 4.0
-        assert "final_check" in ns["DATA"]["stats"]
+        assert "final_check" in data["stats"]

@@ -6,9 +6,23 @@ import pytest
 
 from repro.core import all_values
 from repro.fp.formats import FLOAT8
+from repro.libm.compact import decode
 from repro.libm.serialize import (TARGETS_BY_NAME, function_from_dict,
-                                  function_to_dict, render_module)
+                                  function_to_dict, render_module,
+                                  render_module_legacy)
 from repro.posit.format import POSIT8
+
+
+def _exec_data(src: str) -> dict:
+    """The frozen dict a rendered module carries, whichever the layout.
+
+    A plain ``exec`` exposes ``COMPACT``, not the lazily decoded
+    ``DATA`` — PEP 562 module ``__getattr__`` only fires on real module
+    objects; legacy renderings expose the literal ``DATA`` directly.
+    """
+    ns: dict = {}
+    exec(compile(src, "<generated>", "exec"), ns)
+    return decode(ns["COMPACT"]) if "COMPACT" in ns else ns["DATA"]
 
 
 class TestTargetsRegistry:
@@ -44,36 +58,56 @@ class TestRoundTrip:
 
 
 class TestRenderModule:
+    """render_module now emits the compact layout; same observable deal."""
+
     def test_renders_valid_python(self, float8_exp):
         data = function_to_dict(float8_exp)
-        src = render_module(data)
-        ns = {}
-        exec(compile(src, "<generated>", "exec"), ns)
-        clone = function_from_dict(ns["DATA"])
+        clone = function_from_dict(_exec_data(render_module(data)))
         for x in all_values(FLOAT8):
             assert clone.evaluate_bits(x) == float8_exp.evaluate_bits(x)
 
     def test_infinities_survive_rendering(self, float8_exp):
-        # exp thresholds involve inf results; the module must parse
+        # exp thresholds involve inf results; the pool must carry them
         src = render_module(function_to_dict(float8_exp))
-        ns = {}
-        exec(compile(src, "<generated>", "exec"), ns)
-        clone = function_from_dict(ns["DATA"])
+        clone = function_from_dict(_exec_data(src))
         assert clone.evaluate(math.inf) == math.inf
 
     def test_docstring_mentions_function(self, float8_log2):
         src = render_module(function_to_dict(float8_log2))
         assert "log2" in src.splitlines()[0]
 
+    def test_no_float_literals_in_source(self, float8_exp):
+        # the whole point of the layout: nothing floaty to parse
+        import ast
+
+        src = render_module(function_to_dict(float8_exp))
+        for node in ast.walk(ast.parse(src)):
+            assert not (isinstance(node, ast.Constant)
+                        and isinstance(node.value, float)), ast.dump(node)
+
+    def test_compact_decode_is_bit_identical(self, float8_exp):
+        from repro.libm.serialize import _deep_equal
+
+        data = function_to_dict(float8_exp)
+        assert _deep_equal(_exec_data(render_module(data)), data)
+
+    def test_legacy_rendering_still_available(self, float8_exp):
+        data = function_to_dict(float8_exp)
+        src = render_module_legacy(data)
+        assert "COMPACT" not in src
+        clone = function_from_dict(_exec_data(src))
+        for x in all_values(FLOAT8):
+            assert clone.evaluate_bits(x) == float8_exp.evaluate_bits(x)
+
 
 class TestFreezeGuard:
-    """render_module verifies its own output before returning it."""
+    """Both renderers verify their own output before returning it."""
 
     def test_good_data_passes_the_guard(self, float8_exp):
         # the guard runs inside render_module; no exception == verified
         assert render_module(function_to_dict(float8_exp))
 
-    def test_lossy_repr_rejected(self, float8_exp):
+    def test_lossy_repr_rejected_by_legacy(self, float8_exp):
         class LossyFloat(float):
             """A float whose repr silently drops precision."""
 
@@ -83,6 +117,19 @@ class TestFreezeGuard:
         data = function_to_dict(float8_exp)
         data["rr_state"]["_c"] = LossyFloat(0.25)
         with pytest.raises(ValueError, match="round-trip"):
+            render_module_legacy(data)
+
+    def test_float_subclass_rejected_by_compact(self, float8_exp):
+        # the compact codec packs bit patterns, so a lying repr cannot
+        # corrupt it — instead the encoder's strict typing refuses the
+        # subclass outright (it must never guess at exotic semantics)
+        class LossyFloat(float):
+            def __repr__(self):
+                return "0.1"
+
+        data = function_to_dict(float8_exp)
+        data["rr_state"]["_c"] = LossyFloat(0.25)
+        with pytest.raises(ValueError):
             render_module(data)
 
     def test_structure_loss_rejected(self, float8_exp):
@@ -94,13 +141,16 @@ class TestFreezeGuard:
 
         data = function_to_dict(float8_exp)
         data["stats"] = Shapeshifter(data["stats"])
-        with pytest.raises(ValueError, match="round-trip"):
+        with pytest.raises(ValueError):
             render_module(data)
+        with pytest.raises(ValueError, match="round-trip"):
+            render_module_legacy(data)
 
     def test_shipped_tables_satisfy_the_guard(self):
-        # the guard must never fire on data the pipeline actually froze
+        # the guards must never fire on data the pipeline actually froze
         import importlib
 
         for name in ("exp", "sinpi"):
             mod = importlib.import_module(f"repro.libm.data_float32.{name}")
             assert render_module(mod.DATA)
+            assert render_module_legacy(mod.DATA)
